@@ -1,0 +1,62 @@
+"""Ablation (ours): solver substrate choices.
+
+Three design choices replace external tools from the paper's experiments:
+the CDCL SAT solver (vs. a plain DPLL), the exact group-MaxSAT used by
+``GetSug`` (vs. a greedy pass), and the exact maximum clique (vs. a greedy
+heuristic).  This benchmark measures the runtime impact of each choice on the
+suggestion pipeline of a mid-sized Person entity.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _harness import person_accuracy_dataset, person_scalability_dataset, report
+from repro.encoding import encode_specification
+from repro.evaluation import format_table
+from repro.resolution import deduce_order, extract_true_values, suggest
+from repro.resolution.suggest import SuggestOptions
+from repro.solvers import dpll_solve, solve
+
+
+def bench_ablation_solver_choices(benchmark) -> None:
+    """CDCL vs DPLL on Φ(S_e); exact vs greedy clique/MaxSAT in Suggest."""
+    rows = []
+
+    # SAT solver comparison on a larger formula.
+    dataset = person_scalability_dataset(150)
+    spec = dataset.specification_for(dataset.entities[0])
+    encoding = encode_specification(spec)
+    start = time.perf_counter()
+    solve(encoding.cnf)
+    cdcl_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    dpll_solve(encoding.cnf)
+    dpll_seconds = time.perf_counter() - start
+    rows.append(["SAT on Φ(Se)", "CDCL", cdcl_seconds * 1000.0])
+    rows.append(["SAT on Φ(Se)", "DPLL", dpll_seconds * 1000.0])
+
+    # Suggestion pipeline with exact vs greedy clique + MaxSAT.
+    accuracy_dataset = person_accuracy_dataset()
+    entity = max(accuracy_dataset.entities, key=lambda e: e.size())
+    spec = accuracy_dataset.specification_for(entity)
+    encoding = encode_specification(spec)
+    deduced = deduce_order(encoding)
+    known = extract_true_values(spec, deduced)
+    for label, options in (
+        ("exact", SuggestOptions(clique_method="exact", maxsat_strategy="exact")),
+        ("greedy", SuggestOptions(clique_method="greedy", maxsat_strategy="greedy")),
+    ):
+        start = time.perf_counter()
+        suggestion = suggest(encoding, deduced, known, options)
+        seconds = time.perf_counter() - start
+        rows.append([f"Suggest ({len(suggestion.attributes)} attrs asked)", label, seconds * 1000.0])
+
+    table = format_table(
+        ["stage", "variant", "time (ms)"],
+        rows,
+        title="Ablation — solver substrate choices",
+    )
+    report("ablation_solvers", table)
+
+    benchmark(lambda: solve(encoding.cnf))

@@ -1,0 +1,49 @@
+"""Fig. 8(c): overall per-entity resolution time on NBA, broken down by phase.
+
+Each bar of the paper's figure splits the per-round time into validity
+checking, true-value deduction and suggestion generation; validity checking
+(the SAT call on Φ(S_e)) dominates.  The same breakdown is reported here per
+entity-size bucket.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from _harness import NBA_BUCKETS, nba_scalability_dataset, report, time_overall
+from repro.evaluation import format_table
+
+
+def bench_fig8c_overall_time_nba(benchmark) -> None:
+    """Per-phase resolution time for NBA entities, bucketed by size."""
+    dataset = nba_scalability_dataset()
+    grouped = dataset.entities_by_size(NBA_BUCKETS)
+    rows = []
+    largest_entity = None
+    for bucket in NBA_BUCKETS:
+        entities = grouped.get(bucket, [])[:3]
+        if not entities:
+            continue
+        totals = defaultdict(float)
+        for entity in entities:
+            for phase, seconds in time_overall(dataset, entity).items():
+                totals[phase] += seconds
+            largest_entity = entity
+        count = len(entities)
+        rows.append(
+            [
+                f"{bucket[0]}-{bucket[1]} tuples",
+                count,
+                totals["validity"] / count * 1000.0,
+                totals["deduce"] / count * 1000.0,
+                totals["suggest"] / count * 1000.0,
+            ]
+        )
+    table = format_table(
+        ["bucket", "entities", "validity (ms)", "deduce (ms)", "suggest (ms)"],
+        rows,
+        title="Fig. 8(c) — NBA: overall time per entity, by phase",
+    )
+    report("fig8c_overall_nba", table)
+
+    benchmark(lambda: time_overall(dataset, largest_entity))

@@ -1,0 +1,46 @@
+"""Fig. 8(d): overall per-entity resolution time on Person, broken down by phase.
+
+Person entities grow much larger than NBA ones (the paper scales them to 10k
+tuples); the figure shows the same validity/deduce/suggest breakdown as
+Fig. 8(c) with validity checking again dominating as the entity grows.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from _harness import PERSON_SIZES, person_scalability_dataset, report, time_overall
+from repro.evaluation import format_table
+
+
+def bench_fig8d_overall_time_person(benchmark) -> None:
+    """Per-phase resolution time for Person entities of growing size."""
+    rows = []
+    largest = None
+    for size in PERSON_SIZES:
+        dataset = person_scalability_dataset(size)
+        totals = defaultdict(float)
+        entities = dataset.entities[:2]
+        for entity in entities:
+            for phase, seconds in time_overall(dataset, entity).items():
+                totals[phase] += seconds
+            largest = (dataset, entity)
+        count = len(entities)
+        rows.append(
+            [
+                f"~{size} tuples",
+                count,
+                totals["validity"] / count * 1000.0,
+                totals["deduce"] / count * 1000.0,
+                totals["suggest"] / count * 1000.0,
+            ]
+        )
+    table = format_table(
+        ["entity size", "entities", "validity (ms)", "deduce (ms)", "suggest (ms)"],
+        rows,
+        title="Fig. 8(d) — Person: overall time per entity, by phase",
+    )
+    report("fig8d_overall_person", table)
+
+    dataset, entity = largest
+    benchmark(lambda: time_overall(dataset, entity))

@@ -1,0 +1,20 @@
+"""Fig. 8(e): NBA — fraction of true attribute values found per interaction round.
+
+The paper finds that 35 % of the true values are identified without any user
+interaction and that at most 2 rounds are needed to resolve the remaining
+attributes.  The synthetic rebuild reports the same series.
+"""
+
+from __future__ import annotations
+
+from _harness import interaction_panel, nba_accuracy_dataset, report
+
+
+def bench_fig8e_interactions_nba(benchmark) -> None:
+    """True-value coverage after 0, 1, 2 interaction rounds on NBA."""
+
+    def run() -> str:
+        return interaction_panel(nba_accuracy_dataset(), max_rounds=2)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("fig8e_interactions_nba", table)

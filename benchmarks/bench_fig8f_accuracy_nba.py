@@ -1,0 +1,23 @@
+"""Fig. 8(f): NBA — F-measure vs. fraction of Σ+Γ used, against Pick.
+
+The paper reports F up to 0.930 with the full constraint sets, a monotone
+improvement as more constraints become available, and a large gap over the
+``Pick`` baseline.  The same curves (0/1/2-interaction plus Pick) are produced
+here on the synthetic NBA rebuild.
+"""
+
+from __future__ import annotations
+
+from _harness import accuracy_panel, nba_accuracy_dataset, report
+
+
+def bench_fig8f_accuracy_nba(benchmark) -> None:
+    """F-measure vs |Σ|+|Γ| fraction on NBA (0/1/2 interaction rounds + Pick)."""
+
+    def run() -> str:
+        return accuracy_panel(
+            nba_accuracy_dataset(), vary="both", interaction_rounds=(0, 1, 2), include_pick=True
+        )
+
+    panel = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("fig8f_accuracy_nba", panel)

@@ -1,0 +1,21 @@
+"""Fig. 8(g): NBA — F-measure vs. fraction of Σ only (Γ = ∅).
+
+Currency constraints alone reach F ≈ 0.830 in the paper — clearly below the
+combined Σ+Γ curve of Fig. 8(f) but far above Γ-only (Fig. 8(h)).
+"""
+
+from __future__ import annotations
+
+from _harness import accuracy_panel, nba_accuracy_dataset, report
+
+
+def bench_fig8g_sigma_only_nba(benchmark) -> None:
+    """F-measure vs |Σ| fraction (no CFDs) on NBA."""
+
+    def run() -> str:
+        return accuracy_panel(
+            nba_accuracy_dataset(), vary="sigma", interaction_rounds=(0, 1, 2), include_pick=False
+        )
+
+    panel = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("fig8g_sigma_nba", panel)

@@ -1,0 +1,21 @@
+"""Fig. 8(h): NBA — F-measure vs. fraction of Γ only (Σ = ∅).
+
+Constant CFDs alone are weak on NBA (F ≈ 0.210 in the paper) because without
+currency constraints almost no attribute's latest value can be pinned down.
+"""
+
+from __future__ import annotations
+
+from _harness import accuracy_panel, nba_accuracy_dataset, report
+
+
+def bench_fig8h_gamma_only_nba(benchmark) -> None:
+    """F-measure vs |Γ| fraction (no currency constraints) on NBA."""
+
+    def run() -> str:
+        return accuracy_panel(
+            nba_accuracy_dataset(), vary="gamma", interaction_rounds=(0, 1, 2), include_pick=False
+        )
+
+    panel = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("fig8h_gamma_nba", panel)

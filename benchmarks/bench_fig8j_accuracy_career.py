@@ -1,0 +1,20 @@
+"""Fig. 8(j): CAREER — F-measure vs. fraction of Σ+Γ used, against Pick.
+
+The paper reports F up to 0.958 with both constraint sets on CAREER.
+"""
+
+from __future__ import annotations
+
+from _harness import accuracy_panel, career_accuracy_dataset, report
+
+
+def bench_fig8j_accuracy_career(benchmark) -> None:
+    """F-measure vs |Σ|+|Γ| fraction on CAREER (0/1/2 interaction rounds + Pick)."""
+
+    def run() -> str:
+        return accuracy_panel(
+            career_accuracy_dataset(), vary="both", interaction_rounds=(0, 1, 2), include_pick=True
+        )
+
+    panel = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("fig8j_accuracy_career", panel)

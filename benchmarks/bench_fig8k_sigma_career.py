@@ -1,0 +1,21 @@
+"""Fig. 8(k): CAREER — F-measure vs. fraction of Σ only (Γ = ∅).
+
+Σ alone reaches F ≈ 0.907 in the paper on CAREER (the citation-derived
+constraints carry most of the signal for this dataset).
+"""
+
+from __future__ import annotations
+
+from _harness import accuracy_panel, career_accuracy_dataset, report
+
+
+def bench_fig8k_sigma_only_career(benchmark) -> None:
+    """F-measure vs |Σ| fraction (no CFDs) on CAREER."""
+
+    def run() -> str:
+        return accuracy_panel(
+            career_accuracy_dataset(), vary="sigma", interaction_rounds=(0, 1), include_pick=False
+        )
+
+    panel = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("fig8k_sigma_career", panel)

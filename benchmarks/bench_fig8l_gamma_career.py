@@ -1,0 +1,22 @@
+"""Fig. 8(l): CAREER — F-measure vs. fraction of Γ only (Σ = ∅).
+
+CFDs alone reach F ≈ 0.741 in the paper on CAREER — higher than on the other
+datasets because the affiliation → city/country patterns repair two of the
+five attributes once the affiliation is confirmed.
+"""
+
+from __future__ import annotations
+
+from _harness import accuracy_panel, career_accuracy_dataset, report
+
+
+def bench_fig8l_gamma_only_career(benchmark) -> None:
+    """F-measure vs |Γ| fraction (no currency constraints) on CAREER."""
+
+    def run() -> str:
+        return accuracy_panel(
+            career_accuracy_dataset(), vary="gamma", interaction_rounds=(0, 1, 2), include_pick=False
+        )
+
+    panel = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("fig8l_gamma_career", panel)

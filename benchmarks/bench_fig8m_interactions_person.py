@@ -1,0 +1,19 @@
+"""Fig. 8(m): Person — fraction of true attribute values found per interaction round.
+
+Person is the hardest workload in the paper: only 22 % of true values are
+derivable without interaction and up to 3 rounds are needed.
+"""
+
+from __future__ import annotations
+
+from _harness import interaction_panel, person_accuracy_dataset, report
+
+
+def bench_fig8m_interactions_person(benchmark) -> None:
+    """True-value coverage after 0..3 interaction rounds on Person."""
+
+    def run() -> str:
+        return interaction_panel(person_accuracy_dataset(), max_rounds=3)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("fig8m_interactions_person", table)

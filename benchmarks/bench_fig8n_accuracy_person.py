@@ -1,0 +1,24 @@
+"""Fig. 8(n): Person — F-measure vs. fraction of Σ+Γ used, against Pick.
+
+The paper reports F up to 0.903 with both constraint sets on Person and a
+large gap over ``Pick``.
+"""
+
+from __future__ import annotations
+
+from _harness import accuracy_panel, person_accuracy_dataset, report
+
+
+def bench_fig8n_accuracy_person(benchmark) -> None:
+    """F-measure vs |Σ|+|Γ| fraction on Person (0..3 interaction rounds + Pick)."""
+
+    def run() -> str:
+        return accuracy_panel(
+            person_accuracy_dataset(),
+            vary="both",
+            interaction_rounds=(0, 1, 2, 3),
+            include_pick=True,
+        )
+
+    panel = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("fig8n_accuracy_person", panel)

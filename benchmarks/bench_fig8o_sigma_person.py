@@ -1,0 +1,21 @@
+"""Fig. 8(o): Person — F-measure vs. fraction of Σ only (Γ = ∅).
+
+Σ alone reaches F ≈ 0.826 in the paper on Person, below the combined curve of
+Fig. 8(n).
+"""
+
+from __future__ import annotations
+
+from _harness import accuracy_panel, person_accuracy_dataset, report
+
+
+def bench_fig8o_sigma_only_person(benchmark) -> None:
+    """F-measure vs |Σ| fraction (no CFDs) on Person."""
+
+    def run() -> str:
+        return accuracy_panel(
+            person_accuracy_dataset(), vary="sigma", interaction_rounds=(0, 1, 2), include_pick=False
+        )
+
+    panel = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("fig8o_sigma_person", panel)

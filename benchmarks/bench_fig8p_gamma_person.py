@@ -1,0 +1,21 @@
+"""Fig. 8(p): Person — F-measure vs. fraction of Γ only (Σ = ∅).
+
+CFDs alone reach only F ≈ 0.234 in the paper on Person: without currency
+constraints the AC → city patterns rarely fire.
+"""
+
+from __future__ import annotations
+
+from _harness import accuracy_panel, person_accuracy_dataset, report
+
+
+def bench_fig8p_gamma_only_person(benchmark) -> None:
+    """F-measure vs |Γ| fraction (no currency constraints) on Person."""
+
+    def run() -> str:
+        return accuracy_panel(
+            person_accuracy_dataset(), vary="gamma", interaction_rounds=(0, 1, 2), include_pick=False
+        )
+
+    panel = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("fig8p_gamma_person", panel)

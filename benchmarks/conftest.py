@@ -1,0 +1,13 @@
+"""Pytest configuration for the benchmark suite.
+
+The benchmark files import the shared harness as a plain module
+(``import _harness``); pytest's rootdir-insertion makes this work because this
+directory has no ``__init__.py``.  Benchmarks are excluded from the default
+``pytest`` run (``testpaths = ["tests"]``) and are executed explicitly with
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

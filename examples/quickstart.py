@@ -1,0 +1,92 @@
+"""Quickstart: resolve conflicts for one entity with currency + consistency.
+
+This walks through the paper's running example (Fig. 1–3): the two entities
+from the "V-J Day in Times Square" photo.  Edith's true tuple is derived fully
+automatically; George needs one round of user input, which we provide inline.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ConflictResolver,
+    ConstantCFD,
+    CurrencyConstraint,
+    RelationSchema,
+    Specification,
+)
+
+
+def build_schema() -> RelationSchema:
+    """The relation schema of Fig. 2."""
+    return RelationSchema(
+        "person", ["name", "status", "job", "kids", "city", "AC", "zip", "county"]
+    )
+
+
+def build_constraints() -> tuple[list[CurrencyConstraint], list[ConstantCFD]]:
+    """The currency constraints ϕ1–ϕ8 and constant CFDs ψ1–ψ2 of Fig. 3."""
+    sigma = [
+        CurrencyConstraint.value_transition("status", "working", "retired", "phi1"),
+        CurrencyConstraint.value_transition("status", "retired", "deceased", "phi2"),
+        CurrencyConstraint.value_transition("job", "sailor", "veteran", "phi3"),
+        CurrencyConstraint.monotone("kids", "phi4"),
+        CurrencyConstraint.order_propagation(["status"], "job", "phi5"),
+        CurrencyConstraint.order_propagation(["status"], "AC", "phi6"),
+        CurrencyConstraint.order_propagation(["status"], "zip", "phi7"),
+        CurrencyConstraint.order_propagation(["city", "zip"], "county", "phi8"),
+    ]
+    gamma = [
+        ConstantCFD({"AC": "213"}, "city", "LA", "psi1"),
+        ConstantCFD({"AC": "212"}, "city", "NY", "psi2"),
+    ]
+    return sigma, gamma
+
+
+class InlineOracle:
+    """A "user" that confirms George's status when asked."""
+
+    def answer(self, suggestion, spec):
+        if "status" in suggestion.attributes:
+            print(f"  [user] suggestion was: {suggestion}")
+            print("  [user] confirming status = 'retired'")
+            return {"status": "retired"}
+        return {}
+
+
+def main() -> None:
+    schema = build_schema()
+    sigma, gamma = build_constraints()
+
+    edith_rows = [
+        dict(name="Edith Shain", status="working", job="nurse", kids=0, city="NY", AC="212", zip="10036", county="Manhattan"),
+        dict(name="Edith Shain", status="retired", job="n/a", kids=3, city="SFC", AC="415", zip="94924", county="Dogtown"),
+        dict(name="Edith Shain", status="deceased", job="n/a", kids=None, city="LA", AC="213", zip="90058", county="Vermont"),
+    ]
+    george_rows = [
+        dict(name="George Mendonca", status="working", job="sailor", kids=0, city="Newport", AC="401", zip="02840", county="Rhode Island"),
+        dict(name="George Mendonca", status="retired", job="veteran", kids=2, city="NY", AC="212", zip="12404", county="Accord"),
+        dict(name="George Mendonca", status="unemployed", job="n/a", kids=2, city="Chicago", AC="312", zip="60653", county="Bronzeville"),
+    ]
+
+    resolver = ConflictResolver()
+
+    print("=== Edith (entity E1) — fully automatic ===")
+    edith = Specification.from_rows(schema, edith_rows, sigma, gamma, name="Edith")
+    result = resolver.resolve(edith)
+    print(f"  valid: {result.valid}, interaction rounds: {result.interaction_rounds}")
+    print(f"  resolved tuple: {result.resolved_tuple}")
+
+    print()
+    print("=== George (entity E2) — one round of user interaction ===")
+    george = Specification.from_rows(schema, george_rows, sigma, gamma, name="George")
+    result = resolver.resolve(george, InlineOracle())
+    print(f"  valid: {result.valid}, interaction rounds: {result.interaction_rounds}")
+    print(f"  resolved tuple: {result.resolved_tuple}")
+    print(f"  deduced automatically: {result.deduced_attributes}")
+    print(f"  validated by the user: {result.user_validated_attributes}")
+
+
+if __name__ == "__main__":
+    main()

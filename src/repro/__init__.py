@@ -1,0 +1,79 @@
+"""repro — reproduction of "Inferring Data Currency and Consistency for
+Conflict Resolution" (Fan, Geerts, Tang, Yu; ICDE 2013).
+
+The public API re-exports the most frequently used classes; the subpackages
+hold the full system:
+
+* :mod:`repro.core` — the data model (schemas, entity instances, currency
+  orders, currency constraints, constant CFDs, specifications);
+* :mod:`repro.solvers` — SAT / MaxSAT / clique substrate;
+* :mod:`repro.encoding` — the Ω(S_e) / Φ(S_e) encodings;
+* :mod:`repro.resolution` — IsValid, DeduceOrder, Suggest, the interactive
+  framework and the traditional baselines;
+* :mod:`repro.linkage` — record-linkage substrate producing entity instances;
+* :mod:`repro.discovery` — constant-CFD and currency-constraint discovery;
+* :mod:`repro.datasets` — NBA / CAREER / Person generators with ground truth;
+* :mod:`repro.evaluation` — metrics, simulated users and experiment runners.
+"""
+
+from repro.core import (
+    Attribute,
+    AttributeType,
+    ConstantCFD,
+    CurrencyConstraint,
+    EntityInstance,
+    EntityTuple,
+    NULL,
+    PartialOrder,
+    RelationSchema,
+    Specification,
+    TemporalInstance,
+    TemporalOrderDelta,
+    TrueValueAssignment,
+)
+from repro.encoding import InstantiationOptions, encode_specification
+from repro.resolution import (
+    ConflictResolver,
+    ResolverOptions,
+    SilentOracle,
+    Suggestion,
+    check_validity,
+    deduce_order,
+    extract_true_values,
+    is_valid,
+    naive_deduce,
+    pick_resolution,
+    suggest,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Attribute",
+    "AttributeType",
+    "ConflictResolver",
+    "ConstantCFD",
+    "CurrencyConstraint",
+    "EntityInstance",
+    "EntityTuple",
+    "InstantiationOptions",
+    "NULL",
+    "PartialOrder",
+    "RelationSchema",
+    "ResolverOptions",
+    "SilentOracle",
+    "Specification",
+    "Suggestion",
+    "TemporalInstance",
+    "TemporalOrderDelta",
+    "TrueValueAssignment",
+    "__version__",
+    "check_validity",
+    "deduce_order",
+    "encode_specification",
+    "extract_true_values",
+    "is_valid",
+    "naive_deduce",
+    "pick_resolution",
+    "suggest",
+]

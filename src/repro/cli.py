@@ -1,0 +1,179 @@
+"""Command-line interface.
+
+Three subcommands cover the typical workflow on CSV data:
+
+``validate``
+    Check every entity's specification for conflicts between the data, the
+    currency constraints and the CFDs (algorithm ``IsValid``).
+
+``resolve``
+    Derive the most current, consistent tuple per entity and write the result
+    as CSV.  Attributes whose true value cannot be deduced are either left
+    empty or filled with the ``Pick`` strategy (``--fallback pick``).
+
+``discover``
+    Mine constant CFDs (and, when the rows carry a timestamp column, currency
+    constraints) from the data and print them in the constraint-file format.
+
+Examples
+--------
+::
+
+    python -m repro validate  people.csv --entity-key name --constraints rules.txt
+    python -m repro resolve   people.csv --entity-key name --constraints rules.txt -o resolved.csv
+    python -m repro discover  people.csv --entity-key name --timestamp-column updated_at
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.instance import TemporalInstance
+from repro.core.specification import Specification
+from repro.discovery import (
+    CFDDiscoveryConfig,
+    CurrencyDiscoveryConfig,
+    discover_constant_cfds,
+    discover_currency_constraints,
+)
+from repro.io import dump_constraints, load_constraint_file, read_entity_rows, write_resolved_tuples
+from repro.resolution import ConflictResolver, ResolverOptions, check_validity
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Conflict resolution by data currency and consistency (ICDE 2013 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("data", help="CSV file with one row per observation")
+        sub.add_argument("--entity-key", required=True, help="column identifying the entity of each row")
+        sub.add_argument("--constraints", help="constraint file (currency constraints and CFDs)")
+
+    validate = subparsers.add_parser("validate", help="check specifications for conflicts")
+    add_common(validate)
+
+    resolve = subparsers.add_parser("resolve", help="derive the current tuple of every entity")
+    add_common(resolve)
+    resolve.add_argument("-o", "--output", help="output CSV path (default: stdout summary only)")
+    resolve.add_argument(
+        "--fallback",
+        choices=["none", "pick"],
+        default="none",
+        help="how to fill attributes whose true value cannot be deduced",
+    )
+    resolve.add_argument("--max-rounds", type=int, default=0, help="interaction rounds (0 = automatic only)")
+
+    discover = subparsers.add_parser("discover", help="mine constraints from the data")
+    discover.add_argument("data", help="CSV file with one row per observation")
+    discover.add_argument("--entity-key", required=True, help="column identifying the entity of each row")
+    discover.add_argument("--timestamp-column", help="column ordering each entity's rows in time")
+    discover.add_argument("--min-support", type=int, default=3, help="minimum CFD pattern support")
+    discover.add_argument("--min-confidence", type=float, default=0.95, help="minimum CFD confidence")
+    return parser
+
+
+def _load_specifications(args) -> Dict[str, Specification]:
+    schema, instances = read_entity_rows(args.data, args.entity_key)
+    if args.constraints:
+        sigma, gamma = load_constraint_file(args.constraints)
+    else:
+        sigma, gamma = [], []
+    return {
+        key: Specification(TemporalInstance(instance), sigma, gamma, name=key)
+        for key, instance in instances.items()
+    }
+
+
+def _command_validate(args) -> int:
+    specifications = _load_specifications(args)
+    invalid: List[str] = []
+    for key, spec in sorted(specifications.items()):
+        report = check_validity(spec)
+        status = "valid" if report.valid else "INVALID"
+        print(f"{key}: {status} ({report.encoding.statistics()['clauses']} clauses)")
+        if not report.valid:
+            invalid.append(key)
+    print(f"\n{len(specifications) - len(invalid)}/{len(specifications)} specifications are valid")
+    return 1 if invalid else 0
+
+
+def _command_resolve(args) -> int:
+    specifications = _load_specifications(args)
+    resolver = ConflictResolver(
+        ResolverOptions(max_rounds=args.max_rounds, fallback=args.fallback)
+    )
+    resolved: Dict[str, Dict] = {}
+    rounds: Dict[str, int] = {}
+    complete: Dict[str, bool] = {}
+    schema = None
+    for key, spec in sorted(specifications.items()):
+        schema = spec.schema
+        result = resolver.resolve(spec)
+        resolved[key] = result.resolved_tuple
+        rounds[key] = result.interaction_rounds
+        complete[key] = result.complete
+        deduced = len(result.true_values)
+        print(f"{key}: {deduced}/{len(spec.schema)} true values deduced"
+              + ("" if result.valid else " (specification INVALID)"))
+    if args.output and schema is not None:
+        write_resolved_tuples(
+            args.output,
+            schema,
+            resolved,
+            extra_columns={"__complete__": complete, "__rounds__": rounds},
+        )
+        print(f"\nwrote {len(resolved)} resolved tuples to {args.output}")
+    return 0
+
+
+def _command_discover(args) -> int:
+    schema, instances = read_entity_rows(args.data, args.entity_key)
+    rows = [t.as_dict() for instance in instances.values() for t in instance]
+    skip = (args.entity_key,) + ((args.timestamp_column,) if args.timestamp_column else ())
+    gamma = discover_constant_cfds(
+        schema,
+        rows,
+        CFDDiscoveryConfig(
+            min_support=args.min_support,
+            min_confidence=args.min_confidence,
+            skip_attributes=skip,
+        ),
+    )
+    sigma = []
+    if args.timestamp_column:
+        histories = []
+        for instance in instances.values():
+            ordered = sorted(
+                (t.as_dict() for t in instance),
+                key=lambda row: str(row.get(args.timestamp_column)),
+            )
+            histories.append(ordered)
+        sigma = discover_currency_constraints(
+            schema, histories, CurrencyDiscoveryConfig(skip_attributes=skip)
+        )
+    print(dump_constraints(sigma, gamma), end="")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "validate": _command_validate,
+        "resolve": _command_resolve,
+        "discover": _command_discover,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

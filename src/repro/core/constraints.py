@@ -1,0 +1,277 @@
+"""Currency constraints (paper Section II-A).
+
+A currency constraint has the shape
+
+    ∀ t1, t2 ( ω  →  t1 ≺_{A_r} t2 )
+
+where ω is a conjunction of predicates of three kinds:
+
+1. ``t1 ≺_{A_l} t2``            — an order predicate (:class:`OrderPredicate`);
+2. ``t1[A_l] op t2[A_l]``       — a comparison between the two tuples
+   (:class:`TupleComparisonPredicate`);
+3. ``t_i[A_l] op c``            — a comparison of one tuple against a constant
+   (:class:`ConstantComparisonPredicate`).
+
+The classes here are declarative descriptions; their semantics on completions
+is implemented in :mod:`repro.core.completion`, and their instantiation into
+value-level instance constraints in :mod:`repro.encoding`.
+
+A compact text syntax is provided for convenience (used by the dataset
+generators and the examples)::
+
+    CurrencyConstraint.parse(
+        "t1.status = 'working' & t2.status = 'retired' -> t1 < t2 on status")
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Sequence, Tuple, Union
+
+from repro.core.errors import ConstraintSyntaxError, SchemaError
+from repro.core.schema import RelationSchema
+from repro.core.tuples import EntityTuple
+from repro.core.values import COMPARISON_OPERATORS, Value, apply_operator, normalize
+
+__all__ = [
+    "OrderPredicate",
+    "TupleComparisonPredicate",
+    "ConstantComparisonPredicate",
+    "Predicate",
+    "CurrencyConstraint",
+]
+
+
+@dataclass(frozen=True)
+class OrderPredicate:
+    """Predicate ``t1 ≺_A t2``: tuple 2 is more current than tuple 1 in *attribute*."""
+
+    attribute: str
+
+    def referenced_attributes(self) -> FrozenSet[str]:
+        """Attributes mentioned by the predicate."""
+        return frozenset({self.attribute})
+
+    def __str__(self) -> str:  # pragma: no cover - presentation only
+        return f"t1 ≺_{self.attribute} t2"
+
+
+@dataclass(frozen=True)
+class TupleComparisonPredicate:
+    """Predicate ``t1[A] op t2[A]`` comparing the two tuples' values of one attribute."""
+
+    attribute: str
+    op: str
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPERATORS:
+            raise ConstraintSyntaxError(f"unsupported comparison operator {self.op!r}")
+
+    def referenced_attributes(self) -> FrozenSet[str]:
+        """Attributes mentioned by the predicate."""
+        return frozenset({self.attribute})
+
+    def evaluate(self, tuple1: EntityTuple, tuple2: EntityTuple) -> bool:
+        """Evaluate the predicate on a concrete tuple pair."""
+        return apply_operator(tuple1[self.attribute], self.op, tuple2[self.attribute])
+
+    def __str__(self) -> str:  # pragma: no cover - presentation only
+        return f"t1[{self.attribute}] {self.op} t2[{self.attribute}]"
+
+
+@dataclass(frozen=True)
+class ConstantComparisonPredicate:
+    """Predicate ``t_i[A] op c`` comparing one tuple's value against a constant."""
+
+    tuple_index: int
+    attribute: str
+    op: str
+    constant: Value
+
+    def __post_init__(self) -> None:
+        if self.tuple_index not in (1, 2):
+            raise ConstraintSyntaxError("tuple_index must be 1 or 2")
+        if self.op not in COMPARISON_OPERATORS:
+            raise ConstraintSyntaxError(f"unsupported comparison operator {self.op!r}")
+        object.__setattr__(self, "constant", normalize(self.constant))
+
+    def referenced_attributes(self) -> FrozenSet[str]:
+        """Attributes mentioned by the predicate."""
+        return frozenset({self.attribute})
+
+    def evaluate(self, tuple1: EntityTuple, tuple2: EntityTuple) -> bool:
+        """Evaluate the predicate on a concrete tuple pair."""
+        source = tuple1 if self.tuple_index == 1 else tuple2
+        return apply_operator(source[self.attribute], self.op, self.constant)
+
+    def __str__(self) -> str:  # pragma: no cover - presentation only
+        return f"t{self.tuple_index}[{self.attribute}] {self.op} {self.constant!r}"
+
+
+Predicate = Union[OrderPredicate, TupleComparisonPredicate, ConstantComparisonPredicate]
+
+
+@dataclass(frozen=True)
+class CurrencyConstraint:
+    """A currency constraint ``∀ t1,t2 (ω → t1 ≺_{conclusion} t2)``.
+
+    Parameters
+    ----------
+    body:
+        The conjunction ω as a tuple of predicates (possibly empty, meaning
+        the constraint applies to every ordered tuple pair).
+    conclusion_attribute:
+        The attribute ``A_r`` ordered by the conclusion.
+    name:
+        Optional label used in reports and error messages.
+    """
+
+    body: Tuple[Predicate, ...]
+    conclusion_attribute: str
+    name: str = ""
+
+    def __init__(
+        self,
+        body: Sequence[Predicate] | Iterable[Predicate],
+        conclusion_attribute: str,
+        name: str = "",
+    ) -> None:
+        object.__setattr__(self, "body", tuple(body))
+        object.__setattr__(self, "conclusion_attribute", conclusion_attribute)
+        object.__setattr__(self, "name", name)
+        for predicate in self.body:
+            if not isinstance(
+                predicate,
+                (OrderPredicate, TupleComparisonPredicate, ConstantComparisonPredicate),
+            ):
+                raise ConstraintSyntaxError(f"unsupported predicate object: {predicate!r}")
+
+    # -- schema interaction ----------------------------------------------
+
+    def referenced_attributes(self) -> FrozenSet[str]:
+        """All attributes mentioned anywhere in the constraint."""
+        attributes = {self.conclusion_attribute}
+        for predicate in self.body:
+            attributes |= predicate.referenced_attributes()
+        return frozenset(attributes)
+
+    def validate(self, schema: RelationSchema) -> None:
+        """Raise :class:`SchemaError` when the constraint mentions unknown attributes."""
+        try:
+            schema.require(self.referenced_attributes())
+        except SchemaError as exc:
+            raise SchemaError(f"currency constraint {self.name or str(self)}: {exc}") from exc
+
+    # -- structural queries ------------------------------------------------
+
+    def order_body_predicates(self) -> Tuple[OrderPredicate, ...]:
+        """The ``t1 ≺_A t2`` predicates of the body."""
+        return tuple(p for p in self.body if isinstance(p, OrderPredicate))
+
+    def comparison_body_predicates(self) -> Tuple[Predicate, ...]:
+        """The value-comparison predicates of the body (both kinds)."""
+        return tuple(p for p in self.body if not isinstance(p, OrderPredicate))
+
+    def is_comparison_only(self) -> bool:
+        """``True`` when the body contains no order predicates.
+
+        These are the constraints the ``Pick`` baseline is allowed to use
+        (paper Section VI, "Algorithms" paragraph).
+        """
+        return not self.order_body_predicates()
+
+    # -- convenience constructors ------------------------------------------
+
+    @staticmethod
+    def value_transition(attribute: str, older_value: Value, newer_value: Value, name: str = "") -> "CurrencyConstraint":
+        """Constraint "if t1[A]=older and t2[A]=newer then t1 ≺_A t2" (like ϕ1–ϕ3 of Fig. 3)."""
+        body = (
+            ConstantComparisonPredicate(1, attribute, "=", older_value),
+            ConstantComparisonPredicate(2, attribute, "=", newer_value),
+        )
+        return CurrencyConstraint(body, attribute, name=name)
+
+    @staticmethod
+    def monotone(attribute: str, name: str = "") -> "CurrencyConstraint":
+        """Constraint "if t1[A] < t2[A] then t1 ≺_A t2" (like ϕ4 of Fig. 3)."""
+        return CurrencyConstraint((TupleComparisonPredicate(attribute, "<"),), attribute, name=name)
+
+    @staticmethod
+    def order_propagation(
+        source_attributes: Sequence[str], target_attribute: str, name: str = ""
+    ) -> "CurrencyConstraint":
+        """Constraint "if t1 ≺_A t2 for every A in *source_attributes* then t1 ≺_B t2"
+        (like ϕ5–ϕ8 of Fig. 3)."""
+        body = tuple(OrderPredicate(attribute) for attribute in source_attributes)
+        return CurrencyConstraint(body, target_attribute, name=name)
+
+    # -- text syntax -------------------------------------------------------
+
+    _ORDER_RE = re.compile(r"^t1\s*<\s*t2\s+on\s+(\w+)$")
+    _TUPLE_CMP_RE = re.compile(r"^t1\.(\w+)\s*(=|!=|<=|>=|<|>)\s*t2\.(\w+)$")
+    _CONST_CMP_RE = re.compile(r"^t(1|2)\.(\w+)\s*(=|!=|<=|>=|<|>)\s*(.+)$")
+
+    @staticmethod
+    def _parse_constant(text: str) -> Value:
+        text = text.strip()
+        if (text.startswith("'") and text.endswith("'")) or (text.startswith('"') and text.endswith('"')):
+            return text[1:-1]
+        if text.lower() == "null":
+            return None
+        try:
+            return int(text)
+        except ValueError:
+            pass
+        try:
+            return float(text)
+        except ValueError:
+            pass
+        return text
+
+    @classmethod
+    def parse(cls, text: str, name: str = "") -> "CurrencyConstraint":
+        """Parse the compact text syntax, e.g.
+
+        ``"t1.status = 'working' & t2.status = 'retired' -> t1 < t2 on status"``
+        or ``"t1 < t2 on status -> t1 < t2 on job"``.
+        """
+        if "->" not in text:
+            raise ConstraintSyntaxError(f"missing '->' in currency constraint: {text!r}")
+        body_text, _, head_text = text.partition("->")
+        head_match = cls._ORDER_RE.match(head_text.strip())
+        if head_match is None:
+            raise ConstraintSyntaxError(f"conclusion must look like 't1 < t2 on A': {head_text!r}")
+        conclusion_attribute = head_match.group(1)
+        predicates: list[Predicate] = []
+        body_text = body_text.strip()
+        if body_text and body_text.lower() != "true":
+            for raw in body_text.split("&"):
+                part = raw.strip()
+                order_match = cls._ORDER_RE.match(part)
+                if order_match is not None:
+                    predicates.append(OrderPredicate(order_match.group(1)))
+                    continue
+                tuple_match = cls._TUPLE_CMP_RE.match(part)
+                if tuple_match is not None:
+                    left_attr, op, right_attr = tuple_match.groups()
+                    if left_attr != right_attr:
+                        raise ConstraintSyntaxError(
+                            f"tuple comparisons must use the same attribute on both sides: {part!r}"
+                        )
+                    predicates.append(TupleComparisonPredicate(left_attr, op))
+                    continue
+                const_match = cls._CONST_CMP_RE.match(part)
+                if const_match is not None:
+                    index, attribute, op, constant = const_match.groups()
+                    predicates.append(
+                        ConstantComparisonPredicate(int(index), attribute, op, cls._parse_constant(constant))
+                    )
+                    continue
+                raise ConstraintSyntaxError(f"cannot parse predicate {part!r}")
+        return cls(tuple(predicates), conclusion_attribute, name=name)
+
+    def __str__(self) -> str:  # pragma: no cover - presentation only
+        body = " ∧ ".join(str(p) for p in self.body) if self.body else "true"
+        label = f"{self.name}: " if self.name else ""
+        return f"{label}∀t1,t2 ({body} → t1 ≺_{self.conclusion_attribute} t2)"

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the conflict-resolution library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class SchemaError(ReproError):
+    """A tuple, constraint or CFD refers to an attribute not in the schema,
+    or a schema is constructed with duplicate/empty attribute names."""
+
+
+class ValueTypeError(ReproError):
+    """A value is incompatible with the declared attribute type."""
+
+
+class CyclicOrderError(ReproError):
+    """Adding an edge to a partial order would create a cycle."""
+
+
+class InvalidSpecificationError(ReproError):
+    """A specification has no valid completion (its constraints conflict)."""
+
+
+class ConstraintSyntaxError(ReproError):
+    """A currency constraint or CFD is syntactically malformed."""
+
+
+class EncodingError(ReproError):
+    """The SAT encoding of a specification could not be built."""
+
+
+class SolverError(ReproError):
+    """A constraint solver was used incorrectly or exceeded its budget."""
+
+
+class ResolutionError(ReproError):
+    """The conflict-resolution framework could not make progress."""
+
+
+class DatasetError(ReproError):
+    """A dataset generator was given inconsistent parameters."""

@@ -1,0 +1,243 @@
+"""Entity instances and temporal instances (paper Section II-A).
+
+* An :class:`EntityInstance` is a set of tuples of one relation schema that all
+  pertain to the same real-world entity (the output of record linkage).
+* A :class:`TemporalInstance` pairs an entity instance with one partial
+  *currency order* per attribute — the temporal knowledge that is available,
+  possibly empty.  The strict part ``t1 ≺_A t2`` means "t2 carries a more
+  current A-value than t1".
+* A :class:`TemporalOrderDelta` is the additional currency information
+  ``O_t`` that users contribute during conflict resolution; a specification is
+  extended with it through ``S_e ⊕ O_t``.
+
+NULL handling follows the paper: a tuple whose ``A`` value is missing is
+ranked lowest in the currency order for ``A``; :class:`TemporalInstance`
+materialises those pairs automatically unless told otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence
+
+from repro.core.errors import SchemaError
+from repro.core.partial_order import PartialOrder
+from repro.core.schema import RelationSchema
+from repro.core.tuples import EntityTuple
+from repro.core.values import Value, is_null, values_equal
+
+__all__ = ["EntityInstance", "TemporalInstance", "TemporalOrderDelta"]
+
+
+class EntityInstance:
+    """A set of tuples pertaining to one entity.
+
+    Tuples without an identifier receive consecutive identifiers
+    ``"t0", "t1", ...`` in input order; identifiers must be unique.
+    """
+
+    def __init__(self, schema: RelationSchema, tuples: Sequence[EntityTuple]) -> None:
+        self._schema = schema
+        assigned: List[EntityTuple] = []
+        seen_tids: set = set()
+        for position, item in enumerate(tuples):
+            if item.schema != schema:
+                raise SchemaError("all tuples of an entity instance must share the instance schema")
+            if item.tid is None:
+                item = item.with_tid(f"t{position}")
+            if item.tid in seen_tids:
+                raise SchemaError(f"duplicate tuple identifier {item.tid!r} in entity instance")
+            seen_tids.add(item.tid)
+            assigned.append(item)
+        self._tuples: Dict[str | int, EntityTuple] = {t.tid: t for t in assigned}
+        self._order: List[str | int] = [t.tid for t in assigned]
+
+    # -- basic access ----------------------------------------------------
+
+    @property
+    def schema(self) -> RelationSchema:
+        """Schema shared by all tuples of the instance."""
+        return self._schema
+
+    @property
+    def tuples(self) -> tuple[EntityTuple, ...]:
+        """The tuples of the instance, in insertion order."""
+        return tuple(self._tuples[tid] for tid in self._order)
+
+    @property
+    def tids(self) -> tuple[str | int, ...]:
+        """Tuple identifiers, in insertion order."""
+        return tuple(self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self) -> Iterator[EntityTuple]:
+        return iter(self.tuples)
+
+    def __getitem__(self, tid: str | int) -> EntityTuple:
+        try:
+            return self._tuples[tid]
+        except KeyError:
+            raise SchemaError(f"no tuple with identifier {tid!r} in this entity instance") from None
+
+    def __contains__(self, tid: object) -> bool:
+        return tid in self._tuples
+
+    # -- derived information ---------------------------------------------
+
+    def active_domain(self, attribute: str) -> tuple[Value, ...]:
+        """Return ``adom(I_e.A)``: the distinct values of *attribute* in the instance.
+
+        NULL is included when some tuple misses the attribute, because it
+        participates in currency orders (it ranks lowest).  The result is
+        deterministic (insertion order of first occurrence).
+        """
+        self._schema.require([attribute])
+        seen: list[Value] = []
+        for item in self.tuples:
+            value = item[attribute]
+            if not any(values_equal(value, existing) for existing in seen):
+                seen.append(value)
+        return tuple(seen)
+
+    def conflicting_attributes(self) -> tuple[str, ...]:
+        """Attributes for which the instance holds more than one distinct value."""
+        return tuple(
+            attribute
+            for attribute in self._schema.attribute_names
+            if len(self.active_domain(attribute)) > 1
+        )
+
+    def with_tuples(self, extra: Sequence[EntityTuple]) -> "EntityInstance":
+        """Return a new instance containing this instance's tuples plus *extra*."""
+        return EntityInstance(self._schema, list(self.tuples) + list(extra))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"EntityInstance(schema={self._schema.name!r}, tuples={len(self)})"
+
+
+class TemporalInstance:
+    """An entity instance equipped with per-attribute partial currency orders.
+
+    Parameters
+    ----------
+    instance:
+        The underlying entity instance.
+    orders:
+        Mapping from attribute name to a :class:`PartialOrder` over tuple
+        identifiers; attributes without an entry get an empty order.
+    rank_nulls_lowest:
+        When ``True`` (default, following the paper) every tuple with a NULL
+        value in attribute ``A`` is ordered below every tuple with a non-NULL
+        ``A`` value.
+    """
+
+    def __init__(
+        self,
+        instance: EntityInstance,
+        orders: Mapping[str, PartialOrder] | None = None,
+        *,
+        rank_nulls_lowest: bool = True,
+    ) -> None:
+        self._instance = instance
+        schema = instance.schema
+        provided = dict(orders or {})
+        schema.require(provided.keys())
+        self._orders: Dict[str, PartialOrder] = {}
+        for attribute in schema.attribute_names:
+            order = provided.get(attribute, PartialOrder()).copy()
+            for tid in instance.tids:
+                order.add_element(tid)
+            self._orders[attribute] = order
+        for smaller_tid, larger_tid, attribute in self._null_pairs() if rank_nulls_lowest else ():
+            self._orders[attribute].try_add(smaller_tid, larger_tid)
+
+    def _null_pairs(self) -> Iterator[tuple[str | int, str | int, str]]:
+        """Yield (null-tuple, non-null-tuple, attribute) pairs implied by NULL-lowest."""
+        for attribute in self._instance.schema.attribute_names:
+            null_tids = [t.tid for t in self._instance if is_null(t[attribute])]
+            if not null_tids:
+                continue
+            nonnull_tids = [t.tid for t in self._instance if not is_null(t[attribute])]
+            for null_tid in null_tids:
+                for other_tid in nonnull_tids:
+                    yield (null_tid, other_tid, attribute)
+
+    # -- access ----------------------------------------------------------
+
+    @property
+    def instance(self) -> EntityInstance:
+        """The underlying entity instance ``I_e``."""
+        return self._instance
+
+    @property
+    def schema(self) -> RelationSchema:
+        """Schema of the underlying instance."""
+        return self._instance.schema
+
+    @property
+    def orders(self) -> Dict[str, PartialOrder]:
+        """Per-attribute currency orders over tuple identifiers (strict parts)."""
+        return dict(self._orders)
+
+    def order_for(self, attribute: str) -> PartialOrder:
+        """Return the currency order for *attribute*."""
+        self.schema.require([attribute])
+        return self._orders[attribute]
+
+    def more_current(self, older_tid: str | int, newer_tid: str | int, attribute: str) -> bool:
+        """Return ``True`` when ``older ≺_A newer`` is known (strict order)."""
+        return self.order_for(attribute).precedes(older_tid, newer_tid)
+
+    def size(self) -> int:
+        """Total number of recorded order edges over all attributes."""
+        return sum(len(order) for order in self._orders.values())
+
+    # -- extension (S_e ⊕ O_t) -------------------------------------------
+
+    def extend(self, delta: "TemporalOrderDelta") -> "TemporalInstance":
+        """Return a new temporal instance enriched with *delta* (the ``⊕`` operator)."""
+        new_instance = self._instance.with_tuples(delta.new_tuples) if delta.new_tuples else self._instance
+        merged: Dict[str, PartialOrder] = {}
+        for attribute in self.schema.attribute_names:
+            order = self._orders[attribute].copy()
+            extra = delta.orders.get(attribute)
+            if extra is not None:
+                order.update(extra)
+            merged[attribute] = order
+        return TemporalInstance(new_instance, merged, rank_nulls_lowest=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"TemporalInstance(tuples={len(self._instance)}, edges={self.size()})"
+
+
+class TemporalOrderDelta:
+    """Additional currency information ``O_t`` (user input or deduction output).
+
+    It may introduce new tuples (e.g. the synthetic tuple ``t_o`` built from a
+    user's answers, see paper Section III, Remark (1)) and adds order edges on
+    top of an existing temporal instance.
+    """
+
+    def __init__(
+        self,
+        orders: Mapping[str, PartialOrder] | None = None,
+        new_tuples: Iterable[EntityTuple] | None = None,
+    ) -> None:
+        self.orders: Dict[str, PartialOrder] = {name: order.copy() for name, order in (orders or {}).items()}
+        self.new_tuples: List[EntityTuple] = list(new_tuples or [])
+
+    def add(self, attribute: str, smaller_tid: str | int, larger_tid: str | int) -> None:
+        """Record ``smaller ≺_A larger`` in the delta."""
+        self.orders.setdefault(attribute, PartialOrder()).add(smaller_tid, larger_tid)
+
+    def size(self) -> int:
+        """``|O_t|``: the total number of order edges contributed."""
+        return sum(len(order) for order in self.orders.values())
+
+    def is_empty(self) -> bool:
+        """Return ``True`` when the delta adds neither tuples nor edges."""
+        return not self.new_tuples and self.size() == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"TemporalOrderDelta(edges={self.size()}, new_tuples={len(self.new_tuples)})"

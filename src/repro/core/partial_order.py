@@ -1,0 +1,213 @@
+"""Strict partial orders over arbitrary hashable elements.
+
+Currency information is represented throughout the library as strict partial
+orders: tuple-level orders ``t1 ≺_A t2`` inside temporal instances, and
+value-level orders ``a1 ≺^v_A a2`` deduced by the algorithms.  This module
+provides the shared data structure: a DAG with incremental cycle detection,
+reachability queries (i.e. membership in the transitive closure), union and
+restriction operations, and extension to a total order (topological sort).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Set, Tuple
+
+from repro.core.errors import CyclicOrderError
+
+__all__ = ["PartialOrder"]
+
+
+class PartialOrder:
+    """A strict partial order ``≺`` maintained as a DAG of direct edges.
+
+    The order relation itself is the transitive closure of the stored edges.
+    ``precedes(a, b)`` answers "is ``a ≺ b``?" by reachability.  Adding an
+    edge that would create a cycle (including a self-loop) raises
+    :class:`~repro.core.errors.CyclicOrderError`, because a strict order is
+    irreflexive and acyclic by definition.
+    """
+
+    __slots__ = ("_successors", "_predecessors")
+
+    def __init__(self, pairs: Iterable[Tuple[Hashable, Hashable]] | None = None) -> None:
+        self._successors: Dict[Hashable, Set[Hashable]] = {}
+        self._predecessors: Dict[Hashable, Set[Hashable]] = {}
+        if pairs is not None:
+            for smaller, larger in pairs:
+                self.add(smaller, larger)
+
+    # -- construction ----------------------------------------------------
+
+    def add_element(self, element: Hashable) -> None:
+        """Register *element* without relating it to anything."""
+        self._successors.setdefault(element, set())
+        self._predecessors.setdefault(element, set())
+
+    def add(self, smaller: Hashable, larger: Hashable) -> bool:
+        """Record ``smaller ≺ larger``.
+
+        Returns ``True`` when the edge is new, ``False`` when it was already
+        implied directly (the exact edge existed).  Raises
+        :class:`CyclicOrderError` when the edge would create a cycle.
+        """
+        if smaller == larger:
+            raise CyclicOrderError(f"cannot add reflexive order {smaller!r} ≺ {larger!r}")
+        self.add_element(smaller)
+        self.add_element(larger)
+        if larger in self._successors[smaller]:
+            return False
+        if self.precedes(larger, smaller):
+            raise CyclicOrderError(f"adding {smaller!r} ≺ {larger!r} would create a cycle")
+        self._successors[smaller].add(larger)
+        self._predecessors[larger].add(smaller)
+        return True
+
+    def try_add(self, smaller: Hashable, larger: Hashable) -> bool:
+        """Like :meth:`add` but returns ``False`` instead of raising on a cycle."""
+        try:
+            return self.add(smaller, larger)
+        except CyclicOrderError:
+            return False
+
+    def update(self, other: "PartialOrder") -> None:
+        """Union *other* into this order (raises on cycles)."""
+        for smaller, larger in other.pairs():
+            self.add(smaller, larger)
+
+    def copy(self) -> "PartialOrder":
+        """Return an independent copy of this order."""
+        clone = PartialOrder()
+        for element in self._successors:
+            clone.add_element(element)
+        for smaller, larger in self.pairs():
+            clone.add(smaller, larger)
+        return clone
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def elements(self) -> FrozenSet[Hashable]:
+        """All registered elements."""
+        return frozenset(self._successors)
+
+    def pairs(self) -> Iterator[Tuple[Hashable, Hashable]]:
+        """Iterate over the stored direct edges ``(smaller, larger)``."""
+        for smaller, successors in self._successors.items():
+            for larger in successors:
+                yield (smaller, larger)
+
+    def __len__(self) -> int:
+        """Number of stored direct edges (|≺| as used for |O_t| in the paper)."""
+        return sum(len(successors) for successors in self._successors.values())
+
+    def __contains__(self, pair: object) -> bool:
+        if not isinstance(pair, tuple) or len(pair) != 2:
+            return False
+        return self.precedes(pair[0], pair[1])
+
+    def precedes(self, smaller: Hashable, larger: Hashable) -> bool:
+        """Return ``True`` when ``smaller ≺ larger`` holds in the transitive closure."""
+        if smaller == larger:
+            return False
+        if smaller not in self._successors or larger not in self._predecessors:
+            return False
+        # Breadth-first search from `smaller` following successor edges.
+        seen: Set[Hashable] = {smaller}
+        frontier: deque[Hashable] = deque([smaller])
+        while frontier:
+            node = frontier.popleft()
+            for successor in self._successors.get(node, ()):
+                if successor == larger:
+                    return True
+                if successor not in seen:
+                    seen.add(successor)
+                    frontier.append(successor)
+        return False
+
+    def comparable(self, a: Hashable, b: Hashable) -> bool:
+        """Return ``True`` when *a* and *b* are ordered one way or the other."""
+        return self.precedes(a, b) or self.precedes(b, a)
+
+    def maximal_elements(self, among: Iterable[Hashable] | None = None) -> Set[Hashable]:
+        """Return the elements with no successor (restricted to *among* if given)."""
+        candidates = set(among) if among is not None else set(self._successors)
+        maximal: Set[Hashable] = set()
+        for element in candidates:
+            successors = self._successors.get(element, set())
+            if not (successors & candidates if among is not None else successors):
+                maximal.add(element)
+        return maximal
+
+    def minimal_elements(self, among: Iterable[Hashable] | None = None) -> Set[Hashable]:
+        """Return the elements with no predecessor (restricted to *among* if given)."""
+        candidates = set(among) if among is not None else set(self._predecessors)
+        minimal: Set[Hashable] = set()
+        for element in candidates:
+            predecessors = self._predecessors.get(element, set())
+            if not (predecessors & candidates if among is not None else predecessors):
+                minimal.add(element)
+        return minimal
+
+    def transitive_closure_pairs(self) -> Set[Tuple[Hashable, Hashable]]:
+        """Return all pairs ``(a, b)`` with ``a ≺ b`` (the full order relation)."""
+        closure: Set[Tuple[Hashable, Hashable]] = set()
+        for start in self._successors:
+            seen: Set[Hashable] = set()
+            frontier: deque[Hashable] = deque(self._successors[start])
+            while frontier:
+                node = frontier.popleft()
+                if node in seen:
+                    continue
+                seen.add(node)
+                closure.add((start, node))
+                frontier.extend(self._successors.get(node, ()))
+        return closure
+
+    def is_subset_of(self, other: "PartialOrder") -> bool:
+        """Return ``True`` when every ordered pair of this order also holds in *other*."""
+        return all(other.precedes(smaller, larger) for smaller, larger in self.pairs())
+
+    # -- completion ------------------------------------------------------
+
+    def topological_order(self, elements: Iterable[Hashable] | None = None) -> list[Hashable]:
+        """Return a total order (least to greatest) consistent with this partial order.
+
+        *elements* may add isolated elements that must appear in the result.
+        Ties are broken deterministically by the string representation of the
+        elements so that completions are reproducible.
+        """
+        universe: Set[Hashable] = set(self._successors)
+        if elements is not None:
+            universe |= set(elements)
+        indegree: Dict[Hashable, int] = {element: 0 for element in universe}
+        for _, larger in self.pairs():
+            if larger in indegree:
+                indegree[larger] += 1
+        ready = sorted((element for element, degree in indegree.items() if degree == 0), key=repr)
+        result: list[Hashable] = []
+        ready_queue = deque(ready)
+        while ready_queue:
+            node = ready_queue.popleft()
+            result.append(node)
+            newly_ready = []
+            for successor in sorted(self._successors.get(node, ()), key=repr):
+                if successor not in indegree:
+                    continue
+                indegree[successor] -= 1
+                if indegree[successor] == 0:
+                    newly_ready.append(successor)
+            for successor in sorted(newly_ready, key=repr):
+                ready_queue.append(successor)
+        if len(result) != len(universe):
+            raise CyclicOrderError("partial order contains a cycle; no total extension exists")
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PartialOrder):
+            return NotImplemented
+        return self.transitive_closure_pairs() == other.transitive_closure_pairs()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        edges = ", ".join(f"{s!r}≺{l!r}" for s, l in sorted(self.pairs(), key=repr))
+        return f"PartialOrder({edges})"

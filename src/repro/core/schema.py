@@ -1,0 +1,125 @@
+"""Relation schemas.
+
+A :class:`RelationSchema` names the relation and fixes its attribute list;
+an :class:`Attribute` carries a name and a declared :class:`AttributeType`.
+Entity instances, constraints and CFDs are all validated against a schema so
+that typos in attribute names surface immediately instead of silently
+producing vacuous constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.core.errors import SchemaError
+from repro.core.values import AttributeType
+
+__all__ = ["Attribute", "RelationSchema"]
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named attribute with a declared type.
+
+    Parameters
+    ----------
+    name:
+        Attribute name; must be non-empty.
+    dtype:
+        Declared type used to validate tuple values; defaults to ``ANY``.
+    """
+
+    name: str
+    dtype: AttributeType = AttributeType.ANY
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError("attribute name must be a non-empty string")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """An ordered list of attributes describing one relation.
+
+    The schema exposes both positional access (``schema.attributes``) and
+    name-based lookup (``schema["city"]``).  Attribute order matters only for
+    presentation; all algorithms address attributes by name.
+    """
+
+    name: str
+    attributes: tuple[Attribute, ...]
+    _by_name: Mapping[str, Attribute] = field(init=False, repr=False, compare=False, hash=False)
+
+    def __init__(self, name: str, attributes: Sequence[Attribute | str]) -> None:
+        if not name:
+            raise SchemaError("relation name must be non-empty")
+        normalized: list[Attribute] = []
+        for attribute in attributes:
+            if isinstance(attribute, str):
+                attribute = Attribute(attribute)
+            elif not isinstance(attribute, Attribute):
+                raise SchemaError(f"expected Attribute or str, got {type(attribute).__name__}")
+            normalized.append(attribute)
+        if not normalized:
+            raise SchemaError("a relation schema needs at least one attribute")
+        names = [attribute.name for attribute in normalized]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute names in schema {name!r}: {names}")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "attributes", tuple(normalized))
+        object.__setattr__(self, "_by_name", {attribute.name: attribute for attribute in normalized})
+
+    # -- lookups ---------------------------------------------------------
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        """Attribute names, in schema order."""
+        return tuple(attribute.name for attribute in self.attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Attribute:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"unknown attribute {name!r} in schema {self.name!r}") from None
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self.attributes)
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def require(self, names: Iterable[str]) -> None:
+        """Raise :class:`SchemaError` unless every name in *names* is an attribute."""
+        for name in names:
+            if name not in self._by_name:
+                raise SchemaError(f"unknown attribute {name!r} in schema {self.name!r}")
+
+    def index_of(self, name: str) -> int:
+        """Return the position of attribute *name* in the schema."""
+        self.require([name])
+        return self.attribute_names.index(name)
+
+    def project(self, names: Sequence[str]) -> "RelationSchema":
+        """Return a new schema restricted to *names* (kept in schema order)."""
+        self.require(names)
+        keep = set(names)
+        return RelationSchema(self.name, [a for a in self.attributes if a.name in keep])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RelationSchema):
+            return NotImplemented
+        return self.name == other.name and self.attributes == other.attributes
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.attributes))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        attrs = ", ".join(self.attribute_names)
+        return f"RelationSchema({self.name!r}, [{attrs}])"

@@ -1,0 +1,128 @@
+"""Entity tuples.
+
+An :class:`EntityTuple` is one row describing an entity: an identifier plus a
+mapping from attribute names to values, validated against a
+:class:`~repro.core.schema.RelationSchema`.  Tuples are immutable; "repairs"
+in this library never mutate source tuples, they construct new resolved
+tuples instead.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from repro.core.errors import SchemaError, ValueTypeError
+from repro.core.schema import RelationSchema
+from repro.core.values import NULL, Value, is_null, normalize, values_equal
+
+__all__ = ["EntityTuple"]
+
+
+class EntityTuple:
+    """One immutable tuple of a relation.
+
+    Parameters
+    ----------
+    schema:
+        The relation schema the tuple conforms to.
+    values:
+        Mapping from attribute name to value.  Missing attributes are filled
+        with :data:`~repro.core.values.NULL`.
+    tid:
+        Tuple identifier, unique within an entity instance.  When omitted an
+        identifier must be assigned by the containing instance.
+    """
+
+    __slots__ = ("_schema", "_values", "_tid")
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        values: Mapping[str, Any],
+        tid: str | int | None = None,
+    ) -> None:
+        unknown = set(values) - set(schema.attribute_names)
+        if unknown:
+            raise SchemaError(f"values refer to attributes not in schema {schema.name!r}: {sorted(unknown)}")
+        normalized: dict[str, Value] = {}
+        for attribute in schema:
+            raw = values.get(attribute.name, NULL)
+            value = normalize(raw)
+            if not attribute.dtype.validates(value):
+                raise ValueTypeError(
+                    f"value {value!r} is not a valid {attribute.dtype.value} for attribute {attribute.name!r}"
+                )
+            normalized[attribute.name] = value
+        self._schema = schema
+        self._values = normalized
+        self._tid = tid
+
+    # -- identity --------------------------------------------------------
+
+    @property
+    def schema(self) -> RelationSchema:
+        """Schema this tuple conforms to."""
+        return self._schema
+
+    @property
+    def tid(self) -> str | int | None:
+        """Tuple identifier (assigned by the containing entity instance)."""
+        return self._tid
+
+    def with_tid(self, tid: str | int) -> "EntityTuple":
+        """Return a copy of this tuple carrying identifier *tid*."""
+        return EntityTuple(self._schema, self._values, tid=tid)
+
+    # -- value access ----------------------------------------------------
+
+    def __getitem__(self, attribute: str) -> Value:
+        try:
+            return self._values[attribute]
+        except KeyError:
+            raise SchemaError(f"unknown attribute {attribute!r} in schema {self._schema.name!r}") from None
+
+    def get(self, attribute: str, default: Value = NULL) -> Value:
+        """Return the value of *attribute*, or *default* when unknown."""
+        return self._values.get(attribute, default)
+
+    def is_null(self, attribute: str) -> bool:
+        """Return ``True`` when the value of *attribute* is missing."""
+        return is_null(self[attribute])
+
+    def as_dict(self) -> dict[str, Value]:
+        """Return the tuple's values as a fresh dictionary."""
+        return dict(self._values)
+
+    def project(self, attributes: Iterator[str] | list[str] | tuple[str, ...]) -> dict[str, Value]:
+        """Return the values of *attributes* as a dictionary."""
+        return {name: self[name] for name in attributes}
+
+    def with_values(self, updates: Mapping[str, Any]) -> "EntityTuple":
+        """Return a new tuple equal to this one except for *updates*."""
+        merged = dict(self._values)
+        merged.update(updates)
+        return EntityTuple(self._schema, merged, tid=self._tid)
+
+    # -- comparisons -----------------------------------------------------
+
+    def agrees_with(self, other: "EntityTuple", attributes: list[str] | tuple[str, ...] | None = None) -> bool:
+        """Return ``True`` when this tuple and *other* agree on *attributes*
+        (all schema attributes when *attributes* is ``None``)."""
+        names = attributes if attributes is not None else self._schema.attribute_names
+        return all(values_equal(self[name], other[name]) for name in names)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EntityTuple):
+            return NotImplemented
+        return (
+            self._schema == other._schema
+            and self._tid == other._tid
+            and all(values_equal(self._values[a], other._values[a]) for a in self._schema.attribute_names)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._schema.name, self._tid, tuple(sorted((k, repr(v)) for k, v in self._values.items()))))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        body = ", ".join(f"{name}={self._values[name]!r}" for name in self._schema.attribute_names)
+        return f"EntityTuple(tid={self._tid!r}, {body})"

@@ -1,0 +1,185 @@
+"""Value domain primitives: attribute types, NULL semantics and comparisons.
+
+The conflict-resolution model of the paper works over ordinary relational
+values (strings and numbers) plus a distinguished ``NULL`` marker.  Two pieces
+of semantics are fixed by the paper and implemented here:
+
+* a ``NULL`` value is ranked *lowest* in every currency order
+  (Section II-A: "an attribute with value missing is ranked the lowest"), and
+* in comparison predicates a ``NULL`` compares less-than every non-null value
+  (Example 2(b): "assuming null < k for any number k").
+
+All values handled by the library are normalised through :func:`normalize`,
+which maps ``None`` and the string ``"null"``/``"n/a"``-style markers are *not*
+collapsed: only ``None`` and :data:`NULL` denote a missing value, so that the
+literal string ``"n/a"`` (used in the paper's running example as a real value)
+is preserved.
+"""
+
+from __future__ import annotations
+
+import enum
+import numbers
+from typing import Any, Union
+
+from repro.core.errors import ValueTypeError
+
+__all__ = [
+    "NULL",
+    "Null",
+    "Value",
+    "AttributeType",
+    "normalize",
+    "is_null",
+    "values_equal",
+    "compare_values",
+    "apply_operator",
+    "COMPARISON_OPERATORS",
+]
+
+
+class Null:
+    """Singleton marker for a missing value.
+
+    ``Null()`` always returns the same instance (:data:`NULL`).  It is falsy,
+    equal only to itself (and to ``None`` for convenience), and hashable so it
+    can participate in active domains.
+    """
+
+    _instance: "Null | None" = None
+
+    def __new__(cls) -> "Null":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "NULL"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        return other is None or isinstance(other, Null)
+
+    def __hash__(self) -> int:
+        return hash("__repro_null__")
+
+
+#: The unique missing-value marker used throughout the library.
+NULL = Null()
+
+#: Union of all value types a tuple attribute may hold.
+Value = Union[str, int, float, bool, Null, None]
+
+
+class AttributeType(enum.Enum):
+    """Declared type of an attribute.
+
+    The type is used for validation when tuples are created and to decide
+    which comparison operators are meaningful in currency constraints.
+    """
+
+    STRING = "string"
+    INTEGER = "integer"
+    FLOAT = "float"
+    ANY = "any"
+
+    def validates(self, value: Value) -> bool:
+        """Return ``True`` when *value* is acceptable for this type."""
+        if is_null(value):
+            return True
+        if self is AttributeType.STRING:
+            return isinstance(value, str)
+        if self is AttributeType.INTEGER:
+            return isinstance(value, numbers.Integral) and not isinstance(value, bool)
+        if self is AttributeType.FLOAT:
+            return isinstance(value, numbers.Real) and not isinstance(value, bool)
+        return True
+
+
+def normalize(value: Any) -> Value:
+    """Normalise an arbitrary input into a library value.
+
+    ``None`` becomes :data:`NULL`; numbers and strings pass through; any other
+    object raises :class:`ValueTypeError`.
+    """
+    if value is None or isinstance(value, Null):
+        return NULL
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (str, int, float)):
+        return value
+    if isinstance(value, numbers.Integral):
+        return int(value)
+    if isinstance(value, numbers.Real):
+        return float(value)
+    raise ValueTypeError(f"unsupported value type: {type(value).__name__!s} ({value!r})")
+
+
+def is_null(value: Any) -> bool:
+    """Return ``True`` when *value* denotes a missing value."""
+    return value is None or isinstance(value, Null)
+
+
+def values_equal(left: Value, right: Value) -> bool:
+    """Equality with NULL semantics: two NULLs are equal, NULL never equals a value."""
+    left_null, right_null = is_null(left), is_null(right)
+    if left_null or right_null:
+        return left_null and right_null
+    return left == right
+
+
+def _comparison_key(value: Value) -> tuple[int, Any]:
+    """Total-order key used by :func:`compare_values`.
+
+    NULL sorts below everything; numbers sort among themselves; strings sort
+    among themselves; numbers sort below strings so that heterogeneous domains
+    still obtain a deterministic order.
+    """
+    if is_null(value):
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (1, value)
+    return (2, str(value))
+
+
+def compare_values(left: Value, right: Value) -> int:
+    """Three-way comparison of two values (−1, 0 or +1).
+
+    The order is total: ``NULL`` < numbers < strings, numbers by magnitude and
+    strings lexicographically.  This is the comparison used to evaluate
+    ``<, <=, >, >=`` predicates inside currency constraints.
+    """
+    if values_equal(left, right):
+        return 0
+    left_key, right_key = _comparison_key(left), _comparison_key(right)
+    if left_key < right_key:
+        return -1
+    if left_key > right_key:
+        return 1
+    return 0
+
+
+#: Comparison operators allowed in currency-constraint predicates (paper §II-A).
+COMPARISON_OPERATORS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+def apply_operator(left: Value, op: str, right: Value) -> bool:
+    """Evaluate ``left op right`` with the library's NULL-lowest semantics."""
+    if op not in COMPARISON_OPERATORS:
+        raise ValueTypeError(f"unknown comparison operator: {op!r}")
+    if op == "=":
+        return values_equal(left, right)
+    if op == "!=":
+        return not values_equal(left, right)
+    cmp = compare_values(left, right)
+    if op == "<":
+        return cmp < 0
+    if op == "<=":
+        return cmp <= 0
+    if op == ">":
+        return cmp > 0
+    return cmp >= 0

@@ -1,0 +1,30 @@
+"""Dataset generators with ground truth (paper Section VI).
+
+Three generators rebuild the experimental datasets — NBA, CAREER and Person —
+as synthetic workloads with known true values, plus shared corruption
+utilities and the :class:`GeneratedDataset` container used by the evaluation
+harness.
+"""
+
+from repro.datasets.base import GeneratedDataset, GeneratedEntity, sample_constraints
+from repro.datasets.career import CareerConfig, career_schema, generate_career_dataset
+from repro.datasets.corruption import CorruptionConfig, corrupt_history
+from repro.datasets.nba import NBAConfig, generate_nba_dataset, nba_schema
+from repro.datasets.person import PersonConfig, generate_person_dataset, person_schema
+
+__all__ = [
+    "CareerConfig",
+    "CorruptionConfig",
+    "GeneratedDataset",
+    "GeneratedEntity",
+    "NBAConfig",
+    "PersonConfig",
+    "career_schema",
+    "corrupt_history",
+    "generate_career_dataset",
+    "generate_nba_dataset",
+    "generate_person_dataset",
+    "nba_schema",
+    "person_schema",
+    "sample_constraints",
+]

@@ -1,0 +1,178 @@
+"""Common structures for the dataset generators.
+
+Every generator produces a :class:`GeneratedDataset`: a schema, a list of
+:class:`GeneratedEntity` objects (each with its observed tuples, its full
+version history and its ground-truth latest values), and the global constraint
+sets Σ and Γ.  The dataset can then hand out :class:`Specification` objects
+per entity, optionally with only a fraction of the constraints — this is what
+the accuracy experiments (Fig. 8(f)–(p)) vary.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.cfd import ConstantCFD
+from repro.core.constraints import CurrencyConstraint
+from repro.core.errors import DatasetError
+from repro.core.instance import EntityInstance, TemporalInstance
+from repro.core.schema import RelationSchema
+from repro.core.specification import Specification
+from repro.core.tuples import EntityTuple
+from repro.core.values import Value, is_null, values_equal
+
+__all__ = ["GeneratedEntity", "GeneratedDataset", "sample_constraints"]
+
+
+@dataclass
+class GeneratedEntity:
+    """One synthetic entity: its observed tuples and its ground truth.
+
+    Attributes
+    ----------
+    name:
+        Entity identifier (e.g. a player id).
+    rows:
+        The observed tuples of the entity instance (dictionaries).
+    true_values:
+        Ground-truth latest value per attribute.
+    history:
+        The full version history (oldest → newest) the rows were drawn from;
+        kept for the constraint-discovery substrate and for diagnostics.
+    """
+
+    name: str
+    rows: List[Dict[str, Value]]
+    true_values: Dict[str, Value]
+    history: List[Dict[str, Value]] = field(default_factory=list)
+
+    def size(self) -> int:
+        """Number of observed tuples."""
+        return len(self.rows)
+
+    def conflicting_attributes(self, schema: RelationSchema) -> Tuple[str, ...]:
+        """Attributes with conflicts or stale values (the recall denominator).
+
+        An attribute counts when the observed tuples disagree on it, or when
+        they agree on a single value that differs from the ground truth
+        (a stale value), following the recall definition of Section VI.
+        """
+        conflicted: List[str] = []
+        for attribute in schema.attribute_names:
+            observed = []
+            for row in self.rows:
+                value = row.get(attribute)
+                if not any(values_equal(value, existing) for existing in observed):
+                    observed.append(value)
+            non_null = [value for value in observed if not is_null(value)]
+            if len(non_null) > 1:
+                conflicted.append(attribute)
+                continue
+            truth = self.true_values.get(attribute)
+            if non_null and not values_equal(non_null[0], truth):
+                conflicted.append(attribute)
+            elif not non_null and not is_null(truth):
+                conflicted.append(attribute)
+        return tuple(conflicted)
+
+
+def sample_constraints(
+    constraints: Sequence,
+    fraction: float,
+    rng: Optional[random.Random] = None,
+) -> List:
+    """Return a deterministic sample of ⌈fraction·n⌉ constraints.
+
+    ``fraction`` outside [0, 1] raises :class:`DatasetError`.  The sample is a
+    prefix of a seeded shuffle so that growing the fraction only ever adds
+    constraints (matching how the paper varies |Σ| and |Γ|).
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise DatasetError(f"constraint fraction must be in [0, 1], got {fraction}")
+    if fraction == 1.0:
+        return list(constraints)
+    if fraction == 0.0:
+        return []
+    rng = rng or random.Random(7)
+    order = list(range(len(constraints)))
+    rng.shuffle(order)
+    keep = max(1, round(fraction * len(constraints)))
+    chosen = sorted(order[:keep])
+    return [constraints[index] for index in chosen]
+
+
+@dataclass
+class GeneratedDataset:
+    """A generated dataset: entities plus the global constraint sets."""
+
+    name: str
+    schema: RelationSchema
+    entities: List[GeneratedEntity]
+    currency_constraints: List[CurrencyConstraint]
+    cfds: List[ConstantCFD]
+
+    # -- specifications -----------------------------------------------------
+
+    def specification_for(
+        self,
+        entity: GeneratedEntity,
+        sigma_fraction: float = 1.0,
+        gamma_fraction: float = 1.0,
+        seed: int = 7,
+    ) -> Specification:
+        """Build the specification of *entity* with a fraction of Σ and Γ."""
+        rng = random.Random(seed)
+        sigma = sample_constraints(self.currency_constraints, sigma_fraction, rng)
+        gamma = sample_constraints(self.cfds, gamma_fraction, rng)
+        tuples = [EntityTuple(self.schema, row) for row in entity.rows]
+        instance = EntityInstance(self.schema, tuples)
+        return Specification(
+            TemporalInstance(instance), sigma, gamma, name=f"{self.name}:{entity.name}"
+        )
+
+    def specifications(
+        self,
+        sigma_fraction: float = 1.0,
+        gamma_fraction: float = 1.0,
+        limit: Optional[int] = None,
+        seed: int = 7,
+    ) -> Iterator[Tuple[GeneratedEntity, Specification]]:
+        """Iterate over (entity, specification) pairs."""
+        for index, entity in enumerate(self.entities):
+            if limit is not None and index >= limit:
+                return
+            yield entity, self.specification_for(entity, sigma_fraction, gamma_fraction, seed)
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def entities_by_size(self, buckets: Sequence[Tuple[int, int]]) -> Dict[Tuple[int, int], List[GeneratedEntity]]:
+        """Group entities into tuple-count buckets (used by the scalability figures)."""
+        grouped: Dict[Tuple[int, int], List[GeneratedEntity]] = {bucket: [] for bucket in buckets}
+        for entity in self.entities:
+            for low, high in buckets:
+                if low <= entity.size() <= high:
+                    grouped[(low, high)].append(entity)
+                    break
+        return grouped
+
+    def all_rows(self) -> List[Dict[str, Value]]:
+        """All observed rows of all entities (used by CFD discovery)."""
+        rows: List[Dict[str, Value]] = []
+        for entity in self.entities:
+            rows.extend(entity.rows)
+        return rows
+
+    def histories(self) -> List[List[Dict[str, Value]]]:
+        """All entity histories (used by currency-constraint discovery)."""
+        return [entity.history for entity in self.entities if entity.history]
+
+    def summary(self) -> str:
+        """One-line dataset summary for reports."""
+        sizes = [entity.size() for entity in self.entities]
+        return (
+            f"{self.name}: {len(self.entities)} entities, "
+            f"{sum(sizes)} tuples (per entity {min(sizes)}–{max(sizes)}), "
+            f"|Σ|={len(self.currency_constraints)}, |Γ|={len(self.cfds)}"
+        )

@@ -1,0 +1,206 @@
+"""Synthetic CAREER data (paper Section VI, "CAREER").
+
+The original CAREER dataset (CiteSeer-derived affiliation histories) is not
+retrievable offline; this generator reproduces its structure:
+
+* schema ``(first_name, last_name, affiliation, city, country)``;
+* one entity per author, one observed tuple per publication, carrying the
+  affiliation/city/country the author used at publication time (no
+  timestamps are kept in the observed rows);
+* currency constraints derived from the citation graph between an author's
+  own papers — "if paper A cites paper B then the affiliation and address
+  used in A are more current than those used in B" — expressed as
+  value-transition constraints between the concrete affiliation/city/country
+  values involved;
+* one CFD template ``affiliation → city`` / ``affiliation → country`` with one
+  constant pattern per affiliation (the paper reports 347 such patterns).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.cfd import ConstantCFD
+from repro.core.constraints import CurrencyConstraint
+from repro.core.errors import DatasetError
+from repro.core.schema import RelationSchema
+from repro.core.values import Value
+from repro.datasets.base import GeneratedDataset, GeneratedEntity
+from repro.datasets.corruption import CorruptionConfig, corrupt_history
+
+__all__ = ["CareerConfig", "career_schema", "generate_career_dataset"]
+
+
+def career_schema() -> RelationSchema:
+    """The five-attribute CAREER schema."""
+    return RelationSchema(
+        "career",
+        ["first_name", "last_name", "affiliation", "city", "country"],
+    )
+
+
+@dataclass
+class CareerConfig:
+    """Parameters of the CAREER generator."""
+
+    num_authors: int = 30
+    num_affiliations: int = 60
+    max_affiliations_per_author: int = 4
+    publications_range: Tuple[int, int] = (4, 20)
+    citation_probability: float = 0.3
+    seed: int = 23
+    corruption: CorruptionConfig = field(
+        default_factory=lambda: CorruptionConfig(
+            drop_latest_tuple=False,
+            null_probability=0.03,
+            protected_attributes=("first_name", "last_name"),
+        )
+    )
+
+    def validate(self) -> None:
+        """Raise :class:`DatasetError` on inconsistent parameters."""
+        if self.num_authors <= 0 or self.num_affiliations < 2:
+            raise DatasetError("need at least one author and two affiliations")
+        low, high = self.publications_range
+        if low < 2 or high < low:
+            raise DatasetError("publications_range must be (low, high) with 2 <= low <= high")
+        if self.max_affiliations_per_author < 1:
+            raise DatasetError("authors need at least one affiliation")
+
+
+def _affiliation_pool(config: CareerConfig) -> List[Dict[str, Value]]:
+    """Affiliations ordered along a global "career ladder".
+
+    Authors only ever move towards higher-indexed affiliations and countries
+    are assigned in contiguous blocks along that ladder.  This keeps the
+    citation-derived value-transition constraints globally acyclic: two
+    authors never imply opposite currency orders for the same pair of
+    affiliation / city / country values, so every generated specification is
+    valid (the paper's requirement that histories "do not violate the
+    currency constraints").
+    """
+    countries = ["UK", "USA", "Belgium", "Qatar", "China", "Germany", "France", "Japan"]
+    pool: List[Dict[str, Value]] = []
+    for index in range(config.num_affiliations):
+        country_index = index * len(countries) // config.num_affiliations
+        pool.append(
+            {
+                "affiliation": f"University {index:03d}",
+                "city": f"UniCity {index:03d}",
+                "country": countries[country_index],
+            }
+        )
+    return pool
+
+
+def _career_cfds(pool: Sequence[Dict[str, Value]]) -> List[ConstantCFD]:
+    cfds: List[ConstantCFD] = []
+    for entry in pool:
+        cfds.append(
+            ConstantCFD(
+                {"affiliation": entry["affiliation"]},
+                "city",
+                entry["city"],
+                name=f"{entry['affiliation']}->city",
+            )
+        )
+        cfds.append(
+            ConstantCFD(
+                {"affiliation": entry["affiliation"]},
+                "country",
+                entry["country"],
+                name=f"{entry['affiliation']}->country",
+            )
+        )
+    return cfds
+
+
+def generate_career_dataset(config: CareerConfig | None = None) -> GeneratedDataset:
+    """Generate the synthetic CAREER dataset."""
+    config = config or CareerConfig()
+    config.validate()
+    rng = random.Random(config.seed)
+    pool = _affiliation_pool(config)
+    cfds = _career_cfds(pool)
+
+    constraints: Dict[Tuple[str, str, str], CurrencyConstraint] = {}
+
+    def add_transition(attribute: str, older: Value, newer: Value) -> None:
+        if older == newer:
+            return
+        key = (attribute, str(older), str(newer))
+        if key in constraints:
+            return
+        constraints[key] = CurrencyConstraint.value_transition(
+            attribute, older, newer, name=f"cite:{attribute}:{older}->{newer}"
+        )
+
+    entities: List[GeneratedEntity] = []
+    for author_index in range(config.num_authors):
+        first_name = f"Author{author_index:03d}"
+        last_name = f"Surname{author_index:03d}"
+        # The author's affiliation history: a sequence of distinct affiliations.
+        stops = rng.randrange(1, config.max_affiliations_per_author + 1)
+        career_path = sorted(
+            rng.sample(pool, min(stops, len(pool))),
+            key=lambda entry: entry["affiliation"],
+        )
+        low, high = config.publications_range
+        num_publications = rng.randrange(low, high + 1)
+
+        history: List[Dict[str, Value]] = []
+        publication_stop: List[int] = []
+        for publication_index in range(num_publications):
+            stop_index = min(
+                len(career_path) - 1,
+                publication_index * len(career_path) // max(1, num_publications),
+            )
+            publication_stop.append(stop_index)
+            affiliation = career_path[stop_index]
+            history.append(
+                {
+                    "first_name": first_name,
+                    "last_name": last_name,
+                    "affiliation": affiliation["affiliation"],
+                    "city": affiliation["city"],
+                    "country": affiliation["country"],
+                }
+            )
+
+        # Citations: a later paper cites an earlier one with some probability;
+        # every citation across an affiliation change yields currency
+        # constraints on the concrete values involved.
+        for citing in range(num_publications):
+            for cited in range(citing):
+                if rng.random() > config.citation_probability:
+                    continue
+                older_stop = publication_stop[cited]
+                newer_stop = publication_stop[citing]
+                if older_stop == newer_stop:
+                    continue
+                older_affiliation = career_path[older_stop]
+                newer_affiliation = career_path[newer_stop]
+                add_transition("affiliation", older_affiliation["affiliation"], newer_affiliation["affiliation"])
+                add_transition("city", older_affiliation["city"], newer_affiliation["city"])
+                add_transition("country", older_affiliation["country"], newer_affiliation["country"])
+
+        true_values = dict(history[-1])
+        rows = corrupt_history(history, rng, config.corruption)
+        entities.append(
+            GeneratedEntity(
+                name=f"{first_name} {last_name}",
+                rows=rows,
+                true_values=true_values,
+                history=history,
+            )
+        )
+
+    return GeneratedDataset(
+        name="CAREER",
+        schema=career_schema(),
+        entities=entities,
+        currency_constraints=list(constraints.values()),
+        cfds=cfds,
+    )

@@ -1,0 +1,108 @@
+"""Corruption utilities for the dataset generators.
+
+The generators first build a clean version history per entity; these helpers
+then turn the history into a realistically messy entity instance: duplicated
+observations, missing values, shuffled order (timestamps are *not* retained —
+the whole point of the paper), and optionally the removal of the complete
+latest tuple so that some true values only survive attribute-wise (this is
+exactly what the Person generator of Section VI does: "we treated E \\ {t_c}
+as the entity instance").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.values import Value
+
+__all__ = ["CorruptionConfig", "corrupt_history"]
+
+
+@dataclass
+class CorruptionConfig:
+    """Knobs controlling how a clean history becomes an observed entity instance.
+
+    Attributes
+    ----------
+    drop_latest_tuple:
+        Remove the complete most-recent version from the observed rows
+        (its values may still appear in older versions attribute-wise).
+    null_probability:
+        Probability of blanking any individual non-key attribute value,
+        applied per observed row (copies of the same version may differ).
+    version_null_probability:
+        Probability of blanking an attribute in the *version itself* before it
+        is duplicated — every observed copy of that version then misses the
+        value, which is what actually removes ordering evidence (a value
+        blanked in only one copy usually survives in another copy).
+    duplicate_factor:
+        Average number of observed rows generated per history version
+        (sources re-reporting the same version).
+    min_rows:
+        Lower bound on the number of observed rows (never below the number of
+        surviving history versions).
+    shuffle:
+        Shuffle the observed rows so that their order carries no temporal hint.
+    protected_attributes:
+        Attributes never blanked (identifiers such as names).
+    """
+
+    drop_latest_tuple: bool = True
+    null_probability: float = 0.05
+    version_null_probability: float = 0.0
+    duplicate_factor: float = 1.0
+    min_rows: int = 2
+    shuffle: bool = True
+    protected_attributes: Sequence[str] = ()
+
+
+def corrupt_history(
+    history: Sequence[Dict[str, Value]],
+    rng: random.Random,
+    config: CorruptionConfig | None = None,
+) -> List[Dict[str, Value]]:
+    """Turn a clean version *history* (oldest → newest) into observed rows."""
+    config = config or CorruptionConfig()
+    if not history:
+        return []
+    versions = list(history)
+    if config.drop_latest_tuple and len(versions) > 1:
+        versions = versions[:-1]
+
+    rows: List[Dict[str, Value]] = []
+    protected = set(config.protected_attributes)
+    if config.version_null_probability > 0:
+        blanked_versions: List[Dict[str, Value]] = []
+        for version in versions:
+            version = dict(version)
+            for attribute in list(version):
+                if attribute in protected:
+                    continue
+                if rng.random() < config.version_null_probability:
+                    version[attribute] = None
+            blanked_versions.append(version)
+        versions = blanked_versions
+    for version in versions:
+        copies = 1
+        extra = config.duplicate_factor - 1.0
+        while extra > 0:
+            if extra >= 1.0 or rng.random() < extra:
+                copies += 1
+            extra -= 1.0
+        for _ in range(copies):
+            row = dict(version)
+            for attribute in list(row):
+                if attribute in protected:
+                    continue
+                if rng.random() < config.null_probability:
+                    row[attribute] = None
+            rows.append(row)
+
+    while len(rows) < max(config.min_rows, 1):
+        rows.append(dict(versions[rng.randrange(len(versions))]))
+
+    if config.shuffle:
+        rng.shuffle(rows)
+    return rows

@@ -1,0 +1,306 @@
+"""Synthetic NBA player data (paper Section VI, "NBA player statistics").
+
+The original NBA table was assembled from three web sources (player profiles,
+per-season statistics since 2005/2006, and the team/arena history page) which
+are no longer retrievable offline; this generator rebuilds a dataset with the
+same schema and the same structural properties the experiments rely on:
+
+* schema ``(pid, name, true_name, team, league, tname, points, poss,
+  allpoints, min, arena, opened, capacity, city)``;
+* per-entity instances of 2–~136 tuples obtained by joining a player's
+  per-season statistics with the (historical) team names and arenas of the
+  team he played for, replicated across "sources" with occasional missing
+  values;
+* currency constraints of the four published forms — team-name transitions
+  (ϕ1), arena transitions (ϕ2), "larger cumulative points ⇒ more recent"
+  (ϕ3, for points/poss/min/tname) and "newer arena ⇒ newer opened/capacity/
+  city" (ϕ4);
+* constant CFDs ``arena → city`` and ``arena → capacity`` (≈ the 58 CFDs of
+  the paper, e.g. ψ1: arena = "United Center" → city = "Chicago, Illinois").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.cfd import ConstantCFD
+from repro.core.constraints import (
+    CurrencyConstraint,
+    OrderPredicate,
+    TupleComparisonPredicate,
+)
+from repro.core.errors import DatasetError
+from repro.core.schema import RelationSchema
+from repro.core.values import Value
+from repro.datasets.base import GeneratedDataset, GeneratedEntity
+from repro.datasets.corruption import CorruptionConfig, corrupt_history
+
+__all__ = ["NBAConfig", "nba_schema", "generate_nba_dataset"]
+
+
+def nba_schema() -> RelationSchema:
+    """The 14-attribute NBA schema used in the paper."""
+    return RelationSchema(
+        "nba",
+        [
+            "pid",
+            "name",
+            "true_name",
+            "team",
+            "league",
+            "tname",
+            "points",
+            "poss",
+            "allpoints",
+            "min",
+            "arena",
+            "opened",
+            "capacity",
+            "city",
+        ],
+    )
+
+
+@dataclass
+class NBAConfig:
+    """Parameters of the NBA generator."""
+
+    num_players: int = 40
+    num_teams: int = 12
+    seasons: int = 6
+    max_team_renames: int = 2
+    max_arena_moves: int = 2
+    sources_per_season: Tuple[int, int] = (1, 3)
+    seed: int = 17
+    corruption: CorruptionConfig = field(
+        default_factory=lambda: CorruptionConfig(
+            drop_latest_tuple=False,
+            null_probability=0.05,
+            version_null_probability=0.18,
+            protected_attributes=("pid", "name", "true_name"),
+        )
+    )
+
+    def validate(self) -> None:
+        """Raise :class:`DatasetError` on inconsistent parameters."""
+        if self.num_players <= 0 or self.num_teams <= 0:
+            raise DatasetError("num_players and num_teams must be positive")
+        if self.seasons < 1:
+            raise DatasetError("at least one season is required")
+        low, high = self.sources_per_season
+        if low < 1 or high < low:
+            raise DatasetError("sources_per_season must be a (low, high) pair with 1 <= low <= high")
+
+
+@dataclass
+class _Arena:
+    name: str
+    opened: int
+    capacity: int
+    city: str
+
+
+@dataclass
+class _Team:
+    team_id: str
+    league: str
+    names: List[str]          # historical team names, oldest → newest
+    arenas: List[_Arena]      # historical arenas, oldest → newest
+
+    def name_at(self, season_index: int, total_seasons: int) -> str:
+        position = min(len(self.names) - 1, season_index * len(self.names) // max(1, total_seasons))
+        return self.names[position]
+
+    def arena_at(self, season_index: int, total_seasons: int) -> _Arena:
+        position = min(len(self.arenas) - 1, season_index * len(self.arenas) // max(1, total_seasons))
+        return self.arenas[position]
+
+
+def _build_teams(config: NBAConfig, rng: random.Random) -> List[_Team]:
+    teams: List[_Team] = []
+    for team_index in range(config.num_teams):
+        renames = rng.randrange(0, config.max_team_renames + 1)
+        names = [f"Team {team_index:02d} v{version}" for version in range(renames + 1)]
+        moves = rng.randrange(0, config.max_arena_moves + 1)
+        arenas = []
+        city = f"City {team_index:02d}-a"
+        for move in range(moves + 1):
+            if move > 0 and rng.random() < 0.5:
+                # Some franchises relocate: the new arena sits in a new city.
+                city = f"City {team_index:02d}-{'abcdef'[move]}"
+            arenas.append(
+                _Arena(
+                    name=f"Arena {team_index:02d}-{move}",
+                    opened=1960 + 10 * move + rng.randrange(0, 8),
+                    capacity=15000 + 500 * move + 100 * rng.randrange(0, 10),
+                    city=city,
+                )
+            )
+        teams.append(
+            _Team(
+                team_id=f"team_{team_index:02d}",
+                league="NBA",
+                names=names,
+                arenas=arenas,
+            )
+        )
+    return teams
+
+
+def _nba_constraints(teams: Sequence[_Team]) -> List[CurrencyConstraint]:
+    constraints: List[CurrencyConstraint] = []
+    # ϕ1-style: team-name transitions.
+    for team in teams:
+        for older_index in range(len(team.names)):
+            for newer_index in range(older_index + 1, len(team.names)):
+                constraints.append(
+                    CurrencyConstraint.value_transition(
+                        "tname",
+                        team.names[older_index],
+                        team.names[newer_index],
+                        name=f"tname:{team.names[older_index]}->{team.names[newer_index]}",
+                    )
+                )
+    # ϕ2-style: arena transitions.
+    for team in teams:
+        for older_index in range(len(team.arenas)):
+            for newer_index in range(older_index + 1, len(team.arenas)):
+                constraints.append(
+                    CurrencyConstraint.value_transition(
+                        "arena",
+                        team.arenas[older_index].name,
+                        team.arenas[newer_index].name,
+                        name=f"arena:{team.arenas[older_index].name}->{team.arenas[newer_index].name}",
+                    )
+                )
+    # The cumulative points column grows season over season.
+    constraints.append(CurrencyConstraint.monotone("allpoints", name="allpoints-monotone"))
+    # ϕ3-style: larger cumulative points ⇒ the other per-season statistics are newer.
+    for target in ("points", "poss", "min", "tname"):
+        constraints.append(
+            CurrencyConstraint(
+                (
+                    TupleComparisonPredicate("allpoints", "<"),
+                    TupleComparisonPredicate(target, "!="),
+                ),
+                target,
+                name=f"allpoints=>{target}",
+            )
+        )
+    # ϕ4-style: a newer arena implies newer arena facts.
+    for target in ("opened", "capacity", "city"):
+        constraints.append(
+            CurrencyConstraint(
+                (
+                    OrderPredicate("arena"),
+                    TupleComparisonPredicate(target, "!="),
+                ),
+                target,
+                name=f"arena=>{target}",
+            )
+        )
+    # A newer team name implies a newer arena.
+    constraints.append(
+        CurrencyConstraint(
+            (OrderPredicate("tname"), TupleComparisonPredicate("arena", "!=")),
+            "arena",
+            name="tname=>arena",
+        )
+    )
+    return constraints
+
+
+def _nba_cfds(teams: Sequence[_Team]) -> List[ConstantCFD]:
+    cfds: List[ConstantCFD] = []
+    for team in teams:
+        for arena in team.arenas:
+            cfds.append(
+                ConstantCFD({"arena": arena.name}, "city", arena.city, name=f"{arena.name}->city")
+            )
+            cfds.append(
+                ConstantCFD(
+                    {"arena": arena.name}, "capacity", arena.capacity, name=f"{arena.name}->capacity"
+                )
+            )
+    return cfds
+
+
+def _player_history(
+    pid: str,
+    name: str,
+    team: _Team,
+    config: NBAConfig,
+    rng: random.Random,
+) -> List[Dict[str, Value]]:
+    history: List[Dict[str, Value]] = []
+    allpoints = 0
+    seasons_played = rng.randrange(1, config.seasons + 1)
+    # Per-season statistics are sampled without replacement: ϕ3 orders the
+    # statistic values by the cumulative `allpoints` column, so a repeated
+    # value across seasons would create a cyclic (hence invalid) history.
+    points_values = rng.sample(range(200, 2200), seasons_played)
+    poss_values = rng.sample(range(500, 3000), seasons_played)
+    minutes_values = rng.sample(range(400, 3200), seasons_played)
+    for season_index in range(seasons_played):
+        points = points_values[season_index]
+        allpoints += points
+        arena = team.arena_at(season_index, config.seasons)
+        history.append(
+            {
+                "pid": pid,
+                "name": name,
+                "true_name": name.upper(),
+                "team": team.team_id,
+                "league": team.league,
+                "tname": team.name_at(season_index, config.seasons),
+                "points": points,
+                "poss": poss_values[season_index],
+                "allpoints": allpoints,
+                "min": minutes_values[season_index],
+                "arena": arena.name,
+                "opened": arena.opened,
+                "capacity": arena.capacity,
+                "city": arena.city,
+            }
+        )
+    return history
+
+
+def generate_nba_dataset(config: NBAConfig | None = None) -> GeneratedDataset:
+    """Generate the synthetic NBA dataset."""
+    config = config or NBAConfig()
+    config.validate()
+    rng = random.Random(config.seed)
+    teams = _build_teams(config, rng)
+    constraints = _nba_constraints(teams)
+    cfds = _nba_cfds(teams)
+
+    entities: List[GeneratedEntity] = []
+    for player_index in range(config.num_players):
+        pid = f"p{player_index:04d}"
+        name = f"Player {player_index:04d}"
+        team = teams[rng.randrange(len(teams))]
+        history = _player_history(pid, name, team, config, rng)
+        true_values = dict(history[-1])
+        low, high = config.sources_per_season
+        corruption = CorruptionConfig(
+            drop_latest_tuple=config.corruption.drop_latest_tuple,
+            null_probability=config.corruption.null_probability,
+            version_null_probability=config.corruption.version_null_probability,
+            duplicate_factor=float(rng.randrange(low, high + 1)),
+            min_rows=2,
+            shuffle=True,
+            protected_attributes=config.corruption.protected_attributes,
+        )
+        rows = corrupt_history(history, rng, corruption)
+        entities.append(GeneratedEntity(name=pid, rows=rows, true_values=true_values, history=history))
+
+    return GeneratedDataset(
+        name="NBA",
+        schema=nba_schema(),
+        entities=entities,
+        currency_constraints=constraints,
+        cfds=cfds,
+    )

@@ -1,0 +1,243 @@
+"""Synthetic Person data (paper Section VI, "Person data").
+
+The generator follows the paper's description: the schema of Fig. 2
+(name, status, job, kids, city, AC, zip, county), currency constraints "of the
+same form but with distinct constant values for status, job and kid[s]"
+(value-transition constraints along a status chain, a job chain and the kids
+counter) plus the order-propagation constraints of Fig. 3, and one CFD
+template AC → city with one constant pattern per city.  Two parameters govern
+the size: ``num_entities`` (*n*) and ``tuples_per_entity`` (*s*).
+
+Each entity is given a life history that respects the chains (status and job
+only move forward, kids only grows, relocations change city/AC/zip/county
+consistently); the observed entity instance is a corrupted view of that
+history with the complete latest version removed, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.cfd import ConstantCFD
+from repro.core.constraints import CurrencyConstraint
+from repro.core.errors import DatasetError
+from repro.core.schema import RelationSchema
+from repro.core.values import Value
+from repro.datasets.base import GeneratedDataset, GeneratedEntity
+from repro.datasets.corruption import CorruptionConfig, corrupt_history
+
+__all__ = ["PersonConfig", "person_schema", "generate_person_dataset"]
+
+
+def person_schema() -> RelationSchema:
+    """The Person schema of Fig. 2."""
+    return RelationSchema(
+        "person",
+        ["name", "status", "job", "kids", "city", "AC", "zip", "county"],
+    )
+
+
+@dataclass
+class PersonConfig:
+    """Parameters of the Person generator.
+
+    ``status_chain_length`` / ``job_chain_length`` / ``max_kids`` control how
+    many value-transition constraints exist (all ordered pairs along each
+    chain); ``num_cities`` controls the number of AC → city CFD patterns.
+    """
+
+    num_entities: int = 50
+    tuples_per_entity: int = 8
+    versions_per_entity: int = 6
+    status_chain_length: int = 20
+    job_chain_length: int = 20
+    max_kids: int = 8
+    num_cities: int = 40
+    move_probability: float = 0.35
+    transition_span: int = 2
+    max_step: int = 4
+    seed: int = 13
+    corruption: CorruptionConfig = field(
+        default_factory=lambda: CorruptionConfig(
+            drop_latest_tuple=False,
+            null_probability=0.04,
+            version_null_probability=0.08,
+            protected_attributes=("name",),
+        )
+    )
+
+    def validate(self) -> None:
+        """Raise :class:`DatasetError` on inconsistent parameters."""
+        if self.num_entities <= 0:
+            raise DatasetError("num_entities must be positive")
+        if self.tuples_per_entity <= 0:
+            raise DatasetError("tuples_per_entity must be positive")
+        if self.versions_per_entity <= 0:
+            raise DatasetError("versions_per_entity must be positive")
+        if self.status_chain_length < 2 or self.job_chain_length < 2:
+            raise DatasetError("value chains need at least two values")
+        if self.num_cities < 2:
+            raise DatasetError("at least two cities are required")
+
+
+def _status_chain(config: PersonConfig) -> List[str]:
+    return [f"status_{index:02d}" for index in range(config.status_chain_length)]
+
+
+def _job_chain(config: PersonConfig) -> List[str]:
+    return [f"job_{index:02d}" for index in range(config.job_chain_length)]
+
+
+def _cities(config: PersonConfig, rng: random.Random) -> List[Dict[str, Value]]:
+    cities: List[Dict[str, Value]] = []
+    for index in range(config.num_cities):
+        cities.append(
+            {
+                "city": f"city_{index:03d}",
+                "AC": f"{200 + index}",
+                "zip_base": 10000 + 37 * index,
+                "county": f"county_{index:03d}",
+            }
+        )
+    rng.shuffle(cities)
+    return cities
+
+
+def _chain_transition_constraints(
+    attribute: str, chain: Sequence[Value], span: int
+) -> List[CurrencyConstraint]:
+    """Value transitions between chain values at distance ≤ *span*.
+
+    The paper's Person constraints are "of the same form but with distinct
+    constant values"; restricting them to nearby chain values leaves some
+    observed value pairs unordered, which is what makes user interaction
+    necessary (an entity whose history jumps several steps at once has values
+    that no single constraint relates).
+    """
+    constraints: List[CurrencyConstraint] = []
+    for older_index in range(len(chain)):
+        for newer_index in range(older_index + 1, min(older_index + span, len(chain) - 1) + 1):
+            constraints.append(
+                CurrencyConstraint.value_transition(
+                    attribute,
+                    chain[older_index],
+                    chain[newer_index],
+                    name=f"{attribute}:{chain[older_index]}->{chain[newer_index]}",
+                )
+            )
+    return constraints
+
+
+def _person_constraints(config: PersonConfig, statuses: List[str], jobs: List[str]) -> List[CurrencyConstraint]:
+    constraints: List[CurrencyConstraint] = []
+    constraints.extend(_chain_transition_constraints("status", statuses, config.transition_span))
+    constraints.extend(_chain_transition_constraints("job", jobs, config.transition_span))
+    constraints.extend(
+        _chain_transition_constraints("kids", list(range(config.max_kids + 1)), config.transition_span)
+    )
+    # The Fig. 3 propagation constraints.
+    constraints.append(CurrencyConstraint.order_propagation(["status"], "job", name="status=>job"))
+    constraints.append(CurrencyConstraint.order_propagation(["status"], "AC", name="status=>AC"))
+    constraints.append(CurrencyConstraint.order_propagation(["status"], "zip", name="status=>zip"))
+    constraints.append(
+        CurrencyConstraint.order_propagation(["city", "zip"], "county", name="city+zip=>county")
+    )
+    return constraints
+
+
+def _person_cfds(cities: Sequence[Dict[str, Value]]) -> List[ConstantCFD]:
+    cfds: List[ConstantCFD] = []
+    for city in cities:
+        cfds.append(
+            ConstantCFD({"AC": city["AC"]}, "city", city["city"], name=f"AC={city['AC']}->city")
+        )
+    return cfds
+
+
+def _entity_history(
+    name: str,
+    config: PersonConfig,
+    statuses: List[str],
+    jobs: List[str],
+    cities: List[Dict[str, Value]],
+    rng: random.Random,
+) -> List[Dict[str, Value]]:
+    status_index = rng.randrange(0, max(1, len(statuses) // 3))
+    job_index = rng.randrange(0, max(1, len(jobs) // 3))
+    kids = rng.randrange(0, 2)
+    # A person never moves back to a city they already left: revisiting a value
+    # would make the generated history violate the status ⇒ city propagation
+    # constraint (the paper requires histories that satisfy Σ).
+    remaining_cities = list(cities)
+    rng.shuffle(remaining_cities)
+    city = remaining_cities.pop()
+    zip_code = str(city["zip_base"] + rng.randrange(0, 30))
+
+    history: List[Dict[str, Value]] = []
+    for _ in range(config.versions_per_entity):
+        history.append(
+            {
+                "name": name,
+                "status": statuses[status_index],
+                "job": jobs[job_index],
+                "kids": kids,
+                "city": city["city"],
+                "AC": city["AC"],
+                "zip": zip_code,
+                "county": city["county"],
+            }
+        )
+        # Evolve: statuses and jobs only move forward (sometimes jumping
+        # several steps, beyond the span covered by the constraints), kids
+        # only grows.
+        if rng.random() < 0.7:
+            status_index = min(status_index + rng.randrange(1, config.max_step + 1), len(statuses) - 1)
+        if rng.random() < 0.5:
+            job_index = min(job_index + rng.randrange(1, config.max_step + 1), len(jobs) - 1)
+        if rng.random() < 0.4:
+            kids = min(kids + rng.randrange(1, 3), config.max_kids)
+        if remaining_cities and rng.random() < config.move_probability:
+            city = remaining_cities.pop()
+            zip_code = str(city["zip_base"] + rng.randrange(0, 30))
+    return history
+
+
+def generate_person_dataset(config: PersonConfig | None = None) -> GeneratedDataset:
+    """Generate the synthetic Person dataset."""
+    config = config or PersonConfig()
+    config.validate()
+    rng = random.Random(config.seed)
+    statuses = _status_chain(config)
+    jobs = _job_chain(config)
+    cities = _cities(config, rng)
+    constraints = _person_constraints(config, statuses, jobs)
+    cfds = _person_cfds(cities)
+
+    entities: List[GeneratedEntity] = []
+    for entity_index in range(config.num_entities):
+        name = f"person_{entity_index:05d}"
+        history = _entity_history(name, config, statuses, jobs, cities, rng)
+        true_values = dict(history[-1])
+        corruption = CorruptionConfig(
+            drop_latest_tuple=config.corruption.drop_latest_tuple,
+            null_probability=config.corruption.null_probability,
+            version_null_probability=config.corruption.version_null_probability,
+            duplicate_factor=max(
+                1.0, config.tuples_per_entity / max(1, config.versions_per_entity - 1)
+            ),
+            min_rows=min(config.tuples_per_entity, 2),
+            shuffle=True,
+            protected_attributes=config.corruption.protected_attributes,
+        )
+        rows = corrupt_history(history, rng, corruption)
+        entities.append(GeneratedEntity(name=name, rows=rows, true_values=true_values, history=history))
+
+    return GeneratedDataset(
+        name="Person",
+        schema=person_schema(),
+        entities=entities,
+        currency_constraints=constraints,
+        cfds=cfds,
+    )

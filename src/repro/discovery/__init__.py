@@ -1,0 +1,21 @@
+"""Constraint discovery (profiling) substrate.
+
+Mines constant CFDs from plain rows and currency constraints from
+timestamp-ordered entity histories, playing the role of the profiling
+algorithms the paper cites for obtaining its constraint sets.
+"""
+
+from repro.discovery.cfd_discovery import CFDDiscoveryConfig, discover_constant_cfds
+from repro.discovery.currency_discovery import (
+    CurrencyDiscoveryConfig,
+    EntityHistory,
+    discover_currency_constraints,
+)
+
+__all__ = [
+    "CFDDiscoveryConfig",
+    "CurrencyDiscoveryConfig",
+    "EntityHistory",
+    "discover_constant_cfds",
+    "discover_currency_constraints",
+]

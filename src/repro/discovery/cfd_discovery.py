@@ -1,0 +1,108 @@
+"""Discovery of constant CFDs from data.
+
+Section VI of the paper states that its constraints "were discovered using
+profiling algorithms [5], [14], and examined manually".  This module provides
+the profiling part for constant CFDs: it mines patterns ``t_p[X] → t_p[B]``
+whose support (number of rows matching the LHS pattern) and confidence
+(fraction of those rows agreeing on the most frequent B value) exceed given
+thresholds.  The search enumerates LHS attribute sets up to a configurable
+size — entity-style relations are narrow, so this simple levelwise scan is
+entirely adequate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.core.cfd import ConstantCFD
+from repro.core.schema import RelationSchema
+from repro.core.values import Value, is_null
+from repro.encoding.variables import canonical_value
+
+__all__ = ["CFDDiscoveryConfig", "discover_constant_cfds"]
+
+
+@dataclass
+class CFDDiscoveryConfig:
+    """Thresholds and search bounds for constant-CFD discovery.
+
+    Attributes
+    ----------
+    min_support:
+        Minimum number of rows matching the LHS pattern.
+    min_confidence:
+        Minimum fraction of matching rows that carry the dominant RHS value.
+    max_lhs_size:
+        Maximum number of attributes on the LHS.
+    skip_attributes:
+        Attributes never used on either side (e.g. free-text identifiers).
+    """
+
+    min_support: int = 3
+    min_confidence: float = 0.95
+    max_lhs_size: int = 2
+    skip_attributes: Tuple[str, ...] = ()
+
+
+def _rows_as_dicts(rows: Sequence[Mapping[str, Value]]) -> List[Dict[str, Value]]:
+    return [dict(row) for row in rows]
+
+
+def discover_constant_cfds(
+    schema: RelationSchema,
+    rows: Sequence[Mapping[str, Value]],
+    config: CFDDiscoveryConfig | None = None,
+) -> List[ConstantCFD]:
+    """Mine constant CFDs from *rows* (dictionaries keyed by attribute name)."""
+    config = config or CFDDiscoveryConfig()
+    data = _rows_as_dicts(rows)
+    usable_attributes = [
+        attribute
+        for attribute in schema.attribute_names
+        if attribute not in set(config.skip_attributes)
+    ]
+    discovered: List[ConstantCFD] = []
+    seen_keys: set = set()
+
+    for lhs_size in range(1, config.max_lhs_size + 1):
+        for lhs_attributes in itertools.combinations(usable_attributes, lhs_size):
+            # Group rows by their LHS value combination.
+            groups: Dict[Tuple[Hashable, ...], List[Dict[str, Value]]] = defaultdict(list)
+            for row in data:
+                values = tuple(canonical_value(row.get(attribute)) for attribute in lhs_attributes)
+                if any(is_null(value) for value in values):
+                    continue
+                groups[values].append(row)
+            for lhs_values, group in groups.items():
+                if len(group) < config.min_support:
+                    continue
+                for rhs_attribute in usable_attributes:
+                    if rhs_attribute in lhs_attributes:
+                        continue
+                    counter: Counter = Counter()
+                    for row in group:
+                        value = row.get(rhs_attribute)
+                        if not is_null(value):
+                            counter[canonical_value(value)] += 1
+                    if not counter:
+                        continue
+                    rhs_value, count = counter.most_common(1)[0]
+                    confidence = count / len(group)
+                    if confidence < config.min_confidence:
+                        continue
+                    key = (lhs_attributes, lhs_values, rhs_attribute, rhs_value)
+                    if key in seen_keys:
+                        continue
+                    seen_keys.add(key)
+                    discovered.append(
+                        ConstantCFD(
+                            dict(zip(lhs_attributes, lhs_values)),
+                            rhs_attribute,
+                            rhs_value,
+                            name=f"discovered:{'+'.join(lhs_attributes)}->{rhs_attribute}",
+                        )
+                    )
+    return discovered

@@ -1,0 +1,171 @@
+"""Discovery of currency constraints from (partially) timestamped histories.
+
+The paper's Section III Remark (2) argues that currency constraints can be
+discovered "along the same lines as CFD discovery" from possibly dirty data,
+using samples that carry (partial) timestamps; Section VI uses the available
+incomplete timestamps "for designing currency constraints".  This module
+implements that profiling step on *entity histories* — per-entity sequences of
+tuple versions ordered by time:
+
+* **value transitions** — "status moves from *working* to *retired*":
+  the ordered pair (a, b) is reported when a→b transitions have enough support
+  and the reverse direction is (almost) never observed;
+* **monotone attributes** — "kids only increases": the attribute is numeric
+  and non-decreasing along (almost) every history;
+* **order propagation** — "whenever status becomes newer, job does too":
+  whenever two versions differ on the source attribute they also differ on the
+  target attribute (with high confidence), so ordering the source orders the
+  target.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
+
+from repro.core.constraints import CurrencyConstraint
+from repro.core.schema import RelationSchema
+from repro.core.values import Value, is_null, values_equal
+from repro.encoding.variables import canonical_value
+
+__all__ = ["CurrencyDiscoveryConfig", "EntityHistory", "discover_currency_constraints"]
+
+#: One entity history: tuple versions ordered from oldest to newest.
+EntityHistory = Sequence[Mapping[str, Value]]
+
+
+@dataclass
+class CurrencyDiscoveryConfig:
+    """Thresholds for currency-constraint discovery."""
+
+    min_transition_support: int = 2
+    max_reverse_fraction: float = 0.05
+    min_monotone_confidence: float = 0.98
+    min_propagation_confidence: float = 0.95
+    min_propagation_support: int = 3
+    categorical_max_domain: int = 50
+    skip_attributes: Tuple[str, ...] = ()
+
+
+def _transition_constraints(
+    attribute: str,
+    histories: Sequence[EntityHistory],
+    config: CurrencyDiscoveryConfig,
+) -> List[CurrencyConstraint]:
+    forward: Counter = Counter()
+    values_seen: Dict[Hashable, Value] = {}
+    for history in histories:
+        previous: Value = None
+        for version in history:
+            current = version.get(attribute)
+            if is_null(current):
+                continue  # a missing observation does not break the chain
+            if not is_null(previous) and not values_equal(previous, current):
+                old_key, new_key = canonical_value(previous), canonical_value(current)
+                values_seen.setdefault(old_key, previous)
+                values_seen.setdefault(new_key, current)
+                forward[(old_key, new_key)] += 1
+            previous = current
+    constraints: List[CurrencyConstraint] = []
+    if len(values_seen) > config.categorical_max_domain:
+        return constraints
+    for (old_key, new_key), count in sorted(forward.items(), key=lambda item: repr(item[0])):
+        if count < config.min_transition_support:
+            continue
+        reverse = forward.get((new_key, old_key), 0)
+        if reverse > config.max_reverse_fraction * count:
+            continue
+        constraints.append(
+            CurrencyConstraint.value_transition(
+                attribute,
+                values_seen[old_key],
+                values_seen[new_key],
+                name=f"discovered:{attribute}:{values_seen[old_key]!r}->{values_seen[new_key]!r}",
+            )
+        )
+    return constraints
+
+
+def _is_monotone(
+    attribute: str,
+    histories: Sequence[EntityHistory],
+    config: CurrencyDiscoveryConfig,
+) -> bool:
+    comparable_steps = 0
+    monotone_steps = 0
+    for history in histories:
+        previous: Value = None
+        for version in history:
+            current = version.get(attribute)
+            if is_null(current):
+                continue  # skip missing observations
+            if not isinstance(current, (int, float)):
+                return False
+            if previous is not None:
+                comparable_steps += 1
+                if current >= previous:
+                    monotone_steps += 1
+            previous = current
+    if comparable_steps == 0:
+        return False
+    return monotone_steps / comparable_steps >= config.min_monotone_confidence
+
+
+def _propagation_constraints(
+    source: str,
+    histories: Sequence[EntityHistory],
+    schema: RelationSchema,
+    config: CurrencyDiscoveryConfig,
+) -> List[CurrencyConstraint]:
+    co_change: Dict[str, int] = defaultdict(int)
+    source_changes = 0
+    for history in histories:
+        for older, newer in zip(history, history[1:]):
+            old_value, new_value = older.get(source), newer.get(source)
+            if is_null(old_value) or is_null(new_value) or values_equal(old_value, new_value):
+                continue
+            source_changes += 1
+            for target in schema.attribute_names:
+                if target == source:
+                    continue
+                old_target, new_target = older.get(target), newer.get(target)
+                if is_null(new_target):
+                    continue
+                co_change[target] += 1
+    constraints: List[CurrencyConstraint] = []
+    if source_changes < config.min_propagation_support:
+        return constraints
+    for target, count in sorted(co_change.items()):
+        if count / source_changes >= config.min_propagation_confidence:
+            constraints.append(
+                CurrencyConstraint.order_propagation(
+                    [source], target, name=f"discovered:{source}=>{target}"
+                )
+            )
+    return constraints
+
+
+def discover_currency_constraints(
+    schema: RelationSchema,
+    histories: Sequence[EntityHistory],
+    config: CurrencyDiscoveryConfig | None = None,
+) -> List[CurrencyConstraint]:
+    """Mine currency constraints from timestamp-ordered entity histories."""
+    config = config or CurrencyDiscoveryConfig()
+    constraints: List[CurrencyConstraint] = []
+    usable = [
+        attribute
+        for attribute in schema.attribute_names
+        if attribute not in set(config.skip_attributes)
+    ]
+    for attribute in usable:
+        if _is_monotone(attribute, histories, config):
+            constraints.append(
+                CurrencyConstraint.monotone(attribute, name=f"discovered:monotone:{attribute}")
+            )
+        else:
+            constraints.extend(_transition_constraints(attribute, histories, config))
+    for attribute in usable:
+        constraints.extend(_propagation_constraints(attribute, histories, schema, config))
+    return constraints

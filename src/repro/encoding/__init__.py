@@ -1,0 +1,27 @@
+"""SAT encoding of specifications (paper Section V-A).
+
+``instantiate`` builds the instance constraints Ω(S_e);
+``encode_specification`` converts them into the CNF Φ(S_e) together with the
+ordering-variable registry.
+"""
+
+from repro.encoding.cnf_encoder import SpecificationEncoding, encode_specification
+from repro.encoding.instance_constraints import (
+    InstanceConstraint,
+    InstanceConstraintSet,
+    InstantiationOptions,
+    instantiate,
+)
+from repro.encoding.variables import OrderLiteral, OrderVariableRegistry, canonical_value
+
+__all__ = [
+    "InstanceConstraint",
+    "InstanceConstraintSet",
+    "InstantiationOptions",
+    "OrderLiteral",
+    "OrderVariableRegistry",
+    "SpecificationEncoding",
+    "canonical_value",
+    "encode_specification",
+    "instantiate",
+]

@@ -1,0 +1,117 @@
+"""Conversion of instance constraints into CNF (paper procedure ``ConvertToCNF``).
+
+Each ordering atom ``a1 ≺^v_A a2`` is mapped to a propositional variable by an
+:class:`~repro.encoding.variables.OrderVariableRegistry`; every instance
+constraint ``x1 ∧ … ∧ xk → x`` becomes the clause ``¬x1 ∨ … ∨ ¬xk ∨ x`` (with
+the obvious variants for negated and absent heads).  The result Φ(S_e) is
+satisfiable iff the specification is valid (paper Lemma 5).
+
+:class:`SpecificationEncoding` bundles the specification, Ω(S_e), the variable
+registry and Φ(S_e); it is the object every resolution algorithm works on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.specification import Specification
+from repro.core.values import Value
+from repro.encoding.instance_constraints import (
+    InstanceConstraint,
+    InstanceConstraintSet,
+    InstantiationOptions,
+    instantiate,
+)
+from repro.encoding.variables import OrderLiteral, OrderVariableRegistry
+from repro.solvers.cnf import CNF
+
+__all__ = ["SpecificationEncoding", "encode_specification"]
+
+
+@dataclass
+class SpecificationEncoding:
+    """A specification together with its instance constraints and CNF encoding.
+
+    Attributes
+    ----------
+    specification:
+        The encoded specification ``S_e``.
+    omega:
+        The instance constraints Ω(S_e).
+    registry:
+        Mapping between ordering atoms and propositional variables.
+    cnf:
+        The CNF Φ(S_e).
+    options:
+        The instantiation options used.
+    """
+
+    specification: Specification
+    omega: InstanceConstraintSet
+    registry: OrderVariableRegistry
+    cnf: CNF
+    options: InstantiationOptions = field(default_factory=InstantiationOptions)
+
+    # -- literal helpers ------------------------------------------------------
+
+    def literal(self, atom: OrderLiteral) -> int:
+        """Return the (positive) SAT literal for *atom*, registering it if new."""
+        return self.registry.variable(atom)
+
+    def find_literal(self, atom: OrderLiteral) -> Optional[int]:
+        """Return the SAT literal for *atom* if it exists, else ``None``."""
+        return self.registry.find(atom)
+
+    def order_literal(self, attribute: str, older: Value, newer: Value) -> Optional[int]:
+        """Convenience wrapper building the atom from its components."""
+        return self.find_literal(OrderLiteral(attribute, older, newer))
+
+    def decode(self, literal: int) -> Tuple[OrderLiteral, bool]:
+        """Decode a signed SAT literal into (atom, positive?)."""
+        return self.registry.decode_literal(literal)
+
+    # -- statistics -----------------------------------------------------------
+
+    def statistics(self) -> Dict[str, int]:
+        """Sizes of the encoding (used by benchmarks and reports)."""
+        return {
+            "tuples": len(self.specification.instance),
+            "currency_constraints": len(self.specification.currency_constraints),
+            "cfds": len(self.specification.cfds),
+            "instance_constraints": len(self.omega),
+            "variables": self.registry.num_variables,
+            "clauses": len(self.cnf),
+        }
+
+
+def _constraint_to_clause(
+    constraint: InstanceConstraint, registry: OrderVariableRegistry
+) -> List[int]:
+    clause = [-registry.variable(atom) for atom in constraint.body]
+    if constraint.head is not None:
+        head_variable = registry.variable(constraint.head)
+        clause.append(-head_variable if constraint.negated_head else head_variable)
+    return clause
+
+
+def encode_specification(
+    spec: Specification, options: InstantiationOptions | None = None
+) -> SpecificationEncoding:
+    """Build Ω(S_e) and Φ(S_e) for *spec*."""
+    options = options or InstantiationOptions()
+    omega = instantiate(spec, options)
+    registry = OrderVariableRegistry()
+    cnf = CNF()
+    for constraint in omega:
+        cnf.add_clause(_constraint_to_clause(constraint, registry))
+    if omega.inherently_invalid and not cnf.has_empty_clause():
+        cnf.add_clause([])
+    cnf.num_variables = max(cnf.num_variables, registry.num_variables)
+    return SpecificationEncoding(
+        specification=spec,
+        omega=omega,
+        registry=registry,
+        cnf=cnf,
+        options=options,
+    )

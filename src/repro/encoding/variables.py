@@ -1,0 +1,109 @@
+"""Ordering variables ``x^A_{a1,a2}`` and their registry (paper Section V-A).
+
+Every predicate ``a1 ≺^v_A a2`` ("value a2 is more current than value a1 in
+attribute A") is mapped to one propositional variable.  The registry performs
+the mapping in both directions, canonicalising values so that, e.g., the NULL
+marker always maps to the same key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterator, Optional, Tuple
+
+from repro.core.errors import EncodingError
+from repro.core.values import NULL, Value, is_null
+from repro.solvers.cnf import VariablePool
+
+__all__ = ["OrderLiteral", "OrderVariableRegistry", "canonical_value"]
+
+
+def canonical_value(value: Value) -> Hashable:
+    """Return a hashable canonical key for *value* (NULL collapses to one key)."""
+    if is_null(value):
+        return NULL
+    return value
+
+
+@dataclass(frozen=True)
+class OrderLiteral:
+    """The atom ``older ≺^v_attribute newer``."""
+
+    attribute: str
+    older: Value
+    newer: Value
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "older", canonical_value(self.older))
+        object.__setattr__(self, "newer", canonical_value(self.newer))
+        if self.older == self.newer:
+            raise EncodingError(
+                f"reflexive order literal {self.older!r} ≺ {self.newer!r} on {self.attribute!r}"
+            )
+
+    def reversed(self) -> "OrderLiteral":
+        """The atom with the two values swapped (``newer ≺ older``)."""
+        return OrderLiteral(self.attribute, self.newer, self.older)
+
+    def __str__(self) -> str:  # pragma: no cover - presentation only
+        return f"{self.older!r} ≺_{self.attribute} {self.newer!r}"
+
+
+class OrderVariableRegistry:
+    """Bidirectional mapping between :class:`OrderLiteral` atoms and SAT variables."""
+
+    def __init__(self) -> None:
+        self._pool = VariablePool()
+        self._by_literal: Dict[Tuple[str, Hashable, Hashable], int] = {}
+        self._by_variable: Dict[int, OrderLiteral] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def variable(self, literal: OrderLiteral) -> int:
+        """Return the variable for *literal*, allocating it on first use."""
+        key = (literal.attribute, literal.older, literal.newer)
+        existing = self._by_literal.get(key)
+        if existing is not None:
+            return existing
+        variable = self._pool.new_variable(label=literal)
+        self._by_literal[key] = variable
+        self._by_variable[variable] = literal
+        return variable
+
+    def find(self, literal: OrderLiteral) -> Optional[int]:
+        """Return the variable for *literal* if it was registered, else ``None``."""
+        return self._by_literal.get((literal.attribute, literal.older, literal.newer))
+
+    def decode(self, variable: int) -> OrderLiteral:
+        """Return the atom represented by *variable*."""
+        try:
+            return self._by_variable[variable]
+        except KeyError:
+            raise EncodingError(f"variable {variable} is not an ordering variable") from None
+
+    def decode_literal(self, literal: int) -> Tuple[OrderLiteral, bool]:
+        """Decode a signed SAT literal into (atom, positive?)."""
+        return self.decode(abs(literal)), literal > 0
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def num_variables(self) -> int:
+        """Number of ordering variables allocated."""
+        return self._pool.count
+
+    def literals(self) -> Iterator[Tuple[OrderLiteral, int]]:
+        """Iterate over all registered (atom, variable) pairs."""
+        for variable, literal in self._by_variable.items():
+            yield literal, variable
+
+    def variables_for_attribute(self, attribute: str) -> Dict[int, OrderLiteral]:
+        """All registered variables whose atom orders values of *attribute*."""
+        return {
+            variable: literal
+            for variable, literal in self._by_variable.items()
+            if literal.attribute == attribute
+        }
+
+    def __len__(self) -> int:
+        return self._pool.count

@@ -1,0 +1,259 @@
+"""Experiment runner: resolve every entity of a dataset and aggregate metrics.
+
+This is the harness behind every figure of the evaluation: it runs either the
+currency/consistency framework (with a simulated user) or one of the
+traditional baselines over all entities of a generated dataset, records
+accuracy, per-phase timings and the number of interaction rounds, and exposes
+the aggregates the benchmarks print.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ReproError
+from repro.core.values import Value, values_equal
+from repro.datasets.base import GeneratedDataset, GeneratedEntity
+from repro.evaluation.interaction import GroundTruthOracle, ReluctantOracle
+from repro.evaluation.metrics import AccuracyCounts, score_entity
+from repro.resolution.baselines import (
+    any_resolution,
+    max_resolution,
+    min_resolution,
+    pick_resolution,
+    vote_resolution,
+)
+from repro.resolution.framework import ConflictResolver, ResolutionResult, ResolverOptions
+
+__all__ = ["EntityOutcome", "ExperimentResult", "run_framework_experiment", "run_baseline_experiment"]
+
+
+@dataclass
+class EntityOutcome:
+    """Per-entity outcome of an experiment run."""
+
+    entity_name: str
+    entity_size: int
+    counts: AccuracyCounts
+    rounds_used: int = 0
+    valid: bool = True
+    seconds: Dict[str, float] = field(default_factory=dict)
+    correct_by_round: List[int] = field(default_factory=list)
+    resolution: Optional[ResolutionResult] = None
+
+
+@dataclass
+class ExperimentResult:
+    """Aggregated outcome of an experiment over a dataset."""
+
+    label: str
+    outcomes: List[EntityOutcome] = field(default_factory=list)
+
+    # -- aggregation -----------------------------------------------------------
+
+    def counts(self) -> AccuracyCounts:
+        """Aggregate accuracy counts over all entities."""
+        total = AccuracyCounts()
+        for outcome in self.outcomes:
+            total = total.merge(outcome.counts)
+        return total
+
+    @property
+    def precision(self) -> float:
+        """Aggregate precision."""
+        return self.counts().precision
+
+    @property
+    def recall(self) -> float:
+        """Aggregate recall."""
+        return self.counts().recall
+
+    @property
+    def f_measure(self) -> float:
+        """Aggregate F-measure."""
+        return self.counts().f_measure
+
+    def mean_seconds(self, phase: str) -> float:
+        """Mean per-entity wall-clock time of a phase ("validity", "deduce", "suggest", "total")."""
+        values = [outcome.seconds.get(phase, 0.0) for outcome in self.outcomes]
+        return sum(values) / len(values) if values else 0.0
+
+    def max_rounds_used(self) -> int:
+        """Largest number of interaction rounds any entity needed."""
+        return max((outcome.rounds_used for outcome in self.outcomes), default=0)
+
+    def true_value_fraction_by_round(self, num_rounds: int) -> List[float]:
+        """Fraction of (conflicting) true values identified after 0..num_rounds rounds."""
+        totals = [0] * (num_rounds + 1)
+        denominator = 0
+        for outcome in self.outcomes:
+            denominator += outcome.counts.conflicting
+            series = outcome.correct_by_round or [outcome.counts.correct]
+            for round_index in range(num_rounds + 1):
+                position = min(round_index, len(series) - 1)
+                totals[round_index] += series[position]
+        if denominator == 0:
+            return [1.0] * (num_rounds + 1)
+        return [total / denominator for total in totals]
+
+    def summary(self) -> Dict[str, float]:
+        """Compact summary dictionary used by the benchmark reports."""
+        counts = self.counts()
+        return {
+            "entities": float(len(self.outcomes)),
+            "precision": counts.precision,
+            "recall": counts.recall,
+            "f_measure": counts.f_measure,
+            "mean_total_seconds": self.mean_seconds("total"),
+            "max_rounds": float(self.max_rounds_used()),
+        }
+
+
+def _correct_known(
+    entity: GeneratedEntity,
+    dataset: GeneratedDataset,
+    known_attributes: Sequence[str],
+    resolved: Dict[str, Value],
+) -> int:
+    conflicting = set(entity.conflicting_attributes(dataset.schema))
+    correct = 0
+    for attribute in known_attributes:
+        if attribute not in conflicting:
+            continue
+        if values_equal(resolved.get(attribute), entity.true_values.get(attribute)):
+            correct += 1
+    return correct
+
+
+def run_framework_experiment(
+    dataset: GeneratedDataset,
+    sigma_fraction: float = 1.0,
+    gamma_fraction: float = 1.0,
+    max_interaction_rounds: int = 5,
+    oracle_factory: Optional[Callable[[GeneratedEntity], object]] = None,
+    resolver_options: Optional[ResolverOptions] = None,
+    limit: Optional[int] = None,
+    label: Optional[str] = None,
+) -> ExperimentResult:
+    """Resolve every entity with the currency/consistency framework.
+
+    Parameters
+    ----------
+    dataset:
+        The generated dataset (entities + constraints + ground truth).
+    sigma_fraction / gamma_fraction:
+        Fraction of the currency constraints / CFDs made available.
+    max_interaction_rounds:
+        Interaction budget per entity (0 = fully automatic).
+    oracle_factory:
+        Builds the simulated user for an entity; defaults to a
+        :class:`ReluctantOracle` limited to *max_interaction_rounds* rounds.
+    resolver_options:
+        Framework options; the round budget is taken from
+        *max_interaction_rounds* unless explicitly provided.
+    limit:
+        Evaluate only the first *limit* entities (useful for quick runs).
+    """
+    if resolver_options is None:
+        resolver_options = ResolverOptions(max_rounds=max_interaction_rounds, fallback="none")
+    resolver = ConflictResolver(resolver_options)
+    result = ExperimentResult(
+        label=label
+        or f"{dataset.name}[Σ={sigma_fraction:.0%},Γ={gamma_fraction:.0%},rounds≤{max_interaction_rounds}]"
+    )
+    for entity, spec in dataset.specifications(sigma_fraction, gamma_fraction, limit=limit):
+        oracle = (
+            oracle_factory(entity)
+            if oracle_factory is not None
+            else ReluctantOracle(entity, max_rounds=max_interaction_rounds)
+        )
+        start = time.perf_counter()
+        resolution = resolver.resolve(spec, oracle)
+        elapsed = time.perf_counter() - start
+        # Only *deduced* values enter precision/recall; values the simulated
+        # user validated are excluded, exactly as in the paper's metric.
+        counts = score_entity(
+            entity,
+            dataset.schema,
+            resolution.resolved_tuple,
+            claimed_attributes=resolution.deduced_attributes,
+        )
+        correct_by_round: List[int] = []
+        for round_report in resolution.rounds:
+            known = round_report.deduced_attributes
+            correct_by_round.append(
+                _correct_known(entity, dataset, known, resolution.resolved_tuple)
+            )
+        seconds = resolution.total_seconds()
+        seconds["total"] = elapsed
+        result.outcomes.append(
+            EntityOutcome(
+                entity_name=entity.name,
+                entity_size=entity.size(),
+                counts=counts,
+                rounds_used=resolution.interaction_rounds,
+                valid=resolution.valid,
+                seconds=seconds,
+                correct_by_round=correct_by_round,
+                resolution=resolution,
+            )
+        )
+    return result
+
+
+_BASELINES: Dict[str, Callable] = {
+    "pick": pick_resolution,
+    "vote": vote_resolution,
+    "min": min_resolution,
+    "max": max_resolution,
+    "any": any_resolution,
+}
+
+
+def run_baseline_experiment(
+    dataset: GeneratedDataset,
+    method: str = "pick",
+    sigma_fraction: float = 1.0,
+    gamma_fraction: float = 1.0,
+    limit: Optional[int] = None,
+    seed: int = 0,
+    repetitions: int = 3,
+) -> ExperimentResult:
+    """Resolve every entity with a traditional fusion baseline.
+
+    Randomised baselines (``pick``, ``any``) are averaged over *repetitions*
+    random seeds, mirroring the paper's repeated runs.
+    """
+    if method not in _BASELINES:
+        raise ReproError(f"unknown baseline {method!r}; choose from {sorted(_BASELINES)}")
+    resolve = _BASELINES[method]
+    result = ExperimentResult(label=f"{dataset.name}[{method}]")
+    randomised = method in ("pick", "any")
+    runs = repetitions if randomised else 1
+    for entity, spec in dataset.specifications(sigma_fraction, gamma_fraction, limit=limit):
+        start = time.perf_counter()
+        merged = AccuracyCounts()
+        for repetition in range(runs):
+            if randomised:
+                resolved = resolve(spec, rng=random.Random(seed + repetition))
+            else:
+                resolved = resolve(spec)
+            merged = merged.merge(score_entity(entity, dataset.schema, resolved))
+        elapsed = time.perf_counter() - start
+        averaged = AccuracyCounts(
+            deduced=round(merged.deduced / runs),
+            correct=round(merged.correct / runs),
+            conflicting=round(merged.conflicting / runs),
+        )
+        result.outcomes.append(
+            EntityOutcome(
+                entity_name=entity.name,
+                entity_size=entity.size(),
+                counts=averaged,
+                seconds={"total": elapsed},
+            )
+        )
+    return result

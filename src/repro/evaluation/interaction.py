@@ -1,0 +1,99 @@
+"""Simulated users (paper Section VI: "We simulated user interactions by
+providing true values for suggested attributes, some with new values, i.e.,
+values not in the active domain").
+
+The oracles implement the :class:`~repro.resolution.framework.Oracle`
+protocol: they receive a suggestion and return validated true values for (a
+subset of) the suggested attributes, drawn from the generator's ground truth.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Mapping, Optional
+
+from repro.core.specification import Specification
+from repro.core.values import Value, is_null
+from repro.datasets.base import GeneratedEntity
+from repro.resolution.suggest import Suggestion
+
+__all__ = ["GroundTruthOracle", "ReluctantOracle", "NoisyOracle"]
+
+
+class GroundTruthOracle:
+    """Answers every suggested attribute with the entity's true value.
+
+    ``max_attributes_per_round`` limits how many attributes the user is
+    willing to confirm in one round (``None`` = all of them), which is how the
+    multi-round interaction experiments are produced.
+    """
+
+    def __init__(
+        self,
+        entity: GeneratedEntity,
+        max_attributes_per_round: Optional[int] = None,
+    ) -> None:
+        self._entity = entity
+        self._max_per_round = max_attributes_per_round
+
+    def answer(self, suggestion: Suggestion, spec: Specification) -> Mapping[str, Value]:
+        """Return ground-truth values for the suggested attributes."""
+        answers: Dict[str, Value] = {}
+        for attribute in suggestion.attributes:
+            if self._max_per_round is not None and len(answers) >= self._max_per_round:
+                break
+            truth = self._entity.true_values.get(attribute)
+            if is_null(truth):
+                continue
+            answers[attribute] = truth
+        return answers
+
+
+class ReluctantOracle:
+    """A user that only answers a limited number of rounds, then gives up.
+
+    Used to measure how much the automatic deduction achieves with 0, 1, 2, …
+    rounds of interaction (Fig. 8(e)/(i)/(m)).
+    """
+
+    def __init__(
+        self,
+        entity: GeneratedEntity,
+        max_rounds: int,
+        max_attributes_per_round: Optional[int] = None,
+    ) -> None:
+        self._inner = GroundTruthOracle(entity, max_attributes_per_round)
+        self._remaining_rounds = max_rounds
+
+    def answer(self, suggestion: Suggestion, spec: Specification) -> Mapping[str, Value]:
+        """Answer like :class:`GroundTruthOracle` for the first *max_rounds* calls."""
+        if self._remaining_rounds <= 0:
+            return {}
+        self._remaining_rounds -= 1
+        return self._inner.answer(suggestion, spec)
+
+
+class NoisyOracle:
+    """A user that occasionally confirms a wrong (stale) value.
+
+    With probability ``error_rate`` the answer for an attribute is drawn from
+    the suggestion's candidate values instead of the ground truth; used by the
+    robustness tests.
+    """
+
+    def __init__(self, entity: GeneratedEntity, error_rate: float = 0.1, seed: int = 0) -> None:
+        self._entity = entity
+        self._error_rate = error_rate
+        self._rng = random.Random(seed)
+
+    def answer(self, suggestion: Suggestion, spec: Specification) -> Mapping[str, Value]:
+        """Return mostly-true values, with occasional mistakes."""
+        answers: Dict[str, Value] = {}
+        for attribute in suggestion.attributes:
+            truth = self._entity.true_values.get(attribute)
+            candidates = [value for value in suggestion.candidates.get(attribute, []) if not is_null(value)]
+            if candidates and self._rng.random() < self._error_rate:
+                answers[attribute] = self._rng.choice(candidates)
+            elif not is_null(truth):
+                answers[attribute] = truth
+        return answers

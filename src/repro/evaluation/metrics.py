@@ -1,0 +1,110 @@
+"""Accuracy metrics (paper Section VI).
+
+The paper evaluates conflict resolution with the F-measure, where
+
+* *precision* is the ratio of correctly deduced values to all deduced values,
+  and
+* *recall* is the ratio of correctly deduced values to the number of
+  attributes with conflicts or stale values.
+
+Both are computed here over the *conflicting* attributes of an entity (an
+attribute counts when the observed tuples disagree on it or only carry a stale
+value), so that trivially unconflicted attributes inflate neither side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+from repro.core.schema import RelationSchema
+from repro.core.values import Value, values_equal
+from repro.datasets.base import GeneratedEntity
+
+__all__ = ["AccuracyCounts", "precision", "recall", "f_measure", "score_entity"]
+
+
+@dataclass
+class AccuracyCounts:
+    """Raw counts underlying precision / recall / F-measure."""
+
+    deduced: int = 0
+    correct: int = 0
+    conflicting: int = 0
+
+    def merge(self, other: "AccuracyCounts") -> "AccuracyCounts":
+        """Aggregate counts across entities."""
+        return AccuracyCounts(
+            deduced=self.deduced + other.deduced,
+            correct=self.correct + other.correct,
+            conflicting=self.conflicting + other.conflicting,
+        )
+
+    @property
+    def precision(self) -> float:
+        """Correctly deduced / deduced (1.0 when nothing was deduced)."""
+        return precision(self.correct, self.deduced)
+
+    @property
+    def recall(self) -> float:
+        """Correctly deduced / conflicting (1.0 when nothing conflicts)."""
+        return recall(self.correct, self.conflicting)
+
+    @property
+    def f_measure(self) -> float:
+        """Harmonic mean of precision and recall."""
+        return f_measure(self.precision, self.recall)
+
+
+def precision(correct: int, deduced: int) -> float:
+    """Precision with the convention 0/0 = 1."""
+    if deduced == 0:
+        return 1.0
+    return correct / deduced
+
+
+def recall(correct: int, conflicting: int) -> float:
+    """Recall with the convention 0/0 = 1."""
+    if conflicting == 0:
+        return 1.0
+    return correct / conflicting
+
+
+def f_measure(precision_value: float, recall_value: float) -> float:
+    """F1 = 2·P·R / (P + R) (0 when both are 0)."""
+    if precision_value + recall_value == 0:
+        return 0.0
+    return 2.0 * precision_value * recall_value / (precision_value + recall_value)
+
+
+def score_entity(
+    entity: GeneratedEntity,
+    schema: RelationSchema,
+    resolved: Mapping[str, Value],
+    claimed_attributes: Optional[Iterable[str]] = None,
+) -> AccuracyCounts:
+    """Score one entity's resolution against its ground truth.
+
+    Parameters
+    ----------
+    entity:
+        The generated entity (provides ground truth and conflict information).
+    schema:
+        The dataset schema.
+    resolved:
+        The values produced by the method under evaluation.
+    claimed_attributes:
+        The attributes the method claims to have resolved; defaults to every
+        attribute present in *resolved*.  Only claimed attributes that are
+        actually conflicting enter the precision denominator.
+    """
+    conflicting = set(entity.conflicting_attributes(schema))
+    claimed = set(claimed_attributes) if claimed_attributes is not None else set(resolved)
+    counts = AccuracyCounts(conflicting=len(conflicting))
+    for attribute in claimed & conflicting:
+        if attribute not in resolved:
+            continue
+        counts.deduced += 1
+        if values_equal(resolved[attribute], entity.true_values.get(attribute)):
+            counts.correct += 1
+    return counts

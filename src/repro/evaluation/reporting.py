@@ -1,0 +1,52 @@
+"""Plain-text reporting of experiment results.
+
+The benchmarks print the same rows and series the paper's figures plot; this
+module provides the shared formatting helpers (aligned text tables and simple
+series listings), so every benchmark produces a self-describing block of text
+that can be diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "format_summary"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned text table."""
+    rendered_rows: List[List[str]] = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[index]) for index, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[index] for index in range(len(headers))))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_series(label: str, xs: Sequence[object], ys: Sequence[float]) -> str:
+    """Render one x/y series as a single line, e.g. for the F-measure curves."""
+    points = ", ".join(f"{x}:{y:.3f}" for x, y in zip(xs, ys))
+    return f"{label}: {points}"
+
+
+def format_summary(title: str, summary: Mapping[str, float]) -> str:
+    """Render an experiment summary dictionary."""
+    body = ", ".join(f"{key}={value:.3f}" for key, value in summary.items())
+    return f"{title}: {body}"

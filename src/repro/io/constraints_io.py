@@ -1,0 +1,121 @@
+"""Plain-text serialisation of constraint sets.
+
+A *constraint file* lets users keep Σ and Γ next to their data.  The format is
+line-oriented:
+
+* blank lines and lines starting with ``#`` are ignored;
+* ``currency: <constraint>`` declares a currency constraint in the compact
+  syntax of :meth:`repro.core.CurrencyConstraint.parse`, e.g.
+  ``currency: t1.status = 'working' & t2.status = 'retired' -> t1 < t2 on status``;
+* ``cfd: A=1, B=x -> C=y`` declares a constant CFD with LHS pattern
+  ``A=1 ∧ B=x`` and RHS ``C=y``.
+
+Values are parsed like constraint constants: quoted strings, integers, floats
+or the literal ``null``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Sequence, Tuple
+
+from repro.core.cfd import ConstantCFD
+from repro.core.constraints import (
+    ConstantComparisonPredicate,
+    CurrencyConstraint,
+    OrderPredicate,
+    TupleComparisonPredicate,
+)
+from repro.core.errors import ConstraintSyntaxError
+from repro.core.values import Value, is_null
+
+__all__ = ["parse_constraint_text", "load_constraint_file", "dump_constraints"]
+
+
+def _parse_assignment(text: str) -> Tuple[str, Value]:
+    if "=" not in text:
+        raise ConstraintSyntaxError(f"expected attribute=value, got {text!r}")
+    attribute, _, raw = text.partition("=")
+    return attribute.strip(), CurrencyConstraint._parse_constant(raw.strip())
+
+
+def _parse_cfd(body: str, line_number: int) -> ConstantCFD:
+    if "->" not in body:
+        raise ConstraintSyntaxError(f"line {line_number}: a CFD needs '->'")
+    lhs_text, _, rhs_text = body.partition("->")
+    lhs = dict(_parse_assignment(part) for part in lhs_text.split(",") if part.strip())
+    rhs_attribute, rhs_value = _parse_assignment(rhs_text.strip())
+    return ConstantCFD(lhs, rhs_attribute, rhs_value, name=f"line{line_number}")
+
+
+def parse_constraint_text(
+    text: str,
+) -> Tuple[List[CurrencyConstraint], List[ConstantCFD]]:
+    """Parse a constraint document; returns (currency constraints, constant CFDs)."""
+    sigma: List[CurrencyConstraint] = []
+    gamma: List[ConstantCFD] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        kind, _, body = line.partition(":")
+        kind = kind.strip().lower()
+        body = body.strip()
+        if not body:
+            raise ConstraintSyntaxError(f"line {line_number}: missing constraint body")
+        if kind == "currency":
+            sigma.append(CurrencyConstraint.parse(body, name=f"line{line_number}"))
+        elif kind == "cfd":
+            gamma.append(_parse_cfd(body, line_number))
+        else:
+            raise ConstraintSyntaxError(
+                f"line {line_number}: unknown constraint kind {kind!r} (use 'currency' or 'cfd')"
+            )
+    return sigma, gamma
+
+
+def load_constraint_file(path: str | Path) -> Tuple[List[CurrencyConstraint], List[ConstantCFD]]:
+    """Load a constraint file from disk."""
+    return parse_constraint_text(Path(path).read_text())
+
+
+def _format_value(value: Value) -> str:
+    if is_null(value):
+        return "null"
+    if isinstance(value, str):
+        return f"'{value}'"
+    return str(value)
+
+
+def _format_currency(constraint: CurrencyConstraint) -> str:
+    parts: List[str] = []
+    for predicate in constraint.body:
+        if isinstance(predicate, OrderPredicate):
+            parts.append(f"t1 < t2 on {predicate.attribute}")
+        elif isinstance(predicate, TupleComparisonPredicate):
+            parts.append(f"t1.{predicate.attribute} {predicate.op} t2.{predicate.attribute}")
+        elif isinstance(predicate, ConstantComparisonPredicate):
+            parts.append(
+                f"t{predicate.tuple_index}.{predicate.attribute} {predicate.op} "
+                f"{_format_value(predicate.constant)}"
+            )
+    body = " & ".join(parts) if parts else "true"
+    return f"currency: {body} -> t1 < t2 on {constraint.conclusion_attribute}"
+
+
+def _format_cfd(cfd: ConstantCFD) -> str:
+    lhs = ", ".join(f"{attribute}={_format_value(value)}" for attribute, value in cfd.lhs)
+    return f"cfd: {lhs} -> {cfd.rhs_attribute}={_format_value(cfd.rhs_value)}"
+
+
+def dump_constraints(
+    currency_constraints: Sequence[CurrencyConstraint],
+    cfds: Sequence[ConstantCFD],
+) -> str:
+    """Serialise constraint sets into the text format accepted by :func:`parse_constraint_text`."""
+    lines = ["# currency constraints"]
+    lines.extend(_format_currency(constraint) for constraint in currency_constraints)
+    lines.append("")
+    lines.append("# constant CFDs")
+    lines.extend(_format_cfd(cfd) for cfd in cfds)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,120 @@
+"""CSV input/output for entity data.
+
+``read_entity_rows`` loads a CSV file whose rows describe (possibly many)
+entities, groups the rows by an entity-key column, and returns one
+:class:`~repro.core.instance.EntityInstance` per entity.  Values are parsed
+leniently: empty cells become NULL, integers and floats are recognised,
+everything else stays a string.  ``write_resolved_tuples`` writes the resolved
+current tuples back out as CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.core.errors import DatasetError
+from repro.core.instance import EntityInstance
+from repro.core.schema import RelationSchema
+from repro.core.tuples import EntityTuple
+from repro.core.values import Value, is_null
+
+__all__ = ["parse_cell", "read_entity_rows", "write_resolved_tuples"]
+
+
+def parse_cell(text: str) -> Value:
+    """Parse one CSV cell: '' → NULL, numerals → numbers, otherwise the string."""
+    text = text.strip()
+    if text == "" or text.lower() in ("null", "none", "na"):
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def read_entity_rows(
+    path: str | Path,
+    entity_key: str,
+    schema_name: str = "relation",
+) -> Tuple[RelationSchema, Dict[str, EntityInstance]]:
+    """Read a CSV file and group its rows into entity instances.
+
+    Parameters
+    ----------
+    path:
+        CSV file with a header row.
+    entity_key:
+        Column identifying the entity each row belongs to; the column itself
+        is kept as a normal attribute.
+    schema_name:
+        Name given to the inferred relation schema.
+
+    Returns
+    -------
+    The inferred schema and a mapping from entity key to its entity instance.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise DatasetError(f"{path}: missing CSV header")
+        fieldnames = [name.strip() for name in reader.fieldnames]
+        if entity_key not in fieldnames:
+            raise DatasetError(f"{path}: entity key column {entity_key!r} not found in header {fieldnames}")
+        schema = RelationSchema(schema_name, fieldnames)
+        grouped: Dict[str, List[Dict[str, Value]]] = {}
+        for raw_row in reader:
+            row = {name: parse_cell(raw_row.get(name, "") or "") for name in fieldnames}
+            key_value = row[entity_key]
+            if is_null(key_value):
+                raise DatasetError(f"{path}: a row has an empty entity key {entity_key!r}")
+            grouped.setdefault(str(key_value), []).append(row)
+    instances = {
+        key: EntityInstance(schema, [EntityTuple(schema, row) for row in rows])
+        for key, rows in grouped.items()
+    }
+    return schema, instances
+
+
+def write_resolved_tuples(
+    path: str | Path,
+    schema: RelationSchema,
+    resolved: Mapping[str, Mapping[str, Value]],
+    extra_columns: Mapping[str, Mapping[str, object]] | None = None,
+) -> None:
+    """Write one resolved tuple per entity to a CSV file.
+
+    Parameters
+    ----------
+    path:
+        Output CSV path.
+    schema:
+        The relation schema (defines the column order).
+    resolved:
+        Mapping from entity key to its resolved attribute values.
+    extra_columns:
+        Optional per-entity metadata columns (e.g. rounds used, validity),
+        mapping column name → {entity key → value}.
+    """
+    extra_columns = dict(extra_columns or {})
+    fieldnames = ["__entity__"] + list(schema.attribute_names) + list(extra_columns)
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for entity_key in sorted(resolved):
+            values = resolved[entity_key]
+            row: Dict[str, object] = {"__entity__": entity_key}
+            for attribute in schema.attribute_names:
+                value = values.get(attribute)
+                row[attribute] = "" if is_null(value) else value
+            for column, per_entity in extra_columns.items():
+                row[column] = per_entity.get(entity_key, "")
+            writer.writerow(row)

@@ -1,0 +1,37 @@
+"""Record-linkage substrate: similarity measures, blocking and matching.
+
+The conflict-resolution model takes entity instances (tuples already grouped
+per real-world entity) as input; this package produces them from raw rows.
+"""
+
+from repro.linkage.blocking import (
+    attribute_blocking,
+    build_blocks,
+    candidate_pairs,
+    prefix_blocking,
+)
+from repro.linkage.matcher import MatcherConfig, RecordMatcher, link_rows
+from repro.linkage.similarity import (
+    jaccard_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    value_similarity,
+)
+
+__all__ = [
+    "MatcherConfig",
+    "RecordMatcher",
+    "attribute_blocking",
+    "build_blocks",
+    "candidate_pairs",
+    "jaccard_similarity",
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+    "levenshtein_distance",
+    "levenshtein_similarity",
+    "link_rows",
+    "prefix_blocking",
+    "value_similarity",
+]

@@ -1,0 +1,77 @@
+"""Blocking for record linkage.
+
+Comparing every pair of rows is quadratic; blocking groups rows by a cheap
+key so that only rows sharing a block are compared.  Two standard schemes are
+provided: exact blocking on one or more attributes and prefix blocking
+(first *n* characters of a string attribute), plus a composable union.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, Hashable, Iterable, List, Sequence, Tuple
+
+from repro.core.tuples import EntityTuple
+from repro.core.values import is_null
+
+__all__ = ["BlockingKey", "attribute_blocking", "prefix_blocking", "build_blocks", "candidate_pairs"]
+
+#: A blocking key maps a tuple to a hashable block identifier (or ``None`` to skip).
+BlockingKey = Callable[[EntityTuple], Hashable]
+
+
+def attribute_blocking(attributes: Sequence[str]) -> BlockingKey:
+    """Block on the exact (lower-cased) values of *attributes*."""
+
+    def key(item: EntityTuple) -> Hashable:
+        parts = []
+        for attribute in attributes:
+            value = item[attribute]
+            if is_null(value):
+                return None
+            parts.append(str(value).strip().lower())
+        return tuple(parts)
+
+    return key
+
+
+def prefix_blocking(attribute: str, length: int = 3) -> BlockingKey:
+    """Block on the first *length* characters of a string attribute."""
+
+    def key(item: EntityTuple) -> Hashable:
+        value = item[attribute]
+        if is_null(value):
+            return None
+        return str(value).strip().lower()[:length]
+
+    return key
+
+
+def build_blocks(
+    rows: Sequence[EntityTuple], blocking_key: BlockingKey
+) -> Dict[Hashable, List[int]]:
+    """Group row indices by their blocking key (rows with a ``None`` key are dropped)."""
+    blocks: Dict[Hashable, List[int]] = defaultdict(list)
+    for index, row in enumerate(rows):
+        key = blocking_key(row)
+        if key is None:
+            continue
+        blocks[key].append(index)
+    return dict(blocks)
+
+
+def candidate_pairs(
+    rows: Sequence[EntityTuple], blocking_keys: Iterable[BlockingKey]
+) -> List[Tuple[int, int]]:
+    """Candidate row-index pairs produced by the union of several blocking schemes."""
+    seen = set()
+    pairs: List[Tuple[int, int]] = []
+    for blocking_key in blocking_keys:
+        for indices in build_blocks(rows, blocking_key).values():
+            for position, left in enumerate(indices):
+                for right in indices[position + 1 :]:
+                    pair = (left, right) if left < right else (right, left)
+                    if pair not in seen:
+                        seen.add(pair)
+                        pairs.append(pair)
+    return pairs

@@ -1,0 +1,60 @@
+"""Conflict-resolution algorithms and the interactive framework
+(paper Sections III and V).
+"""
+
+from repro.resolution.baselines import (
+    any_resolution,
+    max_resolution,
+    min_resolution,
+    pick_resolution,
+    vote_resolution,
+)
+from repro.resolution.compatibility import compatibility_graph, compatible
+from repro.resolution.deduce import DeducedOrders, deduce_order, naive_deduce
+from repro.resolution.derivation import DerivationRule, derive_rules
+from repro.resolution.framework import (
+    ConflictResolver,
+    Oracle,
+    ResolutionResult,
+    ResolverOptions,
+    RoundReport,
+    SilentOracle,
+)
+from repro.resolution.suggest import (
+    SuggestOptions,
+    Suggestion,
+    derive_candidate_values,
+    suggest,
+)
+from repro.resolution.true_values import extract_true_values, true_value_of_attribute
+from repro.resolution.validity import ValidityReport, check_validity, is_valid
+
+__all__ = [
+    "ConflictResolver",
+    "DeducedOrders",
+    "DerivationRule",
+    "Oracle",
+    "ResolutionResult",
+    "ResolverOptions",
+    "RoundReport",
+    "SilentOracle",
+    "SuggestOptions",
+    "Suggestion",
+    "ValidityReport",
+    "any_resolution",
+    "check_validity",
+    "compatibility_graph",
+    "compatible",
+    "deduce_order",
+    "derive_candidate_values",
+    "derive_rules",
+    "extract_true_values",
+    "is_valid",
+    "max_resolution",
+    "min_resolution",
+    "naive_deduce",
+    "pick_resolution",
+    "suggest",
+    "true_value_of_attribute",
+    "vote_resolution",
+]

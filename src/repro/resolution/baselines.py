@@ -1,0 +1,131 @@
+"""Traditional conflict-resolution baselines (paper Section VI, algorithm ``Pick``).
+
+Classic data fusion resolves a conflict by applying a simple per-attribute
+strategy — take *any* value, the most frequent one, the minimum or the maximum
+(see the data-fusion surveys cited by the paper).  The experimental study
+compares against ``Pick``, a randomised strategy that is additionally allowed
+to exploit the comparison-only currency constraints: a value that is known to
+be less current than another value (by a constraint whose body contains only
+comparison predicates, e.g. ϕ1–ϕ3 of the NBA constraints) is never picked.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.constraints import CurrencyConstraint
+from repro.core.specification import Specification
+from repro.core.values import Value, compare_values, is_null, values_equal
+from repro.encoding.variables import canonical_value
+
+__all__ = [
+    "pick_resolution",
+    "vote_resolution",
+    "min_resolution",
+    "max_resolution",
+    "any_resolution",
+]
+
+
+def _non_null_domain(spec: Specification, attribute: str) -> List[Value]:
+    domain = [value for value in spec.instance.active_domain(attribute) if not is_null(value)]
+    if not domain:
+        domain = list(spec.instance.active_domain(attribute))
+    return domain
+
+
+def _dominated_by_comparison_constraints(spec: Specification, attribute: str) -> set:
+    """Values dominated according to comparison-only currency constraints.
+
+    Only constraints whose body consists of comparison predicates are used —
+    exactly the information the paper grants to ``Pick`` ("we picked a value
+    from those that are not less current than any other values, based on
+    currency constraints in which ω is a conjunction of comparison predicates
+    only").
+    """
+    dominated = set()
+    comparison_constraints: List[CurrencyConstraint] = [
+        constraint
+        for constraint in spec.currency_constraints
+        if constraint.is_comparison_only() and constraint.conclusion_attribute == attribute
+    ]
+    if not comparison_constraints:
+        return dominated
+    tuples = spec.instance.tuples
+    for constraint in comparison_constraints:
+        for tuple1 in tuples:
+            for tuple2 in tuples:
+                if tuple1.tid == tuple2.tid:
+                    continue
+                if values_equal(tuple1[attribute], tuple2[attribute]):
+                    continue
+                if all(predicate.evaluate(tuple1, tuple2) for predicate in constraint.body):
+                    dominated.add(canonical_value(tuple1[attribute]))
+    return dominated
+
+
+def pick_resolution(
+    spec: Specification,
+    rng: Optional[random.Random] = None,
+    favor_currency: bool = True,
+) -> Dict[str, Value]:
+    """The ``Pick`` baseline: a random value per attribute, favoured by currency hints."""
+    rng = rng or random.Random(0)
+    resolved: Dict[str, Value] = {}
+    for attribute in spec.schema.attribute_names:
+        domain = _non_null_domain(spec, attribute)
+        candidates = list(domain)
+        if favor_currency:
+            dominated = _dominated_by_comparison_constraints(spec, attribute)
+            undominated = [value for value in domain if canonical_value(value) not in dominated]
+            if undominated:
+                candidates = undominated
+        resolved[attribute] = rng.choice(candidates)
+    return resolved
+
+
+def vote_resolution(spec: Specification) -> Dict[str, Value]:
+    """Majority voting: the most frequent non-null value per attribute."""
+    resolved: Dict[str, Value] = {}
+    for attribute in spec.schema.attribute_names:
+        counts: Counter = Counter()
+        for item in spec.instance:
+            value = item[attribute]
+            if not is_null(value):
+                counts[canonical_value(value)] += 1
+        if counts:
+            best_key, _ = max(counts.items(), key=lambda pair: (pair[1], repr(pair[0])))
+            resolved[attribute] = best_key
+        else:
+            resolved[attribute] = spec.instance.active_domain(attribute)[0]
+    return resolved
+
+
+def _extreme_resolution(spec: Specification, take_max: bool) -> Dict[str, Value]:
+    resolved: Dict[str, Value] = {}
+    for attribute in spec.schema.attribute_names:
+        domain = _non_null_domain(spec, attribute)
+        best = domain[0]
+        for value in domain[1:]:
+            comparison = compare_values(value, best)
+            if (take_max and comparison > 0) or (not take_max and comparison < 0):
+                best = value
+        resolved[attribute] = best
+    return resolved
+
+
+def max_resolution(spec: Specification) -> Dict[str, Value]:
+    """Take the maximum value per attribute (classic fusion strategy)."""
+    return _extreme_resolution(spec, take_max=True)
+
+
+def min_resolution(spec: Specification) -> Dict[str, Value]:
+    """Take the minimum value per attribute (classic fusion strategy)."""
+    return _extreme_resolution(spec, take_max=False)
+
+
+def any_resolution(spec: Specification, rng: Optional[random.Random] = None) -> Dict[str, Value]:
+    """Take an arbitrary value per attribute (no currency hints at all)."""
+    return pick_resolution(spec, rng=rng, favor_currency=False)

@@ -1,0 +1,39 @@
+"""Compatibility graphs of derivation rules — ``CompGraph`` (paper Section V-C.1).
+
+Two derivation rules are *compatible* when they can be applied at the same
+time: they derive different attributes and they agree on the values of every
+attribute they share (preconditions and conclusions combined).  A clique of
+the compatibility graph is therefore a set of rules that can all fire
+together, which is what ``Suggest`` exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.core.values import values_equal
+from repro.resolution.derivation import DerivationRule
+from repro.solvers.clique import build_graph
+
+__all__ = ["compatible", "compatibility_graph"]
+
+
+def compatible(rule_a: DerivationRule, rule_b: DerivationRule) -> bool:
+    """Return ``True`` when the two rules may be applied simultaneously."""
+    if rule_a.target_attribute == rule_b.target_attribute:
+        return False
+    assignment_a = rule_a.combined_assignment()
+    assignment_b = rule_b.combined_assignment()
+    shared = set(assignment_a) & set(assignment_b)
+    return all(values_equal(assignment_a[attribute], assignment_b[attribute]) for attribute in shared)
+
+
+def compatibility_graph(rules: Sequence[DerivationRule]) -> Dict[int, Set[int]]:
+    """Build the compatibility graph; nodes are rule indices into *rules*."""
+    nodes = list(range(len(rules)))
+    edges: List[Tuple[int, int]] = []
+    for i in nodes:
+        for j in nodes:
+            if i < j and compatible(rules[i], rules[j]):
+                edges.append((i, j))
+    return build_graph(nodes, edges)

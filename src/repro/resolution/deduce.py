@@ -1,0 +1,196 @@
+"""Deduction of implied currency orders — ``DeduceOrder`` and ``NaiveDeduce``
+(paper Section V-B).
+
+``DeduceOrder`` (Fig. 5) repeatedly consumes one-literal clauses of Φ(S_e):
+each forced positive literal ``x^A_{a1,a2}`` contributes the order
+``a1 ≺^v a2`` to the deduced order O_d, each forced negative literal
+contributes the reversed order (distinct values are totally ordered in every
+completion), and the formula is reduced by the literal.  The loop is exactly
+unit propagation, so the implementation delegates to the shared propagation
+engine and then transitively closes the per-attribute orders.
+
+``NaiveDeduce`` is the baseline the paper compares against: for every ordered
+pair of values it asks the SAT solver whether Φ(S_e) ∧ ¬x is unsatisfiable
+(Lemma 6), i.e. one SAT call per candidate order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.errors import CyclicOrderError
+from repro.core.partial_order import PartialOrder
+from repro.core.values import Value
+from repro.encoding.cnf_encoder import SpecificationEncoding
+from repro.encoding.variables import OrderLiteral, canonical_value
+from repro.solvers.sat import solve
+from repro.solvers.unit_propagation import propagate_units
+
+__all__ = ["DeducedOrders", "deduce_order", "naive_deduce"]
+
+
+@dataclass
+class DeducedOrders:
+    """The deduced partial temporal order O_d (value-level, per attribute).
+
+    Attributes
+    ----------
+    orders:
+        Per-attribute :class:`PartialOrder` over canonical values; an edge
+        ``a1 ≺ a2`` means every valid completion ranks ``a2`` as more current.
+    conflict:
+        ``True`` when deduction exposed that the specification is invalid.
+    forced_literals:
+        The raw SAT literals that were forced (diagnostics).
+    sat_calls:
+        Number of SAT-solver invocations (0 for ``DeduceOrder``).
+    """
+
+    orders: Dict[str, PartialOrder] = field(default_factory=dict)
+    conflict: bool = False
+    forced_literals: List[int] = field(default_factory=list)
+    sat_calls: int = 0
+
+    def order_for(self, attribute: str) -> PartialOrder:
+        """Return the deduced order for *attribute* (empty when nothing is known)."""
+        return self.orders.setdefault(attribute, PartialOrder())
+
+    def holds(self, attribute: str, older: Value, newer: Value) -> bool:
+        """Return ``True`` when ``older ≺ newer`` was deduced for *attribute*."""
+        return self.order_for(attribute).precedes(canonical_value(older), canonical_value(newer))
+
+    def add(self, attribute: str, older: Value, newer: Value) -> bool:
+        """Record ``older ≺ newer``; returns ``False`` when it contradicts O_d."""
+        try:
+            self.order_for(attribute).add(canonical_value(older), canonical_value(newer))
+            return True
+        except CyclicOrderError:
+            self.conflict = True
+            return False
+
+    def size(self) -> int:
+        """Total number of deduced order edges."""
+        return sum(len(order) for order in self.orders.values())
+
+    def dominated_values(self, attribute: str, domain: Iterable[Value]) -> List[Value]:
+        """Values of *domain* that are known to be less current than some other value."""
+        order = self.order_for(attribute)
+        domain = list(domain)
+        keys = [canonical_value(value) for value in domain]
+        dominated = []
+        for value, key in zip(domain, keys):
+            if any(other != key and order.precedes(key, other) for other in keys):
+                dominated.append(value)
+        return dominated
+
+    def undominated_values(self, attribute: str, domain: Iterable[Value]) -> List[Value]:
+        """Values of *domain* not known to be dominated (the candidate true values)."""
+        dominated = {canonical_value(value) for value in self.dominated_values(attribute, domain)}
+        return [value for value in domain if canonical_value(value) not in dominated]
+
+
+def _record_forced_literal(result: DeducedOrders, encoding: SpecificationEncoding, literal: int) -> None:
+    atom, positive = encoding.decode(literal)
+    if positive:
+        result.add(atom.attribute, atom.older, atom.newer)
+    else:
+        # ¬(a1 ≺ a2) together with totality of completions gives a2 ≺ a1.
+        result.add(atom.attribute, atom.newer, atom.older)
+
+
+def _close_orders(result: DeducedOrders) -> None:
+    """Transitively close the deduced per-attribute orders."""
+    for attribute, order in list(result.orders.items()):
+        closed = PartialOrder()
+        try:
+            for older, newer in order.transitive_closure_pairs():
+                closed.add(older, newer)
+        except CyclicOrderError:
+            result.conflict = True
+            continue
+        result.orders[attribute] = closed
+
+
+def deduce_order(
+    encoding: SpecificationEncoding, extra_literals: Iterable[int] = ()
+) -> DeducedOrders:
+    """Run ``DeduceOrder`` on an encoded specification.
+
+    *extra_literals* may inject additional facts (the framework uses this to
+    assert user-validated true values without rebuilding the encoding).
+
+    Beyond the literal loop of Fig. 5, the implementation iterates to a
+    fixpoint: every order obtained from a forced *negative* literal (via the
+    totality of completions) or from transitive closure is fed back into the
+    propagation as a positive unit, so that constraint bodies mentioning it
+    can fire.  Each injected literal holds in every valid completion, so the
+    extension is sound; it only makes the deduced order O_d larger.
+    """
+    result = DeducedOrders()
+    injected = {int(literal) for literal in extra_literals}
+    for _ in range(_MAX_FIXPOINT_ROUNDS):
+        result = DeducedOrders()
+        propagation = propagate_units(encoding.cnf, extra_units=sorted(injected))
+        result.forced_literals = list(propagation.forced_literals)
+        if propagation.conflict:
+            result.conflict = True
+        for literal in propagation.forced_literals:
+            _record_forced_literal(result, encoding, literal)
+        _close_orders(result)
+        if result.conflict:
+            return result
+        new_units = set(injected)
+        for attribute, order in result.orders.items():
+            for older, newer in order.transitive_closure_pairs():
+                variable = encoding.find_literal(OrderLiteral(attribute, older, newer))
+                if variable is not None:
+                    new_units.add(variable)
+        if new_units == injected:
+            break
+        injected = new_units
+    return result
+
+
+#: Upper bound on the totality-feedback iterations of :func:`deduce_order`
+#: (each round only adds literals, so the loop terminates long before this).
+_MAX_FIXPOINT_ROUNDS = 10
+
+
+def naive_deduce(encoding: SpecificationEncoding, max_pairs: Optional[int] = None) -> DeducedOrders:
+    """Run ``NaiveDeduce``: one SAT call per ordered pair of used values.
+
+    Parameters
+    ----------
+    encoding:
+        The encoded specification.
+    max_pairs:
+        Optional cap on the number of pairs examined (benchmarks use it to
+        keep the deliberately-slow baseline bounded); ``None`` checks all.
+    """
+    result = DeducedOrders()
+    base = solve(encoding.cnf)
+    result.sat_calls += 1
+    if not base.satisfiable:
+        result.conflict = True
+        return result
+    examined = 0
+    for attribute, values in encoding.omega.used_values.items():
+        for older in values:
+            for newer in values:
+                if canonical_value(older) == canonical_value(newer):
+                    continue
+                if max_pairs is not None and examined >= max_pairs:
+                    _close_orders(result)
+                    return result
+                examined += 1
+                variable = encoding.find_literal(OrderLiteral(attribute, older, newer))
+                if variable is None:
+                    # The atom never occurs in Φ(S_e); it cannot be implied.
+                    continue
+                refutation = solve(encoding.cnf, assumptions=[-variable])
+                result.sat_calls += 1
+                if not refutation.satisfiable:
+                    result.add(attribute, older, newer)
+    _close_orders(result)
+    return result

@@ -1,0 +1,282 @@
+"""The interactive conflict-resolution framework (paper Section III, Fig. 4).
+
+:class:`ConflictResolver` wires together the algorithms of Section V:
+
+1. **validity checking** (``IsValid``) on the current specification
+   ``S_e ⊕ O_t``;
+2. **true value deduction** (``DeduceOrder`` + true-value extraction);
+3. if the full true value exists → done;
+4. otherwise **suggestion generation** (``Suggest``) and a round of user
+   interaction: the user (an :class:`Oracle`) provides true values for (a
+   subset of) the suggested attributes, the answers are turned into a partial
+   temporal order ``O_t`` (a fresh tuple ``t_o`` dominating every existing
+   tuple on the answered attributes), and the loop restarts on ``S_e ⊕ O_t``.
+
+When the user declines to answer (or the round budget is exhausted) the
+remaining attributes are filled by the traditional ``Pick`` strategy, exactly
+as the last paragraph of Section III prescribes.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Protocol, Tuple
+
+from repro.core.instance import TemporalOrderDelta
+from repro.core.partial_order import PartialOrder
+from repro.core.specification import Specification, TrueValueAssignment
+from repro.core.tuples import EntityTuple
+from repro.core.values import NULL, Value, is_null
+from repro.encoding.cnf_encoder import SpecificationEncoding, encode_specification
+from repro.encoding.instance_constraints import InstantiationOptions
+from repro.resolution.baselines import pick_resolution
+from repro.resolution.deduce import DeducedOrders, deduce_order
+from repro.resolution.suggest import SuggestOptions, Suggestion, suggest
+from repro.resolution.true_values import extract_true_values
+from repro.resolution.validity import check_validity
+
+__all__ = [
+    "Oracle",
+    "SilentOracle",
+    "RoundReport",
+    "ResolutionResult",
+    "ResolverOptions",
+    "ConflictResolver",
+]
+
+
+class Oracle(Protocol):
+    """A source of user answers for suggestions.
+
+    ``answer`` receives the suggestion and the current specification and
+    returns true values for any subset of the suggested attributes (an empty
+    mapping means "no answer").
+    """
+
+    def answer(self, suggestion: Suggestion, spec: Specification) -> Mapping[str, Value]:
+        """Return validated true values for (a subset of) the suggested attributes."""
+        ...  # pragma: no cover - protocol definition
+
+
+class SilentOracle:
+    """An oracle that never answers (pure automatic deduction)."""
+
+    def answer(self, suggestion: Suggestion, spec: Specification) -> Mapping[str, Value]:
+        """Return no answers."""
+        return {}
+
+
+@dataclass
+class RoundReport:
+    """Diagnostics for one round of the framework loop."""
+
+    round_index: int
+    valid: bool
+    deduced_attributes: Tuple[str, ...]
+    suggestion: Optional[Suggestion]
+    answers: Dict[str, Value] = field(default_factory=dict)
+    validity_seconds: float = 0.0
+    deduce_seconds: float = 0.0
+    suggest_seconds: float = 0.0
+    encoding_statistics: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class ResolutionResult:
+    """Final outcome of conflict resolution for one entity."""
+
+    name: str
+    valid: bool
+    true_values: TrueValueAssignment
+    resolved_tuple: Dict[str, Value]
+    fallback_attributes: Tuple[str, ...]
+    rounds: List[RoundReport] = field(default_factory=list)
+    complete: bool = False
+    user_validated_attributes: Tuple[str, ...] = ()
+
+    @property
+    def interaction_rounds(self) -> int:
+        """Number of rounds in which the oracle actually provided answers."""
+        return sum(1 for round_report in self.rounds if round_report.answers)
+
+    @property
+    def deduced_attributes(self) -> Tuple[str, ...]:
+        """Attributes whose true value was *deduced* (user-validated ones excluded).
+
+        The paper's precision/recall only count deduced values, so this is the
+        set the evaluation harness scores.
+        """
+        validated = set(self.user_validated_attributes)
+        return tuple(a for a in self.true_values.known_attributes() if a not in validated)
+
+    def deduced_fraction(self, attributes: Optional[Tuple[str, ...]] = None) -> float:
+        """Fraction of (the given) attributes whose true value was deduced/validated."""
+        if attributes is None:
+            attributes = tuple(self.resolved_tuple)
+        if not attributes:
+            return 1.0
+        return sum(1 for attribute in attributes if attribute in self.true_values) / len(attributes)
+
+    def total_seconds(self) -> Dict[str, float]:
+        """Total time spent per phase across all rounds."""
+        totals = {"validity": 0.0, "deduce": 0.0, "suggest": 0.0}
+        for round_report in self.rounds:
+            totals["validity"] += round_report.validity_seconds
+            totals["deduce"] += round_report.deduce_seconds
+            totals["suggest"] += round_report.suggest_seconds
+        return totals
+
+
+@dataclass
+class ResolverOptions:
+    """Configuration of the framework loop."""
+
+    instantiation: InstantiationOptions = field(default_factory=InstantiationOptions)
+    suggest: SuggestOptions = field(default_factory=SuggestOptions)
+    max_rounds: int = 5
+    fallback: str = "pick"  # "pick" or "none"
+    random_seed: int = 0
+
+
+class ConflictResolver:
+    """Drives the interactive conflict-resolution loop of Fig. 4."""
+
+    def __init__(self, options: Optional[ResolverOptions] = None) -> None:
+        self.options = options or ResolverOptions()
+
+    # -- user input → O_t ------------------------------------------------------
+
+    def _delta_from_answers(
+        self,
+        spec: Specification,
+        answers: Mapping[str, Value],
+        known: TrueValueAssignment,
+        round_index: int,
+    ) -> TemporalOrderDelta:
+        """Build the partial temporal order O_t from user answers (Section III, Remark 1)."""
+        schema = spec.schema
+        values: Dict[str, Value] = {attribute: NULL for attribute in schema.attribute_names}
+        for attribute, value in known.values.items():
+            values[attribute] = value
+        for attribute, value in answers.items():
+            schema.require([attribute])
+            values[attribute] = value
+        user_tuple = EntityTuple(schema, values, tid=f"user_input_{round_index}")
+        delta = TemporalOrderDelta(new_tuples=[user_tuple])
+        for attribute, value in values.items():
+            if is_null(value):
+                continue
+            order = PartialOrder()
+            for tid in spec.instance.tids:
+                order.add(tid, user_tuple.tid)
+            delta.orders[attribute] = order
+        return delta
+
+    # -- main loop ---------------------------------------------------------------
+
+    def resolve(self, spec: Specification, oracle: Optional[Oracle] = None) -> ResolutionResult:
+        """Resolve the conflicts of one entity specification.
+
+        Parameters
+        ----------
+        spec:
+            The specification ``S_e``.
+        oracle:
+            Source of user answers; ``None`` (or :class:`SilentOracle`) makes
+            the resolution fully automatic.
+        """
+        oracle = oracle or SilentOracle()
+        options = self.options
+        current = spec
+        rounds: List[RoundReport] = []
+        known = TrueValueAssignment({})
+        valid = True
+        user_validated: Dict[str, Value] = {}
+
+        for round_index in range(options.max_rounds + 1):
+            start = time.perf_counter()
+            encoding = encode_specification(current, options.instantiation)
+            validity = check_validity(current, encoding=encoding)
+            validity_seconds = time.perf_counter() - start
+            if not validity.valid:
+                valid = False
+                rounds.append(
+                    RoundReport(
+                        round_index=round_index,
+                        valid=False,
+                        deduced_attributes=(),
+                        suggestion=None,
+                        validity_seconds=validity_seconds,
+                        encoding_statistics=encoding.statistics(),
+                    )
+                )
+                break
+
+            start = time.perf_counter()
+            deduced = deduce_order(encoding)
+            known = extract_true_values(current, deduced)
+            deduce_seconds = time.perf_counter() - start
+
+            complete = known.is_total_for(spec.schema)
+            suggestion: Optional[Suggestion] = None
+            suggest_seconds = 0.0
+            answers: Dict[str, Value] = {}
+            if not complete and round_index < options.max_rounds:
+                start = time.perf_counter()
+                suggestion = suggest(encoding, deduced, known, options.suggest)
+                suggest_seconds = time.perf_counter() - start
+                answers = dict(oracle.answer(suggestion, current))
+
+            rounds.append(
+                RoundReport(
+                    round_index=round_index,
+                    valid=True,
+                    deduced_attributes=known.known_attributes(),
+                    suggestion=suggestion,
+                    answers=answers,
+                    validity_seconds=validity_seconds,
+                    deduce_seconds=deduce_seconds,
+                    suggest_seconds=suggest_seconds,
+                    encoding_statistics=encoding.statistics(),
+                )
+            )
+
+            if complete or not answers:
+                break
+            user_validated.update(answers)
+            delta = self._delta_from_answers(current, answers, known, round_index + 1)
+            current = current.extend(delta)
+
+        resolved, fallback_attributes = self._finalize(spec, known, valid)
+        return ResolutionResult(
+            name=spec.name,
+            valid=valid,
+            true_values=known,
+            resolved_tuple=resolved,
+            fallback_attributes=fallback_attributes,
+            rounds=rounds,
+            complete=known.is_total_for(spec.schema),
+            user_validated_attributes=tuple(sorted(user_validated)),
+        )
+
+    def _finalize(
+        self, spec: Specification, known: TrueValueAssignment, valid: bool
+    ) -> Tuple[Dict[str, Value], Tuple[str, ...]]:
+        """Assemble the resolved tuple, filling unresolved attributes by fallback."""
+        resolved: Dict[str, Value] = {}
+        fallback_attributes: List[str] = []
+        fallback_values: Dict[str, Value] = {}
+        if self.options.fallback == "pick":
+            fallback_values = pick_resolution(spec, rng=random.Random(self.options.random_seed))
+        for attribute in spec.schema.attribute_names:
+            if attribute in known:
+                resolved[attribute] = known[attribute]
+            elif self.options.fallback == "pick":
+                resolved[attribute] = fallback_values[attribute]
+                fallback_attributes.append(attribute)
+            else:
+                resolved[attribute] = NULL
+                fallback_attributes.append(attribute)
+        return resolved, tuple(fallback_attributes)

@@ -1,0 +1,64 @@
+"""Extraction of true attribute values from deduced orders (paper Section V-B).
+
+A value ``a`` is the *true value* of attribute ``A`` when every other value of
+the active domain is deduced to be less current than ``a``.  Attributes whose
+active domain is a singleton are trivially resolved (their only value must be
+the current one in every completion).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.specification import Specification, TrueValueAssignment
+from repro.core.values import Value
+from repro.encoding.variables import canonical_value
+from repro.resolution.deduce import DeducedOrders
+
+__all__ = ["true_value_of_attribute", "extract_true_values"]
+
+
+def true_value_of_attribute(
+    spec: Specification, deduced: DeducedOrders, attribute: str
+) -> Optional[Value]:
+    """Return the true value of *attribute* if it is determined by *deduced*, else ``None``.
+
+    Candidates are drawn from the value domain (active domain plus CFD
+    constants, since a firing constant CFD repairs the attribute to its
+    pattern constant).  A candidate qualifies when every *active-domain*
+    value other than itself is deduced to be less current; among qualifying
+    candidates the ones dominated by another qualifier are discarded, and the
+    true value exists only when exactly one remains.
+    """
+    active = spec.instance.active_domain(attribute)
+    active_keys = {canonical_value(value): value for value in active}
+    candidates = {canonical_value(value): value for value in spec.value_domain(attribute)}
+    order = deduced.order_for(attribute)
+
+    qualifiers: Dict[object, Value] = {}
+    for candidate_key, candidate in candidates.items():
+        if all(
+            other_key == candidate_key or order.precedes(other_key, candidate_key)
+            for other_key in active_keys
+        ):
+            qualifiers[candidate_key] = candidate
+    if not qualifiers:
+        return None
+    undominated = {
+        key: value
+        for key, value in qualifiers.items()
+        if not any(other != key and order.precedes(key, other) for other in qualifiers)
+    }
+    if len(undominated) == 1:
+        return next(iter(undominated.values()))
+    return None
+
+
+def extract_true_values(spec: Specification, deduced: DeducedOrders) -> TrueValueAssignment:
+    """Return the true values of every attribute determined by *deduced*."""
+    values: Dict[str, Value] = {}
+    for attribute in spec.schema.attribute_names:
+        value = true_value_of_attribute(spec, deduced, attribute)
+        if value is not None:
+            values[attribute] = value
+    return TrueValueAssignment(values)

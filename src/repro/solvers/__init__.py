@@ -1,0 +1,32 @@
+"""Constraint-solving substrate: SAT (CDCL and DPLL), unit propagation,
+group MaxSAT and maximum clique.
+
+These modules replace the external tools used in the paper's experimental
+study (MiniSAT, WalkSAT-based MaxSAT, and the clique approximation of [16])
+with self-contained, deterministic Python implementations.
+"""
+
+from repro.solvers.clique import build_graph, bron_kerbosch_cliques, greedy_clique, max_clique
+from repro.solvers.cnf import CNF, Clause, VariablePool
+from repro.solvers.dpll import dpll_solve
+from repro.solvers.maxsat import MaxSATResult, solve_group_maxsat
+from repro.solvers.sat import CDCLSolver, SATResult, solve
+from repro.solvers.unit_propagation import PropagationResult, propagate_units
+
+__all__ = [
+    "CNF",
+    "CDCLSolver",
+    "Clause",
+    "MaxSATResult",
+    "PropagationResult",
+    "SATResult",
+    "VariablePool",
+    "build_graph",
+    "bron_kerbosch_cliques",
+    "dpll_solve",
+    "greedy_clique",
+    "max_clique",
+    "propagate_units",
+    "solve",
+    "solve_group_maxsat",
+]

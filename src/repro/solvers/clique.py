@@ -1,0 +1,98 @@
+"""Maximum clique computation.
+
+``Suggest`` (paper Section V-C) looks for a maximum clique in the
+compatibility graph of derivation rules.  The paper uses an approximation
+algorithm [16]; compatibility graphs for a single entity are small (their
+nodes are derivation rules, bounded by |R|·|adom|), so this module offers:
+
+* :func:`max_clique` with ``method="exact"`` — Bron–Kerbosch with pivoting,
+  returning a true maximum clique;
+* ``method="greedy"`` — a fast degree-ordered greedy heuristic, mirroring the
+  approximate tool the paper used.
+
+Graphs are plain adjacency dictionaries ``{node: set(neighbours)}`` so the
+solver has no dependency on the rest of the library.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Sequence, Set, Tuple
+
+from repro.core.errors import SolverError
+
+__all__ = ["Graph", "build_graph", "max_clique", "greedy_clique", "bron_kerbosch_cliques"]
+
+Graph = Mapping[Hashable, Set[Hashable]]
+
+
+def build_graph(nodes: Iterable[Hashable], edges: Iterable[Tuple[Hashable, Hashable]]) -> Dict[Hashable, Set[Hashable]]:
+    """Build an undirected adjacency mapping from *nodes* and *edges*."""
+    adjacency: Dict[Hashable, Set[Hashable]] = {node: set() for node in nodes}
+    for left, right in edges:
+        if left == right:
+            raise SolverError("self-loops are not allowed in a compatibility graph")
+        if left not in adjacency or right not in adjacency:
+            raise SolverError("edge endpoints must be declared nodes")
+        adjacency[left].add(right)
+        adjacency[right].add(left)
+    return adjacency
+
+
+def _validate(graph: Graph) -> None:
+    for node, neighbours in graph.items():
+        for neighbour in neighbours:
+            if neighbour not in graph:
+                raise SolverError(f"neighbour {neighbour!r} of {node!r} is not a node of the graph")
+
+
+def bron_kerbosch_cliques(graph: Graph) -> List[FrozenSet[Hashable]]:
+    """Enumerate all maximal cliques (Bron–Kerbosch with pivoting)."""
+    _validate(graph)
+    cliques: List[FrozenSet[Hashable]] = []
+
+    def expand(candidate: Set[Hashable], prospective: Set[Hashable], excluded: Set[Hashable]) -> None:
+        if not prospective and not excluded:
+            cliques.append(frozenset(candidate))
+            return
+        pivot_pool = prospective | excluded
+        pivot = max(pivot_pool, key=lambda node: len(graph[node] & prospective))
+        for node in list(prospective - graph[pivot]):
+            expand(candidate | {node}, prospective & graph[node], excluded & graph[node])
+            prospective.remove(node)
+            excluded.add(node)
+
+    expand(set(), set(graph), set())
+    return cliques
+
+
+def greedy_clique(graph: Graph, order: Sequence[Hashable] | None = None) -> FrozenSet[Hashable]:
+    """Greedy clique: scan nodes by descending degree and keep those compatible so far."""
+    _validate(graph)
+    if not graph:
+        return frozenset()
+    if order is None:
+        order = sorted(graph, key=lambda node: (-len(graph[node]), repr(node)))
+    clique: Set[Hashable] = set()
+    for node in order:
+        if all(node in graph[member] for member in clique):
+            clique.add(node)
+    return frozenset(clique)
+
+
+def max_clique(graph: Graph, method: str = "exact") -> FrozenSet[Hashable]:
+    """Return a maximum clique of *graph*.
+
+    ``method="exact"`` uses Bron–Kerbosch (ties broken deterministically by the
+    representation of the nodes); ``method="greedy"`` returns the greedy clique.
+    """
+    _validate(graph)
+    if not graph:
+        return frozenset()
+    if method == "greedy":
+        return greedy_clique(graph)
+    if method != "exact":
+        raise SolverError(f"unknown clique method {method!r}")
+    cliques = bron_kerbosch_cliques(graph)
+    if not cliques:
+        return frozenset()
+    return max(cliques, key=lambda clique: (len(clique), sorted(map(repr, clique))))

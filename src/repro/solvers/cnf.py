@@ -1,0 +1,201 @@
+"""Propositional formulas in conjunctive normal form.
+
+Literals follow the DIMACS convention: variables are positive integers
+``1, 2, ...``; a literal is a variable (positive occurrence) or its negation
+(negative integer).  A clause is a tuple of literals; a :class:`CNF` is a list
+of clauses plus the variable count.
+
+The class also supports *reduction* by a literal (used by ``DeduceOrder``,
+paper Fig. 5): satisfied clauses are dropped and falsified literals removed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.errors import SolverError
+
+__all__ = ["Clause", "CNF", "VariablePool"]
+
+Clause = Tuple[int, ...]
+
+
+class VariablePool:
+    """Allocates fresh propositional variables and keeps optional labels."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._labels: Dict[int, object] = {}
+
+    @property
+    def count(self) -> int:
+        """Number of variables allocated so far."""
+        return self._count
+
+    def new_variable(self, label: object | None = None) -> int:
+        """Allocate and return a fresh variable, optionally attaching *label*."""
+        self._count += 1
+        if label is not None:
+            self._labels[self._count] = label
+        return self._count
+
+    def label(self, variable: int) -> object | None:
+        """Return the label attached to *variable* (or ``None``)."""
+        return self._labels.get(variable)
+
+    def labels(self) -> Dict[int, object]:
+        """Return a copy of the variable → label mapping."""
+        return dict(self._labels)
+
+
+class CNF:
+    """A CNF formula: a multiset of clauses over integer variables."""
+
+    def __init__(self, clauses: Iterable[Sequence[int]] = (), num_variables: int = 0) -> None:
+        self._clauses: List[Clause] = []
+        self._num_variables = num_variables
+        for clause in clauses:
+            self.add_clause(clause)
+
+    # -- construction -------------------------------------------------------
+
+    def add_clause(self, literals: Sequence[int]) -> None:
+        """Append a clause (a disjunction of literals)."""
+        clause = tuple(dict.fromkeys(int(lit) for lit in literals))
+        if any(lit == 0 for lit in clause):
+            raise SolverError("0 is not a valid literal")
+        for lit in clause:
+            if abs(lit) > self._num_variables:
+                self._num_variables = abs(lit)
+        self._clauses.append(clause)
+
+    def add_clauses(self, clauses: Iterable[Sequence[int]]) -> None:
+        """Append several clauses."""
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def copy(self) -> "CNF":
+        """Return an independent copy."""
+        clone = CNF(num_variables=self._num_variables)
+        clone._clauses = list(self._clauses)
+        return clone
+
+    def extended(self, clauses: Iterable[Sequence[int]]) -> "CNF":
+        """Return a copy of this formula with *clauses* appended."""
+        clone = self.copy()
+        clone.add_clauses(clauses)
+        return clone
+
+    # -- access -------------------------------------------------------------
+
+    @property
+    def clauses(self) -> Tuple[Clause, ...]:
+        """The clauses of the formula."""
+        return tuple(self._clauses)
+
+    @property
+    def num_variables(self) -> int:
+        """The highest variable index mentioned (or set explicitly)."""
+        return self._num_variables
+
+    @num_variables.setter
+    def num_variables(self, value: int) -> None:
+        if value < self._num_variables:
+            raise SolverError("cannot shrink the variable count below the referenced maximum")
+        self._num_variables = value
+
+    def __len__(self) -> int:
+        return len(self._clauses)
+
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self._clauses)
+
+    def variables(self) -> Set[int]:
+        """Set of variables that actually occur in some clause."""
+        return {abs(lit) for clause in self._clauses for lit in clause}
+
+    def unit_clauses(self) -> List[int]:
+        """Return the literals of all one-literal clauses."""
+        return [clause[0] for clause in self._clauses if len(clause) == 1]
+
+    def has_empty_clause(self) -> bool:
+        """Return ``True`` when the formula contains the empty (unsatisfiable) clause."""
+        return any(len(clause) == 0 for clause in self._clauses)
+
+    # -- transformation -------------------------------------------------------
+
+    def reduced_by(self, literal: int) -> "CNF":
+        """Return the formula simplified under the assumption that *literal* is true.
+
+        Clauses containing *literal* are removed; occurrences of the negated
+        literal are deleted from the remaining clauses (possibly producing the
+        empty clause).  This is the reduction step of ``DeduceOrder``.
+        """
+        reduced = CNF(num_variables=self._num_variables)
+        negated = -literal
+        for clause in self._clauses:
+            if literal in clause:
+                continue
+            if negated in clause:
+                reduced._clauses.append(tuple(lit for lit in clause if lit != negated))
+            else:
+                reduced._clauses.append(clause)
+        return reduced
+
+    def evaluate(self, assignment: Dict[int, bool]) -> Optional[bool]:
+        """Evaluate the formula under a (possibly partial) assignment.
+
+        Returns ``True``/``False`` when the value is determined, ``None`` when
+        some clause is still undecided.
+        """
+        undecided = False
+        for clause in self._clauses:
+            clause_value: Optional[bool] = False
+            for lit in clause:
+                variable = abs(lit)
+                if variable not in assignment:
+                    clause_value = None
+                    continue
+                if assignment[variable] == (lit > 0):
+                    clause_value = True
+                    break
+            if clause_value is False:
+                return False
+            if clause_value is None:
+                undecided = True
+        return None if undecided else True
+
+    # -- DIMACS I/O -------------------------------------------------------------
+
+    def to_dimacs(self) -> str:
+        """Serialise to the standard DIMACS CNF format."""
+        lines = [f"p cnf {self._num_variables} {len(self._clauses)}"]
+        for clause in self._clauses:
+            lines.append(" ".join(str(lit) for lit in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_dimacs(cls, text: str) -> "CNF":
+        """Parse a DIMACS CNF document."""
+        formula = cls()
+        declared_variables = 0
+        for raw_line in text.splitlines():
+            line = raw_line.strip()
+            if not line or line.startswith("c"):
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                if len(parts) != 4 or parts[1] != "cnf":
+                    raise SolverError(f"malformed DIMACS problem line: {line!r}")
+                declared_variables = int(parts[2])
+                continue
+            literals = [int(token) for token in line.split()]
+            if literals and literals[-1] == 0:
+                literals = literals[:-1]
+            formula.add_clause(literals)
+        if declared_variables > formula.num_variables:
+            formula.num_variables = declared_variables
+        return formula
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"CNF(variables={self._num_variables}, clauses={len(self._clauses)})"

@@ -1,0 +1,89 @@
+"""A small DPLL solver used as a reference implementation.
+
+The CDCL solver in :mod:`repro.solvers.sat` is the work-horse; this recursive
+DPLL solver exists for two reasons:
+
+* it is simple enough to be obviously correct, so the test suite uses it to
+  cross-check the CDCL solver on randomly generated formulas, and
+* the ablation benchmark compares the two to show that clause learning matters
+  even at entity scale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.solvers.cnf import CNF
+from repro.solvers.sat import SATResult
+
+__all__ = ["dpll_solve"]
+
+
+def _unit_propagate(
+    clauses: Tuple[Tuple[int, ...], ...], assignment: Dict[int, bool]
+) -> Optional[Tuple[Tuple[Tuple[int, ...], ...], Dict[int, bool]]]:
+    """Repeatedly apply the unit-clause rule; return ``None`` on conflict."""
+    clauses_list = list(clauses)
+    assignment = dict(assignment)
+    changed = True
+    while changed:
+        changed = False
+        next_clauses = []
+        for clause in clauses_list:
+            satisfied = False
+            remaining = []
+            for lit in clause:
+                variable = abs(lit)
+                if variable in assignment:
+                    if assignment[variable] == (lit > 0):
+                        satisfied = True
+                        break
+                else:
+                    remaining.append(lit)
+            if satisfied:
+                continue
+            if not remaining:
+                return None
+            if len(remaining) == 1:
+                lit = remaining[0]
+                assignment[abs(lit)] = lit > 0
+                changed = True
+            else:
+                next_clauses.append(tuple(remaining))
+        clauses_list = next_clauses
+    return tuple(clauses_list), assignment
+
+
+def _dpll(clauses: Tuple[Tuple[int, ...], ...], assignment: Dict[int, bool]) -> Optional[Dict[int, bool]]:
+    propagated = _unit_propagate(clauses, assignment)
+    if propagated is None:
+        return None
+    clauses, assignment = propagated
+    if not clauses:
+        return assignment
+    # Branch on the first literal of the first clause (simple but adequate).
+    literal = clauses[0][0]
+    variable = abs(literal)
+    for value in (literal > 0, literal < 0):
+        attempt = dict(assignment)
+        attempt[variable] = value
+        result = _dpll(clauses, attempt)
+        if result is not None:
+            return result
+    return None
+
+
+def dpll_solve(cnf: CNF, assumptions: Sequence[int] = ()) -> SATResult:
+    """Decide satisfiability of *cnf* under *assumptions* with plain DPLL."""
+    assignment: Dict[int, bool] = {}
+    for literal in assumptions:
+        variable = abs(literal)
+        desired = literal > 0
+        if assignment.get(variable, desired) != desired:
+            return SATResult(False)
+        assignment[variable] = desired
+    model = _dpll(tuple(tuple(clause) for clause in cnf.clauses), assignment)
+    if model is None:
+        return SATResult(False)
+    complete = {variable: model.get(variable, False) for variable in range(1, cnf.num_variables + 1)}
+    return SATResult(True, model=complete)

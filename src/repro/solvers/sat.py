@@ -1,0 +1,348 @@
+"""A from-scratch CDCL SAT solver.
+
+This module replaces the MiniSAT binary used in the paper's experiments.  It
+implements the standard conflict-driven clause-learning loop:
+
+* two-literal watching for unit propagation,
+* first-UIP conflict analysis with clause learning,
+* VSIDS-style variable activities with decay,
+* phase saving and geometric restarts.
+
+The solver is deliberately dependency-free and deterministic (given the same
+formula it always returns the same model), which keeps experiments
+reproducible.  For the formula sizes produced by entity-level specifications
+(10²–10⁵ clauses) it answers well within interactive time.
+
+Public API
+----------
+
+``solve(cnf, assumptions=())`` returns a :class:`SATResult` whose
+``satisfiable`` flag and ``model`` (a ``{variable: bool}`` dict) mirror what a
+MiniSAT-style incremental interface would return.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import SolverError
+from repro.solvers.cnf import CNF
+
+__all__ = ["SATResult", "CDCLSolver", "solve"]
+
+
+@dataclass
+class SATResult:
+    """Outcome of a SAT call."""
+
+    satisfiable: bool
+    model: Optional[Dict[int, bool]] = None
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    restarts: int = 0
+
+    def __bool__(self) -> bool:
+        return self.satisfiable
+
+
+@dataclass
+class _SolverStats:
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    restarts: int = 0
+
+
+_UNASSIGNED = 0
+_TRUE = 1
+_FALSE = -1
+
+
+class CDCLSolver:
+    """Conflict-driven clause-learning solver over a fixed formula.
+
+    The solver takes its clauses at construction time; call :meth:`solve` with
+    optional assumption literals.  Assumptions are treated as pseudo-clauses
+    added for the duration of the call.
+    """
+
+    def __init__(self, cnf: CNF) -> None:
+        self._num_vars = cnf.num_variables
+        self._clauses: List[List[int]] = []
+        self._unit_literals: List[int] = []
+        self._trivially_unsat = False
+        for clause in cnf.clauses:
+            simplified = self._simplify_clause(clause)
+            if simplified is None:
+                continue  # tautology
+            if len(simplified) == 0:
+                self._trivially_unsat = True
+            elif len(simplified) == 1:
+                self._unit_literals.append(simplified[0])
+            else:
+                self._clauses.append(simplified)
+
+    @staticmethod
+    def _simplify_clause(clause: Sequence[int]) -> Optional[List[int]]:
+        """Deduplicate a clause; return ``None`` for tautologies."""
+        seen: Dict[int, None] = {}
+        for lit in clause:
+            if -lit in seen:
+                return None
+            seen.setdefault(lit, None)
+        return list(seen)
+
+    # -- main entry point -----------------------------------------------------
+
+    def solve(self, assumptions: Sequence[int] = (), conflict_limit: Optional[int] = None) -> SATResult:
+        """Decide satisfiability under *assumptions*.
+
+        Parameters
+        ----------
+        assumptions:
+            Literals assumed true for this call only.
+        conflict_limit:
+            Optional hard cap on the number of conflicts; when exceeded a
+            :class:`SolverError` is raised (used by tests to bound runtime).
+        """
+        if self._trivially_unsat:
+            return SATResult(False)
+
+        stats = _SolverStats()
+        num_vars = max(
+            self._num_vars,
+            max((abs(lit) for lit in assumptions), default=0),
+            max((abs(lit) for clause in self._clauses for lit in clause), default=0),
+            max((abs(lit) for lit in self._unit_literals), default=0),
+        )
+
+        clauses: List[List[int]] = [list(clause) for clause in self._clauses]
+        assignment: List[int] = [_UNASSIGNED] * (num_vars + 1)
+        level: List[int] = [0] * (num_vars + 1)
+        reason: List[Optional[int]] = [None] * (num_vars + 1)
+        trail: List[int] = []
+        trail_level_start: List[int] = [0]
+        activity: List[float] = [0.0] * (num_vars + 1)
+        phase: List[bool] = [False] * (num_vars + 1)
+        activity_increment = 1.0
+        activity_decay = 0.95
+
+        watches: Dict[int, List[int]] = {}
+
+        def watch(literal: int, clause_index: int) -> None:
+            watches.setdefault(literal, []).append(clause_index)
+
+        for index, clause in enumerate(clauses):
+            watch(clause[0], index)
+            watch(clause[1], index)
+
+        def value_of(literal: int) -> int:
+            value = assignment[abs(literal)]
+            if value == _UNASSIGNED:
+                return _UNASSIGNED
+            return value if literal > 0 else -value
+
+        def enqueue(literal: int, reason_clause: Optional[int]) -> bool:
+            variable = abs(literal)
+            current = value_of(literal)
+            if current == _TRUE:
+                return True
+            if current == _FALSE:
+                return False
+            assignment[variable] = _TRUE if literal > 0 else _FALSE
+            level[variable] = len(trail_level_start) - 1
+            reason[variable] = reason_clause
+            phase[variable] = literal > 0
+            trail.append(literal)
+            stats.propagations += 1
+            return True
+
+        propagation_queue_start = 0
+
+        def propagate() -> Optional[int]:
+            """Run unit propagation; return the index of a conflicting clause or ``None``."""
+            nonlocal propagation_queue_start
+            while propagation_queue_start < len(trail):
+                literal = trail[propagation_queue_start]
+                propagation_queue_start += 1
+                falsified = -literal
+                watching = watches.get(falsified, [])
+                index = 0
+                while index < len(watching):
+                    clause_index = watching[index]
+                    clause = clauses[clause_index]
+                    # Ensure the falsified literal sits at position 1.
+                    if clause[0] == falsified:
+                        clause[0], clause[1] = clause[1], clause[0]
+                    if value_of(clause[0]) == _TRUE:
+                        index += 1
+                        continue
+                    # Look for a replacement watch.
+                    replacement = -1
+                    for position in range(2, len(clause)):
+                        if value_of(clause[position]) != _FALSE:
+                            replacement = position
+                            break
+                    if replacement >= 0:
+                        clause[1], clause[replacement] = clause[replacement], clause[1]
+                        watching[index] = watching[-1]
+                        watching.pop()
+                        watch(clause[1], clause_index)
+                        continue
+                    # No replacement: clause is unit or conflicting.
+                    if value_of(clause[0]) == _FALSE:
+                        return clause_index
+                    enqueue(clause[0], clause_index)
+                    index += 1
+            return None
+
+        def bump(variable: int) -> None:
+            nonlocal activity_increment
+            activity[variable] += activity_increment
+
+        def decay_activities() -> None:
+            nonlocal activity_increment
+            activity_increment /= activity_decay
+            if activity_increment > 1e100:
+                for variable in range(1, num_vars + 1):
+                    activity[variable] *= 1e-100
+                activity_increment *= 1e-100
+
+        def analyze(conflict_index: int) -> Tuple[List[int], int]:
+            """First-UIP analysis; returns the learned clause and the backjump level."""
+            learned: List[int] = []
+            seen = [False] * (num_vars + 1)
+            counter = 0
+            literal: Optional[int] = None
+            clause = clauses[conflict_index]
+            current_level = len(trail_level_start) - 1
+            trail_index = len(trail) - 1
+
+            while True:
+                for other in clause:
+                    if literal is not None and other == literal:
+                        continue
+                    variable = abs(other)
+                    if seen[variable] or level[variable] == 0:
+                        continue
+                    seen[variable] = True
+                    bump(variable)
+                    if level[variable] == current_level:
+                        counter += 1
+                    else:
+                        learned.append(other)
+                # Pick the next literal to resolve on from the trail.
+                while not seen[abs(trail[trail_index])]:
+                    trail_index -= 1
+                literal = -trail[trail_index]
+                variable = abs(literal)
+                seen[variable] = False
+                counter -= 1
+                trail_index -= 1
+                if counter == 0:
+                    break
+                reason_index = reason[variable]
+                if reason_index is None:  # pragma: no cover - defensive
+                    break
+                clause = clauses[reason_index]
+
+            learned = [literal] + learned if literal is not None else learned
+            if len(learned) == 1:
+                return learned, 0
+            backjump = max(level[abs(lit)] for lit in learned[1:])
+            # Place a literal of the backjump level at position 1 (watch invariant).
+            for position in range(1, len(learned)):
+                if level[abs(learned[position])] == backjump:
+                    learned[1], learned[position] = learned[position], learned[1]
+                    break
+            return learned, backjump
+
+        def backtrack(target_level: int) -> None:
+            nonlocal propagation_queue_start
+            cutoff = trail_level_start[target_level + 1] if target_level + 1 < len(trail_level_start) else len(trail)
+            for literal in trail[cutoff:]:
+                variable = abs(literal)
+                assignment[variable] = _UNASSIGNED
+                reason[variable] = None
+            del trail[cutoff:]
+            del trail_level_start[target_level + 1 :]
+            propagation_queue_start = min(propagation_queue_start, len(trail))
+
+        def new_decision_level() -> None:
+            trail_level_start.append(len(trail))
+
+        def pick_branch_variable() -> Optional[int]:
+            best_variable = None
+            best_activity = -1.0
+            for variable in range(1, num_vars + 1):
+                if assignment[variable] == _UNASSIGNED and activity[variable] > best_activity:
+                    best_variable = variable
+                    best_activity = activity[variable]
+            return best_variable
+
+        # Level-0 units: original unit clauses plus assumptions.
+        for literal in list(self._unit_literals) + list(assumptions):
+            if not enqueue(literal, None):
+                return SATResult(False, conflicts=stats.conflicts)
+        if propagate() is not None:
+            return SATResult(False, conflicts=stats.conflicts)
+
+        restart_interval = 64
+        conflicts_since_restart = 0
+
+        while True:
+            conflict_index = propagate()
+            if conflict_index is not None:
+                stats.conflicts += 1
+                conflicts_since_restart += 1
+                if conflict_limit is not None and stats.conflicts > conflict_limit:
+                    raise SolverError(f"conflict limit of {conflict_limit} exceeded")
+                if len(trail_level_start) - 1 == 0:
+                    return SATResult(
+                        False,
+                        conflicts=stats.conflicts,
+                        decisions=stats.decisions,
+                        propagations=stats.propagations,
+                        restarts=stats.restarts,
+                    )
+                learned, backjump = analyze(conflict_index)
+                backtrack(backjump)
+                if len(learned) == 1:
+                    if not enqueue(learned[0], None):
+                        return SATResult(False, conflicts=stats.conflicts)
+                else:
+                    clauses.append(learned)
+                    clause_index = len(clauses) - 1
+                    watch(learned[0], clause_index)
+                    watch(learned[1], clause_index)
+                    enqueue(learned[0], clause_index)
+                decay_activities()
+                if conflicts_since_restart >= restart_interval:
+                    stats.restarts += 1
+                    conflicts_since_restart = 0
+                    restart_interval = int(restart_interval * 1.5)
+                    backtrack(0)
+                continue
+
+            variable = pick_branch_variable()
+            if variable is None:
+                model = {v: assignment[v] == _TRUE for v in range(1, num_vars + 1)}
+                return SATResult(
+                    True,
+                    model=model,
+                    conflicts=stats.conflicts,
+                    decisions=stats.decisions,
+                    propagations=stats.propagations,
+                    restarts=stats.restarts,
+                )
+            stats.decisions += 1
+            new_decision_level()
+            literal = variable if phase[variable] else -variable
+            enqueue(literal, None)
+
+
+def solve(cnf: CNF, assumptions: Sequence[int] = (), conflict_limit: Optional[int] = None) -> SATResult:
+    """Solve *cnf* under *assumptions* with a fresh :class:`CDCLSolver`."""
+    return CDCLSolver(cnf).solve(assumptions, conflict_limit=conflict_limit)

@@ -1,0 +1,128 @@
+"""Standalone unit-propagation engine.
+
+``DeduceOrder`` (paper Fig. 5) is, at its core, repeated application of the
+unit-clause rule: whenever the formula contains (or comes to contain) a
+one-literal clause, that literal must be true in every model, so it can be
+recorded and the formula reduced by it.  This module implements that loop
+efficiently — clauses are indexed by the literals they contain so that
+reduction is amortised linear in the formula size — and reports both the set
+of forced literals and whether propagation derived a contradiction.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set
+
+from repro.solvers.cnf import CNF
+
+__all__ = ["PropagationResult", "propagate_units"]
+
+
+@dataclass
+class PropagationResult:
+    """Outcome of exhaustive unit propagation.
+
+    Attributes
+    ----------
+    forced_literals:
+        Literals forced true by propagation, in the order they were derived.
+    conflict:
+        ``True`` when propagation derived the empty clause (the formula has no
+        model); the forced literals derived up to that point are still
+        reported.
+    """
+
+    forced_literals: List[int] = field(default_factory=list)
+    conflict: bool = False
+
+    def forces(self, literal: int) -> bool:
+        """Return ``True`` when *literal* is among the forced literals."""
+        return literal in set(self.forced_literals)
+
+
+def propagate_units(cnf: CNF, extra_units: Sequence[int] = ()) -> PropagationResult:
+    """Exhaustively apply the unit-clause rule to *cnf*.
+
+    Parameters
+    ----------
+    cnf:
+        The formula to propagate over (not modified).
+    extra_units:
+        Additional literals assumed true before propagation starts (used by
+        the deduction algorithms to inject user-validated facts).
+    """
+    result = PropagationResult()
+    assignment: Dict[int, bool] = {}
+
+    # Clause state: remaining (unsatisfied, unresolved) literal count and liveness.
+    clause_literals: List[Sequence[int]] = [clause for clause in cnf.clauses]
+    clause_alive: List[bool] = [True] * len(clause_literals)
+    clause_unassigned: List[int] = [len(clause) for clause in clause_literals]
+    occurrences: Dict[int, List[int]] = {}
+    for index, clause in enumerate(clause_literals):
+        for literal in clause:
+            occurrences.setdefault(literal, []).append(index)
+
+    queue: deque[int] = deque()
+
+    def enqueue(literal: int) -> bool:
+        variable = abs(literal)
+        desired = literal > 0
+        if variable in assignment:
+            return assignment[variable] == desired
+        assignment[variable] = desired
+        result.forced_literals.append(literal)
+        queue.append(literal)
+        return True
+
+    for index, clause in enumerate(clause_literals):
+        if len(clause) == 0:
+            result.conflict = True
+            return result
+        if len(clause) == 1:
+            if not enqueue(clause[0]):
+                result.conflict = True
+                return result
+    for literal in extra_units:
+        if not enqueue(literal):
+            result.conflict = True
+            return result
+
+    while queue:
+        literal = queue.popleft()
+        # Clauses containing the literal are satisfied.
+        for index in occurrences.get(literal, ()):
+            clause_alive[index] = False
+        # Clauses containing the negation lose a literal.
+        for index in occurrences.get(-literal, ()):
+            if not clause_alive[index]:
+                continue
+            clause_unassigned[index] -= 1
+            live_literals = [
+                lit
+                for lit in clause_literals[index]
+                if abs(lit) not in assignment or assignment[abs(lit)] == (lit > 0)
+            ]
+            live_literals = [lit for lit in live_literals if abs(lit) not in assignment]
+            if any(
+                abs(lit) in assignment and assignment[abs(lit)] == (lit > 0)
+                for lit in clause_literals[index]
+            ):
+                clause_alive[index] = False
+                continue
+            if not live_literals:
+                result.conflict = True
+                return result
+            if len(live_literals) == 1:
+                clause_alive[index] = False
+                if not enqueue(live_literals[0]):
+                    result.conflict = True
+                    return result
+    return result
+
+
+def forced_literal_set(cnf: CNF, extra_units: Sequence[int] = ()) -> Set[int]:
+    """Convenience wrapper returning the forced literals of *cnf* as a set."""
+    return set(propagate_units(cnf, extra_units).forced_literals)

@@ -1,0 +1,133 @@
+"""Tests for completions: current tuples, constraint satisfaction, enumeration."""
+
+import pytest
+
+from repro.core import (
+    Completion,
+    ConstantCFD,
+    CurrencyConstraint,
+    EntityInstance,
+    EntityTuple,
+    PartialOrder,
+    RelationSchema,
+    SchemaError,
+    TemporalInstance,
+    enumerate_completions,
+)
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema("person", ["status", "job", "kids"])
+
+
+@pytest.fixture
+def temporal(schema):
+    rows = [
+        EntityTuple(schema, {"status": "working", "job": "nurse", "kids": 0}),
+        EntityTuple(schema, {"status": "retired", "job": "n/a", "kids": 3}),
+    ]
+    return TemporalInstance(EntityInstance(schema, rows))
+
+
+def make_completion(temporal, status_order, job_order, kids_order):
+    return Completion(temporal, {"status": status_order, "job": job_order, "kids": kids_order})
+
+
+class TestCompletionBasics:
+    def test_current_tuple_takes_last_values(self, temporal):
+        completion = make_completion(temporal, ["working", "retired"], ["nurse", "n/a"], [0, 3])
+        assert completion.current_tuple() == {"status": "retired", "job": "n/a", "kids": 3}
+
+    def test_value_precedes(self, temporal):
+        completion = make_completion(temporal, ["working", "retired"], ["nurse", "n/a"], [0, 3])
+        assert completion.value_precedes("status", "working", "retired")
+        assert not completion.value_precedes("status", "retired", "working")
+        assert not completion.value_precedes("status", "working", "working")
+
+    def test_missing_attribute_rejected(self, temporal):
+        with pytest.raises(SchemaError):
+            Completion(temporal, {"status": ["working", "retired"]})
+
+    def test_wrong_domain_rejected(self, temporal):
+        with pytest.raises(SchemaError):
+            make_completion(temporal, ["working", "deceased"], ["nurse", "n/a"], [0, 3])
+
+    def test_unknown_value_in_precedes_rejected(self, temporal):
+        completion = make_completion(temporal, ["working", "retired"], ["nurse", "n/a"], [0, 3])
+        with pytest.raises(SchemaError):
+            completion.value_precedes("status", "working", "deceased")
+
+
+class TestPartialOrderRespect:
+    def test_extends_partial_orders(self, schema):
+        rows = [
+            EntityTuple(schema, {"status": "working", "job": "nurse", "kids": 0}),
+            EntityTuple(schema, {"status": "retired", "job": "n/a", "kids": 3}),
+        ]
+        instance = EntityInstance(schema, rows)
+        temporal = TemporalInstance(instance, {"status": PartialOrder([("t0", "t1")])})
+        respecting = make_completion(temporal, ["working", "retired"], ["nurse", "n/a"], [0, 3])
+        violating = make_completion(temporal, ["retired", "working"], ["nurse", "n/a"], [0, 3])
+        assert respecting.extends_partial_orders()
+        assert not violating.extends_partial_orders()
+
+
+class TestConstraintSatisfaction:
+    def test_value_transition_constraint(self, temporal):
+        constraint = CurrencyConstraint.value_transition("status", "working", "retired")
+        good = make_completion(temporal, ["working", "retired"], ["nurse", "n/a"], [0, 3])
+        bad = make_completion(temporal, ["retired", "working"], ["nurse", "n/a"], [0, 3])
+        assert good.satisfies_currency_constraint(constraint)
+        assert not bad.satisfies_currency_constraint(constraint)
+
+    def test_propagation_constraint(self, temporal):
+        constraint = CurrencyConstraint.order_propagation(["status"], "job")
+        aligned = make_completion(temporal, ["working", "retired"], ["nurse", "n/a"], [0, 3])
+        misaligned = make_completion(temporal, ["working", "retired"], ["n/a", "nurse"], [0, 3])
+        assert aligned.satisfies_currency_constraint(constraint)
+        assert not misaligned.satisfies_currency_constraint(constraint)
+
+    def test_equal_conclusion_values_are_vacuous(self, schema):
+        # Two tuples with the same job value: ϕ5-style constraints must not
+        # make the specification unsatisfiable (paper Example 2).
+        rows = [
+            EntityTuple(schema, {"status": "retired", "job": "n/a", "kids": 1}),
+            EntityTuple(schema, {"status": "deceased", "job": "n/a", "kids": 2}),
+        ]
+        temporal = TemporalInstance(EntityInstance(schema, rows))
+        constraint = CurrencyConstraint.order_propagation(["status"], "job")
+        completion = Completion(
+            temporal, {"status": ["retired", "deceased"], "job": ["n/a"], "kids": [1, 2]}
+        )
+        assert completion.satisfies_currency_constraint(constraint)
+
+    def test_cfd_satisfaction_on_current_tuple(self, temporal):
+        cfd = ConstantCFD({"status": "retired"}, "job", "n/a")
+        good = make_completion(temporal, ["working", "retired"], ["nurse", "n/a"], [0, 3])
+        bad = make_completion(temporal, ["working", "retired"], ["n/a", "nurse"], [0, 3])
+        assert good.satisfies_cfd(cfd)
+        assert not bad.satisfies_cfd(cfd)
+
+    def test_is_valid_for_combines_everything(self, temporal):
+        sigma = [CurrencyConstraint.value_transition("status", "working", "retired")]
+        gamma = [ConstantCFD({"status": "retired"}, "job", "n/a")]
+        good = make_completion(temporal, ["working", "retired"], ["nurse", "n/a"], [0, 3])
+        assert good.is_valid_for(sigma, gamma)
+
+
+class TestEnumeration:
+    def test_number_of_completions(self, temporal):
+        # 2 values in each of 3 attributes → 2^3 = 8 completions (no partial orders).
+        assert len(list(enumerate_completions(temporal))) == 8
+
+    def test_partial_orders_prune_completions(self, schema):
+        rows = [
+            EntityTuple(schema, {"status": "working", "job": "nurse", "kids": 0}),
+            EntityTuple(schema, {"status": "retired", "job": "n/a", "kids": 3}),
+        ]
+        instance = EntityInstance(schema, rows)
+        temporal = TemporalInstance(instance, {"status": PartialOrder([("t0", "t1")])})
+        completions = list(enumerate_completions(temporal))
+        assert len(completions) == 4
+        assert all(c.value_precedes("status", "working", "retired") for c in completions)

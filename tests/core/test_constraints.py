@@ -1,0 +1,134 @@
+"""Tests for currency constraints and their predicates."""
+
+import pytest
+
+from repro.core import (
+    ConstantComparisonPredicate,
+    ConstraintSyntaxError,
+    CurrencyConstraint,
+    EntityTuple,
+    OrderPredicate,
+    RelationSchema,
+    SchemaError,
+    TupleComparisonPredicate,
+)
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema("person", ["status", "job", "kids", "city"])
+
+
+@pytest.fixture
+def rows(schema):
+    return (
+        EntityTuple(schema, {"status": "working", "job": "nurse", "kids": 0, "city": "NY"}, tid="t1"),
+        EntityTuple(schema, {"status": "retired", "job": "n/a", "kids": 3, "city": "SFC"}, tid="t2"),
+    )
+
+
+class TestPredicates:
+    def test_order_predicate_attributes(self):
+        assert OrderPredicate("status").referenced_attributes() == frozenset({"status"})
+
+    def test_tuple_comparison_evaluation(self, rows):
+        older, newer = rows
+        assert TupleComparisonPredicate("kids", "<").evaluate(older, newer)
+        assert not TupleComparisonPredicate("kids", ">").evaluate(older, newer)
+
+    def test_tuple_comparison_rejects_bad_operator(self):
+        with pytest.raises(ConstraintSyntaxError):
+            TupleComparisonPredicate("kids", "<>")
+
+    def test_constant_comparison_evaluation(self, rows):
+        older, newer = rows
+        assert ConstantComparisonPredicate(1, "status", "=", "working").evaluate(older, newer)
+        assert ConstantComparisonPredicate(2, "status", "=", "retired").evaluate(older, newer)
+        assert not ConstantComparisonPredicate(2, "status", "=", "working").evaluate(older, newer)
+
+    def test_constant_comparison_rejects_bad_tuple_index(self):
+        with pytest.raises(ConstraintSyntaxError):
+            ConstantComparisonPredicate(3, "status", "=", "working")
+
+
+class TestCurrencyConstraint:
+    def test_value_transition_constructor(self):
+        constraint = CurrencyConstraint.value_transition("status", "working", "retired")
+        assert constraint.conclusion_attribute == "status"
+        assert len(constraint.body) == 2
+        assert constraint.is_comparison_only()
+
+    def test_monotone_constructor(self):
+        constraint = CurrencyConstraint.monotone("kids")
+        assert constraint.conclusion_attribute == "kids"
+        assert constraint.is_comparison_only()
+
+    def test_order_propagation_constructor(self):
+        constraint = CurrencyConstraint.order_propagation(["city", "zip"], "county")
+        assert constraint.conclusion_attribute == "county"
+        assert not constraint.is_comparison_only()
+        assert len(constraint.order_body_predicates()) == 2
+
+    def test_referenced_attributes(self):
+        constraint = CurrencyConstraint.order_propagation(["status"], "job")
+        assert constraint.referenced_attributes() == frozenset({"status", "job"})
+
+    def test_validate_against_schema(self, schema):
+        CurrencyConstraint.order_propagation(["status"], "job").validate(schema)
+        with pytest.raises(SchemaError):
+            CurrencyConstraint.order_propagation(["status"], "county").validate(schema)
+
+    def test_rejects_unknown_predicate_objects(self):
+        with pytest.raises(ConstraintSyntaxError):
+            CurrencyConstraint(("not a predicate",), "status")
+
+    def test_empty_body_is_allowed(self):
+        constraint = CurrencyConstraint((), "status")
+        assert constraint.body == ()
+
+
+class TestParse:
+    def test_parse_value_transition(self):
+        constraint = CurrencyConstraint.parse(
+            "t1.status = 'working' & t2.status = 'retired' -> t1 < t2 on status"
+        )
+        assert constraint.conclusion_attribute == "status"
+        assert constraint.is_comparison_only()
+        first, second = constraint.body
+        assert first.constant == "working"
+        assert second.constant == "retired"
+
+    def test_parse_order_propagation(self):
+        constraint = CurrencyConstraint.parse("t1 < t2 on status -> t1 < t2 on job")
+        assert constraint.conclusion_attribute == "job"
+        assert isinstance(constraint.body[0], OrderPredicate)
+
+    def test_parse_tuple_comparison(self):
+        constraint = CurrencyConstraint.parse("t1.kids < t2.kids -> t1 < t2 on kids")
+        assert isinstance(constraint.body[0], TupleComparisonPredicate)
+
+    def test_parse_numeric_and_null_constants(self):
+        constraint = CurrencyConstraint.parse("t1.kids = 3 -> t1 < t2 on kids")
+        assert constraint.body[0].constant == 3
+        constraint = CurrencyConstraint.parse("t1.kids = null -> t1 < t2 on kids")
+        assert constraint.body[0].constant is not None  # normalised to the NULL marker
+
+    def test_parse_true_body(self):
+        constraint = CurrencyConstraint.parse("true -> t1 < t2 on kids")
+        assert constraint.body == ()
+
+    def test_parse_rejects_missing_arrow(self):
+        with pytest.raises(ConstraintSyntaxError):
+            CurrencyConstraint.parse("t1.kids < t2.kids")
+
+    def test_parse_rejects_bad_conclusion(self):
+        with pytest.raises(ConstraintSyntaxError):
+            CurrencyConstraint.parse("t1.kids < t2.kids -> t1 before t2 on kids")
+
+    def test_parse_rejects_mismatched_tuple_comparison(self):
+        with pytest.raises(ConstraintSyntaxError):
+            CurrencyConstraint.parse("t1.kids < t2.city -> t1 < t2 on kids")
+
+    def test_str_rendering_mentions_name(self):
+        constraint = CurrencyConstraint.value_transition("status", "a", "b", name="phi1")
+        assert "phi1" in str(constraint)

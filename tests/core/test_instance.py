@@ -1,0 +1,128 @@
+"""Tests for entity instances, temporal instances and temporal-order deltas."""
+
+import pytest
+
+from repro.core import (
+    EntityInstance,
+    EntityTuple,
+    NULL,
+    PartialOrder,
+    RelationSchema,
+    SchemaError,
+    TemporalInstance,
+    TemporalOrderDelta,
+)
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema("r", ["name", "status", "kids"])
+
+
+@pytest.fixture
+def instance(schema):
+    rows = [
+        EntityTuple(schema, {"name": "E", "status": "working", "kids": 0}),
+        EntityTuple(schema, {"name": "E", "status": "retired", "kids": 3}),
+        EntityTuple(schema, {"name": "E", "status": "deceased", "kids": None}),
+    ]
+    return EntityInstance(schema, rows)
+
+
+class TestEntityInstance:
+    def test_tids_assigned_in_order(self, instance):
+        assert instance.tids == ("t0", "t1", "t2")
+
+    def test_duplicate_tids_rejected(self, schema):
+        rows = [
+            EntityTuple(schema, {"name": "E"}, tid="x"),
+            EntityTuple(schema, {"name": "E"}, tid="x"),
+        ]
+        with pytest.raises(SchemaError):
+            EntityInstance(schema, rows)
+
+    def test_schema_mismatch_rejected(self, schema):
+        other = RelationSchema("other", ["name"])
+        with pytest.raises(SchemaError):
+            EntityInstance(schema, [EntityTuple(other, {"name": "E"})])
+
+    def test_lookup_by_tid(self, instance):
+        assert instance["t1"]["status"] == "retired"
+        assert "t1" in instance
+        with pytest.raises(SchemaError):
+            instance["missing"]
+
+    def test_active_domain_includes_null(self, instance):
+        domain = instance.active_domain("kids")
+        assert 0 in domain and 3 in domain
+        assert any(value is NULL or value is None for value in domain) or NULL in domain
+
+    def test_active_domain_deduplicates(self, schema):
+        rows = [
+            EntityTuple(schema, {"name": "E", "status": "working"}),
+            EntityTuple(schema, {"name": "E", "status": "working"}),
+        ]
+        assert EntityInstance(schema, rows).active_domain("status") == ("working",)
+
+    def test_conflicting_attributes(self, instance):
+        conflicting = instance.conflicting_attributes()
+        assert "status" in conflicting
+        assert "name" not in conflicting
+
+    def test_with_tuples_appends(self, instance, schema):
+        extra = EntityTuple(schema, {"name": "E", "status": "zzz"}, tid="new")
+        larger = instance.with_tuples([extra])
+        assert len(larger) == 4
+        assert len(instance) == 3
+
+
+class TestTemporalInstance:
+    def test_null_ranked_lowest(self, instance):
+        temporal = TemporalInstance(instance)
+        # t2 has a NULL kids value, so it sits below both other tuples for kids.
+        assert temporal.more_current("t2", "t0", "kids")
+        assert temporal.more_current("t2", "t1", "kids")
+        assert not temporal.more_current("t0", "t2", "kids")
+
+    def test_null_ranking_can_be_disabled(self, instance):
+        temporal = TemporalInstance(instance, rank_nulls_lowest=False)
+        assert not temporal.more_current("t2", "t0", "kids")
+
+    def test_explicit_orders_are_kept(self, instance):
+        order = PartialOrder([("t0", "t1")])
+        temporal = TemporalInstance(instance, {"status": order})
+        assert temporal.more_current("t0", "t1", "status")
+
+    def test_unknown_attribute_rejected(self, instance):
+        with pytest.raises(SchemaError):
+            TemporalInstance(instance, {"zzz": PartialOrder()})
+
+    def test_size_counts_edges(self, instance):
+        temporal = TemporalInstance(instance, {"status": PartialOrder([("t0", "t1")])})
+        # one explicit edge + two NULL-lowest edges on kids
+        assert temporal.size() == 3
+
+    def test_extend_with_delta(self, instance, schema):
+        temporal = TemporalInstance(instance)
+        new_tuple = EntityTuple(schema, {"name": "E", "status": "zzz"}, tid="user")
+        delta = TemporalOrderDelta(new_tuples=[new_tuple])
+        for tid in instance.tids:
+            delta.add("status", tid, "user")
+        extended = temporal.extend(delta)
+        assert len(extended.instance) == 4
+        assert extended.more_current("t0", "user", "status")
+        # The original instance is untouched.
+        assert len(instance) == 3
+
+
+class TestTemporalOrderDelta:
+    def test_size_and_emptiness(self):
+        delta = TemporalOrderDelta()
+        assert delta.is_empty()
+        delta.add("status", "a", "b")
+        assert delta.size() == 1
+        assert not delta.is_empty()
+
+    def test_new_tuples_make_it_non_empty(self, schema):
+        delta = TemporalOrderDelta(new_tuples=[EntityTuple(schema, {"name": "E"}, tid="x")])
+        assert not delta.is_empty()

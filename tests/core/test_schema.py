@@ -1,0 +1,85 @@
+"""Tests for attributes and relation schemas."""
+
+import pytest
+
+from repro.core import Attribute, AttributeType, RelationSchema, SchemaError
+
+
+class TestAttribute:
+    def test_default_type_is_any(self):
+        assert Attribute("city").dtype is AttributeType.ANY
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_str_is_name(self):
+        assert str(Attribute("kids")) == "kids"
+
+
+class TestRelationSchema:
+    def test_accepts_strings_and_attributes(self):
+        schema = RelationSchema("r", ["a", Attribute("b", AttributeType.INTEGER)])
+        assert schema.attribute_names == ("a", "b")
+        assert schema["b"].dtype is AttributeType.INTEGER
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("r", ["a", "a"])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("r", [])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("", ["a"])
+
+    def test_non_attribute_member_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("r", [42])
+
+    def test_contains_and_getitem(self):
+        schema = RelationSchema("r", ["a", "b"])
+        assert "a" in schema
+        assert "z" not in schema
+        assert schema["a"].name == "a"
+        with pytest.raises(SchemaError):
+            schema["z"]
+
+    def test_len_and_iteration(self):
+        schema = RelationSchema("r", ["a", "b", "c"])
+        assert len(schema) == 3
+        assert [attribute.name for attribute in schema] == ["a", "b", "c"]
+
+    def test_require_accepts_known_names(self):
+        schema = RelationSchema("r", ["a", "b"])
+        schema.require(["a", "b"])
+
+    def test_require_rejects_unknown_names(self):
+        schema = RelationSchema("r", ["a", "b"])
+        with pytest.raises(SchemaError):
+            schema.require(["a", "zzz"])
+
+    def test_index_of(self):
+        schema = RelationSchema("r", ["a", "b", "c"])
+        assert schema.index_of("b") == 1
+        with pytest.raises(SchemaError):
+            schema.index_of("zzz")
+
+    def test_project_keeps_order(self):
+        schema = RelationSchema("r", ["a", "b", "c"])
+        projected = schema.project(["c", "a"])
+        assert projected.attribute_names == ("a", "c")
+
+    def test_equality_and_hash(self):
+        first = RelationSchema("r", ["a", "b"])
+        second = RelationSchema("r", ["a", "b"])
+        different = RelationSchema("r", ["a", "c"])
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != different
+
+    def test_paper_schema(self, vj_schema):
+        assert len(vj_schema) == 8
+        assert "county" in vj_schema

@@ -1,0 +1,170 @@
+"""Tests for specifications: construction, ⊕ extension, brute-force semantics."""
+
+import pytest
+
+from repro.core import (
+    ConstantCFD,
+    CurrencyConstraint,
+    EntityTuple,
+    NULL,
+    PartialOrder,
+    RelationSchema,
+    SchemaError,
+    Specification,
+    TemporalOrderDelta,
+    TrueValueAssignment,
+    values_equal,
+)
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema("person", ["status", "job", "city", "AC"])
+
+
+@pytest.fixture
+def rows():
+    return [
+        {"status": "working", "job": "nurse", "city": "NY", "AC": "212"},
+        {"status": "retired", "job": "n/a", "city": "LA", "AC": "213"},
+    ]
+
+
+@pytest.fixture
+def sigma():
+    return [
+        CurrencyConstraint.value_transition("status", "working", "retired", "phi1"),
+        CurrencyConstraint.order_propagation(["status"], "job", "phi5"),
+        CurrencyConstraint.order_propagation(["status"], "AC", "phi6"),
+    ]
+
+
+@pytest.fixture
+def gamma():
+    return [ConstantCFD({"AC": "213"}, "city", "LA", "psi1")]
+
+
+class TestConstruction:
+    def test_from_rows(self, schema, rows, sigma, gamma):
+        spec = Specification.from_rows(schema, rows, sigma, gamma, name="test")
+        assert len(spec.instance) == 2
+        assert len(spec.currency_constraints) == 3
+        assert len(spec.cfds) == 1
+        assert "test" in spec.summary()
+
+    def test_constraints_validated_against_schema(self, schema, rows):
+        bad = [CurrencyConstraint.order_propagation(["zzz"], "job")]
+        with pytest.raises(SchemaError):
+            Specification.from_rows(schema, rows, bad, [])
+
+    def test_cfds_validated_against_schema(self, schema, rows):
+        bad = [ConstantCFD({"zzz": "1"}, "city", "LA")]
+        with pytest.raises(SchemaError):
+            Specification.from_rows(schema, rows, [], bad)
+
+    def test_with_constraints_replaces_sets(self, schema, rows, sigma, gamma):
+        spec = Specification.from_rows(schema, rows, sigma, gamma)
+        reduced = spec.with_constraints(currency_constraints=[], cfds=None)
+        assert len(reduced.currency_constraints) == 0
+        assert len(reduced.cfds) == 1
+
+
+class TestValueDomain:
+    def test_value_domain_includes_cfd_constants(self, schema, rows, gamma):
+        spec = Specification.from_rows(schema, rows, [], gamma)
+        domain = spec.value_domain("city")
+        assert "LA" in domain and "NY" in domain
+        # The CFD constant "213" must be in AC's value domain even if absent from tuples.
+        spec2 = Specification.from_rows(
+            schema, [{"status": "working", "AC": "415", "city": "SF", "job": "x"}], [], gamma
+        )
+        assert "213" in spec2.value_domain("AC")
+
+    def test_value_domain_unknown_attribute(self, schema, rows):
+        spec = Specification.from_rows(schema, rows)
+        with pytest.raises(SchemaError):
+            spec.value_domain("zzz")
+
+
+class TestExtension:
+    def test_extend_with_empty_delta_is_identity(self, schema, rows):
+        spec = Specification.from_rows(schema, rows)
+        assert spec.extend(TemporalOrderDelta()) is spec
+
+    def test_extend_adds_tuples_and_orders(self, schema, rows, sigma):
+        spec = Specification.from_rows(schema, rows, sigma, [])
+        new_tuple = EntityTuple(schema, {"status": "retired"}, tid="user")
+        delta = TemporalOrderDelta(new_tuples=[new_tuple])
+        delta.add("status", "t0", "user")
+        extended = spec.extend(delta)
+        assert len(extended.instance) == 3
+        assert len(spec.instance) == 2
+        assert extended.temporal_instance.more_current("t0", "user", "status")
+
+
+class TestBruteForceSemantics:
+    def test_valid_specification(self, schema, rows, sigma, gamma):
+        spec = Specification.from_rows(schema, rows, sigma, gamma)
+        assert spec.is_valid_brute_force()
+
+    def test_invalid_specification(self, schema):
+        rows = [
+            {"status": "working", "job": "a", "city": "NY", "AC": "1"},
+            {"status": "retired", "job": "b", "city": "LA", "AC": "2"},
+        ]
+        sigma = [
+            CurrencyConstraint.value_transition("status", "working", "retired"),
+            CurrencyConstraint.value_transition("status", "retired", "working"),
+        ]
+        spec = Specification.from_rows(schema, rows, sigma, [])
+        assert not spec.is_valid_brute_force()
+
+    def test_true_value_brute_force(self, schema, rows, sigma, gamma):
+        spec = Specification.from_rows(schema, rows, sigma, gamma)
+        truth = spec.true_value_brute_force()
+        assert truth is not None
+        assert truth["status"] == "retired"
+        assert truth["job"] == "n/a"
+        assert truth["AC"] == "213"
+        assert truth["city"] == "LA"
+
+    def test_true_value_missing_when_ambiguous(self, schema, rows):
+        spec = Specification.from_rows(schema, rows)  # no constraints at all
+        assert spec.true_value_brute_force() is None
+
+    def test_true_attributes_partial(self, schema, rows, sigma):
+        spec = Specification.from_rows(schema, rows, sigma, [])
+        partial = spec.true_attributes_brute_force()
+        assert partial["status"] == "retired"
+        assert "city" not in partial  # undetermined without the CFD
+
+    def test_implication_brute_force(self, schema, rows, sigma):
+        spec = Specification.from_rows(schema, rows, sigma, [])
+        assert spec.implies_order_brute_force("status", "working", "retired")
+        assert not spec.implies_order_brute_force("city", "NY", "LA")
+
+
+class TestTrueValueAssignment:
+    def test_membership_and_access(self):
+        assignment = TrueValueAssignment({"a": 1})
+        assert "a" in assignment
+        assert assignment["a"] == 1
+        assert len(assignment) == 1
+
+    def test_is_total_for(self, schema):
+        partial = TrueValueAssignment({"status": "x"})
+        assert not partial.is_total_for(schema)
+        full = TrueValueAssignment({name: "x" for name in schema.attribute_names})
+        assert full.is_total_for(schema)
+
+    def test_merge_prefers_other(self):
+        first = TrueValueAssignment({"a": 1, "b": 2})
+        second = TrueValueAssignment({"b": 3})
+        merged = first.merge(second)
+        assert merged["a"] == 1 and merged["b"] == 3
+
+    def test_as_tuple_dict_fills_unknowns(self, schema):
+        assignment = TrueValueAssignment({"status": "x"})
+        as_dict = assignment.as_tuple_dict(schema)
+        assert as_dict["status"] == "x"
+        assert as_dict["job"] is None

@@ -1,0 +1,92 @@
+"""Tests for entity tuples."""
+
+import pytest
+
+from repro.core import (
+    Attribute,
+    AttributeType,
+    EntityTuple,
+    NULL,
+    RelationSchema,
+    SchemaError,
+    ValueTypeError,
+)
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema("r", ["name", Attribute("kids", AttributeType.INTEGER), "city"])
+
+
+class TestConstruction:
+    def test_missing_attributes_become_null(self, schema):
+        row = EntityTuple(schema, {"name": "Edith"})
+        assert row["name"] == "Edith"
+        assert row.is_null("kids")
+        assert row.is_null("city")
+
+    def test_none_becomes_null(self, schema):
+        row = EntityTuple(schema, {"name": "Edith", "kids": None})
+        assert row["kids"] is NULL
+
+    def test_unknown_attribute_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            EntityTuple(schema, {"unknown": 1})
+
+    def test_type_violation_rejected(self, schema):
+        with pytest.raises(ValueTypeError):
+            EntityTuple(schema, {"kids": "three"})
+
+    def test_tid_round_trip(self, schema):
+        row = EntityTuple(schema, {"name": "Edith"}, tid="t7")
+        assert row.tid == "t7"
+        assert row.with_tid("t9").tid == "t9"
+
+
+class TestAccess:
+    def test_getitem_unknown_attribute(self, schema):
+        row = EntityTuple(schema, {"name": "Edith"})
+        with pytest.raises(SchemaError):
+            row["zzz"]
+
+    def test_get_with_default(self, schema):
+        row = EntityTuple(schema, {"name": "Edith"})
+        assert row.get("city") is NULL
+
+    def test_as_dict_is_a_copy(self, schema):
+        row = EntityTuple(schema, {"name": "Edith", "kids": 2})
+        data = row.as_dict()
+        data["kids"] = 99
+        assert row["kids"] == 2
+
+    def test_project(self, schema):
+        row = EntityTuple(schema, {"name": "Edith", "kids": 2, "city": "NY"})
+        assert row.project(["name", "city"]) == {"name": "Edith", "city": "NY"}
+
+    def test_with_values_returns_new_tuple(self, schema):
+        row = EntityTuple(schema, {"name": "Edith", "kids": 2})
+        updated = row.with_values({"kids": 3})
+        assert updated["kids"] == 3
+        assert row["kids"] == 2
+
+
+class TestComparison:
+    def test_agrees_with_on_subset(self, schema):
+        first = EntityTuple(schema, {"name": "Edith", "kids": 2, "city": "NY"})
+        second = EntityTuple(schema, {"name": "Edith", "kids": 3, "city": "NY"})
+        assert first.agrees_with(second, ["name", "city"])
+        assert not first.agrees_with(second, ["kids"])
+        assert not first.agrees_with(second)
+
+    def test_equality_includes_tid(self, schema):
+        first = EntityTuple(schema, {"name": "Edith"}, tid="a")
+        second = EntityTuple(schema, {"name": "Edith"}, tid="a")
+        third = EntityTuple(schema, {"name": "Edith"}, tid="b")
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != third
+
+    def test_null_values_compare_equal(self, schema):
+        first = EntityTuple(schema, {"name": "Edith", "city": None}, tid="a")
+        second = EntityTuple(schema, {"name": "Edith"}, tid="a")
+        assert first == second

@@ -1,0 +1,162 @@
+"""Tests for value primitives: NULL semantics, comparisons, operators."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import NULL, AttributeType, Null, ValueTypeError, compare_values, is_null, values_equal
+from repro.core.values import COMPARISON_OPERATORS, apply_operator, normalize
+
+
+class TestNull:
+    def test_null_is_singleton(self):
+        assert Null() is Null()
+        assert Null() is NULL
+
+    def test_null_is_falsy(self):
+        assert not NULL
+
+    def test_null_equals_none(self):
+        assert NULL == None  # noqa: E711 - intentional semantics check
+        assert Null() == NULL
+
+    def test_null_not_equal_to_values(self):
+        assert NULL != 0
+        assert NULL != ""
+        assert NULL != "null"
+
+    def test_null_is_hashable(self):
+        assert len({NULL, Null(), None}) <= 2  # NULL collides with itself
+
+
+class TestNormalize:
+    def test_none_becomes_null(self):
+        assert normalize(None) is NULL
+
+    def test_strings_pass_through(self):
+        assert normalize("NY") == "NY"
+
+    def test_ints_and_floats_pass_through(self):
+        assert normalize(3) == 3
+        assert normalize(2.5) == 2.5
+
+    def test_bools_pass_through(self):
+        assert normalize(True) is True
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(ValueTypeError):
+            normalize(object())
+
+    def test_na_string_is_a_real_value(self):
+        # "n/a" is used as a genuine job value in the paper's example.
+        assert not is_null(normalize("n/a"))
+
+
+class TestIsNull:
+    def test_none_is_null(self):
+        assert is_null(None)
+
+    def test_null_marker_is_null(self):
+        assert is_null(NULL)
+
+    def test_zero_and_empty_string_are_not_null(self):
+        assert not is_null(0)
+        assert not is_null("")
+
+
+class TestValuesEqual:
+    def test_two_nulls_are_equal(self):
+        assert values_equal(NULL, None)
+
+    def test_null_never_equals_a_value(self):
+        assert not values_equal(NULL, 0)
+        assert not values_equal("x", None)
+
+    def test_plain_equality(self):
+        assert values_equal("LA", "LA")
+        assert not values_equal("LA", "NY")
+
+    def test_int_float_equality(self):
+        assert values_equal(3, 3.0)
+
+
+class TestCompareValues:
+    def test_null_is_lowest(self):
+        assert compare_values(NULL, 0) == -1
+        assert compare_values(0, NULL) == 1
+        assert compare_values(NULL, "a") == -1
+
+    def test_numbers_compare_by_magnitude(self):
+        assert compare_values(1, 2) == -1
+        assert compare_values(5, 2) == 1
+        assert compare_values(2, 2) == 0
+
+    def test_strings_compare_lexicographically(self):
+        assert compare_values("a", "b") == -1
+        assert compare_values("b", "a") == 1
+
+    def test_numbers_sort_below_strings(self):
+        assert compare_values(10, "10x") == -1
+
+    @given(st.integers(), st.integers())
+    def test_antisymmetry_on_integers(self, a, b):
+        assert compare_values(a, b) == -compare_values(b, a)
+
+    @given(st.text(max_size=8), st.text(max_size=8), st.text(max_size=8))
+    def test_transitivity_on_strings(self, a, b, c):
+        if compare_values(a, b) <= 0 and compare_values(b, c) <= 0:
+            assert compare_values(a, c) <= 0
+
+
+class TestApplyOperator:
+    def test_equality_operators(self):
+        assert apply_operator("x", "=", "x")
+        assert apply_operator("x", "!=", "y")
+
+    def test_numeric_operators(self):
+        assert apply_operator(1, "<", 2)
+        assert apply_operator(2, "<=", 2)
+        assert apply_operator(3, ">", 2)
+        assert apply_operator(3, ">=", 3)
+
+    def test_null_less_than_any_number(self):
+        # Example 2(b): "assuming null < k for any number k".
+        assert apply_operator(NULL, "<", 0)
+        assert apply_operator(NULL, "<", 100)
+        assert not apply_operator(0, "<", NULL)
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(ValueTypeError):
+            apply_operator(1, "<>", 2)
+
+    @given(st.integers(-50, 50), st.integers(-50, 50))
+    def test_operator_consistency(self, a, b):
+        assert apply_operator(a, "<", b) == (not apply_operator(a, ">=", b))
+        assert apply_operator(a, "=", b) == (not apply_operator(a, "!=", b))
+
+    def test_all_listed_operators_are_supported(self):
+        for op in COMPARISON_OPERATORS:
+            apply_operator(1, op, 2)
+
+
+class TestAttributeType:
+    def test_string_type_validation(self):
+        assert AttributeType.STRING.validates("x")
+        assert not AttributeType.STRING.validates(3)
+
+    def test_integer_type_validation(self):
+        assert AttributeType.INTEGER.validates(3)
+        assert not AttributeType.INTEGER.validates("3")
+        assert not AttributeType.INTEGER.validates(True)
+
+    def test_float_type_accepts_int(self):
+        assert AttributeType.FLOAT.validates(3)
+        assert AttributeType.FLOAT.validates(2.5)
+
+    def test_any_type_accepts_everything(self):
+        assert AttributeType.ANY.validates("x")
+        assert AttributeType.ANY.validates(1)
+
+    def test_null_is_valid_for_all_types(self):
+        for dtype in AttributeType:
+            assert dtype.validates(NULL)

@@ -1,0 +1,84 @@
+"""Tests for the history-corruption utilities."""
+
+import random
+
+import pytest
+
+from repro.core import is_null
+from repro.datasets import CorruptionConfig, corrupt_history
+
+
+@pytest.fixture
+def history():
+    return [
+        {"name": "e", "status": f"s{index}", "kids": index}
+        for index in range(4)
+    ]
+
+
+class TestCorruptHistory:
+    def test_empty_history(self):
+        assert corrupt_history([], random.Random(0)) == []
+
+    def test_drop_latest_tuple(self, history):
+        config = CorruptionConfig(drop_latest_tuple=True, null_probability=0.0, shuffle=False)
+        rows = corrupt_history(history, random.Random(0), config)
+        assert all(row["status"] != "s3" for row in rows)
+        assert len(rows) == 3
+
+    def test_keep_latest_tuple(self, history):
+        config = CorruptionConfig(drop_latest_tuple=False, null_probability=0.0, shuffle=False)
+        rows = corrupt_history(history, random.Random(0), config)
+        assert any(row["status"] == "s3" for row in rows)
+
+    def test_single_version_history_is_never_emptied(self):
+        config = CorruptionConfig(drop_latest_tuple=True, null_probability=0.0)
+        rows = corrupt_history([{"name": "e", "status": "s0"}], random.Random(0), config)
+        assert rows
+
+    def test_duplicate_factor_increases_row_count(self, history):
+        config = CorruptionConfig(drop_latest_tuple=False, null_probability=0.0, duplicate_factor=3.0)
+        rows = corrupt_history(history, random.Random(0), config)
+        assert len(rows) == 3 * len(history)
+
+    def test_null_probability_blanks_values(self, history):
+        config = CorruptionConfig(
+            drop_latest_tuple=False, null_probability=1.0, protected_attributes=("name",)
+        )
+        rows = corrupt_history(history, random.Random(0), config)
+        assert all(is_null(row["status"]) and is_null(row["kids"]) for row in rows)
+
+    def test_protected_attributes_never_blanked(self, history):
+        config = CorruptionConfig(
+            drop_latest_tuple=False, null_probability=1.0, protected_attributes=("name",)
+        )
+        rows = corrupt_history(history, random.Random(0), config)
+        assert all(row["name"] == "e" for row in rows)
+
+    def test_version_level_nulls_affect_all_copies(self, history):
+        config = CorruptionConfig(
+            drop_latest_tuple=False,
+            null_probability=0.0,
+            version_null_probability=1.0,
+            duplicate_factor=2.0,
+            protected_attributes=("name",),
+        )
+        rows = corrupt_history(history, random.Random(0), config)
+        assert all(is_null(row["status"]) for row in rows)
+
+    def test_min_rows_is_respected(self):
+        config = CorruptionConfig(drop_latest_tuple=False, null_probability=0.0, min_rows=5)
+        rows = corrupt_history([{"name": "e", "status": "s0"}], random.Random(0), config)
+        assert len(rows) == 5
+
+    def test_original_history_is_not_mutated(self, history):
+        snapshot = [dict(version) for version in history]
+        config = CorruptionConfig(null_probability=1.0, version_null_probability=1.0)
+        corrupt_history(history, random.Random(0), config)
+        assert history == snapshot
+
+    def test_shuffle_is_deterministic_per_seed(self, history):
+        config = CorruptionConfig(drop_latest_tuple=False, null_probability=0.0)
+        first = corrupt_history(history, random.Random(42), config)
+        second = corrupt_history(history, random.Random(42), config)
+        assert first == second

@@ -1,0 +1,178 @@
+"""Tests for the Person / NBA / CAREER dataset generators.
+
+The key invariants come straight from Section VI of the paper: generated
+entity instances must be *valid* under the generated constraints (conflicts
+yes, violations no), ground truth must be attribute-wise consistent with the
+history, and generation must be deterministic for a fixed seed.
+"""
+
+import pytest
+
+from repro.core import DatasetError, values_equal
+from repro.datasets import (
+    CareerConfig,
+    NBAConfig,
+    PersonConfig,
+    generate_career_dataset,
+    generate_nba_dataset,
+    generate_person_dataset,
+)
+from repro.resolution import is_valid
+
+
+ALL_DATASETS = ["person", "nba", "career"]
+
+
+@pytest.fixture
+def datasets(small_person_dataset, small_nba_dataset, small_career_dataset):
+    return {
+        "person": small_person_dataset,
+        "nba": small_nba_dataset,
+        "career": small_career_dataset,
+    }
+
+
+class TestCommonInvariants:
+    @pytest.mark.parametrize("name", ALL_DATASETS)
+    def test_every_entity_specification_is_valid(self, datasets, name):
+        dataset = datasets[name]
+        for entity, spec in dataset.specifications():
+            assert is_valid(spec), f"{dataset.name}:{entity.name} generated an invalid specification"
+
+    @pytest.mark.parametrize("name", ALL_DATASETS)
+    def test_rows_conform_to_schema(self, datasets, name):
+        dataset = datasets[name]
+        attribute_names = set(dataset.schema.attribute_names)
+        for entity in dataset.entities:
+            for row in entity.rows:
+                assert set(row) <= attribute_names
+
+    @pytest.mark.parametrize("name", ALL_DATASETS)
+    def test_true_values_come_from_the_history(self, datasets, name):
+        dataset = datasets[name]
+        for entity in dataset.entities:
+            assert entity.history
+            latest = entity.history[-1]
+            for attribute, value in entity.true_values.items():
+                assert values_equal(value, latest.get(attribute))
+
+    @pytest.mark.parametrize("name", ALL_DATASETS)
+    def test_constraints_reference_schema_attributes(self, datasets, name):
+        dataset = datasets[name]
+        for constraint in dataset.currency_constraints:
+            constraint.validate(dataset.schema)
+        for cfd in dataset.cfds:
+            cfd.validate(dataset.schema)
+
+    @pytest.mark.parametrize("name", ALL_DATASETS)
+    def test_entities_have_at_least_two_rows(self, datasets, name):
+        dataset = datasets[name]
+        assert all(entity.size() >= 2 for entity in dataset.entities)
+
+
+class TestPersonGenerator:
+    def test_determinism(self):
+        first = generate_person_dataset(PersonConfig(num_entities=5, seed=11))
+        second = generate_person_dataset(PersonConfig(num_entities=5, seed=11))
+        assert [e.rows for e in first.entities] == [e.rows for e in second.entities]
+
+    def test_different_seeds_differ(self):
+        first = generate_person_dataset(PersonConfig(num_entities=5, seed=11))
+        second = generate_person_dataset(PersonConfig(num_entities=5, seed=12))
+        assert [e.rows for e in first.entities] != [e.rows for e in second.entities]
+
+    def test_entity_count_and_schema(self, small_person_dataset):
+        assert len(small_person_dataset.entities) == 8
+        assert small_person_dataset.schema.attribute_names == (
+            "name", "status", "job", "kids", "city", "AC", "zip", "county",
+        )
+
+    def test_constraint_families_present(self, small_person_dataset):
+        names = {c.name for c in small_person_dataset.currency_constraints}
+        assert any(name.startswith("status:") for name in names)
+        assert any(name.startswith("job:") for name in names)
+        assert "status=>AC" in names and "city+zip=>county" in names
+        assert all(cfd.rhs_attribute == "city" for cfd in small_person_dataset.cfds)
+
+    def test_histories_respect_the_chains(self, small_person_dataset):
+        for entity in small_person_dataset.entities:
+            statuses = [version["status"] for version in entity.history]
+            assert statuses == sorted(statuses)
+            kids = [version["kids"] for version in entity.history]
+            assert kids == sorted(kids)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_person_dataset(PersonConfig(num_entities=0))
+        with pytest.raises(DatasetError):
+            generate_person_dataset(PersonConfig(num_cities=1))
+
+
+class TestNBAGenerator:
+    def test_determinism(self):
+        first = generate_nba_dataset(NBAConfig(num_players=5, seed=3))
+        second = generate_nba_dataset(NBAConfig(num_players=5, seed=3))
+        assert [e.rows for e in first.entities] == [e.rows for e in second.entities]
+
+    def test_schema_matches_paper(self, small_nba_dataset):
+        assert len(small_nba_dataset.schema) == 14
+        assert "allpoints" in small_nba_dataset.schema
+        assert "arena" in small_nba_dataset.schema
+
+    def test_allpoints_is_cumulative(self, small_nba_dataset):
+        for entity in small_nba_dataset.entities:
+            totals = [version["allpoints"] for version in entity.history]
+            points = [version["points"] for version in entity.history]
+            assert totals[0] == points[0]
+            for index in range(1, len(totals)):
+                assert totals[index] == totals[index - 1] + points[index]
+
+    def test_cfds_map_arena_to_city_and_capacity(self, small_nba_dataset):
+        rhs = {cfd.rhs_attribute for cfd in small_nba_dataset.cfds}
+        assert rhs == {"city", "capacity"}
+
+    def test_constraint_forms(self, small_nba_dataset):
+        names = {c.name for c in small_nba_dataset.currency_constraints}
+        assert "allpoints-monotone" in names
+        assert any(name.startswith("allpoints=>") for name in names)
+        assert any(name.startswith("arena=>") for name in names)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_nba_dataset(NBAConfig(num_players=0))
+        with pytest.raises(DatasetError):
+            generate_nba_dataset(NBAConfig(sources_per_season=(3, 1)))
+
+
+class TestCareerGenerator:
+    def test_determinism(self):
+        first = generate_career_dataset(CareerConfig(num_authors=5, seed=9))
+        second = generate_career_dataset(CareerConfig(num_authors=5, seed=9))
+        assert [e.rows for e in first.entities] == [e.rows for e in second.entities]
+
+    def test_schema_matches_paper(self, small_career_dataset):
+        assert small_career_dataset.schema.attribute_names == (
+            "first_name", "last_name", "affiliation", "city", "country",
+        )
+
+    def test_cfd_patterns_per_affiliation(self, small_career_dataset):
+        rhs = {cfd.rhs_attribute for cfd in small_career_dataset.cfds}
+        assert rhs == {"city", "country"}
+
+    def test_citation_constraints_are_forward_only(self, small_career_dataset):
+        for constraint in small_career_dataset.currency_constraints:
+            if constraint.conclusion_attribute != "affiliation":
+                continue
+            older, newer = [p.constant for p in constraint.body]
+            assert older < newer  # the affiliation ladder is ordered by name
+
+    def test_histories_follow_the_ladder(self, small_career_dataset):
+        for entity in small_career_dataset.entities:
+            affiliations = [version["affiliation"] for version in entity.history]
+            assert affiliations == sorted(affiliations)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_career_dataset(CareerConfig(num_authors=0))
+        with pytest.raises(DatasetError):
+            generate_career_dataset(CareerConfig(publications_range=(1, 0)))

@@ -1,0 +1,90 @@
+"""Tests for constant-CFD discovery."""
+
+import pytest
+
+from repro.core import RelationSchema
+from repro.discovery import CFDDiscoveryConfig, discover_constant_cfds
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema("person", ["AC", "city", "status"])
+
+
+def make_rows(pairs, repeat=4):
+    rows = []
+    for ac, city in pairs:
+        for index in range(repeat):
+            rows.append({"AC": ac, "city": city, "status": f"s{index % 2}"})
+    return rows
+
+
+class TestDiscovery:
+    def test_functional_pattern_is_found(self, schema):
+        rows = make_rows([("212", "NY"), ("213", "LA")])
+        cfds = discover_constant_cfds(schema, rows)
+        found = {(cfd.lhs_pattern.get("AC"), cfd.rhs_attribute, cfd.rhs_value) for cfd in cfds}
+        assert ("212", "city", "NY") in found
+        assert ("213", "city", "LA") in found
+
+    def test_min_support_prunes_rare_patterns(self, schema):
+        rows = make_rows([("212", "NY")]) + [{"AC": "999", "city": "XX", "status": "s0"}]
+        cfds = discover_constant_cfds(schema, rows, CFDDiscoveryConfig(min_support=3))
+        assert not any(cfd.lhs_pattern.get("AC") == "999" for cfd in cfds)
+
+    def test_min_confidence_prunes_noisy_patterns(self, schema):
+        rows = make_rows([("212", "NY")], repeat=6) + [{"AC": "212", "city": "LA", "status": "s0"}] * 4
+        strict = discover_constant_cfds(
+            schema, rows, CFDDiscoveryConfig(min_confidence=0.95, max_lhs_size=1)
+        )
+        assert not any(
+            cfd.lhs_pattern.get("AC") == "212" and cfd.rhs_attribute == "city" for cfd in strict
+        )
+        lenient = discover_constant_cfds(
+            schema, rows, CFDDiscoveryConfig(min_confidence=0.5, max_lhs_size=1)
+        )
+        assert any(
+            cfd.lhs_pattern.get("AC") == "212" and cfd.rhs_value == "NY" for cfd in lenient
+        )
+
+    def test_null_lhs_values_are_ignored(self, schema):
+        rows = [{"AC": None, "city": "NY", "status": "s"}] * 5
+        cfds = discover_constant_cfds(schema, rows)
+        assert not any("AC" in cfd.lhs_pattern and cfd.lhs_pattern["AC"] is None for cfd in cfds)
+
+    def test_skip_attributes(self, schema):
+        rows = make_rows([("212", "NY"), ("213", "LA")])
+        cfds = discover_constant_cfds(schema, rows, CFDDiscoveryConfig(skip_attributes=("AC",)))
+        assert not any("AC" in cfd.lhs_pattern or cfd.rhs_attribute == "AC" for cfd in cfds)
+
+    def test_max_lhs_size_two_produces_composite_patterns(self, schema):
+        rows = make_rows([("212", "NY"), ("213", "LA")])
+        cfds = discover_constant_cfds(schema, rows, CFDDiscoveryConfig(max_lhs_size=2, min_support=2))
+        assert any(len(cfd.lhs_attributes) == 2 for cfd in cfds)
+
+    def test_discovered_cfds_hold_on_the_data(self, schema):
+        rows = make_rows([("212", "NY"), ("213", "LA")])
+        for cfd in discover_constant_cfds(schema, rows):
+            for row in rows:
+                if cfd.lhs_matches(row):
+                    assert cfd.satisfied_by(row)
+
+    def test_person_dataset_cfds_are_rediscovered(self, small_person_dataset):
+        rows = small_person_dataset.all_rows()
+        cfds = discover_constant_cfds(
+            small_person_dataset.schema,
+            rows,
+            CFDDiscoveryConfig(min_support=2, max_lhs_size=1, skip_attributes=("name", "kids", "zip")),
+        )
+        discovered = {
+            (cfd.lhs_pattern.get("AC"), cfd.rhs_value)
+            for cfd in cfds
+            if cfd.lhs_attributes == ("AC",) and cfd.rhs_attribute == "city"
+        }
+        planted = {
+            (cfd.lhs_pattern["AC"], cfd.rhs_value)
+            for cfd in small_person_dataset.cfds
+        }
+        # Every discovered AC→city pattern must be one of the planted ones.
+        assert discovered
+        assert discovered <= planted

@@ -1,0 +1,117 @@
+"""Tests for currency-constraint discovery from timestamped histories."""
+
+import pytest
+
+from repro.core import ConstantComparisonPredicate, RelationSchema, TupleComparisonPredicate
+from repro.discovery import CurrencyDiscoveryConfig, discover_currency_constraints
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema("person", ["status", "kids", "city"])
+
+
+def history(*versions):
+    return [dict(version) for version in versions]
+
+
+class TestTransitionDiscovery:
+    def test_repeated_transition_is_discovered(self, schema):
+        histories = [
+            history({"status": "working"}, {"status": "retired"}),
+            history({"status": "working"}, {"status": "retired"}),
+        ]
+        constraints = discover_currency_constraints(schema, histories)
+        transitions = [
+            c for c in constraints
+            if c.conclusion_attribute == "status" and c.is_comparison_only()
+        ]
+        assert len(transitions) == 1
+        constants = {p.constant for p in transitions[0].body if isinstance(p, ConstantComparisonPredicate)}
+        assert constants == {"working", "retired"}
+
+    def test_low_support_transition_is_pruned(self, schema):
+        histories = [history({"status": "a"}, {"status": "b"})]
+        constraints = discover_currency_constraints(
+            schema, histories, CurrencyDiscoveryConfig(min_transition_support=2)
+        )
+        assert not [c for c in constraints if c.conclusion_attribute == "status"]
+
+    def test_bidirectional_transitions_are_rejected(self, schema):
+        histories = [
+            history({"status": "a"}, {"status": "b"}),
+            history({"status": "a"}, {"status": "b"}),
+            history({"status": "b"}, {"status": "a"}),
+            history({"status": "b"}, {"status": "a"}),
+        ]
+        constraints = discover_currency_constraints(schema, histories)
+        assert not [c for c in constraints if c.conclusion_attribute == "status" and c.is_comparison_only()]
+
+    def test_null_steps_are_ignored(self, schema):
+        histories = [
+            history({"status": "a"}, {"status": None}, {"status": "b"}),
+            history({"status": "a"}, {"status": "b"}),
+        ]
+        constraints = discover_currency_constraints(schema, histories)
+        transitions = [c for c in constraints if c.conclusion_attribute == "status" and c.is_comparison_only()]
+        assert len(transitions) == 1
+
+
+class TestMonotoneDiscovery:
+    def test_monotone_numeric_attribute(self, schema):
+        histories = [
+            history({"kids": 0}, {"kids": 1}, {"kids": 3}),
+            history({"kids": 2}, {"kids": 2}, {"kids": 4}),
+        ]
+        constraints = discover_currency_constraints(schema, histories)
+        monotone = [
+            c for c in constraints
+            if c.conclusion_attribute == "kids"
+            and any(isinstance(p, TupleComparisonPredicate) and p.op == "<" for p in c.body)
+        ]
+        assert len(monotone) == 1
+
+    def test_non_monotone_numeric_attribute_is_not_flagged(self, schema):
+        histories = [history({"kids": 3}, {"kids": 1}), history({"kids": 2}, {"kids": 0})]
+        constraints = discover_currency_constraints(schema, histories)
+        assert not [
+            c for c in constraints
+            if c.conclusion_attribute == "kids"
+            and any(isinstance(p, TupleComparisonPredicate) for p in c.body)
+        ]
+
+
+class TestPropagationDiscovery:
+    def test_co_changing_attribute_yields_propagation(self, schema):
+        histories = [
+            history({"status": "a", "city": "NY"}, {"status": "b", "city": "LA"}),
+            history({"status": "b", "city": "LA"}, {"status": "c", "city": "SF"}),
+            history({"status": "a", "city": "NY"}, {"status": "c", "city": "SF"}),
+        ]
+        constraints = discover_currency_constraints(schema, histories)
+        assert any(
+            not c.is_comparison_only() and c.conclusion_attribute == "city"
+            for c in constraints
+        )
+
+    def test_propagation_needs_support(self, schema):
+        histories = [history({"status": "a", "city": "NY"}, {"status": "b", "city": "LA"})]
+        constraints = discover_currency_constraints(
+            schema, histories, CurrencyDiscoveryConfig(min_propagation_support=5)
+        )
+        assert not [c for c in constraints if not c.is_comparison_only()]
+
+
+class TestOnGeneratedData:
+    def test_person_histories_yield_forward_only_status_transitions(self, small_person_dataset):
+        constraints = discover_currency_constraints(
+            small_person_dataset.schema,
+            small_person_dataset.histories(),
+            CurrencyDiscoveryConfig(min_transition_support=1, skip_attributes=("name", "zip", "AC", "county", "city")),
+        )
+        for constraint in constraints:
+            if constraint.conclusion_attribute != "status" or not constraint.is_comparison_only():
+                continue
+            older, newer = [p.constant for p in constraint.body]
+            # The generator's status chain is ordered by its numeric suffix.
+            assert older < newer

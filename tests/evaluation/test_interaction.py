@@ -1,0 +1,74 @@
+"""Tests for the simulated-user oracles."""
+
+import pytest
+
+from repro.core import RelationSchema
+from repro.datasets import GeneratedEntity
+from repro.evaluation import GroundTruthOracle, NoisyOracle, ReluctantOracle
+from repro.resolution.suggest import Suggestion
+
+
+@pytest.fixture
+def entity():
+    return GeneratedEntity(
+        name="e",
+        rows=[{"status": "a", "city": "NY"}],
+        true_values={"status": "b", "city": "LA", "kids": None},
+    )
+
+
+def make_suggestion(attributes, candidates=None):
+    return Suggestion(attributes=tuple(attributes), candidates=candidates or {})
+
+
+class TestGroundTruthOracle:
+    def test_answers_with_true_values(self, entity):
+        oracle = GroundTruthOracle(entity)
+        answers = oracle.answer(make_suggestion(["status", "city"]), spec=None)
+        assert answers == {"status": "b", "city": "LA"}
+
+    def test_null_truths_are_not_answered(self, entity):
+        oracle = GroundTruthOracle(entity)
+        answers = oracle.answer(make_suggestion(["kids"]), spec=None)
+        assert answers == {}
+
+    def test_per_round_limit(self, entity):
+        oracle = GroundTruthOracle(entity, max_attributes_per_round=1)
+        answers = oracle.answer(make_suggestion(["status", "city"]), spec=None)
+        assert len(answers) == 1
+
+    def test_unsuggested_attributes_are_not_volunteered(self, entity):
+        oracle = GroundTruthOracle(entity)
+        answers = oracle.answer(make_suggestion(["status"]), spec=None)
+        assert "city" not in answers
+
+
+class TestReluctantOracle:
+    def test_stops_after_round_budget(self, entity):
+        oracle = ReluctantOracle(entity, max_rounds=1)
+        first = oracle.answer(make_suggestion(["status"]), spec=None)
+        second = oracle.answer(make_suggestion(["city"]), spec=None)
+        assert first == {"status": "b"}
+        assert second == {}
+
+    def test_zero_rounds_never_answers(self, entity):
+        oracle = ReluctantOracle(entity, max_rounds=0)
+        assert oracle.answer(make_suggestion(["status"]), spec=None) == {}
+
+
+class TestNoisyOracle:
+    def test_zero_error_rate_matches_ground_truth(self, entity):
+        oracle = NoisyOracle(entity, error_rate=0.0)
+        answers = oracle.answer(make_suggestion(["status"]), spec=None)
+        assert answers == {"status": "b"}
+
+    def test_full_error_rate_answers_from_candidates(self, entity):
+        oracle = NoisyOracle(entity, error_rate=1.0, seed=1)
+        suggestion = make_suggestion(["status"], {"status": ["a", "z"]})
+        answers = oracle.answer(suggestion, spec=None)
+        assert answers["status"] in ("a", "z")
+
+    def test_no_candidates_falls_back_to_truth(self, entity):
+        oracle = NoisyOracle(entity, error_rate=1.0)
+        answers = oracle.answer(make_suggestion(["status"]), spec=None)
+        assert answers == {"status": "b"}

@@ -1,0 +1,86 @@
+"""Tests for precision / recall / F-measure and entity scoring."""
+
+import pytest
+
+from repro.core import RelationSchema
+from repro.datasets import GeneratedEntity
+from repro.evaluation import AccuracyCounts, f_measure, precision, recall, score_entity
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema("r", ["status", "city", "kids"])
+
+
+@pytest.fixture
+def entity():
+    return GeneratedEntity(
+        name="e",
+        rows=[
+            {"status": "a", "city": "NY", "kids": 0},
+            {"status": "b", "city": "NY", "kids": 2},
+        ],
+        true_values={"status": "b", "city": "NY", "kids": 2},
+    )
+
+
+class TestScalarMetrics:
+    def test_precision_conventions(self):
+        assert precision(0, 0) == 1.0
+        assert precision(1, 2) == 0.5
+
+    def test_recall_conventions(self):
+        assert recall(0, 0) == 1.0
+        assert recall(3, 4) == 0.75
+
+    def test_f_measure(self):
+        assert f_measure(1.0, 1.0) == 1.0
+        assert f_measure(0.0, 0.0) == 0.0
+        assert f_measure(0.5, 1.0) == pytest.approx(2 / 3)
+
+    def test_paper_headline_numbers_are_representable(self):
+        # e.g. NBA Σ+Γ reaches F = 0.930 in the paper.
+        assert 0.0 <= f_measure(0.93, 0.93) <= 1.0
+
+
+class TestAccuracyCounts:
+    def test_merge(self):
+        merged = AccuracyCounts(2, 1, 3).merge(AccuracyCounts(1, 1, 2))
+        assert (merged.deduced, merged.correct, merged.conflicting) == (3, 2, 5)
+
+    def test_properties(self):
+        counts = AccuracyCounts(deduced=4, correct=2, conflicting=8)
+        assert counts.precision == 0.5
+        assert counts.recall == 0.25
+        assert counts.f_measure == pytest.approx(2 * 0.5 * 0.25 / 0.75)
+
+
+class TestScoreEntity:
+    def test_perfect_resolution(self, entity, schema):
+        resolved = {"status": "b", "city": "NY", "kids": 2}
+        counts = score_entity(entity, schema, resolved)
+        # status and kids conflict; city is a single correct value (not conflicting).
+        assert counts.conflicting == 2
+        assert counts.deduced == 2
+        assert counts.correct == 2
+        assert counts.f_measure == 1.0
+
+    def test_wrong_values_hurt_precision(self, entity, schema):
+        resolved = {"status": "a", "kids": 2}
+        counts = score_entity(entity, schema, resolved)
+        assert counts.deduced == 2
+        assert counts.correct == 1
+        assert counts.precision == 0.5
+
+    def test_claimed_attributes_restrict_the_numerator(self, entity, schema):
+        resolved = {"status": "b", "kids": 2}
+        counts = score_entity(entity, schema, resolved, claimed_attributes=["kids"])
+        assert counts.deduced == 1
+        assert counts.correct == 1
+        assert counts.recall == 0.5
+
+    def test_unconflicted_attributes_do_not_inflate_precision(self, entity, schema):
+        resolved = {"city": "NY"}
+        counts = score_entity(entity, schema, resolved)
+        assert counts.deduced == 0
+        assert counts.recall == 0.0

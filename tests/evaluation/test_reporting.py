@@ -1,0 +1,34 @@
+"""Tests for the plain-text report formatting helpers."""
+
+from repro.evaluation import format_series, format_summary, format_table
+
+
+class TestFormatTable:
+    def test_headers_and_rows_are_aligned(self):
+        text = format_table(["name", "value"], [["a", 1.23456], ["long-name", 2]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.235" in text
+        assert len(lines) == 4
+
+    def test_title_is_prepended(self):
+        text = format_table(["x"], [[1]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_empty_rows(self):
+        text = format_table(["x", "y"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestFormatSeries:
+    def test_series_rendering(self):
+        text = format_series("F-measure", [0.2, 0.4], [0.5, 0.75])
+        assert text == "F-measure: 0.2:0.500, 0.4:0.750"
+
+
+class TestFormatSummary:
+    def test_summary_rendering(self):
+        text = format_summary("NBA", {"f_measure": 0.93, "rounds": 2.0})
+        assert text.startswith("NBA:")
+        assert "f_measure=0.930" in text
+        assert "rounds=2.000" in text

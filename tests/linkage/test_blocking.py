@@ -1,0 +1,61 @@
+"""Tests for blocking schemes."""
+
+import pytest
+
+from repro.core import EntityTuple, RelationSchema
+from repro.linkage import attribute_blocking, build_blocks, candidate_pairs, prefix_blocking
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema("r", ["name", "city"])
+
+
+@pytest.fixture
+def rows(schema):
+    return [
+        EntityTuple(schema, {"name": "Edith Shain", "city": "NY"}),
+        EntityTuple(schema, {"name": "edith shain", "city": "LA"}),
+        EntityTuple(schema, {"name": "George", "city": "NY"}),
+        EntityTuple(schema, {"name": None, "city": "NY"}),
+    ]
+
+
+class TestAttributeBlocking:
+    def test_blocks_by_lowercased_value(self, rows):
+        blocks = build_blocks(rows, attribute_blocking(["name"]))
+        assert ("edith shain",) in blocks
+        assert blocks[("edith shain",)] == [0, 1]
+
+    def test_null_values_are_skipped(self, rows):
+        blocks = build_blocks(rows, attribute_blocking(["name"]))
+        assert all(3 not in indices for indices in blocks.values())
+
+    def test_multi_attribute_key(self, rows):
+        blocks = build_blocks(rows, attribute_blocking(["name", "city"]))
+        assert ("edith shain", "ny") in blocks
+
+
+class TestPrefixBlocking:
+    def test_prefix_groups_similar_names(self, rows):
+        blocks = build_blocks(rows, prefix_blocking("name", length=3))
+        assert blocks["edi"] == [0, 1]
+
+    def test_prefix_skips_nulls(self, rows):
+        blocks = build_blocks(rows, prefix_blocking("name"))
+        assert all(3 not in indices for indices in blocks.values())
+
+
+class TestCandidatePairs:
+    def test_pairs_within_blocks_only(self, rows):
+        pairs = candidate_pairs(rows, [attribute_blocking(["name"])])
+        assert (0, 1) in pairs
+        assert (0, 2) not in pairs
+
+    def test_union_of_blocking_schemes_deduplicates(self, rows):
+        pairs = candidate_pairs(rows, [attribute_blocking(["name"]), prefix_blocking("name")])
+        assert pairs.count((0, 1)) == 1
+
+    def test_city_blocking_links_across_entities(self, rows):
+        pairs = candidate_pairs(rows, [attribute_blocking(["city"])])
+        assert (0, 2) in pairs

@@ -1,0 +1,75 @@
+"""Tests for the record matcher (raw rows → entity instances)."""
+
+import pytest
+
+from repro.core import EntityInstance, EntityTuple, RelationSchema
+from repro.linkage import MatcherConfig, RecordMatcher, attribute_blocking, link_rows, prefix_blocking
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema("person", ["name", "status", "city"])
+
+
+@pytest.fixture
+def rows(schema):
+    return [
+        EntityTuple(schema, {"name": "Edith Shain", "status": "working", "city": "NY"}),
+        EntityTuple(schema, {"name": "Edith Shain", "status": "retired", "city": "SFC"}),
+        EntityTuple(schema, {"name": "edith shain", "status": "deceased", "city": "LA"}),
+        EntityTuple(schema, {"name": "George Mendonca", "status": "working", "city": "Newport"}),
+        EntityTuple(schema, {"name": "George Mendonsa", "status": "retired", "city": "NY"}),
+    ]
+
+
+class TestPairScore:
+    def test_identical_tuples_score_one(self, rows):
+        matcher = RecordMatcher(MatcherConfig({"name": 1.0}))
+        assert matcher.pair_score(rows[0], rows[1]) == pytest.approx(1.0)
+
+    def test_weights_control_the_score(self, rows):
+        name_only = RecordMatcher(MatcherConfig({"name": 1.0}))
+        with_city = RecordMatcher(MatcherConfig({"name": 0.5, "city": 0.5}))
+        assert name_only.pair_score(rows[0], rows[1]) > with_city.pair_score(rows[0], rows[1])
+
+    def test_zero_weights_score_zero(self, rows):
+        matcher = RecordMatcher(MatcherConfig({"name": 0.0}))
+        assert matcher.pair_score(rows[0], rows[1]) == 0.0
+
+    def test_default_weights_use_all_attributes(self, rows):
+        matcher = RecordMatcher()
+        assert 0.0 < matcher.pair_score(rows[0], rows[1]) < 1.0
+
+
+class TestMatching:
+    def test_groups_rows_into_two_entities(self, rows):
+        matcher = RecordMatcher(MatcherConfig({"name": 1.0}, threshold=0.9))
+        instances = matcher.match(rows, [prefix_blocking("name", 3)])
+        assert len(instances) == 2
+        sizes = sorted(len(instance) for instance in instances)
+        assert sizes == [2, 3]
+        assert all(isinstance(instance, EntityInstance) for instance in instances)
+
+    def test_high_threshold_splits_everything(self, rows):
+        matcher = RecordMatcher(MatcherConfig({"name": 0.4, "status": 0.3, "city": 0.3}, threshold=0.999))
+        instances = matcher.match(rows, [prefix_blocking("name", 1)])
+        assert len(instances) == len(rows)
+
+    def test_empty_input(self):
+        assert RecordMatcher().match([], [attribute_blocking(["name"])]) == []
+
+    def test_tids_are_unique_within_each_instance(self, rows):
+        matcher = RecordMatcher(MatcherConfig({"name": 1.0}, threshold=0.9))
+        for instance in matcher.match(rows, [prefix_blocking("name", 3)]):
+            assert len(set(instance.tids)) == len(instance)
+
+
+class TestLinkRows:
+    def test_convenience_wrapper(self, schema):
+        raw = [
+            {"name": "Edith Shain", "status": "working", "city": "NY"},
+            {"name": "Edith Shain", "status": "retired", "city": "SFC"},
+            {"name": "George Mendonca", "status": "working", "city": "Newport"},
+        ]
+        instances = link_rows(schema, raw, ["name"], {"name": 1.0}, threshold=0.9)
+        assert len(instances) == 2

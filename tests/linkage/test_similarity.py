@@ -1,0 +1,101 @@
+"""Tests for string/value similarity measures."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import NULL
+from repro.linkage import (
+    jaccard_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    value_similarity,
+)
+
+
+class TestLevenshtein:
+    def test_identical_strings(self):
+        assert levenshtein_distance("kitten", "kitten") == 0
+        assert levenshtein_similarity("kitten", "kitten") == 1.0
+
+    def test_known_distance(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+
+    def test_empty_strings(self):
+        assert levenshtein_distance("", "abc") == 3
+        assert levenshtein_distance("abc", "") == 3
+        assert levenshtein_similarity("", "") == 1.0
+
+    def test_single_substitution(self):
+        assert levenshtein_distance("cat", "bat") == 1
+
+    @given(st.text(max_size=10), st.text(max_size=10))
+    @settings(max_examples=60, deadline=None)
+    def test_symmetry(self, a, b):
+        assert levenshtein_distance(a, b) == levenshtein_distance(b, a)
+
+    @given(st.text(max_size=8), st.text(max_size=8), st.text(max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein_distance(a, c) <= levenshtein_distance(a, b) + levenshtein_distance(b, c)
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro_similarity("martha", "martha") == 1.0
+
+    def test_classic_example(self):
+        assert jaro_similarity("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_no_overlap(self):
+        assert jaro_similarity("abc", "xyz") == 0.0
+
+    def test_empty_string(self):
+        assert jaro_similarity("", "abc") == 0.0
+
+    def test_winkler_boosts_common_prefix(self):
+        plain = jaro_similarity("dixon", "dicksonx")
+        boosted = jaro_winkler_similarity("dixon", "dicksonx")
+        assert boosted >= plain
+
+    @given(st.text(min_size=1, max_size=10), st.text(min_size=1, max_size=10))
+    @settings(max_examples=60, deadline=None)
+    def test_jaro_winkler_bounded(self, a, b):
+        assert 0.0 <= jaro_winkler_similarity(a, b) <= 1.0
+
+
+class TestJaccard:
+    def test_identical_token_sets(self):
+        assert jaccard_similarity(["a", "b"], ["b", "a"]) == 1.0
+
+    def test_disjoint_token_sets(self):
+        assert jaccard_similarity(["a"], ["b"]) == 0.0
+
+    def test_partial_overlap(self):
+        assert jaccard_similarity(["a", "b"], ["b", "c"]) == pytest.approx(1 / 3)
+
+    def test_both_empty(self):
+        assert jaccard_similarity([], []) == 1.0
+
+
+class TestValueSimilarity:
+    def test_nulls(self):
+        assert value_similarity(NULL, None) == 1.0
+        assert value_similarity(NULL, "x") == 0.0
+
+    def test_equal_numbers(self):
+        assert value_similarity(5, 5.0) == 1.0
+
+    def test_close_numbers(self):
+        assert value_similarity(100, 99) > 0.9
+
+    def test_distant_numbers(self):
+        assert value_similarity(1, 1000) < 0.1
+
+    def test_strings_case_insensitive(self):
+        assert value_similarity("Edith Shain", "edith shain") == pytest.approx(1.0)
+
+    def test_multi_word_strings(self):
+        assert value_similarity("George Mendonca", "George Mendonsa") > 0.8

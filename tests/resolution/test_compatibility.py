@@ -1,0 +1,67 @@
+"""Tests for the compatibility graph of derivation rules (paper Example 11)."""
+
+from repro.resolution import compatibility_graph, compatible
+from repro.resolution.derivation import DerivationRule
+
+
+def rule(preconditions, target, value):
+    return DerivationRule(preconditions, target, value)
+
+
+class TestCompatible:
+    def test_rules_on_same_target_are_incompatible(self):
+        assert not compatible(rule({"status": "retired"}, "job", "veteran"),
+                              rule({"status": "retired"}, "job", "n/a"))
+
+    def test_agreeing_rules_are_compatible(self):
+        # n1 and n2 of Example 10 share status=retired.
+        assert compatible(rule({"status": "retired"}, "job", "veteran"),
+                          rule({"status": "retired"}, "AC", "212"))
+
+    def test_disagreeing_shared_attribute_breaks_compatibility(self):
+        # n5 and n7 of Example 11: AC differs (212 vs 312).
+        assert not compatible(rule({"AC": "212"}, "city", "NY"),
+                              rule({"status": "unemployed"}, "AC", "312"))
+
+    def test_conclusion_feeding_precondition_is_compatible(self):
+        # n2 concludes AC=212 and n5 requires AC=212.
+        assert compatible(rule({"status": "retired"}, "AC", "212"),
+                          rule({"AC": "212"}, "city", "NY"))
+
+    def test_disjoint_rules_are_compatible(self):
+        assert compatible(rule({"a": 1}, "b", 2), rule({"c": 3}, "d", 4))
+
+
+class TestCompatibilityGraph:
+    def test_example_11_structure(self):
+        rules = [
+            rule({"status": "retired"}, "job", "veteran"),        # n1
+            rule({"status": "retired"}, "AC", "212"),              # n2
+            rule({"status": "retired"}, "zip", "12404"),           # n3
+            rule({"city": "NY", "zip": "12404"}, "county", "Accord"),  # n4
+            rule({"AC": "212"}, "city", "NY"),                     # n5
+            rule({"status": "unemployed"}, "job", "n/a"),          # n6
+            rule({"status": "unemployed"}, "AC", "312"),           # n7
+            rule({"status": "unemployed"}, "zip", "60653"),        # n8
+            rule({"city": "Chicago", "zip": "60653"}, "county", "Bronzeville"),  # n9
+        ]
+        graph = compatibility_graph(rules)
+        # n1–n5 form a clique (the one the paper uses for the suggestion).
+        for i in range(5):
+            for j in range(5):
+                if i != j:
+                    assert j in graph[i], f"expected edge n{i+1}–n{j+1}"
+        # n5 (AC=212) and n7 (AC=312) are not connected.
+        assert 6 not in graph[4]
+        # n1 (retired) and n6 (unemployed) disagree on status and share the target job.
+        assert 5 not in graph[0]
+
+    def test_empty_rule_list(self):
+        assert compatibility_graph([]) == {}
+
+    def test_graph_is_symmetric(self):
+        rules = [rule({"a": 1}, "b", 2), rule({"a": 1}, "c", 3), rule({"a": 2}, "d", 4)]
+        graph = compatibility_graph(rules)
+        for node, neighbours in graph.items():
+            for neighbour in neighbours:
+                assert node in graph[neighbour]

@@ -1,0 +1,134 @@
+"""Tests for DeduceOrder and NaiveDeduce."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import CurrencyConstraint, RelationSchema, Specification, values_equal
+from repro.encoding import encode_specification
+from repro.resolution import deduce_order, extract_true_values, naive_deduce
+
+from tests.resolution.test_validity import random_specification
+
+
+class TestDeduceOrderOnPaperExample:
+    def test_edith_orders(self, edith_spec):
+        encoding = encode_specification(edith_spec)
+        deduced = deduce_order(encoding)
+        assert not deduced.conflict
+        # Example 2: status working ≺ retired ≺ deceased, kids null ≺ 0 ≺ 3, AC ordering follows status.
+        assert deduced.holds("status", "working", "retired")
+        assert deduced.holds("status", "retired", "deceased")
+        assert deduced.holds("status", "working", "deceased")  # transitive closure
+        assert deduced.holds("kids", 0, 3)
+        assert deduced.holds("AC", "212", "213")
+        assert deduced.holds("AC", "415", "213")
+        assert deduced.holds("city", "NY", "LA")  # via the CFD ψ1
+        assert deduced.holds("county", "Manhattan", "Vermont")  # via ϕ8 after the CFD
+
+    def test_george_orders(self, george_spec):
+        encoding = encode_specification(george_spec)
+        deduced = deduce_order(encoding)
+        # Example 9 (before user input): kids and the working→retired part of status.
+        assert deduced.holds("kids", 0, 2)
+        assert deduced.holds("status", "working", "retired")
+        assert not deduced.holds("status", "unemployed", "retired")
+        assert not deduced.holds("status", "retired", "unemployed")
+
+    def test_deduced_size_and_helpers(self, edith_spec):
+        encoding = encode_specification(edith_spec)
+        deduced = deduce_order(encoding)
+        assert deduced.size() > 0
+        domain = edith_spec.instance.active_domain("status")
+        assert set(deduced.undominated_values("status", domain)) == {"deceased"}
+        assert set(deduced.dominated_values("status", domain)) == {"working", "retired"}
+
+
+class TestNaiveDeduce:
+    def test_agrees_with_deduce_order_on_edith(self, edith_spec):
+        encoding = encode_specification(edith_spec)
+        fast = deduce_order(encoding)
+        slow = naive_deduce(encoding)
+        # NaiveDeduce is at least as complete as DeduceOrder (Lemma 6 is exact).
+        for attribute, order in fast.orders.items():
+            for older, newer in order.pairs():
+                assert slow.order_for(attribute).precedes(older, newer)
+        assert slow.sat_calls > 1
+
+    def test_invalid_specification_reports_conflict(self, vj_schema):
+        rows = [dict(name="x", status="a"), dict(name="x", status="b")]
+        sigma = [
+            CurrencyConstraint.value_transition("status", "a", "b"),
+            CurrencyConstraint.value_transition("status", "b", "a"),
+        ]
+        spec = Specification.from_rows(vj_schema, rows, sigma)
+        encoding = encode_specification(spec)
+        assert naive_deduce(encoding).conflict
+        assert deduce_order(encoding).conflict
+
+    def test_max_pairs_caps_the_work(self, edith_spec):
+        encoding = encode_specification(edith_spec)
+        capped = naive_deduce(encoding, max_pairs=1)
+        assert capped.sat_calls <= 2
+
+
+class TestExtraLiterals:
+    def test_injected_facts_drive_further_deduction(self, george_spec):
+        encoding = encode_specification(george_spec)
+        baseline = deduce_order(encoding)
+        assert not baseline.holds("AC", "312", "212")
+        literal = encoding.order_literal("status", "unemployed", "retired")
+        if literal is None:
+            literal = encoding.literal(
+                __import__("repro.encoding", fromlist=["OrderLiteral"]).OrderLiteral(
+                    "status", "unemployed", "retired"
+                )
+            )
+        enriched = deduce_order(encoding, extra_literals=[literal])
+        assert enriched.holds("status", "unemployed", "retired")
+
+
+# -- property-based soundness check ------------------------------------------------
+
+
+@given(random_specification())
+@settings(max_examples=40, deadline=None)
+def test_deduced_orders_are_sound(spec):
+    """Every order deduced by DeduceOrder holds in every valid completion (soundness)."""
+    encoding = encode_specification(spec)
+    deduced = deduce_order(encoding)
+    if deduced.conflict or not spec.is_valid_brute_force():
+        return
+    completions = list(spec.valid_completions())
+    assert completions
+    for attribute, order in deduced.orders.items():
+        domain_keys = {
+            str(value): value for value in spec.instance.active_domain(attribute)
+        }
+        for older, newer in order.pairs():
+            # Only check pairs of active-domain values (CFD repair constants
+            # are outside the brute-force model).
+            if str(older) in domain_keys and str(newer) in domain_keys:
+                for completion in completions:
+                    assert completion.value_precedes(attribute, older, newer)
+
+
+@given(random_specification())
+@settings(max_examples=40, deadline=None)
+def test_deduced_true_values_match_brute_force(spec):
+    """Attribute true values extracted from O_d agree with the brute-force reference."""
+    for cfd in spec.cfds:
+        domain_ok = all(
+            any(values_equal(value, existing) for existing in spec.instance.active_domain(attribute))
+            for attribute, value in list(cfd.lhs) + [(cfd.rhs_attribute, cfd.rhs_value)]
+        )
+        if not domain_ok:
+            return
+    if not spec.is_valid_brute_force():
+        return
+    encoding = encode_specification(spec)
+    deduced = deduce_order(encoding)
+    derived = extract_true_values(spec, deduced)
+    reference = spec.true_attributes_brute_force()
+    for attribute, value in derived.values.items():
+        assert attribute in reference
+        assert values_equal(reference[attribute], value)

@@ -1,0 +1,139 @@
+"""Tests for the interactive conflict-resolution framework (Fig. 4)."""
+
+import pytest
+
+from repro.core import CurrencyConstraint, RelationSchema, Specification, values_equal
+from repro.resolution import ConflictResolver, ResolverOptions, SilentOracle
+
+from tests.conftest import GEORGE_TRUTH, EDITH_TRUTH
+
+
+class OneShotOracle:
+    """Answers a fixed set of attribute values on the first suggestion only."""
+
+    def __init__(self, answers):
+        self._answers = dict(answers)
+        self._used = False
+
+    def answer(self, suggestion, spec):
+        if self._used:
+            return {}
+        self._used = True
+        return {
+            attribute: value
+            for attribute, value in self._answers.items()
+            if attribute in suggestion.attributes
+        }
+
+
+class SequenceOracle:
+    """Answers with a different predefined mapping on each successive round."""
+
+    def __init__(self, per_round_answers):
+        self._per_round = list(per_round_answers)
+        self._round = 0
+
+    def answer(self, suggestion, spec):
+        if self._round >= len(self._per_round):
+            return {}
+        answers = self._per_round[self._round]
+        self._round += 1
+        return {
+            attribute: value
+            for attribute, value in answers.items()
+            if attribute in suggestion.attributes
+        }
+
+
+class TestAutomaticResolution:
+    def test_edith_is_resolved_without_interaction(self, edith_spec):
+        result = ConflictResolver().resolve(edith_spec, SilentOracle())
+        assert result.valid and result.complete
+        assert result.interaction_rounds == 0
+        for attribute, value in EDITH_TRUTH.items():
+            assert values_equal(result.resolved_tuple[attribute], value)
+        assert result.fallback_attributes == ()
+
+    def test_george_without_oracle_falls_back_to_pick(self, george_spec):
+        result = ConflictResolver(ResolverOptions(fallback="pick")).resolve(george_spec)
+        assert result.valid and not result.complete
+        assert set(result.true_values.known_attributes()) == {"name", "kids"}
+        assert len(result.fallback_attributes) == 6
+        # Every attribute still receives some value.
+        assert all(attribute in result.resolved_tuple for attribute in george_spec.schema.attribute_names)
+
+    def test_george_without_fallback_leaves_nulls(self, george_spec):
+        from repro.core import is_null
+
+        result = ConflictResolver(ResolverOptions(fallback="none")).resolve(george_spec)
+        assert any(is_null(value) for value in result.resolved_tuple.values())
+
+
+class TestInteractiveResolution:
+    def test_george_with_status_answer_matches_example_6(self, george_spec):
+        oracle = OneShotOracle({"status": "retired"})
+        result = ConflictResolver().resolve(george_spec, oracle)
+        assert result.complete
+        assert result.interaction_rounds == 1
+        for attribute, value in GEORGE_TRUTH.items():
+            assert values_equal(result.resolved_tuple[attribute], value)
+        assert result.user_validated_attributes == ("status",)
+        assert "status" not in result.deduced_attributes
+        assert "city" in result.deduced_attributes
+
+    def test_alternative_answer_yields_consistent_tuple(self, george_spec):
+        # Confirming status=unemployed orders job/AC/zip but no CFD fires for
+        # AC=312, so city stays open (this is the clique C2 situation of
+        # Example 13) and a second round is needed for city.
+        oracle = SequenceOracle([{"status": "unemployed"}, {"city": "Chicago"}])
+        result = ConflictResolver().resolve(george_spec, oracle)
+        assert result.complete
+        assert result.interaction_rounds == 2
+        assert result.resolved_tuple["status"] == "unemployed"
+        assert result.resolved_tuple["job"] == "n/a"
+        assert result.resolved_tuple["AC"] == "312"
+        assert result.resolved_tuple["zip"] == "60653"
+        assert result.resolved_tuple["county"] == "Bronzeville"
+
+    def test_round_reports_track_progress(self, george_spec):
+        oracle = OneShotOracle({"status": "retired"})
+        result = ConflictResolver().resolve(george_spec, oracle)
+        assert len(result.rounds) == 2
+        first, second = result.rounds
+        assert first.suggestion is not None and first.answers == {"status": "retired"}
+        assert len(second.deduced_attributes) == 8
+        assert first.encoding_statistics["clauses"] > 0
+        totals = result.total_seconds()
+        assert set(totals) == {"validity", "deduce", "suggest"}
+
+    def test_max_rounds_zero_disables_interaction(self, george_spec):
+        oracle = OneShotOracle({"status": "retired"})
+        result = ConflictResolver(ResolverOptions(max_rounds=0, fallback="none")).resolve(george_spec, oracle)
+        assert result.interaction_rounds == 0
+        assert not result.complete
+
+    def test_new_value_outside_active_domain_is_accepted(self, george_spec):
+        # The user supplies a status value never observed in the data.
+        oracle = OneShotOracle({"status": "deceased"})
+        result = ConflictResolver().resolve(george_spec, oracle)
+        assert result.valid
+        assert result.resolved_tuple["status"] == "deceased"
+        assert "status" in result.user_validated_attributes
+
+    def test_deduced_fraction_helper(self, george_spec):
+        result = ConflictResolver().resolve(george_spec, SilentOracle())
+        fraction = result.deduced_fraction()
+        assert 0.0 < fraction < 1.0
+
+
+class TestInvalidSpecifications:
+    def test_invalid_specification_is_reported(self, vj_schema):
+        rows = [dict(name="x", status="a"), dict(name="x", status="b")]
+        sigma = [
+            CurrencyConstraint.value_transition("status", "a", "b"),
+            CurrencyConstraint.value_transition("status", "b", "a"),
+        ]
+        spec = Specification.from_rows(vj_schema, rows, sigma)
+        result = ConflictResolver().resolve(spec, SilentOracle())
+        assert not result.valid
+        assert result.rounds[0].valid is False

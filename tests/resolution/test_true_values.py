@@ -1,0 +1,82 @@
+"""Tests for true-value extraction from deduced orders."""
+
+import pytest
+
+from repro.core import ConstantCFD, CurrencyConstraint, RelationSchema, Specification
+from repro.encoding import encode_specification
+from repro.resolution import deduce_order, extract_true_values, true_value_of_attribute
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema("r", ["status", "city", "AC"])
+
+
+class TestTrueValueExtraction:
+    def test_edith_full_true_tuple(self, edith_spec):
+        encoding = encode_specification(edith_spec)
+        deduced = deduce_order(encoding)
+        truth = extract_true_values(edith_spec, deduced)
+        assert truth.values == {
+            "name": "Edith Shain",
+            "status": "deceased",
+            "job": "n/a",
+            "kids": 3,
+            "city": "LA",
+            "AC": "213",
+            "zip": "90058",
+            "county": "Vermont",
+        }
+
+    def test_george_partial_true_values(self, george_spec):
+        encoding = encode_specification(george_spec)
+        deduced = deduce_order(encoding)
+        truth = extract_true_values(george_spec, deduced)
+        # Example 3: only name and kids are derivable automatically.
+        assert set(truth.known_attributes()) == {"name", "kids"}
+        assert truth["kids"] == 2
+
+    def test_single_value_attribute_is_trivially_true(self, schema):
+        spec = Specification.from_rows(schema, [{"status": "a", "city": "NY", "AC": "1"}])
+        encoding = encode_specification(spec)
+        deduced = deduce_order(encoding)
+        assert true_value_of_attribute(spec, deduced, "status") == "a"
+
+    def test_undetermined_attribute_returns_none(self, schema):
+        spec = Specification.from_rows(
+            schema,
+            [
+                {"status": "a", "city": "NY", "AC": "1"},
+                {"status": "b", "city": "LA", "AC": "2"},
+            ],
+        )
+        encoding = encode_specification(spec)
+        deduced = deduce_order(encoding)
+        assert true_value_of_attribute(spec, deduced, "status") is None
+
+    def test_cfd_repair_value_outside_active_domain(self, schema):
+        # The CFD's RHS constant is not observed anywhere; when the CFD fires
+        # it becomes the repaired true value of `city`.
+        rows = [
+            {"status": "working", "city": "NY", "AC": "212"},
+            {"status": "retired", "city": "SF", "AC": "213"},
+        ]
+        sigma = [
+            CurrencyConstraint.value_transition("status", "working", "retired"),
+            CurrencyConstraint.order_propagation(["status"], "AC"),
+            CurrencyConstraint.order_propagation(["status"], "city"),
+        ]
+        gamma = [ConstantCFD({"AC": "213"}, "city", "LA")]
+        spec = Specification.from_rows(schema, rows, sigma, gamma)
+        encoding = encode_specification(spec)
+        deduced = deduce_order(encoding)
+        assert true_value_of_attribute(spec, deduced, "city") == "LA"
+
+    def test_null_can_be_the_true_value_of_an_all_null_attribute(self, schema):
+        spec = Specification.from_rows(schema, [{"status": "a"}, {"status": "b"}])
+        encoding = encode_specification(spec)
+        deduced = deduce_order(encoding)
+        value = true_value_of_attribute(spec, deduced, "city")
+        from repro.core import is_null
+
+        assert is_null(value)

@@ -1,0 +1,109 @@
+"""Tests for the maximum-clique solver, cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SolverError
+from repro.solvers import build_graph, bron_kerbosch_cliques, greedy_clique, max_clique
+
+
+class TestBuildGraph:
+    def test_builds_adjacency(self):
+        graph = build_graph([1, 2, 3], [(1, 2)])
+        assert graph[1] == {2}
+        assert graph[2] == {1}
+        assert graph[3] == set()
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(SolverError):
+            build_graph([1], [(1, 1)])
+
+    def test_rejects_unknown_endpoint(self):
+        with pytest.raises(SolverError):
+            build_graph([1, 2], [(1, 3)])
+
+
+class TestMaxClique:
+    def test_empty_graph(self):
+        assert max_clique({}) == frozenset()
+
+    def test_single_node(self):
+        assert max_clique({1: set()}) == frozenset({1})
+
+    def test_triangle_plus_pendant(self):
+        graph = build_graph([1, 2, 3, 4], [(1, 2), (2, 3), (1, 3), (3, 4)])
+        assert max_clique(graph) == frozenset({1, 2, 3})
+
+    def test_two_disjoint_cliques(self):
+        edges = [(1, 2), (2, 3), (1, 3), (4, 5)]
+        graph = build_graph([1, 2, 3, 4, 5], edges)
+        assert max_clique(graph) == frozenset({1, 2, 3})
+
+    def test_complete_graph(self):
+        nodes = list(range(5))
+        edges = [(i, j) for i in nodes for j in nodes if i < j]
+        graph = build_graph(nodes, edges)
+        assert max_clique(graph) == frozenset(nodes)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SolverError):
+            max_clique({1: set()}, method="magic")
+
+    def test_invalid_graph_rejected(self):
+        with pytest.raises(SolverError):
+            max_clique({1: {2}})
+
+    def test_greedy_returns_a_clique(self):
+        graph = build_graph([1, 2, 3, 4], [(1, 2), (2, 3), (1, 3), (3, 4)])
+        clique = greedy_clique(graph)
+        assert all(b in graph[a] for a in clique for b in clique if a != b)
+
+    def test_bron_kerbosch_enumerates_maximal_cliques(self):
+        graph = build_graph([1, 2, 3, 4], [(1, 2), (2, 3), (1, 3), (3, 4)])
+        cliques = set(bron_kerbosch_cliques(graph))
+        assert frozenset({1, 2, 3}) in cliques
+        assert frozenset({3, 4}) in cliques
+
+
+# -- property-based cross-check against networkx --------------------------------
+
+
+@st.composite
+def random_graph(draw):
+    num_nodes = draw(st.integers(1, 9))
+    nodes = list(range(num_nodes))
+    edges = []
+    for i in nodes:
+        for j in nodes:
+            if i < j and draw(st.booleans()):
+                edges.append((i, j))
+    return nodes, edges
+
+
+@given(random_graph())
+@settings(max_examples=60, deadline=None)
+def test_exact_clique_size_matches_networkx(graph_spec):
+    """Our exact solver finds cliques of the same maximum size as networkx."""
+    nodes, edges = graph_spec
+    ours = max_clique(build_graph(nodes, edges))
+    reference = nx.Graph()
+    reference.add_nodes_from(nodes)
+    reference.add_edges_from(edges)
+    best_reference = max(nx.find_cliques(reference), key=len)
+    assert len(ours) == len(best_reference)
+    # And the returned set really is a clique.
+    adjacency = build_graph(nodes, edges)
+    assert all(b in adjacency[a] for a in ours for b in ours if a != b)
+
+
+@given(random_graph())
+@settings(max_examples=60, deadline=None)
+def test_greedy_clique_is_valid_and_not_larger_than_exact(graph_spec):
+    nodes, edges = graph_spec
+    adjacency = build_graph(nodes, edges)
+    greedy = greedy_clique(adjacency)
+    exact = max_clique(adjacency)
+    assert all(b in adjacency[a] for a in greedy for b in greedy if a != b)
+    assert len(greedy) <= len(exact)

@@ -1,0 +1,80 @@
+"""Tests for the standalone unit-propagation engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solvers import CNF, propagate_units, solve
+from repro.solvers.unit_propagation import forced_literal_set
+
+
+class TestPropagation:
+    def test_no_units_no_forcing(self):
+        result = propagate_units(CNF([[1, 2], [-1, -2]]))
+        assert result.forced_literals == []
+        assert not result.conflict
+
+    def test_chain_propagation(self):
+        cnf = CNF([[1], [-1, 2], [-2, 3]])
+        result = propagate_units(cnf)
+        assert set(result.forced_literals) == {1, 2, 3}
+        assert not result.conflict
+
+    def test_negative_literals_propagate(self):
+        cnf = CNF([[-1], [1, 2]])
+        result = propagate_units(cnf)
+        assert set(result.forced_literals) == {-1, 2}
+
+    def test_conflict_detected(self):
+        cnf = CNF([[1], [-1, 2], [-2], ])
+        result = propagate_units(cnf)
+        assert result.conflict
+
+    def test_empty_clause_is_conflict(self):
+        cnf = CNF()
+        cnf.add_clause([])
+        assert propagate_units(cnf).conflict
+
+    def test_extra_units_are_injected(self):
+        cnf = CNF([[-1, 2]])
+        result = propagate_units(cnf, extra_units=[1])
+        assert set(result.forced_literals) == {1, 2}
+
+    def test_extra_units_can_conflict(self):
+        cnf = CNF([[1]])
+        assert propagate_units(cnf, extra_units=[-1]).conflict
+
+    def test_forces_helper(self):
+        result = propagate_units(CNF([[3]]))
+        assert result.forces(3)
+        assert not result.forces(-3)
+
+    def test_forced_literal_set_helper(self):
+        assert forced_literal_set(CNF([[1], [-1, 2]])) == {1, 2}
+
+
+@st.composite
+def random_cnf(draw):
+    num_variables = draw(st.integers(1, 7))
+    num_clauses = draw(st.integers(1, 18))
+    clauses = []
+    for _ in range(num_clauses):
+        width = draw(st.integers(1, 3))
+        clauses.append(
+            [
+                draw(st.integers(1, num_variables)) * draw(st.sampled_from([1, -1]))
+                for _ in range(width)
+            ]
+        )
+    return CNF(clauses, num_variables=num_variables)
+
+
+@given(random_cnf())
+@settings(max_examples=80, deadline=None)
+def test_forced_literals_hold_in_every_model(cnf):
+    """Every literal forced by unit propagation is true in every model (soundness)."""
+    result = propagate_units(cnf)
+    if result.conflict:
+        assert not solve(cnf).satisfiable
+        return
+    for literal in result.forced_literals:
+        assert not solve(cnf, assumptions=[-literal]).satisfiable
