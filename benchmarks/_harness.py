@@ -14,6 +14,7 @@ the numbers reported in the paper.
 from __future__ import annotations
 
 import functools
+import json
 import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -50,6 +51,71 @@ def report(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print(f"\n[{name}]\n{text}")
+
+
+def report_json(name: str, payload: Dict) -> Path:
+    """Persist a structured result under ``benchmarks/results/<name>.json``.
+
+    The JSON companion of :func:`report`: machine-readable numbers (timings,
+    incremental-reuse counters, speedups) that the perf trajectory across PRs
+    can diff without re-parsing the text tables.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+# -- incremental-reuse statistics ---------------------------------------------------
+
+
+def reuse_statistics(result: ExperimentResult) -> Dict[str, float]:
+    """Reuse counters plus per-phase time totals for one experiment run."""
+    totals: Dict[str, float] = {
+        phase: sum(outcome.seconds.get(phase, 0.0) for outcome in result.outcomes)
+        for phase in ("validity", "deduce", "suggest", "total")
+    }
+    stats: Dict[str, float] = {f"seconds_{phase}": value for phase, value in totals.items()}
+    stats["seconds_pipeline"] = totals["validity"] + totals["deduce"] + totals["suggest"]
+    stats["entities"] = float(len(result.outcomes))
+    for key, value in result.reuse_summary().items():
+        stats[key] = value
+    return stats
+
+
+def incremental_comparison(
+    dataset: GeneratedDataset,
+    max_rounds: int = 2,
+    limit: Optional[int] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Run the framework twice — incremental sessions vs. from-scratch — and
+    report per-phase times, reuse counters and the resulting speedup.
+
+    This is the acceptance measurement of the incremental-session refactor:
+    the multi-round interaction workload re-solves ``S_e ⊕ O_t`` every round,
+    which is exactly where clause retention and delta encoding pay off.
+    """
+    comparison: Dict[str, Dict[str, float]] = {}
+    for mode, incremental in (("incremental", True), ("from_scratch", False)):
+        result = run_framework_experiment(
+            dataset,
+            max_interaction_rounds=max_rounds,
+            limit=limit,
+            incremental=incremental,
+        )
+        stats = reuse_statistics(result)
+        stats["f_measure"] = result.f_measure
+        comparison[mode] = stats
+    incremental_pipeline = comparison["incremental"]["seconds_pipeline"]
+    from_scratch_pipeline = comparison["from_scratch"]["seconds_pipeline"]
+    comparison["speedup"] = {
+        "pipeline_seconds_incremental": incremental_pipeline,
+        "pipeline_seconds_from_scratch": from_scratch_pipeline,
+        "pipeline_speedup": (
+            from_scratch_pipeline / incremental_pipeline if incremental_pipeline > 0 else 0.0
+        ),
+    }
+    return comparison
 
 
 # -- bench-sized datasets (cached for the whole pytest session) -----------------

@@ -3,11 +3,22 @@
 The paper finds that 35 % of the true values are identified without any user
 interaction and that at most 2 rounds are needed to resolve the remaining
 attributes.  The synthetic rebuild reports the same series.
+
+The multi-round interaction workload is also the acceptance benchmark of the
+incremental-session subsystem: the same resolve loop is run once with
+persistent solver sessions + delta encoding and once from scratch, and the
+per-phase timings plus reuse counters land in the JSON report.
 """
 
 from __future__ import annotations
 
-from _harness import interaction_panel, nba_accuracy_dataset, report
+from _harness import (
+    incremental_comparison,
+    interaction_panel,
+    nba_accuracy_dataset,
+    report,
+    report_json,
+)
 
 
 def bench_fig8e_interactions_nba(benchmark) -> None:
@@ -17,4 +28,13 @@ def bench_fig8e_interactions_nba(benchmark) -> None:
         return interaction_panel(nba_accuracy_dataset(), max_rounds=2)
 
     table = benchmark.pedantic(run, rounds=1, iterations=1)
+    comparison = incremental_comparison(nba_accuracy_dataset(), max_rounds=2)
+    speedup = comparison["speedup"]
+    table += (
+        "\nincremental sessions: pipeline "
+        f"{speedup['pipeline_seconds_incremental']:.3f}s vs from-scratch "
+        f"{speedup['pipeline_seconds_from_scratch']:.3f}s "
+        f"(speedup ×{speedup['pipeline_speedup']:.2f})"
+    )
     report("fig8e_interactions_nba", table)
+    report_json("fig8e_interactions_nba", comparison)

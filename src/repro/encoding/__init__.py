@@ -6,6 +6,7 @@ ordering-variable registry.
 """
 
 from repro.encoding.cnf_encoder import SpecificationEncoding, encode_specification
+from repro.encoding.incremental import IncrementalEncoder
 from repro.encoding.instance_constraints import (
     InstanceConstraint,
     InstanceConstraintSet,
@@ -15,6 +16,7 @@ from repro.encoding.instance_constraints import (
 from repro.encoding.variables import OrderLiteral, OrderVariableRegistry, canonical_value
 
 __all__ = [
+    "IncrementalEncoder",
     "InstanceConstraint",
     "InstanceConstraintSet",
     "InstantiationOptions",

@@ -1,0 +1,617 @@
+"""Incremental (delta) encoding of ``S_e ⊕ O_t`` across resolution rounds.
+
+The interactive framework (paper Fig. 4) extends the specification once per
+user round and re-runs ``IsValid`` → ``DeduceOrder`` → ``Suggest`` on the
+result.  Re-instantiating Ω(S_e ⊕ O_t) and rebuilding Φ from scratch each
+round throws away everything the previous round computed, including all the
+conflicts the SAT solver learned.  :class:`IncrementalEncoder` keeps one
+registry, one CNF and one :class:`~repro.solvers.session.SolverSession` alive
+for the whole resolve loop and, given a :class:`TemporalOrderDelta`, emits
+*only the new* instance constraints and clauses:
+
+* **currency-order facts** — the diff of the per-attribute tuple orders
+  (including the NULL-lowest edges the extended temporal instance adds);
+* **currency-constraint instances** — only the tuple/projection pairs that
+  involve a projection first contributed by the delta;
+* **ground-fact closure** — maintained per attribute, emitting only the
+  closure pairs the new facts introduce (a cycle marks the specification
+  inherently invalid, exactly as in the from-scratch path);
+* **structural axioms** — asymmetry pairs and transitivity triples involving
+  at least one newly used value.
+
+Constant CFDs are the one non-monotone ingredient: their instance constraints
+enumerate the active domain, so a new value (e.g. a user answer outside the
+active domain, paper Section VI) *changes* the bodies of already-emitted CFD
+clauses.  Those clauses therefore carry **guard (selector) literals** — the
+classic assumption-based incremental-SAT idiom: a CFD clause is
+``¬g ∨ ¬body ∨ head`` and every query assumes the guards of the currently
+valid CFD instances.  When a delta grows an active domain, stale CFD clauses
+are retired simply by no longer assuming their guards, and replacements are
+appended under fresh guards; nothing is ever removed from the solver, so
+learned clauses stay sound.
+
+The encoder deduplicates at the instance-constraint level (the same keys the
+from-scratch :class:`~repro.encoding.instance_constraints._Deduplicator`
+uses), which makes the incremental Φ logically equivalent to a from-scratch
+encoding of the extended specification.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.errors import CyclicOrderError
+from repro.core.instance import TemporalOrderDelta
+from repro.core.partial_order import PartialOrder
+from repro.core.specification import Specification
+from repro.core.values import Value, values_equal
+from repro.encoding.cnf_encoder import SpecificationEncoding, _constraint_to_clause
+from repro.encoding.instance_constraints import (
+    InstanceConstraint,
+    InstanceConstraintSet,
+    InstantiationOptions,
+    _instantiate_cfds,
+    _instantiate_one_pair,
+    instantiate,
+)
+from repro.encoding.variables import OrderLiteral, OrderVariableRegistry, canonical_value
+from repro.solvers.cnf import CNF
+from repro.solvers.session import SolverSession, create_session
+
+__all__ = ["IncrementalEncoder"]
+
+#: Structural-axiom kinds (never contribute used values or derivation rules).
+_STRUCTURAL_KINDS = ("asymmetry", "transitivity")
+
+
+def _constraint_key(constraint: InstanceConstraint) -> Tuple:
+    """Deduplication key, identical to the from-scratch ``_Deduplicator``'s."""
+    return (
+        frozenset((lit.attribute, lit.older, lit.newer) for lit in constraint.body),
+        None
+        if constraint.head is None
+        else (constraint.head.attribute, constraint.head.older, constraint.head.newer),
+        constraint.negated_head,
+    )
+
+
+class IncrementalEncoder:
+    """Maintains Ω, Φ and a solver session for one entity's resolve loop.
+
+    Parameters
+    ----------
+    spec:
+        The initial specification ``S_e`` (fully encoded once, at
+        construction).
+    options:
+        Instantiation options.  Deltas are always deduplicated at the
+        instance-constraint level regardless of ``options.deduplicate``
+        (diffing requires it).
+    backend:
+        Solver-session backend name (see
+        :func:`repro.solvers.session.create_session`); ignored when *session*
+        is given.
+    session:
+        An existing :class:`SolverSession` to load the clauses into.
+    """
+
+    def __init__(
+        self,
+        spec: Specification,
+        options: Optional[InstantiationOptions] = None,
+        backend: str = "cdcl",
+        session: Optional[SolverSession] = None,
+    ) -> None:
+        self._options = options or InstantiationOptions()
+        self._session = session if session is not None else create_session(backend)
+        self._registry = OrderVariableRegistry()
+        self._cnf = CNF()
+        self._spec = spec
+        # Delta-tracking state.
+        self._keys: Set[Tuple] = set()
+        self._guards: Dict[Tuple, int] = {}
+        self._guard_constraints: Dict[Tuple, InstanceConstraint] = {}
+        self._retired_guards = 0
+        self._projection_rows: Dict[Tuple[str, ...], List[Dict[str, Value]]] = {}
+        self._projection_seen: Dict[Tuple[str, ...], Set[Tuple[Hashable, ...]]] = {}
+        self._fact_orders: Dict[str, PartialOrder] = {}
+        self._used_values: Dict[str, List[Value]] = {}
+        self._used_keys: Dict[str, Set[Hashable]] = {}
+        self._conditional: Dict[str, Set[Hashable]] = {}
+        self._asym_pairs: Dict[str, Set[frozenset]] = {}
+        self._transitive_applied: Dict[str, Set[Hashable]] = {}
+        self._adom_keys: Dict[str, Set[Hashable]] = {}
+        # Statistics.
+        self._delta_encodings = 0
+        self._initial_clauses = 0
+        self._incremental_clauses = 0
+        self._last_delta_clauses = 0
+        self._last_delta_constraints = 0
+
+        self._omega = InstanceConstraintSet()
+        self._encoding = SpecificationEncoding(
+            specification=spec,
+            omega=self._omega,
+            registry=self._registry,
+            cnf=self._cnf,
+            options=self._options,
+        )
+        self._full_encode()
+
+    # -- public accessors ------------------------------------------------------
+
+    @property
+    def specification(self) -> Specification:
+        """The currently encoded specification (``S_e`` plus applied deltas)."""
+        return self._spec
+
+    @property
+    def encoding(self) -> SpecificationEncoding:
+        """The live :class:`SpecificationEncoding` (mutated in place by deltas)."""
+        return self._encoding
+
+    @property
+    def session(self) -> SolverSession:
+        """The solver session holding Φ (plus its learned clauses)."""
+        return self._session
+
+    @property
+    def assumptions(self) -> Tuple[int, ...]:
+        """Guard literals of the currently valid CFD clauses.
+
+        Every SAT query (and every unit-propagation run) over the incremental
+        encoding must assume these; retired guards are simply absent.
+        """
+        return tuple(sorted(self._guards.values()))
+
+    def statistics(self) -> Dict[str, int]:
+        """Encoder-level reuse counters, merged with the session's."""
+        stats = {
+            "incremental": 1,
+            "delta_encodings": self._delta_encodings,
+            "initial_clauses": self._initial_clauses,
+            "incremental_clauses": self._incremental_clauses,
+            "last_delta_clauses": self._last_delta_clauses,
+            "last_delta_constraints": self._last_delta_constraints,
+            "active_guards": len(self._guards),
+            "retired_guards": self._retired_guards,
+        }
+        for key, value in self._session.statistics().items():
+            stats[f"session_{key}"] = value
+        return stats
+
+    # -- clause plumbing -------------------------------------------------------
+
+    def _push_clause(self, literals: Sequence[int], initial: bool) -> None:
+        self._cnf.add_clause(literals)
+        self._session.add_clause(literals)
+        if initial:
+            self._initial_clauses += 1
+        else:
+            self._incremental_clauses += 1
+            self._last_delta_clauses += 1
+
+    def _push_constraint(self, constraint: InstanceConstraint, initial: bool) -> None:
+        """Append an unguarded constraint to Ω and its clause to Φ/session."""
+        self._omega.constraints.append(constraint)
+        self._push_clause(_constraint_to_clause(constraint, self._registry), initial)
+
+    def _push_guarded(self, constraint: InstanceConstraint, key: Tuple, initial: bool) -> None:
+        """Append a CFD constraint under a fresh guard literal."""
+        guard = self._registry.auxiliary_variable(label=("guard", constraint.source_name))
+        self._guards[key] = guard
+        self._guard_constraints[key] = constraint
+        self._omega.constraints.append(constraint)
+        clause = [-guard] + _constraint_to_clause(constraint, self._registry)
+        self._push_clause(clause, initial)
+
+    def _admit(self, constraint: InstanceConstraint, out: List[InstanceConstraint]) -> bool:
+        key = _constraint_key(constraint)
+        if key in self._keys:
+            return False
+        self._keys.add(key)
+        out.append(constraint)
+        return True
+
+    # -- initial (full) encoding -----------------------------------------------
+
+    def _full_encode(self) -> None:
+        spec = self._spec
+        omega = instantiate(spec, self._options)
+        self._omega.inherently_invalid = omega.inherently_invalid
+        self._omega.invalid_reason = omega.invalid_reason
+        self._omega.used_values = omega.used_values
+        self._used_values = omega.used_values
+
+        for constraint in omega.constraints:
+            if constraint.source_kind == "cfd":
+                key = _constraint_key(constraint)
+                if key in self._guards:
+                    continue
+                self._push_guarded(constraint, key, initial=True)
+            else:
+                key = _constraint_key(constraint)
+                if key in self._keys and self._options.deduplicate:
+                    continue
+                self._keys.add(key)
+                self._push_constraint(constraint, initial=True)
+        self._cnf.num_variables = max(self._cnf.num_variables, self._registry.num_variables)
+        self._session.ensure_variables(self._registry.num_variables)
+        if self._omega.inherently_invalid:
+            return  # the encoding is permanently unsatisfiable; no delta state needed
+
+        # Seed the delta-tracking state so apply_delta() can diff against it.
+        for attribute, values in self._used_values.items():
+            self._used_keys[attribute] = {canonical_value(value) for value in values}
+        for constraint in self._omega.constraints:
+            if constraint.source_kind in _STRUCTURAL_KINDS:
+                continue
+            is_conditional = bool(constraint.body) or constraint.head is None
+            if not is_conditional:
+                continue
+            for literal in constraint.body:
+                bucket = self._conditional.setdefault(literal.attribute, set())
+                bucket.add(literal.older)
+                bucket.add(literal.newer)
+            if constraint.head is not None:
+                bucket = self._conditional.setdefault(constraint.head.attribute, set())
+                bucket.add(constraint.head.older)
+                bucket.add(constraint.head.newer)
+        for constraint in self._omega.constraints:
+            if constraint.source_kind == "cfd" or not constraint.is_fact():
+                continue
+            order = self._fact_orders.setdefault(constraint.head.attribute, PartialOrder())
+            order.try_add(
+                canonical_value(constraint.head.older), canonical_value(constraint.head.newer)
+            )
+        for attribute, values in self._used_values.items():
+            keys = [canonical_value(value) for value in values]
+            if self._options.include_asymmetry:
+                self._asym_pairs[attribute] = {
+                    frozenset(pair) for pair in itertools.combinations(keys, 2)
+                }
+            if self._options.include_transitivity:
+                cap = self._options.transitivity_cap
+                if cap is not None and len(values) > cap:
+                    applicable = self._conditional.get(attribute, set())
+                    self._transitive_applied[attribute] = {k for k in keys if k in applicable}
+                else:
+                    self._transitive_applied[attribute] = set(keys)
+        for attribute in spec.schema.attribute_names:
+            self._adom_keys[attribute] = {
+                canonical_value(value) for value in spec.instance.active_domain(attribute)
+            }
+
+    # -- delta application -----------------------------------------------------
+
+    def apply_delta(self, delta: TemporalOrderDelta) -> Dict[str, int]:
+        """Extend the encoded specification with *delta*, emitting only new clauses.
+
+        Returns a small statistics dictionary (constraints and clauses added,
+        guards retired) for the round report.
+        """
+        self._delta_encodings += 1
+        self._last_delta_clauses = 0
+        self._last_delta_constraints = 0
+        old_spec = self._spec
+        new_spec = old_spec.extend(delta)
+        self._spec = new_spec
+        self._encoding.specification = new_spec
+        if delta.is_empty() or self._omega.inherently_invalid:
+            return self._delta_report()
+
+        fresh: List[InstanceConstraint] = []
+        self._delta_order_facts(old_spec, new_spec, fresh)
+        self._delta_currency_constraints(new_spec, delta, fresh)
+        new_cfd_constraints = self._delta_cfds(new_spec, delta)
+        if not self._delta_fact_closure(fresh):
+            # A ground-fact cycle makes the specification inherently invalid.
+            # Only the guarded CFD clauses and the conflict clause were pushed;
+            # the collected fresh constraints never entered Ω or Φ.
+            self._last_delta_constraints = len(new_cfd_constraints) + 1
+            return self._delta_report()
+        structural = self._delta_structural_axioms(fresh + new_cfd_constraints)
+        for constraint in fresh + structural:
+            self._push_constraint(constraint, initial=False)
+        self._last_delta_constraints = len(fresh) + len(new_cfd_constraints) + len(structural)
+        self._cnf.num_variables = max(self._cnf.num_variables, self._registry.num_variables)
+        self._session.ensure_variables(self._registry.num_variables)
+        self._omega.used_values = self._used_values
+        return self._delta_report()
+
+    def _delta_report(self) -> Dict[str, int]:
+        return {
+            "constraints_added": self._last_delta_constraints,
+            "clauses_added": self._last_delta_clauses,
+            "active_guards": len(self._guards),
+            "retired_guards": self._retired_guards,
+        }
+
+    # -- delta: currency-order facts -------------------------------------------
+
+    def _delta_order_facts(
+        self,
+        old_spec: Specification,
+        new_spec: Specification,
+        out: List[InstanceConstraint],
+    ) -> None:
+        instance = new_spec.instance
+        for attribute in new_spec.schema.attribute_names:
+            old_pairs = set(old_spec.temporal_instance.order_for(attribute).pairs())
+            for older_tid, newer_tid in new_spec.temporal_instance.order_for(attribute).pairs():
+                if (older_tid, newer_tid) in old_pairs:
+                    continue
+                older_value = instance[older_tid][attribute]
+                newer_value = instance[newer_tid][attribute]
+                if values_equal(older_value, newer_value):
+                    continue
+                self._admit(
+                    InstanceConstraint(
+                        body=(),
+                        head=OrderLiteral(attribute, older_value, newer_value),
+                        source_kind="order",
+                        source_name=f"{older_tid}≺{newer_tid}",
+                    ),
+                    out,
+                )
+
+    # -- delta: currency constraints ---------------------------------------------
+
+    def _delta_currency_constraints(
+        self,
+        new_spec: Specification,
+        delta: TemporalOrderDelta,
+        out: List[InstanceConstraint],
+    ) -> None:
+        if not delta.new_tuples:
+            return
+        by_attributes: Dict[Tuple[str, ...], List] = {}
+        for constraint in new_spec.currency_constraints:
+            attributes = tuple(sorted(constraint.referenced_attributes()))
+            by_attributes.setdefault(attributes, []).append(constraint)
+        for attributes, constraints in by_attributes.items():
+            # The cache is seeded lazily from the *old* instance: new tuples
+            # are already part of new_spec, so seed from old rows only.
+            if attributes not in self._projection_rows:
+                self._seed_projection_cache_from_old(new_spec, delta, attributes)
+            rows = self._projection_rows[attributes]
+            seen = self._projection_seen[attributes]
+            fresh_rows: List[Dict[str, Value]] = []
+            for item in delta.new_tuples:
+                row = {attribute: item[attribute] for attribute in attributes}
+                key = tuple(canonical_value(row[attribute]) for attribute in attributes)
+                if self._options.mode == "projected" and key in seen:
+                    continue
+                seen.add(key)
+                fresh_rows.append(row)
+            if not fresh_rows:
+                continue
+            old_rows = list(rows)
+            for constraint in constraints:
+                for new_row in fresh_rows:
+                    for old_row in old_rows:
+                        for row1, row2 in ((new_row, old_row), (old_row, new_row)):
+                            instantiated = _instantiate_one_pair(constraint, row1, row2)
+                            if instantiated is not None:
+                                self._admit(instantiated, out)
+                for row1, row2 in itertools.permutations(fresh_rows, 2):
+                    instantiated = _instantiate_one_pair(constraint, row1, row2)
+                    if instantiated is not None:
+                        self._admit(instantiated, out)
+            rows.extend(fresh_rows)
+
+    def _seed_projection_cache_from_old(
+        self, new_spec: Specification, delta: TemporalOrderDelta, attributes: Tuple[str, ...]
+    ) -> None:
+        new_tids = {item.tid for item in delta.new_tuples}
+        rows: List[Dict[str, Value]] = []
+        seen: Set[Tuple[Hashable, ...]] = set()
+        for item in new_spec.instance:
+            if item.tid in new_tids:
+                continue
+            row = {attribute: item[attribute] for attribute in attributes}
+            key = tuple(canonical_value(row[attribute]) for attribute in attributes)
+            if self._options.mode == "projected" and key in seen:
+                continue
+            seen.add(key)
+            rows.append(row)
+        self._projection_rows[attributes] = rows
+        self._projection_seen[attributes] = seen
+
+    # -- delta: constant CFDs ------------------------------------------------------
+
+    def _delta_cfds(
+        self, new_spec: Specification, delta: TemporalOrderDelta
+    ) -> List[InstanceConstraint]:
+        """Refresh the guarded CFD clauses after an active-domain change.
+
+        Returns the *newly added* CFD constraints (for used-value accounting).
+        """
+        if not new_spec.cfds or not delta.new_tuples:
+            return []
+        changed: Set[str] = set()
+        for attribute in new_spec.schema.attribute_names:
+            keys = self._adom_keys.setdefault(attribute, set())
+            for item in delta.new_tuples:
+                key = canonical_value(item[attribute])
+                if key not in keys:
+                    keys.add(key)
+                    changed.add(attribute)
+        if not any(changed & set(cfd.referenced_attributes()) for cfd in new_spec.cfds):
+            return []
+
+        collected: List[InstanceConstraint] = []
+        _instantiate_cfds(new_spec, collected.append)
+        fresh: Dict[Tuple, InstanceConstraint] = {}
+        for constraint in collected:
+            fresh.setdefault(_constraint_key(constraint), constraint)
+        # Retire guards of CFD instances no longer produced by the current
+        # active domains (their bodies grew): stop assuming their guards.
+        stale_constraints = []
+        for key in [key for key in self._guards if key not in fresh]:
+            self._guards.pop(key)
+            stale_constraints.append(self._guard_constraints.pop(key))
+            self._retired_guards += 1
+        if stale_constraints:
+            stale_ids = {id(constraint) for constraint in stale_constraints}
+            self._omega.constraints = [
+                constraint for constraint in self._omega.constraints if id(constraint) not in stale_ids
+            ]
+        added: List[InstanceConstraint] = []
+        for key, constraint in fresh.items():
+            if key in self._guards:
+                continue
+            self._push_guarded(constraint, key, initial=False)
+            added.append(constraint)
+        return added
+
+    # -- delta: ground-fact closure -------------------------------------------------
+
+    def _delta_fact_closure(self, fresh: List[InstanceConstraint]) -> bool:
+        """Close new ground facts transitively; ``False`` on a fact cycle."""
+        new_edges: Dict[str, List[Tuple[Hashable, Hashable]]] = {}
+        for constraint in fresh:
+            if not constraint.is_fact():
+                continue
+            new_edges.setdefault(constraint.head.attribute, []).append(
+                (canonical_value(constraint.head.older), canonical_value(constraint.head.newer))
+            )
+        closure_facts: List[InstanceConstraint] = []
+        for attribute, edges in new_edges.items():
+            order = self._fact_orders.setdefault(attribute, PartialOrder())
+            before = order.transitive_closure_pairs()
+            try:
+                for older, newer in edges:
+                    order.add(older, newer)
+            except CyclicOrderError:
+                self._omega.inherently_invalid = True
+                self._omega.invalid_reason = (
+                    f"the ground currency facts on attribute {attribute!r} form a cycle"
+                )
+                conflict = InstanceConstraint(
+                    body=(), head=None, source_kind="conflict", source_name=attribute
+                )
+                self._keys.add(_constraint_key(conflict))
+                self._push_constraint(conflict, initial=False)
+                return False
+            for older, newer in order.transitive_closure_pairs() - before:
+                if (older, newer) in edges:
+                    continue
+                self._admit(
+                    InstanceConstraint(
+                        body=(),
+                        head=OrderLiteral(attribute, older, newer),
+                        source_kind="closure",
+                        source_name=attribute,
+                    ),
+                    closure_facts,
+                )
+        fresh.extend(closure_facts)
+        return True
+
+    # -- delta: used values and structural axioms -------------------------------------
+
+    def _note_used(self, attribute: str, value: Value, is_conditional: bool) -> bool:
+        """Record a used value; returns ``True`` when the value is new for *attribute*."""
+        keys = self._used_keys.setdefault(attribute, set())
+        key = canonical_value(value)
+        new = key not in keys
+        if new:
+            keys.add(key)
+            self._used_values.setdefault(attribute, []).append(value)
+        if is_conditional:
+            self._conditional.setdefault(attribute, set()).add(key)
+        return new
+
+    def _delta_structural_axioms(
+        self, new_constraints: List[InstanceConstraint]
+    ) -> List[InstanceConstraint]:
+        touched: Set[str] = set()
+        newly_used: Dict[str, List[Value]] = {}
+        for constraint in new_constraints:
+            is_conditional = bool(constraint.body) or constraint.head is None
+            literals = list(constraint.body)
+            if constraint.head is not None:
+                literals.append(constraint.head)
+            for literal in literals:
+                touched.add(literal.attribute)
+                for value in (literal.older, literal.newer):
+                    if self._note_used(literal.attribute, value, is_conditional):
+                        newly_used.setdefault(literal.attribute, []).append(value)
+
+        out: List[InstanceConstraint] = []
+        options = self._options
+        for attribute in sorted(touched):
+            values = self._used_values.get(attribute, [])
+            if options.include_asymmetry:
+                pairs = self._asym_pairs.setdefault(attribute, set())
+                for new_value in newly_used.get(attribute, []):
+                    new_key = canonical_value(new_value)
+                    for other in values:
+                        other_key = canonical_value(other)
+                        if other_key == new_key:
+                            continue
+                        pair = frozenset((new_key, other_key))
+                        if pair in pairs:
+                            continue
+                        pairs.add(pair)
+                        self._admit(
+                            InstanceConstraint(
+                                body=(OrderLiteral(attribute, other, new_value),),
+                                head=OrderLiteral(attribute, new_value, other),
+                                negated_head=True,
+                                source_kind="asymmetry",
+                                source_name=attribute,
+                            ),
+                            out,
+                        )
+            if not options.include_transitivity:
+                continue
+            cap = options.transitivity_cap
+            if cap is not None and len(values) > cap:
+                conditional = self._conditional.get(attribute, set())
+                applicable = [v for v in values if canonical_value(v) in conditional]
+            else:
+                applicable = list(values)
+            applied = self._transitive_applied.setdefault(attribute, set())
+            fresh_values = [
+                value for value in applicable if canonical_value(value) not in applied
+            ]
+            if not fresh_values:
+                continue
+            # Enumerate only the ordered triples containing at least one fresh
+            # value, by pinning a fresh value at each of the three positions
+            # (3·|fresh|·n² instead of n³ per delta); triples with several
+            # fresh values are generated more than once and deduplicated by
+            # the admission key set.
+            for fresh_value in fresh_values:
+                for left, right in itertools.permutations(applicable, 2):
+                    for first, second, third in (
+                        (fresh_value, left, right),
+                        (left, fresh_value, right),
+                        (left, right, fresh_value),
+                    ):
+                        first_key = canonical_value(first)
+                        second_key = canonical_value(second)
+                        third_key = canonical_value(third)
+                        if (
+                            first_key == second_key
+                            or second_key == third_key
+                            or first_key == third_key
+                        ):
+                            continue
+                        self._admit(
+                            InstanceConstraint(
+                                body=(
+                                    OrderLiteral(attribute, first, second),
+                                    OrderLiteral(attribute, second, third),
+                                ),
+                                head=OrderLiteral(attribute, first, third),
+                                source_kind="transitivity",
+                                source_name=attribute,
+                            ),
+                            out,
+                        )
+            applied.update(canonical_value(value) for value in fresh_values)
+        return out

@@ -74,12 +74,27 @@ class OrderVariableRegistry:
         """Return the variable for *literal* if it was registered, else ``None``."""
         return self._by_literal.get((literal.attribute, literal.older, literal.newer))
 
+    def auxiliary_variable(self, label: object | None = None) -> int:
+        """Allocate a fresh variable that does *not* stand for an ordering atom.
+
+        The incremental encoder uses these as guard (selector) literals for
+        retractable clauses; drawing them from the same pool keeps the DIMACS
+        variable space free of collisions.  :meth:`get` returns ``None`` for
+        them, which is how the deduction algorithms tell guards apart from
+        ordering variables.
+        """
+        return self._pool.new_variable(label=label)
+
     def decode(self, variable: int) -> OrderLiteral:
         """Return the atom represented by *variable*."""
         try:
             return self._by_variable[variable]
         except KeyError:
             raise EncodingError(f"variable {variable} is not an ordering variable") from None
+
+    def get(self, variable: int) -> Optional[OrderLiteral]:
+        """Return the atom for *variable*, or ``None`` for auxiliary/guard variables."""
+        return self._by_variable.get(variable)
 
     def decode_literal(self, literal: int) -> Tuple[OrderLiteral, bool]:
         """Decode a signed SAT literal into (atom, positive?)."""

@@ -43,6 +43,34 @@ class EntityOutcome:
     seconds: Dict[str, float] = field(default_factory=dict)
     correct_by_round: List[int] = field(default_factory=list)
     resolution: Optional[ResolutionResult] = None
+    reuse: Dict[str, int] = field(default_factory=dict)
+
+
+#: Cumulative encoder/session counters surfaced per entity (the final round's
+#: ``encoding_statistics`` carries the totals for the whole resolve loop).
+_REUSE_KEYS = (
+    "incremental",
+    "delta_encodings",
+    "initial_clauses",
+    "incremental_clauses",
+    "active_guards",
+    "retired_guards",
+    "session_solve_calls",
+    "session_cold_solves",
+    "session_incremental_solves",
+    "session_clauses_added",
+    "session_clauses_reused",
+    "session_learned_clauses",
+    "session_learned_reused",
+)
+
+
+def _reuse_from_resolution(resolution: ResolutionResult) -> Dict[str, int]:
+    """Extract the incremental-reuse counters from a resolution's last round."""
+    if not resolution.rounds:
+        return {}
+    final = resolution.rounds[-1].encoding_statistics
+    return {key: final[key] for key in _REUSE_KEYS if key in final}
 
 
 @dataclass
@@ -84,6 +112,19 @@ class ExperimentResult:
     def max_rounds_used(self) -> int:
         """Largest number of interaction rounds any entity needed."""
         return max((outcome.rounds_used for outcome in self.outcomes), default=0)
+
+    def reuse_summary(self) -> Dict[str, int]:
+        """Aggregate incremental-reuse counters over all entities.
+
+        Empty when the experiment ran the from-scratch path (or recorded no
+        statistics); the benchmark harness serialises this into its JSON
+        reports so the perf trajectory captures the solver-reuse win.
+        """
+        totals: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            for key, value in outcome.reuse.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
 
     def true_value_fraction_by_round(self, num_rounds: int) -> List[float]:
         """Fraction of (conflicting) true values identified after 0..num_rounds rounds."""
@@ -137,6 +178,7 @@ def run_framework_experiment(
     resolver_options: Optional[ResolverOptions] = None,
     limit: Optional[int] = None,
     label: Optional[str] = None,
+    incremental: bool = True,
 ) -> ExperimentResult:
     """Resolve every entity with the currency/consistency framework.
 
@@ -156,9 +198,15 @@ def run_framework_experiment(
         *max_interaction_rounds* unless explicitly provided.
     limit:
         Evaluate only the first *limit* entities (useful for quick runs).
+    incremental:
+        Use the incremental solver-session path (ignored when
+        *resolver_options* is given explicitly); ``False`` runs the
+        from-scratch baseline the reuse benchmarks compare against.
     """
     if resolver_options is None:
-        resolver_options = ResolverOptions(max_rounds=max_interaction_rounds, fallback="none")
+        resolver_options = ResolverOptions(
+            max_rounds=max_interaction_rounds, fallback="none", incremental=incremental
+        )
     resolver = ConflictResolver(resolver_options)
     result = ExperimentResult(
         label=label
@@ -199,6 +247,7 @@ def run_framework_experiment(
                 seconds=seconds,
                 correct_by_round=correct_by_round,
                 resolution=resolution,
+                reuse=_reuse_from_resolution(resolution),
             )
         )
     return result

@@ -25,6 +25,7 @@ from repro.core.values import Value
 from repro.encoding.cnf_encoder import SpecificationEncoding
 from repro.encoding.variables import OrderLiteral, canonical_value
 from repro.solvers.sat import solve
+from repro.solvers.session import SolverSession
 from repro.solvers.unit_propagation import propagate_units
 
 __all__ = ["DeducedOrders", "deduce_order", "naive_deduce"]
@@ -91,8 +92,12 @@ class DeducedOrders:
 
 
 def _record_forced_literal(result: DeducedOrders, encoding: SpecificationEncoding, literal: int) -> None:
-    atom, positive = encoding.decode(literal)
-    if positive:
+    atom = encoding.registry.get(abs(literal))
+    if atom is None:
+        # Guard/auxiliary literal of the incremental encoding: carries no
+        # ordering information.
+        return
+    if literal > 0:
         result.add(atom.attribute, atom.older, atom.newer)
     else:
         # ¬(a1 ≺ a2) together with totality of completions gives a2 ≺ a1.
@@ -157,7 +162,12 @@ def deduce_order(
 _MAX_FIXPOINT_ROUNDS = 10
 
 
-def naive_deduce(encoding: SpecificationEncoding, max_pairs: Optional[int] = None) -> DeducedOrders:
+def naive_deduce(
+    encoding: SpecificationEncoding,
+    max_pairs: Optional[int] = None,
+    session: Optional[SolverSession] = None,
+    assumptions: Iterable[int] = (),
+) -> DeducedOrders:
     """Run ``NaiveDeduce``: one SAT call per ordered pair of used values.
 
     Parameters
@@ -167,9 +177,24 @@ def naive_deduce(encoding: SpecificationEncoding, max_pairs: Optional[int] = Non
     max_pairs:
         Optional cap on the number of pairs examined (benchmarks use it to
         keep the deliberately-slow baseline bounded); ``None`` checks all.
+    session:
+        Optional solver session already holding Φ(S_e).  The per-pair
+        refutation loop is the textbook beneficiary of incremental solving:
+        every ``solve(assumptions=[¬x])`` call reuses the clauses learned by
+        all the previous ones instead of starting cold.
+    assumptions:
+        Base assumptions for every call (the incremental encoding's guard
+        literals).
     """
+    base_assumptions = [int(literal) for literal in assumptions]
+
+    def query(extra: List[int]):
+        if session is not None:
+            return session.solve(base_assumptions + extra)
+        return solve(encoding.cnf, assumptions=base_assumptions + extra)
+
     result = DeducedOrders()
-    base = solve(encoding.cnf)
+    base = query([])
     result.sat_calls += 1
     if not base.satisfiable:
         result.conflict = True
@@ -188,7 +213,7 @@ def naive_deduce(encoding: SpecificationEncoding, max_pairs: Optional[int] = Non
                 if variable is None:
                     # The atom never occurs in Φ(S_e); it cannot be implied.
                     continue
-                refutation = solve(encoding.cnf, assumptions=[-variable])
+                refutation = query([-variable])
                 result.sat_calls += 1
                 if not refutation.satisfiable:
                     result.add(attribute, older, newer)

@@ -30,6 +30,7 @@ from repro.core.specification import Specification, TrueValueAssignment
 from repro.core.tuples import EntityTuple
 from repro.core.values import NULL, Value, is_null
 from repro.encoding.cnf_encoder import SpecificationEncoding, encode_specification
+from repro.encoding.incremental import IncrementalEncoder
 from repro.encoding.instance_constraints import InstantiationOptions
 from repro.resolution.baselines import pick_resolution
 from repro.resolution.deduce import DeducedOrders, deduce_order
@@ -131,13 +132,29 @@ class ResolutionResult:
 
 @dataclass
 class ResolverOptions:
-    """Configuration of the framework loop."""
+    """Configuration of the framework loop.
+
+    Attributes
+    ----------
+    incremental:
+        When ``True`` (the default) the resolver performs one full encoding
+        per entity and keeps a persistent solver session: each interaction
+        round extends Φ through the :class:`IncrementalEncoder` delta path,
+        and validity/deduction/suggestion all share the session's learned
+        clauses.  ``False`` restores the from-scratch behaviour (re-encode and
+        cold-solve every round) — the cross-check tests compare the two.
+    solver_backend:
+        Registry name of the solver-session backend (``"cdcl"`` or
+        ``"dpll"``); only used on the incremental path.
+    """
 
     instantiation: InstantiationOptions = field(default_factory=InstantiationOptions)
     suggest: SuggestOptions = field(default_factory=SuggestOptions)
     max_rounds: int = 5
     fallback: str = "pick"  # "pick" or "none"
     random_seed: int = 0
+    incremental: bool = True
+    solver_backend: str = "cdcl"
 
 
 class ConflictResolver:
@@ -194,11 +211,28 @@ class ConflictResolver:
         known = TrueValueAssignment({})
         valid = True
         user_validated: Dict[str, Value] = {}
+        encoder: Optional[IncrementalEncoder] = None
 
         for round_index in range(options.max_rounds + 1):
             start = time.perf_counter()
-            encoding = encode_specification(current, options.instantiation)
-            validity = check_validity(current, encoding=encoding)
+            if options.incremental:
+                # One full encoding per entity; later rounds only append the
+                # delta clauses of S_e ⊕ O_t and the solver session keeps its
+                # learned clauses across all queries of the whole loop.
+                if encoder is None:
+                    encoder = IncrementalEncoder(
+                        current, options.instantiation, backend=options.solver_backend
+                    )
+                encoding = encoder.encoding
+                session = encoder.session
+                guard_assumptions: Tuple[int, ...] = encoder.assumptions
+            else:
+                encoding = encode_specification(current, options.instantiation)
+                session = None
+                guard_assumptions = ()
+            validity = check_validity(
+                current, encoding=encoding, session=session, assumptions=guard_assumptions
+            )
             validity_seconds = time.perf_counter() - start
             if not validity.valid:
                 valid = False
@@ -209,13 +243,13 @@ class ConflictResolver:
                         deduced_attributes=(),
                         suggestion=None,
                         validity_seconds=validity_seconds,
-                        encoding_statistics=encoding.statistics(),
+                        encoding_statistics=self._round_statistics(encoding, encoder),
                     )
                 )
                 break
 
             start = time.perf_counter()
-            deduced = deduce_order(encoding)
+            deduced = deduce_order(encoding, extra_literals=guard_assumptions)
             known = extract_true_values(current, deduced)
             deduce_seconds = time.perf_counter() - start
 
@@ -225,7 +259,14 @@ class ConflictResolver:
             answers: Dict[str, Value] = {}
             if not complete and round_index < options.max_rounds:
                 start = time.perf_counter()
-                suggestion = suggest(encoding, deduced, known, options.suggest)
+                suggestion = suggest(
+                    encoding,
+                    deduced,
+                    known,
+                    options.suggest,
+                    session=session,
+                    assumptions=guard_assumptions,
+                )
                 suggest_seconds = time.perf_counter() - start
                 answers = dict(oracle.answer(suggestion, current))
 
@@ -239,7 +280,7 @@ class ConflictResolver:
                     validity_seconds=validity_seconds,
                     deduce_seconds=deduce_seconds,
                     suggest_seconds=suggest_seconds,
-                    encoding_statistics=encoding.statistics(),
+                    encoding_statistics=self._round_statistics(encoding, encoder),
                 )
             )
 
@@ -247,7 +288,11 @@ class ConflictResolver:
                 break
             user_validated.update(answers)
             delta = self._delta_from_answers(current, answers, known, round_index + 1)
-            current = current.extend(delta)
+            if options.incremental and encoder is not None:
+                encoder.apply_delta(delta)
+                current = encoder.specification
+            else:
+                current = current.extend(delta)
 
         resolved, fallback_attributes = self._finalize(spec, known, valid)
         return ResolutionResult(
@@ -260,6 +305,18 @@ class ConflictResolver:
             complete=known.is_total_for(spec.schema),
             user_validated_attributes=tuple(sorted(user_validated)),
         )
+
+    @staticmethod
+    def _round_statistics(
+        encoding: SpecificationEncoding, encoder: Optional[IncrementalEncoder]
+    ) -> Dict[str, int]:
+        """Encoding sizes plus, on the incremental path, the reuse counters."""
+        statistics = encoding.statistics()
+        if encoder is not None:
+            statistics.update(encoder.statistics())
+        else:
+            statistics["incremental"] = 0
+        return statistics
 
     def _finalize(
         self, spec: Specification, known: TrueValueAssignment, valid: bool

@@ -33,6 +33,7 @@ from repro.resolution.deduce import DeducedOrders
 from repro.resolution.derivation import DerivationRule, derive_rules
 from repro.solvers.clique import max_clique
 from repro.solvers.maxsat import solve_group_maxsat
+from repro.solvers.session import SolverSession
 
 __all__ = ["Suggestion", "SuggestOptions", "derive_candidate_values", "suggest"]
 
@@ -145,8 +146,16 @@ def suggest(
     deduced: DeducedOrders,
     known: TrueValueAssignment,
     options: SuggestOptions | None = None,
+    session: Optional[SolverSession] = None,
+    assumptions: Sequence[int] = (),
 ) -> Suggestion:
-    """Run the full ``Suggest`` pipeline and return a sufficient suggestion."""
+    """Run the full ``Suggest`` pipeline and return a sufficient suggestion.
+
+    When the framework supplies a *session* (and the guard *assumptions* of
+    the incremental encoding), the MaxSAT repair of ``GetSug`` probes the
+    shared solver instead of launching cold SAT runs, so it reuses everything
+    the validity check and earlier rounds already learned about Φ(S_e).
+    """
     options = options or SuggestOptions()
     spec = encoding.specification
     schema_attributes = list(spec.schema.attribute_names)
@@ -164,7 +173,13 @@ def suggest(
         groups = [
             _rule_assumption_literals(rule, encoding, candidates) for rule in clique_rules
         ]
-        maxsat = solve_group_maxsat(encoding.cnf, groups, strategy=options.maxsat_strategy)
+        maxsat = solve_group_maxsat(
+            encoding.cnf,
+            groups,
+            strategy=options.maxsat_strategy,
+            session=session,
+            assumptions=assumptions,
+        )
         sat_calls = maxsat.sat_calls
         if maxsat.hard_satisfiable:
             kept_rules = [clique_rules[index] for index in maxsat.selected_groups]

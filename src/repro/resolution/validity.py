@@ -8,12 +8,13 @@ algorithm is: instantiate, convert to CNF, call the SAT solver.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.core.specification import Specification
 from repro.encoding.cnf_encoder import SpecificationEncoding, encode_specification
 from repro.encoding.instance_constraints import InstantiationOptions
 from repro.solvers.sat import solve
+from repro.solvers.session import SolverSession
 
 __all__ = ["ValidityReport", "is_valid", "check_validity"]
 
@@ -45,15 +46,24 @@ def check_validity(
     spec: Specification,
     options: InstantiationOptions | None = None,
     encoding: Optional[SpecificationEncoding] = None,
+    session: Optional[SolverSession] = None,
+    assumptions: Sequence[int] = (),
 ) -> ValidityReport:
     """Run ``IsValid`` on *spec* and return a full report.
 
     An already-built *encoding* can be supplied to avoid re-encoding the same
     specification (the framework reuses one encoding per interaction round).
+    When a *session* already holds Φ(S_e) (the incremental path), the check is
+    a single ``solve(assumptions)`` call on it — clauses learned by earlier
+    rounds and by the other pipeline stages are reused, and *assumptions*
+    carries the guard literals of the currently valid clauses.
     """
     if encoding is None:
         encoding = encode_specification(spec, options)
-    result = solve(encoding.cnf)
+    if session is not None:
+        result = session.solve(assumptions)
+    else:
+        result = solve(encoding.cnf, assumptions=list(assumptions))
     return ValidityReport(
         valid=result.satisfiable,
         encoding=encoding,

@@ -11,22 +11,36 @@ from repro.solvers.cnf import CNF, Clause, VariablePool
 from repro.solvers.dpll import dpll_solve
 from repro.solvers.maxsat import MaxSATResult, solve_group_maxsat
 from repro.solvers.sat import CDCLSolver, SATResult, solve
+from repro.solvers.session import (
+    CDCLSession,
+    DPLLSession,
+    SolverSession,
+    available_backends,
+    create_session,
+    register_backend,
+)
 from repro.solvers.unit_propagation import PropagationResult, propagate_units
 
 __all__ = [
     "CNF",
+    "CDCLSession",
     "CDCLSolver",
     "Clause",
+    "DPLLSession",
     "MaxSATResult",
     "PropagationResult",
     "SATResult",
+    "SolverSession",
     "VariablePool",
+    "available_backends",
     "build_graph",
     "bron_kerbosch_cliques",
+    "create_session",
     "dpll_solve",
     "greedy_clique",
     "max_clique",
     "propagate_units",
+    "register_backend",
     "solve",
     "solve_group_maxsat",
 ]

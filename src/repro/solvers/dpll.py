@@ -1,7 +1,7 @@
 """A small DPLL solver used as a reference implementation.
 
-The CDCL solver in :mod:`repro.solvers.sat` is the work-horse; this recursive
-DPLL solver exists for two reasons:
+The CDCL solver in :mod:`repro.solvers.sat` is the work-horse; this
+explicit-stack DPLL solver exists for two reasons:
 
 * it is simple enough to be obviously correct, so the test suite uses it to
   cross-check the CDCL solver on randomly generated formulas, and
@@ -55,21 +55,33 @@ def _unit_propagate(
 
 
 def _dpll(clauses: Tuple[Tuple[int, ...], ...], assignment: Dict[int, bool]) -> Optional[Dict[int, bool]]:
-    propagated = _unit_propagate(clauses, assignment)
-    if propagated is None:
-        return None
-    clauses, assignment = propagated
-    if not clauses:
-        return assignment
-    # Branch on the first literal of the first clause (simple but adequate).
-    literal = clauses[0][0]
-    variable = abs(literal)
-    for value in (literal > 0, literal < 0):
-        attempt = dict(assignment)
-        attempt[variable] = value
-        result = _dpll(clauses, attempt)
-        if result is not None:
-            return result
+    """Iterative DPLL over an explicit work stack.
+
+    The branching order is identical to the classic recursive formulation
+    (satisfying phase of the first literal of the first clause is tried
+    first), but large entity encodings cannot overflow Python's recursion
+    limit.  A stack frame is (clauses, base assignment, branch literal); the
+    assignment copy for a branch is made only when the frame is actually
+    popped, so abandoned alternatives cost nothing.
+    """
+    stack = [(clauses, assignment, None)]
+    while stack:
+        clauses, assignment, branch = stack.pop()
+        if branch is not None:
+            assignment = dict(assignment)
+            assignment[abs(branch)] = branch > 0
+        propagated = _unit_propagate(clauses, assignment)
+        if propagated is None:
+            continue
+        clauses, assignment = propagated
+        if not clauses:
+            return assignment
+        # Branch on the first literal of the first clause (simple but adequate).
+        literal = clauses[0][0]
+        # LIFO: push the alternative branch first so the satisfying phase of
+        # the branching literal is explored next, as in the recursive version.
+        stack.append((clauses, assignment, -literal))
+        stack.append((clauses, assignment, literal))
     return None
 
 

@@ -21,11 +21,12 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.errors import SolverError
 from repro.solvers.cnf import CNF
 from repro.solvers.sat import solve
+from repro.solvers.session import SolverSession
 
 __all__ = ["MaxSATResult", "solve_group_maxsat"]
 
@@ -53,23 +54,20 @@ class MaxSATResult:
         return len(self.selected_groups)
 
 
-def _group_consistent(hard: CNF, literals: Sequence[int]) -> Tuple[bool, int]:
-    """Check whether *literals* are jointly consistent with the hard clauses."""
-    result = solve(hard, assumptions=list(literals))
-    return result.satisfiable, 1
-
-
 def solve_group_maxsat(
     hard: CNF,
     groups: Sequence[Sequence[int]],
     strategy: str = "exact",
+    session: Optional[SolverSession] = None,
+    assumptions: Sequence[int] = (),
 ) -> MaxSATResult:
     """Select a maximum number of literal groups consistent with *hard*.
 
     Parameters
     ----------
     hard:
-        Hard clauses that must be satisfied.
+        Hard clauses that must be satisfied (ignored when *session* is given —
+        the session is assumed to already hold them).
     groups:
         Each group is a sequence of literals; a group is "kept" only when all
         of its literals can be made true together with the hard clauses and
@@ -78,9 +76,26 @@ def solve_group_maxsat(
         ``"exact"`` explores subsets from largest to smallest (feasible because
         the number of groups is small — at most the number of attributes);
         ``"greedy"`` adds groups one at a time.
+    session:
+        Optional solver session holding the hard clauses.  Every probe of the
+        subset search is then an assumption-only incremental call, so the
+        whole search shares one learned-clause database.
+    assumptions:
+        Base assumptions added to every call (incremental-encoding guards).
     """
+    base_assumptions = [int(literal) for literal in assumptions]
+
+    def _query(literals: Sequence[int]):
+        if session is not None:
+            return session.solve(base_assumptions + list(literals))
+        return solve(hard, assumptions=base_assumptions + list(literals))
+
+    def _group_consistent(literals: Sequence[int]) -> Tuple[bool, int]:
+        """Check whether *literals* are jointly consistent with the hard clauses."""
+        return _query(literals).satisfiable, 1
+
     sat_calls = 0
-    base = solve(hard)
+    base = _query([])
     sat_calls += 1
     if not base.satisfiable:
         return MaxSATResult((), hard_satisfiable=False, sat_calls=sat_calls)
@@ -92,7 +107,7 @@ def solve_group_maxsat(
         accumulated: List[int] = []
         for index, group in enumerate(groups):
             candidate = accumulated + list(group)
-            ok, calls = _group_consistent(hard, candidate)
+            ok, calls = _group_consistent(candidate)
             sat_calls += calls
             if ok:
                 selected.append(index)
@@ -105,7 +120,7 @@ def solve_group_maxsat(
     indices = list(range(len(groups)))
     # Quick win: all groups together.
     all_literals = [lit for group in groups for lit in group]
-    ok, calls = _group_consistent(hard, all_literals)
+    ok, calls = _group_consistent(all_literals)
     sat_calls += calls
     if ok:
         return MaxSATResult(tuple(indices), hard_satisfiable=True, sat_calls=sat_calls)
@@ -113,7 +128,7 @@ def solve_group_maxsat(
     for size in range(len(groups) - 1, 0, -1):
         for subset in itertools.combinations(indices, size):
             literals = [lit for index in subset for lit in groups[index]]
-            ok, calls = _group_consistent(hard, literals)
+            ok, calls = _group_consistent(literals)
             sat_calls += calls
             if ok:
                 return MaxSATResult(tuple(subset), hard_satisfiable=True, sat_calls=sat_calls)

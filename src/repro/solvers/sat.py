@@ -1,4 +1,4 @@
-"""A from-scratch CDCL SAT solver.
+"""A from-scratch incremental CDCL SAT solver.
 
 This module replaces the MiniSAT binary used in the paper's experiments.  It
 implements the standard conflict-driven clause-learning loop:
@@ -7,6 +7,14 @@ implements the standard conflict-driven clause-learning loop:
 * first-UIP conflict analysis with clause learning,
 * VSIDS-style variable activities with decay,
 * phase saving and geometric restarts.
+
+The solver is *incremental* in the MiniSat sense: clauses can be added between
+:meth:`CDCLSolver.solve` calls and assumptions are decided at their own
+decision levels, so every learned clause is implied by the problem clauses
+alone and can be retained across calls.  This is what makes the repeated-query
+workload of the interactive resolution framework (validity check, per-candidate
+refutations, MaxSAT probing on the same Φ(S_e)) cheap: conflicts learned by an
+early query prune the search of every later one.
 
 The solver is deliberately dependency-free and deterministic (given the same
 formula it always returns the same model), which keeps experiments
@@ -18,12 +26,14 @@ Public API
 
 ``solve(cnf, assumptions=())`` returns a :class:`SATResult` whose
 ``satisfiable`` flag and ``model`` (a ``{variable: bool}`` dict) mirror what a
-MiniSAT-style incremental interface would return.
+MiniSAT-style incremental interface would return.  ``CDCLSolver`` exposes the
+stateful interface (``add_clause`` / ``solve(assumptions)``) used by
+:mod:`repro.solvers.session`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.errors import SolverError
@@ -61,38 +71,280 @@ _FALSE = -1
 
 
 class CDCLSolver:
-    """Conflict-driven clause-learning solver over a fixed formula.
+    """Conflict-driven clause-learning solver with incremental clause addition.
 
-    The solver takes its clauses at construction time; call :meth:`solve` with
-    optional assumption literals.  Assumptions are treated as pseudo-clauses
-    added for the duration of the call.
+    The solver may take an initial formula at construction time; further
+    clauses can be appended with :meth:`add_clause` between :meth:`solve`
+    calls.  Assumptions are decided at dedicated decision levels (never mixed
+    into level 0), so clauses learned under assumptions are consequences of
+    the clause database alone and stay valid for every later call.
     """
 
-    def __init__(self, cnf: CNF) -> None:
-        self._num_vars = cnf.num_variables
+    def __init__(self, cnf: Optional[CNF] = None) -> None:
+        self._num_vars = 0
         self._clauses: List[List[int]] = []
-        self._unit_literals: List[int] = []
-        self._trivially_unsat = False
-        for clause in cnf.clauses:
-            simplified = self._simplify_clause(clause)
-            if simplified is None:
-                continue  # tautology
-            if len(simplified) == 0:
-                self._trivially_unsat = True
-            elif len(simplified) == 1:
-                self._unit_literals.append(simplified[0])
-            else:
-                self._clauses.append(simplified)
+        self._watches: Dict[int, List[int]] = {}
+        # 1-indexed per-variable state (index 0 unused).
+        self._assignment: List[int] = [_UNASSIGNED]
+        self._level: List[int] = [0]
+        self._reason: List[Optional[int]] = [None]
+        self._phase: List[bool] = [False]
+        self._activity: List[float] = [0.0]
+        self._activity_increment = 1.0
+        self._activity_decay = 0.95
+        self._trail: List[int] = []
+        self._trail_level_start: List[int] = [0]
+        self._queue_head = 0
+        self._unsat = False
+        # Cumulative statistics (across all solve calls).
+        self.solve_calls = 0
+        self.num_problem_clauses = 0
+        self.num_learned_clauses = 0
+        self.total_conflicts = 0
+        self.total_decisions = 0
+        self.total_propagations = 0
+        self.total_restarts = 0
+        if cnf is not None:
+            self.ensure_variables(cnf.num_variables)
+            self.add_clauses(cnf.clauses)
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    @property
+    def num_variables(self) -> int:
+        """Number of variables the solver currently tracks."""
+        return self._num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        """Total clause-database size (problem + learned clauses)."""
+        return len(self._clauses)
+
+    def ensure_variables(self, count: int) -> None:
+        """Grow the per-variable state up to variable index *count*."""
+        while self._num_vars < count:
+            self._num_vars += 1
+            self._assignment.append(_UNASSIGNED)
+            self._level.append(0)
+            self._reason.append(None)
+            self._phase.append(False)
+            self._activity.append(0.0)
 
     @staticmethod
     def _simplify_clause(clause: Sequence[int]) -> Optional[List[int]]:
         """Deduplicate a clause; return ``None`` for tautologies."""
         seen: Dict[int, None] = {}
         for lit in clause:
+            lit = int(lit)
+            if lit == 0:
+                raise SolverError("0 is not a valid literal")
             if -lit in seen:
                 return None
             seen.setdefault(lit, None)
         return list(seen)
+
+    # -- clause addition -------------------------------------------------------
+
+    def add_clause(self, literals: Sequence[int]) -> None:
+        """Append one clause to the database (callable between solve calls).
+
+        The clause is simplified against the root-level (level-0) assignment:
+        root-falsified literals are dropped and root-satisfied clauses are not
+        stored at all — both are sound because level-0 assignments are logical
+        consequences of the clause database.
+        """
+        if self._unsat:
+            return
+        simplified = self._simplify_clause(literals)
+        if simplified is None:
+            return  # tautology
+        self._backtrack(0)
+        for lit in simplified:
+            self.ensure_variables(abs(lit))
+        kept: List[int] = []
+        for lit in simplified:
+            value = self._value(lit)
+            if value == _TRUE:
+                return  # satisfied at the root level forever
+            if value == _FALSE:
+                continue  # falsified at the root level forever
+            kept.append(lit)
+        if not kept:
+            self._unsat = True
+            return
+        if len(kept) == 1:
+            if not self._enqueue(kept[0], None, None):
+                self._unsat = True
+            return
+        self._clauses.append(kept)
+        index = len(self._clauses) - 1
+        self._watch(kept[0], index)
+        self._watch(kept[1], index)
+        self.num_problem_clauses += 1
+
+    def add_clauses(self, clauses) -> None:
+        """Append several clauses."""
+        for clause in clauses:
+            self.add_clause(clause)
+
+    # -- low-level machinery ---------------------------------------------------
+
+    def _watch(self, literal: int, clause_index: int) -> None:
+        self._watches.setdefault(literal, []).append(clause_index)
+
+    def _value(self, literal: int) -> int:
+        value = self._assignment[abs(literal)]
+        if value == _UNASSIGNED:
+            return _UNASSIGNED
+        return value if literal > 0 else -value
+
+    def _current_level(self) -> int:
+        return len(self._trail_level_start) - 1
+
+    def _enqueue(self, literal: int, reason_clause: Optional[int], stats: Optional[_SolverStats]) -> bool:
+        variable = abs(literal)
+        current = self._value(literal)
+        if current == _TRUE:
+            return True
+        if current == _FALSE:
+            return False
+        self._assignment[variable] = _TRUE if literal > 0 else _FALSE
+        self._level[variable] = self._current_level()
+        self._reason[variable] = reason_clause
+        self._phase[variable] = literal > 0
+        self._trail.append(literal)
+        if stats is not None:
+            stats.propagations += 1
+        return True
+
+    def _propagate(self, stats: _SolverStats) -> Optional[int]:
+        """Run unit propagation; return the index of a conflicting clause or ``None``."""
+        clauses = self._clauses
+        watches = self._watches
+        trail = self._trail
+        while self._queue_head < len(trail):
+            literal = trail[self._queue_head]
+            self._queue_head += 1
+            falsified = -literal
+            watching = watches.get(falsified, [])
+            index = 0
+            while index < len(watching):
+                clause_index = watching[index]
+                clause = clauses[clause_index]
+                # Ensure the falsified literal sits at position 1.
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                if self._value(clause[0]) == _TRUE:
+                    index += 1
+                    continue
+                # Look for a replacement watch.
+                replacement = -1
+                for position in range(2, len(clause)):
+                    if self._value(clause[position]) != _FALSE:
+                        replacement = position
+                        break
+                if replacement >= 0:
+                    clause[1], clause[replacement] = clause[replacement], clause[1]
+                    watching[index] = watching[-1]
+                    watching.pop()
+                    self._watch(clause[1], clause_index)
+                    continue
+                # No replacement: clause is unit or conflicting.
+                if self._value(clause[0]) == _FALSE:
+                    return clause_index
+                self._enqueue(clause[0], clause_index, stats)
+                index += 1
+        return None
+
+    def _bump(self, variable: int) -> None:
+        self._activity[variable] += self._activity_increment
+
+    def _decay_activities(self) -> None:
+        self._activity_increment /= self._activity_decay
+        if self._activity_increment > 1e100:
+            for variable in range(1, self._num_vars + 1):
+                self._activity[variable] *= 1e-100
+            self._activity_increment *= 1e-100
+
+    def _analyze(self, conflict_index: int) -> Tuple[List[int], int]:
+        """First-UIP analysis; returns the learned clause and the backjump level."""
+        learned: List[int] = []
+        seen = [False] * (self._num_vars + 1)
+        counter = 0
+        literal: Optional[int] = None
+        clause = self._clauses[conflict_index]
+        current_level = self._current_level()
+        trail = self._trail
+        trail_index = len(trail) - 1
+        level = self._level
+        reason = self._reason
+
+        while True:
+            for other in clause:
+                if literal is not None and other == literal:
+                    continue
+                variable = abs(other)
+                if seen[variable] or level[variable] == 0:
+                    continue
+                seen[variable] = True
+                self._bump(variable)
+                if level[variable] == current_level:
+                    counter += 1
+                else:
+                    learned.append(other)
+            # Pick the next literal to resolve on from the trail.
+            while not seen[abs(trail[trail_index])]:
+                trail_index -= 1
+            literal = -trail[trail_index]
+            variable = abs(literal)
+            seen[variable] = False
+            counter -= 1
+            trail_index -= 1
+            if counter == 0:
+                break
+            reason_index = reason[variable]
+            if reason_index is None:  # pragma: no cover - defensive
+                break
+            clause = self._clauses[reason_index]
+
+        learned = [literal] + learned if literal is not None else learned
+        if len(learned) == 1:
+            return learned, 0
+        backjump = max(level[abs(lit)] for lit in learned[1:])
+        # Place a literal of the backjump level at position 1 (watch invariant).
+        for position in range(1, len(learned)):
+            if level[abs(learned[position])] == backjump:
+                learned[1], learned[position] = learned[position], learned[1]
+                break
+        return learned, backjump
+
+    def _backtrack(self, target_level: int) -> None:
+        starts = self._trail_level_start
+        if target_level + 1 < len(starts):
+            cutoff = starts[target_level + 1]
+        else:
+            cutoff = len(self._trail)
+        for literal in self._trail[cutoff:]:
+            variable = abs(literal)
+            self._assignment[variable] = _UNASSIGNED
+            self._reason[variable] = None
+        del self._trail[cutoff:]
+        del starts[target_level + 1 :]
+        self._queue_head = min(self._queue_head, len(self._trail))
+
+    def _new_level(self) -> None:
+        self._trail_level_start.append(len(self._trail))
+
+    def _pick_branch_variable(self) -> Optional[int]:
+        best_variable = None
+        best_activity = -1.0
+        assignment = self._assignment
+        activity = self._activity
+        for variable in range(1, self._num_vars + 1):
+            if assignment[variable] == _UNASSIGNED and activity[variable] > best_activity:
+                best_variable = variable
+                best_activity = activity[variable]
+        return best_variable
 
     # -- main entry point -----------------------------------------------------
 
@@ -102,245 +354,113 @@ class CDCLSolver:
         Parameters
         ----------
         assumptions:
-            Literals assumed true for this call only.
+            Literals assumed true for this call only.  Each is decided at its
+            own decision level (MiniSat style), so clause learning under
+            assumptions stays sound across calls.
         conflict_limit:
             Optional hard cap on the number of conflicts; when exceeded a
             :class:`SolverError` is raised (used by tests to bound runtime).
         """
-        if self._trivially_unsat:
-            return SATResult(False)
-
+        self.solve_calls += 1
         stats = _SolverStats()
-        num_vars = max(
-            self._num_vars,
-            max((abs(lit) for lit in assumptions), default=0),
-            max((abs(lit) for clause in self._clauses for lit in clause), default=0),
-            max((abs(lit) for lit in self._unit_literals), default=0),
-        )
-
-        clauses: List[List[int]] = [list(clause) for clause in self._clauses]
-        assignment: List[int] = [_UNASSIGNED] * (num_vars + 1)
-        level: List[int] = [0] * (num_vars + 1)
-        reason: List[Optional[int]] = [None] * (num_vars + 1)
-        trail: List[int] = []
-        trail_level_start: List[int] = [0]
-        activity: List[float] = [0.0] * (num_vars + 1)
-        phase: List[bool] = [False] * (num_vars + 1)
-        activity_increment = 1.0
-        activity_decay = 0.95
-
-        watches: Dict[int, List[int]] = {}
-
-        def watch(literal: int, clause_index: int) -> None:
-            watches.setdefault(literal, []).append(clause_index)
-
-        for index, clause in enumerate(clauses):
-            watch(clause[0], index)
-            watch(clause[1], index)
-
-        def value_of(literal: int) -> int:
-            value = assignment[abs(literal)]
-            if value == _UNASSIGNED:
-                return _UNASSIGNED
-            return value if literal > 0 else -value
-
-        def enqueue(literal: int, reason_clause: Optional[int]) -> bool:
-            variable = abs(literal)
-            current = value_of(literal)
-            if current == _TRUE:
-                return True
-            if current == _FALSE:
-                return False
-            assignment[variable] = _TRUE if literal > 0 else _FALSE
-            level[variable] = len(trail_level_start) - 1
-            reason[variable] = reason_clause
-            phase[variable] = literal > 0
-            trail.append(literal)
-            stats.propagations += 1
-            return True
-
-        propagation_queue_start = 0
-
-        def propagate() -> Optional[int]:
-            """Run unit propagation; return the index of a conflicting clause or ``None``."""
-            nonlocal propagation_queue_start
-            while propagation_queue_start < len(trail):
-                literal = trail[propagation_queue_start]
-                propagation_queue_start += 1
-                falsified = -literal
-                watching = watches.get(falsified, [])
-                index = 0
-                while index < len(watching):
-                    clause_index = watching[index]
-                    clause = clauses[clause_index]
-                    # Ensure the falsified literal sits at position 1.
-                    if clause[0] == falsified:
-                        clause[0], clause[1] = clause[1], clause[0]
-                    if value_of(clause[0]) == _TRUE:
-                        index += 1
-                        continue
-                    # Look for a replacement watch.
-                    replacement = -1
-                    for position in range(2, len(clause)):
-                        if value_of(clause[position]) != _FALSE:
-                            replacement = position
-                            break
-                    if replacement >= 0:
-                        clause[1], clause[replacement] = clause[replacement], clause[1]
-                        watching[index] = watching[-1]
-                        watching.pop()
-                        watch(clause[1], clause_index)
-                        continue
-                    # No replacement: clause is unit or conflicting.
-                    if value_of(clause[0]) == _FALSE:
-                        return clause_index
-                    enqueue(clause[0], clause_index)
-                    index += 1
-            return None
-
-        def bump(variable: int) -> None:
-            nonlocal activity_increment
-            activity[variable] += activity_increment
-
-        def decay_activities() -> None:
-            nonlocal activity_increment
-            activity_increment /= activity_decay
-            if activity_increment > 1e100:
-                for variable in range(1, num_vars + 1):
-                    activity[variable] *= 1e-100
-                activity_increment *= 1e-100
-
-        def analyze(conflict_index: int) -> Tuple[List[int], int]:
-            """First-UIP analysis; returns the learned clause and the backjump level."""
-            learned: List[int] = []
-            seen = [False] * (num_vars + 1)
-            counter = 0
-            literal: Optional[int] = None
-            clause = clauses[conflict_index]
-            current_level = len(trail_level_start) - 1
-            trail_index = len(trail) - 1
-
-            while True:
-                for other in clause:
-                    if literal is not None and other == literal:
-                        continue
-                    variable = abs(other)
-                    if seen[variable] or level[variable] == 0:
-                        continue
-                    seen[variable] = True
-                    bump(variable)
-                    if level[variable] == current_level:
-                        counter += 1
-                    else:
-                        learned.append(other)
-                # Pick the next literal to resolve on from the trail.
-                while not seen[abs(trail[trail_index])]:
-                    trail_index -= 1
-                literal = -trail[trail_index]
-                variable = abs(literal)
-                seen[variable] = False
-                counter -= 1
-                trail_index -= 1
-                if counter == 0:
-                    break
-                reason_index = reason[variable]
-                if reason_index is None:  # pragma: no cover - defensive
-                    break
-                clause = clauses[reason_index]
-
-            learned = [literal] + learned if literal is not None else learned
-            if len(learned) == 1:
-                return learned, 0
-            backjump = max(level[abs(lit)] for lit in learned[1:])
-            # Place a literal of the backjump level at position 1 (watch invariant).
-            for position in range(1, len(learned)):
-                if level[abs(learned[position])] == backjump:
-                    learned[1], learned[position] = learned[position], learned[1]
-                    break
-            return learned, backjump
-
-        def backtrack(target_level: int) -> None:
-            nonlocal propagation_queue_start
-            cutoff = trail_level_start[target_level + 1] if target_level + 1 < len(trail_level_start) else len(trail)
-            for literal in trail[cutoff:]:
-                variable = abs(literal)
-                assignment[variable] = _UNASSIGNED
-                reason[variable] = None
-            del trail[cutoff:]
-            del trail_level_start[target_level + 1 :]
-            propagation_queue_start = min(propagation_queue_start, len(trail))
-
-        def new_decision_level() -> None:
-            trail_level_start.append(len(trail))
-
-        def pick_branch_variable() -> Optional[int]:
-            best_variable = None
-            best_activity = -1.0
-            for variable in range(1, num_vars + 1):
-                if assignment[variable] == _UNASSIGNED and activity[variable] > best_activity:
-                    best_variable = variable
-                    best_activity = activity[variable]
-            return best_variable
-
-        # Level-0 units: original unit clauses plus assumptions.
-        for literal in list(self._unit_literals) + list(assumptions):
-            if not enqueue(literal, None):
-                return SATResult(False, conflicts=stats.conflicts)
-        if propagate() is not None:
-            return SATResult(False, conflicts=stats.conflicts)
+        if self._unsat:
+            return SATResult(False)
+        assumptions = [int(lit) for lit in assumptions]
+        for literal in assumptions:
+            if literal == 0:
+                raise SolverError("0 is not a valid assumption literal")
+            self.ensure_variables(abs(literal))
+        self._backtrack(0)
 
         restart_interval = 64
         conflicts_since_restart = 0
+        # Index of the first assumption not yet known to be established.  It
+        # only moves forward between conflicts; any backtrack (conflict or
+        # restart) may unassign established assumptions, so it resets there.
+        next_assumption = 0
+
+        def accumulate_totals() -> None:
+            self.total_conflicts += stats.conflicts
+            self.total_decisions += stats.decisions
+            self.total_propagations += stats.propagations
+            self.total_restarts += stats.restarts
+
+        def finish(result: SATResult) -> SATResult:
+            result.conflicts = stats.conflicts
+            result.decisions = stats.decisions
+            result.propagations = stats.propagations
+            result.restarts = stats.restarts
+            accumulate_totals()
+            return result
 
         while True:
-            conflict_index = propagate()
+            conflict_index = self._propagate(stats)
             if conflict_index is not None:
                 stats.conflicts += 1
                 conflicts_since_restart += 1
                 if conflict_limit is not None and stats.conflicts > conflict_limit:
+                    self._backtrack(0)
+                    accumulate_totals()
                     raise SolverError(f"conflict limit of {conflict_limit} exceeded")
-                if len(trail_level_start) - 1 == 0:
-                    return SATResult(
-                        False,
-                        conflicts=stats.conflicts,
-                        decisions=stats.decisions,
-                        propagations=stats.propagations,
-                        restarts=stats.restarts,
-                    )
-                learned, backjump = analyze(conflict_index)
-                backtrack(backjump)
+                if self._current_level() == 0:
+                    # Conflict independent of any assumption: the clause
+                    # database itself is unsatisfiable, permanently.
+                    self._unsat = True
+                    return finish(SATResult(False))
+                learned, backjump = self._analyze(conflict_index)
+                self._backtrack(backjump)
+                next_assumption = 0
                 if len(learned) == 1:
-                    if not enqueue(learned[0], None):
-                        return SATResult(False, conflicts=stats.conflicts)
+                    if not self._enqueue(learned[0], None, stats):
+                        self._unsat = True
+                        return finish(SATResult(False))
                 else:
-                    clauses.append(learned)
-                    clause_index = len(clauses) - 1
-                    watch(learned[0], clause_index)
-                    watch(learned[1], clause_index)
-                    enqueue(learned[0], clause_index)
-                decay_activities()
+                    self._clauses.append(learned)
+                    clause_index = len(self._clauses) - 1
+                    self._watch(learned[0], clause_index)
+                    self._watch(learned[1], clause_index)
+                    self._enqueue(learned[0], clause_index, stats)
+                    self.num_learned_clauses += 1
+                self._decay_activities()
                 if conflicts_since_restart >= restart_interval:
                     stats.restarts += 1
                     conflicts_since_restart = 0
                     restart_interval = int(restart_interval * 1.5)
-                    backtrack(0)
+                    self._backtrack(0)
+                    next_assumption = 0
                 continue
 
-            variable = pick_branch_variable()
+            # No conflict: first re-establish pending assumptions, then branch.
+            pending = None
+            while next_assumption < len(assumptions):
+                literal = assumptions[next_assumption]
+                value = self._value(literal)
+                if value == _TRUE:
+                    next_assumption += 1
+                    continue
+                if value == _FALSE:
+                    # Every decision on the trail is an assumption at this
+                    # point, so the falsification is forced by the clause
+                    # database together with the assumptions alone.
+                    return finish(SATResult(False))
+                pending = literal
+                break
+            if pending is not None:
+                self._new_level()
+                self._enqueue(pending, None, stats)
+                next_assumption += 1
+                continue
+
+            variable = self._pick_branch_variable()
             if variable is None:
-                model = {v: assignment[v] == _TRUE for v in range(1, num_vars + 1)}
-                return SATResult(
-                    True,
-                    model=model,
-                    conflicts=stats.conflicts,
-                    decisions=stats.decisions,
-                    propagations=stats.propagations,
-                    restarts=stats.restarts,
-                )
+                model = {
+                    v: self._assignment[v] == _TRUE for v in range(1, self._num_vars + 1)
+                }
+                return finish(SATResult(True, model=model))
             stats.decisions += 1
-            new_decision_level()
-            literal = variable if phase[variable] else -variable
-            enqueue(literal, None)
+            self._new_level()
+            literal = variable if self._phase[variable] else -variable
+            self._enqueue(literal, None, stats)
 
 
 def solve(cnf: CNF, assumptions: Sequence[int] = (), conflict_limit: Optional[int] = None) -> SATResult:

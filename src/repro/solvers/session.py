@@ -1,0 +1,224 @@
+"""Stateful solver sessions with clause retention across calls.
+
+The interactive resolution framework (paper Fig. 4) issues many SAT queries
+against the *same* growing formula Φ(S_e ⊕ O_t): one validity check per round,
+one refutation per candidate order in ``NaiveDeduce``, and a batch of probes
+during ``Suggest``'s group-MaxSAT repair.  A :class:`SolverSession` keeps one
+solver alive for that whole lifecycle:
+
+* ``add_clauses`` appends delta clauses (from the incremental encoder) without
+  rebuilding anything;
+* ``solve(assumptions)`` answers a query under per-call assumptions; the CDCL
+  backend retains learned clauses, variable activities and saved phases
+  between calls, so later queries reuse the conflicts of earlier ones;
+* ``statistics()`` reports the reuse counters (cold vs. incremental solves,
+  clauses carried over, learned clauses retained) that the benchmark harness
+  surfaces.
+
+Backends are pluggable through a small registry: ``"cdcl"`` (the default,
+fully incremental) and ``"dpll"`` (stateless reference backend that re-solves
+from scratch — useful for cross-checking the incremental machinery) ship
+built-in; :func:`register_backend` accepts further implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.core.errors import SolverError
+from repro.solvers.cnf import CNF
+from repro.solvers.dpll import dpll_solve
+from repro.solvers.sat import CDCLSolver, SATResult
+
+__all__ = [
+    "SolverSession",
+    "CDCLSession",
+    "DPLLSession",
+    "register_backend",
+    "create_session",
+    "available_backends",
+]
+
+
+class SolverSession:
+    """Base class for stateful solver sessions.
+
+    Subclasses implement ``_add_clause`` and ``_solve``; the base class keeps
+    the reuse statistics uniform across backends.
+    """
+
+    #: Registry name of the backend (set by subclasses).
+    backend = "abstract"
+    #: Whether the backend carries learned clauses from one solve to the next.
+    retains_learned_clauses = False
+
+    def __init__(self) -> None:
+        self._clauses_added = 0
+        self._solve_calls = 0
+        self._cold_solves = 0
+        self._incremental_solves = 0
+        self._clauses_reused = 0
+        self._learned_reused = 0
+
+    # -- interface ------------------------------------------------------------
+
+    def add_clause(self, literals: Sequence[int]) -> None:
+        """Append one clause to the session's formula."""
+        self._add_clause(literals)
+        self._clauses_added += 1
+
+    def add_clauses(self, clauses) -> None:
+        """Append several clauses."""
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def ensure_variables(self, count: int) -> None:
+        """Make the session aware of variables up to index *count*."""
+
+    def solve(self, assumptions: Sequence[int] = (), conflict_limit: Optional[int] = None) -> SATResult:
+        """Decide satisfiability of the session formula under *assumptions*."""
+        carried = self.learned_clauses
+        self._solve_calls += 1
+        if self._solve_calls == 1 or not self.retains_learned_clauses:
+            self._cold_solves += 1
+        else:
+            self._incremental_solves += 1
+            self._clauses_reused += self._clauses_added
+            self._learned_reused += carried
+        return self._solve(assumptions, conflict_limit)
+
+    # -- backend hooks ---------------------------------------------------------
+
+    def _add_clause(self, literals: Sequence[int]) -> None:
+        raise NotImplementedError
+
+    def _solve(self, assumptions: Sequence[int], conflict_limit: Optional[int]) -> SATResult:
+        raise NotImplementedError
+
+    @property
+    def learned_clauses(self) -> int:
+        """Learned clauses currently held by the backend (0 when stateless)."""
+        return 0
+
+    # -- reporting -------------------------------------------------------------
+
+    @property
+    def solve_calls(self) -> int:
+        """Number of ``solve`` invocations so far."""
+        return self._solve_calls
+
+    def statistics(self) -> Dict[str, int]:
+        """Reuse counters for reports and the benchmark harness.
+
+        ``clauses_reused`` accumulates, per incremental solve, the number of
+        already-loaded clauses the call did *not* have to re-encode;
+        ``learned_reused`` does the same for retained learned clauses.
+        """
+        return {
+            "solve_calls": self._solve_calls,
+            "cold_solves": self._cold_solves,
+            "incremental_solves": self._incremental_solves,
+            "clauses_added": self._clauses_added,
+            "clauses_reused": self._clauses_reused,
+            "learned_clauses": self.learned_clauses,
+            "learned_reused": self._learned_reused,
+        }
+
+
+class CDCLSession(SolverSession):
+    """Incremental session backed by the persistent :class:`CDCLSolver`.
+
+    Clauses are pushed straight into the solver's database; learned clauses,
+    VSIDS activities and saved phases survive between ``solve`` calls, so the
+    repeated queries of one resolution round (and of later rounds, after the
+    incremental encoder appends the delta clauses) share their work.
+    """
+
+    backend = "cdcl"
+    retains_learned_clauses = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._solver = CDCLSolver()
+
+    @property
+    def solver(self) -> CDCLSolver:
+        """The underlying persistent solver (exposed for diagnostics)."""
+        return self._solver
+
+    @property
+    def learned_clauses(self) -> int:
+        return self._solver.num_learned_clauses
+
+    def ensure_variables(self, count: int) -> None:
+        self._solver.ensure_variables(count)
+
+    def _add_clause(self, literals: Sequence[int]) -> None:
+        self._solver.add_clause(literals)
+
+    def _solve(self, assumptions: Sequence[int], conflict_limit: Optional[int]) -> SATResult:
+        return self._solver.solve(assumptions, conflict_limit=conflict_limit)
+
+    def statistics(self) -> Dict[str, int]:
+        stats = super().statistics()
+        stats["conflicts"] = self._solver.total_conflicts
+        stats["decisions"] = self._solver.total_decisions
+        stats["propagations"] = self._solver.total_propagations
+        return stats
+
+
+class DPLLSession(SolverSession):
+    """Stateless reference session: every call re-solves the stored CNF.
+
+    Nothing carries over between calls (DPLL has no learning), but the session
+    interface lets the same resolution code run against the simple,
+    obviously-correct solver — the cross-check tests rely on that.
+    """
+
+    backend = "dpll"
+    retains_learned_clauses = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cnf = CNF()
+
+    def ensure_variables(self, count: int) -> None:
+        if count > self._cnf.num_variables:
+            self._cnf.num_variables = count
+
+    def _add_clause(self, literals: Sequence[int]) -> None:
+        self._cnf.add_clause(literals)
+
+    def _solve(self, assumptions: Sequence[int], conflict_limit: Optional[int]) -> SATResult:
+        highest = max((abs(int(lit)) for lit in assumptions), default=0)
+        if highest > self._cnf.num_variables:
+            self._cnf.num_variables = highest
+        return dpll_solve(self._cnf, assumptions)
+
+
+_BACKENDS: Dict[str, Callable[[], SolverSession]] = {}
+
+
+def register_backend(name: str, factory: Callable[[], SolverSession]) -> None:
+    """Register a session *factory* under *name* (overwrites earlier entries)."""
+    _BACKENDS[name] = factory
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of all registered backends, sorted."""
+    return tuple(sorted(_BACKENDS))
+
+
+def create_session(backend: str = "cdcl") -> SolverSession:
+    """Instantiate a solver session for *backend* (by registry name)."""
+    try:
+        factory = _BACKENDS[backend]
+    except KeyError:
+        raise SolverError(
+            f"unknown solver backend {backend!r}; available: {', '.join(available_backends())}"
+        ) from None
+    return factory()
+
+
+register_backend("cdcl", CDCLSession)
+register_backend("dpll", DPLLSession)

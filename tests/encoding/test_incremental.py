@@ -1,0 +1,124 @@
+"""Tests for the incremental (delta) encoder against the from-scratch path."""
+
+import pytest
+
+from repro.core import TemporalOrderDelta
+from repro.core.specification import TrueValueAssignment
+from repro.encoding import IncrementalEncoder, encode_specification, instantiate
+from repro.encoding.incremental import _constraint_key
+from repro.resolution import ConflictResolver, deduce_order
+from repro.resolution.true_values import extract_true_values
+from repro.solvers.sat import solve
+
+
+def _canonical_keys(constraints):
+    """Orientation-insensitive key set (asymmetry clauses are symmetric)."""
+    keys = set()
+    for constraint in constraints:
+        if constraint.source_kind == "asymmetry":
+            literal = constraint.body[0]
+            keys.add(
+                ("asym", literal.attribute, frozenset((literal.older, literal.newer)))
+            )
+        else:
+            keys.add(_constraint_key(constraint))
+    return keys
+
+
+def _delta_for(spec, answers, known=None, round_index=1):
+    """Build the user-answer delta exactly as the framework does."""
+    resolver = ConflictResolver()
+    return resolver._delta_from_answers(
+        spec, answers, known or TrueValueAssignment({}), round_index
+    )
+
+
+class TestInitialEncoding:
+    def test_matches_from_scratch(self, george_spec):
+        encoder = IncrementalEncoder(george_spec)
+        reference = encode_specification(george_spec)
+        assert _canonical_keys(encoder.encoding.omega) == _canonical_keys(reference.omega)
+        assert len(encoder.encoding.cnf) == len(reference.cnf)
+        # Same validity verdict through the session as through a cold solve.
+        assert (
+            encoder.session.solve(encoder.assumptions).satisfiable
+            == solve(reference.cnf).satisfiable
+        )
+
+    def test_empty_delta_is_noop(self, george_spec):
+        encoder = IncrementalEncoder(george_spec)
+        clauses_before = len(encoder.encoding.cnf)
+        report = encoder.apply_delta(TemporalOrderDelta())
+        assert report["clauses_added"] == 0
+        assert len(encoder.encoding.cnf) == clauses_before
+        assert encoder.specification is george_spec
+
+
+class TestDeltaEncoding:
+    def test_known_value_delta_matches_from_scratch(self, george_spec):
+        delta = _delta_for(george_spec, {"status": "retired"})
+        encoder = IncrementalEncoder(george_spec)
+        report = encoder.apply_delta(delta)
+        assert report["clauses_added"] > 0
+
+        extended = george_spec.extend(delta)
+        reference = instantiate(extended)
+        assert _canonical_keys(encoder.encoding.omega) == _canonical_keys(reference)
+        assert encoder.specification.instance.tids == extended.instance.tids
+
+    def test_new_value_outside_domain_retires_guards(self, george_spec):
+        # "deceased" is not in the active domain of status, so the CFD bodies
+        # that enumerate adom(status) grow: their old clauses must be retired
+        # (guards dropped) and replacements added.
+        delta = _delta_for(george_spec, {"status": "deceased"})
+        encoder = IncrementalEncoder(george_spec)
+        active_before = len(encoder.assumptions)
+        report = encoder.apply_delta(delta)
+        assert report["retired_guards"] > 0
+        assert len(encoder.assumptions) == report["active_guards"]
+        assert active_before > 0
+
+        extended = george_spec.extend(delta)
+        reference = instantiate(extended)
+        assert _canonical_keys(encoder.encoding.omega) == _canonical_keys(reference)
+
+    @pytest.mark.parametrize("answers", [{"status": "retired"}, {"status": "deceased"}])
+    def test_validity_matches_from_scratch(self, george_spec, answers):
+        delta = _delta_for(george_spec, answers)
+        encoder = IncrementalEncoder(george_spec)
+        encoder.apply_delta(delta)
+        incremental = encoder.session.solve(encoder.assumptions)
+        reference = solve(encode_specification(george_spec.extend(delta)).cnf)
+        assert incremental.satisfiable == reference.satisfiable
+
+    @pytest.mark.parametrize("answers", [{"status": "retired"}, {"status": "deceased"}])
+    def test_deduction_matches_from_scratch(self, george_spec, answers):
+        delta = _delta_for(george_spec, answers)
+        encoder = IncrementalEncoder(george_spec)
+        encoder.apply_delta(delta)
+        extended = encoder.specification
+
+        incremental = deduce_order(encoder.encoding, extra_literals=encoder.assumptions)
+        reference = deduce_order(encode_specification(extended))
+        assert incremental.conflict == reference.conflict
+        attributes = set(incremental.orders) | set(reference.orders)
+        for attribute in attributes:
+            assert incremental.order_for(attribute) == reference.order_for(attribute), attribute
+        incremental_values = extract_true_values(extended, incremental)
+        reference_values = extract_true_values(extended, reference)
+        assert incremental_values.values == reference_values.values
+
+    def test_successive_deltas_accumulate(self, george_spec):
+        encoder = IncrementalEncoder(george_spec)
+        first = _delta_for(george_spec, {"status": "unemployed"})
+        encoder.apply_delta(first)
+        spec_after_first = encoder.specification
+        second = _delta_for(spec_after_first, {"city": "Chicago"}, round_index=2)
+        encoder.apply_delta(second)
+
+        extended = george_spec.extend(first).extend(second)
+        reference = instantiate(extended)
+        assert _canonical_keys(encoder.encoding.omega) == _canonical_keys(reference)
+        stats = encoder.statistics()
+        assert stats["delta_encodings"] == 2
+        assert stats["incremental"] == 1
