@@ -10,20 +10,35 @@ from __future__ import annotations
 
 from collections import defaultdict
 
-from _harness import NBA_BUCKETS, nba_scalability_dataset, report, time_overall
+from _harness import (
+    NBA_BUCKETS,
+    nba_scalability_dataset,
+    report,
+    report_engine_summary,
+    time_overall,
+)
 from repro.evaluation import format_table
 
 
 def bench_fig8c_overall_time_nba(benchmark) -> None:
-    """Per-phase resolution time for NBA entities, bucketed by size."""
+    """Per-phase resolution time for NBA entities, bucketed by size.
+
+    On top of the paper's phase breakdown, the JSON report records the
+    engine acceptance measurements on the same entity set: sequential legacy
+    vs. sequential compiled vs. ``ResolutionEngine(workers=4)`` wall-clock
+    (with compile-reuse counters), and the per-entity ``instantiate()``
+    speedup of compiled grounding.
+    """
     dataset = nba_scalability_dataset()
     grouped = dataset.entities_by_size(NBA_BUCKETS)
     rows = []
+    bench_entities = []
     largest_entity = None
     for bucket in NBA_BUCKETS:
         entities = grouped.get(bucket, [])[:3]
         if not entities:
             continue
+        bench_entities.extend(entities)
         totals = defaultdict(float)
         for entity in entities:
             for phase, seconds in time_overall(dataset, entity).items():
@@ -44,6 +59,8 @@ def bench_fig8c_overall_time_nba(benchmark) -> None:
         rows,
         title="Fig. 8(c) — NBA: overall time per entity, by phase",
     )
+
+    table += report_engine_summary("fig8c_overall_nba", dataset, bench_entities)
     report("fig8c_overall_nba", table)
 
     benchmark(lambda: time_overall(dataset, largest_entity))

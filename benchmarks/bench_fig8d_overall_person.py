@@ -9,12 +9,23 @@ from __future__ import annotations
 
 from collections import defaultdict
 
-from _harness import PERSON_SIZES, person_scalability_dataset, report, time_overall
+from _harness import (
+    PERSON_SIZES,
+    person_scalability_dataset,
+    report,
+    report_engine_summary,
+    time_overall,
+)
 from repro.evaluation import format_table
 
 
 def bench_fig8d_overall_time_person(benchmark) -> None:
-    """Per-phase resolution time for Person entities of growing size."""
+    """Per-phase resolution time for Person entities of growing size.
+
+    As for Fig. 8(c), the JSON report additionally records the engine
+    (sequential vs. parallel) and compiled-grounding measurements, here on
+    the mid-size Person dataset.
+    """
     rows = []
     largest = None
     for size in PERSON_SIZES:
@@ -40,6 +51,9 @@ def bench_fig8d_overall_time_person(benchmark) -> None:
         rows,
         title="Fig. 8(d) — Person: overall time per entity, by phase",
     )
+
+    engine_dataset = person_scalability_dataset(PERSON_SIZES[1])
+    table += report_engine_summary("fig8d_overall_person", engine_dataset, engine_dataset.entities)
     report("fig8d_overall_person", table)
 
     dataset, entity = largest

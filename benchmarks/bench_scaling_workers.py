@@ -1,0 +1,111 @@
+"""Across-entity scaling: resolution wall-clock vs. number of engine workers.
+
+This is not a paper figure — it measures the dimension the paper's C++
+implementation never needed to report: how the overall workload (Fig. 8c's
+NBA entity mix) scales when the :class:`~repro.engine.ResolutionEngine`
+spreads entities over worker processes.  The JSON report is a
+workers-vs-speedup table (wall-clock, speedup over the one-worker run,
+compile-reuse counters per mode) plus the host CPU count, so runs on
+different machines stay comparable.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``, used by CI) shrinks the workload to one
+entity and two workers: it proves the process-pool path end-to-end without
+burning CI minutes.  The module doubles as a standalone script::
+
+    REPRO_BENCH_SMOKE=1 PYTHONPATH=src python benchmarks/bench_scaling_workers.py
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Sequence
+
+from _harness import nba_scalability_dataset, report, report_json
+from repro.evaluation import format_table, run_framework_experiment
+
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+
+def scaling_workers_table(
+    workers_list: Sequence[int] = (1, 2, 4),
+    limit: Optional[int] = None,
+    max_rounds: int = 2,
+) -> Dict:
+    """Resolve the same workload once per worker count; return the JSON payload."""
+    dataset = nba_scalability_dataset()
+    runs: Dict[str, Dict[str, float]] = {}
+    baseline_wall = None
+    f_measures = set()
+    for workers in workers_list:
+        result = run_framework_experiment(
+            dataset,
+            max_interaction_rounds=max_rounds,
+            limit=limit,
+            workers=workers,
+        )
+        if baseline_wall is None:
+            baseline_wall = result.wall_seconds
+        runs[f"workers{workers}"] = {
+            "workers": float(workers),
+            "wall_seconds": result.wall_seconds,
+            "speedup_over_workers1": (
+                baseline_wall / result.wall_seconds if result.wall_seconds > 0 else 0.0
+            ),
+            "f_measure": result.f_measure,
+            **{key: value for key, value in result.engine.items() if key != "workers"},
+        }
+        f_measures.add(round(result.f_measure, 12))
+    return {
+        "dataset": dataset.name,
+        "entities": runs[f"workers{workers_list[0]}"]["entities"],
+        "cpus": float(os.cpu_count() or 1),
+        "smoke": _SMOKE,
+        "accuracy_invariant": len(f_measures) == 1,
+        "runs": runs,
+    }
+
+
+def _render(payload: Dict) -> str:
+    rows = [
+        [
+            name,
+            run["wall_seconds"],
+            run["speedup_over_workers1"],
+            run.get("program_cache_hits", 0.0),
+            run.get("programs_compiled", 0.0),
+        ]
+        for name, run in payload["runs"].items()
+    ]
+    table = format_table(
+        ["mode", "wall (s)", "speedup", "program hits", "programs compiled"],
+        rows,
+        title=f"Workers vs. speedup — {payload['dataset']} ({payload['cpus']:.0f} cpus)",
+    )
+    if not payload["accuracy_invariant"]:  # pragma: no cover - defensive
+        table += "\nWARNING: f-measure varied across worker counts!"
+    return table
+
+
+def run_scaling_workers() -> Dict:
+    """Execute the benchmark (honouring smoke mode) and persist its reports."""
+    if _SMOKE:
+        payload = scaling_workers_table(workers_list=(1, 2), limit=1)
+    else:
+        payload = scaling_workers_table()
+    report_json("scaling_workers", payload)
+    report("scaling_workers", _render(payload))
+    return payload
+
+
+def bench_scaling_workers(benchmark) -> None:
+    """Workers-vs-speedup table for the NBA overall workload."""
+    payload = run_scaling_workers()
+    assert payload["accuracy_invariant"]
+    dataset = nba_scalability_dataset()
+    benchmark(
+        lambda: run_framework_experiment(dataset, max_interaction_rounds=2, limit=2, workers=2)
+    )
+
+
+if __name__ == "__main__":
+    run_scaling_workers()

@@ -10,6 +10,8 @@ hold the full system:
 * :mod:`repro.encoding` — the Ω(S_e) / Φ(S_e) encodings;
 * :mod:`repro.resolution` — IsValid, DeduceOrder, Suggest, the interactive
   framework and the traditional baselines;
+* :mod:`repro.engine` — the parallel multi-entity resolution engine
+  (process-pool scheduling with compiled-program reuse);
 * :mod:`repro.linkage` — record-linkage substrate producing entity instances;
 * :mod:`repro.discovery` — constant-CFD and currency-constraint discovery;
 * :mod:`repro.datasets` — NBA / CAREER / Person generators with ground truth;
@@ -32,6 +34,7 @@ from repro.core import (
     TrueValueAssignment,
 )
 from repro.encoding import InstantiationOptions, encode_specification
+from repro.engine import ResolutionEngine
 from repro.resolution import (
     ConflictResolver,
     ResolverOptions,
@@ -60,6 +63,7 @@ __all__ = [
     "NULL",
     "PartialOrder",
     "RelationSchema",
+    "ResolutionEngine",
     "ResolverOptions",
     "SilentOracle",
     "Specification",

@@ -38,8 +38,9 @@ from repro.discovery import (
     discover_constant_cfds,
     discover_currency_constraints,
 )
+from repro.engine import ResolutionEngine
 from repro.io import dump_constraints, load_constraint_file, read_entity_rows, write_resolved_tuples
-from repro.resolution import ConflictResolver, ResolverOptions, check_validity
+from repro.resolution import ResolverOptions, check_validity
 
 __all__ = ["build_parser", "main"]
 
@@ -70,6 +71,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="how to fill attributes whose true value cannot be deduced",
     )
     resolve.add_argument("--max-rounds", type=int, default=0, help="interaction rounds (0 = automatic only)")
+    resolve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="resolve entities in parallel over this many worker processes",
+    )
 
     discover = subparsers.add_parser("discover", help="mine constraints from the data")
     discover.add_argument("data", help="CSV file with one row per observation")
@@ -107,22 +114,22 @@ def _command_validate(args) -> int:
 
 def _command_resolve(args) -> int:
     specifications = _load_specifications(args)
-    resolver = ConflictResolver(
-        ResolverOptions(max_rounds=args.max_rounds, fallback=args.fallback)
-    )
+    options = ResolverOptions(max_rounds=args.max_rounds, fallback=args.fallback)
     resolved: Dict[str, Dict] = {}
     rounds: Dict[str, int] = {}
     complete: Dict[str, bool] = {}
     schema = None
-    for key, spec in sorted(specifications.items()):
-        schema = spec.schema
-        result = resolver.resolve(spec)
-        resolved[key] = result.resolved_tuple
-        rounds[key] = result.interaction_rounds
-        complete[key] = result.complete
-        deduced = len(result.true_values)
-        print(f"{key}: {deduced}/{len(spec.schema)} true values deduced"
-              + ("" if result.valid else " (specification INVALID)"))
+    ordered = sorted(specifications.items())
+    with ResolutionEngine(options, workers=args.workers) as engine:
+        results = engine.resolve_stream((spec, None) for _, spec in ordered)
+        for (key, spec), result in zip(ordered, results):
+            schema = spec.schema
+            resolved[key] = result.resolved_tuple
+            rounds[key] = result.interaction_rounds
+            complete[key] = result.complete
+            deduced = len(result.true_values)
+            print(f"{key}: {deduced}/{len(spec.schema)} true values deduced"
+                  + ("" if result.valid else " (specification INVALID)"))
     if args.output and schema is not None:
         write_resolved_tuples(
             args.output,

@@ -6,6 +6,12 @@ ordering-variable registry.
 """
 
 from repro.encoding.cnf_encoder import SpecificationEncoding, encode_specification
+from repro.encoding.compiled import (
+    CompiledConstraintProgram,
+    ConstraintProgramCache,
+    compile_program,
+    instantiate_compiled,
+)
 from repro.encoding.incremental import IncrementalEncoder
 from repro.encoding.instance_constraints import (
     InstanceConstraint,
@@ -16,6 +22,8 @@ from repro.encoding.instance_constraints import (
 from repro.encoding.variables import OrderLiteral, OrderVariableRegistry, canonical_value
 
 __all__ = [
+    "CompiledConstraintProgram",
+    "ConstraintProgramCache",
     "IncrementalEncoder",
     "InstanceConstraint",
     "InstanceConstraintSet",
@@ -24,6 +32,8 @@ __all__ = [
     "OrderVariableRegistry",
     "SpecificationEncoding",
     "canonical_value",
+    "compile_program",
     "encode_specification",
     "instantiate",
+    "instantiate_compiled",
 ]

@@ -96,11 +96,25 @@ def _constraint_to_clause(
 
 
 def encode_specification(
-    spec: Specification, options: InstantiationOptions | None = None
+    spec: Specification,
+    options: InstantiationOptions | None = None,
+    program: "CompiledConstraintProgram | None" = None,
 ) -> SpecificationEncoding:
-    """Build Ω(S_e) and Φ(S_e) for *spec*."""
-    options = options or InstantiationOptions()
-    omega = instantiate(spec, options)
+    """Build Ω(S_e) and Φ(S_e) for *spec*.
+
+    When a :class:`~repro.encoding.compiled.CompiledConstraintProgram` is
+    given, instantiation stamps the pre-analysed program instead of
+    re-deriving the structure of Σ ∪ Γ (the result is identical; the
+    program's own options take precedence over *options*).
+    """
+    if program is not None:
+        from repro.encoding.compiled import instantiate_compiled
+
+        options = program.options
+        omega = instantiate_compiled(spec, program)
+    else:
+        options = options or InstantiationOptions()
+        omega = instantiate(spec, options)
     registry = OrderVariableRegistry()
     cnf = CNF()
     for constraint in omega:

@@ -1,0 +1,603 @@
+"""Compiled constraint programs: one-time analysis of Σ ∪ Γ per schema.
+
+``instantiate`` (:mod:`repro.encoding.instance_constraints`) re-derives the
+*structure* of the constraint sets from scratch for every entity: it re-sorts
+each constraint's referenced attributes, re-dispatches on predicate classes
+for every tuple pair, rebuilds CFD pattern lists, and re-scans active domains
+— even though Σ and Γ are shared by every entity of a dataset.  A
+:class:`CompiledConstraintProgram` performs that analysis **once** per
+(schema, Σ, Γ, options) and turns ``instantiate`` into a template-stamping
+pass:
+
+* every currency constraint is compiled into a flat evaluator over
+  *positional* rows (tuples aligned with the constraint's sorted attribute
+  list): pre-resolved attribute→index maps, pre-bound comparison operators,
+  hoisted cross-attribute NULL checks, and order-predicate steps that emit
+  plain value triples — :class:`~repro.encoding.variables.OrderLiteral`
+  objects are only materialised for constraint instances that survive
+  deduplication;
+* every constant CFD is compiled into its sorted LHS pattern items and
+  pre-computed source label;
+* deduplication uses O(1) keys (a dedicated set for ground facts, the
+  classic frozenset key only for conditional constraints), and active-domain
+  projections are computed once per attribute per entity.
+
+:func:`instantiate_compiled` is **equivalence-guaranteed**: it produces an
+:class:`~repro.encoding.instance_constraints.InstanceConstraintSet` whose
+constraint list, ``used_values`` and validity flags are element-for-element
+identical to what ``instantiate`` produces for the same specification and
+options (the cross-check suite in ``tests/encoding/test_compiled.py`` and the
+end-to-end equivalence tests enforce this).
+
+:class:`ConstraintProgramCache` keys programs *structurally* (constraints are
+frozen dataclasses, hence hashable by value), so a cache hit survives
+pickling — this is what lets the process-pool workers of the
+:class:`~repro.engine.ResolutionEngine` compile each dataset's program once
+per worker and stamp it for every entity of every chunk they receive.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.cfd import ConstantCFD
+from repro.core.constraints import (
+    ConstantComparisonPredicate,
+    CurrencyConstraint,
+    OrderPredicate,
+    TupleComparisonPredicate,
+)
+from repro.core.errors import EncodingError
+from repro.core.schema import RelationSchema
+from repro.core.specification import Specification
+from repro.core.values import Value, compare_values, is_null, values_equal
+from repro.encoding.instance_constraints import (
+    InstanceConstraint,
+    InstanceConstraintSet,
+    InstantiationOptions,
+    _close_ground_facts,
+)
+from repro.encoding.variables import OrderLiteral, canonical_value
+
+__all__ = [
+    "CompiledConstraintProgram",
+    "ConstraintProgramCache",
+    "compile_program",
+    "instantiate_compiled",
+]
+
+
+# -- operator compilation ------------------------------------------------------
+
+
+def _not_values_equal(left: Value, right: Value) -> bool:
+    return not values_equal(left, right)
+
+
+def _less(left: Value, right: Value) -> bool:
+    return compare_values(left, right) < 0
+
+
+def _less_equal(left: Value, right: Value) -> bool:
+    return compare_values(left, right) <= 0
+
+
+def _greater(left: Value, right: Value) -> bool:
+    return compare_values(left, right) > 0
+
+
+def _greater_equal(left: Value, right: Value) -> bool:
+    return compare_values(left, right) >= 0
+
+
+#: Comparison operators pre-bound to their value-semantics implementations
+#: (identical to :func:`repro.core.values.apply_operator`, minus the dispatch).
+_OPERATORS: Dict[str, Callable[[Value, Value], bool]] = {
+    "=": values_equal,
+    "!=": _not_values_equal,
+    "<": _less,
+    "<=": _less_equal,
+    ">": _greater,
+    ">=": _greater_equal,
+}
+
+
+# -- compiled constraint shapes -----------------------------------------------
+
+
+class _CompiledCurrencyConstraint:
+    """One currency constraint, pre-analysed for positional-row evaluation."""
+
+    __slots__ = (
+        "attributes",
+        "checks",
+        "order_steps",
+        "null_check_indices",
+        "conclusion_attribute",
+        "conclusion_index",
+        "source_name",
+    )
+
+    def __init__(self, constraint: CurrencyConstraint) -> None:
+        attributes = tuple(sorted(constraint.referenced_attributes()))
+        index = {attribute: position for position, attribute in enumerate(attributes)}
+        self.attributes = attributes
+        self.conclusion_attribute = constraint.conclusion_attribute
+        self.conclusion_index = index[constraint.conclusion_attribute]
+        self.source_name = constraint.name or str(constraint)
+
+        body_attributes: Set[str] = set()
+        checks: List[Callable] = []
+        order_steps: List[Tuple[str, int]] = []
+        for predicate in constraint.body:
+            body_attributes |= predicate.referenced_attributes()
+            if isinstance(predicate, OrderPredicate):
+                order_steps.append((predicate.attribute, index[predicate.attribute]))
+            elif isinstance(predicate, TupleComparisonPredicate):
+                checks.append(_compile_tuple_check(index[predicate.attribute], predicate.op))
+            elif isinstance(predicate, ConstantComparisonPredicate):
+                checks.append(
+                    _compile_constant_check(
+                        predicate.tuple_index,
+                        index[predicate.attribute],
+                        predicate.op,
+                        predicate.constant,
+                    )
+                )
+            else:  # pragma: no cover - defensive, mirrors _instantiate_one_pair
+                raise EncodingError(f"unsupported predicate {predicate!r}")
+        self.checks = tuple(checks)
+        self.order_steps = tuple(order_steps)
+        # A missing value is only temporal evidence about its own attribute:
+        # when the body mentions other attributes than the conclusion, a NULL
+        # in any body attribute makes the pair vacuous (see
+        # _instantiate_one_pair for the full rationale).
+        cross_attribute = bool(body_attributes - {constraint.conclusion_attribute})
+        self.null_check_indices = (
+            tuple(index[attribute] for attribute in sorted(body_attributes))
+            if cross_attribute
+            else ()
+        )
+
+    def evaluate(
+        self, row1: Tuple[Value, ...], row2: Tuple[Value, ...]
+    ) -> Optional[Tuple[List[Tuple[str, Value, Value]], Tuple[str, Value, Value]]]:
+        """Instantiate on one ordered pair; ``None`` when vacuous.
+
+        Returns the body order-literal triples and the head triple as plain
+        tuples; the caller materialises :class:`OrderLiteral` objects only for
+        admitted instances.
+        """
+        for position in self.null_check_indices:
+            if is_null(row1[position]) or is_null(row2[position]):
+                return None
+        for check in self.checks:
+            if not check(row1, row2):
+                return None
+        body: List[Tuple[str, Value, Value]] = []
+        for attribute, position in self.order_steps:
+            older = row1[position]
+            newer = row2[position]
+            if values_equal(older, newer):
+                return None
+            body.append((attribute, older, newer))
+        older = row1[self.conclusion_index]
+        newer = row2[self.conclusion_index]
+        if values_equal(older, newer) or is_null(newer):
+            return None
+        return body, (self.conclusion_attribute, older, newer)
+
+
+def _compile_tuple_check(position: int, op: str) -> Callable:
+    operator = _OPERATORS[op]
+
+    def check(row1: Tuple[Value, ...], row2: Tuple[Value, ...]) -> bool:
+        return operator(row1[position], row2[position])
+
+    return check
+
+
+def _compile_constant_check(tuple_index: int, position: int, op: str, constant: Value) -> Callable:
+    operator = _OPERATORS[op]
+    if tuple_index == 1:
+
+        def check(row1: Tuple[Value, ...], row2: Tuple[Value, ...]) -> bool:
+            return operator(row1[position], constant)
+
+    else:
+
+        def check(row1: Tuple[Value, ...], row2: Tuple[Value, ...]) -> bool:
+            return operator(row2[position], constant)
+
+    return check
+
+
+class _CompiledCFD:
+    """One constant CFD with its pattern pre-sorted and label pre-built."""
+
+    __slots__ = ("lhs_items", "rhs_attribute", "rhs_value", "source_name")
+
+    def __init__(self, cfd: ConstantCFD) -> None:
+        self.lhs_items = tuple(sorted(cfd.lhs_pattern.items()))
+        self.rhs_attribute = cfd.rhs_attribute
+        self.rhs_value = cfd.rhs_value
+        self.source_name = cfd.name or str(cfd)
+
+
+# -- the program ---------------------------------------------------------------
+
+
+def _options_key(options: InstantiationOptions) -> Tuple:
+    return (
+        options.mode,
+        options.deduplicate,
+        options.include_transitivity,
+        options.include_asymmetry,
+        options.transitivity_cap,
+    )
+
+
+class CompiledConstraintProgram:
+    """Σ ∪ Γ analysed once, ready to be stamped onto any entity of the schema."""
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        currency_constraints: Sequence[CurrencyConstraint],
+        cfds: Sequence[ConstantCFD],
+        options: Optional[InstantiationOptions] = None,
+    ) -> None:
+        self.options = options or InstantiationOptions()
+        if self.options.mode not in ("projected", "naive"):
+            raise EncodingError(f"unknown instantiation mode {self.options.mode!r}")
+        self.schema = schema
+        self.currency = tuple(_CompiledCurrencyConstraint(c) for c in currency_constraints)
+        self.cfds = tuple(_CompiledCFD(cfd) for cfd in cfds)
+        #: Number of specifications this program has been stamped onto.
+        self.instantiations = 0
+
+    @staticmethod
+    def cache_key(
+        schema: RelationSchema,
+        currency_constraints: Sequence[CurrencyConstraint],
+        cfds: Sequence[ConstantCFD],
+        options: InstantiationOptions,
+    ) -> Tuple:
+        """Structural (pickle-stable) identity of a program.
+
+        Constraints are frozen dataclasses, so tuples of them hash by value;
+        two structurally equal constraint sets — e.g. the originals in the
+        parent process and their unpickled copies in a pool worker — map to
+        the same program.
+        """
+        return (
+            schema.name,
+            schema.attribute_names,
+            tuple(currency_constraints),
+            tuple(cfds),
+            _options_key(options),
+        )
+
+
+def compile_program(
+    spec: Specification, options: Optional[InstantiationOptions] = None
+) -> CompiledConstraintProgram:
+    """Compile the constraint program of *spec*'s schema and Σ ∪ Γ."""
+    return CompiledConstraintProgram(
+        spec.schema, spec.currency_constraints, spec.cfds, options
+    )
+
+
+class ConstraintProgramCache:
+    """Structural cache of compiled programs with reuse counters.
+
+    One instance is held per :class:`~repro.resolution.framework.ConflictResolver`
+    (and per pool worker), so the first entity of a dataset pays the compile
+    and every later entity stamps the cached program.
+    """
+
+    def __init__(self) -> None:
+        self._programs: Dict[Tuple, CompiledConstraintProgram] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def program_for(
+        self, spec: Specification, options: Optional[InstantiationOptions] = None
+    ) -> CompiledConstraintProgram:
+        """Return the (cached) compiled program for *spec*'s schema and Σ ∪ Γ."""
+        options = options or InstantiationOptions()
+        key = CompiledConstraintProgram.cache_key(
+            spec.schema, spec.currency_constraints, spec.cfds, options
+        )
+        program = self._programs.get(key)
+        if program is None:
+            self.misses += 1
+            program = CompiledConstraintProgram(
+                spec.schema, spec.currency_constraints, spec.cfds, options
+            )
+            self._programs[key] = program
+        else:
+            self.hits += 1
+        return program
+
+    def __len__(self) -> int:
+        return len(self._programs)
+
+    def statistics(self) -> Dict[str, int]:
+        """Compile-reuse counters (surfaced by experiments and benchmarks)."""
+        return {
+            "programs_compiled": self.misses,
+            "program_cache_hits": self.hits,
+            "program_instantiations": sum(p.instantiations for p in self._programs.values()),
+        }
+
+
+# -- the stamping pass ---------------------------------------------------------
+
+
+def instantiate_compiled(
+    spec: Specification, program: CompiledConstraintProgram
+) -> InstanceConstraintSet:
+    """Build Ω(S_e) by stamping *program* onto *spec*.
+
+    Produces exactly the constraint list ``instantiate(spec, program.options)``
+    would produce (same constraints, same order, same ``used_values``); only
+    the per-entity analysis work is skipped.
+    """
+    options = program.options
+    program.instantiations += 1
+    result = InstanceConstraintSet()
+    constraints = result.constraints
+    dedup = options.deduplicate
+    # Ground facts (empty body, positive head) are keyed by their head triple;
+    # everything else uses the frozenset key of the from-scratch
+    # _Deduplicator.  The two key spaces are disjoint (empty vs. non-empty
+    # body frozensets never compare equal), so admission decisions match.
+    fact_seen: Set[Tuple[str, Hashable, Hashable]] = set()
+    general_seen: Set[Tuple] = set()
+    # used-value bookkeeping, fused into emission (the from-scratch path runs
+    # a separate pass over the finished constraint list; emission order equals
+    # list order, so the fused notes produce identical buckets).
+    used: Dict[str, List[Value]] = {}
+    used_keys: Dict[str, Set[Hashable]] = {}
+    conditional: Dict[str, Set[Hashable]] = {}
+
+    def note(attribute: str, value: Value, is_conditional: bool) -> None:
+        keys = used_keys.get(attribute)
+        if keys is None:
+            keys = used_keys[attribute] = set()
+            used[attribute] = []
+        key = canonical_value(value)
+        if key not in keys:
+            keys.add(key)
+            used[attribute].append(value)
+        if is_conditional:
+            conditional.setdefault(attribute, set()).add(key)
+
+    # -- currency-order facts (fast path) ----------------------------------
+    instance = spec.instance
+    for attribute, order in spec.temporal_instance.orders.items():
+        value_of: Dict = {}
+        for item in instance:
+            value_of[item.tid] = item[attribute]
+        for older_tid, newer_tid in order.pairs():
+            older_value = value_of[older_tid]
+            newer_value = value_of[newer_tid]
+            if values_equal(older_value, newer_value):
+                continue
+            if dedup:
+                key = (attribute, older_value, newer_value)
+                if key in fact_seen:
+                    continue
+                fact_seen.add(key)
+            constraints.append(
+                InstanceConstraint(
+                    body=(),
+                    head=OrderLiteral(attribute, older_value, newer_value),
+                    source_kind="order",
+                    source_name=f"{older_tid}≺{newer_tid}",
+                )
+            )
+            note(attribute, older_value, False)
+            note(attribute, newer_value, False)
+
+    # -- currency constraints (compiled evaluators over positional rows) ---
+    projection_rows: Dict[Tuple[str, ...], List[Tuple[Value, ...]]] = {}
+    projected = options.mode == "projected"
+    for compiled in program.currency:
+        attributes = compiled.attributes
+        rows = projection_rows.get(attributes)
+        if rows is None:
+            # Instance values are normalised, so each positional row *is* its
+            # canonical projection key (NULL is already the interned marker).
+            if projected:
+                seen_rows: Set[Tuple[Value, ...]] = set()
+                rows = []
+                for item in instance:
+                    row = tuple(item[attribute] for attribute in attributes)
+                    if row in seen_rows:
+                        continue
+                    seen_rows.add(row)
+                    rows.append(row)
+            else:
+                rows = [tuple(item[attribute] for attribute in attributes) for item in instance]
+            projection_rows[attributes] = rows
+        evaluate = compiled.evaluate
+        for row1, row2 in itertools.permutations(rows, 2):
+            instantiated = evaluate(row1, row2)
+            if instantiated is None:
+                continue
+            body_triples, head_triple = instantiated
+            if dedup:
+                if body_triples:
+                    key = (frozenset(body_triples), head_triple, False)
+                    if key in general_seen:
+                        continue
+                    general_seen.add(key)
+                else:
+                    if head_triple in fact_seen:
+                        continue
+                    fact_seen.add(head_triple)
+            is_conditional = bool(body_triples)
+            for attribute, older_value, newer_value in body_triples:
+                note(attribute, older_value, True)
+                note(attribute, newer_value, True)
+            attribute, older_value, newer_value = head_triple
+            note(attribute, older_value, is_conditional)
+            note(attribute, newer_value, is_conditional)
+            constraints.append(
+                InstanceConstraint(
+                    body=tuple(OrderLiteral(*triple) for triple in body_triples),
+                    head=OrderLiteral(*head_triple),
+                    source_kind="currency",
+                    source_name=compiled.source_name,
+                )
+            )
+
+    # -- constant CFDs (active domains projected once per attribute) -------
+    if program.cfds:
+        domains: Dict[str, Tuple[Value, ...]] = {}
+        domain_keys: Dict[str, Set[Hashable]] = {}
+
+        def domain(attribute: str) -> Tuple[Value, ...]:
+            cached = domains.get(attribute)
+            if cached is None:
+                cached = domains[attribute] = instance.active_domain(attribute)
+                domain_keys[attribute] = {canonical_value(value) for value in cached}
+            return cached
+
+        for cfd in program.cfds:
+            # Current values always come from the active domain, so an LHS
+            # constant outside it makes the CFD vacuous for this entity.
+            vacuous = False
+            for attribute, pattern_value in cfd.lhs_items:
+                domain(attribute)
+                if canonical_value(pattern_value) not in domain_keys[attribute]:
+                    vacuous = True
+                    break
+            if vacuous:
+                continue
+            body: List[OrderLiteral] = []
+            for attribute, pattern_value in cfd.lhs_items:
+                for other in domain(attribute):
+                    if values_equal(other, pattern_value):
+                        continue
+                    body.append(OrderLiteral(attribute, other, pattern_value))
+            body_tuple = tuple(body)
+            body_key = (
+                frozenset((lit.attribute, lit.older, lit.newer) for lit in body_tuple)
+                if body_tuple
+                else None
+            )
+            is_conditional = bool(body_tuple)
+            for other in domain(cfd.rhs_attribute):
+                if values_equal(other, cfd.rhs_value):
+                    continue
+                head_triple = (cfd.rhs_attribute, other, cfd.rhs_value)
+                if dedup:
+                    if body_tuple:
+                        key = (body_key, head_triple, False)
+                        if key in general_seen:
+                            continue
+                        general_seen.add(key)
+                    else:
+                        if head_triple in fact_seen:
+                            continue
+                        fact_seen.add(head_triple)
+                for literal in body_tuple:
+                    note(literal.attribute, literal.older, True)
+                    note(literal.attribute, literal.newer, True)
+                note(cfd.rhs_attribute, other, is_conditional)
+                note(cfd.rhs_attribute, cfd.rhs_value, is_conditional)
+                constraints.append(
+                    InstanceConstraint(
+                        body=body_tuple,
+                        head=OrderLiteral(*head_triple),
+                        source_kind="cfd",
+                        source_name=cfd.source_name,
+                    )
+                )
+
+    # -- ground-fact closure (shared with the from-scratch path) -----------
+    def emit_closed(constraint: InstanceConstraint) -> None:
+        head = constraint.head
+        if not constraint.body and head is not None and not constraint.negated_head:
+            if dedup:
+                key = (head.attribute, head.older, head.newer)
+                if key in fact_seen:
+                    return
+                fact_seen.add(key)
+            constraints.append(constraint)
+            note(head.attribute, head.older, False)
+            note(head.attribute, head.newer, False)
+            return
+        if dedup:
+            key = (
+                frozenset((lit.attribute, lit.older, lit.newer) for lit in constraint.body),
+                None if head is None else (head.attribute, head.older, head.newer),
+                constraint.negated_head,
+            )
+            if key in general_seen:
+                return
+            general_seen.add(key)
+        constraints.append(constraint)
+        is_conditional = bool(constraint.body) or head is None
+        for literal in constraint.body:
+            note(literal.attribute, literal.older, is_conditional)
+            note(literal.attribute, literal.newer, is_conditional)
+        if head is not None:
+            note(head.attribute, head.older, is_conditional)
+            note(head.attribute, head.newer, is_conditional)
+
+    _close_ground_facts(result, emit_closed)
+    result.used_values = used
+
+    # -- structural axioms --------------------------------------------------
+    for attribute, values in used.items():
+        if options.include_asymmetry:
+            # Within one attribute the value pairs are distinct and no earlier
+            # constraint carries a negated head, so every asymmetry axiom is
+            # admitted; the dedup bookkeeping can be skipped.
+            for older_value, newer_value in itertools.combinations(values, 2):
+                constraints.append(
+                    InstanceConstraint(
+                        body=(OrderLiteral(attribute, older_value, newer_value),),
+                        head=OrderLiteral(attribute, newer_value, older_value),
+                        negated_head=True,
+                        source_kind="asymmetry",
+                        source_name=attribute,
+                    )
+                )
+        if not options.include_transitivity:
+            continue
+        transitive_values = values
+        cap = options.transitivity_cap
+        if cap is not None and len(values) > cap:
+            keys = conditional.get(attribute, set())
+            transitive_values = [value for value in values if canonical_value(value) in keys]
+        for first, second, third in itertools.permutations(transitive_values, 3):
+            if dedup:
+                # A conditional currency instance could in principle coincide
+                # with a transitivity axiom; check (but triples are unique
+                # within the stage and nothing is emitted after it, so the
+                # keys need not be recorded).
+                key = (
+                    frozenset(((attribute, first, second), (attribute, second, third))),
+                    (attribute, first, third),
+                    False,
+                )
+                if key in general_seen:
+                    continue
+            constraints.append(
+                InstanceConstraint(
+                    body=(
+                        OrderLiteral(attribute, first, second),
+                        OrderLiteral(attribute, second, third),
+                    ),
+                    head=OrderLiteral(attribute, first, third),
+                    source_kind="transitivity",
+                    source_name=attribute,
+                )
+            )
+    return result

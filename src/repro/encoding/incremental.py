@@ -94,6 +94,12 @@ class IncrementalEncoder:
         is given.
     session:
         An existing :class:`SolverSession` to load the clauses into.
+    program:
+        Optional pre-compiled constraint program
+        (:class:`~repro.encoding.compiled.CompiledConstraintProgram`) for the
+        specification's schema and Σ ∪ Γ; the initial full encoding then
+        stamps the program instead of re-analysing the constraints.  The
+        program's options take precedence over *options*.
     """
 
     def __init__(
@@ -102,8 +108,10 @@ class IncrementalEncoder:
         options: Optional[InstantiationOptions] = None,
         backend: str = "cdcl",
         session: Optional[SolverSession] = None,
+        program: "CompiledConstraintProgram | None" = None,
     ) -> None:
-        self._options = options or InstantiationOptions()
+        self._program = program
+        self._options = program.options if program is not None else (options or InstantiationOptions())
         self._session = session if session is not None else create_session(backend)
         self._registry = OrderVariableRegistry()
         self._cnf = CNF()
@@ -218,7 +226,12 @@ class IncrementalEncoder:
 
     def _full_encode(self) -> None:
         spec = self._spec
-        omega = instantiate(spec, self._options)
+        if self._program is not None:
+            from repro.encoding.compiled import instantiate_compiled
+
+            omega = instantiate_compiled(spec, self._program)
+        else:
+            omega = instantiate(spec, self._options)
         self._omega.inherently_invalid = omega.inherently_invalid
         self._omega.invalid_reason = omega.invalid_reason
         self._omega.used_values = omega.used_values

@@ -306,10 +306,14 @@ def _instantiate_currency_constraints(
     spec: Specification, options: InstantiationOptions, emit
 ) -> None:
     # Many constraints reference the same attribute set (e.g. hundreds of
-    # value-transition constraints on `status`), so projections are cached per
-    # attribute set; this is what makes the projected mode insensitive to the
-    # number of tuples.
+    # value-transition constraints on `status`), so row projections are
+    # memoised per attribute tuple for the duration of this instantiation —
+    # in projected mode (distinct projections, which makes that mode
+    # insensitive to the number of tuples) and in naive mode alike (the full
+    # row list, which is identical for every constraint sharing an attribute
+    # list and was previously rebuilt per constraint).
     projection_cache: Dict[Tuple[str, ...], List[Dict[str, Value]]] = {}
+    naive_cache: Dict[Tuple[str, ...], List[Dict[str, Value]]] = {}
     for constraint in spec.currency_constraints:
         attributes = tuple(sorted(constraint.referenced_attributes()))
         if options.mode == "projected":
@@ -317,9 +321,12 @@ def _instantiate_currency_constraints(
                 projection_cache[attributes] = _projections(spec, attributes)
             rows: List[Dict[str, Value]] = projection_cache[attributes]
         else:
-            rows = [
-                {attribute: item[attribute] for attribute in attributes} for item in spec.instance
-            ]
+            if attributes not in naive_cache:
+                naive_cache[attributes] = [
+                    {attribute: item[attribute] for attribute in attributes}
+                    for item in spec.instance
+                ]
+            rows = naive_cache[attributes]
         for row1, row2 in itertools.permutations(rows, 2):
             instantiated = _instantiate_one_pair(constraint, row1, row2)
             if instantiated is not None:

@@ -1,0 +1,11 @@
+"""Parallel multi-entity resolution engine.
+
+:class:`ResolutionEngine` resolves a stream of entity specifications — in
+process for ``workers <= 1``, over a warm :class:`~concurrent.futures.ProcessPoolExecutor`
+otherwise — with chunked dispatch, streaming ordered results and per-worker
+compiled-constraint-program reuse.
+"""
+
+from repro.engine.core import DEFAULT_CHUNK_SIZE, EngineStatistics, ResolutionEngine
+
+__all__ = ["DEFAULT_CHUNK_SIZE", "EngineStatistics", "ResolutionEngine"]

@@ -1,0 +1,58 @@
+"""Process-pool worker side of the :class:`~repro.engine.ResolutionEngine`.
+
+Each worker process is initialised once with the engine's
+:class:`~repro.resolution.framework.ResolverOptions` and keeps a single
+:class:`~repro.resolution.framework.ConflictResolver` alive for its whole
+lifetime.  That resolver carries the *warm state* that makes chunked dispatch
+cheap: its :class:`~repro.encoding.compiled.ConstraintProgramCache` compiles
+the constraint program of a dataset's Σ ∪ Γ on the worker's first entity and
+stamps it for every later entity of every chunk the worker receives (the
+cache key is structural, so the unpickled constraint copies of different
+chunks all hit the same entry).
+
+Only module-level functions live here — the :mod:`concurrent.futures`
+machinery requires its initialiser and task callables to be picklable by
+qualified name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.specification import Specification
+from repro.resolution.framework import ConflictResolver, Oracle, ResolutionResult, ResolverOptions
+
+__all__ = ["initialize_worker", "ping", "resolve_chunk"]
+
+#: The per-process resolver (None until :func:`initialize_worker` ran).
+_RESOLVER: Optional[ConflictResolver] = None
+
+
+def initialize_worker(options: ResolverOptions) -> None:
+    """Pool initialiser: build this process's long-lived resolver."""
+    global _RESOLVER
+    _RESOLVER = ConflictResolver(options)
+
+
+def ping() -> bool:
+    """No-op task used by :meth:`ResolutionEngine.warm_up` to spin workers up."""
+    return _RESOLVER is not None
+
+
+def resolve_chunk(
+    chunk: Sequence[Tuple[Specification, Optional[Oracle]]],
+) -> Tuple[List[ResolutionResult], Dict[str, int]]:
+    """Resolve one chunk of (specification, oracle) tasks in order.
+
+    Returns the resolutions plus the *delta* of the worker's compile-reuse
+    counters attributable to this chunk (the engine sums the deltas, so the
+    aggregate is exact no matter how chunks are spread over workers).
+    """
+    resolver = _RESOLVER
+    if resolver is None:  # pragma: no cover - defensive; initializer always runs
+        raise RuntimeError("resolve_chunk called in an uninitialised worker process")
+    before = resolver.program_cache.statistics()
+    results = [resolver.resolve(spec, oracle) for spec, oracle in chunk]
+    after = resolver.program_cache.statistics()
+    delta = {key: after[key] - before.get(key, 0) for key in after}
+    return results, delta

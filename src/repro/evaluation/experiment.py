@@ -17,6 +17,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.core.errors import ReproError
 from repro.core.values import Value, values_equal
 from repro.datasets.base import GeneratedDataset, GeneratedEntity
+from repro.engine import ResolutionEngine
 from repro.evaluation.interaction import GroundTruthOracle, ReluctantOracle
 from repro.evaluation.metrics import AccuracyCounts, score_entity
 from repro.resolution.baselines import (
@@ -50,6 +51,7 @@ class EntityOutcome:
 #: ``encoding_statistics`` carries the totals for the whole resolve loop).
 _REUSE_KEYS = (
     "incremental",
+    "compiled",
     "delta_encodings",
     "initial_clauses",
     "incremental_clauses",
@@ -79,6 +81,10 @@ class ExperimentResult:
 
     label: str
     outcomes: List[EntityOutcome] = field(default_factory=list)
+    #: Wall-clock seconds of the whole run (resolution loop, not scoring).
+    wall_seconds: float = 0.0
+    #: Engine/compile-reuse counters (workers, chunks, program cache hits).
+    engine: Dict[str, float] = field(default_factory=dict)
 
     # -- aggregation -----------------------------------------------------------
 
@@ -169,6 +175,42 @@ def _correct_known(
     return correct
 
 
+def _entity_outcome(
+    entity: GeneratedEntity,
+    dataset: GeneratedDataset,
+    resolution: ResolutionResult,
+    elapsed: float,
+) -> EntityOutcome:
+    """Score one resolution against the ground truth.
+
+    Only *deduced* values enter precision/recall; values the simulated user
+    validated are excluded, exactly as in the paper's metric.
+    """
+    counts = score_entity(
+        entity,
+        dataset.schema,
+        resolution.resolved_tuple,
+        claimed_attributes=resolution.deduced_attributes,
+    )
+    correct_by_round: List[int] = []
+    for round_report in resolution.rounds:
+        known = round_report.deduced_attributes
+        correct_by_round.append(_correct_known(entity, dataset, known, resolution.resolved_tuple))
+    seconds = resolution.total_seconds()
+    seconds["total"] = elapsed
+    return EntityOutcome(
+        entity_name=entity.name,
+        entity_size=entity.size(),
+        counts=counts,
+        rounds_used=resolution.interaction_rounds,
+        valid=resolution.valid,
+        seconds=seconds,
+        correct_by_round=correct_by_round,
+        resolution=resolution,
+        reuse=_reuse_from_resolution(resolution),
+    )
+
+
 def run_framework_experiment(
     dataset: GeneratedDataset,
     sigma_fraction: float = 1.0,
@@ -179,6 +221,9 @@ def run_framework_experiment(
     limit: Optional[int] = None,
     label: Optional[str] = None,
     incremental: bool = True,
+    compiled: bool = True,
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
 ) -> ExperimentResult:
     """Resolve every entity with the currency/consistency framework.
 
@@ -193,6 +238,8 @@ def run_framework_experiment(
     oracle_factory:
         Builds the simulated user for an entity; defaults to a
         :class:`ReluctantOracle` limited to *max_interaction_rounds* rounds.
+        With ``workers > 1`` the oracles must be picklable (all built-in
+        oracles are).
     resolver_options:
         Framework options; the round budget is taken from
         *max_interaction_rounds* unless explicitly provided.
@@ -202,54 +249,77 @@ def run_framework_experiment(
         Use the incremental solver-session path (ignored when
         *resolver_options* is given explicitly); ``False`` runs the
         from-scratch baseline the reuse benchmarks compare against.
+    compiled:
+        Compile the constraint program of Σ ∪ Γ once and stamp it per entity
+        (ignored when *resolver_options* is given explicitly); ``False``
+        restores the cold per-entity constraint analysis.
+    workers:
+        Resolve entities over a :class:`~repro.engine.ResolutionEngine`
+        process pool when ``> 1`` (results are identical to the sequential
+        path; per-entity ``seconds["total"]`` then sums the resolution phases
+        instead of measuring per-entity wall-clock, which has no meaning
+        under concurrency — the run's wall-clock lands in
+        :attr:`ExperimentResult.wall_seconds`).
+    chunk_size:
+        Entities per pool task (``workers > 1`` only).
     """
     if resolver_options is None:
         resolver_options = ResolverOptions(
-            max_rounds=max_interaction_rounds, fallback="none", incremental=incremental
+            max_rounds=max_interaction_rounds,
+            fallback="none",
+            incremental=incremental,
+            compiled=compiled,
         )
-    resolver = ConflictResolver(resolver_options)
     result = ExperimentResult(
         label=label
         or f"{dataset.name}[Σ={sigma_fraction:.0%},Γ={gamma_fraction:.0%},rounds≤{max_interaction_rounds}]"
     )
-    for entity, spec in dataset.specifications(sigma_fraction, gamma_fraction, limit=limit):
-        oracle = (
-            oracle_factory(entity)
-            if oracle_factory is not None
-            else ReluctantOracle(entity, max_rounds=max_interaction_rounds)
-        )
+
+    def oracle_for(entity: GeneratedEntity):
+        if oracle_factory is not None:
+            return oracle_factory(entity)
+        return ReluctantOracle(entity, max_rounds=max_interaction_rounds)
+
+    pairs = dataset.specifications(sigma_fraction, gamma_fraction, limit=limit)
+    if workers > 1:
+        entities: List[GeneratedEntity] = []
+        tasks = []
+        for entity, spec in pairs:
+            entities.append(entity)
+            tasks.append((spec, oracle_for(entity)))
+        with ResolutionEngine(resolver_options, workers=workers, chunk_size=chunk_size) as engine:
+            # Pool startup is paid once per engine, not per workload; keep it
+            # out of the timed region (as engine_overall_comparison does) and
+            # record it separately so wall_seconds measures steady state.
+            warmup = engine.warm_up()
+            start = time.perf_counter()
+            resolutions = engine.resolve_many(tasks)
+            result.wall_seconds = time.perf_counter() - start
+            result.engine = engine.statistics.as_dict()
+            result.engine["pool_warmup_seconds"] = warmup
+        for entity, resolution in zip(entities, resolutions):
+            phases = resolution.total_seconds()
+            elapsed = phases["validity"] + phases["deduce"] + phases["suggest"]
+            result.outcomes.append(_entity_outcome(entity, dataset, resolution, elapsed))
+        return result
+
+    resolver = ConflictResolver(resolver_options)
+    run_start = time.perf_counter()
+    for entity, spec in pairs:
+        oracle = oracle_for(entity)
         start = time.perf_counter()
         resolution = resolver.resolve(spec, oracle)
         elapsed = time.perf_counter() - start
-        # Only *deduced* values enter precision/recall; values the simulated
-        # user validated are excluded, exactly as in the paper's metric.
-        counts = score_entity(
-            entity,
-            dataset.schema,
-            resolution.resolved_tuple,
-            claimed_attributes=resolution.deduced_attributes,
-        )
-        correct_by_round: List[int] = []
-        for round_report in resolution.rounds:
-            known = round_report.deduced_attributes
-            correct_by_round.append(
-                _correct_known(entity, dataset, known, resolution.resolved_tuple)
-            )
-        seconds = resolution.total_seconds()
-        seconds["total"] = elapsed
-        result.outcomes.append(
-            EntityOutcome(
-                entity_name=entity.name,
-                entity_size=entity.size(),
-                counts=counts,
-                rounds_used=resolution.interaction_rounds,
-                valid=resolution.valid,
-                seconds=seconds,
-                correct_by_round=correct_by_round,
-                resolution=resolution,
-                reuse=_reuse_from_resolution(resolution),
-            )
-        )
+        result.outcomes.append(_entity_outcome(entity, dataset, resolution, elapsed))
+    result.wall_seconds = time.perf_counter() - run_start
+    engine_stats: Dict[str, float] = {
+        "entities": float(len(result.outcomes)),
+        "workers": 1.0,
+        "parallel": 0.0,
+    }
+    for key, value in resolver.program_cache.statistics().items():
+        engine_stats[key] = float(value)
+    result.engine = engine_stats
     return result
 
 
@@ -262,6 +332,33 @@ _BASELINES: Dict[str, Callable] = {
 }
 
 
+def _baseline_entity_outcome(task: Tuple) -> EntityOutcome:
+    """Resolve and score one entity with a baseline (picklable pool task)."""
+    method, entity, spec, seed, runs = task
+    resolve = _BASELINES[method]
+    randomised = method in ("pick", "any")
+    start = time.perf_counter()
+    merged = AccuracyCounts()
+    for repetition in range(runs):
+        if randomised:
+            resolved = resolve(spec, rng=random.Random(seed + repetition))
+        else:
+            resolved = resolve(spec)
+        merged = merged.merge(score_entity(entity, spec.schema, resolved))
+    elapsed = time.perf_counter() - start
+    averaged = AccuracyCounts(
+        deduced=round(merged.deduced / runs),
+        correct=round(merged.correct / runs),
+        conflicting=round(merged.conflicting / runs),
+    )
+    return EntityOutcome(
+        entity_name=entity.name,
+        entity_size=entity.size(),
+        counts=averaged,
+        seconds={"total": elapsed},
+    )
+
+
 def run_baseline_experiment(
     dataset: GeneratedDataset,
     method: str = "pick",
@@ -270,39 +367,32 @@ def run_baseline_experiment(
     limit: Optional[int] = None,
     seed: int = 0,
     repetitions: int = 3,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Resolve every entity with a traditional fusion baseline.
 
     Randomised baselines (``pick``, ``any``) are averaged over *repetitions*
-    random seeds, mirroring the paper's repeated runs.
+    random seeds, mirroring the paper's repeated runs.  ``workers > 1``
+    spreads the entities over a process pool (the seeded randomisation makes
+    the outcome independent of scheduling).
     """
     if method not in _BASELINES:
         raise ReproError(f"unknown baseline {method!r}; choose from {sorted(_BASELINES)}")
-    resolve = _BASELINES[method]
     result = ExperimentResult(label=f"{dataset.name}[{method}]")
-    randomised = method in ("pick", "any")
-    runs = repetitions if randomised else 1
-    for entity, spec in dataset.specifications(sigma_fraction, gamma_fraction, limit=limit):
-        start = time.perf_counter()
-        merged = AccuracyCounts()
-        for repetition in range(runs):
-            if randomised:
-                resolved = resolve(spec, rng=random.Random(seed + repetition))
-            else:
-                resolved = resolve(spec)
-            merged = merged.merge(score_entity(entity, dataset.schema, resolved))
-        elapsed = time.perf_counter() - start
-        averaged = AccuracyCounts(
-            deduced=round(merged.deduced / runs),
-            correct=round(merged.correct / runs),
-            conflicting=round(merged.conflicting / runs),
-        )
-        result.outcomes.append(
-            EntityOutcome(
-                entity_name=entity.name,
-                entity_size=entity.size(),
-                counts=averaged,
-                seconds={"total": elapsed},
-            )
-        )
+    runs = repetitions if method in ("pick", "any") else 1
+    tasks = [
+        (method, entity, spec, seed, runs)
+        for entity, spec in dataset.specifications(sigma_fraction, gamma_fraction, limit=limit)
+    ]
+    start = time.perf_counter()
+    if workers > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            result.outcomes.extend(pool.map(_baseline_entity_outcome, tasks, chunksize=4))
+        result.engine = {"entities": float(len(tasks)), "workers": float(workers), "parallel": 1.0}
+    else:
+        result.outcomes.extend(_baseline_entity_outcome(task) for task in tasks)
+        result.engine = {"entities": float(len(tasks)), "workers": 1.0, "parallel": 0.0}
+    result.wall_seconds = time.perf_counter() - start
     return result

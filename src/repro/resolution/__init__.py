@@ -12,7 +12,6 @@ from repro.resolution.baselines import (
 from repro.resolution.compatibility import compatibility_graph, compatible
 from repro.resolution.deduce import DeducedOrders, deduce_order, naive_deduce
 from repro.resolution.derivation import DerivationRule, derive_rules
-from repro.encoding.incremental import IncrementalEncoder
 from repro.resolution.framework import (
     ConflictResolver,
     Oracle,
@@ -33,7 +32,6 @@ from repro.resolution.validity import ValidityReport, check_validity, is_valid
 __all__ = [
     "ConflictResolver",
     "DeducedOrders",
-    "IncrementalEncoder",
     "DerivationRule",
     "Oracle",
     "ResolutionResult",

@@ -30,6 +30,7 @@ from repro.core.specification import Specification, TrueValueAssignment
 from repro.core.tuples import EntityTuple
 from repro.core.values import NULL, Value, is_null
 from repro.encoding.cnf_encoder import SpecificationEncoding, encode_specification
+from repro.encoding.compiled import CompiledConstraintProgram, ConstraintProgramCache
 from repro.encoding.incremental import IncrementalEncoder
 from repro.encoding.instance_constraints import InstantiationOptions
 from repro.resolution.baselines import pick_resolution
@@ -146,6 +147,12 @@ class ResolverOptions:
     solver_backend:
         Registry name of the solver-session backend (``"cdcl"`` or
         ``"dpll"``); only used on the incremental path.
+    compiled:
+        When ``True`` (the default) the resolver compiles the constraint
+        program of Σ ∪ Γ once per schema (cached across entities in
+        :attr:`ConflictResolver.program_cache`) and stamps it during
+        instantiation; ``False`` restores the cold per-entity re-analysis.
+        The two paths produce identical encodings (equivalence-tested).
     """
 
     instantiation: InstantiationOptions = field(default_factory=InstantiationOptions)
@@ -155,13 +162,22 @@ class ResolverOptions:
     random_seed: int = 0
     incremental: bool = True
     solver_backend: str = "cdcl"
+    compiled: bool = True
 
 
 class ConflictResolver:
-    """Drives the interactive conflict-resolution loop of Fig. 4."""
+    """Drives the interactive conflict-resolution loop of Fig. 4.
+
+    The resolver is meant to be reused across the entities of a dataset: when
+    ``options.compiled`` is on, the constraint program of Σ ∪ Γ is compiled on
+    the first entity and every later entity of the same schema stamps the
+    cached program (see :attr:`program_cache`).
+    """
 
     def __init__(self, options: Optional[ResolverOptions] = None) -> None:
         self.options = options or ResolverOptions()
+        #: Compiled constraint programs shared across resolve() calls.
+        self.program_cache = ConstraintProgramCache()
 
     # -- user input → O_t ------------------------------------------------------
 
@@ -212,6 +228,11 @@ class ConflictResolver:
         valid = True
         user_validated: Dict[str, Value] = {}
         encoder: Optional[IncrementalEncoder] = None
+        program: Optional[CompiledConstraintProgram] = (
+            self.program_cache.program_for(spec, options.instantiation)
+            if options.compiled
+            else None
+        )
 
         for round_index in range(options.max_rounds + 1):
             start = time.perf_counter()
@@ -221,13 +242,16 @@ class ConflictResolver:
                 # learned clauses across all queries of the whole loop.
                 if encoder is None:
                     encoder = IncrementalEncoder(
-                        current, options.instantiation, backend=options.solver_backend
+                        current,
+                        options.instantiation,
+                        backend=options.solver_backend,
+                        program=program,
                     )
                 encoding = encoder.encoding
                 session = encoder.session
                 guard_assumptions: Tuple[int, ...] = encoder.assumptions
             else:
-                encoding = encode_specification(current, options.instantiation)
+                encoding = encode_specification(current, options.instantiation, program=program)
                 session = None
                 guard_assumptions = ()
             validity = check_validity(
@@ -306,9 +330,8 @@ class ConflictResolver:
             user_validated_attributes=tuple(sorted(user_validated)),
         )
 
-    @staticmethod
     def _round_statistics(
-        encoding: SpecificationEncoding, encoder: Optional[IncrementalEncoder]
+        self, encoding: SpecificationEncoding, encoder: Optional[IncrementalEncoder]
     ) -> Dict[str, int]:
         """Encoding sizes plus, on the incremental path, the reuse counters."""
         statistics = encoding.statistics()
@@ -316,6 +339,7 @@ class ConflictResolver:
             statistics.update(encoder.statistics())
         else:
             statistics["incremental"] = 0
+        statistics["compiled"] = 1 if self.options.compiled else 0
         return statistics
 
     def _finalize(

@@ -5,8 +5,10 @@ implements the standard conflict-driven clause-learning loop:
 
 * two-literal watching for unit propagation,
 * first-UIP conflict analysis with clause learning,
-* VSIDS-style variable activities with decay,
-* phase saving and geometric restarts.
+* heap-backed VSIDS variable activities (lazy multiplicative bumping with
+  rescale — no per-decay sweep, no linear scan per decision),
+* phase saving, Luby restarts, and activity-sorted learned-clause database
+  reduction (keep-half).
 
 The solver is *incremental* in the MiniSat sense: clauses can be added between
 :meth:`CDCLSolver.solve` calls and assumptions are decided at their own
@@ -69,6 +71,27 @@ _UNASSIGNED = 0
 _TRUE = 1
 _FALSE = -1
 
+#: Unit of the Luby restart schedule (conflicts); interval i is ``base·luby(i)``.
+_LUBY_UNIT = 64
+
+
+def _luby(i: int) -> int:
+    """The *i*-th term (1-based) of the Luby sequence 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,…
+
+    The reluctant-doubling schedule of Luby, Sinclair and Zuckerman; it is the
+    universally optimal restart strategy up to a constant factor.
+    """
+    x = i - 1
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) >> 1
+        seq -= 1
+        x %= size
+    return 1 << seq
+
 
 class CDCLSolver:
     """Conflict-driven clause-learning solver with incremental clause addition.
@@ -92,6 +115,16 @@ class CDCLSolver:
         self._activity: List[float] = [0.0]
         self._activity_increment = 1.0
         self._activity_decay = 0.95
+        # Branching heap: a binary max-heap over variable indices ordered by
+        # (activity desc, index asc); `_heap_pos[v]` is v's slot or -1.
+        self._heap: List[int] = []
+        self._heap_pos: List[int] = [-1]
+        # Learned-clause bookkeeping for database reduction.
+        self._clause_learned: List[bool] = []
+        self._clause_activity: List[float] = []
+        self._clause_activity_increment = 1.0
+        self._clause_activity_decay = 0.999
+        self._max_learned: Optional[int] = None  # set lazily from problem size
         self._trail: List[int] = []
         self._trail_level_start: List[int] = [0]
         self._queue_head = 0
@@ -104,6 +137,8 @@ class CDCLSolver:
         self.total_decisions = 0
         self.total_propagations = 0
         self.total_restarts = 0
+        self.db_reductions = 0
+        self.clauses_deleted = 0
         if cnf is not None:
             self.ensure_variables(cnf.num_variables)
             self.add_clauses(cnf.clauses)
@@ -129,6 +164,8 @@ class CDCLSolver:
             self._reason.append(None)
             self._phase.append(False)
             self._activity.append(0.0)
+            self._heap_pos.append(-1)
+            self._heap_insert(self._num_vars)
 
     @staticmethod
     def _simplify_clause(clause: Sequence[int]) -> Optional[List[int]]:
@@ -177,6 +214,8 @@ class CDCLSolver:
                 self._unsat = True
             return
         self._clauses.append(kept)
+        self._clause_learned.append(False)
+        self._clause_activity.append(0.0)
         index = len(self._clauses) - 1
         self._watch(kept[0], index)
         self._watch(kept[1], index)
@@ -256,15 +295,106 @@ class CDCLSolver:
                 index += 1
         return None
 
+    # -- branching heap (VSIDS order) -----------------------------------------
+
+    def _heap_before(self, first: int, second: int) -> bool:
+        """Heap priority: higher activity first, lower index on ties.
+
+        The tie-break reproduces the selection of a linear max-scan over
+        variable indices, which keeps the solver's decision sequence (and thus
+        its models) identical to the pre-heap implementation.
+        """
+        activity = self._activity
+        first_activity = activity[first]
+        second_activity = activity[second]
+        if first_activity != second_activity:
+            return first_activity > second_activity
+        return first < second
+
+    def _heap_sift_up(self, slot: int) -> None:
+        heap = self._heap
+        position = self._heap_pos
+        variable = heap[slot]
+        while slot > 0:
+            parent_slot = (slot - 1) >> 1
+            parent = heap[parent_slot]
+            if not self._heap_before(variable, parent):
+                break
+            heap[slot] = parent
+            position[parent] = slot
+            slot = parent_slot
+        heap[slot] = variable
+        position[variable] = slot
+
+    def _heap_sift_down(self, slot: int) -> None:
+        heap = self._heap
+        position = self._heap_pos
+        variable = heap[slot]
+        size = len(heap)
+        while True:
+            child_slot = 2 * slot + 1
+            if child_slot >= size:
+                break
+            right_slot = child_slot + 1
+            if right_slot < size and self._heap_before(heap[right_slot], heap[child_slot]):
+                child_slot = right_slot
+            child = heap[child_slot]
+            if not self._heap_before(child, variable):
+                break
+            heap[slot] = child
+            position[child] = slot
+            slot = child_slot
+        heap[slot] = variable
+        position[variable] = slot
+
+    def _heap_insert(self, variable: int) -> None:
+        if self._heap_pos[variable] >= 0:
+            return
+        self._heap.append(variable)
+        self._heap_sift_up(len(self._heap) - 1)
+
+    def _heap_pop(self) -> Optional[int]:
+        heap = self._heap
+        if not heap:
+            return None
+        top = heap[0]
+        self._heap_pos[top] = -1
+        last = heap.pop()
+        if heap:
+            heap[0] = last
+            self._heap_pos[last] = 0
+            self._heap_sift_down(0)
+        return top
+
+    # -- activities -------------------------------------------------------------
+
     def _bump(self, variable: int) -> None:
         self._activity[variable] += self._activity_increment
+        if self._activity[variable] > 1e100:
+            self._rescale_activities()
+        slot = self._heap_pos[variable]
+        if slot >= 0:
+            self._heap_sift_up(slot)
+
+    def _rescale_activities(self) -> None:
+        """Multiplicative rescale; preserves the relative order, so the heap
+        needs no rebuilding."""
+        for variable in range(1, self._num_vars + 1):
+            self._activity[variable] *= 1e-100
+        self._activity_increment *= 1e-100
+
+    def _bump_clause(self, clause_index: int) -> None:
+        activity = self._clause_activity
+        activity[clause_index] += self._clause_activity_increment
+        if activity[clause_index] > 1e20:
+            for index in range(len(activity)):
+                activity[index] *= 1e-20
+            self._clause_activity_increment *= 1e-20
 
     def _decay_activities(self) -> None:
+        """Lazy multiplicative decay: only the increments change, no sweep."""
         self._activity_increment /= self._activity_decay
-        if self._activity_increment > 1e100:
-            for variable in range(1, self._num_vars + 1):
-                self._activity[variable] *= 1e-100
-            self._activity_increment *= 1e-100
+        self._clause_activity_increment /= self._clause_activity_decay
 
     def _analyze(self, conflict_index: int) -> Tuple[List[int], int]:
         """First-UIP analysis; returns the learned clause and the backjump level."""
@@ -272,6 +402,7 @@ class CDCLSolver:
         seen = [False] * (self._num_vars + 1)
         counter = 0
         literal: Optional[int] = None
+        self._bump_clause(conflict_index)
         clause = self._clauses[conflict_index]
         current_level = self._current_level()
         trail = self._trail
@@ -305,6 +436,7 @@ class CDCLSolver:
             reason_index = reason[variable]
             if reason_index is None:  # pragma: no cover - defensive
                 break
+            self._bump_clause(reason_index)
             clause = self._clauses[reason_index]
 
         learned = [literal] + learned if literal is not None else learned
@@ -328,6 +460,7 @@ class CDCLSolver:
             variable = abs(literal)
             self._assignment[variable] = _UNASSIGNED
             self._reason[variable] = None
+            self._heap_insert(variable)
         del self._trail[cutoff:]
         del starts[target_level + 1 :]
         self._queue_head = min(self._queue_head, len(self._trail))
@@ -336,15 +469,73 @@ class CDCLSolver:
         self._trail_level_start.append(len(self._trail))
 
     def _pick_branch_variable(self) -> Optional[int]:
-        best_variable = None
-        best_activity = -1.0
+        # Lazy deletion: assigned variables stay in the heap until popped.
+        # Every unassigned variable is in the heap (insertion on creation and
+        # on backtrack), so an empty heap means a total assignment.
         assignment = self._assignment
-        activity = self._activity
+        while True:
+            variable = self._heap_pop()
+            if variable is None or assignment[variable] == _UNASSIGNED:
+                return variable
+
+    # -- learned-clause database reduction -------------------------------------
+
+    def _reduce_learned_db(self) -> None:
+        """Drop the less active half of the learned clauses (MiniSat style).
+
+        Deleting learned clauses is always sound — they are consequences of
+        the problem clauses — so sessions stay incremental across the
+        reduction.  Clauses that are currently the reason of an assignment,
+        and binary clauses, are always kept.
+        """
+        clauses = self._clauses
+        activity = self._clause_activity
+        locked = {index for index in self._reason if index is not None}
+        deletable = [
+            index
+            for index, is_learned in enumerate(self._clause_learned)
+            if is_learned and len(clauses[index]) > 2 and index not in locked
+        ]
+        drop = set(sorted(deletable, key=lambda index: activity[index])[: len(deletable) // 2])
+        if not drop:
+            # Nothing deletable (the learned DB is dominated by binary/locked
+            # clauses).  Still grow the budget, otherwise every subsequent
+            # conflict would re-scan the whole clause list for nothing.
+            if self._max_learned is not None:
+                self._max_learned = int(self._max_learned * 1.3) + 1
+            return
+        remap: Dict[int, int] = {}
+        kept_clauses: List[List[int]] = []
+        kept_learned: List[bool] = []
+        kept_activity: List[float] = []
+        for index, clause in enumerate(clauses):
+            if index in drop:
+                continue
+            remap[index] = len(kept_clauses)
+            kept_clauses.append(clause)
+            kept_learned.append(self._clause_learned[index])
+            kept_activity.append(activity[index])
+        self._clauses = kept_clauses
+        self._clause_learned = kept_learned
+        self._clause_activity = kept_activity
+        # Every stored clause sits in exactly the watch lists of its first two
+        # literals (the propagation loop maintains that invariant), so the
+        # watch tables can be reconstructed from those positions.
+        watches: Dict[int, List[int]] = {}
+        for new_index, clause in enumerate(kept_clauses):
+            watches.setdefault(clause[0], []).append(new_index)
+            watches.setdefault(clause[1], []).append(new_index)
+        self._watches = watches
+        reasons = self._reason
         for variable in range(1, self._num_vars + 1):
-            if assignment[variable] == _UNASSIGNED and activity[variable] > best_activity:
-                best_variable = variable
-                best_activity = activity[variable]
-        return best_variable
+            if reasons[variable] is not None:
+                reasons[variable] = remap[reasons[variable]]
+        self.num_learned_clauses -= len(drop)
+        self.clauses_deleted += len(drop)
+        self.db_reductions += 1
+        if self._max_learned is not None:
+            # Geometric growth of the budget, as in MiniSat.
+            self._max_learned = int(self._max_learned * 1.3) + 1
 
     # -- main entry point -----------------------------------------------------
 
@@ -372,8 +563,12 @@ class CDCLSolver:
             self.ensure_variables(abs(literal))
         self._backtrack(0)
 
-        restart_interval = 64
+        # Luby restart schedule: interval i lasts `_LUBY_UNIT · luby(i)` conflicts.
+        restart_number = 1
+        restart_interval = _LUBY_UNIT * _luby(restart_number)
         conflicts_since_restart = 0
+        if self._max_learned is None:
+            self._max_learned = max(2000, self.num_problem_clauses // 2)
         # Index of the first assumption not yet known to be established.  It
         # only moves forward between conflicts; any backtrack (conflict or
         # restart) may unassign established assumptions, so it resets there.
@@ -416,16 +611,22 @@ class CDCLSolver:
                         return finish(SATResult(False))
                 else:
                     self._clauses.append(learned)
+                    self._clause_learned.append(True)
+                    self._clause_activity.append(0.0)
                     clause_index = len(self._clauses) - 1
                     self._watch(learned[0], clause_index)
                     self._watch(learned[1], clause_index)
+                    self._bump_clause(clause_index)
                     self._enqueue(learned[0], clause_index, stats)
                     self.num_learned_clauses += 1
                 self._decay_activities()
+                if self.num_learned_clauses > self._max_learned:
+                    self._reduce_learned_db()
                 if conflicts_since_restart >= restart_interval:
                     stats.restarts += 1
                     conflicts_since_restart = 0
-                    restart_interval = int(restart_interval * 1.5)
+                    restart_number += 1
+                    restart_interval = _LUBY_UNIT * _luby(restart_number)
                     self._backtrack(0)
                     next_assumption = 0
                 continue

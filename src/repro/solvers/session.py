@@ -164,6 +164,8 @@ class CDCLSession(SolverSession):
         stats["conflicts"] = self._solver.total_conflicts
         stats["decisions"] = self._solver.total_decisions
         stats["propagations"] = self._solver.total_propagations
+        stats["db_reductions"] = self._solver.db_reductions
+        stats["clauses_deleted"] = self._solver.clauses_deleted
         return stats
 
 
@@ -190,6 +192,8 @@ class DPLLSession(SolverSession):
         self._cnf.add_clause(literals)
 
     def _solve(self, assumptions: Sequence[int], conflict_limit: Optional[int]) -> SATResult:
+        if conflict_limit is not None:
+            raise SolverError("the dpll backend does not support conflict_limit")
         highest = max((abs(int(lit)) for lit in assumptions), default=0)
         if highest > self._cnf.num_variables:
             self._cnf.num_variables = highest

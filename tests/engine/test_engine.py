@@ -1,0 +1,122 @@
+"""Unit tests for the parallel resolution engine."""
+
+import pytest
+
+from repro.engine import DEFAULT_CHUNK_SIZE, ResolutionEngine
+from repro.evaluation.interaction import ReluctantOracle
+from repro.resolution.framework import ResolverOptions
+
+
+def make_tasks(dataset, limit=4, max_rounds=1):
+    tasks = []
+    for entity, spec in dataset.specifications(limit=limit):
+        tasks.append((spec, ReluctantOracle(entity, max_rounds=max_rounds)))
+    return tasks
+
+
+@pytest.fixture(scope="module")
+def options():
+    return ResolverOptions(max_rounds=1, fallback="none")
+
+
+class TestSequentialPath:
+    def test_results_in_task_order(self, small_person_dataset, options):
+        tasks = make_tasks(small_person_dataset)
+        results = ResolutionEngine(options).resolve_many(tasks)
+        assert [r.name for r in results] == [spec.name for spec, _ in tasks]
+
+    def test_statistics(self, small_person_dataset, options):
+        engine = ResolutionEngine(options)
+        tasks = make_tasks(small_person_dataset, limit=3)
+        engine.resolve_many(tasks)
+        stats = engine.statistics
+        assert stats.entities == 3
+        assert not stats.parallel
+        assert stats.compile_reuse["programs_compiled"] == 1
+        assert stats.compile_reuse["program_cache_hits"] == 2
+
+    def test_warm_resolver_reused_across_calls(self, small_person_dataset, options):
+        engine = ResolutionEngine(options)
+        engine.resolve_many(make_tasks(small_person_dataset, limit=2))
+        engine.resolve_many(make_tasks(small_person_dataset, limit=2))
+        # The second call reuses the first call's compiled program.
+        assert engine.statistics.compile_reuse["programs_compiled"] == 0
+        assert engine.statistics.compile_reuse["program_cache_hits"] == 2
+
+    def test_stream_is_lazy(self, small_person_dataset, options):
+        engine = ResolutionEngine(options)
+        stream = engine.resolve_stream(iter(make_tasks(small_person_dataset, limit=3)))
+        first = next(stream)
+        assert first is not None
+        assert engine.statistics.entities == 1
+
+    def test_none_oracle_means_silent(self, small_person_dataset, options):
+        spec = next(iter(small_person_dataset.specifications(limit=1)))[1]
+        (result,) = ResolutionEngine(options).resolve_many([(spec, None)])
+        assert result.interaction_rounds == 0
+
+
+class TestConfiguration:
+    def test_workers_floor(self):
+        assert ResolutionEngine(workers=0).workers == 1
+        assert ResolutionEngine(workers=-3).workers == 1
+
+    def test_default_chunk_size(self):
+        assert ResolutionEngine().chunk_size == DEFAULT_CHUNK_SIZE
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            ResolutionEngine(chunk_size=0)
+
+    def test_context_manager_without_pool(self, small_person_dataset, options):
+        with ResolutionEngine(options) as engine:
+            engine.resolve_many(make_tasks(small_person_dataset, limit=1))
+        # close() on a pool-less engine is a no-op.
+        engine.close()
+
+
+class TestParallelPath:
+    def test_results_match_sequential(self, small_person_dataset, options):
+        tasks = make_tasks(small_person_dataset, limit=4)
+        sequential = ResolutionEngine(options).resolve_many(tasks)
+        with ResolutionEngine(options, workers=2, chunk_size=2) as engine:
+            parallel = engine.resolve_many(make_tasks(small_person_dataset, limit=4))
+        assert [r.name for r in parallel] == [r.name for r in sequential]
+        for seq, par in zip(sequential, parallel):
+            assert seq.resolved_tuple == par.resolved_tuple
+            assert seq.true_values.values == par.true_values.values
+            assert seq.valid == par.valid
+            assert seq.complete == par.complete
+            assert len(seq.rounds) == len(par.rounds)
+
+    def test_statistics_and_chunking(self, small_person_dataset, options):
+        with ResolutionEngine(options, workers=2, chunk_size=3) as engine:
+            engine.warm_up()
+            engine.resolve_many(make_tasks(small_person_dataset, limit=5))
+            stats = engine.statistics
+        assert stats.parallel
+        assert stats.entities == 5
+        assert stats.chunks == 2  # 3 + 2
+        assert stats.workers == 2
+        assert stats.compile_reuse.get("programs_compiled", 0) >= 1
+
+    def test_streaming_preserves_order(self, small_person_dataset, options):
+        tasks = make_tasks(small_person_dataset, limit=5)
+        expected = [spec.name for spec, _ in tasks]
+        with ResolutionEngine(options, workers=2, chunk_size=1) as engine:
+            names = [result.name for result in engine.resolve_stream(tasks)]
+        assert names == expected
+
+    def test_pool_survives_multiple_calls(self, small_person_dataset, options):
+        with ResolutionEngine(options, workers=2, chunk_size=2) as engine:
+            first = engine.resolve_many(make_tasks(small_person_dataset, limit=2))
+            second = engine.resolve_many(make_tasks(small_person_dataset, limit=2))
+        assert [r.name for r in first] == [r.name for r in second]
+
+    def test_warm_up_reports_seconds(self, options):
+        engine = ResolutionEngine(options, workers=2)
+        try:
+            assert engine.warm_up() >= 0.0
+        finally:
+            engine.close()
+        assert ResolutionEngine(options).warm_up() == 0.0
