@@ -1,0 +1,174 @@
+"""Batch vs. streaming end-to-end pipeline: wall-clock and peak RSS.
+
+The streaming refactor's acceptance measurement: resolve the same synthetic
+Person workload twice —
+
+* **batch** — materialize the whole generated dataset, then resolve it (the
+  legacy shape: every entity alive for the run's whole duration);
+* **streaming** — resolve straight off the lazy ``DatasetStream`` with
+  ``keep_outcomes=False``, so only the engine's bounded in-flight window of
+  entities is ever alive.
+
+Both modes run the engine with the same worker/chunk/backpressure settings
+(``workers=2`` so the in-flight window actually engages); the only variable
+is whether the dataset and the outcome list are materialized.
+
+Each mode runs in its *own subprocess* so ``ru_maxrss`` reports a per-mode
+peak (within one process the RSS high-water mark never comes back down), and
+the JSON lands in ``benchmarks/results/pipeline_stream.json``: wall-clock,
+peak RSS, peak in-flight entities, and the accuracy invariant across modes.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``, used by CI) shrinks the workload so the
+end-to-end path is proven on every push without burning CI minutes.  The
+module doubles as a standalone script::
+
+    REPRO_BENCH_SMOKE=1 PYTHONPATH=src python benchmarks/bench_pipeline_stream.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import resource
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict
+
+from _harness import report, report_json
+from repro.evaluation import format_table
+
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: Entities in the synthetic Person workload per mode.
+_ENTITIES = 12 if _SMOKE else 120
+_MAX_ROUNDS = 1
+_WORKERS = 2
+_CHUNK_SIZE = 8
+_MAX_INFLIGHT = 4
+
+
+def _run_mode(mode: str, entities: int) -> Dict[str, float]:
+    """Child-process body: run one mode, print its measurements as JSON."""
+    from repro.datasets import PersonConfig, generate_person_dataset, stream_person_dataset
+    from repro.evaluation import run_framework_experiment
+
+    config = PersonConfig(num_entities=entities, seed=31)
+    engine_settings = dict(
+        workers=_WORKERS, chunk_size=_CHUNK_SIZE, max_inflight_chunks=_MAX_INFLIGHT
+    )
+    start = time.perf_counter()
+    if mode == "batch":
+        dataset = generate_person_dataset(config)
+        result = run_framework_experiment(
+            dataset, max_interaction_rounds=_MAX_ROUNDS, **engine_settings
+        )
+    else:
+        stream = stream_person_dataset(config)
+        result = run_framework_experiment(
+            stream, max_interaction_rounds=_MAX_ROUNDS, keep_outcomes=False, **engine_settings
+        )
+    wall = time.perf_counter() - start
+    peak_rss_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return {
+        "mode": mode,
+        "entities": float(result.entities),
+        "wall_seconds": wall,
+        "peak_rss_kib": float(peak_rss_kib),
+        "f_measure": result.f_measure,
+        "precision": result.precision,
+        "recall": result.recall,
+        "peak_inflight_entities": result.engine.get("peak_inflight_entities", 0.0),
+    }
+
+
+def _measure_in_subprocess(mode: str, entities: int) -> Dict[str, float]:
+    """Run one mode in a fresh interpreter so peak RSS is per-mode."""
+    script = (
+        "import json, sys; sys.path.insert(0, {src!r}); sys.path.insert(0, {bench!r}); "
+        "from bench_pipeline_stream import _run_mode; "
+        "print(json.dumps(_run_mode({mode!r}, {entities})))"
+    ).format(
+        src=str(Path(__file__).resolve().parent.parent / "src"),
+        bench=str(Path(__file__).resolve().parent),
+        mode=mode,
+        entities=entities,
+    )
+    environment = dict(os.environ)
+    completed = subprocess.run(
+        [sys.executable, "-c", script], capture_output=True, text=True, env=environment, check=True
+    )
+    return json.loads(completed.stdout.strip().splitlines()[-1])
+
+
+def pipeline_stream_comparison(entities: int = _ENTITIES) -> Dict:
+    """Measure both modes and assemble the JSON payload."""
+    runs = {mode: _measure_in_subprocess(mode, entities) for mode in ("batch", "streaming")}
+    batch, streaming = runs["batch"], runs["streaming"]
+    return {
+        "workload": f"Person×{entities}[rounds≤{_MAX_ROUNDS}]",
+        "smoke": _SMOKE,
+        "workers": _WORKERS,
+        "chunk_size": _CHUNK_SIZE,
+        "max_inflight_chunks": _MAX_INFLIGHT,
+        "inflight_bound_entities": float(_CHUNK_SIZE * _MAX_INFLIGHT),
+        "accuracy_invariant": batch["f_measure"] == streaming["f_measure"],
+        "rss_ratio_streaming_over_batch": (
+            streaming["peak_rss_kib"] / batch["peak_rss_kib"] if batch["peak_rss_kib"] else 0.0
+        ),
+        "runs": runs,
+    }
+
+
+def _render(payload: Dict) -> str:
+    rows = [
+        [
+            run["mode"],
+            run["wall_seconds"],
+            run["peak_rss_kib"] / 1024.0,
+            run["peak_inflight_entities"],
+            run["f_measure"],
+        ]
+        for run in payload["runs"].values()
+    ]
+    table = format_table(
+        ["mode", "wall (s)", "peak RSS (MiB)", "peak in-flight", "F-measure"],
+        rows,
+        title=f"Batch vs. streaming pipeline — {payload['workload']}",
+    )
+    table += (
+        f"\nin-flight bound: {payload['inflight_bound_entities']:.0f} entities "
+        f"(chunk {payload['chunk_size']} × window {payload['max_inflight_chunks']})"
+    )
+    if not payload["accuracy_invariant"]:  # pragma: no cover - defensive
+        table += "\nWARNING: accuracy differed between batch and streaming!"
+    return table
+
+
+def run_pipeline_stream() -> Dict:
+    """Execute the benchmark (honouring smoke mode) and persist its reports."""
+    payload = pipeline_stream_comparison()
+    report_json("pipeline_stream", payload)
+    report("pipeline_stream", _render(payload))
+    return payload
+
+
+def bench_pipeline_stream(benchmark) -> None:
+    """Batch vs. streaming wall-clock + peak RSS comparison."""
+    payload = run_pipeline_stream()
+    assert payload["accuracy_invariant"]
+    from repro.datasets import PersonConfig, stream_person_dataset
+    from repro.evaluation import run_framework_experiment
+
+    benchmark(
+        lambda: run_framework_experiment(
+            stream_person_dataset(PersonConfig(num_entities=4, seed=31)),
+            max_interaction_rounds=1,
+            keep_outcomes=False,
+        )
+    )
+
+
+if __name__ == "__main__":
+    run_pipeline_stream()

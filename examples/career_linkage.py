@@ -7,9 +7,12 @@ constraints and the affiliation CFDs, and resolves every author's current
 affiliation/city/country.
 
 Run with:  python examples/career_linkage.py
+(``REPRO_SMOKE=1`` shrinks the dataset so CI can exercise the script quickly.)
 """
 
 from __future__ import annotations
+
+import os
 
 from repro.core import Specification, TemporalInstance
 from repro.datasets import CareerConfig, generate_career_dataset
@@ -20,7 +23,8 @@ from repro.resolution import ConflictResolver
 
 
 def main() -> None:
-    dataset = generate_career_dataset(CareerConfig(num_authors=12, seed=77))
+    smoke = os.environ.get("REPRO_SMOKE") == "1"
+    dataset = generate_career_dataset(CareerConfig(num_authors=4 if smoke else 12, seed=77))
     print(dataset.summary())
 
     # 1. Flatten the generated entities back into one big pile of raw rows, as

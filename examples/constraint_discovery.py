@@ -12,6 +12,8 @@ Run with:  python examples/constraint_discovery.py
 
 from __future__ import annotations
 
+import os
+
 from repro.datasets import PersonConfig, generate_person_dataset
 from repro.discovery import (
     CFDDiscoveryConfig,
@@ -24,12 +26,14 @@ from repro.resolution import ConflictResolver
 
 
 def main() -> None:
-    dataset = generate_person_dataset(PersonConfig(num_entities=30, seed=404))
+    smoke = os.environ.get("REPRO_SMOKE") == "1"
+    num_entities, split = (12, 8) if smoke else (30, 20)
+    dataset = generate_person_dataset(PersonConfig(num_entities=num_entities, seed=404))
     print(dataset.summary())
 
-    # Split: the first 20 entities provide discovery samples, the rest are resolved.
-    discovery_entities = dataset.entities[:20]
-    evaluation_entities = dataset.entities[20:]
+    # Split: the first entities provide discovery samples, the rest are resolved.
+    discovery_entities = dataset.entities[:split]
+    evaluation_entities = dataset.entities[split:]
 
     histories = [entity.history for entity in discovery_entities]
     rows = [row for entity in discovery_entities for row in entity.rows]

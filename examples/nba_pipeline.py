@@ -6,9 +6,12 @@ the conflict-resolution framework with a simulated user, compare against the
 traditional ``Pick`` baseline, and print the aggregate accuracy.
 
 Run with:  python examples/nba_pipeline.py
+(``REPRO_SMOKE=1`` shrinks the dataset so CI can exercise the script quickly.)
 """
 
 from __future__ import annotations
+
+import os
 
 from repro.datasets import NBAConfig, generate_nba_dataset
 from repro.evaluation import (
@@ -20,7 +23,8 @@ from repro.evaluation import (
 
 
 def main() -> None:
-    dataset = generate_nba_dataset(NBAConfig(num_players=25, seed=101))
+    smoke = os.environ.get("REPRO_SMOKE") == "1"
+    dataset = generate_nba_dataset(NBAConfig(num_players=4 if smoke else 25, seed=101))
     print(dataset.summary())
     print()
 

@@ -7,9 +7,12 @@ values, the suggestion handed to the user, and the effect of each answer.  The
 in the paper's experiments.
 
 Run with:  python examples/person_interactive.py
+(``REPRO_SMOKE=1`` shrinks the dataset so CI can exercise the script quickly.)
 """
 
 from __future__ import annotations
+
+import os
 
 from repro.datasets import PersonConfig, generate_person_dataset
 from repro.evaluation import GroundTruthOracle
@@ -35,7 +38,8 @@ class VerboseOracle:
 
 
 def main() -> None:
-    dataset = generate_person_dataset(PersonConfig(num_entities=10, seed=2024))
+    smoke = os.environ.get("REPRO_SMOKE") == "1"
+    dataset = generate_person_dataset(PersonConfig(num_entities=4 if smoke else 10, seed=2024))
     print(dataset.summary())
 
     # Pick the entity with the most conflicting attributes — the most

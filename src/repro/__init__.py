@@ -12,7 +12,10 @@ hold the full system:
   framework and the traditional baselines;
 * :mod:`repro.engine` — the parallel multi-entity resolution engine
   (process-pool scheduling with compiled-program reuse);
-* :mod:`repro.linkage` — record-linkage substrate producing entity instances;
+* :mod:`repro.pipeline` — composable streaming pipelines (Source → Stage →
+  Sink) running generation/linkage/resolution/metrics in bounded memory;
+* :mod:`repro.linkage` — record-linkage substrate producing entity instances
+  (batch and streaming);
 * :mod:`repro.discovery` — constant-CFD and currency-constraint discovery;
 * :mod:`repro.datasets` — NBA / CAREER / Person generators with ground truth;
 * :mod:`repro.evaluation` — metrics, simulated users and experiment runners.
@@ -35,6 +38,7 @@ from repro.core import (
 )
 from repro.encoding import InstantiationOptions, encode_specification
 from repro.engine import ResolutionEngine
+from repro.pipeline import Pipeline
 from repro.resolution import (
     ConflictResolver,
     ResolverOptions,
@@ -62,6 +66,7 @@ __all__ = [
     "InstantiationOptions",
     "NULL",
     "PartialOrder",
+    "Pipeline",
     "RelationSchema",
     "ResolutionEngine",
     "ResolverOptions",

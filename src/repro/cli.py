@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three subcommands cover the typical workflow on CSV data:
+Four subcommands cover the typical workflow on CSV data:
 
 ``validate``
     Check every entity's specification for conflicts between the data, the
@@ -10,6 +10,16 @@ Three subcommands cover the typical workflow on CSV data:
     Derive the most current, consistent tuple per entity and write the result
     as CSV.  Attributes whose true value cannot be deduced are either left
     empty or filled with the ``Pick`` strategy (``--fallback pick``).
+
+``pipeline``
+    The streaming end-to-end path: read raw CSV rows, link them into entity
+    instances incrementally (blocking + matching with bounded open buckets),
+    resolve each instance through the engine as it completes, and stream
+    per-entity results to a JSON-lines file — with optional periodic
+    checkpointing so an interrupted run resumes where it stopped
+    (``--checkpoint state.json --resume``).  Memory stays bounded by the
+    linker's open buckets plus the engine's in-flight window, never by the
+    size of the input.
 
 ``discover``
     Mine constant CFDs (and, when the rows carry a timestamp column, currency
@@ -21,6 +31,8 @@ Examples
 
     python -m repro validate  people.csv --entity-key name --constraints rules.txt
     python -m repro resolve   people.csv --entity-key name --constraints rules.txt -o resolved.csv
+    python -m repro pipeline  people.csv --entity-key name --constraints rules.txt \
+        --output resolved.jsonl --checkpoint state.json --workers 4
     python -m repro discover  people.csv --entity-key name --timestamp-column updated_at
 """
 
@@ -30,8 +42,9 @@ import argparse
 import sys
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.instance import TemporalInstance
+from repro.core.instance import EntityInstance, TemporalInstance
 from repro.core.specification import Specification
+from repro.core.values import is_null
 from repro.discovery import (
     CFDDiscoveryConfig,
     CurrencyDiscoveryConfig,
@@ -40,7 +53,21 @@ from repro.discovery import (
 )
 from repro.engine import ResolutionEngine
 from repro.io import dump_constraints, load_constraint_file, read_entity_rows, write_resolved_tuples
+from repro.linkage import MatcherConfig, RecordMatcher, attribute_blocking
+from repro.linkage.streaming import StreamingLinker
+from repro.pipeline import (
+    Checkpoint,
+    CheckpointSink,
+    FunctionSink,
+    JsonlSink,
+    LinkageStage,
+    MapStage,
+    Pipeline,
+    ResolveStage,
+    SkipStage,
+)
 from repro.resolution import ResolverOptions, check_validity
+from repro.solvers.session import available_backends
 
 __all__ = ["build_parser", "main"]
 
@@ -58,25 +85,76 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--entity-key", required=True, help="column identifying the entity of each row")
         sub.add_argument("--constraints", help="constraint file (currency constraints and CFDs)")
 
+    def add_resolution_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--fallback",
+            choices=["none", "pick"],
+            default="none",
+            help="how to fill attributes whose true value cannot be deduced",
+        )
+        sub.add_argument("--max-rounds", type=int, default=0, help="interaction rounds (0 = automatic only)")
+        sub.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="resolve entities in parallel over this many worker processes",
+        )
+        sub.add_argument(
+            "--solver-backend",
+            default="cdcl",
+            metavar="NAME",
+            help="solver-session backend from the registry "
+            f"(available: {', '.join(available_backends())})",
+        )
+
     validate = subparsers.add_parser("validate", help="check specifications for conflicts")
     add_common(validate)
 
     resolve = subparsers.add_parser("resolve", help="derive the current tuple of every entity")
     add_common(resolve)
     resolve.add_argument("-o", "--output", help="output CSV path (default: stdout summary only)")
-    resolve.add_argument(
-        "--fallback",
-        choices=["none", "pick"],
-        default="none",
-        help="how to fill attributes whose true value cannot be deduced",
+    add_resolution_options(resolve)
+
+    pipeline = subparsers.add_parser(
+        "pipeline", help="streaming end-to-end run: raw CSV → linkage → resolve → report"
     )
-    resolve.add_argument("--max-rounds", type=int, default=0, help="interaction rounds (0 = automatic only)")
-    resolve.add_argument(
-        "--workers",
+    pipeline.add_argument("data", help="CSV file with one raw observation row per line")
+    pipeline.add_argument(
+        "--entity-key",
+        required=True,
+        help="column identifying the entity of each row (also the linkage blocking key)",
+    )
+    pipeline.add_argument("--constraints", help="constraint file (currency constraints and CFDs)")
+    pipeline.add_argument(
+        "--blocking",
+        nargs="+",
+        metavar="ATTR",
+        help="blocking attributes for linkage (default: the entity key column)",
+    )
+    pipeline.add_argument(
+        "--threshold", type=float, default=0.85, help="linkage match threshold (weighted similarity)"
+    )
+    pipeline.add_argument(
+        "--max-open-blocks",
         type=int,
-        default=1,
-        help="resolve entities in parallel over this many worker processes",
+        default=4096,
+        help="bound on simultaneously open linkage buckets; least-recently-touched "
+        "buckets are matched and emitted early when exceeded, which keeps memory "
+        "bounded but can split an entity whose rows arrive far apart "
+        "(0 = unbounded, i.e. exact batch linkage semantics; default: %(default)s)",
     )
+    pipeline.add_argument("-o", "--output", help="JSON-lines output path (one record per entity)")
+    pipeline.add_argument("--checkpoint", help="checkpoint file for resumable runs")
+    pipeline.add_argument(
+        "--checkpoint-every", type=int, default=50, help="entities between checkpoint saves"
+    )
+    pipeline.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from the checkpoint file instead of starting over",
+    )
+    pipeline.add_argument("--quiet", action="store_true", help="suppress the per-entity summary lines")
+    add_resolution_options(pipeline)
 
     discover = subparsers.add_parser("discover", help="mine constraints from the data")
     discover.add_argument("data", help="CSV file with one row per observation")
@@ -112,9 +190,29 @@ def _command_validate(args) -> int:
     return 1 if invalid else 0
 
 
+def _validated_backend(parser_error, name: str) -> str:
+    """Check a solver-backend name against the registry; fail with the choices."""
+    if name not in available_backends():
+        parser_error(
+            f"unknown solver backend {name!r}; available backends: "
+            f"{', '.join(available_backends())} (register more via "
+            "repro.solvers.session.register_backend)"
+        )
+    return name
+
+
+def _resolver_options(args) -> ResolverOptions:
+    """Build the resolver options shared by ``resolve`` and ``pipeline``."""
+    return ResolverOptions(
+        max_rounds=args.max_rounds,
+        fallback=args.fallback,
+        solver_backend=args.solver_backend,
+    )
+
+
 def _command_resolve(args) -> int:
     specifications = _load_specifications(args)
-    options = ResolverOptions(max_rounds=args.max_rounds, fallback=args.fallback)
+    options = _resolver_options(args)
     resolved: Dict[str, Dict] = {}
     rounds: Dict[str, int] = {}
     complete: Dict[str, bool] = {}
@@ -138,6 +236,130 @@ def _command_resolve(args) -> int:
             extra_columns={"__complete__": complete, "__rounds__": rounds},
         )
         print(f"\nwrote {len(resolved)} resolved tuples to {args.output}")
+    return 0
+
+
+def _truncate_jsonl(path: str, records: int) -> None:
+    """Keep only the first *records* lines of a JSONL file (resume trim).
+
+    Streams to the cut-off byte offset instead of loading the file, so
+    resuming a multi-gigabyte run stays constant-memory.
+    """
+    import os
+    from pathlib import Path
+
+    target = Path(path)
+    if not target.exists():
+        return
+    offset = 0
+    kept = 0
+    with target.open("rb") as handle:
+        for line in handle:
+            if kept >= records:
+                break
+            offset += len(line)
+            kept += 1
+        else:
+            return  # file has at most `records` lines already
+    os.truncate(target, offset)
+
+
+def _command_pipeline(args) -> int:
+    """Streaming end-to-end run: raw CSV → linkage → resolution → JSONL report."""
+    from repro.io import read_csv_header, stream_csv_rows
+
+    schema = read_csv_header(args.data)
+    if args.constraints:
+        sigma, gamma = load_constraint_file(args.constraints)
+    else:
+        sigma, gamma = [], []
+    blocking = args.blocking or [args.entity_key]
+    schema.require([args.entity_key, *blocking])
+
+    # Match on the blocking attributes: rows sharing the block (e.g. the
+    # entity key) then link with similarity 1.0, which reproduces the
+    # ``resolve`` command's group-by-key semantics while still allowing
+    # fuzzier blocking schemes via --blocking/--threshold.
+    linker = StreamingLinker(
+        schema,
+        attribute_blocking(blocking),
+        RecordMatcher(
+            MatcherConfig({attribute: 1.0 for attribute in blocking}, args.threshold)
+        ),
+        max_open_blocks=args.max_open_blocks if args.max_open_blocks > 0 else None,
+    )
+
+    counter = {"index": 0}
+
+    def keyed_specification(instance: EntityInstance):
+        first = instance.tuples[0]
+        key_value = first[args.entity_key]
+        key = str(key_value) if not is_null(key_value) else f"entity_{counter['index']}"
+        counter["index"] += 1
+        spec = Specification(TemporalInstance(instance), sigma, gamma, name=key)
+        return key, spec
+
+    # Resume support: the checkpoint counts *resolved* entities; linkage is
+    # deterministic and cheap, so a resumed run replays it and skips the
+    # already-resolved prefix before the expensive resolve stage.
+    offset = 0
+    checkpoint = Checkpoint(args.checkpoint) if args.checkpoint else None
+    if checkpoint is not None and args.resume:
+        saved = checkpoint.load()
+        if saved is not None:
+            offset = saved["processed"]
+            print(f"resuming after {offset} already-resolved entities")
+            # A crash between checkpoint saves leaves the JSONL ahead of the
+            # checkpointed position (records flush per entity); trim it back
+            # so the resumed run appends without duplicating those entities.
+            if args.output:
+                _truncate_jsonl(args.output, offset)
+
+    def record(item) -> Dict:
+        key, result, _ = item
+        return {
+            "entity": key,
+            "valid": result.valid,
+            "complete": result.complete,
+            "rounds": result.interaction_rounds,
+            "resolved": {
+                attribute: (None if is_null(value) else value)
+                for attribute, value in result.resolved_tuple.items()
+            },
+        }
+
+    sinks = []
+    if args.output:
+        sinks.append(JsonlSink(args.output, encoder=record, append=args.resume and offset > 0))
+    if not args.quiet:
+
+        def summarize(item) -> None:
+            key, result, _ = item
+            deduced = len(result.true_values)
+            print(f"{key}: {deduced}/{len(schema)} true values deduced"
+                  + ("" if result.valid else " (specification INVALID)"))
+
+        sinks.append(FunctionSink(summarize, name="summary"))
+    if checkpoint is not None:
+        sinks.append(CheckpointSink(checkpoint, every=args.checkpoint_every, offset=offset))
+
+    options = _resolver_options(args)
+    with ResolutionEngine(options, workers=args.workers) as engine:
+        stages = [
+            LinkageStage(linker),
+            MapStage(keyed_specification),
+            SkipStage(offset),
+            ResolveStage(engine),
+        ]
+        report = Pipeline(stream_csv_rows(args.data, schema), stages, sinks).run()
+
+    print(
+        f"\nresolved {report.items} entities in {report.seconds:.2f}s "
+        f"({linker.statistics['rows']} rows, "
+        f"peak in-flight {int(engine.statistics.peak_inflight_entities)} entities)"
+    )
+    if args.output:
+        print(f"results: {args.output}" + (f" (+{offset} from previous run)" if offset else ""))
     return 0
 
 
@@ -174,9 +396,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if hasattr(args, "solver_backend"):
+        _validated_backend(parser.error, args.solver_backend)
     handlers = {
         "validate": _command_validate,
         "resolve": _command_resolve,
+        "pipeline": _command_pipeline,
         "discover": _command_discover,
     }
     return handlers[args.command](args)

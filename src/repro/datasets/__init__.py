@@ -6,25 +6,59 @@ utilities and the :class:`GeneratedDataset` container used by the evaluation
 harness.
 """
 
-from repro.datasets.base import GeneratedDataset, GeneratedEntity, sample_constraints
-from repro.datasets.career import CareerConfig, career_schema, generate_career_dataset
+from repro.datasets.base import (
+    DatasetStream,
+    GeneratedDataset,
+    GeneratedEntity,
+    build_specification,
+    sample_constraints,
+    shard_entities,
+)
+from repro.datasets.career import (
+    CareerConfig,
+    career_schema,
+    generate_career_dataset,
+    iter_career_entities,
+    stream_career_dataset,
+)
 from repro.datasets.corruption import CorruptionConfig, corrupt_history
-from repro.datasets.nba import NBAConfig, generate_nba_dataset, nba_schema
-from repro.datasets.person import PersonConfig, generate_person_dataset, person_schema
+from repro.datasets.nba import (
+    NBAConfig,
+    generate_nba_dataset,
+    iter_nba_entities,
+    nba_schema,
+    stream_nba_dataset,
+)
+from repro.datasets.person import (
+    PersonConfig,
+    generate_person_dataset,
+    iter_person_entities,
+    person_schema,
+    stream_person_dataset,
+)
 
 __all__ = [
     "CareerConfig",
     "CorruptionConfig",
+    "DatasetStream",
     "GeneratedDataset",
     "GeneratedEntity",
     "NBAConfig",
     "PersonConfig",
+    "build_specification",
     "career_schema",
     "corrupt_history",
     "generate_career_dataset",
     "generate_nba_dataset",
     "generate_person_dataset",
+    "iter_career_entities",
+    "iter_nba_entities",
+    "iter_person_entities",
     "nba_schema",
     "person_schema",
     "sample_constraints",
+    "shard_entities",
+    "stream_career_dataset",
+    "stream_nba_dataset",
+    "stream_person_dataset",
 ]

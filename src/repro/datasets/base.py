@@ -23,7 +23,14 @@ from repro.core.specification import Specification
 from repro.core.tuples import EntityTuple
 from repro.core.values import Value, is_null, values_equal
 
-__all__ = ["GeneratedEntity", "GeneratedDataset", "sample_constraints"]
+__all__ = [
+    "GeneratedEntity",
+    "GeneratedDataset",
+    "DatasetStream",
+    "build_specification",
+    "sample_constraints",
+    "shard_entities",
+]
 
 
 @dataclass
@@ -103,6 +110,107 @@ def sample_constraints(
     return [constraints[index] for index in chosen]
 
 
+def build_specification(
+    dataset_name: str,
+    schema: RelationSchema,
+    entity: GeneratedEntity,
+    currency_constraints: Sequence[CurrencyConstraint],
+    cfds: Sequence[ConstantCFD],
+    sigma_fraction: float = 1.0,
+    gamma_fraction: float = 1.0,
+    seed: int = 7,
+) -> Specification:
+    """Build one entity's specification with a fraction of Σ and Γ.
+
+    Shared by the batch :class:`GeneratedDataset` and the lazy
+    :class:`DatasetStream` so the two paths produce byte-identical
+    specifications (the constraint sample uses one seeded shuffle per entity,
+    sigma first, then gamma — the draw order is part of the contract).
+    """
+    rng = random.Random(seed)
+    sigma = sample_constraints(currency_constraints, sigma_fraction, rng)
+    gamma = sample_constraints(cfds, gamma_fraction, rng)
+    tuples = [EntityTuple(schema, row) for row in entity.rows]
+    instance = EntityInstance(schema, tuples)
+    return Specification(
+        TemporalInstance(instance), sigma, gamma, name=f"{dataset_name}:{entity.name}"
+    )
+
+
+def shard_entities(
+    entities: Iterable[GeneratedEntity],
+    shard: int = 0,
+    num_shards: int = 1,
+) -> Iterator[GeneratedEntity]:
+    """Keep every ``num_shards``-th entity, starting at *shard* (round robin).
+
+    The generators draw every entity from one sequential RNG, so a shard
+    cannot simply seed its own generator; instead each shard runs the same
+    deterministic stream and keeps its slice — generation is cheap relative to
+    resolution, and the union of all shards is exactly the unsharded stream.
+    """
+    if num_shards < 1:
+        raise DatasetError(f"num_shards must be positive, got {num_shards}")
+    if not 0 <= shard < num_shards:
+        raise DatasetError(f"shard must be in [0, {num_shards}), got {shard}")
+    for index, entity in enumerate(entities):
+        if index % num_shards == shard:
+            yield entity
+
+
+@dataclass
+class DatasetStream:
+    """A lazily generated dataset: a bounded-memory view of a generator.
+
+    The schema and the global constraint sets Σ and Γ are materialized (they
+    are small and shared by every entity); the entities themselves remain an
+    iterator, so a stream of a million entities occupies the memory of one.
+    A stream is single-use — iterate it once, or :meth:`materialize` it into a
+    :class:`GeneratedDataset` for the random-access batch APIs.
+    """
+
+    name: str
+    schema: RelationSchema
+    entities: Iterable[GeneratedEntity]
+    currency_constraints: List[CurrencyConstraint]
+    cfds: List[ConstantCFD]
+
+    def __iter__(self) -> Iterator[GeneratedEntity]:
+        return iter(self.entities)
+
+    def specifications(
+        self,
+        sigma_fraction: float = 1.0,
+        gamma_fraction: float = 1.0,
+        limit: Optional[int] = None,
+        seed: int = 7,
+    ) -> Iterator[Tuple[GeneratedEntity, Specification]]:
+        """Lazily yield (entity, specification) pairs — the pipeline source."""
+        for index, entity in enumerate(self.entities):
+            if limit is not None and index >= limit:
+                return
+            yield entity, build_specification(
+                self.name,
+                self.schema,
+                entity,
+                self.currency_constraints,
+                self.cfds,
+                sigma_fraction,
+                gamma_fraction,
+                seed,
+            )
+
+    def materialize(self) -> "GeneratedDataset":
+        """Exhaust the stream into a batch :class:`GeneratedDataset`."""
+        return GeneratedDataset(
+            name=self.name,
+            schema=self.schema,
+            entities=list(self.entities),
+            currency_constraints=self.currency_constraints,
+            cfds=self.cfds,
+        )
+
+
 @dataclass
 class GeneratedDataset:
     """A generated dataset: entities plus the global constraint sets."""
@@ -123,13 +231,15 @@ class GeneratedDataset:
         seed: int = 7,
     ) -> Specification:
         """Build the specification of *entity* with a fraction of Σ and Γ."""
-        rng = random.Random(seed)
-        sigma = sample_constraints(self.currency_constraints, sigma_fraction, rng)
-        gamma = sample_constraints(self.cfds, gamma_fraction, rng)
-        tuples = [EntityTuple(self.schema, row) for row in entity.rows]
-        instance = EntityInstance(self.schema, tuples)
-        return Specification(
-            TemporalInstance(instance), sigma, gamma, name=f"{self.name}:{entity.name}"
+        return build_specification(
+            self.name,
+            self.schema,
+            entity,
+            self.currency_constraints,
+            self.cfds,
+            sigma_fraction,
+            gamma_fraction,
+            seed,
         )
 
     def specifications(
@@ -144,6 +254,16 @@ class GeneratedDataset:
             if limit is not None and index >= limit:
                 return
             yield entity, self.specification_for(entity, sigma_fraction, gamma_fraction, seed)
+
+    def stream(self) -> DatasetStream:
+        """View this materialized dataset as a (replayable) stream."""
+        return DatasetStream(
+            name=self.name,
+            schema=self.schema,
+            entities=self.entities,
+            currency_constraints=self.currency_constraints,
+            cfds=self.cfds,
+        )
 
     # -- bookkeeping -----------------------------------------------------------
 

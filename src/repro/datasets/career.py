@@ -20,17 +20,23 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.cfd import ConstantCFD
 from repro.core.constraints import CurrencyConstraint
 from repro.core.errors import DatasetError
 from repro.core.schema import RelationSchema
 from repro.core.values import Value
-from repro.datasets.base import GeneratedDataset, GeneratedEntity
+from repro.datasets.base import DatasetStream, GeneratedDataset, GeneratedEntity, shard_entities
 from repro.datasets.corruption import CorruptionConfig, corrupt_history
 
-__all__ = ["CareerConfig", "career_schema", "generate_career_dataset"]
+__all__ = [
+    "CareerConfig",
+    "career_schema",
+    "generate_career_dataset",
+    "iter_career_entities",
+    "stream_career_dataset",
+]
 
 
 def career_schema() -> RelationSchema:
@@ -117,18 +123,23 @@ def _career_cfds(pool: Sequence[Dict[str, Value]]) -> List[ConstantCFD]:
     return cfds
 
 
-def generate_career_dataset(config: CareerConfig | None = None) -> GeneratedDataset:
-    """Generate the synthetic CAREER dataset."""
-    config = config or CareerConfig()
-    config.validate()
-    rng = random.Random(config.seed)
-    pool = _affiliation_pool(config)
-    cfds = _career_cfds(pool)
+def _iter_authors(
+    config: CareerConfig,
+    pool: Sequence[Dict[str, Value]],
+    rng: random.Random,
+    constraints: Optional[Dict[Tuple[str, str, str], CurrencyConstraint]],
+):
+    """Lazily generate one author entity at a time.
 
-    constraints: Dict[Tuple[str, str, str], CurrencyConstraint] = {}
+    When *constraints* is given, the citation-derived value transitions are
+    accumulated into it as a side effect; passing ``None`` skips the
+    bookkeeping (used by the streaming replay pass, whose constraints were
+    collected in a prior pass over the same seed).  The RNG draw order is
+    identical either way.
+    """
 
     def add_transition(attribute: str, older: Value, newer: Value) -> None:
-        if older == newer:
+        if constraints is None or older == newer:
             return
         key = (attribute, str(older), str(newer))
         if key in constraints:
@@ -137,7 +148,6 @@ def generate_career_dataset(config: CareerConfig | None = None) -> GeneratedData
             attribute, older, newer, name=f"cite:{attribute}:{older}->{newer}"
         )
 
-    entities: List[GeneratedEntity] = []
     for author_index in range(config.num_authors):
         first_name = f"Author{author_index:03d}"
         last_name = f"Surname{author_index:03d}"
@@ -188,19 +198,76 @@ def generate_career_dataset(config: CareerConfig | None = None) -> GeneratedData
 
         true_values = dict(history[-1])
         rows = corrupt_history(history, rng, config.corruption)
-        entities.append(
-            GeneratedEntity(
-                name=f"{first_name} {last_name}",
-                rows=rows,
-                true_values=true_values,
-                history=history,
-            )
+        yield GeneratedEntity(
+            name=f"{first_name} {last_name}",
+            rows=rows,
+            true_values=true_values,
+            history=history,
         )
 
+
+def _collect_constraints(
+    config: CareerConfig, pool: Sequence[Dict[str, Value]]
+) -> List[CurrencyConstraint]:
+    """Run the generator once, keeping only the citation constraints.
+
+    The CAREER constraint set Σ is *discovered* while entities are generated
+    (a citation across an affiliation change yields a transition), so a lazy
+    stream needs this bounded-memory pre-pass: entities are generated and
+    dropped, constraints are kept.  Generation is deterministic per seed, so
+    the replay pass yields exactly the entities this pass discarded.
+    """
+    constraints: Dict[Tuple[str, str, str], CurrencyConstraint] = {}
+    for _ in _iter_authors(config, pool, random.Random(config.seed), constraints):
+        pass
+    return list(constraints.values())
+
+
+def stream_career_dataset(
+    config: CareerConfig | None = None,
+    shard: int = 0,
+    num_shards: int = 1,
+) -> DatasetStream:
+    """Lazy CAREER dataset: constraint pre-pass, then entities on demand."""
+    config = config or CareerConfig()
+    config.validate()
+    pool = _affiliation_pool(config)
+    entities = _iter_authors(config, pool, random.Random(config.seed), None)
+    return DatasetStream(
+        name="CAREER",
+        schema=career_schema(),
+        entities=shard_entities(entities, shard, num_shards),
+        currency_constraints=_collect_constraints(config, pool),
+        cfds=_career_cfds(pool),
+    )
+
+
+def iter_career_entities(
+    config: CareerConfig | None = None,
+    shard: int = 0,
+    num_shards: int = 1,
+):
+    """Lazily yield the CAREER entities (see :func:`stream_career_dataset`)."""
+    config = config or CareerConfig()
+    config.validate()
+    return shard_entities(
+        _iter_authors(config, _affiliation_pool(config), random.Random(config.seed), None),
+        shard,
+        num_shards,
+    )
+
+
+def generate_career_dataset(config: CareerConfig | None = None) -> GeneratedDataset:
+    """Generate the synthetic CAREER dataset (single-pass batch form)."""
+    config = config or CareerConfig()
+    config.validate()
+    pool = _affiliation_pool(config)
+    constraints: Dict[Tuple[str, str, str], CurrencyConstraint] = {}
+    entities = list(_iter_authors(config, pool, random.Random(config.seed), constraints))
     return GeneratedDataset(
         name="CAREER",
         schema=career_schema(),
         entities=entities,
         currency_constraints=list(constraints.values()),
-        cfds=cfds,
+        cfds=_career_cfds(pool),
     )

@@ -34,10 +34,10 @@ from repro.core.constraints import (
 from repro.core.errors import DatasetError
 from repro.core.schema import RelationSchema
 from repro.core.values import Value
-from repro.datasets.base import GeneratedDataset, GeneratedEntity
+from repro.datasets.base import DatasetStream, GeneratedDataset, GeneratedEntity, shard_entities
 from repro.datasets.corruption import CorruptionConfig, corrupt_history
 
-__all__ = ["NBAConfig", "nba_schema", "generate_nba_dataset"]
+__all__ = ["NBAConfig", "nba_schema", "generate_nba_dataset", "iter_nba_entities", "stream_nba_dataset"]
 
 
 def nba_schema() -> RelationSchema:
@@ -268,16 +268,8 @@ def _player_history(
     return history
 
 
-def generate_nba_dataset(config: NBAConfig | None = None) -> GeneratedDataset:
-    """Generate the synthetic NBA dataset."""
-    config = config or NBAConfig()
-    config.validate()
-    rng = random.Random(config.seed)
-    teams = _build_teams(config, rng)
-    constraints = _nba_constraints(teams)
-    cfds = _nba_cfds(teams)
-
-    entities: List[GeneratedEntity] = []
+def _iter_players(config: NBAConfig, teams: Sequence[_Team], rng: random.Random):
+    """Lazily generate one player entity at a time from the shared RNG."""
     for player_index in range(config.num_players):
         pid = f"p{player_index:04d}"
         name = f"Player {player_index:04d}"
@@ -295,12 +287,44 @@ def generate_nba_dataset(config: NBAConfig | None = None) -> GeneratedDataset:
             protected_attributes=config.corruption.protected_attributes,
         )
         rows = corrupt_history(history, rng, corruption)
-        entities.append(GeneratedEntity(name=pid, rows=rows, true_values=true_values, history=history))
+        yield GeneratedEntity(name=pid, rows=rows, true_values=true_values, history=history)
 
-    return GeneratedDataset(
+
+def stream_nba_dataset(
+    config: NBAConfig | None = None,
+    shard: int = 0,
+    num_shards: int = 1,
+) -> DatasetStream:
+    """Lazy NBA dataset: constraints up front, entities generated on demand.
+
+    The entity stream never materializes more than the entity currently being
+    generated; ``shard``/``num_shards`` keep a deterministic round-robin slice
+    (the same seed always produces the same players in the same order, so
+    shard streams partition the batch dataset exactly).
+    """
+    config = config or NBAConfig()
+    config.validate()
+    rng = random.Random(config.seed)
+    teams = _build_teams(config, rng)
+    entities = _iter_players(config, teams, rng)
+    return DatasetStream(
         name="NBA",
         schema=nba_schema(),
-        entities=entities,
-        currency_constraints=constraints,
-        cfds=cfds,
+        entities=shard_entities(entities, shard, num_shards),
+        currency_constraints=_nba_constraints(teams),
+        cfds=_nba_cfds(teams),
     )
+
+
+def iter_nba_entities(
+    config: NBAConfig | None = None,
+    shard: int = 0,
+    num_shards: int = 1,
+):
+    """Lazily yield the NBA entities (see :func:`stream_nba_dataset`)."""
+    return iter(stream_nba_dataset(config, shard, num_shards))
+
+
+def generate_nba_dataset(config: NBAConfig | None = None) -> GeneratedDataset:
+    """Generate the synthetic NBA dataset (materialized batch form)."""
+    return stream_nba_dataset(config).materialize()

@@ -25,10 +25,16 @@ from repro.core.constraints import CurrencyConstraint
 from repro.core.errors import DatasetError
 from repro.core.schema import RelationSchema
 from repro.core.values import Value
-from repro.datasets.base import GeneratedDataset, GeneratedEntity
+from repro.datasets.base import DatasetStream, GeneratedDataset, GeneratedEntity, shard_entities
 from repro.datasets.corruption import CorruptionConfig, corrupt_history
 
-__all__ = ["PersonConfig", "person_schema", "generate_person_dataset"]
+__all__ = [
+    "PersonConfig",
+    "person_schema",
+    "generate_person_dataset",
+    "iter_person_entities",
+    "stream_person_dataset",
+]
 
 
 def person_schema() -> RelationSchema:
@@ -204,18 +210,14 @@ def _entity_history(
     return history
 
 
-def generate_person_dataset(config: PersonConfig | None = None) -> GeneratedDataset:
-    """Generate the synthetic Person dataset."""
-    config = config or PersonConfig()
-    config.validate()
-    rng = random.Random(config.seed)
-    statuses = _status_chain(config)
-    jobs = _job_chain(config)
-    cities = _cities(config, rng)
-    constraints = _person_constraints(config, statuses, jobs)
-    cfds = _person_cfds(cities)
-
-    entities: List[GeneratedEntity] = []
+def _iter_persons(
+    config: PersonConfig,
+    statuses: List[str],
+    jobs: List[str],
+    cities: List[Dict[str, Value]],
+    rng: random.Random,
+):
+    """Lazily generate one person entity at a time from the shared RNG."""
     for entity_index in range(config.num_entities):
         name = f"person_{entity_index:05d}"
         history = _entity_history(name, config, statuses, jobs, cities, rng)
@@ -232,12 +234,40 @@ def generate_person_dataset(config: PersonConfig | None = None) -> GeneratedData
             protected_attributes=config.corruption.protected_attributes,
         )
         rows = corrupt_history(history, rng, corruption)
-        entities.append(GeneratedEntity(name=name, rows=rows, true_values=true_values, history=history))
+        yield GeneratedEntity(name=name, rows=rows, true_values=true_values, history=history)
 
-    return GeneratedDataset(
+
+def stream_person_dataset(
+    config: PersonConfig | None = None,
+    shard: int = 0,
+    num_shards: int = 1,
+) -> DatasetStream:
+    """Lazy Person dataset: constraints up front, entities generated on demand."""
+    config = config or PersonConfig()
+    config.validate()
+    rng = random.Random(config.seed)
+    statuses = _status_chain(config)
+    jobs = _job_chain(config)
+    cities = _cities(config, rng)
+    entities = _iter_persons(config, statuses, jobs, cities, rng)
+    return DatasetStream(
         name="Person",
         schema=person_schema(),
-        entities=entities,
-        currency_constraints=constraints,
-        cfds=cfds,
+        entities=shard_entities(entities, shard, num_shards),
+        currency_constraints=_person_constraints(config, statuses, jobs),
+        cfds=_person_cfds(cities),
     )
+
+
+def iter_person_entities(
+    config: PersonConfig | None = None,
+    shard: int = 0,
+    num_shards: int = 1,
+):
+    """Lazily yield the Person entities (see :func:`stream_person_dataset`)."""
+    return iter(stream_person_dataset(config, shard, num_shards))
+
+
+def generate_person_dataset(config: PersonConfig | None = None) -> GeneratedDataset:
+    """Generate the synthetic Person dataset (materialized batch form)."""
+    return stream_person_dataset(config).materialize()

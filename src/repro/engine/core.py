@@ -59,6 +59,11 @@ class EngineStatistics:
     chunks: int = 0
     workers: int = 1
     parallel: bool = False
+    #: High-water mark of entities pulled from the task stream but not yet
+    #: yielded as results — the engine's actual working-set size.  Bounded by
+    #: ``chunk_size × max_inflight_chunks`` in parallel mode and by 1 in
+    #: sequential mode, which is what makes unbounded streams safe.
+    peak_inflight_entities: int = 0
     #: Summed compile-reuse counters of the program caches that served the run
     #: (per-chunk deltas from the workers, or the in-process cache delta).
     compile_reuse: Dict[str, int] = field(default_factory=dict)
@@ -75,6 +80,7 @@ class EngineStatistics:
             "chunks": float(self.chunks),
             "workers": float(self.workers),
             "parallel": 1.0 if self.parallel else 0.0,
+            "peak_inflight_entities": float(self.peak_inflight_entities),
         }
         for key, value in self.compile_reuse.items():
             flat[key] = float(value)
@@ -93,6 +99,11 @@ class ResolutionEngine:
         Number of worker processes; ``<= 1`` resolves in-process.
     chunk_size:
         Entities per pool task (default :data:`DEFAULT_CHUNK_SIZE`).
+    max_inflight_chunks:
+        Backpressure bound: chunks submitted but not yet drained (default
+        ``2 × workers``).  Together with *chunk_size* this caps the engine's
+        working set at ``chunk_size × max_inflight_chunks`` entities no matter
+        how long the task stream is.
 
     The engine is a context manager; the pool is created lazily on the first
     parallel call and reused until :meth:`close` (so several ``resolve_many``
@@ -105,12 +116,16 @@ class ResolutionEngine:
         *,
         workers: int = 1,
         chunk_size: Optional[int] = None,
+        max_inflight_chunks: Optional[int] = None,
     ) -> None:
         self.options = options or ResolverOptions()
         self.workers = max(1, int(workers))
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
         self.chunk_size = chunk_size or DEFAULT_CHUNK_SIZE
+        if max_inflight_chunks is not None and max_inflight_chunks < 1:
+            raise ValueError(f"max_inflight_chunks must be positive, got {max_inflight_chunks}")
+        self.max_inflight_chunks = max_inflight_chunks or 2 * self.workers
         self.statistics = EngineStatistics(workers=self.workers)
         self._pool: Optional[ProcessPoolExecutor] = None
         self._resolver: Optional[ConflictResolver] = None
@@ -183,6 +198,7 @@ class ResolutionEngine:
         before = resolver.program_cache.statistics()
         try:
             for spec, oracle in tasks:
+                statistics.peak_inflight_entities = max(statistics.peak_inflight_entities, 1)
                 result = resolver.resolve(spec, oracle)
                 statistics.entities += 1
                 yield result
@@ -208,20 +224,27 @@ class ResolutionEngine:
         pool = self._ensure_pool()
         statistics = self.statistics
         statistics.parallel = True
-        max_in_flight = 2 * self.workers
+        max_in_flight = self.max_inflight_chunks
         pending: deque[Future] = deque()
         chunks = self._chunks(tasks)
+        inflight_entities = 0
 
         def drain(future: Future) -> Iterator[ResolutionResult]:
+            nonlocal inflight_entities
             results, counter_delta = future.result()
             statistics.chunks += 1
             statistics.entities += len(results)
             statistics.merge_counters(counter_delta)
+            inflight_entities -= len(results)
             yield from results
 
         try:
             for chunk in chunks:
                 pending.append(pool.submit(resolve_chunk, chunk))
+                inflight_entities += len(chunk)
+                statistics.peak_inflight_entities = max(
+                    statistics.peak_inflight_entities, inflight_entities
+                )
                 if len(pending) >= max_in_flight:
                     yield from drain(pending.popleft())
             while pending:

@@ -3,6 +3,8 @@
 from repro.evaluation.experiment import (
     EntityOutcome,
     ExperimentResult,
+    MetricsSink,
+    ScoreStage,
     run_baseline_experiment,
     run_framework_experiment,
 )
@@ -15,7 +17,9 @@ __all__ = [
     "EntityOutcome",
     "ExperimentResult",
     "GroundTruthOracle",
+    "MetricsSink",
     "NoisyOracle",
+    "ScoreStage",
     "ReluctantOracle",
     "f_measure",
     "format_series",

@@ -2,9 +2,19 @@
 
 This is the harness behind every figure of the evaluation: it runs either the
 currency/consistency framework (with a simulated user) or one of the
-traditional baselines over all entities of a generated dataset, records
-accuracy, per-phase timings and the number of interaction rounds, and exposes
-the aggregates the benchmarks print.
+traditional baselines over all entities of a dataset, records accuracy,
+per-phase timings and the number of interaction rounds, and exposes the
+aggregates the benchmarks print.
+
+Both runners are thin compositions over the streaming pipeline layer
+(:mod:`repro.pipeline`): a lazy ``(entity, specification)`` source, a
+resolution stage backed by the :class:`~repro.engine.ResolutionEngine` (whose
+bounded in-flight window provides backpressure), a scoring stage, and a
+metrics sink that *folds* outcomes as they arrive.  The same code path serves
+materialized :class:`~repro.datasets.GeneratedDataset` objects and lazy
+:class:`~repro.datasets.DatasetStream` sources, sequentially or over a worker
+pool — with ``keep_outcomes=False`` an arbitrarily long stream is scored in
+constant memory.
 """
 
 from __future__ import annotations
@@ -12,14 +22,17 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.errors import ReproError
+from repro.core.schema import RelationSchema
 from repro.core.values import Value, values_equal
-from repro.datasets.base import GeneratedDataset, GeneratedEntity
+from repro.datasets.base import DatasetStream, GeneratedDataset, GeneratedEntity
 from repro.engine import ResolutionEngine
-from repro.evaluation.interaction import GroundTruthOracle, ReluctantOracle
+from repro.evaluation.interaction import ReluctantOracle
 from repro.evaluation.metrics import AccuracyCounts, score_entity
+from repro.pipeline.core import ParallelMapStage, Pipeline, Sink, Stage
+from repro.pipeline.stages import ResolveStage
 from repro.resolution.baselines import (
     any_resolution,
     max_resolution,
@@ -27,9 +40,16 @@ from repro.resolution.baselines import (
     pick_resolution,
     vote_resolution,
 )
-from repro.resolution.framework import ConflictResolver, ResolutionResult, ResolverOptions
+from repro.resolution.framework import ResolutionResult, ResolverOptions
 
-__all__ = ["EntityOutcome", "ExperimentResult", "run_framework_experiment", "run_baseline_experiment"]
+__all__ = [
+    "EntityOutcome",
+    "ExperimentResult",
+    "MetricsSink",
+    "ScoreStage",
+    "run_framework_experiment",
+    "run_baseline_experiment",
+]
 
 
 @dataclass
@@ -66,6 +86,9 @@ _REUSE_KEYS = (
     "session_learned_reused",
 )
 
+#: Phases folded into the aggregate per-phase totals.
+_PHASES = ("validity", "deduce", "suggest", "total")
+
 
 def _reuse_from_resolution(resolution: ResolutionResult) -> Dict[str, int]:
     """Extract the incremental-reuse counters from a resolution's last round."""
@@ -77,47 +100,106 @@ def _reuse_from_resolution(resolution: ResolutionResult) -> Dict[str, int]:
 
 @dataclass
 class ExperimentResult:
-    """Aggregated outcome of an experiment over a dataset."""
+    """Aggregated outcome of an experiment over a dataset.
+
+    Outcomes are *folded* into running aggregates as they are added
+    (:meth:`add_outcome`), so every aggregate below is available even when the
+    per-entity outcomes themselves are discarded (``keep_outcomes=False``, the
+    bounded-memory mode for long streams).  The folded state round-trips
+    through :meth:`state_dict`/:meth:`load_state_dict`, which is what the
+    pipeline checkpoint persists.
+    """
 
     label: str
     outcomes: List[EntityOutcome] = field(default_factory=list)
-    #: Wall-clock seconds of the whole run (resolution loop, not scoring).
+    #: Wall-clock seconds of the whole pipeline run.  Since the streaming
+    #: refactor this spans the full overlapped composition — lazy
+    #: specification building, resolution, and scoring — because those phases
+    #: no longer happen in separate passes; earlier recorded results timed
+    #: the resolution loop alone, so compare across that boundary with care.
     wall_seconds: float = 0.0
     #: Engine/compile-reuse counters (workers, chunks, program cache hits).
     engine: Dict[str, float] = field(default_factory=dict)
+    #: Whether :meth:`add_outcome` retains the per-entity outcomes.
+    keep_outcomes: bool = True
+    #: Entities folded in so far (== ``len(outcomes)`` when they are kept).
+    entities: int = 0
+
+    # -- folded aggregates (maintained by add_outcome) -------------------------
+    _counts: AccuracyCounts = field(default_factory=AccuracyCounts, repr=False)
+    _phase_seconds: Dict[str, float] = field(
+        default_factory=lambda: {phase: 0.0 for phase in _PHASES}, repr=False
+    )
+    _max_rounds: int = field(default=0, repr=False)
+    _reuse_totals: Dict[str, int] = field(default_factory=dict, repr=False)
+    #: ``_round_exact[k]`` sums ``series[k]`` over outcomes whose round series
+    #: is longer than *k*; ``_round_tails[j]`` sums the final series value over
+    #: outcomes whose series has exactly *j* entries.  Together they answer
+    #: "how many true values were known after round r" for any r without
+    #: keeping the per-entity series around.
+    _round_exact: List[int] = field(default_factory=list, repr=False)
+    _round_tails: List[int] = field(default_factory=list, repr=False)
+
+    # -- folding ---------------------------------------------------------------
+
+    def add_outcome(self, outcome: EntityOutcome) -> None:
+        """Fold one entity's outcome into the aggregates."""
+        self.entities += 1
+        self._counts = self._counts.merge(outcome.counts)
+        for phase in _PHASES:
+            self._phase_seconds[phase] += outcome.seconds.get(phase, 0.0)
+        self._max_rounds = max(self._max_rounds, outcome.rounds_used)
+        for key, value in outcome.reuse.items():
+            self._reuse_totals[key] = self._reuse_totals.get(key, 0) + value
+        series = outcome.correct_by_round or [outcome.counts.correct]
+        while len(self._round_exact) < len(series):
+            self._round_exact.append(0)
+        while len(self._round_tails) <= len(series):
+            self._round_tails.append(0)
+        for index, value in enumerate(series):
+            self._round_exact[index] += value
+        self._round_tails[len(series)] += series[-1]
+        if self.keep_outcomes:
+            self.outcomes.append(outcome)
 
     # -- aggregation -----------------------------------------------------------
 
     def counts(self) -> AccuracyCounts:
         """Aggregate accuracy counts over all entities."""
-        total = AccuracyCounts()
-        for outcome in self.outcomes:
-            total = total.merge(outcome.counts)
-        return total
+        return AccuracyCounts(
+            deduced=self._counts.deduced,
+            correct=self._counts.correct,
+            conflicting=self._counts.conflicting,
+        )
 
     @property
     def precision(self) -> float:
         """Aggregate precision."""
-        return self.counts().precision
+        return self._counts.precision
 
     @property
     def recall(self) -> float:
         """Aggregate recall."""
-        return self.counts().recall
+        return self._counts.recall
 
     @property
     def f_measure(self) -> float:
         """Aggregate F-measure."""
-        return self.counts().f_measure
+        return self._counts.f_measure
 
     def mean_seconds(self, phase: str) -> float:
         """Mean per-entity wall-clock time of a phase ("validity", "deduce", "suggest", "total")."""
-        values = [outcome.seconds.get(phase, 0.0) for outcome in self.outcomes]
-        return sum(values) / len(values) if values else 0.0
+        if self.entities == 0:
+            return 0.0
+        return self._phase_seconds.get(phase, 0.0) / self.entities
+
+    def total_seconds(self, phase: str) -> float:
+        """Summed per-entity time of a phase over the whole run."""
+        return self._phase_seconds.get(phase, 0.0)
 
     def max_rounds_used(self) -> int:
         """Largest number of interaction rounds any entity needed."""
-        return max((outcome.rounds_used for outcome in self.outcomes), default=0)
+        return self._max_rounds
 
     def reuse_summary(self) -> Dict[str, int]:
         """Aggregate incremental-reuse counters over all entities.
@@ -126,46 +208,84 @@ class ExperimentResult:
         statistics); the benchmark harness serialises this into its JSON
         reports so the perf trajectory captures the solver-reuse win.
         """
-        totals: Dict[str, int] = {}
-        for outcome in self.outcomes:
-            for key, value in outcome.reuse.items():
-                totals[key] = totals.get(key, 0) + value
-        return totals
+        return dict(self._reuse_totals)
 
     def true_value_fraction_by_round(self, num_rounds: int) -> List[float]:
         """Fraction of (conflicting) true values identified after 0..num_rounds rounds."""
-        totals = [0] * (num_rounds + 1)
-        denominator = 0
-        for outcome in self.outcomes:
-            denominator += outcome.counts.conflicting
-            series = outcome.correct_by_round or [outcome.counts.correct]
-            for round_index in range(num_rounds + 1):
-                position = min(round_index, len(series) - 1)
-                totals[round_index] += series[position]
+        denominator = self._counts.conflicting
         if denominator == 0:
             return [1.0] * (num_rounds + 1)
-        return [total / denominator for total in totals]
+        fractions: List[float] = []
+        tail_total = 0
+        for round_index in range(num_rounds + 1):
+            if round_index < len(self._round_tails):
+                tail_total += self._round_tails[round_index]
+            exact = self._round_exact[round_index] if round_index < len(self._round_exact) else 0
+            fractions.append((exact + tail_total) / denominator)
+        return fractions
 
     def summary(self) -> Dict[str, float]:
         """Compact summary dictionary used by the benchmark reports."""
-        counts = self.counts()
         return {
-            "entities": float(len(self.outcomes)),
-            "precision": counts.precision,
-            "recall": counts.recall,
-            "f_measure": counts.f_measure,
+            "entities": float(self.entities),
+            "precision": self.precision,
+            "recall": self.recall,
+            "f_measure": self.f_measure,
             "mean_total_seconds": self.mean_seconds("total"),
             "max_rounds": float(self.max_rounds_used()),
         }
 
+    # -- checkpoint state ------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-serializable folded state (per-entity outcomes excluded)."""
+        return {
+            "label": self.label,
+            "entities": self.entities,
+            "counts": {
+                "deduced": self._counts.deduced,
+                "correct": self._counts.correct,
+                "conflicting": self._counts.conflicting,
+            },
+            "phase_seconds": dict(self._phase_seconds),
+            "max_rounds": self._max_rounds,
+            "reuse_totals": dict(self._reuse_totals),
+            "round_exact": list(self._round_exact),
+            "round_tails": list(self._round_tails),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore folded aggregates saved by :meth:`state_dict`.
+
+        Restores *aggregates only* — the per-entity outcome list of the
+        interrupted run is gone, so a resumed result should run with
+        ``keep_outcomes=False`` (or accept that ``outcomes`` covers only the
+        entities processed after the resume).
+        """
+        counts = state["counts"]
+        self.entities = int(state["entities"])
+        self._counts = AccuracyCounts(
+            deduced=int(counts["deduced"]),
+            correct=int(counts["correct"]),
+            conflicting=int(counts["conflicting"]),
+        )
+        self._phase_seconds = {phase: 0.0 for phase in _PHASES}
+        self._phase_seconds.update(
+            {key: float(value) for key, value in state["phase_seconds"].items()}
+        )
+        self._max_rounds = int(state["max_rounds"])
+        self._reuse_totals = {key: int(value) for key, value in state["reuse_totals"].items()}
+        self._round_exact = [int(value) for value in state["round_exact"]]
+        self._round_tails = [int(value) for value in state["round_tails"]]
+
 
 def _correct_known(
     entity: GeneratedEntity,
-    dataset: GeneratedDataset,
+    schema: RelationSchema,
     known_attributes: Sequence[str],
     resolved: Dict[str, Value],
 ) -> int:
-    conflicting = set(entity.conflicting_attributes(dataset.schema))
+    conflicting = set(entity.conflicting_attributes(schema))
     correct = 0
     for attribute in known_attributes:
         if attribute not in conflicting:
@@ -177,26 +297,30 @@ def _correct_known(
 
 def _entity_outcome(
     entity: GeneratedEntity,
-    dataset: GeneratedDataset,
+    schema: RelationSchema,
     resolution: ResolutionResult,
-    elapsed: float,
+    elapsed: Optional[float],
 ) -> EntityOutcome:
     """Score one resolution against the ground truth.
 
     Only *deduced* values enter precision/recall; values the simulated user
-    validated are excluded, exactly as in the paper's metric.
+    validated are excluded, exactly as in the paper's metric.  *elapsed* is
+    the measured per-entity wall-clock, or ``None`` under concurrency, where
+    the sum of the resolution phases stands in for it.
     """
     counts = score_entity(
         entity,
-        dataset.schema,
+        schema,
         resolution.resolved_tuple,
         claimed_attributes=resolution.deduced_attributes,
     )
     correct_by_round: List[int] = []
     for round_report in resolution.rounds:
         known = round_report.deduced_attributes
-        correct_by_round.append(_correct_known(entity, dataset, known, resolution.resolved_tuple))
+        correct_by_round.append(_correct_known(entity, schema, known, resolution.resolved_tuple))
     seconds = resolution.total_seconds()
+    if elapsed is None:
+        elapsed = seconds["validity"] + seconds["deduce"] + seconds["suggest"]
     seconds["total"] = elapsed
     return EntityOutcome(
         entity_name=entity.name,
@@ -211,8 +335,42 @@ def _entity_outcome(
     )
 
 
+class ScoreStage(Stage):
+    """Pipeline stage scoring ``(entity, resolution, seconds)`` triples.
+
+    The streaming counterpart of the legacy post-hoc scoring loop: each
+    resolution is scored against its entity's ground truth the moment it
+    falls out of the resolve stage.
+    """
+
+    def __init__(self, schema: RelationSchema, name: str = "score") -> None:
+        self.schema = schema
+        self.name = name
+
+    def process(self, stream: Iterator[Any]) -> Iterator[EntityOutcome]:
+        """Yield one :class:`EntityOutcome` per resolved entity."""
+        for entity, resolution, elapsed in stream:
+            yield _entity_outcome(entity, self.schema, resolution, elapsed)
+
+
+class MetricsSink(Sink):
+    """Fold :class:`EntityOutcome` items into an :class:`ExperimentResult`."""
+
+    def __init__(self, result: ExperimentResult, name: str = "metrics") -> None:
+        self.result = result
+        self.name = name
+
+    def consume(self, item: EntityOutcome) -> None:
+        """Fold one outcome."""
+        self.result.add_outcome(item)
+
+    def close(self) -> ExperimentResult:
+        """Return the aggregated result."""
+        return self.result
+
+
 def run_framework_experiment(
-    dataset: GeneratedDataset,
+    dataset: GeneratedDataset | DatasetStream,
     sigma_fraction: float = 1.0,
     gamma_fraction: float = 1.0,
     max_interaction_rounds: int = 5,
@@ -224,13 +382,20 @@ def run_framework_experiment(
     compiled: bool = True,
     workers: int = 1,
     chunk_size: Optional[int] = None,
+    max_inflight_chunks: Optional[int] = None,
+    keep_outcomes: bool = True,
+    extra_sinks: Sequence[Sink] = (),
 ) -> ExperimentResult:
     """Resolve every entity with the currency/consistency framework.
 
     Parameters
     ----------
     dataset:
-        The generated dataset (entities + constraints + ground truth).
+        The dataset (entities + constraints + ground truth) — either a
+        materialized :class:`GeneratedDataset` or a lazy
+        :class:`DatasetStream`; with a stream, generation, resolution and
+        scoring overlap and only the engine's bounded in-flight window of
+        entities is ever alive.
     sigma_fraction / gamma_fraction:
         Fraction of the currency constraints / CFDs made available.
     max_interaction_rounds:
@@ -260,8 +425,15 @@ def run_framework_experiment(
         instead of measuring per-entity wall-clock, which has no meaning
         under concurrency — the run's wall-clock lands in
         :attr:`ExperimentResult.wall_seconds`).
-    chunk_size:
-        Entities per pool task (``workers > 1`` only).
+    chunk_size / max_inflight_chunks:
+        Engine dispatch granularity and backpressure bound (``workers > 1``).
+    keep_outcomes:
+        Retain the per-entity :class:`EntityOutcome` list (the default).
+        ``False`` folds outcomes into the aggregates and drops them — the
+        constant-memory mode for unbounded streams.
+    extra_sinks:
+        Additional pipeline sinks fed with every scored outcome (progress,
+        JSONL writers, checkpoints, …).
     """
     if resolver_options is None:
         resolver_options = ResolverOptions(
@@ -272,54 +444,37 @@ def run_framework_experiment(
         )
     result = ExperimentResult(
         label=label
-        or f"{dataset.name}[Σ={sigma_fraction:.0%},Γ={gamma_fraction:.0%},rounds≤{max_interaction_rounds}]"
+        or f"{dataset.name}[Σ={sigma_fraction:.0%},Γ={gamma_fraction:.0%},rounds≤{max_interaction_rounds}]",
+        keep_outcomes=keep_outcomes,
     )
 
-    def oracle_for(entity: GeneratedEntity):
+    def oracle_for(entity: GeneratedEntity, _spec) -> object:
         if oracle_factory is not None:
             return oracle_factory(entity)
         return ReluctantOracle(entity, max_rounds=max_interaction_rounds)
 
     pairs = dataset.specifications(sigma_fraction, gamma_fraction, limit=limit)
-    if workers > 1:
-        entities: List[GeneratedEntity] = []
-        tasks = []
-        for entity, spec in pairs:
-            entities.append(entity)
-            tasks.append((spec, oracle_for(entity)))
-        with ResolutionEngine(resolver_options, workers=workers, chunk_size=chunk_size) as engine:
-            # Pool startup is paid once per engine, not per workload; keep it
-            # out of the timed region (as engine_overall_comparison does) and
-            # record it separately so wall_seconds measures steady state.
-            warmup = engine.warm_up()
-            start = time.perf_counter()
-            resolutions = engine.resolve_many(tasks)
-            result.wall_seconds = time.perf_counter() - start
-            result.engine = engine.statistics.as_dict()
-            result.engine["pool_warmup_seconds"] = warmup
-        for entity, resolution in zip(entities, resolutions):
-            phases = resolution.total_seconds()
-            elapsed = phases["validity"] + phases["deduce"] + phases["suggest"]
-            result.outcomes.append(_entity_outcome(entity, dataset, resolution, elapsed))
-        return result
-
-    resolver = ConflictResolver(resolver_options)
-    run_start = time.perf_counter()
-    for entity, spec in pairs:
-        oracle = oracle_for(entity)
+    with ResolutionEngine(
+        resolver_options,
+        workers=workers,
+        chunk_size=chunk_size,
+        max_inflight_chunks=max_inflight_chunks,
+    ) as engine:
+        # Pool startup is paid once per engine, not per workload; keep it out
+        # of the timed region (as engine_overall_comparison does) and record
+        # it separately so wall_seconds measures steady state.
+        warmup = engine.warm_up()
+        pipeline = Pipeline(
+            pairs,
+            [ResolveStage(engine, oracle_for), ScoreStage(dataset.schema)],
+            [MetricsSink(result), *extra_sinks],
+        )
         start = time.perf_counter()
-        resolution = resolver.resolve(spec, oracle)
-        elapsed = time.perf_counter() - start
-        result.outcomes.append(_entity_outcome(entity, dataset, resolution, elapsed))
-    result.wall_seconds = time.perf_counter() - run_start
-    engine_stats: Dict[str, float] = {
-        "entities": float(len(result.outcomes)),
-        "workers": 1.0,
-        "parallel": 0.0,
-    }
-    for key, value in resolver.program_cache.statistics().items():
-        engine_stats[key] = float(value)
-    result.engine = engine_stats
+        pipeline.run()
+        result.wall_seconds = time.perf_counter() - start
+        result.engine = engine.statistics.as_dict()
+        if workers > 1:
+            result.engine["pool_warmup_seconds"] = warmup
     return result
 
 
@@ -360,7 +515,7 @@ def _baseline_entity_outcome(task: Tuple) -> EntityOutcome:
 
 
 def run_baseline_experiment(
-    dataset: GeneratedDataset,
+    dataset: GeneratedDataset | DatasetStream,
     method: str = "pick",
     sigma_fraction: float = 1.0,
     gamma_fraction: float = 1.0,
@@ -368,31 +523,32 @@ def run_baseline_experiment(
     seed: int = 0,
     repetitions: int = 3,
     workers: int = 1,
+    keep_outcomes: bool = True,
+    extra_sinks: Sequence[Sink] = (),
 ) -> ExperimentResult:
     """Resolve every entity with a traditional fusion baseline.
 
     Randomised baselines (``pick``, ``any``) are averaged over *repetitions*
     random seeds, mirroring the paper's repeated runs.  ``workers > 1``
     spreads the entities over a process pool (the seeded randomisation makes
-    the outcome independent of scheduling).
+    the outcome independent of scheduling).  Like the framework runner, this
+    is a pipeline composition over a lazy specification source.
     """
     if method not in _BASELINES:
         raise ReproError(f"unknown baseline {method!r}; choose from {sorted(_BASELINES)}")
-    result = ExperimentResult(label=f"{dataset.name}[{method}]")
+    result = ExperimentResult(label=f"{dataset.name}[{method}]", keep_outcomes=keep_outcomes)
     runs = repetitions if method in ("pick", "any") else 1
-    tasks = [
+    tasks = (
         (method, entity, spec, seed, runs)
         for entity, spec in dataset.specifications(sigma_fraction, gamma_fraction, limit=limit)
-    ]
+    )
+    stage = ParallelMapStage(_baseline_entity_outcome, workers=workers, chunk_size=4)
     start = time.perf_counter()
-    if workers > 1:
-        from concurrent.futures import ProcessPoolExecutor
-
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            result.outcomes.extend(pool.map(_baseline_entity_outcome, tasks, chunksize=4))
-        result.engine = {"entities": float(len(tasks)), "workers": float(workers), "parallel": 1.0}
-    else:
-        result.outcomes.extend(_baseline_entity_outcome(task) for task in tasks)
-        result.engine = {"entities": float(len(tasks)), "workers": 1.0, "parallel": 0.0}
+    Pipeline(tasks, [stage], [MetricsSink(result), *extra_sinks]).run()
     result.wall_seconds = time.perf_counter() - start
+    result.engine = {
+        "entities": float(result.entities),
+        "workers": float(max(1, workers)),
+        "parallel": 1.0 if workers > 1 else 0.0,
+    }
     return result

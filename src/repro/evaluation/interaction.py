@@ -81,10 +81,18 @@ class NoisyOracle:
     robustness tests.
     """
 
-    def __init__(self, entity: GeneratedEntity, error_rate: float = 0.1, seed: int = 0) -> None:
+    def __init__(
+        self,
+        entity: GeneratedEntity,
+        error_rate: float = 0.1,
+        seed: int = 0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
         self._entity = entity
         self._error_rate = error_rate
-        self._rng = random.Random(seed)
+        #: Injectable randomness: pass an explicit ``rng`` to control the
+        #: error draws end-to-end; the seeded default keeps replays identical.
+        self._rng = rng or random.Random(seed)
 
     def answer(self, suggestion: Suggestion, spec: Specification) -> Mapping[str, Value]:
         """Return mostly-true values, with occasional mistakes."""

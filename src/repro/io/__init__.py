@@ -1,13 +1,21 @@
 """File I/O: CSV entity data and plain-text constraint files."""
 
 from repro.io.constraints_io import dump_constraints, load_constraint_file, parse_constraint_text
-from repro.io.csv_io import parse_cell, read_entity_rows, write_resolved_tuples
+from repro.io.csv_io import (
+    parse_cell,
+    read_csv_header,
+    read_entity_rows,
+    stream_csv_rows,
+    write_resolved_tuples,
+)
 
 __all__ = [
     "dump_constraints",
     "load_constraint_file",
     "parse_cell",
     "parse_constraint_text",
+    "read_csv_header",
     "read_entity_rows",
+    "stream_csv_rows",
     "write_resolved_tuples",
 ]

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
 
 from repro.core.errors import DatasetError
 from repro.core.instance import EntityInstance
@@ -20,7 +20,47 @@ from repro.core.schema import RelationSchema
 from repro.core.tuples import EntityTuple
 from repro.core.values import Value, is_null
 
-__all__ = ["parse_cell", "read_entity_rows", "write_resolved_tuples"]
+__all__ = ["parse_cell", "read_csv_header", "read_entity_rows", "stream_csv_rows", "write_resolved_tuples"]
+
+
+def read_csv_header(path: str | Path, schema_name: str = "relation") -> RelationSchema:
+    """Read only the header row of a CSV file and build its schema."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            fieldnames = [name.strip() for name in next(reader)]
+        except StopIteration:
+            raise DatasetError(f"{path}: missing CSV header") from None
+    return RelationSchema(schema_name, fieldnames)
+
+
+def stream_csv_rows(path: str | Path, schema: RelationSchema) -> Iterator[Dict[str, Value]]:
+    """Lazily yield one parsed row dictionary per CSV data line.
+
+    The streaming sibling of :func:`read_entity_rows`: rows are parsed with
+    the same cell semantics but never grouped or materialized, so a pipeline
+    can link and resolve a file far larger than memory.  Use
+    :func:`read_csv_header` first to obtain the schema.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise DatasetError(f"{path}: missing CSV header")
+        # DictReader keys rows by the *unstripped* header names; map the
+        # schema's stripped names back so padded headers still resolve.
+        columns = {name.strip(): name for name in reader.fieldnames}
+        missing = [name for name in schema.attribute_names if name not in columns]
+        if missing:
+            raise DatasetError(
+                f"{path}: columns {missing} not found in header {sorted(columns)}"
+            )
+        for raw_row in reader:
+            yield {
+                name: parse_cell(raw_row.get(columns[name], "") or "")
+                for name in schema.attribute_names
+            }
 
 
 def parse_cell(text: str) -> Value:
@@ -68,10 +108,13 @@ def read_entity_rows(
         fieldnames = [name.strip() for name in reader.fieldnames]
         if entity_key not in fieldnames:
             raise DatasetError(f"{path}: entity key column {entity_key!r} not found in header {fieldnames}")
+        # DictReader keys rows by the unstripped header names; map the
+        # stripped names back so padded headers still resolve.
+        columns = {name.strip(): name for name in reader.fieldnames}
         schema = RelationSchema(schema_name, fieldnames)
         grouped: Dict[str, List[Dict[str, Value]]] = {}
         for raw_row in reader:
-            row = {name: parse_cell(raw_row.get(name, "") or "") for name in fieldnames}
+            row = {name: parse_cell(raw_row.get(columns[name], "") or "") for name in fieldnames}
             key_value = row[entity_key]
             if is_null(key_value):
                 raise DatasetError(f"{path}: a row has an empty entity key {entity_key!r}")

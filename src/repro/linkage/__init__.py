@@ -11,6 +11,7 @@ from repro.linkage.blocking import (
     prefix_blocking,
 )
 from repro.linkage.matcher import MatcherConfig, RecordMatcher, link_rows
+from repro.linkage.streaming import StreamingLinker, stream_link_rows
 from repro.linkage.similarity import (
     jaccard_similarity,
     jaro_similarity,
@@ -23,6 +24,7 @@ from repro.linkage.similarity import (
 __all__ = [
     "MatcherConfig",
     "RecordMatcher",
+    "StreamingLinker",
     "attribute_blocking",
     "build_blocks",
     "candidate_pairs",
@@ -33,5 +35,6 @@ __all__ = [
     "levenshtein_similarity",
     "link_rows",
     "prefix_blocking",
+    "stream_link_rows",
     "value_similarity",
 ]

@@ -1,0 +1,137 @@
+"""Streaming record linkage: raw rows in, entity instances out, bounded memory.
+
+The batch matcher (:mod:`repro.linkage.matcher`) needs every row in memory to
+build its candidate pairs.  :class:`StreamingLinker` instead consumes rows one
+at a time, groups them into *blocking buckets*, and flushes each bucket
+through the pairwise matcher as soon as it can no longer grow:
+
+* with ``max_open_blocks`` set, the linker keeps at most that many buckets
+  open; when the bound is exceeded the least-recently-touched bucket is
+  matched and its entity instances are emitted immediately — this caps memory
+  at ``max_open_blocks × bucket size`` rows and suits streams with temporal
+  locality (rows of the same entity arrive near each other);
+* without the bound, buckets are only flushed at end of stream, which is
+  exactly the batch semantics (one bucket per blocking key) while still
+  emitting instances bucket-by-bucket instead of all at once.
+
+Matching happens *within* a bucket: two rows can only be linked when they
+share a blocking key — the same restriction single-scheme batch blocking
+imposes — so for a single blocking key the streaming partition is identical to
+:func:`repro.linkage.matcher.link_rows` (equivalence-tested).  Rows whose
+blocking key is ``None`` can never pair and are emitted as singleton
+instances right away.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Sequence
+
+from repro.core.instance import EntityInstance
+from repro.core.schema import RelationSchema
+from repro.core.tuples import EntityTuple
+from repro.linkage.blocking import BlockingKey, attribute_blocking
+from repro.linkage.matcher import MatcherConfig, RecordMatcher
+
+__all__ = ["StreamingLinker", "stream_link_rows"]
+
+
+def _bucket_key(_: EntityTuple) -> Hashable:
+    """Constant blocking key: every row of a flushed bucket is a candidate pair."""
+    return 0
+
+
+class StreamingLinker:
+    """Incremental blocking + matching over a row stream.
+
+    Parameters
+    ----------
+    schema:
+        Relation schema of the incoming rows.
+    blocking_key:
+        Maps a tuple to its bucket (``None`` = unmatchable singleton).
+    matcher:
+        Pairwise matcher applied within each flushed bucket.
+    max_open_blocks:
+        Upper bound on simultaneously open buckets (``None`` = unbounded,
+        i.e. flush only at end of stream).
+
+    Use :meth:`add` per row and :meth:`flush` once at end of stream; both
+    return iterators of completed :class:`EntityInstance` objects.
+    """
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        blocking_key: BlockingKey,
+        matcher: Optional[RecordMatcher] = None,
+        max_open_blocks: Optional[int] = None,
+    ) -> None:
+        if max_open_blocks is not None and max_open_blocks < 1:
+            raise ValueError(f"max_open_blocks must be positive, got {max_open_blocks}")
+        self.schema = schema
+        self.blocking_key = blocking_key
+        self.matcher = matcher or RecordMatcher()
+        self.max_open_blocks = max_open_blocks
+        self._blocks: "OrderedDict[Hashable, List[EntityTuple]]" = OrderedDict()
+        #: Counters: rows seen, buckets flushed early, peak open buckets.
+        self.statistics: Dict[str, int] = {
+            "rows": 0,
+            "blocks_flushed_early": 0,
+            "peak_open_blocks": 0,
+        }
+
+    def add(self, row: Mapping) -> Iterator[EntityInstance]:
+        """Ingest one raw row; yield any instances completed by eviction."""
+        item = row if isinstance(row, EntityTuple) else EntityTuple(self.schema, row)
+        self.statistics["rows"] += 1
+        key = self.blocking_key(item)
+        if key is None:
+            yield EntityInstance(self.schema, [item.with_tid("t0")])
+            return
+        bucket = self._blocks.get(key)
+        if bucket is None:
+            bucket = self._blocks[key] = []
+        else:
+            self._blocks.move_to_end(key)
+        bucket.append(item)
+        while self.max_open_blocks is not None and len(self._blocks) > self.max_open_blocks:
+            _, evicted = self._blocks.popitem(last=False)
+            self.statistics["blocks_flushed_early"] += 1
+            yield from self._match_bucket(evicted)
+        self.statistics["peak_open_blocks"] = max(
+            self.statistics["peak_open_blocks"], len(self._blocks)
+        )
+
+    def flush(self) -> Iterator[EntityInstance]:
+        """Match and emit every still-open bucket (end of stream)."""
+        while self._blocks:
+            _, bucket = self._blocks.popitem(last=False)
+            yield from self._match_bucket(bucket)
+
+    def _match_bucket(self, bucket: List[EntityTuple]) -> Iterator[EntityInstance]:
+        yield from self.matcher.match(bucket, [_bucket_key])
+
+    def link_stream(self, rows: Iterable[Mapping]) -> Iterator[EntityInstance]:
+        """Convenience driver: instances for a whole row stream."""
+        for row in rows:
+            yield from self.add(row)
+        yield from self.flush()
+
+
+def stream_link_rows(
+    schema: RelationSchema,
+    rows: Iterable[Mapping],
+    blocking_attributes: Sequence[str],
+    attribute_weights: Optional[Dict[str, float]] = None,
+    threshold: float = 0.85,
+    max_open_blocks: Optional[int] = None,
+) -> Iterator[EntityInstance]:
+    """Streaming counterpart of :func:`repro.linkage.matcher.link_rows`."""
+    linker = StreamingLinker(
+        schema,
+        attribute_blocking(blocking_attributes),
+        RecordMatcher(MatcherConfig(attribute_weights or {}, threshold)),
+        max_open_blocks=max_open_blocks,
+    )
+    return linker.link_stream(rows)

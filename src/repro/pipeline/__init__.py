@@ -1,0 +1,49 @@
+"""Composable streaming pipelines (``Source → Stage → Sink``) with bounded memory.
+
+The end-to-end data-quality flow of the paper — raw tuples → record linkage →
+interactive conflict resolution → accuracy metrics — runs here as a single
+pull-based pass: generic plumbing in :mod:`repro.pipeline.core`, resumable
+checkpoints in :mod:`repro.pipeline.checkpoint`, and the domain stages
+(streaming linkage, engine-backed resolution) in :mod:`repro.pipeline.stages`.
+"""
+
+from repro.pipeline.checkpoint import Checkpoint, CheckpointSink, skip_items
+from repro.pipeline.core import (
+    BatchStage,
+    CollectSink,
+    FilterStage,
+    FunctionSink,
+    JsonlSink,
+    MapStage,
+    ParallelMapStage,
+    Pipeline,
+    PipelineReport,
+    ProgressSink,
+    Sink,
+    SkipStage,
+    Stage,
+    StreamProbe,
+)
+from repro.pipeline.stages import LinkageStage, ResolveStage
+
+__all__ = [
+    "BatchStage",
+    "Checkpoint",
+    "CheckpointSink",
+    "CollectSink",
+    "FilterStage",
+    "FunctionSink",
+    "JsonlSink",
+    "LinkageStage",
+    "MapStage",
+    "ParallelMapStage",
+    "Pipeline",
+    "PipelineReport",
+    "ProgressSink",
+    "ResolveStage",
+    "Sink",
+    "SkipStage",
+    "Stage",
+    "StreamProbe",
+    "skip_items",
+]

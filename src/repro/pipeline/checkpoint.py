@@ -1,0 +1,121 @@
+"""Checkpointing for long pipeline runs.
+
+A :class:`Checkpoint` is a small JSON file recording how many items a pipeline
+has fully processed plus an opaque, JSON-serializable *state* blob (typically
+the folded state of the metrics accumulator).  A :class:`CheckpointSink`
+placed after the expensive stages updates the file every *every* items and at
+end of stream; on restart, :func:`Checkpoint.load` yields the number of items
+to skip and the state to restore, and :func:`skip_items` fast-forwards the
+source without materializing it.
+
+The write is atomic (write to a sibling temp file, then ``os.replace``), so a
+run killed mid-save resumes from the previous consistent checkpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, Iterator, Optional
+
+from repro.pipeline.core import Sink
+
+__all__ = ["Checkpoint", "CheckpointSink", "skip_items"]
+
+
+class Checkpoint:
+    """A resumable position in a stream, persisted as JSON."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        """Whether a checkpoint file is present."""
+        return self.path.exists()
+
+    def load(self) -> Optional[Dict[str, Any]]:
+        """Read the checkpoint, or ``None`` when absent.
+
+        Returns a dictionary with ``processed`` (items completed) and
+        ``state`` (the sink-provided blob, possibly ``None``).
+        """
+        if not self.path.exists():
+            return None
+        payload = json.loads(self.path.read_text())
+        if not isinstance(payload, dict) or "processed" not in payload:
+            raise ValueError(f"{self.path}: not a pipeline checkpoint file")
+        return {"processed": int(payload["processed"]), "state": payload.get("state")}
+
+    def save(self, processed: int, state: Any = None) -> None:
+        """Atomically persist the position and state."""
+        payload = {"processed": int(processed), "state": state}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        temporary = self.path.with_name(self.path.name + ".tmp")
+        temporary.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        os.replace(temporary, self.path)
+
+    def clear(self) -> None:
+        """Delete the checkpoint file (idempotent)."""
+        if self.path.exists():
+            self.path.unlink()
+
+
+class CheckpointSink(Sink):
+    """Persist the stream position (and optional folded state) periodically.
+
+    Parameters
+    ----------
+    checkpoint:
+        Where to persist.
+    every:
+        Save interval in items (a save also happens at end of stream).
+    state_provider:
+        Zero-argument callable returning the JSON-serializable state to store
+        alongside the position — e.g. ``metrics_sink.state_dict``.  The sink
+        must therefore be listed *after* the sinks whose state it captures, so
+        a checkpoint at item *n* reflects all *n* items.
+    offset:
+        Items already processed by a previous run (from
+        :meth:`Checkpoint.load`); saved positions are ``offset + consumed``.
+    """
+
+    def __init__(
+        self,
+        checkpoint: Checkpoint,
+        every: int = 50,
+        state_provider: Optional[Callable[[], Any]] = None,
+        offset: int = 0,
+        name: str = "checkpoint",
+    ) -> None:
+        if every < 1:
+            raise ValueError(f"checkpoint interval must be positive, got {every}")
+        self.checkpoint = checkpoint
+        self.every = every
+        self.state_provider = state_provider
+        self.offset = offset
+        self.name = name
+        self.consumed = 0
+
+    def _state(self) -> Any:
+        return self.state_provider() if self.state_provider is not None else None
+
+    def consume(self, item: Any) -> None:
+        """Count the item; persist on interval boundaries."""
+        self.consumed += 1
+        if self.consumed % self.every == 0:
+            self.checkpoint.save(self.offset + self.consumed, self._state())
+
+    def close(self) -> int:
+        """Persist the final position; return the total processed count."""
+        processed = self.offset + self.consumed
+        self.checkpoint.save(processed, self._state())
+        return processed
+
+
+def skip_items(source: Iterable[Any], count: int) -> Iterator[Any]:
+    """Lazily drop the first *count* items of *source* (resume fast-forward)."""
+    iterator = iter(source)
+    for _ in range(count):
+        next(iterator, None)
+    return iterator

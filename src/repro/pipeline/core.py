@@ -1,0 +1,459 @@
+"""Composable streaming pipelines: ``Source → Stage → Sink``.
+
+The paper frames conflict resolution as the last stage of a data-quality
+pipeline — raw tuples are linked into entity instances, each instance is
+resolved, and the resolutions are scored/reported.  This module provides the
+plumbing that lets those layers run as *one pass over a stream* instead of
+materializing every intermediate list:
+
+* a **source** is any iterable of items (a generator, a CSV reader, a lazy
+  dataset);
+* a **stage** transforms an item stream into another item stream
+  (:class:`Stage.process` receives an iterator and returns an iterator, so a
+  stage may map 1:1, regroup, buffer a bounded window, or fan items out);
+* a **sink** folds the items that fall out of the last stage
+  (:class:`Sink.consume`) and produces its result when the stream ends
+  (:class:`Sink.close`).
+
+:class:`Pipeline` chains the pieces and drives the whole composition *pull
+based*: one item is pulled through all stages and handed to every sink before
+the next one is generated, so peak memory is bounded by whatever windows the
+stages themselves keep (e.g. the resolution engine's in-flight chunks) — never
+by the length of the stream.
+
+:class:`StreamProbe` is the instrumentation used by the bounded-memory tests
+and benchmarks: its entry/exit stages count how many items are alive between
+two points of a pipeline and record the high-water mark.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+)
+
+__all__ = [
+    "Stage",
+    "MapStage",
+    "FilterStage",
+    "SkipStage",
+    "BatchStage",
+    "ParallelMapStage",
+    "Sink",
+    "FunctionSink",
+    "CollectSink",
+    "JsonlSink",
+    "ProgressSink",
+    "StreamProbe",
+    "PipelineReport",
+    "Pipeline",
+]
+
+
+class Stage:
+    """One transformation of an item stream.
+
+    Subclasses override :meth:`process`; the default forwards the stream
+    unchanged.  A stage must consume its input lazily — pulling an item only
+    when it needs one — so that composing stages never materializes the
+    stream.
+    """
+
+    #: Diagnostic name used by :class:`PipelineReport`.
+    name: str = "stage"
+
+    def process(self, stream: Iterator[Any]) -> Iterator[Any]:
+        """Transform *stream*; the default is the identity."""
+        return iter(stream)
+
+
+class MapStage(Stage):
+    """Apply a function to every item (1:1)."""
+
+    def __init__(self, function: Callable[[Any], Any], name: str = "map") -> None:
+        self.function = function
+        self.name = name
+
+    def process(self, stream: Iterator[Any]) -> Iterator[Any]:
+        """Yield ``function(item)`` per item."""
+        for item in stream:
+            yield self.function(item)
+
+
+class FilterStage(Stage):
+    """Keep only the items for which *predicate* holds."""
+
+    def __init__(self, predicate: Callable[[Any], bool], name: str = "filter") -> None:
+        self.predicate = predicate
+        self.name = name
+
+    def process(self, stream: Iterator[Any]) -> Iterator[Any]:
+        """Yield the items passing the predicate."""
+        for item in stream:
+            if self.predicate(item):
+                yield item
+
+
+class SkipStage(Stage):
+    """Drop the first *count* items (resume fast-forward inside a pipeline).
+
+    The stage equivalent of :func:`repro.pipeline.checkpoint.skip_items`:
+    place it after a cheap deterministic prefix (e.g. linkage) so a resumed
+    run replays that prefix but skips the expensive downstream work for items
+    a checkpoint already covers.
+    """
+
+    def __init__(self, count: int, name: str = "skip") -> None:
+        if count < 0:
+            raise ValueError(f"skip count must be non-negative, got {count}")
+        self.count = count
+        self.name = name
+
+    def process(self, stream: Iterator[Any]) -> Iterator[Any]:
+        """Yield everything after the first *count* items."""
+        for index, item in enumerate(stream):
+            if index >= self.count:
+                yield item
+
+
+class BatchStage(Stage):
+    """Group consecutive items into lists of at most *size* items."""
+
+    def __init__(self, size: int, name: str = "batch") -> None:
+        if size < 1:
+            raise ValueError(f"batch size must be positive, got {size}")
+        self.size = size
+        self.name = name
+
+    def process(self, stream: Iterator[Any]) -> Iterator[List[Any]]:
+        """Yield bounded batches (the last one may be shorter)."""
+        batch: List[Any] = []
+        for item in stream:
+            batch.append(item)
+            if len(batch) >= self.size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
+
+class ParallelMapStage(Stage):
+    """Apply a picklable function over a process pool with bounded in-flight work.
+
+    The generic parallel sibling of :class:`MapStage`: items are grouped into
+    chunks, at most ``max_inflight_chunks`` chunks are submitted at any time,
+    and results stream out in input order — the same backpressure discipline as
+    the resolution engine, for stages that do not need warm per-worker state.
+    ``workers <= 1`` degrades to an in-process map.
+    """
+
+    def __init__(
+        self,
+        function: Callable[[Any], Any],
+        *,
+        workers: int = 1,
+        chunk_size: int = 4,
+        max_inflight_chunks: Optional[int] = None,
+        name: str = "parallel-map",
+    ) -> None:
+        self.function = function
+        self.workers = max(1, int(workers))
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        self.chunk_size = chunk_size
+        self.max_inflight_chunks = max_inflight_chunks or 2 * self.workers
+        self.name = name
+
+    def process(self, stream: Iterator[Any]) -> Iterator[Any]:
+        """Yield ``function(item)`` per item, computed by the worker pool."""
+        if self.workers <= 1:
+            for item in stream:
+                yield self.function(item)
+            return
+        batches = BatchStage(self.chunk_size).process(stream)
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            pending: deque[Future] = deque()
+            try:
+                for batch in batches:
+                    pending.append(pool.submit(_run_chunk, self.function, batch))
+                    if len(pending) >= self.max_inflight_chunks:
+                        yield from pending.popleft().result()
+                while pending:
+                    yield from pending.popleft().result()
+            finally:
+                for future in pending:
+                    future.cancel()
+
+
+def _run_chunk(function: Callable[[Any], Any], batch: Sequence[Any]) -> List[Any]:
+    """Worker-side helper of :class:`ParallelMapStage` (picklable by name)."""
+    return [function(item) for item in batch]
+
+
+class Sink:
+    """A terminal consumer folding the stream into some result."""
+
+    #: Key under which the sink's result appears in :class:`PipelineReport`.
+    name: str = "sink"
+
+    def consume(self, item: Any) -> None:
+        """Fold one item into the sink's state."""
+
+    def close(self) -> Any:
+        """Flush and return the sink's result (called once, at end of stream)."""
+        return None
+
+
+class FunctionSink(Sink):
+    """Call a function per item (e.g. a print callback); result is the item count."""
+
+    def __init__(self, function: Callable[[Any], None], name: str = "each") -> None:
+        self.function = function
+        self.name = name
+        self.items = 0
+
+    def consume(self, item: Any) -> None:
+        """Apply the callback."""
+        self.function(item)
+        self.items += 1
+
+    def close(self) -> int:
+        """Return how many items were seen."""
+        return self.items
+
+
+class CollectSink(Sink):
+    """Materialize the stream into a list — the batch-compatibility sink.
+
+    Deliberately unbounded: use it only where the legacy API must return a
+    full result list.
+    """
+
+    def __init__(self, name: str = "collect") -> None:
+        self.name = name
+        self.items: List[Any] = []
+
+    def consume(self, item: Any) -> None:
+        """Append the item."""
+        self.items.append(item)
+
+    def close(self) -> List[Any]:
+        """Return the collected list."""
+        return self.items
+
+
+class JsonlSink(Sink):
+    """Stream items to a JSON-lines file, one record per item, as they arrive.
+
+    Each item is passed through *encoder* (default: identity) and must then be
+    JSON-serializable.  Records are written and flushed immediately, so a
+    killed run leaves a valid prefix on disk; ``append=True`` continues an
+    existing file, which is how resumed runs keep their earlier results.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        encoder: Optional[Callable[[Any], Any]] = None,
+        append: bool = False,
+        name: str = "jsonl",
+    ) -> None:
+        self.path = Path(path)
+        self.encoder = encoder
+        self.append = append
+        self.name = name
+        self.records = 0
+        self._handle = None
+
+    def _open(self):
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a" if self.append else "w")
+        return self._handle
+
+    def consume(self, item: Any) -> None:
+        """Serialize and append one record."""
+        handle = self._open()
+        record = self.encoder(item) if self.encoder is not None else item
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+        handle.flush()
+        self.records += 1
+
+    def close(self) -> int:
+        """Close the file; return the number of records written.
+
+        A zero-record non-append run still truncates/creates the file, so a
+        stale output from a previous run never masquerades as this run's
+        result.
+        """
+        if self._handle is None and not self.append:
+            self._open()
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        return self.records
+
+
+class ProgressSink(Sink):
+    """Report progress every *every* items through a callback (default: print)."""
+
+    def __init__(
+        self,
+        every: int = 100,
+        callback: Optional[Callable[[int, float], None]] = None,
+        name: str = "progress",
+    ) -> None:
+        if every < 1:
+            raise ValueError(f"progress interval must be positive, got {every}")
+        self.every = every
+        self.callback = callback or self._default_callback
+        self.name = name
+        self.items = 0
+        self._start = time.perf_counter()
+
+    def _default_callback(self, items: int, seconds: float) -> None:
+        rate = items / seconds if seconds > 0 else 0.0
+        print(f"[pipeline] {items} items in {seconds:.1f}s ({rate:.1f}/s)")
+
+    def consume(self, item: Any) -> None:
+        """Count the item; fire the callback on interval boundaries."""
+        self.items += 1
+        if self.items % self.every == 0:
+            self.callback(self.items, time.perf_counter() - self._start)
+
+    def close(self) -> int:
+        """Return the final item count."""
+        return self.items
+
+
+class StreamProbe:
+    """Count items alive between two pipeline points; record the high-water mark.
+
+    Place :meth:`entry` early in the stage chain and :meth:`exit` later; every
+    item increments the live counter when it passes the entry and decrements it
+    at the exit, so :attr:`peak` is the maximum number of items that were ever
+    simultaneously buffered between the two points (e.g. inside the resolution
+    engine's in-flight window).  This is what the bounded-memory tests assert
+    and the streaming benchmark reports.
+    """
+
+    def __init__(self, name: str = "probe") -> None:
+        self.name = name
+        self.live = 0
+        self.peak = 0
+        self.total = 0
+
+    def entry(self) -> Stage:
+        """Stage marking the start of the probed region."""
+        return _ProbeStage(self, delta=+1, name=f"{self.name}-entry")
+
+    def exit(self) -> Stage:
+        """Stage marking the end of the probed region."""
+        return _ProbeStage(self, delta=-1, name=f"{self.name}-exit")
+
+    def _record(self, delta: int) -> None:
+        self.live += delta
+        if delta > 0:
+            self.total += 1
+            if self.live > self.peak:
+                self.peak = self.live
+
+
+class _ProbeStage(Stage):
+    """Identity stage updating its :class:`StreamProbe` on every item."""
+
+    def __init__(self, probe: StreamProbe, delta: int, name: str) -> None:
+        self.probe = probe
+        self.delta = delta
+        self.name = name
+
+    def process(self, stream: Iterator[Any]) -> Iterator[Any]:
+        """Forward each item, bumping the probe's live counter."""
+        for item in stream:
+            self.probe._record(self.delta)
+            yield item
+
+
+@dataclass
+class PipelineReport:
+    """Outcome of one :meth:`Pipeline.run`: sink results plus run counters."""
+
+    #: Result of every sink, keyed by sink name.
+    results: Dict[str, Any] = field(default_factory=dict)
+    #: Items that reached the sinks.
+    items: int = 0
+    #: Wall-clock seconds of the whole run.
+    seconds: float = 0.0
+
+    def __getitem__(self, sink_name: str) -> Any:
+        return self.results[sink_name]
+
+
+class Pipeline:
+    """A runnable composition ``source → stages… → sinks``.
+
+    ``run()`` drives the composition to exhaustion and returns a
+    :class:`PipelineReport`; sinks are closed (in order) even when a stage
+    raises, so partially written outputs (reports, checkpoints) stay
+    consistent.
+    """
+
+    def __init__(
+        self,
+        source: Iterable[Any],
+        stages: Sequence[Stage] = (),
+        sinks: Sequence[Sink] = (),
+    ) -> None:
+        self.source = source
+        self.stages = list(stages)
+        self.sinks = list(sinks)
+        names = [sink.name for sink in self.sinks]
+        if len(set(names)) != len(names):
+            raise ValueError(f"sink names must be unique, got {names}")
+
+    def then(self, stage: Stage) -> "Pipeline":
+        """Append a stage (fluent builder)."""
+        self.stages.append(stage)
+        return self
+
+    def into(self, sink: Sink) -> "Pipeline":
+        """Append a sink (fluent builder)."""
+        if any(existing.name == sink.name for existing in self.sinks):
+            raise ValueError(f"duplicate sink name {sink.name!r}")
+        self.sinks.append(sink)
+        return self
+
+    def stream(self) -> Iterator[Any]:
+        """The composed item stream (stages applied, sinks *not* driven)."""
+        stream: Iterator[Any] = iter(self.source)
+        for stage in self.stages:
+            stream = stage.process(stream)
+        return stream
+
+    def run(self) -> PipelineReport:
+        """Pull every item through the stages and feed it to all sinks."""
+        report = PipelineReport()
+        start = time.perf_counter()
+        try:
+            for item in self.stream():
+                for sink in self.sinks:
+                    sink.consume(item)
+                report.items += 1
+        finally:
+            for sink in self.sinks:
+                report.results[sink.name] = sink.close()
+            report.seconds = time.perf_counter() - start
+        return report

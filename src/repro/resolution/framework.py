@@ -209,7 +209,12 @@ class ConflictResolver:
 
     # -- main loop ---------------------------------------------------------------
 
-    def resolve(self, spec: Specification, oracle: Optional[Oracle] = None) -> ResolutionResult:
+    def resolve(
+        self,
+        spec: Specification,
+        oracle: Optional[Oracle] = None,
+        rng: Optional[random.Random] = None,
+    ) -> ResolutionResult:
         """Resolve the conflicts of one entity specification.
 
         Parameters
@@ -219,6 +224,13 @@ class ConflictResolver:
         oracle:
             Source of user answers; ``None`` (or :class:`SilentOracle`) makes
             the resolution fully automatic.
+        rng:
+            Random source for the ``pick`` fallback.  Defaults to a fresh
+            ``random.Random(options.random_seed)`` per call, so resolutions
+            are deterministic and independent of entity order — the property
+            the sequential/parallel/streaming equivalence rests on.  Inject
+            one only to *change* the randomness, never to share a stream
+            across entities.
         """
         oracle = oracle or SilentOracle()
         options = self.options
@@ -318,7 +330,7 @@ class ConflictResolver:
             else:
                 current = current.extend(delta)
 
-        resolved, fallback_attributes = self._finalize(spec, known, valid)
+        resolved, fallback_attributes = self._finalize(spec, known, valid, rng)
         return ResolutionResult(
             name=spec.name,
             valid=valid,
@@ -343,14 +355,20 @@ class ConflictResolver:
         return statistics
 
     def _finalize(
-        self, spec: Specification, known: TrueValueAssignment, valid: bool
+        self,
+        spec: Specification,
+        known: TrueValueAssignment,
+        valid: bool,
+        rng: Optional[random.Random] = None,
     ) -> Tuple[Dict[str, Value], Tuple[str, ...]]:
         """Assemble the resolved tuple, filling unresolved attributes by fallback."""
         resolved: Dict[str, Value] = {}
         fallback_attributes: List[str] = []
         fallback_values: Dict[str, Value] = {}
         if self.options.fallback == "pick":
-            fallback_values = pick_resolution(spec, rng=random.Random(self.options.random_seed))
+            fallback_values = pick_resolution(
+                spec, rng=rng or random.Random(self.options.random_seed)
+            )
         for attribute in spec.schema.attribute_names:
             if attribute in known:
                 resolved[attribute] = known[attribute]

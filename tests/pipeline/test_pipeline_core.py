@@ -1,0 +1,146 @@
+"""Tests for the generic pipeline plumbing (stages, sinks, probes)."""
+
+import json
+
+import pytest
+
+from repro.pipeline import (
+    BatchStage,
+    CollectSink,
+    FilterStage,
+    FunctionSink,
+    JsonlSink,
+    MapStage,
+    ParallelMapStage,
+    Pipeline,
+    ProgressSink,
+    SkipStage,
+    StreamProbe,
+)
+
+
+def _square(value):
+    return value * value
+
+
+class TestStages:
+    def test_map_filter_compose(self):
+        report = Pipeline(
+            range(10),
+            [MapStage(_square), FilterStage(lambda v: v % 2 == 0)],
+            [CollectSink()],
+        ).run()
+        assert report["collect"] == [0, 4, 16, 36, 64]
+        assert report.items == 5
+
+    def test_batch_stage_bounds_and_remainder(self):
+        report = Pipeline(range(7), [BatchStage(3)], [CollectSink()]).run()
+        assert report["collect"] == [[0, 1, 2], [3, 4, 5], [6]]
+
+    def test_batch_stage_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            BatchStage(0)
+
+    def test_skip_stage(self):
+        report = Pipeline(range(5), [SkipStage(3)], [CollectSink()]).run()
+        assert report["collect"] == [3, 4]
+
+    def test_lazy_pull_no_materialization(self):
+        """The driver must pull items one at a time, not drain the source."""
+        pulled = []
+
+        def source():
+            for index in range(100):
+                pulled.append(index)
+                yield index
+
+        probe = StreamProbe()
+        stream = Pipeline(source(), [probe.entry(), probe.exit()]).stream()
+        next(stream), next(stream)
+        assert len(pulled) == 2
+
+    def test_parallel_map_preserves_order(self):
+        items = list(range(23))
+        report = Pipeline(
+            items,
+            [ParallelMapStage(_square, workers=2, chunk_size=3)],
+            [CollectSink()],
+        ).run()
+        assert report["collect"] == [value * value for value in items]
+
+    def test_parallel_map_sequential_fallback(self):
+        report = Pipeline(range(5), [ParallelMapStage(_square, workers=1)], [CollectSink()]).run()
+        assert report["collect"] == [0, 1, 4, 9, 16]
+
+
+class TestSinks:
+    def test_function_sink_counts(self):
+        seen = []
+        report = Pipeline(range(4), [], [FunctionSink(seen.append)]).run()
+        assert seen == [0, 1, 2, 3]
+        assert report["each"] == 4
+
+    def test_progress_sink_fires_on_interval(self):
+        ticks = []
+        sink = ProgressSink(every=2, callback=lambda items, seconds: ticks.append(items))
+        Pipeline(range(5), [], [sink]).run()
+        assert ticks == [2, 4]
+
+    def test_jsonl_sink_streams_records(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        report = Pipeline(
+            range(3), [], [JsonlSink(path, encoder=lambda v: {"value": v})]
+        ).run()
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines == [{"value": 0}, {"value": 1}, {"value": 2}]
+        assert report["jsonl"] == 3
+
+    def test_jsonl_sink_append_mode(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        Pipeline([1], [], [JsonlSink(path)]).run()
+        Pipeline([2], [], [JsonlSink(path, append=True)]).run()
+        assert [json.loads(line) for line in path.read_text().splitlines()] == [1, 2]
+
+    def test_duplicate_sink_names_rejected(self):
+        with pytest.raises(ValueError):
+            Pipeline([], [], [CollectSink(), CollectSink()])
+
+    def test_sinks_closed_on_stage_failure(self):
+        class Exploding(MapStage):
+            def process(self, stream):
+                for item in stream:
+                    if item == 2:
+                        raise RuntimeError("boom")
+                    yield item
+
+        sink = CollectSink()
+        with pytest.raises(RuntimeError):
+            Pipeline(range(5), [Exploding(_square)], [sink]).run()
+        assert sink.items == [0, 1]
+
+
+class TestStreamProbe:
+    def test_peak_tracks_buffered_window(self):
+        from repro.pipeline import Stage
+
+        class Flatten(Stage):
+            def process(self, stream):
+                for batch in stream:
+                    yield from batch
+
+        probe = StreamProbe()
+        report = Pipeline(
+            range(10),
+            [probe.entry(), BatchStage(4), Flatten(), probe.exit()],
+            [CollectSink()],
+        ).run()
+        # BatchStage buffers at most 4 items between the probe points.
+        assert probe.total == 10
+        assert probe.peak == 4
+        assert report.items == 10
+
+    def test_identity_region_peak_is_one(self):
+        probe = StreamProbe()
+        Pipeline(range(50), [probe.entry(), probe.exit()], [CollectSink()]).run()
+        assert probe.peak == 1
+        assert probe.live == 0

@@ -106,6 +106,19 @@ class TestCSVRoundTrip:
         with pytest.raises(DatasetError):
             read_entity_rows(people_csv, "does_not_exist")
 
+    def test_padded_headers_still_resolve_values(self, tmp_path):
+        """DictReader keys rows by unstripped names; values must not go NULL."""
+        from repro.io import read_csv_header, stream_csv_rows
+
+        path = tmp_path / "padded.csv"
+        path.write_text("name, status\nann,working\n")
+        schema = read_csv_header(path)
+        assert schema.attribute_names == ("name", "status")
+        rows = list(stream_csv_rows(path, schema))
+        assert rows == [{"name": "ann", "status": "working"}]
+        _, instances = read_entity_rows(path, "name")
+        assert instances["ann"].tuples[0]["status"] == "working"
+
     def test_write_resolved_tuples(self, tmp_path, people_csv):
         schema, instances = read_entity_rows(people_csv, "name")
         out = tmp_path / "resolved.csv"
@@ -161,6 +174,55 @@ class TestCLI:
         exit_code = main(["resolve", str(people_csv), "--entity-key", "name"])
         assert exit_code == 0
         assert "true values deduced" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("backend", ["cdcl", "dpll"])
+    def test_resolve_accepts_registered_solver_backends(self, people_csv, constraints_file, backend, capsys):
+        exit_code = main(
+            [
+                "resolve",
+                str(people_csv),
+                "--entity-key",
+                "name",
+                "--constraints",
+                str(constraints_file),
+                "--solver-backend",
+                backend,
+            ]
+        )
+        assert exit_code == 0
+        assert "true values deduced" in capsys.readouterr().out
+
+    def test_unknown_solver_backend_rejected_with_choices(self, people_csv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["resolve", str(people_csv), "--entity-key", "name", "--solver-backend", "minisat"])
+        assert excinfo.value.code == 2
+        message = capsys.readouterr().err
+        assert "unknown solver backend 'minisat'" in message
+        assert "cdcl" in message and "dpll" in message
+
+    def test_pipeline_command_streams_jsonl(self, people_csv, constraints_file, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "resolved.jsonl"
+        exit_code = main(
+            [
+                "pipeline",
+                str(people_csv),
+                "--entity-key",
+                "name",
+                "--constraints",
+                str(constraints_file),
+                "--output",
+                str(out),
+            ]
+        )
+        assert exit_code == 0
+        records = {json.loads(line)["entity"]: json.loads(line) for line in out.read_text().splitlines()}
+        assert set(records) == {"Edith Shain", "George Mendonca"}
+        edith = records["Edith Shain"]
+        assert edith["complete"] is True
+        assert values_equal(edith["resolved"]["status"], EDITH_TRUTH["status"])
+        assert "resolved 2 entities" in capsys.readouterr().out
 
     def test_discover_command(self, people_csv, capsys):
         exit_code = main(
