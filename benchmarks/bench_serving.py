@@ -1,0 +1,199 @@
+"""Serving throughput/latency vs. client concurrency over one warm engine.
+
+This measures the dimension the async serving layer adds: how many
+*interactive* clients one warm :class:`~repro.engine.ResolutionEngine` can
+answer concurrently.  The workload is closed-loop, oracle-backed simulated
+users (the paper's interaction model): each client sends a resolve request
+for one entity, waits for the response, "thinks" for a moment — the time a
+real user spends reading suggestions — and asks for its next entity.  The
+same fixed request set is served at 1, 4 and 16 concurrent clients against a
+``workers=4`` engine; per-request latency (p50/p95), aggregate throughput
+and the speedup over the single-client run land in
+``benchmarks/results/serving.json``.
+
+A single closed-loop client leaves the engine idle during every think pause,
+so concurrency must recover that idle time: the acceptance bar is >= 2x the
+one-client throughput at 16 clients.  The responses themselves are asserted
+byte-identical across all client counts (``results_identical``).
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``, used by CI) shrinks the workload and
+the think time to prove the serving path end-to-end without burning CI
+minutes.  The module doubles as a standalone script::
+
+    REPRO_BENCH_SMOKE=1 PYTHONPATH=src python benchmarks/bench_serving.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from typing import Dict, List, Sequence
+
+from _harness import nba_accuracy_dataset, report, report_json
+from repro.evaluation import format_table
+from repro.evaluation.interaction import GroundTruthOracle
+from repro.resolution.framework import ResolverOptions
+from repro.serving import (
+    EngineHost,
+    ResolutionServer,
+    ResolveRequest,
+    SpecificationBuilder,
+    encode_response,
+)
+
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: Client concurrency levels of the panel.
+CLIENT_COUNTS = (1, 4, 16)
+#: Engine worker processes behind the server.
+WORKERS = 2 if _SMOKE else 4
+#: Requests served per concurrency level (every level serves the same set).
+REQUESTS = 8 if _SMOKE else 96
+#: Closed-loop think time per request (seconds) — the simulated user reading
+#: the previous answer before asking for the next entity.
+THINK_SECONDS = 0.002 if _SMOKE else 0.02
+
+
+def _percentile(samples: Sequence[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def serve_workload(
+    builder: SpecificationBuilder,
+    requests: List[ResolveRequest],
+    oracle_factory,
+    host: EngineHost,
+    clients: int,
+) -> Dict:
+    """Serve the request set with *clients* closed-loop clients; measure."""
+
+    async def run() -> Dict:
+        async with ResolutionServer(
+            builder,
+            options=ResolverOptions(max_rounds=2, fallback="none"),
+            workers=WORKERS,
+            host=host,
+            oracle_factory=oracle_factory,
+            max_inflight=max(clients, 1),
+        ) as server:
+            encodings: List[str] = [""] * len(requests)
+            latencies: List[float] = []
+
+            async def client(offset: int) -> None:
+                for index in range(offset, len(requests), clients):
+                    start = time.perf_counter()
+                    response = await server.resolve_one(requests[index])
+                    latencies.append(time.perf_counter() - start)
+                    assert response.error == "", response.error
+                    encodings[index] = encode_response(response)
+                    await asyncio.sleep(THINK_SECONDS)
+
+            start = time.perf_counter()
+            await asyncio.gather(*(client(offset) for offset in range(clients)))
+            wall = time.perf_counter() - start
+            stats = server.stats()
+            return {
+                "clients": float(clients),
+                "wall_seconds": wall,
+                "throughput_per_second": len(requests) / wall if wall > 0 else 0.0,
+                "latency_p50_ms": _percentile(latencies, 0.50) * 1000.0,
+                "latency_p95_ms": _percentile(latencies, 0.95) * 1000.0,
+                "queue_seconds_total": stats.queue_seconds,
+                "resolve_seconds_total": stats.resolve_seconds,
+                "peak_inflight": float(stats.peak_inflight),
+                "engine_reused": stats.engine_reused,
+                "_encodings": encodings,
+            }
+
+    return asyncio.run(run())
+
+
+def serving_panel() -> Dict:
+    """Serve the same workload at every client count; return the JSON payload."""
+    dataset = nba_accuracy_dataset()
+    builder = SpecificationBuilder(
+        dataset.schema, dataset.currency_constraints, dataset.cfds
+    )
+    entities = {entity.name: entity for entity in dataset.entities}
+    pool = dataset.entities
+    requests = [
+        ResolveRequest(
+            entity=pool[index % len(pool)].name,
+            rows=tuple(dict(row) for row in pool[index % len(pool)].rows),
+            id=f"r{index}",
+        )
+        for index in range(REQUESTS)
+    ]
+
+    def oracle_factory(request: ResolveRequest, _spec):
+        return GroundTruthOracle(entities[request.entity])
+
+    runs: Dict[str, Dict] = {}
+    reference: List[str] = []
+    identical = True
+    with EngineHost() as host:
+        for clients in CLIENT_COUNTS:
+            run = serve_workload(builder, requests, oracle_factory, host, clients)
+            encodings = run.pop("_encodings")
+            if not reference:
+                reference = encodings
+            elif encodings != reference:
+                identical = False
+            runs[f"clients{clients}"] = run
+    baseline = runs[f"clients{CLIENT_COUNTS[0]}"]["throughput_per_second"]
+    for run in runs.values():
+        run["speedup_over_1_client"] = (
+            run["throughput_per_second"] / baseline if baseline > 0 else 0.0
+        )
+    return {
+        "dataset": dataset.name,
+        "requests": float(REQUESTS),
+        "workers": float(WORKERS),
+        "think_seconds": THINK_SECONDS,
+        "cpus": float(os.cpu_count() or 1),
+        "smoke": _SMOKE,
+        "results_identical": identical,
+        "speedup_max_clients_vs_1": runs[f"clients{CLIENT_COUNTS[-1]}"][
+            "speedup_over_1_client"
+        ],
+        "runs": runs,
+    }
+
+
+def _render(payload: Dict) -> str:
+    rows = [
+        [
+            name,
+            run["throughput_per_second"],
+            run["speedup_over_1_client"],
+            run["latency_p50_ms"],
+            run["latency_p95_ms"],
+            run["peak_inflight"],
+        ]
+        for name, run in payload["runs"].items()
+    ]
+    table = format_table(
+        ["clients", "req/s", "speedup", "p50 (ms)", "p95 (ms)", "peak in-flight"],
+        rows,
+    )
+    header = (
+        f"serving panel: {payload['dataset']}, {payload['requests']:.0f} requests, "
+        f"workers={payload['workers']:.0f}, think={payload['think_seconds'] * 1000:.0f}ms, "
+        f"cpus={payload['cpus']:.0f}, identical={payload['results_identical']}"
+    )
+    return header + "\n" + table
+
+
+def main() -> None:
+    payload = serving_panel()
+    report("serving", _render(payload))
+    report_json("serving", payload)
+
+
+if __name__ == "__main__":
+    main()

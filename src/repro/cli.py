@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands cover the typical workflow on CSV data:
+Five subcommands cover the typical workflow on CSV data:
 
 ``validate``
     Check every entity's specification for conflicts between the data, the
@@ -21,6 +21,15 @@ Four subcommands cover the typical workflow on CSV data:
     linker's open buckets plus the engine's in-flight window, never by the
     size of the input.
 
+``serve``
+    The interactive path: a long-lived server over one warm engine.  Requests
+    are JSON lines (``{"entity": ..., "rows": [...]}``) read from stdin (or
+    ``--input``) with responses written as JSON lines in request order, or —
+    with ``--tcp`` — accepted as concurrent localhost TCP connections, each
+    carrying its own JSONL stream.  Concurrent requests share the worker pool
+    and its compiled-constraint caches; ``--checkpoint``/``--resume`` continue
+    an interrupted input stream without re-resolving delivered entities.
+
 ``discover``
     Mine constant CFDs (and, when the rows carry a timestamp column, currency
     constraints) from the data and print them in the constraint-file format.
@@ -33,6 +42,9 @@ Examples
     python -m repro resolve   people.csv --entity-key name --constraints rules.txt -o resolved.csv
     python -m repro pipeline  people.csv --entity-key name --constraints rules.txt \
         --output resolved.jsonl --checkpoint state.json --workers 4
+    python -m repro serve --schema name,status,job --constraints rules.txt \
+        --workers 4 < requests.jsonl > responses.jsonl
+    python -m repro serve --schema name,status,job --tcp 127.0.0.1:8765 --workers 4
     python -m repro discover  people.csv --entity-key name --timestamp-column updated_at
 """
 
@@ -68,6 +80,9 @@ from repro.pipeline import (
 )
 from repro.resolution import ResolverOptions, check_validity
 from repro.solvers.session import available_backends
+
+# The serving layer is imported lazily inside _command_serve so the common
+# subcommands keep their import footprint (and startup latency) unchanged.
 
 __all__ = ["build_parser", "main"]
 
@@ -155,6 +170,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pipeline.add_argument("--quiet", action="store_true", help="suppress the per-entity summary lines")
     add_resolution_options(pipeline)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve resolve requests over a long-lived warm engine"
+    )
+    serve.add_argument(
+        "--schema",
+        required=True,
+        metavar="ATTR,ATTR,...",
+        help="comma-separated attribute names of the served relation",
+    )
+    serve.add_argument("--constraints", help="constraint file (currency constraints and CFDs)")
+    serve.add_argument(
+        "--input",
+        help="JSONL request file (default: read requests from stdin)",
+    )
+    serve.add_argument("-o", "--output", help="JSONL response path (default: stdout)")
+    serve.add_argument(
+        "--tcp",
+        metavar="[HOST:]PORT",
+        help="listen for concurrent JSONL connections instead of the stdin loop",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="cap on concurrently resolving requests (default: the engine's in-flight window)",
+    )
+    serve.add_argument("--checkpoint", help="checkpoint file for resumable request streams")
+    serve.add_argument(
+        "--checkpoint-every", type=int, default=25, help="responses between checkpoint saves"
+    )
+    serve.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip the requests a previous run already answered (per the checkpoint) "
+        "and append to the output; after a hard kill (no graceful shutdown) up to "
+        "checkpoint-every responses may repeat in the output",
+    )
+    serve.add_argument(
+        "--stats",
+        action="store_true",
+        help="include per-request timings in responses and print a final server summary",
+    )
+    add_resolution_options(serve)
 
     discover = subparsers.add_parser("discover", help="mine constraints from the data")
     discover.add_argument("data", help="CSV file with one row per observation")
@@ -363,6 +422,101 @@ def _command_pipeline(args) -> int:
     return 0
 
 
+def _parse_tcp_endpoint(parser_error, endpoint: str):
+    """Split ``[HOST:]PORT`` (default host: localhost)."""
+    host, _, port_text = endpoint.rpartition(":")
+    host = host or "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        parser_error(f"invalid --tcp endpoint {endpoint!r}; expected [HOST:]PORT")
+    if not 0 <= port <= 65535:
+        parser_error(f"invalid --tcp port {port}; expected 0-65535")
+    return host, port
+
+
+def _command_serve(args) -> int:
+    """Long-lived serving loop: JSONL requests in, ordered JSONL responses out."""
+    from repro.core.schema import RelationSchema
+    from repro.serving import ResolutionServer, SpecificationBuilder, serve_jsonl, serve_tcp
+
+    attributes = [name.strip() for name in args.schema.split(",") if name.strip()]
+    schema = RelationSchema("serving", attributes)
+    if args.constraints:
+        sigma, gamma = load_constraint_file(args.constraints)
+    else:
+        sigma, gamma = [], []
+    builder = SpecificationBuilder(schema, sigma, gamma)
+    checkpoint = Checkpoint(args.checkpoint) if args.checkpoint else None
+    options = _resolver_options(args)
+
+    def _fail(message: str):  # pragma: no cover - main() validated the endpoint already
+        raise SystemExit(f"repro serve: error: {message}")
+
+    endpoint = _parse_tcp_endpoint(_fail, args.tcp) if args.tcp is not None else None
+
+    async def run() -> int:
+        import asyncio
+
+        server = ResolutionServer(
+            builder,
+            options=options,
+            workers=args.workers,
+            max_inflight=args.max_inflight,
+            scope=builder.cache_key(),
+        )
+        async with server:
+            if endpoint is not None:
+                tcp = await serve_tcp(server, *endpoint, include_stats=args.stats)
+                bound = tcp.sockets[0].getsockname()
+                print(f"serving on tcp://{bound[0]}:{bound[1]}", file=sys.stderr, flush=True)
+                try:
+                    async with tcp:
+                        await tcp.serve_forever()
+                except asyncio.CancelledError:  # pragma: no cover - signal-driven
+                    pass
+            else:
+                in_handle = open(args.input) if args.input else sys.stdin
+                # A resumed run appends: the previous run's responses stay on
+                # disk and the checkpoint skips the requests behind them.
+                out_mode = "a" if args.resume else "w"
+                out_handle = open(args.output, out_mode) if args.output else sys.stdout
+                try:
+
+                    def write(record: str) -> None:
+                        out_handle.write(record)
+                        out_handle.flush()
+
+                    written = await serve_jsonl(
+                        server,
+                        in_handle,
+                        write,
+                        include_stats=args.stats,
+                        checkpoint=checkpoint,
+                        checkpoint_every=args.checkpoint_every,
+                        resume=args.resume,
+                    )
+                    print(f"answered {written} requests", file=sys.stderr)
+                finally:
+                    if args.input:
+                        in_handle.close()
+                    if args.output:
+                        out_handle.close()
+            if args.stats:
+                import json as _json
+
+                print(_json.dumps(server.stats().as_dict(), sort_keys=True), file=sys.stderr)
+        return 0
+
+    import asyncio
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        print("interrupted", file=sys.stderr)
+        return 130
+
+
 def _command_discover(args) -> int:
     schema, instances = read_entity_rows(args.data, args.entity_key)
     rows = [t.as_dict() for instance in instances.values() for t in instance]
@@ -394,14 +548,42 @@ def _command_discover(args) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    import os
+
     parser = build_parser()
     args = parser.parse_args(argv)
+    # Validate cheap-to-check invariants up front so misuse fails with a
+    # usage error (exit code 2) instead of a traceback from deep inside the
+    # engine or the file layer.
     if hasattr(args, "solver_backend"):
         _validated_backend(parser.error, args.solver_backend)
+    if getattr(args, "workers", 1) < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    if getattr(args, "checkpoint_every", 1) < 1:
+        parser.error(f"--checkpoint-every must be >= 1, got {args.checkpoint_every}")
+    max_inflight = getattr(args, "max_inflight", None)
+    if max_inflight is not None and max_inflight < 1:
+        parser.error(f"--max-inflight must be >= 1, got {max_inflight}")
+    if getattr(args, "tcp", None) is not None:
+        _parse_tcp_endpoint(parser.error, args.tcp)
+        # The TCP mode serves connections, not a request file; flags of the
+        # stdio loop would be silently ignored — reject the combination.
+        for incompatible in ("input", "output", "checkpoint"):
+            if getattr(args, incompatible, None):
+                parser.error(f"--tcp cannot be combined with --{incompatible}")
+        if getattr(args, "resume", False):
+            parser.error("--tcp cannot be combined with --resume")
+    if getattr(args, "resume", False) and not getattr(args, "checkpoint", None):
+        parser.error("--resume requires --checkpoint (there is no position to resume from)")
+    for path_attribute in ("data", "input", "constraints"):
+        path = getattr(args, path_attribute, None)
+        if path is not None and not os.path.exists(path):
+            parser.error(f"input file {path!r} does not exist")
     handlers = {
         "validate": _command_validate,
         "resolve": _command_resolve,
         "pipeline": _command_pipeline,
+        "serve": _command_serve,
         "discover": _command_discover,
     }
     return handlers[args.command](args)

@@ -27,6 +27,7 @@ order, so the engine output is independent of ``workers`` and chunking.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from concurrent.futures import Future, ProcessPoolExecutor
@@ -53,7 +54,14 @@ EntityTask = Tuple[Specification, Optional[Oracle]]
 
 @dataclass
 class EngineStatistics:
-    """Counters of one engine run (reset by every ``resolve_*`` call)."""
+    """Counters of an engine's work.
+
+    The batch entry points (:meth:`ResolutionEngine.resolve_stream` /
+    ``resolve_many``) reset these per call — the statistics then describe one
+    run.  The serving entry point (:meth:`ResolutionEngine.resolve_task`)
+    *accumulates* instead, so a long-lived serving engine reports lifetime
+    totals.
+    """
 
     entities: int = 0
     chunks: int = 0
@@ -119,16 +127,28 @@ class ResolutionEngine:
         max_inflight_chunks: Optional[int] = None,
     ) -> None:
         self.options = options or ResolverOptions()
-        self.workers = max(1, int(workers))
+        # Validate up front: a bad worker count used to be clamped silently (or
+        # surface as an opaque failure deep inside the pool machinery).
+        if int(workers) < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
         self.chunk_size = chunk_size or DEFAULT_CHUNK_SIZE
         if max_inflight_chunks is not None and max_inflight_chunks < 1:
-            raise ValueError(f"max_inflight_chunks must be positive, got {max_inflight_chunks}")
+            raise ValueError(f"max_inflight_chunks must be >= 1, got {max_inflight_chunks}")
         self.max_inflight_chunks = max_inflight_chunks or 2 * self.workers
         self.statistics = EngineStatistics(workers=self.workers)
         self._pool: Optional[ProcessPoolExecutor] = None
         self._resolver: Optional[ConflictResolver] = None
+        # Serving-mode synchronisation: resolve_task() may be called from many
+        # threads at once (the async serving layer), so pool creation, the
+        # shared in-process resolver and the statistics counters each get a
+        # lock.  The single-caller resolve_stream() path never contends.
+        self._pool_lock = threading.Lock()
+        self._sequential_lock = threading.Lock()
+        self._task_lock = threading.Lock()
+        self._inflight_tasks = 0
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -139,10 +159,16 @@ class ResolutionEngine:
         self.close()
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True, cancel_futures=True)
-            self._pool = None
+        """Shut the worker pool down (idempotent).
+
+        Takes the pool lock so a close racing a concurrent
+        :meth:`resolve_task`'s lazy pool creation cannot observe a
+        half-created pool and leak its worker processes.
+        """
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
 
     def warm_up(self) -> float:
         """Spin the worker pool up ahead of the first resolve call.
@@ -161,13 +187,14 @@ class ResolutionEngine:
         return time.perf_counter() - start
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers,
-                initializer=initialize_worker,
-                initargs=(self.options,),
-            )
-        return self._pool
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=initialize_worker,
+                    initargs=(self.options,),
+                )
+            return self._pool
 
     # -- resolution ------------------------------------------------------------
 
@@ -187,6 +214,55 @@ class ResolutionEngine:
     def resolve_many(self, tasks: Iterable[EntityTask]) -> List[ResolutionResult]:
         """Resolve all tasks and return the results as a list (task order)."""
         return list(self.resolve_stream(tasks))
+
+    def resolve_task(
+        self, spec: Specification, oracle: Optional[Oracle] = None
+    ) -> ResolutionResult:
+        """Resolve one entity, safely callable from many threads at once.
+
+        This is the serving-layer entry point: concurrent requests share the
+        warm worker pool (and its per-worker compiled-program caches) instead
+        of spawning their own engines.  Unlike :meth:`resolve_stream` — a
+        single-caller generator that resets :attr:`statistics` per call —
+        ``resolve_task`` *accumulates* into the statistics, so a long-lived
+        serving engine reports totals across its whole lifetime.  Each task is
+        dispatched as its own single-entity chunk (no batching delay), which
+        trades chunk amortisation for per-request latency; with ``workers <=
+        1`` tasks serialise on the shared in-process resolver.
+
+        Do not interleave ``resolve_task`` with ``resolve_stream`` on one
+        engine: the stream's statistics reset would clobber the serving
+        counters.
+        """
+        statistics = self.statistics
+        with self._task_lock:
+            self._inflight_tasks += 1
+            statistics.peak_inflight_entities = max(
+                statistics.peak_inflight_entities, self._inflight_tasks
+            )
+        try:
+            if self.workers <= 1:
+                with self._sequential_lock:
+                    if self._resolver is None:
+                        self._resolver = ConflictResolver(self.options)
+                    before = self._resolver.program_cache.statistics()
+                    result = self._resolver.resolve(spec, oracle)
+                    after = self._resolver.program_cache.statistics()
+                    delta = {key: after[key] - before.get(key, 0) for key in after}
+            else:
+                future = self._ensure_pool().submit(resolve_chunk, [(spec, oracle)])
+                results, delta = future.result()
+                result = results[0]
+                with self._task_lock:
+                    statistics.parallel = True
+            with self._task_lock:
+                statistics.entities += 1
+                statistics.chunks += 1
+                statistics.merge_counters(delta)
+            return result
+        finally:
+            with self._task_lock:
+                self._inflight_tasks -= 1
 
     # -- sequential path -------------------------------------------------------
 

@@ -1,0 +1,55 @@
+"""Async serving layer: concurrent resolve requests over shared warm engines.
+
+The serving subsystem turns the batch/streaming reproduction into the
+interactive system the paper describes — clients ask for one entity at a time
+(or stream many), concurrently, against a long-lived process-pool engine:
+
+* :mod:`repro.serving.wire` — deterministic JSONL request/response format and
+  the :class:`SpecificationBuilder` mapping requests onto a fixed schema and
+  constraint sets;
+* :mod:`repro.serving.host` — :class:`EngineHost`, leasing one warm
+  :class:`~repro.engine.ResolutionEngine` per configuration to any number of
+  servers/requests;
+* :mod:`repro.serving.server` — the asyncio :class:`ResolutionServer` with
+  ordered streams, per-request backpressure, graceful draining shutdown and
+  checkpoint/resume;
+* :mod:`repro.serving.frontend` — the stdin/stdout JSONL loop and the
+  localhost TCP listener behind ``python -m repro serve``.
+"""
+
+from repro.serving.frontend import serve_jsonl, serve_tcp
+from repro.serving.host import EngineHost, EngineLease, engine_key
+from repro.serving.server import ResolutionServer, ServerClosed, ServerStats
+from repro.serving.wire import (
+    RequestStats,
+    ResolveRequest,
+    ResolveResponse,
+    SpecificationBuilder,
+    WireError,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+    response_from_result,
+)
+
+__all__ = [
+    "EngineHost",
+    "EngineLease",
+    "RequestStats",
+    "ResolutionServer",
+    "ResolveRequest",
+    "ResolveResponse",
+    "ServerClosed",
+    "ServerStats",
+    "SpecificationBuilder",
+    "WireError",
+    "decode_request",
+    "decode_response",
+    "encode_request",
+    "encode_response",
+    "engine_key",
+    "response_from_result",
+    "serve_jsonl",
+    "serve_tcp",
+]

@@ -1,0 +1,213 @@
+"""Serving frontends: a stdin/stdout JSONL loop and a localhost TCP server.
+
+Both frontends speak the line protocol of :mod:`repro.serving.wire` and drive
+one shared :class:`~repro.serving.server.ResolutionServer`:
+
+* :func:`serve_jsonl` pulls request lines from any (possibly blocking) text
+  source, streams them through the server with per-request backpressure, and
+  writes one response line per request *in request order* — the shape used by
+  ``python -m repro serve`` reading stdin and by batch-style clients;
+* :func:`serve_tcp` accepts concurrent TCP connections (one JSONL stream per
+  connection) on localhost; each connection gets its own ordered response
+  stream while all connections share the server's warm engine and in-flight
+  cap.
+
+Malformed request lines never kill a stream: each is answered with an
+``error`` record — written promptly, but out of band of the ordered response
+stream (and outside its checkpoint) — and the connection continues.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+import threading
+from typing import Any, AsyncIterator, Callable, Iterable, Optional, TextIO, Union
+
+from repro.pipeline.checkpoint import Checkpoint
+from repro.serving.server import ResolutionServer
+from repro.serving.wire import (
+    ResolveResponse,
+    WireError,
+    decode_request,
+    encode_response,
+)
+
+__all__ = ["serve_jsonl", "serve_tcp"]
+
+LineSource = Union[Iterable[str], AsyncIterator[str]]
+
+
+def _error_response(error: WireError) -> ResolveResponse:
+    """The response record for a line that could not be decoded."""
+    return ResolveResponse(
+        entity="", valid=False, complete=False, rounds=0, resolved={}, error=str(error)
+    )
+
+
+#: End-of-stream marker of the :func:`_aiter_lines` feeder thread.
+_EOF = object()
+
+
+async def _aiter_lines(handle: TextIO) -> AsyncIterator[str]:
+    """Read lines off the event loop (stdin/pipes block arbitrarily long).
+
+    The reader is a dedicated *daemon* thread — not the loop's default
+    executor — so a Ctrl-C while the thread is parked in a blocking TTY/pipe
+    read never hangs interpreter shutdown waiting for a line that will not
+    come.  The bounded queue gives the thread backpressure: it blocks on a
+    full queue until the serving side catches up.
+    """
+    loop = asyncio.get_running_loop()
+    queue: "asyncio.Queue[Any]" = asyncio.Queue(maxsize=64)
+
+    def feed() -> None:
+        try:
+            while True:
+                line = handle.readline()
+                if not line:
+                    break
+                asyncio.run_coroutine_threadsafe(queue.put(line), loop).result()
+            asyncio.run_coroutine_threadsafe(queue.put(_EOF), loop).result()
+        except RuntimeError:  # pragma: no cover - loop closed mid-read
+            return
+
+    threading.Thread(target=feed, name="repro-serve-reader", daemon=True).start()
+    while True:
+        item = await queue.get()
+        if item is _EOF:
+            return
+        yield item
+
+
+async def _as_async_lines(lines: LineSource) -> AsyncIterator[str]:
+    if hasattr(lines, "__aiter__"):
+        async for line in lines:  # type: ignore[union-attr]
+            yield line
+    elif hasattr(lines, "readline"):
+        async for line in _aiter_lines(lines):  # type: ignore[arg-type]
+            yield line
+    else:
+        for line in lines:  # type: ignore[union-attr]
+            yield line
+
+
+async def serve_jsonl(
+    server: ResolutionServer,
+    lines: LineSource,
+    write: Callable[[str], Any],
+    *,
+    include_stats: bool = False,
+    checkpoint: Optional[Checkpoint] = None,
+    checkpoint_every: int = 25,
+    resume: bool = False,
+) -> int:
+    """Drive one JSONL request stream through *server*; return responses written.
+
+    *lines* may be a plain iterable of strings, an async iterator, or an open
+    text handle (read off the event loop).  *write* receives one complete
+    response line (newline included) per record; it may be a plain callable
+    or a coroutine function — an awaitable return value is awaited, which is
+    how the TCP frontend applies transport backpressure (``drain()``) per
+    record.  Checkpointing follows
+    :meth:`~repro.serving.server.ResolutionServer.resolve_stream`: with
+    ``resume=True`` the first ``processed`` requests of the stream are
+    skipped, so re-running the same input after a shutdown continues where
+    the previous run stopped.
+
+    Error records for *malformed* lines sit outside those guarantees: they
+    are not entities, so they are not checkpointed (a resumed run re-answers
+    them) and their position among the ordered responses depends on how far
+    the request producer has read ahead.  The responses themselves — the
+    deterministic payload — are always complete, ordered and exactly-once
+    under graceful shutdown.
+    """
+
+    async def emit(record: str) -> None:
+        result = write(record)
+        if inspect.isawaitable(result):
+            await result
+
+    error_tasks: "list[asyncio.Task[None]]" = []
+
+    async def requests() -> AsyncIterator:
+        async for line in _as_async_lines(lines):
+            if not line.strip():
+                continue
+            try:
+                yield decode_request(line)
+            except WireError as error:
+                # Answer malformed lines promptly; they are not entities, so
+                # they stay outside the ordered (and checkpointed) stream.
+                # The write runs as its own task: it happens as soon as the
+                # transport allows — even if no valid request ever completes
+                # — without suspending this producer on a slow client.
+                record = encode_response(_error_response(error)) + "\n"
+                error_tasks.append(asyncio.create_task(emit(record)))
+
+    written = 0
+    stream = server.resolve_stream(
+        requests(),
+        checkpoint=checkpoint,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
+    )
+    try:
+        async for response in stream:
+            await emit(encode_response(response, include_stats) + "\n")
+            written += 1
+    finally:
+        if error_tasks:
+            await asyncio.gather(*error_tasks, return_exceptions=True)
+    return written
+
+
+async def serve_tcp(
+    server: ResolutionServer,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    include_stats: bool = False,
+) -> asyncio.AbstractServer:
+    """Start a TCP listener; every connection is an independent JSONL stream.
+
+    Returns the started :class:`asyncio.Server` (not yet awaited), so callers
+    own its lifetime::
+
+        tcp = await serve_tcp(server, port=0)
+        port = tcp.sockets[0].getsockname()[1]
+        ...
+        tcp.close(); await tcp.wait_closed()
+
+    Connections share the resolution server — and therefore its warm engine
+    and its global in-flight cap — but each gets its own ordered response
+    stream.
+    """
+
+    async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        async def write(record: str) -> None:
+            # Drain per record: a client that stops reading suspends its own
+            # stream instead of growing the server's transport buffer.
+            writer.write(record.encode("utf-8"))
+            await writer.drain()
+
+        async def lines() -> AsyncIterator[str]:
+            while True:
+                raw = await reader.readline()
+                if not raw:
+                    return
+                yield raw.decode("utf-8")
+
+        try:
+            await serve_jsonl(server, lines(), write, include_stats=include_stats)
+            await writer.drain()
+        except ConnectionResetError:  # pragma: no cover - client went away
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionResetError:  # pragma: no cover - client went away
+                pass
+
+    return await asyncio.start_server(handle, host, port)

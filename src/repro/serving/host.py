@@ -1,0 +1,249 @@
+"""Warm engine sharing across concurrent serving requests.
+
+Spinning a :class:`~repro.engine.ResolutionEngine` worker pool up costs
+process forks plus, per worker, the first compilation of the constraint
+program — far more than resolving one entity.  A serving deployment therefore
+must *never* build an engine per request.  :class:`EngineHost` owns one
+process-pool-backed engine per configuration key — by default a structural
+digest of the resolver options and pool shape, optionally extended with the
+workload's (schema, constraint-set) digest from
+:meth:`~repro.serving.wire.SpecificationBuilder.cache_key` — and hands out
+:class:`EngineLease` handles:
+
+* the first lease of a key builds (and optionally warms up) the engine —
+  a *miss*;
+* every later lease of the same key reuses the warm engine — a *hit*,
+  counted in :meth:`EngineHost.statistics` and surfaced per request as
+  ``engine_reused`` in the response stats;
+* releasing a lease keeps the engine warm for the next request; engines are
+  only shut down by :meth:`close_idle` (refcount zero) or :meth:`close`.
+
+The host is thread-safe: leases may be taken from any thread, matching how
+the asyncio server offloads blocking work to a thread pool.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional
+
+from repro.core.errors import ReproError
+from repro.engine import ResolutionEngine
+from repro.resolution.framework import ResolverOptions
+
+__all__ = ["EngineHost", "EngineLease", "engine_key"]
+
+
+def engine_key(
+    options: ResolverOptions,
+    workers: int,
+    chunk_size: Optional[int],
+    max_inflight_chunks: Optional[int],
+    scope: str = "",
+) -> str:
+    """Structural digest of an engine configuration.
+
+    Two configurations with equal resolver options and pool shape map to the
+    same key, so unrelated servers built alike still share one warm pool.
+    *scope* folds in a workload digest (e.g. the specification builder's
+    ``cache_key()``) for deployments that want one engine per (schema,
+    constraint-set) instead.
+    """
+    blob = json.dumps(
+        {
+            "options": asdict(options),
+            "workers": workers,
+            "chunk_size": chunk_size,
+            "max_inflight_chunks": max_inflight_chunks,
+            "scope": scope,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+        default=str,
+    )
+    return hashlib.sha1(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class _HostedEngine:
+    """One warm engine plus its lease refcount."""
+
+    engine: ResolutionEngine
+    active_leases: int = 0
+    total_leases: int = 0
+
+
+class EngineLease:
+    """A handle on a hosted engine; release it to return the engine warm.
+
+    Attributes
+    ----------
+    engine:
+        The shared :class:`~repro.engine.ResolutionEngine`.
+    reused:
+        ``False`` for the lease that built the engine, ``True`` for every
+        lease that found it warm.
+    """
+
+    def __init__(self, host: "EngineHost", key: str, engine: ResolutionEngine, reused: bool) -> None:
+        self._host = host
+        self.key = key
+        self.engine = engine
+        self.reused = reused
+        self._released = False
+
+    def release(self) -> None:
+        """Return the engine to the host (idempotent); it stays warm."""
+        if not self._released:
+            self._released = True
+            self._host._release(self.key)
+
+    def __enter__(self) -> "EngineLease":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+class EngineHost:
+    """A registry of warm engines, one per configuration key.
+
+    Parameters
+    ----------
+    warm_up:
+        When ``True`` (the default) a lease miss spins the new engine's
+        worker pool up before returning, so the first request pays the
+        process-fork cost inside the lease call (where the serving layer can
+        account for it) instead of inside its resolution.
+    """
+
+    def __init__(self, warm_up: bool = True) -> None:
+        self.warm_up = warm_up
+        self._engines: Dict[str, _HostedEngine] = {}
+        self._pending: Dict[str, threading.Lock] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        self._hits = 0
+        self._misses = 0
+
+    # -- leasing ---------------------------------------------------------------
+
+    def lease(
+        self,
+        options: Optional[ResolverOptions] = None,
+        *,
+        workers: int = 1,
+        chunk_size: Optional[int] = None,
+        max_inflight_chunks: Optional[int] = None,
+        scope: str = "",
+        key: Optional[str] = None,
+    ) -> EngineLease:
+        """Lease the engine for a configuration, building it on first use.
+
+        The engine is identified by *key* when given, otherwise by
+        :func:`engine_key` over the configuration (plus *scope*).  Engine
+        construction and warm-up happen outside the registry lock, so a slow
+        pool start never blocks leases of other keys — concurrent first
+        leases of the *same* key serialise on a per-key build lock instead.
+        """
+        options = options or ResolverOptions()
+        key = key or engine_key(options, workers, chunk_size, max_inflight_chunks, scope)
+        while True:
+            with self._lock:
+                if self._closed:
+                    raise ReproError("the engine host is closed")
+                hosted = self._engines.get(key)
+                if hosted is not None:
+                    hosted.active_leases += 1
+                    hosted.total_leases += 1
+                    self._hits += 1
+                    return EngineLease(self, key, hosted.engine, reused=True)
+                build = self._pending.get(key)
+                if build is None:
+                    build = self._pending[key] = threading.Lock()
+                    build.acquire()
+                    building = True
+                else:
+                    building = False
+            if not building:
+                # Another thread is building this key: wait for it, then loop
+                # back to take the warm engine (or to build, if it failed).
+                with build:
+                    pass
+                continue
+            try:
+                engine = ResolutionEngine(
+                    options,
+                    workers=workers,
+                    chunk_size=chunk_size,
+                    max_inflight_chunks=max_inflight_chunks,
+                )
+                if self.warm_up:
+                    engine.warm_up()
+                with self._lock:
+                    if self._closed:
+                        # close() ran while we were building outside the lock:
+                        # the registry will never shut this engine down, so do
+                        # it here instead of leaking its worker processes.
+                        closed_while_building = True
+                    else:
+                        closed_while_building = False
+                        self._engines[key] = _HostedEngine(
+                            engine, active_leases=1, total_leases=1
+                        )
+                        self._misses += 1
+                if closed_while_building:
+                    engine.close()
+                    raise ReproError("the engine host is closed")
+            finally:
+                with self._lock:
+                    self._pending.pop(key, None)
+                build.release()
+            return EngineLease(self, key, engine, reused=False)
+
+    def _release(self, key: str) -> None:
+        with self._lock:
+            hosted = self._engines.get(key)
+            if hosted is not None and hosted.active_leases > 0:
+                hosted.active_leases -= 1
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close_idle(self) -> int:
+        """Shut down engines with no active lease; return how many closed."""
+        with self._lock:
+            idle = [key for key, hosted in self._engines.items() if hosted.active_leases == 0]
+            closed = [self._engines.pop(key) for key in idle]
+        for hosted in closed:
+            hosted.engine.close()
+        return len(closed)
+
+    def close(self) -> None:
+        """Shut every hosted engine down and refuse further leases (idempotent)."""
+        with self._lock:
+            self._closed = True
+            engines = list(self._engines.values())
+            self._engines.clear()
+        for hosted in engines:
+            hosted.engine.close()
+
+    def __enter__(self) -> "EngineHost":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- introspection ---------------------------------------------------------
+
+    def statistics(self) -> Dict[str, int]:
+        """Lease counters: open engines, active leases, hits and misses."""
+        with self._lock:
+            return {
+                "engines": len(self._engines),
+                "active_leases": sum(h.active_leases for h in self._engines.values()),
+                "lease_hits": self._hits,
+                "lease_misses": self._misses,
+            }

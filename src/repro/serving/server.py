@@ -1,0 +1,474 @@
+"""The asyncio serving layer over the resolution engine.
+
+The paper frames conflict resolution as an *interactive* process — a user asks
+the system to resolve an entity, gets suggestions, answers, asks again.  This
+module is the front door for that shape of traffic: a
+:class:`ResolutionServer` accepts resolve requests concurrently, schedules
+them over one shared warm :class:`~repro.engine.ResolutionEngine` (leased from
+an :class:`~repro.serving.host.EngineHost`), and streams responses back.
+
+Design points:
+
+* **shared warm engine** — all requests of a server go through one engine
+  lease, so worker processes and their compiled-program caches are paid for
+  once and reused by every request (``engine_reused`` in the response stats
+  tells a client whether its server found the pool warm);
+* **per-request backpressure** — at most ``max_inflight`` requests hold a
+  resolve slot at any moment (an :class:`asyncio.Semaphore`); a
+  :meth:`resolve_stream` producer is suspended whenever its in-flight window
+  is full, so an arbitrarily fast client cannot flood the engine — the same
+  discipline the engine itself applies to chunks;
+* **ordered streams** — :meth:`resolve_stream` yields responses in request
+  order (head-of-line, like the engine's chunk stream), which makes serving
+  output deterministic and byte-comparable to a sequential run;
+* **graceful shutdown** — :meth:`shutdown` stops streams from pulling new
+  requests, drains every in-flight entity, and persists each stream's
+  position through the PR-3 :class:`~repro.pipeline.checkpoint.Checkpoint`
+  machinery, so a restarted server resumes exactly after the last response it
+  managed to deliver;
+* **statistics** — queue wait, resolve wall-clock and engine reuse are folded
+  into a :class:`ServerStats` snapshot (:meth:`ResolutionServer.stats`).
+
+Blocking engine calls are offloaded to a dedicated thread pool sized to the
+in-flight cap, so the event loop stays responsive no matter how long an
+individual resolution runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    AsyncIterator,
+    Callable,
+    Dict,
+    Iterable,
+    Optional,
+    Union,
+)
+
+from repro.core.errors import ReproError
+from repro.core.specification import Specification
+from repro.pipeline.checkpoint import Checkpoint
+from repro.resolution.framework import Oracle, ResolverOptions
+from repro.serving.host import EngineHost, EngineLease
+from repro.serving.wire import (
+    RequestStats,
+    ResolveRequest,
+    ResolveResponse,
+    response_from_result,
+)
+
+__all__ = ["ServerClosed", "ServerStats", "ResolutionServer"]
+
+#: Builds the specification of a request (e.g. a SpecificationBuilder).
+SpecFactory = Callable[[ResolveRequest], Specification]
+#: Builds the (optional) oracle answering a request's suggestions.
+OracleFactory = Callable[[ResolveRequest, Specification], Optional[Oracle]]
+#: Anything a stream can consume: plain or async iterables of requests.
+RequestSource = Union[Iterable[ResolveRequest], AsyncIterator[ResolveRequest]]
+
+
+class ServerClosed(ReproError):
+    """A request was submitted to a server that is shutting down (or closed)."""
+
+
+@dataclass
+class ServerStats:
+    """Snapshot of a server's lifetime counters (:meth:`ResolutionServer.stats`)."""
+
+    #: Requests accepted (including ones that later failed).
+    requests: int = 0
+    #: Requests answered successfully.
+    completed: int = 0
+    #: Requests answered with an error response.
+    failed: int = 0
+    #: High-water mark of requests holding a resolve slot at once.
+    peak_inflight: int = 0
+    #: Summed seconds requests spent waiting for a slot.
+    queue_seconds: float = 0.0
+    #: Summed seconds from slot acquisition to resolution.
+    resolve_seconds: float = 0.0
+    #: Whether this server's lease found a warm engine in the host.
+    engine_reused: bool = False
+    #: The engine's own counters (entities, peak in-flight, compile reuse).
+    engine: Dict[str, float] = field(default_factory=dict)
+    #: The host's lease counters (engines open, lease hits/misses).
+    host: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flat JSON-serializable representation (checkpoint state, reports)."""
+        return {
+            "requests": self.requests,
+            "completed": self.completed,
+            "failed": self.failed,
+            "peak_inflight": self.peak_inflight,
+            "queue_seconds": self.queue_seconds,
+            "resolve_seconds": self.resolve_seconds,
+            "engine_reused": self.engine_reused,
+            "engine": dict(self.engine),
+            "host": dict(self.host),
+        }
+
+
+async def _as_async(source: RequestSource) -> AsyncIterator[ResolveRequest]:
+    """View a plain iterable as an async one (async sources pass through)."""
+    if hasattr(source, "__aiter__"):
+        async for item in source:  # type: ignore[union-attr]
+            yield item
+    else:
+        for item in source:  # type: ignore[union-attr]
+            yield item
+
+
+#: Sentinels of :meth:`ResolutionServer._next_request`.
+_EXHAUSTED = object()
+_CLOSING = object()
+
+
+class ResolutionServer:
+    """Async façade over one leased resolution engine.
+
+    Parameters
+    ----------
+    spec_factory:
+        Maps a :class:`~repro.serving.wire.ResolveRequest` to its
+        specification — typically a
+        :class:`~repro.serving.wire.SpecificationBuilder`.
+    options:
+        Resolver configuration for the leased engine.
+    workers / chunk_size / max_inflight_chunks:
+        Engine pool shape (see :class:`~repro.engine.ResolutionEngine`).
+    host:
+        Engine host to lease from; ``None`` builds a private host that is
+        closed with the server.  Pass a shared host so several servers (or
+        server generations across restarts) reuse one warm pool.
+    oracle_factory:
+        Builds the oracle for a request (``None`` = automatic resolution).
+        With ``workers > 1`` oracles must be picklable.
+    max_inflight:
+        Per-request backpressure cap; defaults to the engine's
+        ``max_inflight_chunks`` (each serving request is one chunk).
+    scope:
+        Extra engine-lease scope (e.g. ``spec_builder.cache_key()``) for one
+        engine per workload; by default servers with equal options and pool
+        shape share an engine.
+
+    Use as an async context manager, or call :meth:`start` / :meth:`shutdown`
+    explicitly.  ``shutdown(drain=True)`` must not be awaited from the task
+    that is consuming a stream — it waits for streams to finish, and a stream
+    only finishes when its consumer keeps iterating.
+    """
+
+    def __init__(
+        self,
+        spec_factory: SpecFactory,
+        *,
+        options: Optional[ResolverOptions] = None,
+        workers: int = 1,
+        chunk_size: Optional[int] = None,
+        max_inflight_chunks: Optional[int] = None,
+        host: Optional[EngineHost] = None,
+        oracle_factory: Optional[OracleFactory] = None,
+        max_inflight: Optional[int] = None,
+        scope: str = "",
+    ) -> None:
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.spec_factory = spec_factory
+        self.options = options or ResolverOptions()
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.max_inflight_chunks = max_inflight_chunks
+        self.oracle_factory = oracle_factory
+        self.max_inflight = max_inflight
+        self.scope = scope
+        self._host = host
+        self._owns_host = host is None
+        self._lease: Optional[EngineLease] = None
+        self._threads: Optional[ThreadPoolExecutor] = None
+        self._slots: Optional[asyncio.Semaphore] = None
+        self._closing: Optional[asyncio.Event] = None
+        self._idle: Optional[asyncio.Event] = None
+        self._running = False
+        self._inflight = 0
+        self._active = 0  # request tasks created but not yet finished
+        self._stats = ServerStats()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def __aenter__(self) -> "ResolutionServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.shutdown()
+
+    async def start(self) -> None:
+        """Lease the engine (building/warming it if needed) and go live."""
+        if self._running:
+            return
+        if self._host is None:
+            self._host = EngineHost()
+        # Leasing can fork and warm a whole worker pool; keep it off the loop.
+        self._lease = await asyncio.to_thread(
+            self._host.lease,
+            self.options,
+            workers=self.workers,
+            chunk_size=self.chunk_size,
+            max_inflight_chunks=self.max_inflight_chunks,
+            scope=self.scope,
+        )
+        if self.max_inflight is None:
+            self.max_inflight = self._lease.engine.max_inflight_chunks
+        self._slots = asyncio.Semaphore(self.max_inflight)
+        self._threads = ThreadPoolExecutor(
+            max_workers=self.max_inflight, thread_name_prefix="repro-serve"
+        )
+        self._closing = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._stats.engine_reused = self._lease.reused
+        self._running = True
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop accepting work; with *drain*, wait for in-flight entities.
+
+        Streams stop pulling new requests the moment this is called; their
+        already-submitted entities resolve, are yielded in order (as long as
+        the consumer keeps iterating), and each stream saves its checkpoint
+        when it finishes.  Draining waits for the submitted *request tasks*,
+        not for stream consumers, so a client that abandoned its stream
+        cannot wedge the shutdown.  The engine lease is then released (the
+        engine stays warm in the host); a private host is closed outright.
+        """
+        if not self._running:
+            return
+        assert self._closing is not None and self._idle is not None
+        self._closing.set()
+        if drain:
+            await self._idle.wait()
+        self._running = False
+        if self._threads is not None:
+            self._threads.shutdown(wait=drain)
+            self._threads = None
+        if self._lease is not None:
+            self._lease.release()
+            self._lease = None
+        if self._owns_host and self._host is not None:
+            self._host.close()
+            self._host = None
+
+    @property
+    def engine(self):
+        """The leased engine (``None`` before :meth:`start`)."""
+        return self._lease.engine if self._lease is not None else None
+
+    def stats(self) -> ServerStats:
+        """Current statistics snapshot (server + engine + host counters)."""
+        snapshot = ServerStats(
+            requests=self._stats.requests,
+            completed=self._stats.completed,
+            failed=self._stats.failed,
+            peak_inflight=self._stats.peak_inflight,
+            queue_seconds=self._stats.queue_seconds,
+            resolve_seconds=self._stats.resolve_seconds,
+            engine_reused=self._stats.engine_reused,
+        )
+        if self._lease is not None:
+            snapshot.engine = self._lease.engine.statistics.as_dict()
+        if self._host is not None:
+            snapshot.host = self._host.statistics()
+        return snapshot
+
+    # -- request processing ----------------------------------------------------
+
+    def _require_running(self) -> None:
+        if not self._running or self._closing is None or self._closing.is_set():
+            raise ServerClosed("the resolution server is not accepting requests")
+
+    def _enter(self) -> None:
+        self._active += 1
+        assert self._idle is not None
+        self._idle.clear()
+
+    def _exit(self, _task: Any = None) -> None:
+        self._active -= 1
+        if self._active == 0:
+            assert self._idle is not None
+            self._idle.set()
+
+    def _spawn(self, request: ResolveRequest) -> "asyncio.Task[ResolveResponse]":
+        """Create one request task, tracked for shutdown draining.
+
+        The accounting is synchronous with task creation, so a drain that
+        begins in the same event-loop tick still sees (and waits for) the
+        task.
+        """
+        self._enter()
+        task = asyncio.create_task(self._process(request))
+        task.add_done_callback(self._exit)
+        return task
+
+    def _resolve_blocking(self, request: ResolveRequest):
+        """Thread-side work of one request: build the spec, resolve it."""
+        spec = self.spec_factory(request)
+        oracle = (
+            self.oracle_factory(request, spec) if self.oracle_factory is not None else None
+        )
+        assert self._lease is not None
+        return self._lease.engine.resolve_task(spec, oracle)
+
+    async def _process(self, request: ResolveRequest) -> ResolveResponse:
+        """Resolve one request under the in-flight cap; never raises."""
+        stats = self._stats
+        stats.requests += 1
+        enqueued = time.perf_counter()
+        assert self._slots is not None
+        async with self._slots:
+            started = time.perf_counter()
+            self._inflight += 1
+            stats.peak_inflight = max(stats.peak_inflight, self._inflight)
+            try:
+                loop = asyncio.get_running_loop()
+                result = await loop.run_in_executor(
+                    self._threads, self._resolve_blocking, request
+                )
+                request_stats = RequestStats(
+                    queue_seconds=started - enqueued,
+                    resolve_seconds=time.perf_counter() - started,
+                    engine_reused=stats.engine_reused,
+                )
+                response = response_from_result(request, result, request_stats)
+                stats.completed += 1
+            except Exception as error:  # noqa: BLE001 — a request must not kill the stream
+                request_stats = RequestStats(
+                    queue_seconds=started - enqueued,
+                    resolve_seconds=time.perf_counter() - started,
+                    engine_reused=stats.engine_reused,
+                )
+                response = ResolveResponse(
+                    entity=request.entity,
+                    valid=False,
+                    complete=False,
+                    rounds=0,
+                    resolved={},
+                    id=request.id,
+                    error=f"{type(error).__name__}: {error}",
+                    stats=request_stats,
+                )
+                stats.failed += 1
+            finally:
+                self._inflight -= 1
+            stats.queue_seconds += request_stats.queue_seconds
+            stats.resolve_seconds += request_stats.resolve_seconds
+            return response
+
+    async def resolve_one(self, request: ResolveRequest) -> ResolveResponse:
+        """Resolve a single request; errors come back as error responses."""
+        self._require_running()
+        return await self._spawn(request)
+
+    async def _next_request(self, source: AsyncIterator[ResolveRequest], closing_wait: "asyncio.Task[Any]"):
+        """Pull the next request, abandoning the pull if shutdown begins first."""
+        pull: asyncio.Task = asyncio.ensure_future(source.__anext__())
+        try:
+            done, _ = await asyncio.wait(
+                {pull, closing_wait}, return_when=asyncio.FIRST_COMPLETED
+            )
+        except asyncio.CancelledError:
+            # The stream's consumer was cancelled (connection drop, Ctrl-C):
+            # asyncio.wait leaves its awaited tasks running, so reap the pull
+            # or it outlives the stream as a forever-pending task.
+            pull.cancel()
+            raise
+        if pull in done:
+            try:
+                return pull.result()
+            except StopAsyncIteration:
+                return _EXHAUSTED
+        pull.cancel()
+        try:
+            await pull
+        except (asyncio.CancelledError, StopAsyncIteration):
+            pass
+        return _CLOSING
+
+    async def resolve_stream(
+        self,
+        requests: RequestSource,
+        *,
+        checkpoint: Optional[Checkpoint] = None,
+        checkpoint_every: int = 25,
+        resume: bool = False,
+    ) -> AsyncIterator[ResolveResponse]:
+        """Resolve a request stream; yield responses in request order.
+
+        Up to ``max_inflight`` requests are resolved concurrently; the
+        *requests* source is only pulled while the in-flight window has room,
+        so producer backpressure follows the engine's capacity.
+
+        With a *checkpoint*, the number of responses delivered so far is
+        persisted every *checkpoint_every* responses and once more when the
+        stream ends (including an early end forced by :meth:`shutdown` or by
+        the consumer closing the generator).  ``resume=True`` loads the saved
+        position first and skips exactly that many requests from the front of
+        the source — re-sending the same request sequence after a crash or
+        shutdown therefore loses no entities and repeats none.
+        """
+        self._require_running()
+        if checkpoint_every < 1:
+            raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+        offset = 0
+        if checkpoint is not None and resume:
+            saved = checkpoint.load()
+            if saved is not None:
+                offset = int(saved["processed"])
+        processed = offset
+        skipped = 0
+        pending: "list[asyncio.Task[ResolveResponse]]" = []
+        assert self._closing is not None
+        closing_wait = asyncio.ensure_future(self._closing.wait())
+        source = _as_async(requests)
+        try:
+            exhausted = False
+            while True:
+                while (
+                    not exhausted
+                    and not self._closing.is_set()
+                    and len(pending) < (self.max_inflight or 1)
+                ):
+                    item = await self._next_request(source, closing_wait)
+                    if item is _EXHAUSTED:
+                        exhausted = True
+                        break
+                    if item is _CLOSING:
+                        break
+                    if skipped < offset:
+                        skipped += 1
+                        continue
+                    pending.append(self._spawn(item))
+                if not pending:
+                    break
+                response = await pending.pop(0)
+                yield response
+                # Count the response only once the consumer asked for the
+                # next one — i.e. after it had the chance to durably handle
+                # this one.  A consumer that dies mid-write therefore resumes
+                # *at* the unwritten response (worst case: one duplicate,
+                # never a loss).
+                processed += 1
+                if checkpoint is not None and (processed - offset) % checkpoint_every == 0:
+                    checkpoint.save(processed, self.stats().as_dict())
+        finally:
+            closing_wait.cancel()
+            # A consumer that abandons the stream mid-flight (generator close)
+            # leaves window tasks running; cancel them — the checkpoint only
+            # covers *yielded* responses, so a resume re-resolves them.
+            for task in pending:
+                task.cancel()
+            if checkpoint is not None:
+                checkpoint.save(processed, self.stats().as_dict())

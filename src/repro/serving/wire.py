@@ -1,0 +1,270 @@
+"""Wire format of the serving layer: deterministic JSON request/response records.
+
+The serving protocol is line-oriented JSON (one record per line), chosen so
+the same codec drives the stdin/stdout loop, the TCP frontend and the test
+suite.  Encoding is *deterministic*: keys are sorted and separators are fixed,
+so two runs that resolve the same entities produce byte-identical response
+lines — the property the concurrent-vs-sequential equivalence tests assert.
+
+A request carries the entity name and its observed rows; the server side owns
+the schema and the constraint sets (Σ, Γ) and builds the
+:class:`~repro.core.specification.Specification` through a
+:class:`SpecificationBuilder`, mirroring how the ``pipeline`` CLI command
+treats its CSV input.  Responses carry the resolved tuple plus the resolution
+flags; per-request timing statistics are attached to the in-memory
+:class:`ResolveResponse` but excluded from the canonical encoding unless asked
+for (timings are nondeterministic by nature).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.core.cfd import ConstantCFD
+from repro.core.constraints import CurrencyConstraint
+from repro.core.errors import ReproError
+from repro.core.instance import EntityInstance, TemporalInstance
+from repro.core.schema import RelationSchema
+from repro.core.specification import Specification
+from repro.core.tuples import EntityTuple
+from repro.core.values import Value, is_null
+from repro.io import dump_constraints
+from repro.resolution.framework import ResolutionResult
+
+__all__ = [
+    "WireError",
+    "ResolveRequest",
+    "RequestStats",
+    "ResolveResponse",
+    "SpecificationBuilder",
+    "encode_request",
+    "decode_request",
+    "encode_response",
+    "decode_response",
+    "response_from_result",
+]
+
+
+class WireError(ReproError):
+    """A request/response line does not conform to the serving wire format."""
+
+
+def _canonical(payload: Any) -> str:
+    """Serialize a payload deterministically (sorted keys, fixed separators)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class ResolveRequest:
+    """One serving request: resolve the conflicts of a single entity.
+
+    Attributes
+    ----------
+    entity:
+        Entity name; becomes the specification name and is echoed in the
+        response so clients can correlate out-of-band.
+    rows:
+        The entity's observed tuples, one mapping per observation.  Attribute
+        names must belong to the server's schema; missing attributes read as
+        NULL, exactly as in the CSV path.
+    id:
+        Optional client-chosen correlation id, echoed verbatim.
+    """
+
+    entity: str
+    rows: Tuple[Mapping[str, Value], ...]
+    id: str = ""
+
+    def payload(self) -> Dict[str, Any]:
+        """JSON-serializable representation (used by the codec and checkpoints)."""
+        record: Dict[str, Any] = {
+            "entity": self.entity,
+            "rows": [dict(row) for row in self.rows],
+        }
+        if self.id:
+            record["id"] = self.id
+        return record
+
+
+@dataclass(frozen=True)
+class RequestStats:
+    """Per-request serving statistics (folded into the server's snapshot)."""
+
+    #: Seconds the request waited for an in-flight slot.
+    queue_seconds: float = 0.0
+    #: Seconds from slot acquisition to resolution (includes spec building).
+    resolve_seconds: float = 0.0
+    #: Whether the serving engine was a warm reuse from the host (lease hit).
+    engine_reused: bool = False
+
+
+@dataclass(frozen=True)
+class ResolveResponse:
+    """One serving response, mirroring the ``pipeline`` JSONL record schema."""
+
+    entity: str
+    valid: bool
+    complete: bool
+    rounds: int
+    resolved: Mapping[str, Optional[Value]]
+    id: str = ""
+    #: Non-empty when the request failed; the other fields are then defaults.
+    error: str = ""
+    stats: Optional[RequestStats] = None
+
+    def payload(self, include_stats: bool = False) -> Dict[str, Any]:
+        """JSON-serializable representation; timings only on request."""
+        record: Dict[str, Any] = {
+            "entity": self.entity,
+            "valid": self.valid,
+            "complete": self.complete,
+            "rounds": self.rounds,
+            "resolved": dict(self.resolved),
+        }
+        if self.id:
+            record["id"] = self.id
+        if self.error:
+            record["error"] = self.error
+        if include_stats and self.stats is not None:
+            record["stats"] = {
+                "queue_seconds": self.stats.queue_seconds,
+                "resolve_seconds": self.stats.resolve_seconds,
+                "engine_reused": self.stats.engine_reused,
+            }
+        return record
+
+
+def encode_request(request: ResolveRequest) -> str:
+    """Canonical one-line encoding of a request (no trailing newline)."""
+    return _canonical(request.payload())
+
+
+def decode_request(line: str) -> ResolveRequest:
+    """Parse one request line; :class:`WireError` on malformed input."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise WireError(f"request is not valid JSON: {error}") from None
+    if not isinstance(payload, dict):
+        raise WireError(f"request must be a JSON object, got {type(payload).__name__}")
+    entity = payload.get("entity")
+    if not isinstance(entity, str) or not entity:
+        raise WireError("request is missing a non-empty 'entity' string")
+    rows = payload.get("rows")
+    if not isinstance(rows, list) or not rows:
+        raise WireError(f"request {entity!r} needs a non-empty 'rows' array")
+    for index, row in enumerate(rows):
+        if not isinstance(row, dict):
+            raise WireError(f"request {entity!r} row {index} is not a JSON object")
+    request_id = payload.get("id", "")
+    if not isinstance(request_id, str):
+        raise WireError(f"request {entity!r} has a non-string 'id'")
+    return ResolveRequest(entity=entity, rows=tuple(rows), id=request_id)
+
+
+def encode_response(response: ResolveResponse, include_stats: bool = False) -> str:
+    """Canonical one-line encoding of a response (no trailing newline).
+
+    With the default ``include_stats=False`` the encoding is a pure function
+    of the resolution outcome — byte-identical across runs, worker counts and
+    client concurrency.
+    """
+    return _canonical(response.payload(include_stats))
+
+
+def decode_response(line: str) -> ResolveResponse:
+    """Parse one response line (the client side of the protocol)."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise WireError(f"response is not valid JSON: {error}") from None
+    if not isinstance(payload, dict) or "entity" not in payload:
+        raise WireError("response must be a JSON object with an 'entity' field")
+    stats_payload = payload.get("stats")
+    stats = None
+    if isinstance(stats_payload, dict):
+        stats = RequestStats(
+            queue_seconds=float(stats_payload.get("queue_seconds", 0.0)),
+            resolve_seconds=float(stats_payload.get("resolve_seconds", 0.0)),
+            engine_reused=bool(stats_payload.get("engine_reused", False)),
+        )
+    return ResolveResponse(
+        entity=str(payload["entity"]),
+        valid=bool(payload.get("valid", False)),
+        complete=bool(payload.get("complete", False)),
+        rounds=int(payload.get("rounds", 0)),
+        resolved=dict(payload.get("resolved", {})),
+        id=str(payload.get("id", "")),
+        error=str(payload.get("error", "")),
+        stats=stats,
+    )
+
+
+def response_from_result(
+    request: ResolveRequest,
+    result: ResolutionResult,
+    stats: Optional[RequestStats] = None,
+) -> ResolveResponse:
+    """Build the wire response for one resolution outcome."""
+    return ResolveResponse(
+        entity=request.entity,
+        valid=result.valid,
+        complete=result.complete,
+        rounds=result.interaction_rounds,
+        resolved={
+            attribute: (None if is_null(value) else value)
+            for attribute, value in result.resolved_tuple.items()
+        },
+        id=request.id,
+        stats=stats,
+    )
+
+
+@dataclass
+class SpecificationBuilder:
+    """Turn wire requests into specifications against a fixed schema and Σ ∪ Γ.
+
+    The builder is the server-side contract: every request resolved through
+    one server shares the schema and the constraint sets, so the engine's
+    compiled-program cache hits on every entity after the first.  Building is
+    deterministic — the same request always produces the same specification —
+    which is what makes serving results reproducible.
+    """
+
+    schema: RelationSchema
+    currency_constraints: Sequence[CurrencyConstraint] = ()
+    cfds: Sequence[ConstantCFD] = ()
+
+    def __call__(self, request: ResolveRequest) -> Specification:
+        """Build the specification ``S_e`` of one request."""
+        try:
+            tuples = [EntityTuple(self.schema, dict(row)) for row in request.rows]
+            instance = EntityInstance(self.schema, tuples)
+        except ReproError as error:
+            raise WireError(f"request {request.entity!r}: {error}") from error
+        return Specification(
+            TemporalInstance(instance),
+            list(self.currency_constraints),
+            list(self.cfds),
+            name=request.entity,
+        )
+
+    def cache_key(self) -> str:
+        """Structural digest of (schema, Σ, Γ) — the engine-host lease key.
+
+        Two builders over the same schema and constraint sets digest equally,
+        so servers configured alike share one warm engine.
+        """
+        blob = _canonical(
+            {
+                "relation": self.schema.name,
+                "attributes": list(self.schema.attribute_names),
+                "constraints": dump_constraints(
+                    list(self.currency_constraints), list(self.cfds)
+                ),
+            }
+        )
+        return hashlib.sha1(blob.encode("utf-8")).hexdigest()

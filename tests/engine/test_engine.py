@@ -57,9 +57,12 @@ class TestSequentialPath:
 
 
 class TestConfiguration:
-    def test_workers_floor(self):
-        assert ResolutionEngine(workers=0).workers == 1
-        assert ResolutionEngine(workers=-3).workers == 1
+    def test_rejects_bad_worker_count(self):
+        """A bad count fails construction, not the first deep pool call."""
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            ResolutionEngine(workers=0)
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            ResolutionEngine(workers=-3)
 
     def test_default_chunk_size(self):
         assert ResolutionEngine().chunk_size == DEFAULT_CHUNK_SIZE
@@ -68,11 +71,60 @@ class TestConfiguration:
         with pytest.raises(ValueError):
             ResolutionEngine(chunk_size=0)
 
+    def test_rejects_bad_inflight_window(self):
+        with pytest.raises(ValueError, match="max_inflight_chunks must be >= 1"):
+            ResolutionEngine(max_inflight_chunks=0)
+
     def test_context_manager_without_pool(self, small_person_dataset, options):
         with ResolutionEngine(options) as engine:
             engine.resolve_many(make_tasks(small_person_dataset, limit=1))
         # close() on a pool-less engine is a no-op.
         engine.close()
+
+
+class TestResolveTask:
+    """The serving entry point: thread-safe single-task resolution."""
+
+    def test_matches_resolve_stream(self, small_person_dataset, options):
+        tasks = make_tasks(small_person_dataset, limit=3)
+        expected = ResolutionEngine(options).resolve_many(make_tasks(small_person_dataset, limit=3))
+        engine = ResolutionEngine(options)
+        results = [engine.resolve_task(spec, oracle) for spec, oracle in tasks]
+        for have, want in zip(results, expected):
+            assert have.resolved_tuple == want.resolved_tuple
+            assert have.true_values.values == want.true_values.values
+
+    def test_statistics_accumulate_across_calls(self, small_person_dataset, options):
+        engine = ResolutionEngine(options)
+        for spec, oracle in make_tasks(small_person_dataset, limit=3):
+            engine.resolve_task(spec, oracle)
+        stats = engine.statistics
+        assert stats.entities == 3
+        assert stats.chunks == 3
+        assert stats.peak_inflight_entities >= 1
+        assert stats.compile_reuse["programs_compiled"] == 1
+        assert stats.compile_reuse["program_cache_hits"] == 2
+
+    def test_concurrent_callers_share_the_engine(self, small_person_dataset, options):
+        import threading
+
+        tasks = make_tasks(small_person_dataset, limit=6)
+        expected = ResolutionEngine(options).resolve_many(make_tasks(small_person_dataset, limit=6))
+        engine = ResolutionEngine(options)
+        results = [None] * len(tasks)
+
+        def work(index):
+            spec, oracle = tasks[index]
+            results[index] = engine.resolve_task(spec, oracle)
+
+        threads = [threading.Thread(target=work, args=(index,)) for index in range(len(tasks))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert engine.statistics.entities == len(tasks)
+        for have, want in zip(results, expected):
+            assert have.resolved_tuple == want.resolved_tuple
 
 
 class TestParallelPath:

@@ -1,0 +1,41 @@
+"""Shared fixtures of the serving-layer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resolution.framework import ResolverOptions
+from repro.serving import ResolveRequest, SpecificationBuilder
+
+
+@pytest.fixture(scope="session")
+def vj_builder(vj_schema, vj_currency_constraints, vj_cfds) -> SpecificationBuilder:
+    """Specification builder over the Fig. 2/3 running example."""
+    return SpecificationBuilder(vj_schema, vj_currency_constraints, vj_cfds)
+
+
+@pytest.fixture(scope="session")
+def vj_request(vj_builder) -> ResolveRequest:
+    """A request resolving the Edith entity of the running example."""
+    from tests.conftest import EDITH_ROWS
+
+    return ResolveRequest(entity="Edith", rows=tuple(dict(row) for row in EDITH_ROWS))
+
+
+@pytest.fixture
+def automatic_options() -> ResolverOptions:
+    """Fully automatic resolution (no interaction rounds, no fallback)."""
+    return ResolverOptions(max_rounds=0, fallback="none")
+
+
+def dataset_requests(dataset):
+    """One wire request per generated entity of a dataset."""
+    return [
+        ResolveRequest(entity=entity.name, rows=tuple(dict(row) for row in entity.rows))
+        for entity in dataset.entities
+    ]
+
+
+def dataset_builder(dataset) -> SpecificationBuilder:
+    """The serving-side builder matching a generated dataset's constraints."""
+    return SpecificationBuilder(dataset.schema, dataset.currency_constraints, dataset.cfds)

@@ -1,0 +1,178 @@
+"""Frontend tests: the JSONL loop and the TCP listener."""
+
+import asyncio
+
+from repro.resolution.framework import ConflictResolver
+from repro.serving import (
+    ResolutionServer,
+    ResolveRequest,
+    decode_response,
+    encode_request,
+    encode_response,
+    response_from_result,
+    serve_jsonl,
+    serve_tcp,
+)
+
+from tests.serving.conftest import dataset_builder, dataset_requests
+
+
+class TestServeJsonl:
+    def test_answers_in_request_order(self, vj_builder, vj_request, automatic_options):
+        requests = [
+            ResolveRequest(entity=f"e{index}", rows=vj_request.rows) for index in range(5)
+        ]
+        lines = [encode_request(request) + "\n" for request in requests]
+        out = []
+
+        async def run():
+            async with ResolutionServer(
+                vj_builder, options=automatic_options, max_inflight=2
+            ) as server:
+                return await serve_jsonl(server, lines, out.append)
+
+        written = asyncio.run(run())
+        assert written == 5
+        assert [decode_response(line).entity for line in out] == [r.entity for r in requests]
+        assert all(line.endswith("\n") for line in out)
+
+    def test_blank_and_malformed_lines(self, vj_builder, vj_request, automatic_options):
+        lines = [
+            "\n",
+            encode_request(vj_request) + "\n",
+            "this is not json\n",
+            '{"entity": "x"}\n',
+        ]
+        out = []
+
+        async def run():
+            async with ResolutionServer(vj_builder, options=automatic_options) as server:
+                return await serve_jsonl(server, lines, out.append)
+
+        written = asyncio.run(run())
+        responses = [decode_response(line) for line in out]
+        errors = [r for r in responses if r.error]
+        answered = [r for r in responses if not r.error]
+        assert written == 1  # only well-formed requests count
+        assert len(errors) == 2 and len(answered) == 1
+        assert answered[0].entity == "Edith"
+
+    def test_stats_flag_adds_timings(self, vj_builder, vj_request, automatic_options):
+        out = []
+
+        async def run():
+            async with ResolutionServer(vj_builder, options=automatic_options) as server:
+                await serve_jsonl(
+                    server, [encode_request(vj_request) + "\n"], out.append, include_stats=True
+                )
+
+        asyncio.run(run())
+        decoded = decode_response(out[0])
+        assert decoded.stats is not None and decoded.stats.resolve_seconds > 0.0
+
+
+class TestServeTcp:
+    @staticmethod
+    async def _client(port, requests):
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        for request in requests:
+            writer.write((encode_request(request) + "\n").encode("utf-8"))
+        await writer.drain()
+        writer.write_eof()
+        lines = []
+        while True:
+            raw = await reader.readline()
+            if not raw:
+                break
+            lines.append(raw.decode("utf-8").rstrip("\n"))
+        writer.close()
+        await writer.wait_closed()
+        return lines
+
+    def test_concurrent_connections_match_sequential(
+        self, small_nba_dataset, automatic_options
+    ):
+        """Several TCP clients at once, byte-identical to a sequential resolver."""
+        builder = dataset_builder(small_nba_dataset)
+        requests = dataset_requests(small_nba_dataset)
+        resolver = ConflictResolver(automatic_options)
+        expected = [
+            encode_response(response_from_result(request, resolver.resolve(builder(request))))
+            for request in requests
+        ]
+        clients = 4
+        shares = [requests[offset::clients] for offset in range(clients)]
+
+        async def run():
+            async with ResolutionServer(
+                builder, options=automatic_options, max_inflight=4
+            ) as server:
+                tcp = await serve_tcp(server)
+                port = tcp.sockets[0].getsockname()[1]
+                try:
+                    return await asyncio.gather(
+                        *(self._client(port, share) for share in shares)
+                    )
+                finally:
+                    tcp.close()
+                    await tcp.wait_closed()
+
+        answers = asyncio.run(run())
+        for share, lines in zip(shares, answers):
+            expected_lines = [expected[requests.index(request)] for request in share]
+            assert lines == expected_lines
+
+    def test_malformed_line_answered_without_any_valid_request(
+        self, vj_builder, automatic_options
+    ):
+        """The error record arrives promptly even if no entity ever resolves."""
+
+        async def run():
+            async with ResolutionServer(vj_builder, options=automatic_options) as server:
+                tcp = await serve_tcp(server)
+                port = tcp.sockets[0].getsockname()[1]
+                try:
+                    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                    writer.write(b"garbage\n")
+                    await writer.drain()
+                    # No EOF, no valid request: the connection just waits.
+                    raw = await asyncio.wait_for(reader.readline(), timeout=10)
+                    writer.close()
+                    await writer.wait_closed()
+                    return decode_response(raw.decode("utf-8"))
+                finally:
+                    tcp.close()
+                    await tcp.wait_closed()
+
+        response = asyncio.run(run())
+        assert response.error != ""
+
+    def test_malformed_line_keeps_connection_alive(
+        self, vj_builder, vj_request, automatic_options
+    ):
+        async def run():
+            async with ResolutionServer(vj_builder, options=automatic_options) as server:
+                tcp = await serve_tcp(server)
+                port = tcp.sockets[0].getsockname()[1]
+                try:
+                    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                    writer.write(b"garbage\n")
+                    writer.write((encode_request(vj_request) + "\n").encode("utf-8"))
+                    await writer.drain()
+                    writer.write_eof()
+                    lines = []
+                    while True:
+                        raw = await reader.readline()
+                        if not raw:
+                            break
+                        lines.append(decode_response(raw.decode("utf-8")))
+                    writer.close()
+                    await writer.wait_closed()
+                    return lines
+                finally:
+                    tcp.close()
+                    await tcp.wait_closed()
+
+        responses = asyncio.run(run())
+        assert sorted(bool(r.error) for r in responses) == [False, True]
+        assert any(r.entity == "Edith" and not r.error for r in responses)

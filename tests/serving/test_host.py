@@ -1,0 +1,107 @@
+"""Engine-host tests: lease reuse, refcounting and lifecycle."""
+
+import threading
+
+import pytest
+
+from repro.resolution.framework import ResolverOptions
+from repro.serving import EngineHost, engine_key
+
+
+class TestEngineKey:
+    def test_equal_configurations_share_a_key(self):
+        left = engine_key(ResolverOptions(), 2, None, None)
+        right = engine_key(ResolverOptions(), 2, None, None)
+        assert left == right
+
+    def test_options_and_shape_differentiate(self):
+        base = engine_key(ResolverOptions(), 1, None, None)
+        assert engine_key(ResolverOptions(max_rounds=9), 1, None, None) != base
+        assert engine_key(ResolverOptions(), 2, None, None) != base
+        assert engine_key(ResolverOptions(), 1, 8, None) != base
+
+    def test_scope_differentiates(self):
+        base = engine_key(ResolverOptions(), 1, None, None)
+        assert engine_key(ResolverOptions(), 1, None, None, scope="nba") != base
+
+
+class TestEngineHost:
+    def test_first_lease_misses_then_hits(self):
+        with EngineHost(warm_up=False) as host:
+            first = host.lease(ResolverOptions())
+            assert not first.reused
+            second = host.lease(ResolverOptions())
+            assert second.reused
+            assert second.engine is first.engine
+            assert host.statistics() == {
+                "engines": 1,
+                "active_leases": 2,
+                "lease_hits": 1,
+                "lease_misses": 1,
+            }
+
+    def test_different_options_get_different_engines(self):
+        with EngineHost(warm_up=False) as host:
+            first = host.lease(ResolverOptions())
+            second = host.lease(ResolverOptions(max_rounds=9))
+            assert second.engine is not first.engine
+            assert host.statistics()["engines"] == 2
+
+    def test_release_keeps_engine_warm(self):
+        with EngineHost(warm_up=False) as host:
+            lease = host.lease(ResolverOptions())
+            lease.release()
+            lease.release()  # idempotent
+            assert host.statistics()["active_leases"] == 0
+            again = host.lease(ResolverOptions())
+            assert again.reused and again.engine is lease.engine
+
+    def test_close_idle_only_reaps_unleased_engines(self):
+        with EngineHost(warm_up=False) as host:
+            held = host.lease(ResolverOptions())
+            idle = host.lease(ResolverOptions(max_rounds=9))
+            idle.release()
+            assert host.close_idle() == 1
+            assert host.statistics()["engines"] == 1
+            assert host.lease(ResolverOptions()).engine is held.engine
+
+    def test_lease_context_manager_releases(self):
+        with EngineHost(warm_up=False) as host:
+            with host.lease(ResolverOptions()) as lease:
+                assert lease.engine is not None
+                assert host.statistics()["active_leases"] == 1
+            assert host.statistics()["active_leases"] == 0
+
+    def test_lease_after_close_rejected(self):
+        from repro.core.errors import ReproError
+
+        host = EngineHost(warm_up=False)
+        host.close()
+        host.close()  # idempotent
+        with pytest.raises(ReproError, match="closed"):
+            host.lease(ResolverOptions())
+
+    def test_concurrent_first_leases_build_one_engine(self):
+        host = EngineHost(warm_up=False)
+        leases = []
+        errors = []
+
+        def take():
+            try:
+                leases.append(host.lease(ResolverOptions()))
+            except Exception as error:  # pragma: no cover - diagnostic only
+                errors.append(error)
+
+        threads = [threading.Thread(target=take) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        engines = {id(lease.engine) for lease in leases}
+        assert len(engines) == 1
+        statistics = host.statistics()
+        assert statistics["engines"] == 1
+        assert statistics["lease_misses"] == 1
+        assert statistics["lease_hits"] == 7
+        host.close()

@@ -1,0 +1,276 @@
+"""Resolution-server tests: equivalence, backpressure, shutdown and resume.
+
+The load-bearing property: serving results are *byte-identical* (canonical
+wire encoding) to resolving the same specifications sequentially with one
+:class:`~repro.resolution.framework.ConflictResolver` — no matter how many
+clients hit the server concurrently or how many engine workers it runs.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.evaluation.interaction import GroundTruthOracle
+from repro.pipeline import Checkpoint
+from repro.resolution.framework import ConflictResolver, ResolverOptions
+from repro.serving import (
+    EngineHost,
+    ResolutionServer,
+    ResolveRequest,
+    ServerClosed,
+    encode_response,
+    response_from_result,
+)
+
+from tests.serving.conftest import dataset_builder, dataset_requests
+
+
+def sequential_encodings(builder, requests, options, oracle_for=None):
+    """Canonical response lines from one warm sequential resolver."""
+    resolver = ConflictResolver(options)
+    lines = []
+    for request in requests:
+        spec = builder(request)
+        oracle = oracle_for(request, spec) if oracle_for is not None else None
+        result = resolver.resolve(spec, oracle)
+        lines.append(encode_response(response_from_result(request, result)))
+    return lines
+
+
+def serve_concurrently(builder, requests, options, clients, **server_kwargs):
+    """Resolve *requests* through *clients* concurrent closed-loop clients.
+
+    Requests are dealt round-robin; each client awaits its responses one at a
+    time (a closed loop), so *clients* bounds the request concurrency.
+    Returns the canonical encodings in the original request order.
+    """
+
+    async def run():
+        async with ResolutionServer(builder, options=options, **server_kwargs) as server:
+            encodings = [None] * len(requests)
+
+            async def client(offset):
+                for index in range(offset, len(requests), clients):
+                    response = await server.resolve_one(requests[index])
+                    assert response.error == "", response.error
+                    encodings[index] = encode_response(response)
+
+            await asyncio.gather(*(client(offset) for offset in range(clients)))
+            return encodings, server.stats()
+
+    return asyncio.run(run())
+
+
+class TestConcurrentEquivalence:
+    @pytest.mark.parametrize("dataset_fixture", ["small_nba_dataset", "small_career_dataset"])
+    def test_16_clients_match_sequential(self, dataset_fixture, request, automatic_options):
+        dataset = request.getfixturevalue(dataset_fixture)
+        builder = dataset_builder(dataset)
+        requests = dataset_requests(dataset)
+        expected = sequential_encodings(builder, requests, automatic_options)
+        served, stats = serve_concurrently(
+            builder, requests, automatic_options, clients=16, max_inflight=8
+        )
+        assert served == expected
+        assert stats.completed == len(requests)
+        assert stats.peak_inflight >= 2  # the clients really ran concurrently
+
+    def test_parallel_engine_matches_sequential(self, small_person_dataset, automatic_options):
+        builder = dataset_builder(small_person_dataset)
+        requests = dataset_requests(small_person_dataset)
+        expected = sequential_encodings(builder, requests, automatic_options)
+        served, stats = serve_concurrently(
+            builder, requests, automatic_options, clients=4, workers=2
+        )
+        assert served == expected
+        assert stats.engine["parallel"] == 1.0
+
+    def test_interactive_oracle_matches_sequential(self, small_person_dataset):
+        options = ResolverOptions(max_rounds=2, fallback="none")
+        entities = {entity.name: entity for entity in small_person_dataset.entities}
+
+        def oracle_for(request, _spec):
+            return GroundTruthOracle(entities[request.entity])
+
+        builder = dataset_builder(small_person_dataset)
+        requests = dataset_requests(small_person_dataset)
+        expected = sequential_encodings(builder, requests, options, oracle_for)
+
+        async def run():
+            async with ResolutionServer(
+                builder, options=options, oracle_factory=oracle_for, max_inflight=4
+            ) as server:
+                return [
+                    encode_response(response)
+                    async for response in server.resolve_stream(requests)
+                ]
+
+        assert asyncio.run(run()) == expected
+
+    def test_stream_preserves_request_order(self, vj_builder, vj_request, automatic_options):
+        requests = [
+            ResolveRequest(entity=f"{vj_request.entity}-{index}", rows=vj_request.rows)
+            for index in range(9)
+        ]
+
+        async def run():
+            async with ResolutionServer(
+                vj_builder, options=automatic_options, max_inflight=3
+            ) as server:
+                return [r.entity async for r in server.resolve_stream(requests)]
+
+        assert asyncio.run(run()) == [request.entity for request in requests]
+
+
+class TestBackpressure:
+    def test_inflight_cap_holds(self, vj_builder, vj_request, automatic_options):
+        requests = [
+            ResolveRequest(entity=f"e{index}", rows=vj_request.rows) for index in range(12)
+        ]
+
+        async def run():
+            async with ResolutionServer(
+                vj_builder, options=automatic_options, max_inflight=3
+            ) as server:
+                async for _ in server.resolve_stream(requests):
+                    pass
+                return server.stats()
+
+        stats = asyncio.run(run())
+        # The cap is a hard bound on both the server window and the engine's
+        # actual working set; the peak shows real (>1) concurrency happened.
+        assert stats.peak_inflight <= 3
+        assert stats.engine["peak_inflight_entities"] <= 3
+        assert stats.peak_inflight >= 2
+
+    def test_bad_max_inflight_rejected(self, vj_builder):
+        with pytest.raises(ValueError):
+            ResolutionServer(vj_builder, max_inflight=0)
+
+
+class TestErrorHandling:
+    def test_bad_request_becomes_error_response(self, vj_builder, automatic_options):
+        bad = ResolveRequest(entity="broken", rows=({"no_such_column": 1},))
+
+        async def run():
+            async with ResolutionServer(vj_builder, options=automatic_options) as server:
+                response = await server.resolve_one(bad)
+                return response, server.stats()
+
+        response, stats = asyncio.run(run())
+        assert response.error != "" and not response.valid
+        assert response.entity == "broken"
+        assert stats.failed == 1
+
+    def test_error_does_not_poison_the_stream(self, vj_builder, vj_request, automatic_options):
+        requests = [
+            vj_request,
+            ResolveRequest(entity="broken", rows=({"no_such_column": 1},)),
+            ResolveRequest(entity="after", rows=vj_request.rows),
+        ]
+
+        async def run():
+            async with ResolutionServer(vj_builder, options=automatic_options) as server:
+                return [r async for r in server.resolve_stream(requests)]
+
+        responses = asyncio.run(run())
+        assert [r.entity for r in responses] == ["Edith", "broken", "after"]
+        assert responses[1].error != ""
+        assert responses[0].error == "" and responses[2].error == ""
+
+
+class TestShutdownAndResume:
+    def test_resolve_after_shutdown_rejected(self, vj_builder, vj_request, automatic_options):
+        async def run():
+            server = ResolutionServer(vj_builder, options=automatic_options)
+            await server.start()
+            await server.shutdown()
+            with pytest.raises(ServerClosed):
+                await server.resolve_one(vj_request)
+
+        asyncio.run(run())
+
+    def test_shutdown_mid_stream_then_resume_loses_no_entities(
+        self, vj_builder, vj_request, automatic_options, tmp_path
+    ):
+        """The acceptance scenario: kill a stream, resume it, cover every entity."""
+        requests = [
+            ResolveRequest(entity=f"e{index}", rows=vj_request.rows) for index in range(10)
+        ]
+        checkpoint = Checkpoint(tmp_path / "serve.ckpt")
+        host = EngineHost(warm_up=False)
+
+        async def first_run():
+            delivered = []
+            async with ResolutionServer(
+                vj_builder, options=automatic_options, host=host, max_inflight=3
+            ) as server:
+                stream = server.resolve_stream(
+                    requests, checkpoint=checkpoint, checkpoint_every=1
+                )
+                async for response in stream:
+                    delivered.append(response.entity)
+                    if len(delivered) == 3:
+                        # Shut down from a separate task while the stream is
+                        # mid-flight; the stream must drain what it already
+                        # pulled and then stop.
+                        asyncio.get_running_loop().create_task(server.shutdown())
+            return delivered
+
+        delivered = asyncio.run(first_run())
+        saved = checkpoint.load()
+        assert saved is not None
+        assert saved["processed"] == len(delivered)
+        assert len(delivered) < len(requests)  # it really stopped early
+
+        async def resumed_run():
+            async with ResolutionServer(
+                vj_builder, options=automatic_options, host=host, max_inflight=3
+            ) as server:
+                stream = server.resolve_stream(
+                    requests, checkpoint=checkpoint, checkpoint_every=1, resume=True
+                )
+                return [response.entity async for response in stream]
+
+        resumed = asyncio.run(resumed_run())
+        host.close()
+        # No entity lost, none resolved twice.
+        assert delivered + resumed == [request.entity for request in requests]
+        assert checkpoint.load()["processed"] == len(requests)
+
+    def test_abandoned_stream_does_not_wedge_shutdown(
+        self, vj_builder, vj_request, automatic_options
+    ):
+        requests = [
+            ResolveRequest(entity=f"e{index}", rows=vj_request.rows) for index in range(6)
+        ]
+
+        async def run():
+            async with ResolutionServer(
+                vj_builder, options=automatic_options, max_inflight=2
+            ) as server:
+                stream = server.resolve_stream(requests)
+                async for _ in stream:
+                    break  # walk away mid-stream without closing the generator
+            # __aexit__ drains in-flight tasks and must return promptly.
+            return True
+
+        assert asyncio.run(asyncio.wait_for(run(), timeout=30))
+
+
+class TestServerStats:
+    def test_stats_fold_request_timings(self, vj_builder, vj_request, automatic_options):
+        async def run():
+            async with ResolutionServer(vj_builder, options=automatic_options) as server:
+                response = await server.resolve_one(vj_request)
+                return response, server.stats()
+
+        response, stats = asyncio.run(run())
+        assert response.stats is not None
+        assert response.stats.resolve_seconds > 0.0
+        assert stats.requests == stats.completed == 1
+        assert stats.resolve_seconds >= response.stats.resolve_seconds
+        assert stats.engine["entities"] == 1.0
+        assert stats.host["lease_misses"] == 1
+        payload = stats.as_dict()
+        assert payload["engine"]["entities"] == 1.0

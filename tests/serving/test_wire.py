@@ -1,0 +1,119 @@
+"""Wire-format tests: deterministic JSON codec and the specification builder."""
+
+import json
+
+import pytest
+
+from repro.core.schema import RelationSchema
+from repro.serving import (
+    RequestStats,
+    ResolveRequest,
+    ResolveResponse,
+    SpecificationBuilder,
+    WireError,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+
+
+class TestRequestCodec:
+    def test_round_trip(self, vj_request):
+        assert decode_request(encode_request(vj_request)) == vj_request
+
+    def test_round_trip_with_id(self, vj_request):
+        tagged = ResolveRequest(entity=vj_request.entity, rows=vj_request.rows, id="req-7")
+        decoded = decode_request(encode_request(tagged))
+        assert decoded.id == "req-7"
+        assert decoded == tagged
+
+    def test_encoding_is_deterministic(self, vj_request):
+        assert encode_request(vj_request) == encode_request(
+            ResolveRequest(entity=vj_request.entity, rows=vj_request.rows)
+        )
+        # Sorted keys, fixed separators: key order of the input never leaks.
+        payload = json.loads(encode_request(vj_request))
+        assert list(payload) == sorted(payload)
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "not json",
+            "[1, 2]",
+            "{}",
+            '{"entity": ""}',
+            '{"entity": "e"}',
+            '{"entity": "e", "rows": []}',
+            '{"entity": "e", "rows": ["not-an-object"]}',
+            '{"entity": "e", "rows": [{}], "id": 7}',
+        ],
+    )
+    def test_malformed_requests_rejected(self, line):
+        with pytest.raises(WireError):
+            decode_request(line)
+
+
+class TestResponseCodec:
+    def _response(self, stats=None):
+        return ResolveResponse(
+            entity="Edith",
+            valid=True,
+            complete=True,
+            rounds=1,
+            resolved={"status": "deceased", "kids": 3, "job": None},
+            id="req-1",
+            stats=stats,
+        )
+
+    def test_round_trip(self):
+        response = self._response()
+        decoded = decode_response(encode_response(response))
+        assert decoded.entity == "Edith"
+        assert decoded.resolved == {"status": "deceased", "kids": 3, "job": None}
+        assert decoded.rounds == 1
+        assert decoded.id == "req-1"
+        assert decoded.error == ""
+
+    def test_stats_excluded_by_default(self):
+        response = self._response(stats=RequestStats(0.1, 0.2, True))
+        assert "stats" not in json.loads(encode_response(response))
+        with_stats = json.loads(encode_response(response, include_stats=True))
+        assert with_stats["stats"]["engine_reused"] is True
+        decoded = decode_response(encode_response(response, include_stats=True))
+        assert decoded.stats.resolve_seconds == pytest.approx(0.2)
+
+    def test_error_field_round_trips(self):
+        response = ResolveResponse(
+            entity="", valid=False, complete=False, rounds=0, resolved={}, error="boom"
+        )
+        assert decode_response(encode_response(response)).error == "boom"
+
+    def test_malformed_response_rejected(self):
+        with pytest.raises(WireError):
+            decode_response("nope")
+        with pytest.raises(WireError):
+            decode_response('{"valid": true}')
+
+
+class TestSpecificationBuilder:
+    def test_builds_named_specification(self, vj_builder, vj_request):
+        spec = vj_builder(vj_request)
+        assert spec.name == "Edith"
+        assert len(spec.instance.tids) == len(vj_request.rows)
+        assert len(spec.currency_constraints) == 8
+        assert len(spec.cfds) == 2
+
+    def test_unknown_attribute_is_wire_error(self, vj_builder):
+        request = ResolveRequest(entity="x", rows=({"no_such_column": 1},))
+        with pytest.raises(WireError):
+            vj_builder(request)
+
+    def test_cache_key_is_structural(self, vj_schema, vj_currency_constraints, vj_cfds):
+        first = SpecificationBuilder(vj_schema, vj_currency_constraints, vj_cfds)
+        second = SpecificationBuilder(vj_schema, list(vj_currency_constraints), list(vj_cfds))
+        assert first.cache_key() == second.cache_key()
+        fewer = SpecificationBuilder(vj_schema, vj_currency_constraints[:-1], vj_cfds)
+        assert fewer.cache_key() != first.cache_key()
+        other_schema = RelationSchema("other", ["a", "b"])
+        assert SpecificationBuilder(other_schema).cache_key() != first.cache_key()
