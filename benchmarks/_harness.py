@@ -36,17 +36,63 @@ from repro.encoding import (
     instantiate,
     instantiate_compiled,
 )
+from repro.api import ResolutionClient, RunConfig
 from repro.engine import ResolutionEngine
 from repro.evaluation import (
     ExperimentResult,
     format_series,
     format_table,
-    run_baseline_experiment,
-    run_framework_experiment,
 )
 from repro.resolution import check_validity, deduce_order, naive_deduce
 from repro.resolution.framework import ConflictResolver, ResolverOptions
 from repro.evaluation.interaction import ReluctantOracle
+
+
+def run_client_experiment(
+    dataset,
+    *,
+    max_interaction_rounds: int = 5,
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
+    max_inflight_chunks: Optional[int] = None,
+    incremental: bool = True,
+    compiled: bool = True,
+    resolver_options: Optional[ResolverOptions] = None,
+    **kwargs,
+):
+    """Framework experiment through the public facade.
+
+    The benchmarks' replacement for the deprecated
+    ``run_framework_experiment`` shim: one :class:`~repro.api.RunConfig`, one
+    short-lived :class:`~repro.api.ResolutionClient`, identical semantics.
+    """
+    options = resolver_options or ResolverOptions(
+        max_rounds=max_interaction_rounds,
+        fallback="none",
+        incremental=incremental,
+        compiled=compiled,
+    )
+    config = RunConfig(
+        options=options,
+        workers=workers,
+        chunk_size=chunk_size,
+        max_inflight_chunks=max_inflight_chunks,
+    )
+    with ResolutionClient(config) as client:
+        return client.run_experiment(dataset, **kwargs)
+
+
+def run_client_baseline(dataset, method: str, *, workers: int = 1, seed: int = 0,
+                        repetitions: int = 3, **kwargs):
+    """Baseline experiment through the public facade (see above)."""
+    with ResolutionClient(RunConfig(workers=max(1, workers))) as client:
+        return client.run_experiment(
+            dataset,
+            baseline=method,
+            baseline_seed=seed,
+            baseline_repetitions=repetitions,
+            **kwargs,
+        )
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -105,7 +151,7 @@ def incremental_comparison(
     """
     comparison: Dict[str, Dict[str, float]] = {}
     for mode, incremental in (("incremental", True), ("from_scratch", False)):
-        result = run_framework_experiment(
+        result = run_client_experiment(
             dataset,
             max_interaction_rounds=max_rounds,
             limit=limit,
@@ -229,7 +275,7 @@ def accuracy_panel(
         for fraction in FRACTIONS:
             sigma_fraction = fraction if vary in ("both", "sigma") else 0.0
             gamma_fraction = fraction if vary in ("both", "gamma") else 0.0
-            result = run_framework_experiment(
+            result = run_client_experiment(
                 dataset,
                 sigma_fraction=sigma_fraction,
                 gamma_fraction=gamma_fraction,
@@ -239,7 +285,7 @@ def accuracy_panel(
             ys.append(result.f_measure)
         lines.append(format_series(f"{rounds}-interaction", FRACTIONS, ys))
     if include_pick:
-        pick = run_baseline_experiment(dataset, "pick", limit=limit)
+        pick = run_client_baseline(dataset, "pick", limit=limit)
         lines.append(format_series("Pick", FRACTIONS, [pick.f_measure] * len(FRACTIONS)))
     return "\n".join(lines)
 
@@ -247,7 +293,7 @@ def accuracy_panel(
 def interaction_panel(dataset: GeneratedDataset, max_rounds: int, limit: Optional[int] = None) -> str:
     """Fraction of true attribute values identified after 0..max_rounds rounds
     (one of Fig. 8(e)/(i)/(m))."""
-    result = run_framework_experiment(dataset, max_interaction_rounds=max_rounds, limit=limit)
+    result = run_client_experiment(dataset, max_interaction_rounds=max_rounds, limit=limit)
     series = result.true_value_fraction_by_round(max_rounds)
     rows = [[rounds, fraction] for rounds, fraction in enumerate(series)]
     table = format_table(["#interactions", "fraction of true values"], rows)

@@ -36,7 +36,7 @@ import time
 from pathlib import Path
 from typing import Dict
 
-from _harness import report, report_json
+from _harness import report, report_json, run_client_experiment
 from repro.evaluation import format_table
 
 _SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
@@ -52,7 +52,6 @@ _MAX_INFLIGHT = 4
 def _run_mode(mode: str, entities: int) -> Dict[str, float]:
     """Child-process body: run one mode, print its measurements as JSON."""
     from repro.datasets import PersonConfig, generate_person_dataset, stream_person_dataset
-    from repro.evaluation import run_framework_experiment
 
     config = PersonConfig(num_entities=entities, seed=31)
     engine_settings = dict(
@@ -61,12 +60,12 @@ def _run_mode(mode: str, entities: int) -> Dict[str, float]:
     start = time.perf_counter()
     if mode == "batch":
         dataset = generate_person_dataset(config)
-        result = run_framework_experiment(
+        result = run_client_experiment(
             dataset, max_interaction_rounds=_MAX_ROUNDS, **engine_settings
         )
     else:
         stream = stream_person_dataset(config)
-        result = run_framework_experiment(
+        result = run_client_experiment(
             stream, max_interaction_rounds=_MAX_ROUNDS, keep_outcomes=False, **engine_settings
         )
     wall = time.perf_counter() - start
@@ -159,10 +158,9 @@ def bench_pipeline_stream(benchmark) -> None:
     payload = run_pipeline_stream()
     assert payload["accuracy_invariant"]
     from repro.datasets import PersonConfig, stream_person_dataset
-    from repro.evaluation import run_framework_experiment
 
     benchmark(
-        lambda: run_framework_experiment(
+        lambda: run_client_experiment(
             stream_person_dataset(PersonConfig(num_entities=4, seed=31)),
             max_interaction_rounds=1,
             keep_outcomes=False,

@@ -20,8 +20,8 @@ from __future__ import annotations
 import os
 from typing import Dict, Optional, Sequence
 
-from _harness import nba_scalability_dataset, report, report_json
-from repro.evaluation import format_table, run_framework_experiment
+from _harness import nba_scalability_dataset, report, report_json, run_client_experiment
+from repro.evaluation import format_table
 
 _SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 
@@ -37,7 +37,7 @@ def scaling_workers_table(
     baseline_wall = None
     f_measures = set()
     for workers in workers_list:
-        result = run_framework_experiment(
+        result = run_client_experiment(
             dataset,
             max_interaction_rounds=max_rounds,
             limit=limit,
@@ -103,7 +103,7 @@ def bench_scaling_workers(benchmark) -> None:
     assert payload["accuracy_invariant"]
     dataset = nba_scalability_dataset()
     benchmark(
-        lambda: run_framework_experiment(dataset, max_interaction_rounds=2, limit=2, workers=2)
+        lambda: run_client_experiment(dataset, max_interaction_rounds=2, limit=2, workers=2)
     )
 
 

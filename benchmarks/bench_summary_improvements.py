@@ -10,12 +10,14 @@ three synthetic rebuilds.
 from __future__ import annotations
 
 from _harness import (
+    run_client_baseline,
+    run_client_experiment,
     career_accuracy_dataset,
     nba_accuracy_dataset,
     person_accuracy_dataset,
     report,
 )
-from repro.evaluation import format_table, run_baseline_experiment, run_framework_experiment
+from repro.evaluation import format_table
 
 
 def bench_summary_improvements(benchmark) -> None:
@@ -26,10 +28,10 @@ def bench_summary_improvements(benchmark) -> None:
         improvements = {"pick": [], "sigma": [], "gamma": []}
         for dataset in (nba_accuracy_dataset(), career_accuracy_dataset(), person_accuracy_dataset()):
             rounds = 3 if dataset.name == "Person" else 2
-            both = run_framework_experiment(dataset, max_interaction_rounds=rounds)
-            sigma = run_framework_experiment(dataset, gamma_fraction=0.0, max_interaction_rounds=rounds)
-            gamma = run_framework_experiment(dataset, sigma_fraction=0.0, max_interaction_rounds=rounds)
-            pick = run_baseline_experiment(dataset, "pick")
+            both = run_client_experiment(dataset, max_interaction_rounds=rounds)
+            sigma = run_client_experiment(dataset, gamma_fraction=0.0, max_interaction_rounds=rounds)
+            gamma = run_client_experiment(dataset, sigma_fraction=0.0, max_interaction_rounds=rounds)
+            pick = run_client_baseline(dataset, "pick")
             rows.append(
                 [
                     dataset.name,

@@ -13,13 +13,10 @@ from __future__ import annotations
 
 import os
 
+from repro.api import ResolutionClient, RunConfig
 from repro.datasets import NBAConfig, generate_nba_dataset
-from repro.evaluation import (
-    format_summary,
-    format_table,
-    run_baseline_experiment,
-    run_framework_experiment,
-)
+from repro.evaluation import format_summary, format_table
+from repro.resolution import ResolverOptions
 
 
 def main() -> None:
@@ -28,11 +25,19 @@ def main() -> None:
     print(dataset.summary())
     print()
 
-    # One fully automatic pass and one with (simulated) user interaction.
-    automatic = run_framework_experiment(dataset, max_interaction_rounds=0)
-    interactive = run_framework_experiment(dataset, max_interaction_rounds=2)
-    pick = run_baseline_experiment(dataset, "pick")
-    vote = run_baseline_experiment(dataset, "vote")
+    # One fully automatic pass and one with (simulated) user interaction —
+    # each client carries its round budget in its RunConfig; the baselines
+    # run through the same facade.
+    def experiment(max_rounds: int):
+        config = RunConfig(options=ResolverOptions(max_rounds=max_rounds, fallback="none"))
+        with ResolutionClient(config) as client:
+            return client.run_experiment(dataset)
+
+    automatic = experiment(0)
+    interactive = experiment(2)
+    with ResolutionClient() as client:
+        pick = client.run_experiment(dataset, baseline="pick")
+        vote = client.run_experiment(dataset, baseline="vote")
 
     rows = []
     for label, experiment in [

@@ -17,9 +17,10 @@ import os
 import tempfile
 from pathlib import Path
 
+from repro.api import ResolutionClient, RunConfig
 from repro.datasets import PersonConfig, stream_person_dataset
-from repro.evaluation import run_framework_experiment
 from repro.pipeline import Checkpoint, CheckpointSink, ProgressSink
+from repro.resolution import ResolverOptions
 
 
 def main() -> None:
@@ -35,15 +36,16 @@ def main() -> None:
     checkpoint_path = Path(tempfile.mkdtemp()) / "progress.json"
     checkpoint = Checkpoint(checkpoint_path)
 
-    result = run_framework_experiment(
-        stream,
-        max_interaction_rounds=1,
-        keep_outcomes=False,  # fold metrics, drop per-entity outcomes
-        extra_sinks=[
-            ProgressSink(every=max(2, entities // 4)),
-            CheckpointSink(checkpoint, every=max(2, entities // 4)),
-        ],
-    )
+    run_config = RunConfig(options=ResolverOptions(max_rounds=1, fallback="none"))
+    with ResolutionClient(run_config) as client:
+        result = client.run_experiment(
+            stream,
+            keep_outcomes=False,  # fold metrics, drop per-entity outcomes
+            extra_sinks=[
+                ProgressSink(every=max(2, entities // 4)),
+                CheckpointSink(checkpoint, every=max(2, entities // 4)),
+            ],
+        )
 
     print()
     print(f"label:      {result.label}")

@@ -4,6 +4,9 @@ Conflict Resolution" (Fan, Geerts, Tang, Yu; ICDE 2013).
 The public API re-exports the most frequently used classes; the subpackages
 hold the full system:
 
+* :mod:`repro.api` — the unified facade: :class:`RunConfig`,
+  :class:`ResolutionClient` (one front door over batch, streaming,
+  experiment and serving execution) and the persistent :class:`ResultStore`;
 * :mod:`repro.core` — the data model (schemas, entity instances, currency
   orders, currency constraints, constant CFDs, specifications);
 * :mod:`repro.solvers` — SAT / MaxSAT / clique substrate;
@@ -21,6 +24,16 @@ hold the full system:
 * :mod:`repro.evaluation` — metrics, simulated users and experiment runners.
 """
 
+from repro.api import (
+    MemoryResultStore,
+    ResolutionClient,
+    ResultStore,
+    RunConfig,
+    SqliteResultStore,
+    StoredResult,
+    open_result_store,
+    specification_hash,
+)
 from repro.core import (
     Attribute,
     AttributeType,
@@ -64,19 +77,27 @@ __all__ = [
     "EntityInstance",
     "EntityTuple",
     "InstantiationOptions",
+    "MemoryResultStore",
     "NULL",
     "PartialOrder",
     "Pipeline",
     "RelationSchema",
+    "ResolutionClient",
     "ResolutionEngine",
     "ResolverOptions",
+    "ResultStore",
+    "RunConfig",
     "SilentOracle",
     "Specification",
+    "SqliteResultStore",
+    "StoredResult",
     "Suggestion",
     "TemporalInstance",
     "TemporalOrderDelta",
     "TrueValueAssignment",
     "__version__",
+    "open_result_store",
+    "specification_hash",
     "check_validity",
     "deduce_order",
     "encode_specification",

@@ -1,0 +1,39 @@
+"""Unified public API: one front door over every execution mode.
+
+The facade has three pieces:
+
+* :class:`~repro.api.config.RunConfig` — one frozen, validated configuration
+  object (resolver options, pool shape, serving caps, result store) with a
+  structural ``cache_key()`` shared with the engine host;
+* :class:`~repro.api.store.ResultStore` — the persistent result store
+  (in-memory or SQLite) with idempotent upserts keyed by
+  ``(entity key, specification hash)``;
+* :class:`~repro.api.client.ResolutionClient` — the context-managed client
+  whose modes (``resolve``, ``resolve_stream``, ``pipeline``,
+  ``run_experiment``, ``serve``) all run over
+  :class:`~repro.serving.host.EngineHost`-leased warm engines and
+  transparently skip already-stored entities.
+"""
+
+from repro.api.client import ClientStats, ResolutionClient, ServeReport
+from repro.api.config import RunConfig, specification_hash
+from repro.api.store import (
+    MemoryResultStore,
+    ResultStore,
+    SqliteResultStore,
+    StoredResult,
+    open_result_store,
+)
+
+__all__ = [
+    "ClientStats",
+    "MemoryResultStore",
+    "ResolutionClient",
+    "ResultStore",
+    "RunConfig",
+    "ServeReport",
+    "SqliteResultStore",
+    "StoredResult",
+    "open_result_store",
+    "specification_hash",
+]

@@ -54,6 +54,7 @@ import argparse
 import sys
 from typing import Dict, List, Optional, Sequence
 
+from repro.api import ResolutionClient, RunConfig
 from repro.core.instance import EntityInstance, TemporalInstance
 from repro.core.specification import Specification
 from repro.core.values import is_null
@@ -63,7 +64,6 @@ from repro.discovery import (
     discover_constant_cfds,
     discover_currency_constraints,
 )
-from repro.engine import ResolutionEngine
 from repro.io import dump_constraints, load_constraint_file, read_entity_rows, write_resolved_tuples
 from repro.linkage import MatcherConfig, RecordMatcher, attribute_blocking
 from repro.linkage.streaming import StreamingLinker
@@ -74,15 +74,10 @@ from repro.pipeline import (
     JsonlSink,
     LinkageStage,
     MapStage,
-    Pipeline,
-    ResolveStage,
     SkipStage,
 )
 from repro.resolution import ResolverOptions, check_validity
 from repro.solvers.session import available_backends
-
-# The serving layer is imported lazily inside _command_serve so the common
-# subcommands keep their import footprint (and startup latency) unchanged.
 
 __all__ = ["build_parser", "main"]
 
@@ -120,6 +115,13 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="NAME",
             help="solver-session backend from the registry "
             f"(available: {', '.join(available_backends())})",
+        )
+        sub.add_argument(
+            "--store",
+            metavar="PATH",
+            help="persistent result store (SQLite file, or ':memory:'): entities "
+            "whose (entity, specification hash) is already stored are answered "
+            "without solving, and fresh resolutions are upserted for later runs",
         )
 
     validate = subparsers.add_parser("validate", help="check specifications for conflicts")
@@ -260,25 +262,29 @@ def _validated_backend(parser_error, name: str) -> str:
     return name
 
 
-def _resolver_options(args) -> ResolverOptions:
-    """Build the resolver options shared by ``resolve`` and ``pipeline``."""
-    return ResolverOptions(
-        max_rounds=args.max_rounds,
-        fallback=args.fallback,
-        solver_backend=args.solver_backend,
+def _run_config(args) -> RunConfig:
+    """Build the client configuration shared by resolve/pipeline/serve."""
+    return RunConfig(
+        options=ResolverOptions(
+            max_rounds=args.max_rounds,
+            fallback=args.fallback,
+            solver_backend=args.solver_backend,
+        ),
+        workers=args.workers,
+        max_inflight=getattr(args, "max_inflight", None),
+        store=getattr(args, "store", None),
     )
 
 
 def _command_resolve(args) -> int:
     specifications = _load_specifications(args)
-    options = _resolver_options(args)
     resolved: Dict[str, Dict] = {}
     rounds: Dict[str, int] = {}
     complete: Dict[str, bool] = {}
     schema = None
     ordered = sorted(specifications.items())
-    with ResolutionEngine(options, workers=args.workers) as engine:
-        results = engine.resolve_stream((spec, None) for _, spec in ordered)
+    with ResolutionClient(_run_config(args)) as client:
+        results = client.resolve_stream(ordered)
         for (key, spec), result in zip(ordered, results):
             schema = spec.schema
             resolved[key] = result.resolved_tuple
@@ -402,20 +408,22 @@ def _command_pipeline(args) -> int:
     if checkpoint is not None:
         sinks.append(CheckpointSink(checkpoint, every=args.checkpoint_every, offset=offset))
 
-    options = _resolver_options(args)
-    with ResolutionEngine(options, workers=args.workers) as engine:
-        stages = [
-            LinkageStage(linker),
-            MapStage(keyed_specification),
-            SkipStage(offset),
-            ResolveStage(engine),
-        ]
-        report = Pipeline(stream_csv_rows(args.data, schema), stages, sinks).run()
+    with ResolutionClient(_run_config(args)) as client:
+        report = client.pipeline(
+            stream_csv_rows(args.data, schema),
+            pre_stages=[
+                LinkageStage(linker),
+                MapStage(keyed_specification),
+                SkipStage(offset),
+            ],
+            sinks=sinks,
+        )
+        peak_inflight = int(client.engine.statistics.peak_inflight_entities)
 
     print(
         f"\nresolved {report.items} entities in {report.seconds:.2f}s "
         f"({linker.statistics['rows']} rows, "
-        f"peak in-flight {int(engine.statistics.peak_inflight_entities)} entities)"
+        f"peak in-flight {peak_inflight} entities)"
     )
     if args.output:
         print(f"results: {args.output}" + (f" (+{offset} from previous run)" if offset else ""))
@@ -438,7 +446,7 @@ def _parse_tcp_endpoint(parser_error, endpoint: str):
 def _command_serve(args) -> int:
     """Long-lived serving loop: JSONL requests in, ordered JSONL responses out."""
     from repro.core.schema import RelationSchema
-    from repro.serving import ResolutionServer, SpecificationBuilder, serve_jsonl, serve_tcp
+    from repro.serving import SpecificationBuilder
 
     attributes = [name.strip() for name in args.schema.split(",") if name.strip()]
     schema = RelationSchema("serving", attributes)
@@ -448,33 +456,21 @@ def _command_serve(args) -> int:
         sigma, gamma = [], []
     builder = SpecificationBuilder(schema, sigma, gamma)
     checkpoint = Checkpoint(args.checkpoint) if args.checkpoint else None
-    options = _resolver_options(args)
 
     def _fail(message: str):  # pragma: no cover - main() validated the endpoint already
         raise SystemExit(f"repro serve: error: {message}")
 
     endpoint = _parse_tcp_endpoint(_fail, args.tcp) if args.tcp is not None else None
 
-    async def run() -> int:
-        import asyncio
+    def on_ready(bound) -> None:
+        print(f"serving on tcp://{bound[0]}:{bound[1]}", file=sys.stderr, flush=True)
 
-        server = ResolutionServer(
-            builder,
-            options=options,
-            workers=args.workers,
-            max_inflight=args.max_inflight,
-            scope=builder.cache_key(),
-        )
-        async with server:
+    try:
+        with ResolutionClient(_run_config(args)) as client:
             if endpoint is not None:
-                tcp = await serve_tcp(server, *endpoint, include_stats=args.stats)
-                bound = tcp.sockets[0].getsockname()
-                print(f"serving on tcp://{bound[0]}:{bound[1]}", file=sys.stderr, flush=True)
-                try:
-                    async with tcp:
-                        await tcp.serve_forever()
-                except asyncio.CancelledError:  # pragma: no cover - signal-driven
-                    pass
+                report = client.serve(
+                    builder, tcp=endpoint, include_stats=args.stats, on_ready=on_ready
+                )
             else:
                 in_handle = open(args.input) if args.input else sys.stdin
                 # A resumed run appends: the previous run's responses stay on
@@ -487,16 +483,16 @@ def _command_serve(args) -> int:
                         out_handle.write(record)
                         out_handle.flush()
 
-                    written = await serve_jsonl(
-                        server,
-                        in_handle,
-                        write,
+                    report = client.serve(
+                        builder,
+                        lines=in_handle,
+                        write=write,
                         include_stats=args.stats,
                         checkpoint=checkpoint,
                         checkpoint_every=args.checkpoint_every,
                         resume=args.resume,
                     )
-                    print(f"answered {written} requests", file=sys.stderr)
+                    print(f"answered {report.responses} requests", file=sys.stderr)
                 finally:
                     if args.input:
                         in_handle.close()
@@ -505,13 +501,8 @@ def _command_serve(args) -> int:
             if args.stats:
                 import json as _json
 
-                print(_json.dumps(server.stats().as_dict(), sort_keys=True), file=sys.stderr)
+                print(_json.dumps(report.stats.as_dict(), sort_keys=True), file=sys.stderr)
         return 0
-
-    import asyncio
-
-    try:
-        return asyncio.run(run())
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
         print("interrupted", file=sys.stderr)
         return 130
@@ -579,6 +570,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         path = getattr(args, path_attribute, None)
         if path is not None and not os.path.exists(path):
             parser.error(f"input file {path!r} does not exist")
+    # Writable paths (results, checkpoints, stores) used to fail only at the
+    # first write — possibly deep into a long run.  Validate them up front:
+    # the target must not be a directory and its parent directory must exist
+    # and be writable.
+    for path_attribute in ("output", "checkpoint", "store"):
+        path = getattr(args, path_attribute, None)
+        if not path or path == ":memory:":
+            continue
+        flag = "--" + path_attribute.replace("_", "-")
+        if os.path.isdir(path):
+            parser.error(f"cannot write {flag} path {path!r}: it is a directory")
+        if os.path.exists(path) and not os.access(path, os.W_OK):
+            parser.error(f"cannot write {flag} path {path!r}: file is not writable")
+        parent = os.path.dirname(os.path.abspath(path))
+        if not os.path.isdir(parent):
+            parser.error(
+                f"cannot write {flag} path {path!r}: directory {parent!r} does not exist"
+            )
+        if not os.access(parent, os.W_OK):
+            parser.error(
+                f"cannot write {flag} path {path!r}: directory {parent!r} is not writable"
+            )
     handlers = {
         "validate": _command_validate,
         "resolve": _command_resolve,

@@ -198,14 +198,23 @@ class ResolutionEngine:
 
     # -- resolution ------------------------------------------------------------
 
-    def resolve_stream(self, tasks: Iterable[EntityTask]) -> Iterator[ResolutionResult]:
+    def resolve_stream(
+        self, tasks: Iterable[EntityTask], *, reset_statistics: bool = True
+    ) -> Iterator[ResolutionResult]:
         """Yield one :class:`ResolutionResult` per task, in task order.
 
         With ``workers > 1`` the stream is consumed incrementally: at most
         ``2 × workers`` chunks are in flight at any time, and results stream
         out as their chunk finishes (head-of-line, to preserve order).
+
+        ``reset_statistics=False`` accumulates into the current
+        :attr:`statistics` instead of starting a fresh per-call snapshot —
+        the mode long-lived holders of a shared engine (the API client's
+        streaming path) use so interleaved calls report lifetime totals,
+        matching :meth:`resolve_task`.
         """
-        self.statistics = EngineStatistics(workers=self.workers)
+        if reset_statistics:
+            self.statistics = EngineStatistics(workers=self.workers)
         if self.workers <= 1:
             yield from self._resolve_sequential(tasks)
             return

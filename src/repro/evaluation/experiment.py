@@ -1,38 +1,34 @@
-"""Experiment runner: resolve every entity of a dataset and aggregate metrics.
+"""Experiment scoring: per-entity outcomes and folded aggregate metrics.
 
-This is the harness behind every figure of the evaluation: it runs either the
-currency/consistency framework (with a simulated user) or one of the
-traditional baselines over all entities of a dataset, records accuracy,
-per-phase timings and the number of interaction rounds, and exposes the
-aggregates the benchmarks print.
+This is the harness behind every figure of the evaluation: it scores each
+resolution against its entity's ground truth (:class:`ScoreStage`), records
+accuracy, per-phase timings and interaction rounds per entity
+(:class:`EntityOutcome`), and folds everything into an
+:class:`ExperimentResult` (:class:`MetricsSink`) — in constant memory when
+``keep_outcomes=False``, with checkpointable folded state.
 
-Both runners are thin compositions over the streaming pipeline layer
-(:mod:`repro.pipeline`): a lazy ``(entity, specification)`` source, a
-resolution stage backed by the :class:`~repro.engine.ResolutionEngine` (whose
-bounded in-flight window provides backpressure), a scoring stage, and a
-metrics sink that *folds* outcomes as they arrive.  The same code path serves
-materialized :class:`~repro.datasets.GeneratedDataset` objects and lazy
-:class:`~repro.datasets.DatasetStream` sources, sequentially or over a worker
-pool — with ``keep_outcomes=False`` an arbitrarily long stream is scored in
-constant memory.
+The experiment *runners* live on the unified facade:
+:meth:`repro.api.ResolutionClient.run_experiment` composes these pieces into
+a streaming pipeline over an :class:`~repro.serving.host.EngineHost`-leased
+engine (framework path) or a process-pool map (baseline path).  The module's
+``run_framework_experiment`` / ``run_baseline_experiment`` functions remain
+as deprecated shims over that method.
 """
 
 from __future__ import annotations
 
 import random
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.core.errors import ReproError
 from repro.core.schema import RelationSchema
 from repro.core.values import Value, values_equal
 from repro.datasets.base import DatasetStream, GeneratedDataset, GeneratedEntity
-from repro.engine import ResolutionEngine
 from repro.evaluation.interaction import ReluctantOracle
 from repro.evaluation.metrics import AccuracyCounts, score_entity
-from repro.pipeline.core import ParallelMapStage, Pipeline, Sink, Stage
-from repro.pipeline.stages import ResolveStage
+from repro.pipeline.core import Sink, Stage
 from repro.resolution.baselines import (
     any_resolution,
     max_resolution,
@@ -388,53 +384,24 @@ def run_framework_experiment(
 ) -> ExperimentResult:
     """Resolve every entity with the currency/consistency framework.
 
-    Parameters
-    ----------
-    dataset:
-        The dataset (entities + constraints + ground truth) — either a
-        materialized :class:`GeneratedDataset` or a lazy
-        :class:`DatasetStream`; with a stream, generation, resolution and
-        scoring overlap and only the engine's bounded in-flight window of
-        entities is ever alive.
-    sigma_fraction / gamma_fraction:
-        Fraction of the currency constraints / CFDs made available.
-    max_interaction_rounds:
-        Interaction budget per entity (0 = fully automatic).
-    oracle_factory:
-        Builds the simulated user for an entity; defaults to a
-        :class:`ReluctantOracle` limited to *max_interaction_rounds* rounds.
-        With ``workers > 1`` the oracles must be picklable (all built-in
-        oracles are).
-    resolver_options:
-        Framework options; the round budget is taken from
-        *max_interaction_rounds* unless explicitly provided.
-    limit:
-        Evaluate only the first *limit* entities (useful for quick runs).
-    incremental:
-        Use the incremental solver-session path (ignored when
-        *resolver_options* is given explicitly); ``False`` runs the
-        from-scratch baseline the reuse benchmarks compare against.
-    compiled:
-        Compile the constraint program of Σ ∪ Γ once and stamp it per entity
-        (ignored when *resolver_options* is given explicitly); ``False``
-        restores the cold per-entity constraint analysis.
-    workers:
-        Resolve entities over a :class:`~repro.engine.ResolutionEngine`
-        process pool when ``> 1`` (results are identical to the sequential
-        path; per-entity ``seconds["total"]`` then sums the resolution phases
-        instead of measuring per-entity wall-clock, which has no meaning
-        under concurrency — the run's wall-clock lands in
-        :attr:`ExperimentResult.wall_seconds`).
-    chunk_size / max_inflight_chunks:
-        Engine dispatch granularity and backpressure bound (``workers > 1``).
-    keep_outcomes:
-        Retain the per-entity :class:`EntityOutcome` list (the default).
-        ``False`` folds outcomes into the aggregates and drops them — the
-        constant-memory mode for unbounded streams.
-    extra_sinks:
-        Additional pipeline sinks fed with every scored outcome (progress,
-        JSONL writers, checkpoints, …).
+    .. deprecated::
+        This is a thin compatibility shim over
+        :meth:`repro.api.ResolutionClient.run_experiment`; construct a
+        :class:`~repro.api.RunConfig` and a client instead.  The keyword
+        surface maps 1:1: *max_interaction_rounds*, *incremental* and
+        *compiled* fold into ``RunConfig.options`` (unless
+        *resolver_options* is given explicitly, which wins, exactly as
+        before); *workers*, *chunk_size* and *max_inflight_chunks* fold into
+        the config's pool shape; everything else passes through.
     """
+    warnings.warn(
+        "run_framework_experiment is deprecated; use "
+        "repro.api.ResolutionClient.run_experiment with a RunConfig",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api import ResolutionClient, RunConfig
+
     if resolver_options is None:
         resolver_options = ResolverOptions(
             max_rounds=max_interaction_rounds,
@@ -442,40 +409,32 @@ def run_framework_experiment(
             incremental=incremental,
             compiled=compiled,
         )
-    result = ExperimentResult(
-        label=label
-        or f"{dataset.name}[Σ={sigma_fraction:.0%},Γ={gamma_fraction:.0%},rounds≤{max_interaction_rounds}]",
-        keep_outcomes=keep_outcomes,
-    )
 
-    def oracle_for(entity: GeneratedEntity, _spec) -> object:
+    def oracle_for(entity: GeneratedEntity) -> object:
+        # The legacy oracle budget follows max_interaction_rounds even when
+        # explicit resolver options carry a different max_rounds.
         if oracle_factory is not None:
             return oracle_factory(entity)
         return ReluctantOracle(entity, max_rounds=max_interaction_rounds)
 
-    pairs = dataset.specifications(sigma_fraction, gamma_fraction, limit=limit)
-    with ResolutionEngine(
-        resolver_options,
+    config = RunConfig(
+        options=resolver_options,
         workers=workers,
         chunk_size=chunk_size,
         max_inflight_chunks=max_inflight_chunks,
-    ) as engine:
-        # Pool startup is paid once per engine, not per workload; keep it out
-        # of the timed region (as engine_overall_comparison does) and record
-        # it separately so wall_seconds measures steady state.
-        warmup = engine.warm_up()
-        pipeline = Pipeline(
-            pairs,
-            [ResolveStage(engine, oracle_for), ScoreStage(dataset.schema)],
-            [MetricsSink(result), *extra_sinks],
+    )
+    with ResolutionClient(config) as client:
+        return client.run_experiment(
+            dataset,
+            sigma_fraction=sigma_fraction,
+            gamma_fraction=gamma_fraction,
+            oracle_factory=oracle_for,
+            limit=limit,
+            label=label
+            or f"{dataset.name}[Σ={sigma_fraction:.0%},Γ={gamma_fraction:.0%},rounds≤{max_interaction_rounds}]",
+            keep_outcomes=keep_outcomes,
+            extra_sinks=extra_sinks,
         )
-        start = time.perf_counter()
-        pipeline.run()
-        result.wall_seconds = time.perf_counter() - start
-        result.engine = engine.statistics.as_dict()
-        if workers > 1:
-            result.engine["pool_warmup_seconds"] = warmup
-    return result
 
 
 _BASELINES: Dict[str, Callable] = {
@@ -531,24 +490,32 @@ def run_baseline_experiment(
     Randomised baselines (``pick``, ``any``) are averaged over *repetitions*
     random seeds, mirroring the paper's repeated runs.  ``workers > 1``
     spreads the entities over a process pool (the seeded randomisation makes
-    the outcome independent of scheduling).  Like the framework runner, this
-    is a pipeline composition over a lazy specification source.
+    the outcome independent of scheduling).
+
+    .. deprecated::
+        This is a thin compatibility shim over
+        :meth:`repro.api.ResolutionClient.run_experiment` with
+        ``baseline=method``; construct a client instead.
     """
-    if method not in _BASELINES:
-        raise ReproError(f"unknown baseline {method!r}; choose from {sorted(_BASELINES)}")
-    result = ExperimentResult(label=f"{dataset.name}[{method}]", keep_outcomes=keep_outcomes)
-    runs = repetitions if method in ("pick", "any") else 1
-    tasks = (
-        (method, entity, spec, seed, runs)
-        for entity, spec in dataset.specifications(sigma_fraction, gamma_fraction, limit=limit)
+    warnings.warn(
+        "run_baseline_experiment is deprecated; use "
+        "repro.api.ResolutionClient.run_experiment(baseline=...) with a RunConfig",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    stage = ParallelMapStage(_baseline_entity_outcome, workers=workers, chunk_size=4)
-    start = time.perf_counter()
-    Pipeline(tasks, [stage], [MetricsSink(result), *extra_sinks]).run()
-    result.wall_seconds = time.perf_counter() - start
-    result.engine = {
-        "entities": float(result.entities),
-        "workers": float(max(1, workers)),
-        "parallel": 1.0 if workers > 1 else 0.0,
-    }
-    return result
+    from repro.api import ResolutionClient, RunConfig
+
+    # The legacy runner clamped workers through ParallelMapStage; keep that.
+    config = RunConfig(workers=max(1, int(workers)))
+    with ResolutionClient(config) as client:
+        return client.run_experiment(
+            dataset,
+            baseline=method,
+            sigma_fraction=sigma_fraction,
+            gamma_fraction=gamma_fraction,
+            limit=limit,
+            keep_outcomes=keep_outcomes,
+            extra_sinks=extra_sinks,
+            baseline_seed=seed,
+            baseline_repetitions=repetitions,
+        )

@@ -18,7 +18,7 @@ interactive system the paper describes — clients ask for one entity at a time
 """
 
 from repro.serving.frontend import serve_jsonl, serve_tcp
-from repro.serving.host import EngineHost, EngineLease, engine_key
+from repro.serving.host import EngineHost, EngineLease, LeaseInfo, engine_key
 from repro.serving.server import ResolutionServer, ServerClosed, ServerStats
 from repro.serving.wire import (
     RequestStats,
@@ -36,6 +36,7 @@ from repro.serving.wire import (
 __all__ = [
     "EngineHost",
     "EngineLease",
+    "LeaseInfo",
     "RequestStats",
     "ResolutionServer",
     "ResolveRequest",

@@ -27,14 +27,15 @@ from __future__ import annotations
 import hashlib
 import json
 import threading
+import time
 from dataclasses import asdict, dataclass
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from repro.core.errors import ReproError
 from repro.engine import ResolutionEngine
 from repro.resolution.framework import ResolverOptions
 
-__all__ = ["EngineHost", "EngineLease", "engine_key"]
+__all__ = ["EngineHost", "EngineLease", "LeaseInfo", "engine_key"]
 
 
 def engine_key(
@@ -76,6 +77,41 @@ class _HostedEngine:
     total_leases: int = 0
 
 
+@dataclass(frozen=True)
+class LeaseInfo:
+    """What one *caller* observed when it took a lease.
+
+    The host's aggregate hit/miss counters cannot tell concurrent first
+    leases apart — every caller of the same key shares them.  ``LeaseInfo``
+    is the per-caller record instead: whether *this* lease built the engine,
+    how long it spent building it, and how long it waited for somebody
+    else's build.  The serving layer folds it into ``ServerStats`` (and the
+    API client into its own stats) in place of the aggregates.
+    """
+
+    #: The shared engine the lease resolved to.
+    engine: ResolutionEngine
+    #: ``False`` for the caller that built the engine, ``True`` otherwise.
+    reused: bool
+    #: The configuration key the lease was taken under.
+    key: str
+    #: Seconds this caller spent constructing and warming the engine (0.0
+    #: when the engine was found warm).
+    build_seconds: float = 0.0
+    #: Seconds this caller spent blocked on another caller's in-progress
+    #: build of the same key (0.0 when no build was pending).
+    wait_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (the engine object itself is omitted)."""
+        return {
+            "key": self.key,
+            "reused": self.reused,
+            "build_seconds": self.build_seconds,
+            "wait_seconds": self.wait_seconds,
+        }
+
+
 class EngineLease:
     """A handle on a hosted engine; release it to return the engine warm.
 
@@ -86,13 +122,17 @@ class EngineLease:
     reused:
         ``False`` for the lease that built the engine, ``True`` for every
         lease that found it warm.
+    info:
+        The full per-caller :class:`LeaseInfo` (key, reuse flag, build and
+        wait seconds).
     """
 
-    def __init__(self, host: "EngineHost", key: str, engine: ResolutionEngine, reused: bool) -> None:
+    def __init__(self, host: "EngineHost", info: LeaseInfo) -> None:
         self._host = host
-        self.key = key
-        self.engine = engine
-        self.reused = reused
+        self.info = info
+        self.key = info.key
+        self.engine = info.engine
+        self.reused = info.reused
         self._released = False
 
     def release(self) -> None:
@@ -151,6 +191,7 @@ class EngineHost:
         """
         options = options or ResolverOptions()
         key = key or engine_key(options, workers, chunk_size, max_inflight_chunks, scope)
+        waited = 0.0
         while True:
             with self._lock:
                 if self._closed:
@@ -160,7 +201,10 @@ class EngineHost:
                     hosted.active_leases += 1
                     hosted.total_leases += 1
                     self._hits += 1
-                    return EngineLease(self, key, hosted.engine, reused=True)
+                    return EngineLease(
+                        self,
+                        LeaseInfo(hosted.engine, reused=True, key=key, wait_seconds=waited),
+                    )
                 build = self._pending.get(key)
                 if build is None:
                     build = self._pending[key] = threading.Lock()
@@ -171,9 +215,12 @@ class EngineHost:
             if not building:
                 # Another thread is building this key: wait for it, then loop
                 # back to take the warm engine (or to build, if it failed).
+                wait_started = time.perf_counter()
                 with build:
                     pass
+                waited += time.perf_counter() - wait_started
                 continue
+            build_started = time.perf_counter()
             try:
                 engine = ResolutionEngine(
                     options,
@@ -202,7 +249,16 @@ class EngineHost:
                 with self._lock:
                     self._pending.pop(key, None)
                 build.release()
-            return EngineLease(self, key, engine, reused=False)
+            return EngineLease(
+                self,
+                LeaseInfo(
+                    engine,
+                    reused=False,
+                    key=key,
+                    build_seconds=time.perf_counter() - build_started,
+                    wait_seconds=waited,
+                ),
+            )
 
     def _release(self, key: str) -> None:
         with self._lock:

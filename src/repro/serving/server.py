@@ -37,6 +37,7 @@ individual resolution runs.
 from __future__ import annotations
 
 import asyncio
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -94,6 +95,14 @@ class ServerStats:
     resolve_seconds: float = 0.0
     #: Whether this server's lease found a warm engine in the host.
     engine_reused: bool = False
+    #: This server's per-caller lease record (:class:`~repro.serving.host.LeaseInfo`
+    #: as a dict: key, reused, build/wait seconds) — unlike the aggregate host
+    #: counters below, it describes what *this* server observed at lease time.
+    lease: Dict[str, Any] = field(default_factory=dict)
+    #: Requests answered straight from the result store (no engine call).
+    store_hits: int = 0
+    #: The result store's own counters (hits/misses/upserts), when attached.
+    store: Dict[str, int] = field(default_factory=dict)
     #: The engine's own counters (entities, peak in-flight, compile reuse).
     engine: Dict[str, float] = field(default_factory=dict)
     #: The host's lease counters (engines open, lease hits/misses).
@@ -109,6 +118,9 @@ class ServerStats:
             "queue_seconds": self.queue_seconds,
             "resolve_seconds": self.resolve_seconds,
             "engine_reused": self.engine_reused,
+            "lease": dict(self.lease),
+            "store_hits": self.store_hits,
+            "store": dict(self.store),
             "engine": dict(self.engine),
             "host": dict(self.host),
         }
@@ -156,6 +168,14 @@ class ResolutionServer:
         Extra engine-lease scope (e.g. ``spec_builder.cache_key()``) for one
         engine per workload; by default servers with equal options and pool
         shape share an engine.
+    result_store / result_hasher:
+        Optional persistent result store (see :mod:`repro.api.store`) plus
+        the specification-hash function keying it.  With both set, a request
+        whose ``(entity, specification hash)`` is already stored is answered
+        from the store without touching the engine, and every fresh
+        resolution is upserted — the serving side of the API facade's
+        transparent skip.  Stored results ignore the oracle: interactive
+        deployments should key their store (or scope) accordingly.
 
     Use as an async context manager, or call :meth:`start` / :meth:`shutdown`
     explicitly.  ``shutdown(drain=True)`` must not be awaited from the task
@@ -175,9 +195,13 @@ class ResolutionServer:
         oracle_factory: Optional[OracleFactory] = None,
         max_inflight: Optional[int] = None,
         scope: str = "",
+        result_store: Optional[Any] = None,
+        result_hasher: Optional[Callable[[Specification], str]] = None,
     ) -> None:
         if max_inflight is not None and max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if (result_store is None) != (result_hasher is None):
+            raise ValueError("result_store and result_hasher must be given together")
         self.spec_factory = spec_factory
         self.options = options or ResolverOptions()
         self.workers = workers
@@ -186,6 +210,8 @@ class ResolutionServer:
         self.oracle_factory = oracle_factory
         self.max_inflight = max_inflight
         self.scope = scope
+        self.result_store = result_store
+        self.result_hasher = result_hasher
         self._host = host
         self._owns_host = host is None
         self._lease: Optional[EngineLease] = None
@@ -197,6 +223,8 @@ class ResolutionServer:
         self._inflight = 0
         self._active = 0  # request tasks created but not yet finished
         self._stats = ServerStats()
+        # store_hits is bumped from resolver threads, not the event loop.
+        self._store_hit_lock = threading.Lock()
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -232,6 +260,7 @@ class ResolutionServer:
         self._idle = asyncio.Event()
         self._idle.set()
         self._stats.engine_reused = self._lease.reused
+        self._stats.lease = self._lease.info.as_dict()
         self._running = True
 
     async def shutdown(self, drain: bool = True) -> None:
@@ -277,11 +306,15 @@ class ResolutionServer:
             queue_seconds=self._stats.queue_seconds,
             resolve_seconds=self._stats.resolve_seconds,
             engine_reused=self._stats.engine_reused,
+            lease=dict(self._stats.lease),
+            store_hits=self._stats.store_hits,
         )
         if self._lease is not None:
             snapshot.engine = self._lease.engine.statistics.as_dict()
         if self._host is not None:
             snapshot.host = self._host.statistics()
+        if self.result_store is not None and hasattr(self.result_store, "statistics"):
+            snapshot.store = dict(self.result_store.statistics())
         return snapshot
 
     # -- request processing ----------------------------------------------------
@@ -314,13 +347,29 @@ class ResolutionServer:
         return task
 
     def _resolve_blocking(self, request: ResolveRequest):
-        """Thread-side work of one request: build the spec, resolve it."""
+        """Thread-side work of one request: build the spec, resolve it.
+
+        With a result store attached, an already-stored ``(entity,
+        specification hash)`` is answered from the store — no engine call —
+        and a fresh resolution is upserted before it is returned.
+        """
         spec = self.spec_factory(request)
+        digest = None
+        if self.result_store is not None:
+            digest = self.result_hasher(spec)
+            stored = self.result_store.get(request.entity, digest)
+            if stored is not None:
+                with self._store_hit_lock:
+                    self._stats.store_hits += 1
+                return stored
         oracle = (
             self.oracle_factory(request, spec) if self.oracle_factory is not None else None
         )
         assert self._lease is not None
-        return self._lease.engine.resolve_task(spec, oracle)
+        result = self._lease.engine.resolve_task(spec, oracle)
+        if self.result_store is not None:
+            self.result_store.put(request.entity, digest, result)
+        return result
 
     async def _process(self, request: ResolveRequest) -> ResolveResponse:
         """Resolve one request under the in-flight cap; never raises."""

@@ -1,0 +1,142 @@
+"""Deterministic CLI cases shared by the byte-identity tests.
+
+The acceptance contract of the API redesign is that ``repro resolve``,
+``repro pipeline`` and ``repro serve`` produce *byte-identical* outputs to
+the pre-redesign CLI on the NBA, CAREER and Person workloads.  The
+pre-redesign outputs were captured once — with the commands still composed
+directly over :class:`~repro.engine.ResolutionEngine` and
+:class:`~repro.serving.ResolutionServer` — into ``tests/api/golden/``; this
+module builds the exact inputs those captures used, so the rebuilt CLI can be
+replayed against them forever.
+
+Everything here must stay deterministic: seeded generators, sorted rows,
+fixed entity counts.  Changing any of it invalidates the goldens.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.datasets import (
+    CareerConfig,
+    NBAConfig,
+    PersonConfig,
+    generate_career_dataset,
+    generate_nba_dataset,
+    generate_person_dataset,
+)
+from repro.io import dump_constraints
+
+#: Directory holding the captured pre-redesign outputs.
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Entity key column added in front of the schema attributes in the CSV.
+ENTITY_COLUMN = "entity"
+
+#: Dataset name → generator call (small, seeded — identical across runs).
+DATASETS = {
+    "nba": lambda: generate_nba_dataset(NBAConfig(num_players=6, seed=11)),
+    "career": lambda: generate_career_dataset(CareerConfig(num_authors=6, seed=11)),
+    "person": lambda: generate_person_dataset(PersonConfig(num_entities=6, seed=11)),
+}
+
+
+def _cell(value) -> str:
+    return "" if value is None else str(value)
+
+
+def write_case_inputs(name: str, directory: Path) -> Dict[str, Path]:
+    """Materialize one dataset's CLI inputs; return the path of each piece.
+
+    Produces ``data.csv`` (one observation row per line, entity key column
+    first), ``rules.txt`` (Σ ∪ Γ in the constraint-file format) and
+    ``requests.jsonl`` (one serving request per entity, rows in observation
+    order), plus the comma-separated schema string ``repro serve`` takes.
+    """
+    dataset = DATASETS[name]()
+    directory.mkdir(parents=True, exist_ok=True)
+    attributes = list(dataset.schema.attribute_names)
+
+    data = directory / "data.csv"
+    with data.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([ENTITY_COLUMN, *attributes])
+        for entity in dataset.entities:
+            for row in entity.rows:
+                writer.writerow([entity.name, *(_cell(row.get(a)) for a in attributes)])
+
+    rules = directory / "rules.txt"
+    rules.write_text(dump_constraints(dataset.currency_constraints, dataset.cfds))
+
+    requests = directory / "requests.jsonl"
+    with requests.open("w") as handle:
+        for entity in dataset.entities:
+            record = {
+                "entity": entity.name,
+                "rows": [
+                    {a: row[a] for a in attributes if a in row and row[a] is not None}
+                    for row in entity.rows
+                ],
+            }
+            handle.write(json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n")
+
+    schema_arg = directory / "schema.txt"
+    schema_arg.write_text(",".join(attributes))
+    return {"data": data, "rules": rules, "requests": requests, "schema": schema_arg}
+
+
+def case_argv(name: str, inputs: Dict[str, Path], outputs: Dict[str, Path]) -> Dict[str, List[str]]:
+    """The exact argv of each captured command for one dataset."""
+    return {
+        "resolve": [
+            "resolve", str(inputs["data"]),
+            "--entity-key", ENTITY_COLUMN,
+            "--constraints", str(inputs["rules"]),
+            "-o", str(outputs["resolve"]),
+        ],
+        "pipeline": [
+            "pipeline", str(inputs["data"]),
+            "--entity-key", ENTITY_COLUMN,
+            "--constraints", str(inputs["rules"]),
+            "--output", str(outputs["pipeline"]),
+            "--quiet",
+        ],
+        "serve": [
+            "serve", "--schema", inputs["schema"].read_text(),
+            "--constraints", str(inputs["rules"]),
+            "--input", str(inputs["requests"]),
+            "-o", str(outputs["serve"]),
+        ],
+    }
+
+
+def output_paths(directory: Path) -> Dict[str, Path]:
+    """Where each command writes its comparable output file."""
+    return {
+        "resolve": directory / "resolved.csv",
+        "pipeline": directory / "resolved.jsonl",
+        "serve": directory / "responses.jsonl",
+    }
+
+
+def golden_path(name: str, command: str) -> Path:
+    """The checked-in pre-redesign output of one (dataset, command) pair."""
+    suffix = "csv" if command == "resolve" else "jsonl"
+    return GOLDEN_DIR / f"{name}_{command}.{suffix}"
+
+
+def run_and_capture(tmp: Path, name: str) -> Dict[str, Tuple[List[str], bytes]]:
+    """Run all three commands on one dataset; return argv and output bytes."""
+    from repro.cli import main
+
+    inputs = write_case_inputs(name, tmp / name)
+    outputs = output_paths(tmp / name)
+    captured: Dict[str, Tuple[List[str], bytes]] = {}
+    for command, argv in case_argv(name, inputs, outputs).items():
+        exit_code = main(argv)
+        assert exit_code == 0, f"{name}/{command} exited {exit_code}"
+        captured[command] = (argv, outputs[command].read_bytes())
+    return captured

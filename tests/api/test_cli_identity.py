@@ -1,0 +1,112 @@
+"""The rebuilt CLI is byte-identical to the pre-redesign CLI.
+
+``tests/api/golden/`` holds the outputs the *pre-redesign* commands produced
+on deterministic NBA/CAREER/Person inputs (captured before ``cli.py`` was
+rebuilt on :class:`~repro.api.ResolutionClient`; see ``tests/api/_cases.py``).
+Every command/dataset pair must keep producing exactly those bytes — the
+facade is a refactor of the wiring, never of the results.
+"""
+
+import pytest
+
+from repro.cli import main
+
+from tests.api import _cases
+
+
+@pytest.mark.parametrize("dataset", sorted(_cases.DATASETS))
+class TestGoldenOutputs:
+    def test_outputs_byte_identical_to_pre_redesign(self, dataset, tmp_path):
+        captured = _cases.run_and_capture(tmp_path, dataset)
+        for command, (_argv, payload) in captured.items():
+            golden = _cases.golden_path(dataset, command).read_bytes()
+            assert payload == golden, f"{dataset}/{command} diverged from pre-redesign bytes"
+
+
+class TestStoreFlag:
+    """--store keeps outputs identical while skipping already-stored entities."""
+
+    def test_resolve_with_store_matches_golden_and_skips_rerun(self, tmp_path, capsys):
+        inputs = _cases.write_case_inputs("nba", tmp_path / "nba")
+        outputs = _cases.output_paths(tmp_path / "nba")
+        argv = _cases.case_argv("nba", inputs, outputs)["resolve"]
+        store = tmp_path / "results.db"
+        assert main([*argv, "--store", str(store)]) == 0
+        capsys.readouterr()
+        assert outputs["resolve"].read_bytes() == _cases.golden_path("nba", "resolve").read_bytes()
+        # Re-run against the populated store: identical bytes, zero solving.
+        assert main([*argv, "--store", str(store)]) == 0
+        capsys.readouterr()
+        assert outputs["resolve"].read_bytes() == _cases.golden_path("nba", "resolve").read_bytes()
+
+    def test_pipeline_and_serve_accept_store(self, tmp_path, capsys):
+        inputs = _cases.write_case_inputs("person", tmp_path / "person")
+        outputs = _cases.output_paths(tmp_path / "person")
+        store = tmp_path / "results.db"
+        for command in ("pipeline", "serve"):
+            argv = _cases.case_argv("person", inputs, outputs)[command]
+            assert main([*argv, "--store", str(store)]) == 0
+            capsys.readouterr()
+            assert outputs[command].read_bytes() == _cases.golden_path("person", command).read_bytes()
+        # pipeline stored under "<entity>", serve under the same entity names:
+        # the second command's resolutions were answered from the first's rows
+        # only where hashes matched; either way the store now has rows.
+        from repro.api import SqliteResultStore
+
+        with SqliteResultStore(store) as opened:
+            assert len(opened) > 0
+
+
+class TestWritablePathValidation:
+    """Output/checkpoint/store paths fail at parse time, not at first write."""
+
+    @pytest.fixture
+    def nba_inputs(self, tmp_path):
+        return _cases.write_case_inputs("nba", tmp_path / "nba")
+
+    def _argv(self, nba_inputs, command, **extra):
+        outputs = _cases.output_paths(nba_inputs["data"].parent)
+        return _cases.case_argv("nba", nba_inputs, outputs)[command]
+
+    @pytest.mark.parametrize("flag", ["--checkpoint", "--store", "--output"])
+    def test_missing_parent_directory_rejected(self, nba_inputs, flag, capsys):
+        bad = str(nba_inputs["data"].parent / "nowhere" / "deep" / "file.out")
+        argv = self._argv(nba_inputs, "pipeline") + [flag, bad]
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        message = capsys.readouterr().err
+        assert f"cannot write {flag}" in message and "does not exist" in message
+
+    def test_read_only_existing_file_rejected(self, nba_inputs, capsys, monkeypatch):
+        import os
+
+        target = nba_inputs["data"].parent / "frozen.jsonl"
+        target.write_text("")
+        target.chmod(0o444)
+        real_access = os.access
+
+        def access(path, mode):
+            # chmod alone is not enough under root (root bypasses modes).
+            if str(path) == str(target) and mode == os.W_OK:
+                return False
+            return real_access(path, mode)
+
+        monkeypatch.setattr(os, "access", access)
+        argv = self._argv(nba_inputs, "pipeline") + ["--checkpoint", str(target)]
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        assert "file is not writable" in capsys.readouterr().err
+
+    def test_directory_target_rejected(self, nba_inputs, capsys):
+        argv = self._argv(nba_inputs, "serve") + ["--checkpoint", str(nba_inputs["data"].parent)]
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        assert "is a directory" in capsys.readouterr().err
+
+    def test_memory_store_passes_validation(self, nba_inputs, capsys):
+        argv = self._argv(nba_inputs, "resolve") + ["--store", ":memory:"]
+        assert main(argv) == 0
+        capsys.readouterr()

@@ -1,0 +1,52 @@
+"""Public-API snapshot: surface changes must be deliberate.
+
+``public_surface.json`` is the checked-in record of what the package exports
+(``repro.__all__``) and what :class:`~repro.api.RunConfig` is made of.  A PR
+that changes either must regenerate the snapshot in the same commit — the
+diff then *shows* the API change instead of letting it slip through a
+re-export or a renamed config field.
+
+Regenerate with::
+
+    PYTHONPATH=src python -c "
+    import dataclasses, json, repro
+    from repro.api import RunConfig
+    print(json.dumps({
+        'all': sorted(repro.__all__),
+        'run_config_fields': [f.name for f in dataclasses.fields(RunConfig)],
+    }, indent=2, sort_keys=True))
+    " > tests/api/public_surface.json
+"""
+
+import dataclasses
+import json
+from pathlib import Path
+
+import repro
+from repro.api import RunConfig
+
+SNAPSHOT = Path(__file__).parent / "public_surface.json"
+
+
+def _snapshot():
+    return json.loads(SNAPSHOT.read_text())
+
+
+class TestPublicSurface:
+    def test_package_all_matches_snapshot(self):
+        assert sorted(repro.__all__) == _snapshot()["all"]
+
+    def test_every_export_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing attribute {name!r}"
+
+    def test_run_config_fields_match_snapshot(self):
+        fields = [field.name for field in dataclasses.fields(RunConfig)]
+        assert fields == _snapshot()["run_config_fields"]
+
+    def test_api_subpackage_all_is_sorted_and_resolvable(self):
+        import repro.api as api
+
+        assert list(api.__all__) == sorted(api.__all__)
+        for name in api.__all__:
+            assert hasattr(api, name)

@@ -1,0 +1,159 @@
+"""ResultStore contract: idempotent upserts, hash misses, backend parity."""
+
+import pytest
+
+from repro.api import (
+    MemoryResultStore,
+    ResolutionClient,
+    RunConfig,
+    SqliteResultStore,
+    open_result_store,
+    specification_hash,
+)
+from repro.datasets import NBAConfig, generate_nba_dataset
+from repro.resolution import ConflictResolver, ResolverOptions
+
+
+@pytest.fixture(scope="module")
+def nba_dataset():
+    return generate_nba_dataset(NBAConfig(num_players=6, seed=5))
+
+
+@pytest.fixture(scope="module")
+def resolved_pairs(nba_dataset):
+    """(entity_key, spec, result) triples resolved once, reused across tests."""
+    resolver = ConflictResolver(ResolverOptions(max_rounds=0, fallback="none"))
+    triples = []
+    for _entity, spec in nba_dataset.specifications(limit=3):
+        triples.append((spec.name, spec, resolver.resolve(spec)))
+    return triples
+
+
+def _backends(tmp_path):
+    return [MemoryResultStore(), SqliteResultStore(tmp_path / "results.db")]
+
+
+class TestIdempotentUpsert:
+    @pytest.mark.parametrize("backend", ["memory", "sqlite"])
+    def test_same_key_twice_keeps_one_row(self, backend, tmp_path, resolved_pairs):
+        store = (
+            MemoryResultStore() if backend == "memory"
+            else SqliteResultStore(tmp_path / "results.db")
+        )
+        with store:
+            key, spec, result = resolved_pairs[0]
+            digest = specification_hash(spec)
+            assert store.put(key, digest, result) is True
+            assert store.put(key, digest, result) is False
+            assert len(store) == 1
+            stats = store.statistics()
+            assert stats["inserts"] == 1 and stats["replaced"] == 1
+            assert store.get(key, digest) == result
+
+    def test_replacement_keeps_latest(self, resolved_pairs):
+        (key, spec, result), (_k2, _s2, other) = resolved_pairs[0], resolved_pairs[1]
+        with MemoryResultStore() as store:
+            digest = specification_hash(spec)
+            store.put(key, digest, result)
+            store.put(key, digest, other)
+            assert len(store) == 1
+            assert store.get(key, digest) == other
+
+
+class TestSpecHashMisses:
+    def test_changed_constraints_miss(self, nba_dataset, resolved_pairs):
+        """Dropping constraints changes the hash, so the key misses."""
+        key, spec, result = resolved_pairs[0]
+        fewer = list(nba_dataset.specifications(sigma_fraction=0.5, limit=1))[0][1]
+        assert fewer.name == spec.name
+        with MemoryResultStore() as store:
+            store.put(key, specification_hash(spec), result)
+            assert store.get(key, specification_hash(fewer)) is None
+            assert (key, specification_hash(fewer)) not in store
+
+    def test_changed_options_miss(self, resolved_pairs):
+        """The options-aware hash separates results per resolver config."""
+        key, spec, result = resolved_pairs[0]
+        lenient = ResolverOptions(max_rounds=0, fallback="none")
+        strict = ResolverOptions(max_rounds=3, fallback="pick")
+        assert specification_hash(spec, lenient) != specification_hash(spec, strict)
+        assert specification_hash(spec) == specification_hash(spec)
+
+    def test_client_config_reflected_in_spec_hash(self, resolved_pairs):
+        _key, spec, _result = resolved_pairs[0]
+        a = RunConfig(options=ResolverOptions(max_rounds=0))
+        b = RunConfig(options=ResolverOptions(max_rounds=2))
+        assert a.spec_hash(spec) != b.spec_hash(spec)
+        # Pool shape does not affect results, so it must not affect the hash.
+        c = RunConfig(options=ResolverOptions(max_rounds=0), workers=4, chunk_size=2)
+        assert a.spec_hash(spec) == c.spec_hash(spec)
+
+
+class TestCrossBackendEquivalence:
+    def test_backends_round_trip_identically(self, tmp_path, resolved_pairs):
+        memory, sqlite = _backends(tmp_path)
+        with memory, sqlite:
+            for key, spec, result in resolved_pairs:
+                digest = specification_hash(spec)
+                assert memory.put(key, digest, result) == sqlite.put(key, digest, result)
+            assert len(memory) == len(sqlite) == len(resolved_pairs)
+            for key, spec, result in resolved_pairs:
+                digest = specification_hash(spec)
+                from_memory = memory.get(key, digest)
+                from_sqlite = sqlite.get(key, digest)
+                assert from_memory == from_sqlite == result
+            memory_rows = [(r.entity_key, r.specification_hash, r.resolved)
+                           for r in memory.results()]
+            sqlite_rows = [(r.entity_key, r.specification_hash, r.resolved)
+                           for r in sqlite.results()]
+            assert memory_rows == sqlite_rows
+
+    def test_sqlite_persists_across_reopen(self, tmp_path, resolved_pairs):
+        path = tmp_path / "persistent.db"
+        key, spec, result = resolved_pairs[0]
+        digest = specification_hash(spec)
+        with SqliteResultStore(path) as store:
+            store.put(key, digest, result)
+        with SqliteResultStore(path) as reopened:
+            assert reopened.get(key, digest) == result
+            assert len(reopened) == 1
+
+    def test_open_result_store_dispatch(self, tmp_path):
+        assert isinstance(open_result_store(":memory:"), MemoryResultStore)
+        sqlite = open_result_store(tmp_path / "x.db")
+        assert isinstance(sqlite, SqliteResultStore)
+        sqlite.close()
+        passthrough = MemoryResultStore()
+        assert open_result_store(passthrough) is passthrough
+
+
+class TestResumeSkipsStoredPrefix:
+    def test_nba_rerun_skips_stored_entities(self, nba_dataset, tmp_path):
+        """A second experiment over a populated store performs zero solver calls."""
+        config = RunConfig(
+            options=ResolverOptions(max_rounds=0, fallback="none"),
+            store=tmp_path / "nba.db",
+        )
+        with ResolutionClient(config) as client:
+            first = client.run_experiment(nba_dataset)
+            assert client.engine.statistics.entities == len(nba_dataset.entities)
+            assert client.stats().store_hits == 0
+        with ResolutionClient(config) as resumed:
+            second = resumed.run_experiment(nba_dataset)
+            # Zero engine work: every entity came from the store.
+            assert resumed.engine.statistics.entities == 0
+            assert resumed.stats().store_hits == len(nba_dataset.entities)
+        assert second.counts() == first.counts()
+        assert second.entities == first.entities
+
+    def test_partial_prefix_resolves_only_the_rest(self, nba_dataset):
+        from repro.api import MemoryResultStore
+
+        store = MemoryResultStore()
+        config = RunConfig(options=ResolverOptions(max_rounds=0, fallback="none"), store=store)
+        with ResolutionClient(config) as client:
+            client.run_experiment(nba_dataset, limit=2)
+        with ResolutionClient(config) as client:
+            client.run_experiment(nba_dataset)
+            assert client.engine.statistics.entities == len(nba_dataset.entities) - 2
+            assert client.stats().store_hits == 2

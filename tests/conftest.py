@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 import pytest
 
+from repro.api import ResolutionClient, RunConfig
 from repro.core import (
     ConstantCFD,
     CurrencyConstraint,
@@ -18,6 +21,60 @@ from repro.datasets import (
     generate_nba_dataset,
     generate_person_dataset,
 )
+from repro.resolution.framework import ResolverOptions
+
+
+def run_client_experiment(
+    dataset,
+    *,
+    max_interaction_rounds: int = 5,
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
+    max_inflight_chunks: Optional[int] = None,
+    incremental: bool = True,
+    compiled: bool = True,
+    resolver_options: Optional[ResolverOptions] = None,
+    store=None,
+    host=None,
+    **kwargs,
+):
+    """Framework experiment through the public client API.
+
+    The test-suite replacement for the deprecated
+    ``run_framework_experiment`` shim: identical semantics, expressed as a
+    :class:`~repro.api.RunConfig` plus
+    :meth:`~repro.api.ResolutionClient.run_experiment`.  Remaining keyword
+    arguments (``sigma_fraction``, ``limit``, ``keep_outcomes``,
+    ``extra_sinks``, ``oracle_factory`` …) pass through to the client.
+    """
+    options = resolver_options or ResolverOptions(
+        max_rounds=max_interaction_rounds,
+        fallback="none",
+        incremental=incremental,
+        compiled=compiled,
+    )
+    config = RunConfig(
+        options=options,
+        workers=workers,
+        chunk_size=chunk_size,
+        max_inflight_chunks=max_inflight_chunks,
+        store=store,
+    )
+    with ResolutionClient(config, host=host) as client:
+        return client.run_experiment(dataset, **kwargs)
+
+
+def run_client_baseline(dataset, method: str, *, workers: int = 1, seed: int = 0,
+                        repetitions: int = 3, **kwargs):
+    """Baseline experiment through the public client API (see above)."""
+    with ResolutionClient(RunConfig(workers=max(1, workers))) as client:
+        return client.run_experiment(
+            dataset,
+            baseline=method,
+            baseline_seed=seed,
+            baseline_repetitions=repetitions,
+            **kwargs,
+        )
 
 
 @pytest.fixture(scope="session")

@@ -1,44 +1,46 @@
-"""Tests for the experiment runner (framework and baseline experiments)."""
+"""Tests for the experiment harness (client runner + deprecated shims)."""
 
 import pytest
 
 from repro.core import ReproError
 from repro.evaluation import run_baseline_experiment, run_framework_experiment
 
+from tests.conftest import run_client_baseline, run_client_experiment
+
 
 class TestFrameworkExperiment:
     def test_runs_over_all_entities(self, small_person_dataset):
-        result = run_framework_experiment(small_person_dataset, max_interaction_rounds=0)
+        result = run_client_experiment(small_person_dataset, max_interaction_rounds=0)
         assert len(result.outcomes) == len(small_person_dataset.entities)
         assert 0.0 <= result.f_measure <= 1.0
         assert result.counts().conflicting > 0
 
     def test_limit_restricts_entities(self, small_person_dataset):
-        result = run_framework_experiment(small_person_dataset, max_interaction_rounds=0, limit=3)
+        result = run_client_experiment(small_person_dataset, max_interaction_rounds=0, limit=3)
         assert len(result.outcomes) == 3
 
     def test_interaction_improves_coverage(self, small_person_dataset):
-        automatic = run_framework_experiment(small_person_dataset, max_interaction_rounds=0)
-        interactive = run_framework_experiment(small_person_dataset, max_interaction_rounds=3)
+        automatic = run_client_experiment(small_person_dataset, max_interaction_rounds=0)
+        interactive = run_client_experiment(small_person_dataset, max_interaction_rounds=3)
         auto_fraction = automatic.true_value_fraction_by_round(0)[0]
         final_fraction = interactive.true_value_fraction_by_round(3)[-1]
         assert final_fraction >= auto_fraction
 
     def test_fraction_by_round_is_monotone(self, small_nba_dataset):
-        result = run_framework_experiment(small_nba_dataset, max_interaction_rounds=2)
+        result = run_client_experiment(small_nba_dataset, max_interaction_rounds=2)
         series = result.true_value_fraction_by_round(2)
         assert all(later >= earlier - 1e-9 for earlier, later in zip(series, series[1:]))
         assert all(0.0 <= value <= 1.0 for value in series)
 
     def test_constraint_fractions_change_accuracy(self, small_person_dataset):
-        nothing = run_framework_experiment(
+        nothing = run_client_experiment(
             small_person_dataset, sigma_fraction=0.0, gamma_fraction=0.0, max_interaction_rounds=0
         )
-        everything = run_framework_experiment(small_person_dataset, max_interaction_rounds=0)
+        everything = run_client_experiment(small_person_dataset, max_interaction_rounds=0)
         assert everything.counts().deduced >= nothing.counts().deduced
 
     def test_timings_and_summary_are_reported(self, small_career_dataset):
-        result = run_framework_experiment(small_career_dataset, max_interaction_rounds=1, limit=4)
+        result = run_client_experiment(small_career_dataset, max_interaction_rounds=1, limit=4)
         assert result.mean_seconds("total") > 0.0
         summary = result.summary()
         assert set(summary) == {
@@ -47,27 +49,83 @@ class TestFrameworkExperiment:
         assert summary["entities"] == 4.0
 
     def test_label_defaults_are_informative(self, small_person_dataset):
-        result = run_framework_experiment(small_person_dataset, limit=1)
+        result = run_client_experiment(small_person_dataset, limit=1)
         assert "Person" in result.label
 
 
 class TestBaselineExperiment:
     @pytest.mark.parametrize("method", ["pick", "vote", "min", "max", "any"])
     def test_all_baselines_run(self, small_person_dataset, method):
-        result = run_baseline_experiment(small_person_dataset, method, limit=4)
+        result = run_client_baseline(small_person_dataset, method, limit=4)
         assert len(result.outcomes) == 4
         assert 0.0 <= result.f_measure <= 1.0
 
     def test_unknown_baseline_rejected(self, small_person_dataset):
         with pytest.raises(ReproError):
-            run_baseline_experiment(small_person_dataset, "magic")
+            run_client_baseline(small_person_dataset, "magic")
 
     def test_framework_beats_pick_on_person(self, small_person_dataset):
-        framework = run_framework_experiment(small_person_dataset, max_interaction_rounds=2)
-        pick = run_baseline_experiment(small_person_dataset, "pick")
+        framework = run_client_experiment(small_person_dataset, max_interaction_rounds=2)
+        pick = run_client_baseline(small_person_dataset, "pick")
         assert framework.f_measure > pick.f_measure
 
     def test_repetitions_average_randomised_baselines(self, small_person_dataset):
-        single = run_baseline_experiment(small_person_dataset, "pick", repetitions=1, limit=3)
-        averaged = run_baseline_experiment(small_person_dataset, "pick", repetitions=5, limit=3)
+        single = run_client_baseline(small_person_dataset, "pick", repetitions=1, limit=3)
+        averaged = run_client_baseline(small_person_dataset, "pick", repetitions=5, limit=3)
         assert len(single.outcomes) == len(averaged.outcomes)
+
+
+@pytest.mark.filterwarnings("default::DeprecationWarning")
+class TestDeprecatedShims:
+    """The legacy runners survive as warning shims over the client.
+
+    The suite at large runs with ``-W error::DeprecationWarning`` (see
+    ``pytest.ini``); this class opts back in to exercise the shims and pin
+    their contract: they warn, and they produce exactly what the client
+    produces.
+    """
+
+    def test_framework_shim_warns_and_matches_client(self, small_person_dataset):
+        with pytest.warns(DeprecationWarning, match="run_framework_experiment is deprecated"):
+            shimmed = run_framework_experiment(
+                small_person_dataset, max_interaction_rounds=1, limit=3
+            )
+        direct = run_client_experiment(small_person_dataset, max_interaction_rounds=1, limit=3)
+        assert shimmed.label == direct.label
+        assert shimmed.counts() == direct.counts()
+        assert [o.entity_name for o in shimmed.outcomes] == [
+            o.entity_name for o in direct.outcomes
+        ]
+        assert [o.counts for o in shimmed.outcomes] == [o.counts for o in direct.outcomes]
+
+    def test_framework_shim_oracle_budget_follows_interaction_rounds(self, small_person_dataset):
+        """Explicit resolver options never widened the legacy oracle budget."""
+        from repro.resolution.framework import ResolverOptions
+
+        options = ResolverOptions(max_rounds=4, fallback="none")
+        with pytest.warns(DeprecationWarning):
+            shimmed = run_framework_experiment(
+                small_person_dataset,
+                max_interaction_rounds=0,
+                resolver_options=options,
+                limit=3,
+            )
+        assert shimmed.max_rounds_used() == 0
+
+    def test_baseline_shim_warns_and_matches_client(self, small_person_dataset):
+        with pytest.warns(DeprecationWarning, match="run_baseline_experiment is deprecated"):
+            shimmed = run_baseline_experiment(small_person_dataset, "vote", limit=4)
+        direct = run_client_baseline(small_person_dataset, "vote", limit=4)
+        assert shimmed.label == direct.label
+        assert shimmed.counts() == direct.counts()
+
+    def test_shims_raise_under_error_filter(self, small_person_dataset):
+        """Callers that escalate DeprecationWarning see the shims fail loudly."""
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with pytest.raises(DeprecationWarning):
+                run_framework_experiment(small_person_dataset, limit=1)
+            with pytest.raises(DeprecationWarning):
+                run_baseline_experiment(small_person_dataset, "pick", limit=1)

@@ -11,11 +11,9 @@ from repro.discovery import (
     discover_constant_cfds,
     discover_currency_constraints,
 )
-from repro.evaluation import (
-    GroundTruthOracle,
-    run_baseline_experiment,
-    run_framework_experiment,
-)
+from repro.evaluation import GroundTruthOracle
+
+from tests.conftest import run_client_baseline, run_client_experiment
 from repro.linkage import link_rows
 from repro.resolution import ConflictResolver
 
@@ -24,11 +22,11 @@ class TestAccuracyShape:
     """The qualitative findings of Section VI must hold on the synthetic data."""
 
     def test_sigma_plus_gamma_beats_sigma_only_and_gamma_only(self, small_person_dataset):
-        both = run_framework_experiment(small_person_dataset, max_interaction_rounds=0)
-        sigma_only = run_framework_experiment(
+        both = run_client_experiment(small_person_dataset, max_interaction_rounds=0)
+        sigma_only = run_client_experiment(
             small_person_dataset, gamma_fraction=0.0, max_interaction_rounds=0
         )
-        gamma_only = run_framework_experiment(
+        gamma_only = run_client_experiment(
             small_person_dataset, sigma_fraction=0.0, max_interaction_rounds=0
         )
         # Unifying Σ and Γ deduces at least as many correct true values as
@@ -43,14 +41,14 @@ class TestAccuracyShape:
         self, small_person_dataset, small_nba_dataset, small_career_dataset
     ):
         for dataset in (small_person_dataset, small_nba_dataset, small_career_dataset):
-            framework = run_framework_experiment(dataset, max_interaction_rounds=2)
-            pick = run_baseline_experiment(dataset, "pick")
+            framework = run_client_experiment(dataset, max_interaction_rounds=2)
+            pick = run_client_baseline(dataset, "pick")
             assert framework.f_measure > pick.f_measure, dataset.name
 
     def test_more_constraints_mean_higher_accuracy(self, small_person_dataset):
         fractions = [0.2, 1.0]
         scores = [
-            run_framework_experiment(
+            run_client_experiment(
                 small_person_dataset, sigma_fraction=f, gamma_fraction=f, max_interaction_rounds=0
             ).counts().correct
             for f in fractions
@@ -59,7 +57,7 @@ class TestAccuracyShape:
 
     def test_few_interaction_rounds_suffice(self, small_nba_dataset, small_career_dataset):
         for dataset in (small_nba_dataset, small_career_dataset):
-            result = run_framework_experiment(dataset, max_interaction_rounds=5)
+            result = run_client_experiment(dataset, max_interaction_rounds=5)
             assert result.max_rounds_used() <= 3, dataset.name
 
 
@@ -114,6 +112,6 @@ class TestDiscoveryFeedsResolution:
 
     def test_interaction_reaches_full_coverage_on_person(self):
         dataset = generate_person_dataset(PersonConfig(num_entities=6, seed=33))
-        automatic = run_framework_experiment(dataset, max_interaction_rounds=0)
-        interactive = run_framework_experiment(dataset, max_interaction_rounds=4)
+        automatic = run_client_experiment(dataset, max_interaction_rounds=0)
+        interactive = run_client_experiment(dataset, max_interaction_rounds=4)
         assert interactive.true_value_fraction_by_round(4)[-1] > automatic.true_value_fraction_by_round(0)[0]

@@ -11,7 +11,7 @@ analysis).
 import pytest
 
 from repro.engine import ResolutionEngine
-from repro.evaluation import run_framework_experiment
+from tests.conftest import run_client_baseline, run_client_experiment
 from repro.evaluation.interaction import ReluctantOracle
 from repro.resolution.framework import ConflictResolver, ResolverOptions
 
@@ -84,9 +84,9 @@ def test_chunking_does_not_change_results(small_person_dataset):
 
 
 def test_framework_experiment_workers_invariant(small_nba_dataset):
-    """run_framework_experiment(workers=2) scores exactly like workers=1."""
-    sequential = run_framework_experiment(small_nba_dataset, max_interaction_rounds=1, limit=4)
-    parallel = run_framework_experiment(
+    """run_client_experiment(workers=2) scores exactly like workers=1."""
+    sequential = run_client_experiment(small_nba_dataset, max_interaction_rounds=1, limit=4)
+    parallel = run_client_experiment(
         small_nba_dataset, max_interaction_rounds=1, limit=4, workers=2, chunk_size=2
     )
     assert parallel.f_measure == sequential.f_measure
@@ -103,10 +103,9 @@ def test_framework_experiment_workers_invariant(small_nba_dataset):
 
 
 def test_baseline_experiment_workers_invariant(small_nba_dataset):
-    from repro.evaluation import run_baseline_experiment
 
-    sequential = run_baseline_experiment(small_nba_dataset, "vote", limit=4)
-    parallel = run_baseline_experiment(small_nba_dataset, "vote", limit=4, workers=2)
+    sequential = run_client_baseline(small_nba_dataset, "vote", limit=4)
+    parallel = run_client_baseline(small_nba_dataset, "vote", limit=4, workers=2)
     assert parallel.f_measure == sequential.f_measure
     for seq, par in zip(sequential.outcomes, parallel.outcomes):
         assert seq.counts == par.counts

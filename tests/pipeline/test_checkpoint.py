@@ -7,7 +7,8 @@ import pytest
 
 from repro.datasets import PersonConfig, generate_person_dataset, stream_person_dataset
 from repro.engine import ResolutionEngine
-from repro.evaluation import ExperimentResult, MetricsSink, ScoreStage, run_framework_experiment
+from repro.evaluation import ExperimentResult, MetricsSink, ScoreStage
+from tests.conftest import run_client_experiment
 from repro.evaluation.interaction import ReluctantOracle
 from repro.pipeline import Checkpoint, CheckpointSink, Pipeline, ResolveStage, skip_items
 from repro.resolution import ResolverOptions
@@ -64,7 +65,7 @@ def _comparable(state):
 class TestExperimentResume:
     def test_interrupted_run_resumes_to_identical_metrics(self, tmp_path):
         config = PersonConfig(num_entities=7, seed=11)
-        reference = run_framework_experiment(
+        reference = run_client_experiment(
             generate_person_dataset(config), max_interaction_rounds=1
         )
 

@@ -16,7 +16,7 @@ from repro.datasets import (
     generate_person_dataset,
     stream_person_dataset,
 )
-from repro.evaluation import run_framework_experiment, run_baseline_experiment
+from tests.conftest import run_client_baseline, run_client_experiment
 from repro.evaluation.interaction import NoisyOracle
 from repro.resolution import ConflictResolver, ResolverOptions
 from repro.resolution.suggest import Suggestion
@@ -36,15 +36,15 @@ class TestSeededModesAgree:
         or from a lazy stream."""
         options = ResolverOptions(max_rounds=1, fallback="pick", random_seed=99)
         config = lambda: PersonConfig(num_entities=6, seed=3)  # noqa: E731
-        sequential = run_framework_experiment(
+        sequential = run_client_experiment(
             generate_person_dataset(config()), max_interaction_rounds=1,
             resolver_options=options,
         )
-        parallel = run_framework_experiment(
+        parallel = run_client_experiment(
             generate_person_dataset(config()), max_interaction_rounds=1,
             resolver_options=options, workers=2, chunk_size=2,
         )
-        streaming = run_framework_experiment(
+        streaming = run_client_experiment(
             stream_person_dataset(config()), max_interaction_rounds=1,
             resolver_options=options,
         )
@@ -52,9 +52,9 @@ class TestSeededModesAgree:
 
     def test_baseline_seed_controls_outcome(self):
         config = PersonConfig(num_entities=5, seed=3)
-        first = run_baseline_experiment(generate_person_dataset(config), "pick", seed=1)
-        again = run_baseline_experiment(generate_person_dataset(config), "pick", seed=1)
-        other = run_baseline_experiment(generate_person_dataset(config), "pick", seed=2)
+        first = run_client_baseline(generate_person_dataset(config), "pick", seed=1)
+        again = run_client_baseline(generate_person_dataset(config), "pick", seed=1)
+        other = run_client_baseline(generate_person_dataset(config), "pick", seed=2)
         assert [o.counts for o in first.outcomes] == [o.counts for o in again.outcomes]
         # A different seed is *allowed* to differ (and usually does); at
         # minimum it must not crash and must score the same entities.
@@ -62,8 +62,8 @@ class TestSeededModesAgree:
 
     def test_baseline_parallel_matches_sequential(self):
         config = PersonConfig(num_entities=6, seed=3)
-        sequential = run_baseline_experiment(generate_person_dataset(config), "pick", seed=5)
-        parallel = run_baseline_experiment(
+        sequential = run_client_baseline(generate_person_dataset(config), "pick", seed=5)
+        parallel = run_client_baseline(
             generate_person_dataset(config), "pick", seed=5, workers=2
         )
         assert [o.counts for o in sequential.outcomes] == [o.counts for o in parallel.outcomes]

@@ -27,7 +27,7 @@ from repro.datasets import (
     stream_person_dataset,
 )
 from repro.engine import ResolutionEngine
-from repro.evaluation import run_framework_experiment
+from tests.conftest import run_client_experiment
 from repro.pipeline import Pipeline, StreamProbe
 from repro.resolution import ResolverOptions
 
@@ -115,8 +115,8 @@ class TestDatasetStreamEquivalence:
 class TestExperimentStreamEquivalence:
     @pytest.mark.parametrize("name,config,generate,stream", _DATASETS)
     def test_streaming_matches_batch(self, name, config, generate, stream):
-        batch = run_framework_experiment(generate(config()), max_interaction_rounds=1)
-        streamed = run_framework_experiment(stream(config()), max_interaction_rounds=1)
+        batch = run_client_experiment(generate(config()), max_interaction_rounds=1)
+        streamed = run_client_experiment(stream(config()), max_interaction_rounds=1)
         assert _resolution_fingerprint(batch) == _resolution_fingerprint(streamed)
         assert batch.counts() == streamed.counts()
         assert batch.precision == streamed.precision
@@ -128,8 +128,8 @@ class TestExperimentStreamEquivalence:
 
     def test_streaming_parallel_matches_batch(self):
         config = PersonConfig(num_entities=8, seed=5)
-        batch = run_framework_experiment(generate_person_dataset(config), max_interaction_rounds=1)
-        parallel = run_framework_experiment(
+        batch = run_client_experiment(generate_person_dataset(config), max_interaction_rounds=1)
+        parallel = run_client_experiment(
             stream_person_dataset(PersonConfig(num_entities=8, seed=5)),
             max_interaction_rounds=1,
             workers=2,
@@ -141,8 +141,8 @@ class TestExperimentStreamEquivalence:
 
     def test_folded_aggregates_without_outcomes(self):
         config = PersonConfig(num_entities=6, seed=5)
-        kept = run_framework_experiment(generate_person_dataset(config), max_interaction_rounds=1)
-        folded = run_framework_experiment(
+        kept = run_client_experiment(generate_person_dataset(config), max_interaction_rounds=1)
+        folded = run_client_experiment(
             stream_person_dataset(PersonConfig(num_entities=6, seed=5)),
             max_interaction_rounds=1,
             keep_outcomes=False,
