@@ -30,19 +30,29 @@ def scaling_workers_table(
     workers_list: Sequence[int] = (1, 2, 4),
     limit: Optional[int] = None,
     max_rounds: int = 2,
+    repeats: int = 3,
 ) -> Dict:
-    """Resolve the same workload once per worker count; return the JSON payload."""
+    """Resolve the same workload per worker count; return the JSON payload.
+
+    Each worker count is timed *repeats* times and the best run is reported
+    (the same noise-robust estimator the fig. 8c/8d engine comparison uses) —
+    single-run walls on a loaded host are dominated by scheduling noise.
+    """
     dataset = nba_scalability_dataset()
     runs: Dict[str, Dict[str, float]] = {}
     baseline_wall = None
     f_measures = set()
     for workers in workers_list:
-        result = run_client_experiment(
-            dataset,
-            max_interaction_rounds=max_rounds,
-            limit=limit,
-            workers=workers,
-        )
+        result = None
+        for _ in range(max(1, repeats)):
+            candidate = run_client_experiment(
+                dataset,
+                max_interaction_rounds=max_rounds,
+                limit=limit,
+                workers=workers,
+            )
+            if result is None or candidate.wall_seconds < result.wall_seconds:
+                result = candidate
         if baseline_wall is None:
             baseline_wall = result.wall_seconds
         runs[f"workers{workers}"] = {
@@ -53,12 +63,16 @@ def scaling_workers_table(
             ),
             "f_measure": result.f_measure,
             **{key: value for key, value in result.engine.items() if key != "workers"},
+            # Scheduling skew made visible: the adaptive chunker's size
+            # decisions and each worker's busy/idle split for this run.
+            "scheduling": result.scheduling,
         }
         f_measures.add(round(result.f_measure, 12))
     return {
         "dataset": dataset.name,
         "entities": runs[f"workers{workers_list[0]}"]["entities"],
         "cpus": float(os.cpu_count() or 1),
+        "repeats": float(max(1, repeats)),
         "smoke": _SMOKE,
         "accuracy_invariant": len(f_measures) == 1,
         "runs": runs,

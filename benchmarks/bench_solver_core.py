@@ -1,0 +1,186 @@
+"""Solver-core micro-benchmark: the flat clause arena vs. the legacy CDCL.
+
+The resolution stack spends its SAT time on thousands of *small* Φ(S_e)
+instances, so the numbers that matter are throughput numbers: **solves/sec**
+(how fast a fresh formula goes from clauses to verdict, construction
+included) and **propagations/sec** (how fast the inner propagation loop runs
+once hot).  This benchmark measures both on the same corpus for the two CDCL
+implementations:
+
+* ``arena``  — :class:`repro.solvers.arena.ArenaSolver` (flat typed buffers,
+  literal-indexed watches, pooled via ``acquire_solver``/``release_solver``);
+* ``legacy`` — :class:`repro.solvers.sat.CDCLSolver` (object-graph clauses).
+
+The corpus is real: the Φ(S_e) encodings of the NBA scalability entities —
+the exact formulas the fig. 8c workload solves — plus deterministic random
+3-CNFs near the satisfiability threshold to exercise conflict analysis
+harder than the (mostly easy) encodings do.  Both backends must return the
+same verdict on every instance; the report carries the throughput table and
+the arena/legacy speedups.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``, used by CI) shrinks the corpus to a
+handful of formulas and one repeat: it proves both solver paths end-to-end
+without burning CI minutes.  The module doubles as a standalone script::
+
+    REPRO_BENCH_SMOKE=1 PYTHONPATH=src python benchmarks/bench_solver_core.py
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from typing import Dict, List, Tuple
+
+from _harness import nba_scalability_dataset, report, report_json
+from repro.encoding import encode_specification
+from repro.evaluation import format_table
+from repro.solvers.arena import acquire_solver, release_solver
+from repro.solvers.cnf import CNF
+from repro.solvers.sat import CDCLSolver
+
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+
+def _random_3cnf(num_vars: int, num_clauses: int, seed: int) -> CNF:
+    """Deterministic random 3-CNF (clause/variable ratio chosen by caller)."""
+    rng = random.Random(seed)
+    cnf = CNF(num_variables=num_vars)
+    for _ in range(num_clauses):
+        variables = rng.sample(range(1, num_vars + 1), 3)
+        cnf.add_clause([v if rng.random() < 0.5 else -v for v in variables])
+    return cnf
+
+
+def _corpus() -> List[Tuple[str, CNF]]:
+    """The benchmark formulas: real Φ(S_e) encodings plus random 3-CNFs."""
+    dataset = nba_scalability_dataset()
+    entities = dataset.entities[: (2 if _SMOKE else 12)]
+    corpus: List[Tuple[str, CNF]] = [
+        (f"phi:{entity.name}", encode_specification(dataset.specification_for(entity)).cnf)
+        for entity in entities
+    ]
+    # Random 3-CNFs near the threshold (ratio 4.2): conflict analysis and
+    # long propagation chains dominate there, which is where the arena's
+    # flat watch lists pay off — the Φ(S_e) encodings above are mostly easy
+    # and measure clause loading instead.
+    sizes = (30,) if _SMOKE else (50, 100, 140)
+    for index, num_vars in enumerate(sizes):
+        corpus.append(
+            (
+                f"rand3:{num_vars}v",
+                _random_3cnf(num_vars, int(num_vars * 4.2), seed=1000 + index),
+            )
+        )
+    return corpus
+
+
+def _run_backend(backend: str, corpus: List[Tuple[str, CNF]], repeats: int) -> Dict[str, float]:
+    """Solve the whole corpus *repeats* times; return throughput counters."""
+    verdicts: List[bool] = []
+    propagations = 0
+    solves = 0
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for _name, cnf in corpus:
+            if backend == "arena":
+                solver = acquire_solver()
+                solver.add_clauses(cnf.clauses)
+                solver.ensure_variables(cnf.num_variables)
+                result = solver.solve()
+                propagations += solver.total_propagations
+                release_solver(solver)
+            else:
+                solver = CDCLSolver(cnf)
+                result = solver.solve()
+                propagations += solver.total_propagations
+            solves += 1
+            verdicts.append(result.satisfiable)
+    wall = time.perf_counter() - start
+    return {
+        "wall_seconds": wall,
+        "solves": float(solves),
+        "propagations": float(propagations),
+        "solves_per_second": solves / wall if wall > 0 else 0.0,
+        "propagations_per_second": propagations / wall if wall > 0 else 0.0,
+        "_verdicts": verdicts,  # stripped before reporting; equivalence check only
+    }
+
+
+def solver_core_table(repeats: int = 0) -> Dict:
+    """Run both backends over the corpus and return the JSON payload."""
+    if repeats <= 0:
+        repeats = 1 if _SMOKE else 5
+    corpus = _corpus()
+    runs: Dict[str, Dict[str, float]] = {}
+    verdicts: Dict[str, List[bool]] = {}
+    for backend in ("arena", "legacy"):
+        counters = _run_backend(backend, corpus, repeats)
+        verdicts[backend] = counters.pop("_verdicts")
+        runs[backend] = counters
+    agreement = verdicts["arena"] == verdicts["legacy"]
+    legacy, arena = runs["legacy"], runs["arena"]
+    return {
+        "corpus": [name for name, _cnf in corpus],
+        "repeats": float(repeats),
+        "smoke": _SMOKE,
+        "verdicts_agree": agreement,
+        "runs": runs,
+        "speedup_solves": (
+            arena["solves_per_second"] / legacy["solves_per_second"]
+            if legacy["solves_per_second"] > 0
+            else 0.0
+        ),
+        "speedup_propagations": (
+            arena["propagations_per_second"] / legacy["propagations_per_second"]
+            if legacy["propagations_per_second"] > 0
+            else 0.0
+        ),
+    }
+
+
+def _render(payload: Dict) -> str:
+    rows = [
+        [
+            backend,
+            run["wall_seconds"],
+            run["solves_per_second"],
+            run["propagations_per_second"],
+        ]
+        for backend, run in payload["runs"].items()
+    ]
+    table = format_table(
+        ["backend", "wall (s)", "solves/sec", "propagations/sec"],
+        rows,
+        title=(
+            f"Solver core — {len(payload['corpus'])} formulas × "
+            f"{payload['repeats']:.0f} repeats "
+            f"(arena speedup: {payload['speedup_solves']:.2f}× solves, "
+            f"{payload['speedup_propagations']:.2f}× propagations)"
+        ),
+    )
+    if not payload["verdicts_agree"]:  # pragma: no cover - defensive
+        table += "\nWARNING: backends disagreed on satisfiability!"
+    return table
+
+
+def run_solver_core() -> Dict:
+    """Execute the benchmark (honouring smoke mode) and persist its reports."""
+    payload = solver_core_table()
+    report_json("solver_core", payload)
+    report("solver_core", _render(payload))
+    return payload
+
+
+def bench_solver_core(benchmark) -> None:
+    """Arena vs. legacy CDCL throughput on the Φ(S_e) + random-3CNF corpus."""
+    payload = run_solver_core()
+    assert payload["verdicts_agree"]
+    corpus = _corpus()[:2]
+    benchmark(lambda: _run_backend("arena", corpus, 1))
+
+
+if __name__ == "__main__":
+    payload = run_solver_core()
+    if not payload["verdicts_agree"]:
+        raise SystemExit("solver backends disagreed on satisfiability")

@@ -506,6 +506,7 @@ class ResolutionClient:
         result.engine = engine.statistics.as_dict()
         if self.config.workers > 1:
             result.engine["pool_warmup_seconds"] = warmup
+            result.scheduling = engine.statistics.scheduling_detail()
         return result
 
     # -- mode 5: serving -------------------------------------------------------

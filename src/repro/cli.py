@@ -76,6 +76,7 @@ from repro.pipeline import (
     MapStage,
     SkipStage,
 )
+from repro import profiling
 from repro.resolution import ResolverOptions, check_validity
 from repro.solvers.session import available_backends
 
@@ -111,7 +112,7 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument(
             "--solver-backend",
-            default="cdcl",
+            default="arena",
             metavar="NAME",
             help="solver-session backend from the registry "
             f"(available: {', '.join(available_backends())})",
@@ -122,6 +123,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="persistent result store (SQLite file, or ':memory:'): entities "
             "whose (entity, specification hash) is already stored are answered "
             "without solving, and fresh resolutions are upserted for later runs",
+        )
+        sub.add_argument(
+            "--profile",
+            action="store_true",
+            help="collect per-phase solver timing (encode / propagate / decide / "
+            "analyze) and print the profile to stderr after the run; "
+            "REPRO_PROFILE=1 in the environment does the same",
         )
 
     validate = subparsers.add_parser("validate", help="check specifications for conflicts")
@@ -599,7 +607,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": _command_serve,
         "discover": _command_discover,
     }
-    return handlers[args.command](args)
+    if getattr(args, "profile", False):
+        # Exported so pool workers spawned by the engine also collect; their
+        # totals stay in their own processes, so the printed table covers the
+        # parent only — accurate for the default --workers 1 path.
+        os.environ["REPRO_PROFILE"] = "1"
+        profiling.enable()
+    exit_code = handlers[args.command](args)
+    if profiling.enabled():
+        workers = getattr(args, "workers", 1)
+        print("\nper-phase solver profile (seconds):", file=sys.stderr)
+        if workers > 1:
+            print(
+                f"(parent process only; {workers} workers kept their own totals)",
+                file=sys.stderr,
+            )
+        print(profiling.format_report(), file=sys.stderr)
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

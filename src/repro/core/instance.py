@@ -93,11 +93,12 @@ class EntityInstance:
         deterministic (insertion order of first occurrence).
         """
         self._schema.require([attribute])
-        seen: list[Value] = []
+        # Tuple values are normalised (NULL is the interned marker, never
+        # ``None``), so dict identity-by-``hash``/``==`` dedup matches the
+        # pairwise ``values_equal`` scan while staying O(n).
+        seen: dict[Value, None] = {}
         for item in self.tuples:
-            value = item[attribute]
-            if not any(values_equal(value, existing) for existing in seen):
-                seen.append(value)
+            seen.setdefault(item[attribute])
         return tuple(seen)
 
     def conflicting_attributes(self) -> tuple[str, ...]:
@@ -138,6 +139,7 @@ class TemporalInstance:
         orders: Mapping[str, PartialOrder] | None = None,
         *,
         rank_nulls_lowest: bool = True,
+        _adopt_orders: bool = False,
     ) -> None:
         self._instance = instance
         schema = instance.schema
@@ -145,7 +147,9 @@ class TemporalInstance:
         schema.require(provided.keys())
         self._orders: Dict[str, PartialOrder] = {}
         for attribute in schema.attribute_names:
-            order = provided.get(attribute, PartialOrder()).copy()
+            order = provided.get(attribute, PartialOrder())
+            if not _adopt_orders:
+                order = order.copy()
             for tid in instance.tids:
                 order.add_element(tid)
             self._orders[attribute] = order
@@ -205,7 +209,23 @@ class TemporalInstance:
             if extra is not None:
                 order.update(extra)
             merged[attribute] = order
-        return TemporalInstance(new_instance, merged, rank_nulls_lowest=True)
+        # The merged orders were built fresh above, so the constructor may
+        # adopt them instead of copying each a second time.  NULL-lowest
+        # pairs are re-derived incrementally below instead of in the
+        # constructor: pairs among pre-existing tuples are already settled in
+        # the copied orders (edges are only ever added, so a pair that was
+        # rejected for a cycle stays rejected and an accepted one is already
+        # present) — only pairs involving a tuple *delta* introduces can be
+        # new.  Attempting those in the constructor's iteration order, with
+        # the settled pairs skipped as the no-ops they are, reproduces the
+        # full re-derivation exactly.
+        extended = TemporalInstance(new_instance, merged, rank_nulls_lowest=False, _adopt_orders=True)
+        if delta.new_tuples:
+            new_tids = {item.tid for item in delta.new_tuples}
+            for smaller_tid, larger_tid, attribute in extended._null_pairs():
+                if smaller_tid in new_tids or larger_tid in new_tids:
+                    extended._orders[attribute].try_add(smaller_tid, larger_tid)
+        return extended
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"TemporalInstance(tuples={len(self._instance)}, edges={self.size()})"

@@ -53,14 +53,21 @@ class PartialOrder:
         """
         if smaller == larger:
             raise CyclicOrderError(f"cannot add reflexive order {smaller!r} ≺ {larger!r}")
-        self.add_element(smaller)
-        self.add_element(larger)
-        if larger in self._successors[smaller]:
+        successors = self._successors
+        predecessors = self._predecessors
+        succ_smaller = successors.get(smaller)
+        if succ_smaller is None:
+            succ_smaller = successors[smaller] = set()
+            predecessors[smaller] = set()
+        if larger not in successors:
+            successors[larger] = set()
+            predecessors[larger] = set()
+        if larger in succ_smaller:
             return False
         if self.precedes(larger, smaller):
             raise CyclicOrderError(f"adding {smaller!r} ≺ {larger!r} would create a cycle")
-        self._successors[smaller].add(larger)
-        self._predecessors[larger].add(smaller)
+        succ_smaller.add(larger)
+        predecessors[larger].add(smaller)
         return True
 
     def try_add(self, smaller: Hashable, larger: Hashable) -> bool:
@@ -76,12 +83,17 @@ class PartialOrder:
             self.add(smaller, larger)
 
     def copy(self) -> "PartialOrder":
-        """Return an independent copy of this order."""
+        """Return an independent copy of this order.
+
+        The adjacency sets are copied structurally — the source order is
+        acyclic by construction, so re-running the per-edge cycle check of
+        :meth:`add` (a BFS per edge) would only re-derive what already holds.
+        """
         clone = PartialOrder()
-        for element in self._successors:
-            clone.add_element(element)
-        for smaller, larger in self.pairs():
-            clone.add(smaller, larger)
+        clone._successors = {element: set(successors) for element, successors in self._successors.items()}
+        clone._predecessors = {
+            element: set(predecessors) for element, predecessors in self._predecessors.items()
+        }
         return clone
 
     # -- queries ---------------------------------------------------------
@@ -97,6 +109,15 @@ class PartialOrder:
             for larger in successors:
                 yield (smaller, larger)
 
+    def successor_map(self) -> Dict[Hashable, Set[Hashable]]:
+        """The internal element → direct-successors adjacency, NOT a copy.
+
+        Hot paths (constraint grounding) iterate hundreds of thousands of
+        edges; this accessor skips the per-edge generator overhead of
+        :meth:`pairs`.  Callers must treat the mapping as read-only.
+        """
+        return self._successors
+
     def __len__(self) -> int:
         """Number of stored direct edges (|≺| as used for |O_t| in the paper)."""
         return sum(len(successors) for successors in self._successors.values())
@@ -110,14 +131,18 @@ class PartialOrder:
         """Return ``True`` when ``smaller ≺ larger`` holds in the transitive closure."""
         if smaller == larger:
             return False
-        if smaller not in self._successors or larger not in self._predecessors:
+        successors = self._successors
+        direct = successors.get(smaller)
+        if not direct or larger not in self._predecessors:
             return False
+        if larger in direct:
+            return True
         # Breadth-first search from `smaller` following successor edges.
         seen: Set[Hashable] = {smaller}
         frontier: deque[Hashable] = deque([smaller])
         while frontier:
             node = frontier.popleft()
-            for successor in self._successors.get(node, ()):
+            for successor in successors.get(node, ()):
                 if successor == larger:
                     return True
                 if successor not in seen:

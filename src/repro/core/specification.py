@@ -103,6 +103,28 @@ class Specification:
     # -- construction helpers -----------------------------------------------
 
     @classmethod
+    def _from_validated(
+        cls,
+        temporal_instance: TemporalInstance,
+        currency_constraints: Tuple[CurrencyConstraint, ...],
+        cfds: Tuple[ConstantCFD, ...],
+        name: str = "",
+    ) -> "Specification":
+        """Rebuild a specification whose constraints were already validated.
+
+        Used by the engine's constraint-shipping path: the parent process
+        validated Σ and Γ against the schema when it built the original
+        specification, so the worker-side rebuild skips the per-constraint
+        validation pass.  Callers must pass tuples they will not mutate.
+        """
+        spec = cls.__new__(cls)
+        spec._temporal = temporal_instance
+        spec._sigma = currency_constraints
+        spec._gamma = cfds
+        spec.name = name
+        return spec
+
+    @classmethod
     def from_rows(
         cls,
         schema: RelationSchema,
@@ -176,9 +198,13 @@ class Specification:
         """
         self.schema.require([attribute])
         domain: List[Value] = list(self.instance.active_domain(attribute))
+        # Constraint constants are normalised like tuple values, so set
+        # membership is equivalent to the pairwise ``values_equal`` scan.
+        present = set(domain)
 
         def ensure(value: Value) -> None:
-            if not any(values_equal(value, existing) for existing in domain):
+            if value not in present:
+                present.add(value)
                 domain.append(value)
 
         for cfd in self._gamma:

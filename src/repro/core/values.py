@@ -60,10 +60,13 @@ class Null:
         return False
 
     def __eq__(self, other: object) -> bool:
-        return other is None or isinstance(other, Null)
+        return other is self or other is None or isinstance(other, Null)
 
     def __hash__(self) -> int:
-        return hash("__repro_null__")
+        return _NULL_HASH
+
+
+_NULL_HASH = hash("__repro_null__")
 
 
 #: The unique missing-value marker used throughout the library.
@@ -119,15 +122,18 @@ def normalize(value: Any) -> Value:
 
 def is_null(value: Any) -> bool:
     """Return ``True`` when *value* denotes a missing value."""
-    return value is None or isinstance(value, Null)
+    # The interned marker is by far the common case on hot paths.
+    return value is None or value is NULL or isinstance(value, Null)
 
 
 def values_equal(left: Value, right: Value) -> bool:
-    """Equality with NULL semantics: two NULLs are equal, NULL never equals a value."""
-    left_null, right_null = is_null(left), is_null(right)
-    if left_null or right_null:
-        return left_null and right_null
-    return left == right
+    """Equality with NULL semantics: two NULLs are equal, NULL never equals a value.
+
+    For :data:`Value` operands this is plain ``==``: ``Null.__eq__`` equates
+    the two null markers (directly and via reflection) and rejects every
+    concrete value, and no concrete value compares equal to ``None``.
+    """
+    return bool(left == right)
 
 
 def _comparison_key(value: Value) -> tuple[int, Any]:

@@ -381,26 +381,28 @@ def instantiate_compiled(
         value_of: Dict = {}
         for item in instance:
             value_of[item.tid] = item[attribute]
-        for older_tid, newer_tid in order.pairs():
+        for older_tid, newer_tids in order.successor_map().items():
             older_value = value_of[older_tid]
-            newer_value = value_of[newer_tid]
-            if values_equal(older_value, newer_value):
-                continue
-            if dedup:
-                key = (attribute, older_value, newer_value)
-                if key in fact_seen:
+            for newer_tid in newer_tids:
+                newer_value = value_of[newer_tid]
+                # Normalised values make plain ``==`` identical to values_equal.
+                if older_value == newer_value:
                     continue
-                fact_seen.add(key)
-            constraints.append(
-                InstanceConstraint(
-                    body=(),
-                    head=OrderLiteral(attribute, older_value, newer_value),
-                    source_kind="order",
-                    source_name=f"{older_tid}≺{newer_tid}",
+                if dedup:
+                    key = (attribute, older_value, newer_value)
+                    if key in fact_seen:
+                        continue
+                    fact_seen.add(key)
+                constraints.append(
+                    InstanceConstraint(
+                        body=(),
+                        head=OrderLiteral._trusted(attribute, older_value, newer_value),
+                        source_kind="order",
+                        source_name=f"{older_tid}≺{newer_tid}",
+                    )
                 )
-            )
-            note(attribute, older_value, False)
-            note(attribute, newer_value, False)
+                note(attribute, older_value, False)
+                note(attribute, newer_value, False)
 
     # -- currency constraints (compiled evaluators over positional rows) ---
     projection_rows: Dict[Tuple[str, ...], List[Tuple[Value, ...]]] = {}
@@ -483,7 +485,7 @@ def instantiate_compiled(
                 for other in domain(attribute):
                     if values_equal(other, pattern_value):
                         continue
-                    body.append(OrderLiteral(attribute, other, pattern_value))
+                    body.append(OrderLiteral._trusted(attribute, other, pattern_value))
             body_tuple = tuple(body)
             body_key = (
                 frozenset((lit.attribute, lit.older, lit.newer) for lit in body_tuple)
@@ -513,7 +515,7 @@ def instantiate_compiled(
                 constraints.append(
                     InstanceConstraint(
                         body=body_tuple,
-                        head=OrderLiteral(*head_triple),
+                        head=OrderLiteral._trusted(*head_triple),
                         source_kind="cfd",
                         source_name=cfd.source_name,
                     )

@@ -39,7 +39,10 @@ encoding of the extended specification.
 from __future__ import annotations
 
 import itertools
+from time import perf_counter
 from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro import profiling
 
 from repro.core.errors import CyclicOrderError
 from repro.core.instance import TemporalOrderDelta
@@ -106,7 +109,7 @@ class IncrementalEncoder:
         self,
         spec: Specification,
         options: Optional[InstantiationOptions] = None,
-        backend: str = "cdcl",
+        backend: str = "arena",
         session: Optional[SolverSession] = None,
         program: "CompiledConstraintProgram | None" = None,
     ) -> None:
@@ -145,7 +148,12 @@ class IncrementalEncoder:
             cnf=self._cnf,
             options=self._options,
         )
-        self._full_encode()
+        if profiling.enabled():
+            encode_start = perf_counter()
+            self._full_encode()
+            profiling.add("encode", perf_counter() - encode_start)
+        else:
+            self._full_encode()
 
     # -- public accessors ------------------------------------------------------
 
@@ -304,6 +312,15 @@ class IncrementalEncoder:
         Returns a small statistics dictionary (constraints and clauses added,
         guards retired) for the round report.
         """
+        if profiling.enabled():
+            encode_start = perf_counter()
+            try:
+                return self._apply_delta(delta)
+            finally:
+                profiling.add("encode", perf_counter() - encode_start)
+        return self._apply_delta(delta)
+
+    def _apply_delta(self, delta: TemporalOrderDelta) -> Dict[str, int]:
         self._delta_encodings += 1
         self._last_delta_clauses = 0
         self._last_delta_constraints = 0
@@ -351,23 +368,26 @@ class IncrementalEncoder:
     ) -> None:
         instance = new_spec.instance
         for attribute in new_spec.schema.attribute_names:
-            old_pairs = set(old_spec.temporal_instance.order_for(attribute).pairs())
-            for older_tid, newer_tid in new_spec.temporal_instance.order_for(attribute).pairs():
-                if (older_tid, newer_tid) in old_pairs:
-                    continue
+            old_map = old_spec.temporal_instance.order_for(attribute).successor_map()
+            new_map = new_spec.temporal_instance.order_for(attribute).successor_map()
+            for older_tid, newer_tids in new_map.items():
+                known = old_map.get(older_tid) or ()
                 older_value = instance[older_tid][attribute]
-                newer_value = instance[newer_tid][attribute]
-                if values_equal(older_value, newer_value):
-                    continue
-                self._admit(
-                    InstanceConstraint(
-                        body=(),
-                        head=OrderLiteral(attribute, older_value, newer_value),
-                        source_kind="order",
-                        source_name=f"{older_tid}≺{newer_tid}",
-                    ),
-                    out,
-                )
+                for newer_tid in newer_tids:
+                    if newer_tid in known:
+                        continue
+                    newer_value = instance[newer_tid][attribute]
+                    if older_value == newer_value:
+                        continue
+                    self._admit(
+                        InstanceConstraint(
+                            body=(),
+                            head=OrderLiteral._trusted(attribute, older_value, newer_value),
+                            source_kind="order",
+                            source_name=f"{older_tid}≺{newer_tid}",
+                        ),
+                        out,
+                    )
 
     # -- delta: currency constraints ---------------------------------------------
 

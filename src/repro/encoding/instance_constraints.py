@@ -200,19 +200,20 @@ def instantiate(spec: Specification, options: InstantiationOptions | None = None
 def _instantiate_currency_orders(spec: Specification, emit) -> None:
     instance = spec.instance
     for attribute, order in spec.temporal_instance.orders.items():
-        for older_tid, newer_tid in order.pairs():
+        for older_tid, newer_tids in order.successor_map().items():
             older_value = instance[older_tid][attribute]
-            newer_value = instance[newer_tid][attribute]
-            if values_equal(older_value, newer_value):
-                continue
-            emit(
-                InstanceConstraint(
-                    body=(),
-                    head=OrderLiteral(attribute, older_value, newer_value),
-                    source_kind="order",
-                    source_name=f"{older_tid}≺{newer_tid}",
+            for newer_tid in newer_tids:
+                newer_value = instance[newer_tid][attribute]
+                if older_value == newer_value:
+                    continue
+                emit(
+                    InstanceConstraint(
+                        body=(),
+                        head=OrderLiteral(attribute, older_value, newer_value),
+                        source_kind="order",
+                        source_name=f"{older_tid}≺{newer_tid}",
+                    )
                 )
-            )
 
 
 # -- currency constraints -----------------------------------------------------

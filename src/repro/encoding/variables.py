@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, Iterator, Optional, Tuple
 
 from repro.core.errors import EncodingError
-from repro.core.values import NULL, Value, is_null
+from repro.core.values import NULL, Null, Value
 from repro.solvers.cnf import VariablePool
 
 __all__ = ["OrderLiteral", "OrderVariableRegistry", "canonical_value"]
@@ -20,9 +20,9 @@ __all__ = ["OrderLiteral", "OrderVariableRegistry", "canonical_value"]
 
 def canonical_value(value: Value) -> Hashable:
     """Return a hashable canonical key for *value* (NULL collapses to one key)."""
-    if is_null(value):
+    if value is None or value is NULL:
         return NULL
-    return value
+    return NULL if isinstance(value, Null) else value
 
 
 @dataclass(frozen=True)
@@ -40,6 +40,20 @@ class OrderLiteral:
             raise EncodingError(
                 f"reflexive order literal {self.older!r} ≺ {self.newer!r} on {self.attribute!r}"
             )
+
+    @classmethod
+    def _trusted(cls, attribute: str, older: Value, newer: Value) -> "OrderLiteral":
+        """Build a literal from values already canonical and known distinct.
+
+        The grounding hot loops compare the operands before emitting and draw
+        them from normalised instances, so the ``__post_init__`` work is
+        redundant there; everything else must go through the constructor.
+        """
+        literal = object.__new__(cls)
+        object.__setattr__(literal, "attribute", attribute)
+        object.__setattr__(literal, "older", older)
+        object.__setattr__(literal, "newer", newer)
+        return literal
 
     def reversed(self) -> "OrderLiteral":
         """The atom with the two values swapped (``newer ≺ older``)."""

@@ -5,9 +5,16 @@ per dataset; entities are independent, so the across-entity dimension is
 embarrassingly parallel.  :class:`ResolutionEngine` schedules a stream of
 (specification, oracle) tasks over a :class:`~concurrent.futures.ProcessPoolExecutor`:
 
-* **chunked dispatch** — entities are grouped into chunks (default
-  :data:`DEFAULT_CHUNK_SIZE`) so per-task pickling and scheduling overhead is
-  amortised over several resolutions;
+* **adaptive chunked dispatch** — entities are grouped into chunks so
+  per-task pickling and scheduling overhead is amortised over several
+  resolutions; without an explicit ``chunk_size`` the engine sizes chunks
+  from an EWMA of observed per-entity cost (targeting
+  :data:`ADAPTIVE_TARGET_SECONDS` of worker wall-clock per chunk), so a
+  skewed stream rebalances instead of idling workers behind a fixed count;
+* **zero-copy constraint shipping** — a dataset's Σ ∪ Γ is pickled once per
+  distinct constraint set and sent as ready-made bytes with each chunk
+  (bytes re-pickle as a memcpy); workers unpickle the payload once and
+  rebuild every chunk's specifications around the shared constraint tuples;
 * **per-worker warm state** — each worker process holds one long-lived
   :class:`~repro.resolution.framework.ConflictResolver` whose compiled
   constraint program cache persists across chunks (see
@@ -27,15 +34,17 @@ order, so the engine output is independent of ``workers`` and chunking.
 
 from __future__ import annotations
 
+import pickle
 import threading
 import time
 from collections import deque
 from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.specification import Specification
-from repro.engine.worker import initialize_worker, ping, resolve_chunk
+from repro.engine.worker import initialize_worker, ping, resolve_shipped_chunk
 from repro.resolution.framework import (
     ConflictResolver,
     Oracle,
@@ -48,8 +57,30 @@ __all__ = ["DEFAULT_CHUNK_SIZE", "EngineStatistics", "ResolutionEngine"]
 #: Entities per pool task; amortises pickling/scheduling over several resolutions.
 DEFAULT_CHUNK_SIZE = 4
 
+#: Adaptive chunking aims chunks at this much worker wall-clock: long enough
+#: to amortise dispatch overhead, short enough to rebalance a skewed stream.
+ADAPTIVE_TARGET_SECONDS = 0.15
+
+#: Upper bound on an adaptively chosen chunk (keeps the streaming window and
+#: head-of-line latency bounded even for very cheap entities).
+ADAPTIVE_MAX_CHUNK = 32
+
+#: EWMA weight of the newest per-entity cost sample.
+_EWMA_ALPHA = 0.4
+
 #: An entity task: the specification plus its (optional) oracle.
 EntityTask = Tuple[Specification, Optional[Oracle]]
+
+
+def _constraint_ident(spec: Specification) -> Tuple:
+    """Identity key of a specification's constraint set (Σ ∪ Γ by object id).
+
+    Datasets build every entity's specification around the same constraint
+    objects, so this cheap key recognises "same constraints" without hashing
+    constraint structure.  Keys are only compared while the engine pins the
+    referenced tuples, so ids cannot be recycled under it.
+    """
+    return (tuple(map(id, spec.currency_constraints)), tuple(map(id, spec.cfds)))
 
 
 @dataclass
@@ -75,11 +106,50 @@ class EngineStatistics:
     #: Summed compile-reuse counters of the program caches that served the run
     #: (per-chunk deltas from the workers, or the in-process cache delta).
     compile_reuse: Dict[str, int] = field(default_factory=dict)
+    #: Size of every chunk dispatched, in dispatch order — under adaptive
+    #: chunking this is the scheduler's decision log.
+    chunk_sizes: List[int] = field(default_factory=list)
+    #: Busy seconds per worker pid (seconds the worker spent resolving, as
+    #: measured inside the worker; dispatch/pickling gaps show up as idle).
+    worker_busy_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Wall-clock of the parallel drain (start of the first submit to the
+    #: last result) — the denominator of the busy/idle split.
+    run_wall_seconds: float = 0.0
+    #: Distinct constraint payloads pickled by the shipping path this run
+    #: (a payload is pickled once and re-sent as bytes with every chunk).
+    payloads_pickled: int = 0
 
     def merge_counters(self, delta: Dict[str, int]) -> None:
         """Accumulate one chunk's compile-reuse counter delta."""
         for key, value in delta.items():
             self.compile_reuse[key] = self.compile_reuse.get(key, 0) + value
+
+    def record_chunk_timing(self, pid: int, busy_seconds: float) -> None:
+        """Fold one chunk's worker-side busy time into the per-worker totals."""
+        key = str(pid)
+        self.worker_busy_seconds[key] = self.worker_busy_seconds.get(key, 0.0) + busy_seconds
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total worker-side resolving seconds across the pool."""
+        return sum(self.worker_busy_seconds.values())
+
+    @property
+    def idle_seconds(self) -> float:
+        """Pool capacity left unused: ``workers × wall − busy`` (parallel runs)."""
+        if self.run_wall_seconds <= 0.0:
+            return 0.0
+        return max(0.0, self.workers * self.run_wall_seconds - self.busy_seconds)
+
+    def scheduling_detail(self) -> Dict[str, object]:
+        """Chunk-size decisions and per-worker busy/idle for JSON reports."""
+        return {
+            "chunk_sizes": list(self.chunk_sizes),
+            "worker_busy_seconds": dict(self.worker_busy_seconds),
+            "run_wall_seconds": self.run_wall_seconds,
+            "busy_seconds": self.busy_seconds,
+            "idle_seconds": self.idle_seconds,
+        }
 
     def as_dict(self) -> Dict[str, float]:
         """Flat representation for benchmark JSON reports."""
@@ -90,6 +160,16 @@ class EngineStatistics:
             "parallel": 1.0 if self.parallel else 0.0,
             "peak_inflight_entities": float(self.peak_inflight_entities),
         }
+        if self.chunk_sizes:
+            flat["chunk_size_min"] = float(min(self.chunk_sizes))
+            flat["chunk_size_max"] = float(max(self.chunk_sizes))
+            flat["chunk_size_mean"] = sum(self.chunk_sizes) / len(self.chunk_sizes)
+        if self.worker_busy_seconds:
+            flat["busy_seconds"] = self.busy_seconds
+            flat["idle_seconds"] = self.idle_seconds
+            flat["run_wall_seconds"] = self.run_wall_seconds
+        if self.payloads_pickled:
+            flat["payloads_pickled"] = float(self.payloads_pickled)
         for key, value in self.compile_reuse.items():
             flat[key] = float(value)
         return flat
@@ -106,7 +186,11 @@ class ResolutionEngine:
     workers:
         Number of worker processes; ``<= 1`` resolves in-process.
     chunk_size:
-        Entities per pool task (default :data:`DEFAULT_CHUNK_SIZE`).
+        Entities per pool task.  ``None`` (the default) enables adaptive
+        chunking: chunk sizes follow an EWMA of measured per-entity cost,
+        aiming at :data:`ADAPTIVE_TARGET_SECONDS` of worker wall-clock per
+        chunk (bounded by :data:`ADAPTIVE_MAX_CHUNK`).  An explicit value
+        pins fixed-size chunks.
     max_inflight_chunks:
         Backpressure bound: chunks submitted but not yet drained (default
         ``2 × workers``).  Together with *chunk_size* this caps the engine's
@@ -135,12 +219,26 @@ class ResolutionEngine:
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
         self.chunk_size = chunk_size or DEFAULT_CHUNK_SIZE
+        #: With no explicit chunk_size the parallel path sizes chunks from an
+        #: EWMA of observed per-entity cost (``self.chunk_size`` then only
+        #: names the legacy default); an explicit chunk_size pins it.
+        self.adaptive_chunking = chunk_size is None
         if max_inflight_chunks is not None and max_inflight_chunks < 1:
             raise ValueError(f"max_inflight_chunks must be >= 1, got {max_inflight_chunks}")
         self.max_inflight_chunks = max_inflight_chunks or 2 * self.workers
         self.statistics = EngineStatistics(workers=self.workers)
         self._pool: Optional[ProcessPoolExecutor] = None
         self._resolver: Optional[ConflictResolver] = None
+        #: EWMA of per-entity busy seconds, fed by every finished chunk and
+        #: kept across calls so later streams start from a warm estimate.
+        self._entity_cost_ewma: Optional[float] = None
+        # Constraint-shipping registry: each distinct (Σ, Γ) — recognised by
+        # the identities of its constraint objects — is pickled exactly once;
+        # chunks then carry the ready-made bytes.  The registry pins the
+        # constraint tuples so the id-based keys stay unique.
+        self._payload_lock = threading.Lock()
+        self._payloads: Dict[Tuple, Tuple[int, bytes]] = {}
+        self._payload_refs: List[Tuple] = []
         # Serving-mode synchronisation: resolve_task() may be called from many
         # threads at once (the async serving layer), so pool creation, the
         # shared in-process resolver and the statistics counters each get a
@@ -259,11 +357,13 @@ class ResolutionEngine:
                     after = self._resolver.program_cache.statistics()
                     delta = {key: after[key] - before.get(key, 0) for key in after}
             else:
-                future = self._ensure_pool().submit(resolve_chunk, [(spec, oracle)])
-                results, delta = future.result()
+                future = self._ensure_pool().submit(resolve_shipped_chunk, *self._ship([(spec, oracle)]))
+                results, delta, busy, pid = future.result()
                 result = results[0]
                 with self._task_lock:
                     statistics.parallel = True
+                    statistics.record_chunk_timing(pid, busy)
+                    self._observe_entity_cost(busy / len(results))
             with self._task_lock:
                 statistics.entities += 1
                 statistics.chunks += 1
@@ -295,15 +395,56 @@ class ResolutionEngine:
 
     # -- parallel path ---------------------------------------------------------
 
-    def _chunks(self, tasks: Iterable[EntityTask]) -> Iterator[List[EntityTask]]:
-        chunk: List[EntityTask] = []
-        for task in tasks:
-            chunk.append(task)
-            if len(chunk) >= self.chunk_size:
-                yield chunk
-                chunk = []
-        if chunk:
-            yield chunk
+    def _ship(self, chunk: Sequence[EntityTask]):
+        """Package *chunk* for :func:`resolve_shipped_chunk`.
+
+        The chunk's Σ ∪ Γ is pickled once per distinct constraint set (keyed
+        by the identities of the constraint objects — datasets share one
+        constraint list across entities, so a whole run usually ships one
+        payload) and re-sent as bytes, which pickles as a memcpy.  The
+        chunker cuts chunks on constraint-set changes, so every chunk is
+        homogeneous and one payload per chunk suffices.
+        """
+        spec = chunk[0][0]
+        ident = _constraint_ident(spec)
+        with self._payload_lock:
+            entry = self._payloads.get(ident)
+            if entry is None:
+                payload = pickle.dumps(
+                    (spec.currency_constraints, spec.cfds), protocol=pickle.HIGHEST_PROTOCOL
+                )
+                entry = (len(self._payload_refs), payload)
+                self._payloads[ident] = entry
+                self._payload_refs.append((spec.currency_constraints, spec.cfds))
+                self.statistics.payloads_pickled += 1
+        key, payload = entry
+        tasks = [
+            (task_spec.temporal_instance, task_spec.name, oracle) for task_spec, oracle in chunk
+        ]
+        return tasks, key, payload
+
+    def _next_chunk_size(self) -> int:
+        """Entities for the next chunk: fixed, or sized from the cost EWMA."""
+        if not self.adaptive_chunking:
+            return self.chunk_size
+        ewma = self._entity_cost_ewma
+        if ewma is None:
+            # No cost sample yet: one single-entity probe buys the first
+            # measurement quickly; until it lands, fall back to the fixed
+            # default.  The seeding is deliberately independent of the pool
+            # size so different worker counts dispatch the same chunks.
+            return 1 if not self.statistics.chunk_sizes else self.chunk_size
+        if ewma <= 0.0:
+            return ADAPTIVE_MAX_CHUNK
+        return max(1, min(ADAPTIVE_MAX_CHUNK, int(ADAPTIVE_TARGET_SECONDS / ewma)))
+
+    def _observe_entity_cost(self, sample_seconds: float) -> None:
+        """Fold one chunk's per-entity busy seconds into the EWMA."""
+        ewma = self._entity_cost_ewma
+        if ewma is None:
+            self._entity_cost_ewma = sample_seconds
+        else:
+            self._entity_cost_ewma = _EWMA_ALPHA * sample_seconds + (1.0 - _EWMA_ALPHA) * ewma
 
     def _resolve_parallel(self, tasks: Iterable[EntityTask]) -> Iterator[ResolutionResult]:
         pool = self._ensure_pool()
@@ -311,21 +452,53 @@ class ResolutionEngine:
         statistics.parallel = True
         max_in_flight = self.max_inflight_chunks
         pending: deque[Future] = deque()
-        chunks = self._chunks(tasks)
+        task_iter = iter(tasks)
         inflight_entities = 0
+        started = time.perf_counter()
 
         def drain(future: Future) -> Iterator[ResolutionResult]:
             nonlocal inflight_entities
-            results, counter_delta = future.result()
+            results, counter_delta, busy, pid = future.result()
             statistics.chunks += 1
             statistics.entities += len(results)
             statistics.merge_counters(counter_delta)
+            statistics.record_chunk_timing(pid, busy)
+            if results:
+                self._observe_entity_cost(busy / len(results))
             inflight_entities -= len(results)
             yield from results
 
+        # One-task pushback buffer: a task whose constraint set differs from
+        # the open chunk's starts the next chunk instead (chunks must be
+        # constraint-homogeneous for the shared shipping payload).
+        carry: Optional[EntityTask] = None
+
+        def next_chunk() -> List[EntityTask]:
+            nonlocal carry
+            target = self._next_chunk_size()
+            chunk: List[EntityTask] = []
+            ident = None
+            while len(chunk) < target:
+                task = carry if carry is not None else next(task_iter, None)
+                carry = None
+                if task is None:
+                    break
+                task_ident = _constraint_ident(task[0])
+                if ident is None:
+                    ident = task_ident
+                elif task_ident != ident:
+                    carry = task
+                    break
+                chunk.append(task)
+            return chunk
+
         try:
-            for chunk in chunks:
-                pending.append(pool.submit(resolve_chunk, chunk))
+            while True:
+                chunk = next_chunk()
+                if not chunk:
+                    break
+                statistics.chunk_sizes.append(len(chunk))
+                pending.append(pool.submit(resolve_shipped_chunk, *self._ship(chunk)))
                 inflight_entities += len(chunk)
                 statistics.peak_inflight_entities = max(
                     statistics.peak_inflight_entities, inflight_entities
@@ -337,3 +510,4 @@ class ResolutionEngine:
         finally:
             for future in pending:
                 future.cancel()
+            statistics.run_wall_seconds += time.perf_counter() - started

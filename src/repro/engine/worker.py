@@ -10,6 +10,12 @@ stamps it for every later entity of every chunk the worker receives (the
 cache key is structural, so the unpickled constraint copies of different
 chunks all hit the same entry).
 
+Constraint shipping works the same way one level down: the engine pickles a
+dataset's Σ ∪ Γ *once* and sends the ready-made bytes with every chunk
+(re-pickling ``bytes`` is a memcpy, not an object-graph walk); the worker
+unpickles the payload once per key and rebuilds each chunk's specifications
+around the shared constraint tuples (:func:`resolve_shipped_chunk`).
+
 Only module-level functions live here — the :mod:`concurrent.futures`
 machinery requires its initialiser and task callables to be picklable by
 qualified name.
@@ -17,15 +23,31 @@ qualified name.
 
 from __future__ import annotations
 
+import os
+import pickle
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.instance import TemporalInstance
 from repro.core.specification import Specification
 from repro.resolution.framework import ConflictResolver, Oracle, ResolutionResult, ResolverOptions
 
-__all__ = ["initialize_worker", "ping", "resolve_chunk"]
+__all__ = ["initialize_worker", "ping", "resolve_chunk", "resolve_shipped_chunk"]
 
 #: The per-process resolver (None until :func:`initialize_worker` ran).
 _RESOLVER: Optional[ConflictResolver] = None
+
+#: Unpickled constraint payloads by engine-issued key (one entry per distinct
+#: (Σ, Γ) the engine ships; the engine keys are unique for its lifetime).
+_CONSTRAINT_CACHE: Dict[int, Tuple[tuple, tuple]] = {}
+
+#: A shipped task: the entity's temporal instance, its name, and its oracle.
+ShippedTask = Tuple[TemporalInstance, str, Optional[Oracle]]
+
+#: What every chunk call returns: the resolutions, the compile-reuse counter
+#: delta, the busy seconds spent resolving, and the worker's pid (for the
+#: engine's per-worker busy/idle accounting).
+ChunkResult = Tuple[List[ResolutionResult], Dict[str, int], float, int]
 
 
 def initialize_worker(options: ResolverOptions) -> None:
@@ -41,18 +63,44 @@ def ping() -> bool:
 
 def resolve_chunk(
     chunk: Sequence[Tuple[Specification, Optional[Oracle]]],
-) -> Tuple[List[ResolutionResult], Dict[str, int]]:
+) -> ChunkResult:
     """Resolve one chunk of (specification, oracle) tasks in order.
 
     Returns the resolutions plus the *delta* of the worker's compile-reuse
     counters attributable to this chunk (the engine sums the deltas, so the
-    aggregate is exact no matter how chunks are spread over workers).
+    aggregate is exact no matter how chunks are spread over workers), the
+    chunk's busy seconds, and this worker's pid.
     """
     resolver = _RESOLVER
     if resolver is None:  # pragma: no cover - defensive; initializer always runs
         raise RuntimeError("resolve_chunk called in an uninitialised worker process")
     before = resolver.program_cache.statistics()
+    start = time.perf_counter()
     results = [resolver.resolve(spec, oracle) for spec, oracle in chunk]
+    busy = time.perf_counter() - start
     after = resolver.program_cache.statistics()
     delta = {key: after[key] - before.get(key, 0) for key in after}
-    return results, delta
+    return results, delta, busy, os.getpid()
+
+
+def resolve_shipped_chunk(
+    tasks: Sequence[ShippedTask], payload_key: int, payload: bytes
+) -> ChunkResult:
+    """Resolve a chunk whose constraints arrived as a shared pickled payload.
+
+    *payload* holds ``(Σ, Γ)`` pickled once by the engine; it is unpickled on
+    this worker's first chunk for *payload_key* and cached, so later chunks
+    of the same run (and of later runs over the same constraint sets) rebuild
+    their specifications around the already-materialised constraint tuples.
+    The specifications were validated by the caller before shipping, so the
+    rebuild skips re-validation.
+    """
+    entry = _CONSTRAINT_CACHE.get(payload_key)
+    if entry is None:
+        entry = _CONSTRAINT_CACHE[payload_key] = pickle.loads(payload)
+    sigma, gamma = entry
+    chunk = [
+        (Specification._from_validated(temporal, sigma, gamma, name=name), oracle)
+        for temporal, name, oracle in tasks
+    ]
+    return resolve_chunk(chunk)

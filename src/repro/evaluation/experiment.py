@@ -116,6 +116,9 @@ class ExperimentResult:
     wall_seconds: float = 0.0
     #: Engine/compile-reuse counters (workers, chunks, program cache hits).
     engine: Dict[str, float] = field(default_factory=dict)
+    #: Engine scheduling detail (chunk-size decisions, per-worker busy/idle
+    #: seconds) — empty for sequential runs and baselines.
+    scheduling: Dict[str, object] = field(default_factory=dict)
     #: Whether :meth:`add_outcome` retains the per-entity outcomes.
     keep_outcomes: bool = True
     #: Entities folded in so far (== ``len(outcomes)`` when they are kept).

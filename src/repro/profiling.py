@@ -1,0 +1,82 @@
+"""Lightweight per-phase profiling for the resolution hot path.
+
+Enabled by ``REPRO_PROFILE=1`` in the environment or ``repro resolve
+--profile`` on the CLI, this module accumulates wall-clock per solver phase:
+
+* ``encode`` — CNF construction (full encodes and incremental deltas),
+* ``propagate`` — unit propagation inside the SAT search,
+* ``decide`` — branching (heap pops, phase-saved enqueues),
+* ``analyze`` — conflict analysis and backtracking.
+
+The collectors are process-global and deliberately simple: a dict of float
+totals guarded by nothing (the resolution stack touches them from one thread;
+concurrent serving profiles are best-effort).  When profiling is disabled —
+the default — instrumented code does a single truthiness check per phase
+boundary, so the hot path stays hot.
+
+Pool workers inherit ``REPRO_PROFILE`` through the environment, but their
+numbers live in their own processes; the CLI therefore reports the profile of
+in-process resolution (``--workers 1``, the default) and says so otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Tuple
+
+__all__ = ["PHASES", "enabled", "enable", "add", "snapshot", "reset", "format_report"]
+
+#: The phases reported, in display order.
+PHASES: Tuple[str, ...] = ("encode", "propagate", "decide", "analyze")
+
+#: Whether collection is active (module-global; mirrored into local variables
+#: by instrumented code, so flips apply to solves that start afterwards).
+_enabled: bool = os.environ.get("REPRO_PROFILE") == "1"
+
+_seconds: Dict[str, float] = {phase: 0.0 for phase in PHASES}
+_calls: Dict[str, int] = {phase: 0 for phase in PHASES}
+
+
+def enabled() -> bool:
+    """Return ``True`` when phase timing is being collected."""
+    return _enabled
+
+
+def enable(flag: bool = True) -> None:
+    """Turn collection on (or off with ``flag=False``)."""
+    global _enabled
+    _enabled = flag
+
+
+def add(phase: str, seconds: float, calls: int = 1) -> None:
+    """Accumulate *seconds* (and *calls*) under *phase*."""
+    _seconds[phase] = _seconds.get(phase, 0.0) + seconds
+    _calls[phase] = _calls.get(phase, 0) + calls
+
+
+def snapshot() -> Dict[str, Dict[str, float]]:
+    """Return ``{phase: {"seconds": ..., "calls": ...}}`` for all phases seen."""
+    return {
+        phase: {"seconds": _seconds[phase], "calls": float(_calls[phase])}
+        for phase in _seconds
+    }
+
+
+def reset() -> None:
+    """Zero all accumulated totals."""
+    for phase in list(_seconds):
+        _seconds[phase] = 0.0
+        _calls[phase] = 0
+
+
+def format_report() -> str:
+    """Render the accumulated profile as an aligned text table."""
+    total = sum(_seconds.values())
+    lines = ["phase        seconds      %      calls"]
+    ordered = list(PHASES) + sorted(set(_seconds) - set(PHASES))
+    for phase in ordered:
+        seconds = _seconds.get(phase, 0.0)
+        share = (100.0 * seconds / total) if total > 0 else 0.0
+        lines.append(f"{phase:<10}  {seconds:>8.4f}  {share:>5.1f}  {_calls.get(phase, 0):>9d}")
+    lines.append(f"{'total':<10}  {total:>8.4f}  {100.0 if total > 0 else 0.0:>5.1f}")
+    return "\n".join(lines)

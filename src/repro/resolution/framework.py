@@ -145,8 +145,9 @@ class ResolverOptions:
         clauses.  ``False`` restores the from-scratch behaviour (re-encode and
         cold-solve every round) — the cross-check tests compare the two.
     solver_backend:
-        Registry name of the solver-session backend (``"cdcl"`` or
-        ``"dpll"``); only used on the incremental path.
+        Registry name of the solver-session backend (``"arena"`` — the flat
+        clause-arena core, the default — ``"cdcl"`` or ``"dpll"``); only used
+        on the incremental path.
     compiled:
         When ``True`` (the default) the resolver compiles the constraint
         program of Σ ∪ Γ once per schema (cached across entities in
@@ -161,7 +162,7 @@ class ResolverOptions:
     fallback: str = "pick"  # "pick" or "none"
     random_seed: int = 0
     incremental: bool = True
-    solver_backend: str = "cdcl"
+    solver_backend: str = "arena"
     compiled: bool = True
 
 

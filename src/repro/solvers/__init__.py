@@ -6,12 +6,14 @@ study (MiniSAT, WalkSAT-based MaxSAT, and the clique approximation of [16])
 with self-contained, deterministic Python implementations.
 """
 
+from repro.solvers.arena import ArenaSolver, solve_batch
 from repro.solvers.clique import build_graph, bron_kerbosch_cliques, greedy_clique, max_clique
 from repro.solvers.cnf import CNF, Clause, VariablePool
 from repro.solvers.dpll import dpll_solve
 from repro.solvers.maxsat import MaxSATResult, solve_group_maxsat
 from repro.solvers.sat import CDCLSolver, SATResult, solve
 from repro.solvers.session import (
+    ArenaSession,
     CDCLSession,
     DPLLSession,
     SolverSession,
@@ -22,6 +24,8 @@ from repro.solvers.session import (
 from repro.solvers.unit_propagation import PropagationResult, propagate_units
 
 __all__ = [
+    "ArenaSession",
+    "ArenaSolver",
     "CNF",
     "CDCLSession",
     "CDCLSolver",
@@ -42,5 +46,6 @@ __all__ = [
     "propagate_units",
     "register_backend",
     "solve",
+    "solve_batch",
     "solve_group_maxsat",
 ]

@@ -15,23 +15,28 @@ solver alive for that whole lifecycle:
   clauses carried over, learned clauses retained) that the benchmark harness
   surfaces.
 
-Backends are pluggable through a small registry: ``"cdcl"`` (the default,
-fully incremental) and ``"dpll"`` (stateless reference backend that re-solves
-from scratch — useful for cross-checking the incremental machinery) ship
-built-in; :func:`register_backend` accepts further implementations.
+Backends are pluggable through a small registry: ``"arena"`` (the default —
+the flat clause-arena port of the CDCL loop, fully incremental, pooled
+buffers), ``"cdcl"`` (the legacy object-graph CDCL solver, behaviourally
+identical) and ``"dpll"`` (stateless reference backend that re-solves from
+scratch — useful for cross-checking the incremental machinery) ship built-in;
+:func:`register_backend` accepts further implementations.
 """
 
 from __future__ import annotations
 
+import weakref
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.core.errors import SolverError
+from repro.solvers.arena import ArenaSolver, acquire_solver, release_solver
 from repro.solvers.cnf import CNF
 from repro.solvers.dpll import dpll_solve
 from repro.solvers.sat import CDCLSolver, SATResult
 
 __all__ = [
     "SolverSession",
+    "ArenaSession",
     "CDCLSession",
     "DPLLSession",
     "register_backend",
@@ -169,6 +174,56 @@ class CDCLSession(SolverSession):
         return stats
 
 
+class ArenaSession(SolverSession):
+    """Incremental session backed by the flat clause-arena solver.
+
+    Behaviourally identical to :class:`CDCLSession` (the arena solver is an
+    exact port of the legacy CDCL loop, counters included) but with the flat
+    hot path of :class:`~repro.solvers.arena.ArenaSolver`.  The underlying
+    solver is drawn from the per-process pool, so a worker resolving many
+    entities reuses the same warm buffers across their sessions — this is the
+    batch-solving amortisation of the arena core.
+    """
+
+    backend = "arena"
+    retains_learned_clauses = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._solver = acquire_solver()
+        # Hand the buffers back for the next session once this one is
+        # unreachable (sessions have no explicit close in the resolution
+        # stack; the resolver simply drops them at the end of an entity).
+        self._finalizer = weakref.finalize(self, release_solver, self._solver)
+
+    @property
+    def solver(self) -> ArenaSolver:
+        """The underlying pooled arena solver (exposed for diagnostics)."""
+        return self._solver
+
+    @property
+    def learned_clauses(self) -> int:
+        return self._solver.num_learned_clauses
+
+    def ensure_variables(self, count: int) -> None:
+        self._solver.ensure_variables(count)
+
+    def _add_clause(self, literals: Sequence[int]) -> None:
+        self._solver.add_clause(literals)
+
+    def _solve(self, assumptions: Sequence[int], conflict_limit: Optional[int]) -> SATResult:
+        return self._solver.solve(assumptions, conflict_limit=conflict_limit)
+
+    def statistics(self) -> Dict[str, int]:
+        stats = super().statistics()
+        stats["conflicts"] = self._solver.total_conflicts
+        stats["decisions"] = self._solver.total_decisions
+        stats["propagations"] = self._solver.total_propagations
+        stats["db_reductions"] = self._solver.db_reductions
+        stats["clauses_deleted"] = self._solver.clauses_deleted
+        return stats
+
+
 class DPLLSession(SolverSession):
     """Stateless reference session: every call re-solves the stored CNF.
 
@@ -213,7 +268,7 @@ def available_backends() -> Tuple[str, ...]:
     return tuple(sorted(_BACKENDS))
 
 
-def create_session(backend: str = "cdcl") -> SolverSession:
+def create_session(backend: str = "arena") -> SolverSession:
     """Instantiate a solver session for *backend* (by registry name)."""
     try:
         factory = _BACKENDS[backend]
@@ -224,5 +279,6 @@ def create_session(backend: str = "cdcl") -> SolverSession:
     return factory()
 
 
+register_backend("arena", ArenaSession)
 register_backend("cdcl", CDCLSession)
 register_backend("dpll", DPLLSession)

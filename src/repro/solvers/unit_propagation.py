@@ -4,16 +4,19 @@
 unit-clause rule: whenever the formula contains (or comes to contain) a
 one-literal clause, that literal must be true in every model, so it can be
 recorded and the formula reduced by it.  This module implements that loop
-efficiently — clauses are indexed by the literals they contain so that
-reduction is amortised linear in the formula size — and reports both the set
-of forced literals and whether propagation derived a contradiction.
+over flat occurrence lists: clauses are indexed once by the literals they
+contain, the index is cached on the (append-only) :class:`CNF` object and
+extended incrementally as clauses arrive, and the propagation loop itself
+walks plain integer arrays — no per-call dict rebuilding, no per-literal
+function calls.  ``DeduceOrder``'s fixpoint iteration re-propagates the same
+formula many times per resolution round, which is exactly the access pattern
+the cached index amortises.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set
+from typing import List, Sequence, Set
 
 from repro.solvers.cnf import CNF
 
@@ -42,6 +45,65 @@ class PropagationResult:
         return literal in set(self.forced_literals)
 
 
+class _PropagationIndex:
+    """Occurrence index over an append-only clause list, extended in place.
+
+    ``occurrences[2·v]`` / ``occurrences[2·v + 1]`` hold the positions of the
+    clauses containing the positive / negative literal of variable ``v``;
+    ``events`` records the empty and one-literal clauses in clause order so a
+    propagation run can replay its seeding phase without rescanning the
+    formula.
+    """
+
+    __slots__ = ("clause_list", "occurrences", "events", "synced_clauses")
+
+    def __init__(self, clause_list: List[Sequence[int]]) -> None:
+        self.clause_list = clause_list
+        self.occurrences: List[List[int]] = []
+        #: ``(position, literal)`` per unit clause, ``(position, 0)`` per empty clause.
+        self.events: List[tuple] = []
+        self.synced_clauses = 0
+
+    def sync(self) -> None:
+        """Index the clauses appended since the last call."""
+        clauses = self.clause_list
+        total = len(clauses)
+        if self.synced_clauses == total:
+            return
+        occurrences = self.occurrences
+        for position in range(self.synced_clauses, total):
+            clause = clauses[position]
+            if len(clause) == 0:
+                self.events.append((position, 0))
+                continue
+            for literal in clause:
+                variable = literal if literal > 0 else -literal
+                index = (variable << 1) | (literal < 0)
+                if index >= len(occurrences):
+                    occurrences.extend([] for _ in range(index + 1 - len(occurrences)))
+                occurrences[index].append(position)
+            if len(clause) == 1:
+                self.events.append((position, clause[0]))
+        self.synced_clauses = total
+
+
+def _index_for(cnf: CNF) -> _PropagationIndex:
+    """Return the (possibly freshly built) occurrence index of *cnf*.
+
+    The index is cached on the formula object itself; ``CNF`` only ever
+    appends clauses, so the cache stays valid and is simply extended.  A
+    formula whose clause list was replaced (``copy()`` creates a new object)
+    gets a fresh index.
+    """
+    clauses = cnf._clauses  # the CNF's own append-only list
+    index = getattr(cnf, "_propagation_index", None)
+    if index is None or index.clause_list is not clauses:
+        index = _PropagationIndex(clauses)
+        cnf._propagation_index = index
+    index.sync()
+    return index
+
+
 def propagate_units(cnf: CNF, extra_units: Sequence[int] = ()) -> PropagationResult:
     """Exhaustively apply the unit-clause rule to *cnf*.
 
@@ -54,72 +116,83 @@ def propagate_units(cnf: CNF, extra_units: Sequence[int] = ()) -> PropagationRes
         the deduction algorithms to inject user-validated facts).
     """
     result = PropagationResult()
-    assignment: Dict[int, bool] = {}
+    index = _index_for(cnf)
+    clauses = index.clause_list
+    occurrences = index.occurrences
+    num_occurrence_lists = len(occurrences)
 
-    # Clause state: remaining (unsatisfied, unresolved) literal count and liveness.
-    clause_literals: List[Sequence[int]] = [clause for clause in cnf.clauses]
-    clause_alive: List[bool] = [True] * len(clause_literals)
-    clause_unassigned: List[int] = [len(clause) for clause in clause_literals]
-    occurrences: Dict[int, List[int]] = {}
-    for index, clause in enumerate(clause_literals):
-        for literal in clause:
-            occurrences.setdefault(literal, []).append(index)
-
-    queue: deque[int] = deque()
+    highest = cnf.num_variables
+    for literal in extra_units:
+        variable = abs(int(literal))
+        if variable > highest:
+            highest = variable
+    # Per-variable value: 0 unassigned, 1 true, 2 false.
+    assignment = bytearray(highest + 1)
+    alive = bytearray(b"\x01") * len(clauses)
+    forced = result.forced_literals
+    queue: List[int] = []
 
     def enqueue(literal: int) -> bool:
-        variable = abs(literal)
-        desired = literal > 0
-        if variable in assignment:
-            return assignment[variable] == desired
+        variable = literal if literal > 0 else -literal
+        desired = 1 if literal > 0 else 2
+        current = assignment[variable]
+        if current:
+            return current == desired
         assignment[variable] = desired
-        result.forced_literals.append(literal)
+        forced.append(literal)
         queue.append(literal)
         return True
 
-    for index, clause in enumerate(clause_literals):
-        if len(clause) == 0:
+    # Seed: empty and unit clauses in clause order, then the injected units.
+    for _, literal in index.events:
+        if literal == 0 or not enqueue(literal):
             result.conflict = True
             return result
-        if len(clause) == 1:
-            if not enqueue(clause[0]):
-                result.conflict = True
-                return result
     for literal in extra_units:
-        if not enqueue(literal):
+        if not enqueue(int(literal)):
             result.conflict = True
             return result
 
-    while queue:
-        literal = queue.popleft()
+    head = 0
+    while head < len(queue):
+        literal = queue[head]
+        head += 1
+        variable = literal if literal > 0 else -literal
+        literal_index = (variable << 1) | (literal < 0)
+        negation_index = literal_index ^ 1
         # Clauses containing the literal are satisfied.
-        for index in occurrences.get(literal, ()):
-            clause_alive[index] = False
+        if literal_index < num_occurrence_lists:
+            for position in occurrences[literal_index]:
+                alive[position] = 0
         # Clauses containing the negation lose a literal.
-        for index in occurrences.get(-literal, ()):
-            if not clause_alive[index]:
-                continue
-            clause_unassigned[index] -= 1
-            live_literals = [
-                lit
-                for lit in clause_literals[index]
-                if abs(lit) not in assignment or assignment[abs(lit)] == (lit > 0)
-            ]
-            live_literals = [lit for lit in live_literals if abs(lit) not in assignment]
-            if any(
-                abs(lit) in assignment and assignment[abs(lit)] == (lit > 0)
-                for lit in clause_literals[index]
-            ):
-                clause_alive[index] = False
-                continue
-            if not live_literals:
-                result.conflict = True
-                return result
-            if len(live_literals) == 1:
-                clause_alive[index] = False
-                if not enqueue(live_literals[0]):
+        if negation_index < num_occurrence_lists:
+            for position in occurrences[negation_index]:
+                if not alive[position]:
+                    continue
+                satisfied = False
+                unassigned_count = 0
+                unit_literal = 0
+                for lit in clauses[position]:
+                    v = lit if lit > 0 else -lit
+                    value = assignment[v]
+                    if not value:
+                        if not unassigned_count:
+                            unit_literal = lit
+                        unassigned_count += 1
+                    elif (value == 1) == (lit > 0):
+                        satisfied = True
+                        break
+                if satisfied:
+                    alive[position] = 0
+                    continue
+                if unassigned_count == 0:
                     result.conflict = True
                     return result
+                if unassigned_count == 1:
+                    alive[position] = 0
+                    if not enqueue(unit_literal):
+                        result.conflict = True
+                        return result
     return result
 
 

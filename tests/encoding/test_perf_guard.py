@@ -1,18 +1,26 @@
-"""Perf regression guard for compiled instantiation.
+"""Perf regression guards for compiled instantiation and the arena solver.
 
-A coarse, generously-thresholded check that the compiled constraint program
-actually buys time on the NBA dataset — the steady-state compiled stamping
-has measured 3–5× faster than the cold analysis, so requiring a mere 1.2×
-keeps the guard meaningful while staying robust to slow or noisy CI hosts
-(best-of-N timing is used for the same reason).
+Coarse, generously-thresholded checks that the fast paths actually buy time:
+compiled stamping has measured 3–5× faster than cold analysis and the arena
+solver ~1.2× faster than the legacy CDCL on propagation-heavy formulas, so
+the floors below stay far inside the measured margins while still failing CI
+if a refactor silently reroutes either path onto a slow implementation
+(best-of-N timing keeps them robust to slow or noisy hosts).
 """
 
+import random
 import time
 
 from repro.encoding import InstantiationOptions, compile_program, instantiate, instantiate_compiled
+from repro.solvers import CNF, ArenaSolver, CDCLSolver
 
 #: Compiled stamping must be at least this many times faster than the cold path.
 GENEROUS_SPEEDUP_FLOOR = 1.2
+
+#: The arena solver must stay within this factor of the legacy solver's speed
+#: (measured ~1.2× faster; the floor only catches a silent slow-path fallback,
+#: which shows up as several times slower, not as noise).
+ARENA_VS_LEGACY_FLOOR = 0.7
 
 REPEATS = 3
 
@@ -42,4 +50,39 @@ def test_compiled_instantiate_beats_cold_on_nba(small_nba_dataset):
     assert speedup >= GENEROUS_SPEEDUP_FLOOR, (
         f"compiled instantiate speedup degraded to {speedup:.2f}x "
         f"(cold {cold * 1000:.1f} ms vs compiled {compiled * 1000:.1f} ms over {len(specs)} entities)"
+    )
+
+
+def test_arena_solver_keeps_pace_with_legacy_cdcl():
+    """The default solver backend must not silently regress to a slow path.
+
+    Both solvers run the identical search on the same formula (the arena is a
+    behavioural port), so the wall-clock ratio is a pure implementation-speed
+    measurement.  A propagation-heavy near-threshold random 3-CNF is used —
+    on trivial formulas clause loading dominates and the ratio says nothing.
+    """
+    rng = random.Random(7)
+    num_variables = 120
+    cnf = CNF(num_variables=num_variables)
+    for _ in range(int(num_variables * 4.2)):
+        variables = rng.sample(range(1, num_variables + 1), 3)
+        cnf.add_clause([v if rng.random() < 0.5 else -v for v in variables])
+
+    def run(solver_class):
+        solver = solver_class(cnf)
+        solver.solve()
+        return solver
+
+    # Warm both implementations once before timing.
+    warm = run(ArenaSolver)
+    assert warm.total_propagations > 1000, "guard formula must exercise propagation"
+    run(CDCLSolver)
+
+    arena = _best_of(REPEATS, lambda: run(ArenaSolver))
+    legacy = _best_of(REPEATS, lambda: run(CDCLSolver))
+    assert arena > 0.0
+    ratio = legacy / arena
+    assert ratio >= ARENA_VS_LEGACY_FLOOR, (
+        f"arena solver slowed to {ratio:.2f}x of the legacy CDCL "
+        f"(arena {arena * 1000:.1f} ms vs legacy {legacy * 1000:.1f} ms)"
     )

@@ -3,6 +3,12 @@
 import pytest
 
 from repro.engine import DEFAULT_CHUNK_SIZE, ResolutionEngine
+from repro.engine.core import (
+    ADAPTIVE_MAX_CHUNK,
+    ADAPTIVE_TARGET_SECONDS,
+    _EWMA_ALPHA,
+)
+from repro.engine.worker import initialize_worker, resolve_chunk, resolve_shipped_chunk
 from repro.evaluation.interaction import ReluctantOracle
 from repro.resolution.framework import ResolverOptions
 
@@ -172,3 +178,96 @@ class TestParallelPath:
         finally:
             engine.close()
         assert ResolutionEngine(options).warm_up() == 0.0
+
+
+class TestAdaptiveChunking:
+    """The chunk-size schedule when no explicit chunk_size is configured."""
+
+    def test_enabled_only_without_explicit_chunk_size(self):
+        assert ResolutionEngine().adaptive_chunking
+        assert not ResolutionEngine(chunk_size=3).adaptive_chunking
+
+    def test_seed_schedule_is_pool_size_independent(self):
+        """One single-entity probe, then the fixed default until it lands."""
+        for workers in (2, 4):
+            engine = ResolutionEngine(workers=workers)
+            assert engine._next_chunk_size() == 1
+            engine.statistics.chunk_sizes.append(1)  # probe dispatched
+            assert engine._next_chunk_size() == DEFAULT_CHUNK_SIZE
+            engine.close()
+
+    def test_chunk_size_targets_the_budget(self):
+        engine = ResolutionEngine()
+        engine._observe_entity_cost(ADAPTIVE_TARGET_SECONDS / 4)
+        assert engine._next_chunk_size() == 4
+        # Very cheap entities are capped, very costly ones floor at 1.
+        engine._entity_cost_ewma = 1e-9
+        assert engine._next_chunk_size() == ADAPTIVE_MAX_CHUNK
+        engine._entity_cost_ewma = 10.0
+        assert engine._next_chunk_size() == 1
+
+    def test_ewma_update(self):
+        engine = ResolutionEngine()
+        engine._observe_entity_cost(0.1)
+        assert engine._entity_cost_ewma == pytest.approx(0.1)
+        engine._observe_entity_cost(0.2)
+        expected = _EWMA_ALPHA * 0.2 + (1.0 - _EWMA_ALPHA) * 0.1
+        assert engine._entity_cost_ewma == pytest.approx(expected)
+
+    def test_explicit_chunk_size_never_adapts(self):
+        engine = ResolutionEngine(chunk_size=3)
+        engine._observe_entity_cost(1e-9)
+        assert engine._next_chunk_size() == 3
+
+    def test_scheduling_detail_recorded_for_parallel_runs(self, small_person_dataset, options):
+        with ResolutionEngine(options, workers=2) as engine:
+            engine.resolve_many(make_tasks(small_person_dataset, limit=5))
+            detail = engine.statistics.scheduling_detail()
+        assert detail["chunk_sizes"], "adaptive run must record its chunk decisions"
+        assert detail["chunk_sizes"][0] == 1  # the probe chunk
+        assert sum(detail["chunk_sizes"]) == 5
+        assert detail["busy_seconds"] >= 0.0
+        assert detail["idle_seconds"] >= 0.0
+        assert detail["worker_busy_seconds"], "per-worker busy split must be recorded"
+
+
+class TestConstraintShipping:
+    """Zero-copy constraint payloads for pool workers."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_worker_globals(self):
+        """Running worker functions in-process populates the worker module's
+        per-process globals; restore them so forked pool workers in later
+        tests don't inherit a poisoned payload cache (engine payload keys
+        are only unique within one engine's lifetime)."""
+        from repro.engine import worker
+
+        saved_resolver = worker._RESOLVER
+        saved_cache = dict(worker._CONSTRAINT_CACHE)
+        try:
+            yield
+        finally:
+            worker._RESOLVER = saved_resolver
+            worker._CONSTRAINT_CACHE.clear()
+            worker._CONSTRAINT_CACHE.update(saved_cache)
+
+    def test_payload_pickled_once_per_constraint_set(self, small_person_dataset, options):
+        engine = ResolutionEngine(options)
+        tasks = make_tasks(small_person_dataset, limit=4)
+        shipped = [engine._ship([task]) for task in tasks]
+        # Dataset entities share one Σ ∪ Γ, so one payload serves all chunks.
+        assert engine.statistics.payloads_pickled == 1
+        keys = {key for _tasks, key, _payload in shipped}
+        assert len(keys) == 1
+
+    def test_shipped_chunk_matches_direct_resolution(self, small_person_dataset, options):
+        initialize_worker(options)  # the pool initializer, run in-process here
+        engine = ResolutionEngine(options)
+        tasks = make_tasks(small_person_dataset, limit=2)
+        shipped_tasks, key, payload = engine._ship(tasks)
+        shipped_results, _, _, _ = resolve_shipped_chunk(shipped_tasks, key, payload)
+        direct_results, _, _, _ = resolve_chunk(make_tasks(small_person_dataset, limit=2))
+        for ours, reference in zip(shipped_results, direct_results):
+            assert ours.name == reference.name
+            assert ours.resolved_tuple == reference.resolved_tuple
+            assert ours.true_values.values == reference.true_values.values

@@ -71,6 +71,31 @@ def test_incremental_resolution_matches_across_backends():
         _assert_equivalent(cdcl, dpll, entity.name)
 
 
+@pytest.mark.parametrize(
+    "generate, config",
+    [
+        (generate_nba_dataset, NBAConfig(num_players=6, seed=17)),
+        (generate_career_dataset, CareerConfig(num_authors=5, seed=23)),
+        (generate_person_dataset, PersonConfig(num_entities=6, seed=29)),
+    ],
+    ids=["nba", "career", "person"],
+)
+def test_arena_backend_matches_cdcl_full_resolution(generate, config):
+    """The default arena backend resolves every entity exactly like CDCL.
+
+    The arena solver is a behavioural port, so beyond equal answers the round
+    reports must carry identical solver statistics — an identical search.
+    """
+    dataset = generate(config)
+    for entity, spec in dataset.specifications(1.0, 1.0):
+        arena = _resolve(spec, entity, incremental=True, backend="arena")
+        cdcl = _resolve(spec, entity, incremental=True, backend="cdcl")
+        _assert_equivalent(arena, cdcl, entity.name)
+        assert len(arena.rounds) == len(cdcl.rounds), entity.name
+        for ours, reference in zip(arena.rounds, cdcl.rounds):
+            assert ours.encoding_statistics == reference.encoding_statistics, entity.name
+
+
 def test_incremental_path_encodes_once_per_entity():
     """Acceptance check: one full encoding, then delta encodings only."""
     dataset = generate_nba_dataset(NBAConfig(num_players=4, seed=37))

@@ -1,0 +1,166 @@
+"""Tests for the flat clause-arena solver: exact equivalence with the legacy CDCL.
+
+The arena solver is a *behavioural port*, not just a compatible one: given the
+same clause/solve sequence it must make the same decisions, learn the same
+clauses and report the same counters as :class:`CDCLSolver` — the resolution
+round reports surface those counters, so anything weaker would change
+recorded outputs.  The property-based tests here drive both solvers through
+identical incremental scenarios (interleaved clause additions and assumption
+solves, restarts, clause-database reduction) and require identical verdicts,
+models and search statistics.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SolverError
+from repro.solvers import CNF, ArenaSolver, CDCLSolver
+from repro.solvers.arena import acquire_solver, release_solver, solve, solve_batch
+
+
+def assert_same_search(arena: ArenaSolver, legacy: CDCLSolver) -> None:
+    """The cumulative counters must match exactly — identical search trees."""
+    assert arena.total_decisions == legacy.total_decisions
+    assert arena.total_conflicts == legacy.total_conflicts
+    assert arena.total_propagations == legacy.total_propagations
+    assert arena.total_restarts == legacy.total_restarts
+
+
+def assert_same_result(ours, reference) -> None:
+    assert ours.satisfiable == reference.satisfiable
+    assert ours.model == reference.model
+    assert ours.decisions == reference.decisions
+    assert ours.conflicts == reference.conflicts
+    assert ours.propagations == reference.propagations
+    assert ours.restarts == reference.restarts
+
+
+class TestBasics:
+    def test_empty_formula_is_satisfiable(self):
+        assert solve(CNF()).satisfiable
+
+    def test_contradictory_units(self):
+        assert not solve(CNF([[1], [-1]])).satisfiable
+
+    def test_model_satisfies_formula(self):
+        cnf = CNF([[1, 2], [-1, 3], [-2, -3], [2, 3]])
+        result = solve(cnf)
+        assert result.satisfiable
+        assert cnf.evaluate(result.model) is True
+
+    def test_zero_assumption_rejected(self):
+        with pytest.raises(SolverError):
+            ArenaSolver(CNF([[1]])).solve(assumptions=[0])
+
+    def test_conflict_limit_raises(self):
+        clauses = []
+
+        def var(i, h):
+            return 4 * i + h + 1
+
+        for i in range(5):
+            clauses.append([var(i, h) for h in range(4)])
+        for h in range(4):
+            for i in range(5):
+                for j in range(i + 1, 5):
+                    clauses.append([-var(i, h), -var(j, h)])
+        with pytest.raises(SolverError):
+            ArenaSolver(CNF(clauses)).solve(conflict_limit=3)
+
+    def test_reusable_across_assumption_calls(self):
+        solver = ArenaSolver(CNF([[1, 2], [-1, 2]]))
+        assert solver.solve(assumptions=[-2]).satisfiable is False
+        assert solver.solve(assumptions=[2]).satisfiable is True
+        assert solver.solve().satisfiable is True
+
+
+class TestSolverPool:
+    def test_acquire_release_recycles(self):
+        solver = acquire_solver()
+        solver.add_clause([1])
+        assert solver.solve().satisfiable
+        release_solver(solver)
+        recycled = acquire_solver()
+        try:
+            # Pool membership is LIFO; whether we got the same object back or
+            # a fresh one, the state must be clean.
+            assert recycled.num_problem_clauses == 0
+            assert recycled.solve().satisfiable
+        finally:
+            release_solver(recycled)
+
+    def test_reset_drops_unsat_state(self):
+        solver = ArenaSolver(CNF([[1], [-1]]))
+        assert not solver.solve().satisfiable
+        solver.reset()
+        solver.add_clause([1])
+        assert solver.solve().satisfiable
+
+    def test_solve_batch_matches_individual_solves(self):
+        formulas = [CNF([[1, 2]]), CNF([[1], [-1]]), CNF([[1, -2], [2]])]
+        batched = solve_batch(formulas)
+        individual = [solve(cnf) for cnf in formulas]
+        for ours, reference in zip(batched, individual):
+            assert ours.satisfiable == reference.satisfiable
+            assert ours.model == reference.model
+
+
+# -- property-based exact equivalence with the legacy CDCL ---------------------
+
+
+@st.composite
+def clause_batches(draw):
+    """A sequence of (clauses, assumptions) rounds for incremental solving."""
+    num_variables = draw(st.integers(1, 8))
+    rounds = []
+    for _ in range(draw(st.integers(1, 3))):
+        clauses = []
+        for _ in range(draw(st.integers(0, 12))):
+            width = draw(st.integers(1, 3))
+            clauses.append(
+                [
+                    draw(st.integers(1, num_variables)) * draw(st.sampled_from([1, -1]))
+                    for _ in range(width)
+                ]
+            )
+        assumptions = draw(
+            st.lists(
+                st.integers(-num_variables, num_variables).filter(lambda x: x != 0),
+                max_size=3,
+            )
+        )
+        rounds.append((clauses, assumptions))
+    return rounds
+
+
+@given(clause_batches())
+@settings(max_examples=120, deadline=None)
+def test_arena_matches_legacy_incremental(rounds):
+    """Interleaved add_clause/solve sequences produce identical searches."""
+    arena = ArenaSolver()
+    legacy = CDCLSolver()
+    for clauses, assumptions in rounds:
+        for clause in clauses:
+            arena.add_clause(clause)
+            legacy.add_clause(clause)
+        assert_same_result(arena.solve(assumptions), legacy.solve(assumptions))
+    assert_same_search(arena, legacy)
+
+
+@given(st.integers(0, 1_000_000))
+@settings(max_examples=10, deadline=None)
+def test_arena_matches_legacy_under_restarts(seed):
+    """Hard random instances force restarts/DB reduction down identical paths."""
+    import random
+
+    rng = random.Random(seed)
+    num_variables = 30
+    cnf = CNF(num_variables=num_variables)
+    for _ in range(int(num_variables * 4.2)):
+        variables = rng.sample(range(1, num_variables + 1), 3)
+        cnf.add_clause([v if rng.random() < 0.5 else -v for v in variables])
+    arena = ArenaSolver(cnf)
+    legacy = CDCLSolver(cnf)
+    assert_same_result(arena.solve(), legacy.solve())
+    assert_same_search(arena, legacy)

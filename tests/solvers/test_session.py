@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 from repro.core import SolverError
 from repro.solvers import (
     CNF,
+    ArenaSession,
     CDCLSession,
     DPLLSession,
     SolverSession,
@@ -18,6 +19,12 @@ from repro.solvers import (
 
 
 class TestBackendRegistry:
+    def test_arena_resolves_by_name(self):
+        session = create_session("arena")
+        assert isinstance(session, ArenaSession)
+        assert session.backend == "arena"
+        assert session.retains_learned_clauses
+
     def test_cdcl_resolves_by_name(self):
         session = create_session("cdcl")
         assert isinstance(session, CDCLSession)
@@ -30,8 +37,8 @@ class TestBackendRegistry:
         assert session.backend == "dpll"
         assert not session.retains_learned_clauses
 
-    def test_default_backend_is_cdcl(self):
-        assert isinstance(create_session(), CDCLSession)
+    def test_default_backend_is_arena(self):
+        assert isinstance(create_session(), ArenaSession)
 
     def test_unknown_backend_raises(self):
         with pytest.raises(SolverError, match="unknown solver backend"):
@@ -39,7 +46,7 @@ class TestBackendRegistry:
 
     def test_registry_lists_builtin_backends(self):
         names = available_backends()
-        assert "cdcl" in names and "dpll" in names
+        assert "arena" in names and "cdcl" in names and "dpll" in names
 
     def test_custom_backend_registration(self):
         class EchoSession(DPLLSession):
@@ -55,7 +62,7 @@ class TestBackendRegistry:
             session_module._BACKENDS.pop("echo", None)
 
 
-@pytest.mark.parametrize("backend", ["cdcl", "dpll"])
+@pytest.mark.parametrize("backend", ["arena", "cdcl", "dpll"])
 class TestSessionSemantics:
     def test_empty_session_is_satisfiable(self, backend):
         assert create_session(backend).solve().satisfiable

@@ -1,0 +1,62 @@
+"""Tests for the per-phase profiling hook (``REPRO_PROFILE`` / ``--profile``)."""
+
+import pytest
+
+from repro import profiling
+from repro.resolution import ConflictResolver, ResolverOptions
+
+
+@pytest.fixture
+def collecting():
+    """Enable collection for one test, restoring the previous state after."""
+    was_enabled = profiling.enabled()
+    profiling.reset()
+    profiling.enable()
+    try:
+        yield
+    finally:
+        profiling.enable(was_enabled)
+        profiling.reset()
+
+
+class TestCollector:
+    def test_disabled_by_default(self):
+        assert not profiling.enabled()
+
+    def test_add_and_snapshot(self, collecting):
+        profiling.add("propagate", 0.25, calls=3)
+        snap = profiling.snapshot()
+        assert snap["propagate"] == {"seconds": 0.25, "calls": 3.0}
+        assert snap["encode"]["seconds"] == 0.0
+
+    def test_reset_zeroes_everything(self, collecting):
+        profiling.add("encode", 1.0)
+        profiling.reset()
+        assert all(entry["seconds"] == 0.0 for entry in profiling.snapshot().values())
+
+    def test_format_report_lists_all_phases(self, collecting):
+        profiling.add("encode", 0.5)
+        profiling.add("decide", 0.5)
+        report = profiling.format_report()
+        for phase in profiling.PHASES:
+            assert phase in report
+        assert "total" in report
+        assert "50.0" in report  # encode and decide split the total evenly
+
+    def test_format_report_with_no_samples(self, collecting):
+        assert "total" in profiling.format_report()
+
+
+class TestInstrumentation:
+    def test_resolution_populates_solver_phases(self, collecting, edith_spec):
+        ConflictResolver(ResolverOptions(max_rounds=0)).resolve(edith_spec, None)
+        snap = profiling.snapshot()
+        assert snap["encode"]["seconds"] > 0.0
+        assert snap["encode"]["calls"] >= 1
+        # The arena solve loop ran: branching happened at least once.
+        assert snap["decide"]["calls"] >= 1
+
+    def test_nothing_collected_when_disabled(self, edith_spec):
+        profiling.reset()
+        ConflictResolver(ResolverOptions(max_rounds=0)).resolve(edith_spec, None)
+        assert all(entry["seconds"] == 0.0 for entry in profiling.snapshot().values())
