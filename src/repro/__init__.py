@@ -49,8 +49,11 @@ from repro.core import (
     TemporalOrderDelta,
     TrueValueAssignment,
 )
+from repro.core.errors import EntityFailure
+from repro.core.retry import RetryPolicy
 from repro.encoding import InstantiationOptions, encode_specification
-from repro.engine import ResolutionEngine
+from repro.engine import QuarantineRecord, ResolutionEngine
+from repro.faults import FaultPlan
 from repro.pipeline import Pipeline
 from repro.resolution import (
     ConflictResolver,
@@ -65,6 +68,7 @@ from repro.resolution import (
     pick_resolution,
     suggest,
 )
+from repro.solvers import SolverBudget
 
 __version__ = "1.0.0"
 
@@ -74,20 +78,25 @@ __all__ = [
     "ConflictResolver",
     "ConstantCFD",
     "CurrencyConstraint",
+    "EntityFailure",
     "EntityInstance",
     "EntityTuple",
+    "FaultPlan",
     "InstantiationOptions",
     "MemoryResultStore",
     "NULL",
     "PartialOrder",
     "Pipeline",
+    "QuarantineRecord",
     "RelationSchema",
     "ResolutionClient",
     "ResolutionEngine",
     "ResolverOptions",
     "ResultStore",
+    "RetryPolicy",
     "RunConfig",
     "SilentOracle",
+    "SolverBudget",
     "Specification",
     "SqliteResultStore",
     "StoredResult",

@@ -49,6 +49,7 @@ from typing import (
 from repro.api.config import RunConfig
 from repro.api.store import ResultStore, StoredResult, open_result_store
 from repro.core.errors import ReproError
+from repro.core.retry import RetryPolicy
 from repro.core.specification import Specification
 from repro.pipeline.core import Pipeline, PipelineReport, Sink, Stage
 from repro.resolution.framework import Oracle, ResolutionResult
@@ -74,6 +75,10 @@ class ClientStats:
     resolved: int = 0
     #: Entities answered straight from the result store.
     store_hits: int = 0
+    #: One-shot engine calls retried by the client's retry policy.
+    retries: int = 0
+    #: Results (fresh or stored) carrying a quarantine ``failure`` marker.
+    quarantined: int = 0
     #: This client's per-caller lease record (:class:`~repro.serving.host.LeaseInfo`
     #: as a dict) — empty until the first mode leases the engine.
     lease: Dict[str, Any] = field(default_factory=dict)
@@ -86,7 +91,7 @@ class ClientStats:
 
     def as_dict(self) -> Dict[str, Any]:
         """Flat JSON-serializable representation."""
-        return {
+        record: Dict[str, Any] = {
             "entities": self.entities,
             "resolved": self.resolved,
             "store_hits": self.store_hits,
@@ -95,6 +100,13 @@ class ClientStats:
             "host": dict(self.host),
             "store": dict(self.store),
         }
+        # Fault counters appear only when they fired (fault-free runs keep
+        # their serialized stats byte-identical to earlier releases).
+        if self.retries:
+            record["retries"] = self.retries
+        if self.quarantined:
+            record["quarantined"] = self.quarantined
+        return record
 
 
 @dataclass
@@ -151,8 +163,8 @@ class _ClientResolveStage(Stage):
                     entity_key = client._entity_key(key, spec)
                     digest = client.config.spec_hash(spec)
                     stored = store.get(entity_key, digest)
-                    if stored is not None:
-                        client._count(hit=True)
+                    if stored is not None and client._serveable(stored):
+                        client._count(hit=True, failure=getattr(stored, "failure", ""))
                         order.append(("hit", key, stored))
                         continue
                 else:
@@ -171,7 +183,7 @@ class _ClientResolveStage(Stage):
                 _, key, stored = order.popleft()
                 yield key, stored, None
             _, key, entity_key, digest, submitted = order.popleft()
-            client._count(hit=False)
+            client._count(hit=False, failure=getattr(result, "failure", ""))
             if store is not None:
                 store.put(entity_key, digest, result)
             yield key, result, (finished - submitted) if sequential else None
@@ -222,6 +234,11 @@ class ResolutionClient:
         self._lock = threading.Lock()
         self._entities = 0
         self._store_hits = 0
+        self._retries = 0
+        self._quarantined = 0
+        self._retry_policy = (
+            self.config.retry_policy if self.config.retry_policy is not None else RetryPolicy()
+        )
         self._store: Optional[ResultStore] = None
         self._owns_store = False
         if self.config.store is not None:
@@ -310,11 +327,30 @@ class ResolutionClient:
         """The store's entity key of one item (specification name first)."""
         return spec.name or str(key)
 
-    def _count(self, hit: bool) -> None:
+    def _count(self, hit: bool, failure: str = "") -> None:
         with self._lock:
             self._entities += 1
             if hit:
                 self._store_hits += 1
+            if failure:
+                self._quarantined += 1
+
+    def _serveable(self, stored: ResolutionResult) -> bool:
+        """Whether a stored result may answer its entity on this run.
+
+        Quarantined results (non-empty ``failure``) are served like any
+        other by default — a poison entity stays contained across re-runs —
+        unless ``config.retry_quarantined`` asks for another attempt, in
+        which case they read as store misses.  Results stored by releases
+        that predate the marker lack the attribute and always serve.
+        """
+        if not self.config.retry_quarantined:
+            return True
+        return not getattr(stored, "failure", "")
+
+    def _note_retry(self, _attempt: int, _error: BaseException) -> None:
+        with self._lock:
+            self._retries += 1
 
     # -- mode 1: one-shot resolution -------------------------------------------
 
@@ -329,11 +365,14 @@ class ResolutionClient:
             entity_key = self._entity_key(key, spec)
             digest = self.config.spec_hash(spec)
             stored = self._store.get(entity_key, digest)
-            if stored is not None:
-                self._count(hit=True)
+            if stored is not None and self._serveable(stored):
+                self._count(hit=True, failure=getattr(stored, "failure", ""))
                 return stored
-        result = self._engine().resolve_task(spec, oracle)
-        self._count(hit=False)
+        engine = self._engine()
+        result = self._retry_policy.call(
+            lambda: engine.resolve_task(spec, oracle), on_retry=self._note_retry
+        )
+        self._count(hit=False, failure=getattr(result, "failure", ""))
         if self._store is not None:
             self._store.put(entity_key, digest, result)
         return result
@@ -595,6 +634,7 @@ class ResolutionClient:
             scope=scope,
             result_store=self._store,
             result_hasher=(self.config.spec_hash if self._store is not None else None),
+            retry_policy=self._retry_policy,
         )
         written = 0
         async with server:
@@ -638,6 +678,8 @@ class ResolutionClient:
             entities=self._entities,
             resolved=self._entities - self._store_hits,
             store_hits=self._store_hits,
+            retries=self._retries,
+            quarantined=self._quarantined,
         )
         if self._lease is not None:
             snapshot.lease = self._lease.info.as_dict()

@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import Optional, Union
 
 from repro.core.errors import ReproError
+from repro.core.retry import RetryPolicy
 from repro.core.specification import Specification
 from repro.io import dump_constraints
 from repro.resolution.framework import ResolverOptions
@@ -118,6 +119,20 @@ class RunConfig:
         ``":memory:"`` (both opened — and closed — by the client).  With a
         store, every mode transparently skips entities whose
         ``(entity key, specification hash)`` is already resolved.
+    retry_quarantined:
+        Store policy for *quarantined* results (stored entities whose
+        ``failure`` marker is non-empty): by default they are served from
+        the store like any other result — a poison entity stays poison
+        across re-runs without burning its attempt budget again.  ``True``
+        treats stored failures as misses, so a re-run retries every
+        quarantined entity through the engine (the ``--retry-quarantined``
+        CLI flag).  Client-level only — not part of :meth:`cache_key` or the
+        store's specification hash.
+    retry_policy:
+        The :class:`~repro.core.retry.RetryPolicy` applied to one-shot
+        dispatch (:meth:`~repro.api.client.ResolutionClient.resolve`) and
+        handed to serving-mode servers; ``None`` uses the policy defaults.
+        Like the store, not part of any digest.
     """
 
     options: ResolverOptions = field(default_factory=ResolverOptions)
@@ -127,6 +142,8 @@ class RunConfig:
     max_inflight: Optional[int] = None
     scope: str = ""
     store: Optional[Union[str, Path, object]] = None
+    retry_quarantined: bool = False
+    retry_policy: Optional[RetryPolicy] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.options, ResolverOptions):
@@ -150,6 +167,14 @@ class RunConfig:
             )
         if self.options.max_rounds < 0:
             raise ReproError(f"options.max_rounds must be >= 0, got {self.options.max_rounds}")
+        if self.retry_policy is not None and not isinstance(self.retry_policy, RetryPolicy):
+            raise ReproError(
+                f"retry_policy must be a RetryPolicy, got {type(self.retry_policy).__name__}"
+            )
+        if int(self.options.max_attempts) < 1:
+            raise ReproError(
+                f"options.max_attempts must be >= 1, got {self.options.max_attempts}"
+            )
 
     # -- digests ---------------------------------------------------------------
 

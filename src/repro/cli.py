@@ -78,6 +78,7 @@ from repro.pipeline import (
 )
 from repro import profiling
 from repro.resolution import ResolverOptions, check_validity
+from repro.solvers import SolverBudget
 from repro.solvers.session import available_backends
 
 __all__ = ["build_parser", "main"]
@@ -123,6 +124,27 @@ def build_parser() -> argparse.ArgumentParser:
             help="persistent result store (SQLite file, or ':memory:'): entities "
             "whose (entity, specification hash) is already stored are answered "
             "without solving, and fresh resolutions are upserted for later runs",
+        )
+        sub.add_argument(
+            "--max-attempts",
+            type=int,
+            default=3,
+            help="resolution attempts per entity before it is quarantined "
+            "(dead-lettered with an all-NULL result; default: %(default)s)",
+        )
+        sub.add_argument(
+            "--entity-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="solver wall-clock budget per entity; an entity that exceeds it "
+            "fails cleanly with a budget_exceeded marker instead of hanging the run",
+        )
+        sub.add_argument(
+            "--retry-quarantined",
+            action="store_true",
+            help="with --store: re-attempt entities whose stored result is a "
+            "quarantine marker instead of serving the stored failure",
         )
         sub.add_argument(
             "--profile",
@@ -272,15 +294,20 @@ def _validated_backend(parser_error, name: str) -> str:
 
 def _run_config(args) -> RunConfig:
     """Build the client configuration shared by resolve/pipeline/serve."""
+    entity_timeout = getattr(args, "entity_timeout", None)
+    budget = SolverBudget(wall_seconds=entity_timeout) if entity_timeout else None
     return RunConfig(
         options=ResolverOptions(
             max_rounds=args.max_rounds,
             fallback=args.fallback,
             solver_backend=args.solver_backend,
+            budget=budget,
+            max_attempts=getattr(args, "max_attempts", 3),
         ),
         workers=args.workers,
         max_inflight=getattr(args, "max_inflight", None),
         store=getattr(args, "store", None),
+        retry_quarantined=getattr(args, "retry_quarantined", False),
     )
 
 
@@ -390,7 +417,7 @@ def _command_pipeline(args) -> int:
 
     def record(item) -> Dict:
         key, result, _ = item
-        return {
+        payload = {
             "entity": key,
             "valid": result.valid,
             "complete": result.complete,
@@ -400,6 +427,13 @@ def _command_pipeline(args) -> int:
                 for attribute, value in result.resolved_tuple.items()
             },
         }
+        # Quarantine markers only on afflicted entities, so fault-free output
+        # stays byte-identical to earlier releases.
+        failure = getattr(result, "failure", "")
+        if failure:
+            payload["failure"] = failure
+            payload["attempts"] = getattr(result, "attempts", 0)
+        return payload
 
     sinks = []
     if args.output:
@@ -413,10 +447,24 @@ def _command_pipeline(args) -> int:
                   + ("" if result.valid else " (specification INVALID)"))
 
         sinks.append(FunctionSink(summarize, name="summary"))
-    if checkpoint is not None:
-        sinks.append(CheckpointSink(checkpoint, every=args.checkpoint_every, offset=offset))
 
     with ResolutionClient(_run_config(args)) as client:
+        if checkpoint is not None:
+
+            def quarantine_records():
+                engine = client.engine
+                if engine is None:
+                    return []
+                return [entry.as_dict() for entry in engine.statistics.quarantine]
+
+            sinks.append(
+                CheckpointSink(
+                    checkpoint,
+                    every=args.checkpoint_every,
+                    offset=offset,
+                    quarantine_provider=quarantine_records,
+                )
+            )
         report = client.pipeline(
             stream_csv_rows(args.data, schema),
             pre_stages=[
@@ -563,6 +611,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     max_inflight = getattr(args, "max_inflight", None)
     if max_inflight is not None and max_inflight < 1:
         parser.error(f"--max-inflight must be >= 1, got {max_inflight}")
+    if getattr(args, "max_attempts", 1) < 1:
+        parser.error(f"--max-attempts must be >= 1, got {args.max_attempts}")
+    entity_timeout = getattr(args, "entity_timeout", None)
+    if entity_timeout is not None and entity_timeout <= 0:
+        parser.error(f"--entity-timeout must be positive, got {entity_timeout}")
+    if getattr(args, "retry_quarantined", False) and not getattr(args, "store", None):
+        parser.error("--retry-quarantined requires --store (there is nothing to retry from)")
     if getattr(args, "tcp", None) is not None:
         _parse_tcp_endpoint(parser.error, args.tcp)
         # The TCP mode serves connections, not a request file; flags of the

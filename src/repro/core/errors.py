@@ -41,8 +41,35 @@ class SolverError(ReproError):
     """A constraint solver was used incorrectly or exceeded its budget."""
 
 
+class BudgetExceededError(SolverError):
+    """A solve call exhausted its :class:`~repro.solvers.budget.SolverBudget`.
+
+    Raised by :class:`~repro.solvers.session.SolverSession` when the
+    backend reports a ``BUDGET_EXCEEDED`` verdict.  The session itself
+    stays fully reusable: the solver backtracked to level zero before
+    returning, so the caller may clear or raise the budget and solve
+    again on the same session.
+    """
+
+
 class ResolutionError(ReproError):
     """The conflict-resolution framework could not make progress."""
+
+
+class EntityFailure(ResolutionError):
+    """Resolution of a single entity failed in a way the engine can contain.
+
+    Carries enough context for the supervision layer to decide whether
+    the entity deserves another attempt (``retryable``) or should go
+    straight to quarantine (e.g. a deterministic solver-budget blowout,
+    which would fail identically on every retry).
+    """
+
+    def __init__(self, message: str, *, entity: str = "", reason: str = "error", retryable: bool = True):
+        super().__init__(message)
+        self.entity = entity
+        self.reason = reason
+        self.retryable = retryable
 
 
 class DatasetError(ReproError):

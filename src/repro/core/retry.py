@@ -1,0 +1,118 @@
+"""Retry policy with exponential backoff, deterministic jitter and error classes.
+
+Shared by the serving layer and the client facade: transient failures
+(broken process pools, connection resets, injected crashes) are retried
+with exponentially growing, jittered delays; deterministic failures
+(invalid configuration, malformed wire payloads, exhausted solver
+budgets) fail fast — retrying them would only repeat the outcome.
+
+Jitter is *seeded*: the delay for attempt *n* is a pure function of
+``(seed, n)``, so fault-injection tests replay byte-identical schedules.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.core.errors import (
+    BudgetExceededError,
+    ConstraintSyntaxError,
+    EncodingError,
+    EntityFailure,
+    ReproError,
+    SchemaError,
+    ValueTypeError,
+)
+
+__all__ = ["RetryPolicy", "classify_retryable"]
+
+#: Error types that will fail the same way on every attempt.
+_DETERMINISTIC = (
+    BudgetExceededError,
+    SchemaError,
+    ValueTypeError,
+    ConstraintSyntaxError,
+    EncodingError,
+)
+
+
+def classify_retryable(error: BaseException) -> bool:
+    """Whether *error* is plausibly transient (worth another attempt).
+
+    :class:`EntityFailure` carries its own verdict; known-deterministic
+    library errors (schema/encoding/budget) are never retried; everything
+    else — broken pools, OS-level failures, unexpected crashes — is.
+    """
+    if isinstance(error, EntityFailure):
+        return error.retryable
+    if isinstance(error, _DETERMINISTIC):
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter.
+
+    ``delay(n)`` for the n-th failed attempt (1-based) is
+    ``min(base_delay · multiplier^(n-1), max_delay)`` stretched by up to
+    ``jitter`` (a fraction), where the stretch is a hash of
+    ``(seed, n)`` — fully reproducible, no shared RNG state.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ReproError("RetryPolicy.max_attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ReproError("RetryPolicy delays must be non-negative")
+        if self.multiplier < 1:
+            raise ReproError("RetryPolicy.multiplier must be at least 1")
+        if not 0 <= self.jitter <= 1:
+            raise ReproError("RetryPolicy.jitter must be within [0, 1]")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retrying after the *attempt*-th failure (1-based)."""
+        if attempt < 1:
+            raise ReproError("retry attempts are counted from 1")
+        backoff = min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+        if not self.jitter:
+            return backoff
+        digest = hashlib.sha1(f"{self.seed}:{attempt}".encode()).digest()
+        fraction = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return backoff * (1.0 + self.jitter * fraction)
+
+    def retryable(self, error: BaseException) -> bool:
+        """Classification hook (see :func:`classify_retryable`)."""
+        return classify_retryable(error)
+
+    def call(
+        self,
+        fn: Callable[[], Any],
+        *,
+        on_retry: Optional[Callable[[int, BaseException], None]] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> Any:
+        """Run *fn*, retrying retryable failures up to ``max_attempts`` times.
+
+        ``on_retry(attempt, error)`` fires before each backoff (attempt is
+        the 1-based count of failures so far); the final error propagates.
+        """
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn()
+            except Exception as error:
+                if attempt >= self.max_attempts or not self.retryable(error):
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, error)
+                sleep(self.delay(attempt))

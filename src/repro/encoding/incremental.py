@@ -59,6 +59,7 @@ from repro.encoding.instance_constraints import (
     instantiate,
 )
 from repro.encoding.variables import OrderLiteral, OrderVariableRegistry, canonical_value
+from repro.solvers.budget import SolverBudget
 from repro.solvers.cnf import CNF
 from repro.solvers.session import SolverSession, create_session
 
@@ -112,10 +113,11 @@ class IncrementalEncoder:
         backend: str = "arena",
         session: Optional[SolverSession] = None,
         program: "CompiledConstraintProgram | None" = None,
+        budget: "SolverBudget | None" = None,
     ) -> None:
         self._program = program
         self._options = program.options if program is not None else (options or InstantiationOptions())
-        self._session = session if session is not None else create_session(backend)
+        self._session = session if session is not None else create_session(backend, budget=budget)
         self._registry = OrderVariableRegistry()
         self._cnf = CNF()
         self._spec = spec

@@ -7,5 +7,6 @@ compiled-constraint-program reuse.
 """
 
 from repro.engine.core import DEFAULT_CHUNK_SIZE, EngineStatistics, ResolutionEngine
+from repro.engine.supervision import QuarantineRecord
 
-__all__ = ["DEFAULT_CHUNK_SIZE", "EngineStatistics", "ResolutionEngine"]
+__all__ = ["DEFAULT_CHUNK_SIZE", "EngineStatistics", "QuarantineRecord", "ResolutionEngine"]

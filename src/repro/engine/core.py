@@ -38,12 +38,16 @@ import pickle
 import threading
 import time
 from collections import deque
-from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import CancelledError, Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from itertools import islice
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.core.errors import EntityFailure
+from repro.core.retry import classify_retryable
 from repro.core.specification import Specification
+from repro.engine.supervision import QuarantineRecord, failure_from_error
 from repro.engine.worker import initialize_worker, ping, resolve_shipped_chunk
 from repro.resolution.framework import (
     ConflictResolver,
@@ -70,6 +74,11 @@ _EWMA_ALPHA = 0.4
 
 #: An entity task: the specification plus its (optional) oracle.
 EntityTask = Tuple[Specification, Optional[Oracle]]
+
+#: What the supervision layer contains.  ``CancelledError`` is listed
+#: explicitly because it stopped being an ``Exception`` in Python 3.8 —
+#: a pool teardown racing a drain can surface it on in-flight futures.
+_SUPERVISED_ERRORS = (Exception, CancelledError)
 
 
 def _constraint_ident(spec: Specification) -> Tuple:
@@ -118,6 +127,14 @@ class EngineStatistics:
     #: Distinct constraint payloads pickled by the shipping path this run
     #: (a payload is pickled once and re-sent as bytes with every chunk).
     payloads_pickled: int = 0
+    #: Chunk submissions that failed and were re-driven by the supervision
+    #: layer (pool crashes, worker exceptions; includes bisection re-submits).
+    chunk_retries: int = 0
+    #: Times a broken process pool was torn down and rebuilt mid-run.
+    pool_rebuilds: int = 0
+    #: Dead-letter records of entities abandoned after exhausting their
+    #: attempts (see :class:`~repro.engine.supervision.QuarantineRecord`).
+    quarantine: List[QuarantineRecord] = field(default_factory=list)
 
     def merge_counters(self, delta: Dict[str, int]) -> None:
         """Accumulate one chunk's compile-reuse counter delta."""
@@ -170,6 +187,14 @@ class EngineStatistics:
             flat["run_wall_seconds"] = self.run_wall_seconds
         if self.payloads_pickled:
             flat["payloads_pickled"] = float(self.payloads_pickled)
+        # Fault counters appear only on faulted runs, keeping the no-fault
+        # report shape (and the recorded benchmark JSON) unchanged.
+        if self.chunk_retries:
+            flat["chunk_retries"] = float(self.chunk_retries)
+        if self.pool_rebuilds:
+            flat["pool_rebuilds"] = float(self.pool_rebuilds)
+        if self.quarantine:
+            flat["quarantined"] = float(len(self.quarantine))
         for key, value in self.compile_reuse.items():
             flat[key] = float(value)
         return flat
@@ -226,6 +251,10 @@ class ResolutionEngine:
         if max_inflight_chunks is not None and max_inflight_chunks < 1:
             raise ValueError(f"max_inflight_chunks must be >= 1, got {max_inflight_chunks}")
         self.max_inflight_chunks = max_inflight_chunks or 2 * self.workers
+        if int(self.options.max_attempts) < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.options.max_attempts}")
+        #: Attempts granted to one entity before it is quarantined.
+        self.max_attempts = int(self.options.max_attempts)
         self.statistics = EngineStatistics(workers=self.workers)
         self._pool: Optional[ProcessPoolExecutor] = None
         self._resolver: Optional[ConflictResolver] = None
@@ -247,6 +276,10 @@ class ResolutionEngine:
         self._sequential_lock = threading.Lock()
         self._task_lock = threading.Lock()
         self._inflight_tasks = 0
+        # Chunk-submission sequence number (also under _task_lock): retries
+        # and bisection re-submits get fresh indices, which is what keeps
+        # index-anchored fault injection from re-firing on recovery.
+        self._chunk_seq = 0
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -353,21 +386,19 @@ class ResolutionEngine:
                     if self._resolver is None:
                         self._resolver = ConflictResolver(self.options)
                     before = self._resolver.program_cache.statistics()
-                    result = self._resolver.resolve(spec, oracle)
+                    result = self._resolve_entity_inproc(self._resolver, spec, oracle)
                     after = self._resolver.program_cache.statistics()
                     delta = {key: after[key] - before.get(key, 0) for key in after}
+                with self._task_lock:
+                    statistics.entities += 1
+                    statistics.chunks += 1
+                    statistics.merge_counters(delta)
             else:
-                future = self._ensure_pool().submit(resolve_shipped_chunk, *self._ship([(spec, oracle)]))
-                results, delta, busy, pid = future.result()
-                result = results[0]
                 with self._task_lock:
                     statistics.parallel = True
-                    statistics.record_chunk_timing(pid, busy)
-                    self._observe_entity_cost(busy / len(results))
-            with self._task_lock:
-                statistics.entities += 1
-                statistics.chunks += 1
-                statistics.merge_counters(delta)
+                # The supervised path folds the chunk's counters itself and
+                # recovers from pool crashes / worker exceptions in line.
+                result = self._resolve_chunk_sync([(spec, oracle)])[0]
             return result
         finally:
             with self._task_lock:
@@ -384,7 +415,7 @@ class ResolutionEngine:
         try:
             for spec, oracle in tasks:
                 statistics.peak_inflight_entities = max(statistics.peak_inflight_entities, 1)
-                result = resolver.resolve(spec, oracle)
+                result = self._resolve_entity_inproc(resolver, spec, oracle)
                 statistics.entities += 1
                 yield result
         finally:
@@ -446,26 +477,175 @@ class ResolutionEngine:
         else:
             self._entity_cost_ewma = _EWMA_ALPHA * sample_seconds + (1.0 - _EWMA_ALPHA) * ewma
 
-    def _resolve_parallel(self, tasks: Iterable[EntityTask]) -> Iterator[ResolutionResult]:
-        pool = self._ensure_pool()
-        statistics = self.statistics
-        statistics.parallel = True
-        max_in_flight = self.max_inflight_chunks
-        pending: deque[Future] = deque()
-        task_iter = iter(tasks)
-        inflight_entities = 0
-        started = time.perf_counter()
+    # -- supervision -----------------------------------------------------------
 
-        def drain(future: Future) -> Iterator[ResolutionResult]:
-            nonlocal inflight_entities
-            results, counter_delta, busy, pid = future.result()
+    def _submit_chunk(self, chunk: Sequence[EntityTask]) -> Future:
+        """Submit *chunk* to the pool with a fresh submission index.
+
+        A worker dying under an *earlier* chunk can break the pool before
+        this one is accepted — submission itself then raises.  Nothing of
+        this chunk was lost, so the pool is healed and the submit repeated
+        (no chunk retry is counted); only a pool that breaks again right
+        after a rebuild propagates.
+        """
+        tasks, key, payload = self._ship(chunk)
+        with self._task_lock:
+            self._chunk_seq += 1
+            index = self._chunk_seq
+        for resubmit in range(3):
+            try:
+                return self._ensure_pool().submit(
+                    resolve_shipped_chunk, tasks, key, payload, index
+                )
+            except BrokenProcessPool as error:
+                if resubmit == 2:
+                    raise
+                self._heal_pool(error)
+        raise AssertionError("unreachable")
+
+    def _fold_chunk_result(self, chunk_result) -> List[ResolutionResult]:
+        """Account one finished chunk and surface any inline quarantines."""
+        results, counter_delta, busy, pid = chunk_result
+        with self._task_lock:
+            statistics = self.statistics
             statistics.chunks += 1
             statistics.entities += len(results)
             statistics.merge_counters(counter_delta)
             statistics.record_chunk_timing(pid, busy)
-            if results:
-                self._observe_entity_cost(busy / len(results))
-            inflight_entities -= len(results)
+            for result in results:
+                if result.failure:
+                    # The worker absorbed a deterministic failure inline
+                    # (e.g. a budget blowout); record the dead letter here.
+                    statistics.quarantine.append(
+                        QuarantineRecord(
+                            entity=result.name,
+                            reason=result.failure,
+                            attempts=result.attempts,
+                        )
+                    )
+        if results:
+            self._observe_entity_cost(busy / len(results))
+        return results
+
+    def _heal_pool(self, error: BaseException) -> None:
+        """After *error*, replace the process pool if it is broken."""
+        if not isinstance(error, BrokenProcessPool):
+            return
+        with self._pool_lock:
+            pool = self._pool
+            # A concurrent caller may have healed already; only tear down a
+            # pool that is actually broken (or whose state is unknowable).
+            if pool is not None and not getattr(pool, "_broken", True):
+                return
+            self._pool = None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+            with self._task_lock:
+                self.statistics.pool_rebuilds += 1
+        # The fresh pool re-warms lazily: the engine-side payload registry
+        # survives, so the next chunks re-ship the same bytes and workers
+        # rebuild their constraint caches on first touch.
+
+    def _resolve_chunk_sync(self, chunk: Sequence[EntityTask]) -> List[ResolutionResult]:
+        """Resolve *chunk* synchronously on the pool, recovering on failure."""
+        future = self._submit_chunk(chunk)
+        try:
+            return self._fold_chunk_result(future.result())
+        except _SUPERVISED_ERRORS as error:
+            return self._recover_chunk(chunk, error)
+
+    def _recover_chunk(self, chunk: Sequence[EntityTask], error: BaseException) -> List[ResolutionResult]:
+        """A chunk submission failed; heal the pool and re-drive the chunk.
+
+        Multi-entity chunks are bisected so the healthy majority re-resolves
+        at full speed and only the truly poisonous entity pays the retry
+        ladder; a single-entity chunk goes to per-entity retry/quarantine.
+        """
+        self._heal_pool(error)
+        with self._task_lock:
+            self.statistics.chunk_retries += 1
+        if len(chunk) == 1:
+            return [self._retry_entity(chunk[0], error)]
+        mid = len(chunk) // 2
+        return self._resolve_chunk_sync(chunk[:mid]) + self._resolve_chunk_sync(chunk[mid:])
+
+    def _retry_entity(self, task: EntityTask, first_error: BaseException) -> ResolutionResult:
+        """Re-attempt one failed entity up to ``max_attempts``, then quarantine."""
+        spec, oracle = task
+        attempts = 1
+        error = first_error
+        while attempts < self.max_attempts and classify_retryable(error):
+            attempts += 1
+            future = self._submit_chunk([task])
+            try:
+                result = self._fold_chunk_result(future.result())[0]
+                # A worker-absorbed failure is already quarantined (with its
+                # own attempt count); a clean result ends the ladder either way.
+                return result
+            except _SUPERVISED_ERRORS as retry_error:
+                self._heal_pool(retry_error)
+                with self._task_lock:
+                    self.statistics.chunk_retries += 1
+                error = retry_error
+        record = QuarantineRecord(
+            entity=spec.name,
+            reason=error.reason if isinstance(error, EntityFailure) else type(error).__name__,
+            attempts=attempts,
+            error=str(error),
+        )
+        with self._task_lock:
+            self.statistics.quarantine.append(record)
+            self.statistics.entities += 1
+        return failure_from_error(spec, error, attempts)
+
+    def _resolve_entity_inproc(
+        self, resolver: ConflictResolver, spec: Specification, oracle: Optional[Oracle]
+    ) -> ResolutionResult:
+        """Sequential-path twin of the worker+supervision behaviour.
+
+        Retryable :class:`EntityFailure`\\ s are re-attempted up to
+        ``max_attempts`` and then quarantined, exactly like the parallel
+        path, so sequential and parallel runs of a faulted stream stay
+        equivalent.  Other exceptions propagate (there is no process
+        boundary to contain them here).
+        """
+        error: Optional[EntityFailure] = None
+        attempts = 0
+        for attempt in range(1, self.max_attempts + 1):
+            attempts = attempt
+            try:
+                return resolver.resolve(spec, oracle)
+            except EntityFailure as failure:
+                error = failure
+                if not failure.retryable:
+                    break
+        record = QuarantineRecord(
+            entity=spec.name, reason=error.reason, attempts=attempts, error=str(error)
+        )
+        with self._task_lock:
+            self.statistics.quarantine.append(record)
+        return failure_from_error(spec, error, attempts)
+
+    def _resolve_parallel(self, tasks: Iterable[EntityTask]) -> Iterator[ResolutionResult]:
+        self._ensure_pool()
+        statistics = self.statistics
+        statistics.parallel = True
+        max_in_flight = self.max_inflight_chunks
+        pending: deque[Tuple[List[EntityTask], Future]] = deque()
+        task_iter = iter(tasks)
+        inflight_entities = 0
+        started = time.perf_counter()
+
+        def drain(entry: Tuple[List[EntityTask], Future]) -> Iterator[ResolutionResult]:
+            nonlocal inflight_entities
+            chunk, future = entry
+            try:
+                results = self._fold_chunk_result(future.result())
+            except _SUPERVISED_ERRORS as error:
+                # Later pending futures from the same broken pool fail too
+                # when drained, each recovering through the healed pool.
+                results = self._recover_chunk(chunk, error)
+            inflight_entities -= len(chunk)
             yield from results
 
         # One-task pushback buffer: a task whose constraint set differs from
@@ -498,7 +678,7 @@ class ResolutionEngine:
                 if not chunk:
                     break
                 statistics.chunk_sizes.append(len(chunk))
-                pending.append(pool.submit(resolve_shipped_chunk, *self._ship(chunk)))
+                pending.append((chunk, self._submit_chunk(chunk)))
                 inflight_entities += len(chunk)
                 statistics.peak_inflight_entities = max(
                     statistics.peak_inflight_entities, inflight_entities
@@ -508,6 +688,6 @@ class ResolutionEngine:
             while pending:
                 yield from drain(pending.popleft())
         finally:
-            for future in pending:
+            for _chunk, future in pending:
                 future.cancel()
             statistics.run_wall_seconds += time.perf_counter() - started

@@ -1,0 +1,74 @@
+"""Quarantine (dead-letter) records for entities the engine gave up on.
+
+The supervision layer in :class:`~repro.engine.core.ResolutionEngine`
+contains per-entity failures — budget blowouts, repeatedly crashing
+workers, injected faults — instead of aborting the run.  An entity that
+exhausts its attempts is *quarantined*: it still yields a well-formed
+:class:`~repro.resolution.framework.ResolutionResult` (so ordered
+streams, stores, checkpoints and the wire format need no special cases;
+the result simply carries a non-empty ``failure`` marker and NULL/absent
+values) and a :class:`QuarantineRecord` lands in the engine statistics as
+the dead-letter entry for operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.core.errors import EntityFailure
+from repro.core.specification import Specification, TrueValueAssignment
+from repro.core.values import NULL
+from repro.resolution.framework import ResolutionResult
+
+__all__ = ["QuarantineRecord", "failure_result", "failure_from_error"]
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """Dead-letter entry for one abandoned entity."""
+
+    entity: str
+    reason: str
+    attempts: int
+    error: str = ""
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly projection (checkpoints, reports)."""
+        return {
+            "entity": self.entity,
+            "reason": self.reason,
+            "attempts": self.attempts,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "QuarantineRecord":
+        return cls(
+            entity=str(payload.get("entity", "")),
+            reason=str(payload.get("reason", "error")),
+            attempts=int(payload.get("attempts", 0)),
+            error=str(payload.get("error", "")),
+        )
+
+
+def failure_result(spec: Specification, reason: str, attempts: int) -> ResolutionResult:
+    """A well-formed all-NULL result marking *spec*'s entity as quarantined."""
+    attributes = tuple(spec.schema.attribute_names)
+    return ResolutionResult(
+        name=spec.name,
+        valid=False,
+        true_values=TrueValueAssignment({}),
+        resolved_tuple={attribute: NULL for attribute in attributes},
+        fallback_attributes=attributes,
+        rounds=[],
+        complete=False,
+        failure=reason,
+        attempts=attempts,
+    )
+
+
+def failure_from_error(spec: Specification, error: BaseException, attempts: int) -> ResolutionResult:
+    """:func:`failure_result` with the reason taken from *error*."""
+    reason = error.reason if isinstance(error, EntityFailure) else type(error).__name__
+    return failure_result(spec, reason, attempts)

@@ -28,8 +28,11 @@ import pickle
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import faults
+from repro.core.errors import EntityFailure
 from repro.core.instance import TemporalInstance
 from repro.core.specification import Specification
+from repro.engine.supervision import failure_from_error
 from repro.resolution.framework import ConflictResolver, Oracle, ResolutionResult, ResolverOptions
 
 __all__ = ["initialize_worker", "ping", "resolve_chunk", "resolve_shipped_chunk"]
@@ -70,13 +73,25 @@ def resolve_chunk(
     counters attributable to this chunk (the engine sums the deltas, so the
     aggregate is exact no matter how chunks are spread over workers), the
     chunk's busy seconds, and this worker's pid.
+
+    Non-retryable :class:`~repro.core.errors.EntityFailure`\\ s (solver-budget
+    blowouts — deterministic, so a retry would fail identically) are absorbed
+    here into inline failure results; retryable failures and unexpected
+    exceptions propagate so the engine's supervision can retry the chunk.
     """
     resolver = _RESOLVER
     if resolver is None:  # pragma: no cover - defensive; initializer always runs
         raise RuntimeError("resolve_chunk called in an uninitialised worker process")
     before = resolver.program_cache.statistics()
     start = time.perf_counter()
-    results = [resolver.resolve(spec, oracle) for spec, oracle in chunk]
+    results = []
+    for spec, oracle in chunk:
+        try:
+            results.append(resolver.resolve(spec, oracle))
+        except EntityFailure as error:
+            if error.retryable:
+                raise
+            results.append(failure_from_error(spec, error, attempts=1))
     busy = time.perf_counter() - start
     after = resolver.program_cache.statistics()
     delta = {key: after[key] - before.get(key, 0) for key in after}
@@ -84,7 +99,7 @@ def resolve_chunk(
 
 
 def resolve_shipped_chunk(
-    tasks: Sequence[ShippedTask], payload_key: int, payload: bytes
+    tasks: Sequence[ShippedTask], payload_key: int, payload: bytes, chunk_index: int = 0
 ) -> ChunkResult:
     """Resolve a chunk whose constraints arrived as a shared pickled payload.
 
@@ -94,9 +109,14 @@ def resolve_shipped_chunk(
     their specifications around the already-materialised constraint tuples.
     The specifications were validated by the caller before shipping, so the
     rebuild skips re-validation.
+
+    *chunk_index* is the engine's submission sequence number, used only to
+    anchor deterministic fault injection (:mod:`repro.faults`).
     """
+    faults.on_chunk(chunk_index)
     entry = _CONSTRAINT_CACHE.get(payload_key)
     if entry is None:
+        payload = faults.corrupt_payload(payload, chunk_index)
         entry = _CONSTRAINT_CACHE[payload_key] = pickle.loads(payload)
     sigma, gamma = entry
     chunk = [

@@ -61,6 +61,9 @@ class EntityOutcome:
     correct_by_round: List[int] = field(default_factory=list)
     resolution: Optional[ResolutionResult] = None
     reuse: Dict[str, int] = field(default_factory=dict)
+    #: Non-empty when the entity was quarantined by the engine's supervision
+    #: (the dead-letter reason); its counts then score the all-NULL fallback.
+    failure: str = ""
 
 
 #: Cumulative encoder/session counters surfaced per entity (the final round's
@@ -123,6 +126,8 @@ class ExperimentResult:
     keep_outcomes: bool = True
     #: Entities folded in so far (== ``len(outcomes)`` when they are kept).
     entities: int = 0
+    #: Entities whose resolution carried a quarantine ``failure`` marker.
+    quarantined: int = 0
 
     # -- folded aggregates (maintained by add_outcome) -------------------------
     _counts: AccuracyCounts = field(default_factory=AccuracyCounts, repr=False)
@@ -144,6 +149,8 @@ class ExperimentResult:
     def add_outcome(self, outcome: EntityOutcome) -> None:
         """Fold one entity's outcome into the aggregates."""
         self.entities += 1
+        if outcome.failure:
+            self.quarantined += 1
         self._counts = self._counts.merge(outcome.counts)
         for phase in _PHASES:
             self._phase_seconds[phase] += outcome.seconds.get(phase, 0.0)
@@ -225,7 +232,7 @@ class ExperimentResult:
 
     def summary(self) -> Dict[str, float]:
         """Compact summary dictionary used by the benchmark reports."""
-        return {
+        record = {
             "entities": float(self.entities),
             "precision": self.precision,
             "recall": self.recall,
@@ -233,6 +240,11 @@ class ExperimentResult:
             "mean_total_seconds": self.mean_seconds("total"),
             "max_rounds": float(self.max_rounds_used()),
         }
+        # Only fault-afflicted runs report the counter, so fault-free
+        # summaries stay byte-identical to recorded baselines.
+        if self.quarantined:
+            record["quarantined"] = float(self.quarantined)
+        return record
 
     # -- checkpoint state ------------------------------------------------------
 
@@ -241,6 +253,7 @@ class ExperimentResult:
         return {
             "label": self.label,
             "entities": self.entities,
+            "quarantined": self.quarantined,
             "counts": {
                 "deduced": self._counts.deduced,
                 "correct": self._counts.correct,
@@ -263,6 +276,8 @@ class ExperimentResult:
         """
         counts = state["counts"]
         self.entities = int(state["entities"])
+        # Checkpoints written before the fault-tolerance work lack the key.
+        self.quarantined = int(state.get("quarantined", 0))
         self._counts = AccuracyCounts(
             deduced=int(counts["deduced"]),
             correct=int(counts["correct"]),
@@ -331,6 +346,7 @@ def _entity_outcome(
         correct_by_round=correct_by_round,
         resolution=resolution,
         reuse=_reuse_from_resolution(resolution),
+        failure=getattr(resolution, "failure", ""),
     )
 
 

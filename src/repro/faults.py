@@ -1,0 +1,199 @@
+"""Deterministic fault injection for the fault-tolerance stack.
+
+Production failures — a pool worker OOM-killed mid-chunk, an entity whose
+CNF never converges, a payload corrupted in flight — are rare and
+non-deterministic, which makes the recovery paths the least-tested code
+in exactly the systems that need them most.  This module turns those
+failures into *reproducible inputs*: a :class:`FaultPlan` names the fault
+and the precise, seeded point where it fires, and the execution tiers
+call the tiny hooks below at their natural failure points.
+
+Activation is either explicit (``faults.install(plan)`` in tests) or via
+the ``REPRO_FAULTS`` environment variable holding ``plan.encode()`` JSON
+— the env var is inherited by pool workers, so one setting drives the
+whole process tree (bench and CLI use).  With no plan active every hook
+is a cheap no-op.
+
+Fault kinds
+-----------
+``kill_worker_on_chunk=N``
+    The worker processing the engine's N-th submitted chunk exits hard
+    (``os._exit``), breaking the process pool exactly once — retried
+    chunks get fresh submission indices, so recovery is not re-faulted.
+``raise_in_resolver="pattern"``
+    Entities whose name matches the glob raise a retryable
+    :class:`~repro.core.errors.EntityFailure` inside the resolver; with
+    ``raise_times=N`` only the first N attempts fail (attempt counters
+    are process-local), otherwise every attempt fails and the entity is
+    driven into quarantine.
+``crash_entity="pattern"``
+    Matching entities raise :class:`InjectedCrash` — deliberately *not*
+    an ``EntityFailure``, simulating an unannounced hard crash.
+    ``raise_times`` bounds it the same way (each fault kind counts its
+    attempts separately), which models a crash that heals on retry.
+``slow_entity="pattern"``
+    Matching entities sleep ``slow_seconds`` before resolving (stalls
+    without failing; exercises wall-clock budgets and idle timeouts).
+``corrupt_payload_on_chunk=N``
+    The shipped constraint payload of submitted chunk N is truncated
+    before unpickling, so the worker fails the chunk with a decode error.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+import os
+import time
+from dataclasses import dataclass, fields
+from typing import Dict, Optional, Tuple
+
+from repro.core.errors import EntityFailure, ReproError
+
+__all__ = [
+    "ENV_VAR",
+    "FaultPlan",
+    "InjectedCrash",
+    "active_plan",
+    "clear",
+    "install",
+]
+
+#: Environment variable carrying an encoded :class:`FaultPlan`.
+ENV_VAR = "REPRO_FAULTS"
+
+
+class InjectedCrash(RuntimeError):
+    """A hard injected failure (not an :class:`EntityFailure`).
+
+    Models a crash the resolver never declared: the sequential path lets
+    it propagate (like a real aborted process), while the engine's
+    parallel supervision contains it via bisection and quarantine.
+    """
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, deterministic description of which faults fire where.
+
+    Entity patterns are :mod:`fnmatch` globs against the entity name;
+    chunk indices count the engine's chunk submissions from 1 (retries
+    and bisection submissions get fresh indices).  ``seed`` distinguishes
+    otherwise-identical plans (e.g. CI matrix entries).
+    """
+
+    kill_worker_on_chunk: Optional[int] = None
+    raise_in_resolver: Optional[str] = None
+    raise_times: Optional[int] = None
+    crash_entity: Optional[str] = None
+    slow_entity: Optional[str] = None
+    slow_seconds: float = 0.05
+    corrupt_payload_on_chunk: Optional[int] = None
+    seed: int = 0
+
+    def encode(self) -> str:
+        """Compact JSON holding only the non-default fields (env-var friendly)."""
+        payload = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if value != spec.default:
+                payload[spec.name] = value
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def decode(cls, text: str) -> "FaultPlan":
+        """Inverse of :meth:`encode`; rejects unknown keys loudly."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ReproError(f"invalid fault plan {text!r}: {error}") from None
+        if not isinstance(payload, dict):
+            raise ReproError(f"invalid fault plan {text!r}: expected a JSON object")
+        known = {spec.name for spec in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ReproError(f"invalid fault plan: unknown keys {', '.join(unknown)}")
+        return cls(**payload)
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultPlan"]:
+        """The plan encoded in ``REPRO_FAULTS``, or ``None`` when unset/empty."""
+        raw = os.environ.get(ENV_VAR, "")
+        return cls.decode(raw) if raw else None
+
+
+# -- activation ----------------------------------------------------------------
+
+_INSTALLED: Optional[FaultPlan] = None
+_ENV_CACHE: Tuple[str, Optional[FaultPlan]] = ("", None)
+#: Process-local attempt counts per (fault kind, entity), for ``raise_times``.
+_ATTEMPTS: Dict[Tuple[str, str], int] = {}
+
+
+def _due(plan: FaultPlan, key: Tuple[str, str]) -> bool:
+    """Bump *key*'s attempt counter; true while ``raise_times`` allows firing."""
+    attempt = _ATTEMPTS.get(key, 0) + 1
+    _ATTEMPTS[key] = attempt
+    return plan.raise_times is None or attempt <= plan.raise_times
+
+
+def install(plan: Optional[FaultPlan]) -> None:
+    """Activate *plan* in this process (overrides ``REPRO_FAULTS``)."""
+    global _INSTALLED
+    _INSTALLED = plan
+    _ATTEMPTS.clear()
+
+
+def clear() -> None:
+    """Deactivate any installed plan and forget attempt counters."""
+    install(None)
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The installed plan, else the (cached) ``REPRO_FAULTS`` plan, else ``None``."""
+    if _INSTALLED is not None:
+        return _INSTALLED
+    global _ENV_CACHE
+    raw = os.environ.get(ENV_VAR, "")
+    if raw != _ENV_CACHE[0]:
+        _ENV_CACHE = (raw, FaultPlan.decode(raw) if raw else None)
+    return _ENV_CACHE[1]
+
+
+# -- injection hooks -----------------------------------------------------------
+
+
+def on_entity(name: str) -> None:
+    """Resolver-entry hook: slow down, fail retryably, or crash *name*."""
+    plan = active_plan()
+    if plan is None:
+        return
+    if plan.slow_entity and fnmatch.fnmatch(name, plan.slow_entity):
+        time.sleep(plan.slow_seconds)
+    if plan.crash_entity and fnmatch.fnmatch(name, plan.crash_entity):
+        if _due(plan, ("crash", name)):
+            raise InjectedCrash(f"injected crash while resolving {name!r}")
+    if plan.raise_in_resolver and fnmatch.fnmatch(name, plan.raise_in_resolver):
+        if _due(plan, ("raise", name)):
+            attempt = _ATTEMPTS[("raise", name)]
+            raise EntityFailure(
+                f"injected resolver fault for {name!r} (attempt {attempt})",
+                entity=name,
+                reason="injected",
+                retryable=True,
+            )
+
+
+def on_chunk(chunk_index: int) -> None:
+    """Worker chunk-start hook: hard-exit the worker on the doomed chunk."""
+    plan = active_plan()
+    if plan is not None and plan.kill_worker_on_chunk == chunk_index:
+        os._exit(17)
+
+
+def corrupt_payload(payload: bytes, chunk_index: int) -> bytes:
+    """Return *payload*, truncated when the plan corrupts this chunk."""
+    plan = active_plan()
+    if plan is not None and plan.corrupt_payload_on_chunk == chunk_index:
+        return payload[:-1] if payload else b"\x00"
+    return payload

@@ -37,19 +37,32 @@ class Checkpoint:
     def load(self) -> Optional[Dict[str, Any]]:
         """Read the checkpoint, or ``None`` when absent.
 
-        Returns a dictionary with ``processed`` (items completed) and
-        ``state`` (the sink-provided blob, possibly ``None``).
+        Returns a dictionary with ``processed`` (items completed), ``state``
+        (the sink-provided blob, possibly ``None``) and ``quarantine`` (the
+        dead-letter records of the interrupted run — a list of
+        :meth:`~repro.engine.QuarantineRecord.as_dict` payloads, empty for
+        checkpoints written before fault tolerance existed).
         """
         if not self.path.exists():
             return None
         payload = json.loads(self.path.read_text())
         if not isinstance(payload, dict) or "processed" not in payload:
             raise ValueError(f"{self.path}: not a pipeline checkpoint file")
-        return {"processed": int(payload["processed"]), "state": payload.get("state")}
+        return {
+            "processed": int(payload["processed"]),
+            "state": payload.get("state"),
+            "quarantine": list(payload.get("quarantine", [])),
+        }
 
-    def save(self, processed: int, state: Any = None) -> None:
-        """Atomically persist the position and state."""
-        payload = {"processed": int(processed), "state": state}
+    def save(self, processed: int, state: Any = None, quarantine: Any = None) -> None:
+        """Atomically persist the position, state and dead-letter records.
+
+        *quarantine* is only written when non-empty, so fault-free runs
+        produce checkpoint files byte-identical to earlier releases.
+        """
+        payload: Dict[str, Any] = {"processed": int(processed), "state": state}
+        if quarantine:
+            payload["quarantine"] = list(quarantine)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         temporary = self.path.with_name(self.path.name + ".tmp")
         temporary.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -78,6 +91,11 @@ class CheckpointSink(Sink):
     offset:
         Items already processed by a previous run (from
         :meth:`Checkpoint.load`); saved positions are ``offset + consumed``.
+    quarantine_provider:
+        Zero-argument callable returning the run's dead-letter records as
+        JSON payloads (e.g. the engine's quarantine list via
+        ``QuarantineRecord.as_dict``); persisted alongside the state so a
+        resumed run knows which entities a crashed run abandoned.
     """
 
     def __init__(
@@ -87,6 +105,7 @@ class CheckpointSink(Sink):
         state_provider: Optional[Callable[[], Any]] = None,
         offset: int = 0,
         name: str = "checkpoint",
+        quarantine_provider: Optional[Callable[[], Any]] = None,
     ) -> None:
         if every < 1:
             raise ValueError(f"checkpoint interval must be positive, got {every}")
@@ -95,21 +114,25 @@ class CheckpointSink(Sink):
         self.state_provider = state_provider
         self.offset = offset
         self.name = name
+        self.quarantine_provider = quarantine_provider
         self.consumed = 0
 
     def _state(self) -> Any:
         return self.state_provider() if self.state_provider is not None else None
 
+    def _quarantine(self) -> Any:
+        return self.quarantine_provider() if self.quarantine_provider is not None else None
+
     def consume(self, item: Any) -> None:
         """Count the item; persist on interval boundaries."""
         self.consumed += 1
         if self.consumed % self.every == 0:
-            self.checkpoint.save(self.offset + self.consumed, self._state())
+            self.checkpoint.save(self.offset + self.consumed, self._state(), self._quarantine())
 
     def close(self) -> int:
         """Persist the final position; return the total processed count."""
         processed = self.offset + self.consumed
-        self.checkpoint.save(processed, self._state())
+        self.checkpoint.save(processed, self._state(), self._quarantine())
         return processed
 
 

@@ -24,6 +24,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Protocol, Tuple
 
+from repro import faults
+from repro.core.errors import BudgetExceededError, EntityFailure
 from repro.core.instance import TemporalOrderDelta
 from repro.core.partial_order import PartialOrder
 from repro.core.specification import Specification, TrueValueAssignment
@@ -38,6 +40,7 @@ from repro.resolution.deduce import DeducedOrders, deduce_order
 from repro.resolution.suggest import SuggestOptions, Suggestion, suggest
 from repro.resolution.true_values import extract_true_values
 from repro.resolution.validity import check_validity
+from repro.solvers.budget import SolverBudget
 
 __all__ = [
     "Oracle",
@@ -87,7 +90,13 @@ class RoundReport:
 
 @dataclass
 class ResolutionResult:
-    """Final outcome of conflict resolution for one entity."""
+    """Final outcome of conflict resolution for one entity.
+
+    A non-empty ``failure`` marks a *quarantined* entity: resolution was
+    abandoned (budget blowout, repeated crashes) after ``attempts`` tries
+    and the tuple holds only fallback/NULL values.  ``valid`` is ``False``
+    for such results but makes no claim about the specification itself.
+    """
 
     name: str
     valid: bool
@@ -97,6 +106,8 @@ class ResolutionResult:
     rounds: List[RoundReport] = field(default_factory=list)
     complete: bool = False
     user_validated_attributes: Tuple[str, ...] = ()
+    failure: str = ""
+    attempts: int = 0
 
     @property
     def interaction_rounds(self) -> int:
@@ -154,6 +165,17 @@ class ResolverOptions:
         :attr:`ConflictResolver.program_cache`) and stamps it during
         instantiation; ``False`` restores the cold per-entity re-analysis.
         The two paths produce identical encodings (equivalence-tested).
+    budget:
+        Optional :class:`~repro.solvers.budget.SolverBudget` bounding every
+        SAT call of the loop (and, via ``wall_seconds``, the entity as a
+        whole, checked between rounds).  An exhausted budget aborts the
+        entity with a non-retryable
+        :class:`~repro.core.errors.EntityFailure` — it would blow the same
+        budget on every retry — which the engine turns into a quarantine
+        record instead of letting one pathological entity stall the run.
+    max_attempts:
+        How many times the supervision layer may attempt one entity
+        (crashed workers, retryable failures) before quarantining it.
     """
 
     instantiation: InstantiationOptions = field(default_factory=InstantiationOptions)
@@ -164,6 +186,8 @@ class ResolverOptions:
     incremental: bool = True
     solver_backend: str = "arena"
     compiled: bool = True
+    budget: Optional[SolverBudget] = None
+    max_attempts: int = 3
 
 
 class ConflictResolver:
@@ -232,9 +256,37 @@ class ConflictResolver:
             the sequential/parallel/streaming equivalence rests on.  Inject
             one only to *change* the randomness, never to share a stream
             across entities.
+
+        Raises
+        ------
+        EntityFailure
+            When ``options.budget`` is exhausted (non-retryable: the same
+            budget would blow on every retry).  The engine's supervision
+            layer maps this to a quarantine record; direct callers may
+            catch it per entity.
         """
+        faults.on_entity(spec.name)
+        try:
+            return self._resolve(spec, oracle, rng)
+        except BudgetExceededError as error:
+            raise EntityFailure(
+                f"entity {spec.name!r} exceeded its solver budget: {error}",
+                entity=spec.name,
+                reason="budget_exceeded",
+                retryable=False,
+            ) from error
+
+    def _resolve(
+        self,
+        spec: Specification,
+        oracle: Optional[Oracle],
+        rng: Optional[random.Random],
+    ) -> ResolutionResult:
         oracle = oracle or SilentOracle()
         options = self.options
+        entity_deadline: Optional[float] = None
+        if options.budget is not None and options.budget.wall_seconds is not None:
+            entity_deadline = time.perf_counter() + options.budget.wall_seconds
         current = spec
         rounds: List[RoundReport] = []
         known = TrueValueAssignment({})
@@ -248,6 +300,13 @@ class ConflictResolver:
         )
 
         for round_index in range(options.max_rounds + 1):
+            # Per-call solver caps bound a single spin; this bounds the whole
+            # entity (rounds × phases) against the same wall-clock budget.
+            if entity_deadline is not None and time.perf_counter() > entity_deadline:
+                raise BudgetExceededError(
+                    f"entity wall-clock budget of {options.budget.wall_seconds}s exhausted "
+                    f"after {round_index} round(s)"
+                )
             start = time.perf_counter()
             if options.incremental:
                 # One full encoding per entity; later rounds only append the
@@ -259,6 +318,7 @@ class ConflictResolver:
                         options.instantiation,
                         backend=options.solver_backend,
                         program=program,
+                        budget=options.budget,
                     )
                 encoding = encoder.encoding
                 session = encoder.session
@@ -268,7 +328,11 @@ class ConflictResolver:
                 session = None
                 guard_assumptions = ()
             validity = check_validity(
-                current, encoding=encoding, session=session, assumptions=guard_assumptions
+                current,
+                encoding=encoding,
+                session=session,
+                assumptions=guard_assumptions,
+                budget=options.budget,
             )
             validity_seconds = time.perf_counter() - start
             if not validity.valid:

@@ -10,9 +10,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from repro.core.errors import BudgetExceededError
 from repro.core.specification import Specification
 from repro.encoding.cnf_encoder import SpecificationEncoding, encode_specification
 from repro.encoding.instance_constraints import InstantiationOptions
+from repro.solvers.budget import SolverBudget
 from repro.solvers.sat import solve
 from repro.solvers.session import SolverSession
 
@@ -48,6 +50,7 @@ def check_validity(
     encoding: Optional[SpecificationEncoding] = None,
     session: Optional[SolverSession] = None,
     assumptions: Sequence[int] = (),
+    budget: Optional[SolverBudget] = None,
 ) -> ValidityReport:
     """Run ``IsValid`` on *spec* and return a full report.
 
@@ -57,13 +60,23 @@ def check_validity(
     a single ``solve(assumptions)`` call on it — clauses learned by earlier
     rounds and by the other pipeline stages are reused, and *assumptions*
     carries the guard literals of the currently valid clauses.
+
+    *budget* caps the cold (session-less) solve; a session carries its own
+    budget.  Either way an exhausted budget surfaces as
+    :class:`~repro.core.errors.BudgetExceededError` — a falsy report must
+    keep meaning "the specification is invalid", never "ran out of fuel".
     """
     if encoding is None:
         encoding = encode_specification(spec, options)
     if session is not None:
         result = session.solve(assumptions)
     else:
-        result = solve(encoding.cnf, assumptions=list(assumptions))
+        result = solve(encoding.cnf, assumptions=list(assumptions), budget=budget)
+        if result.budget_exceeded:
+            raise BudgetExceededError(
+                f"solver budget {budget} exhausted after {result.conflicts} conflicts "
+                f"/ {result.propagations} propagations"
+            )
     return ValidityReport(
         valid=result.satisfiable,
         encoding=encoding,

@@ -168,6 +168,7 @@ async def serve_tcp(
     port: int = 0,
     *,
     include_stats: bool = False,
+    idle_timeout: Optional[float] = 300.0,
 ) -> asyncio.AbstractServer:
     """Start a TCP listener; every connection is an independent JSONL stream.
 
@@ -182,7 +183,16 @@ async def serve_tcp(
     Connections share the resolution server — and therefore its warm engine
     and its global in-flight cap — but each gets its own ordered response
     stream.
+
+    *idle_timeout* bounds how long a connection may sit between request
+    lines: a client that half-opens a socket and never writes would otherwise
+    pin its handler task (and a reader slot) forever.  On timeout the client
+    is sent one final ``error`` record and its stream ends — in-flight
+    entities of the connection still resolve and are delivered first, exactly
+    as on a graceful end-of-stream.  ``None`` disables the timeout.
     """
+    if idle_timeout is not None and idle_timeout <= 0:
+        raise ValueError(f"idle_timeout must be positive or None, got {idle_timeout}")
 
     async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
         async def write(record: str) -> None:
@@ -191,17 +201,37 @@ async def serve_tcp(
             writer.write(record.encode("utf-8"))
             await writer.drain()
 
+        timed_out = False
+
         async def lines() -> AsyncIterator[str]:
+            # Ending the request stream (rather than writing the error record
+            # here) lets serve_jsonl flush the ordered responses already in
+            # flight before the idle notice goes out.
+            nonlocal timed_out
             while True:
-                raw = await reader.readline()
+                try:
+                    raw = await asyncio.wait_for(reader.readline(), idle_timeout)
+                except asyncio.TimeoutError:
+                    timed_out = True
+                    return
                 if not raw:
                     return
                 yield raw.decode("utf-8")
 
         try:
             await serve_jsonl(server, lines(), write, include_stats=include_stats)
+            if timed_out:
+                # Tell the (possibly half-open) client why its stream ended.
+                record = encode_response(
+                    _error_response(
+                        WireError(
+                            f"connection idle for more than {idle_timeout:g}s; closing"
+                        )
+                    )
+                )
+                await write(record + "\n")
             await writer.drain()
-        except ConnectionResetError:  # pragma: no cover - client went away
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
             pass
         finally:
             writer.close()

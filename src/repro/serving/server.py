@@ -52,6 +52,7 @@ from typing import (
 )
 
 from repro.core.errors import ReproError
+from repro.core.retry import RetryPolicy
 from repro.core.specification import Specification
 from repro.pipeline.checkpoint import Checkpoint
 from repro.resolution.framework import Oracle, ResolverOptions
@@ -87,6 +88,10 @@ class ServerStats:
     completed: int = 0
     #: Requests answered with an error response.
     failed: int = 0
+    #: Engine calls retried by the server's :class:`~repro.core.retry.RetryPolicy`.
+    retries: int = 0
+    #: Responses carrying a quarantine marker (entity abandoned by supervision).
+    quarantined: int = 0
     #: High-water mark of requests holding a resolve slot at once.
     peak_inflight: int = 0
     #: Summed seconds requests spent waiting for a slot.
@@ -110,7 +115,7 @@ class ServerStats:
 
     def as_dict(self) -> Dict[str, Any]:
         """Flat JSON-serializable representation (checkpoint state, reports)."""
-        return {
+        record: Dict[str, Any] = {
             "requests": self.requests,
             "completed": self.completed,
             "failed": self.failed,
@@ -124,6 +129,14 @@ class ServerStats:
             "engine": dict(self.engine),
             "host": dict(self.host),
         }
+        # Fault-tolerance counters appear only when they fired, keeping the
+        # serialized stats of fault-free runs byte-identical to earlier
+        # releases (the golden-output contract).
+        if self.retries:
+            record["retries"] = self.retries
+        if self.quarantined:
+            record["quarantined"] = self.quarantined
+        return record
 
 
 async def _as_async(source: RequestSource) -> AsyncIterator[ResolveRequest]:
@@ -134,11 +147,6 @@ async def _as_async(source: RequestSource) -> AsyncIterator[ResolveRequest]:
     else:
         for item in source:  # type: ignore[union-attr]
             yield item
-
-
-#: Sentinels of :meth:`ResolutionServer._next_request`.
-_EXHAUSTED = object()
-_CLOSING = object()
 
 
 class ResolutionServer:
@@ -197,6 +205,7 @@ class ResolutionServer:
         scope: str = "",
         result_store: Optional[Any] = None,
         result_hasher: Optional[Callable[[Specification], str]] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if max_inflight is not None and max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
@@ -212,6 +221,7 @@ class ResolutionServer:
         self.scope = scope
         self.result_store = result_store
         self.result_hasher = result_hasher
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self._host = host
         self._owns_host = host is None
         self._lease: Optional[EngineLease] = None
@@ -223,7 +233,7 @@ class ResolutionServer:
         self._inflight = 0
         self._active = 0  # request tasks created but not yet finished
         self._stats = ServerStats()
-        # store_hits is bumped from resolver threads, not the event loop.
+        # store_hits/retries are bumped from resolver threads, not the event loop.
         self._store_hit_lock = threading.Lock()
 
     # -- lifecycle -------------------------------------------------------------
@@ -302,6 +312,8 @@ class ResolutionServer:
             requests=self._stats.requests,
             completed=self._stats.completed,
             failed=self._stats.failed,
+            retries=self._stats.retries,
+            quarantined=self._stats.quarantined,
             peak_inflight=self._stats.peak_inflight,
             queue_seconds=self._stats.queue_seconds,
             resolve_seconds=self._stats.resolve_seconds,
@@ -351,7 +363,11 @@ class ResolutionServer:
 
         With a result store attached, an already-stored ``(entity,
         specification hash)`` is answered from the store — no engine call —
-        and a fresh resolution is upserted before it is returned.
+        and a fresh resolution is upserted before it is returned.  The engine
+        call itself runs under the server's :class:`RetryPolicy`, so transient
+        failures (a pool dying faster than the engine's own supervision could
+        contain it, OS-level hiccups) cost a backoff rather than an error
+        response; deterministic failures fail fast.
         """
         spec = self.spec_factory(request)
         digest = None
@@ -366,10 +382,18 @@ class ResolutionServer:
             self.oracle_factory(request, spec) if self.oracle_factory is not None else None
         )
         assert self._lease is not None
-        result = self._lease.engine.resolve_task(spec, oracle)
+        engine = self._lease.engine
+        result = self.retry_policy.call(
+            lambda: engine.resolve_task(spec, oracle), on_retry=self._note_retry
+        )
         if self.result_store is not None:
             self.result_store.put(request.entity, digest, result)
         return result
+
+    def _note_retry(self, _attempt: int, _error: BaseException) -> None:
+        """Retry-policy hook: count retried engine calls (thread-side)."""
+        with self._store_hit_lock:
+            self._stats.retries += 1
 
     async def _process(self, request: ResolveRequest) -> ResolveResponse:
         """Resolve one request under the in-flight cap; never raises."""
@@ -393,6 +417,8 @@ class ResolutionServer:
                 )
                 response = response_from_result(request, result, request_stats)
                 stats.completed += 1
+                if response.failure:
+                    stats.quarantined += 1
             except Exception as error:  # noqa: BLE001 — a request must not kill the stream
                 request_stats = RequestStats(
                     queue_seconds=started - enqueued,
@@ -420,31 +446,6 @@ class ResolutionServer:
         """Resolve a single request; errors come back as error responses."""
         self._require_running()
         return await self._spawn(request)
-
-    async def _next_request(self, source: AsyncIterator[ResolveRequest], closing_wait: "asyncio.Task[Any]"):
-        """Pull the next request, abandoning the pull if shutdown begins first."""
-        pull: asyncio.Task = asyncio.ensure_future(source.__anext__())
-        try:
-            done, _ = await asyncio.wait(
-                {pull, closing_wait}, return_when=asyncio.FIRST_COMPLETED
-            )
-        except asyncio.CancelledError:
-            # The stream's consumer was cancelled (connection drop, Ctrl-C):
-            # asyncio.wait leaves its awaited tasks running, so reap the pull
-            # or it outlives the stream as a forever-pending task.
-            pull.cancel()
-            raise
-        if pull in done:
-            try:
-                return pull.result()
-            except StopAsyncIteration:
-                return _EXHAUSTED
-        pull.cancel()
-        try:
-            await pull
-        except (asyncio.CancelledError, StopAsyncIteration):
-            pass
-        return _CLOSING
 
     async def resolve_stream(
         self,
@@ -482,27 +483,58 @@ class ResolutionServer:
         assert self._closing is not None
         closing_wait = asyncio.ensure_future(self._closing.wait())
         source = _as_async(requests)
+        # The pull outlives loop iterations: responses are delivered the
+        # moment the head of the window completes, even while the source is
+        # quiet.  Blocking the whole stream on the next request (the old
+        # shape) starves interactive clients — a TCP peer that sends one
+        # request and waits would never hear back until the window filled
+        # or it closed its side.  Cancelling a pull mid-read would also lose
+        # the request being read, so the task is reaped only on shutdown.
+        pull: "Optional[asyncio.Task]" = None
+        exhausted = False
         try:
-            exhausted = False
             while True:
-                while (
-                    not exhausted
+                if (
+                    pull is None
+                    and not exhausted
                     and not self._closing.is_set()
                     and len(pending) < (self.max_inflight or 1)
                 ):
-                    item = await self._next_request(source, closing_wait)
-                    if item is _EXHAUSTED:
-                        exhausted = True
+                    pull = asyncio.ensure_future(source.__anext__())
+                if pull is None:
+                    # Window full, source done, or shutting down: deliver the
+                    # ordered head (or finish when nothing is left).
+                    if not pending:
                         break
-                    if item is _CLOSING:
-                        break
-                    if skipped < offset:
-                        skipped += 1
+                    response = await pending.pop(0)
+                else:
+                    done, _ = await asyncio.wait(
+                        {pull, closing_wait, *pending[:1]},
+                        return_when=asyncio.FIRST_COMPLETED,
+                    )
+                    if pull in done:
+                        try:
+                            item = pull.result()
+                        except StopAsyncIteration:
+                            item = None
+                            exhausted = True
+                        pull = None
+                        if item is not None:
+                            if skipped < offset:
+                                skipped += 1
+                            else:
+                                pending.append(self._spawn(item))
                         continue
-                    pending.append(self._spawn(item))
-                if not pending:
-                    break
-                response = await pending.pop(0)
+                    if not pending or pending[0] not in done:
+                        # Shutdown began first: abandon the pull and drain.
+                        pull.cancel()
+                        try:
+                            await pull
+                        except (asyncio.CancelledError, StopAsyncIteration):
+                            pass
+                        pull = None
+                        continue
+                    response = await pending.pop(0)
                 yield response
                 # Count the response only once the consumer asked for the
                 # next one — i.e. after it had the chance to durably handle
@@ -515,8 +547,11 @@ class ResolutionServer:
         finally:
             closing_wait.cancel()
             # A consumer that abandons the stream mid-flight (generator close)
-            # leaves window tasks running; cancel them — the checkpoint only
-            # covers *yielded* responses, so a resume re-resolves them.
+            # leaves the window tasks and the in-flight pull running; cancel
+            # them — the checkpoint only covers *yielded* responses, so a
+            # resume re-resolves them.
+            if pull is not None:
+                pull.cancel()
             for task in pending:
                 task.cancel()
             if checkpoint is not None:

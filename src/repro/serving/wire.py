@@ -113,6 +113,12 @@ class ResolveResponse:
     id: str = ""
     #: Non-empty when the request failed; the other fields are then defaults.
     error: str = ""
+    #: Non-empty when the entity was quarantined by the engine's supervision
+    #: (the dead-letter reason, e.g. ``"budget_exceeded"``); the resolved
+    #: tuple is then all-NULL.  Unlike ``error``, the request itself succeeded.
+    failure: str = ""
+    #: Resolution attempts spent on a quarantined entity (0 for successes).
+    attempts: int = 0
     stats: Optional[RequestStats] = None
 
     def payload(self, include_stats: bool = False) -> Dict[str, Any]:
@@ -128,6 +134,9 @@ class ResolveResponse:
             record["id"] = self.id
         if self.error:
             record["error"] = self.error
+        if self.failure:
+            record["failure"] = self.failure
+            record["attempts"] = self.attempts
         if include_stats and self.stats is not None:
             record["stats"] = {
                 "queue_seconds": self.stats.queue_seconds,
@@ -199,6 +208,8 @@ def decode_response(line: str) -> ResolveResponse:
         resolved=dict(payload.get("resolved", {})),
         id=str(payload.get("id", "")),
         error=str(payload.get("error", "")),
+        failure=str(payload.get("failure", "")),
+        attempts=int(payload.get("attempts", 0)),
         stats=stats,
     )
 
@@ -219,6 +230,8 @@ def response_from_result(
             for attribute, value in result.resolved_tuple.items()
         },
         id=request.id,
+        failure=getattr(result, "failure", ""),
+        attempts=getattr(result, "attempts", 0),
         stats=stats,
     )
 

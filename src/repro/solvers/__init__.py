@@ -7,6 +7,7 @@ with self-contained, deterministic Python implementations.
 """
 
 from repro.solvers.arena import ArenaSolver, solve_batch
+from repro.solvers.budget import SolverBudget
 from repro.solvers.clique import build_graph, bron_kerbosch_cliques, greedy_clique, max_clique
 from repro.solvers.cnf import CNF, Clause, VariablePool
 from repro.solvers.dpll import dpll_solve
@@ -34,6 +35,7 @@ __all__ = [
     "MaxSATResult",
     "PropagationResult",
     "SATResult",
+    "SolverBudget",
     "SolverSession",
     "VariablePool",
     "available_backends",

@@ -37,6 +37,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro import profiling
 from repro.core.errors import SolverError
+from repro.solvers.budget import SolverBudget
 from repro.solvers.cnf import CNF
 from repro.solvers.sat import _LUBY_UNIT, CDCLSolver, SATResult, _luby, _SolverStats
 
@@ -592,12 +593,19 @@ class ArenaSolver:
 
     # -- main entry point -----------------------------------------------------
 
-    def solve(self, assumptions: Sequence[int] = (), conflict_limit: Optional[int] = None) -> SATResult:
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_limit: Optional[int] = None,
+        budget: Optional[SolverBudget] = None,
+    ) -> SATResult:
         """Decide satisfiability under *assumptions*.
 
         Same contract as :meth:`CDCLSolver.solve`: assumptions are decided at
         their own decision levels, learned clauses stay sound across calls,
-        ``conflict_limit`` raises :class:`SolverError` when exceeded.
+        ``conflict_limit`` raises :class:`SolverError` when exceeded, and an
+        exhausted *budget* returns ``budget_exceeded=True`` after a clean
+        backtrack to level zero (the solver stays reusable).
         """
         self.solve_calls += 1
         stats = _SolverStats()
@@ -622,6 +630,12 @@ class ArenaSolver:
         # single truthiness check per phase boundary and nothing else.
         profile = profiling.enabled()
 
+        budget_conflicts = budget.max_conflicts if budget is not None else None
+        budget_propagations = budget.max_propagations if budget is not None else None
+        deadline = None
+        if budget is not None and budget.wall_seconds is not None:
+            deadline = perf_counter() + budget.wall_seconds
+
         def accumulate_totals() -> None:
             self.total_conflicts += stats.conflicts
             self.total_decisions += stats.decisions
@@ -636,6 +650,12 @@ class ArenaSolver:
             accumulate_totals()
             return result
 
+        def budget_spent() -> SATResult:
+            # Level zero keeps the trail (and the session) reusable; learned
+            # clauses and activities are retained as a warm start.
+            self._backtrack(0)
+            return finish(SATResult(False, budget_exceeded=True))
+
         while True:
             if profile:
                 phase_start = perf_counter()
@@ -643,6 +663,10 @@ class ArenaSolver:
                 profiling.add("propagate", perf_counter() - phase_start)
             else:
                 conflict_index = self._propagate(stats)
+            if budget_propagations is not None and stats.propagations >= budget_propagations:
+                return budget_spent()
+            if deadline is not None and perf_counter() > deadline:
+                return budget_spent()
             if conflict_index >= 0:
                 stats.conflicts += 1
                 conflicts_since_restart += 1
@@ -655,6 +679,8 @@ class ArenaSolver:
                     # database itself is unsatisfiable, permanently.
                     self._unsat = True
                     return finish(SATResult(False))
+                if budget_conflicts is not None and stats.conflicts >= budget_conflicts:
+                    return budget_spent()
                 if profile:
                     phase_start = perf_counter()
                     learned, backjump = self._analyze(conflict_index)
@@ -744,12 +770,17 @@ def release_solver(solver: ArenaSolver) -> None:
         _SOLVER_POOL.append(solver)
 
 
-def solve(cnf: CNF, assumptions: Sequence[int] = (), conflict_limit: Optional[int] = None) -> SATResult:
+def solve(
+    cnf: CNF,
+    assumptions: Sequence[int] = (),
+    conflict_limit: Optional[int] = None,
+    budget: Optional[SolverBudget] = None,
+) -> SATResult:
     """Solve *cnf* under *assumptions* with a pooled :class:`ArenaSolver`."""
     solver = acquire_solver()
     try:
         solver.load(cnf)
-        return solver.solve(assumptions, conflict_limit=conflict_limit)
+        return solver.solve(assumptions, conflict_limit=conflict_limit, budget=budget)
     finally:
         release_solver(solver)
 

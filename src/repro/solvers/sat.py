@@ -38,7 +38,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from time import perf_counter
+
 from repro.core.errors import SolverError
+from repro.solvers.budget import SolverBudget
 from repro.solvers.cnf import CNF
 
 __all__ = ["SATResult", "CDCLSolver", "solve"]
@@ -46,7 +49,14 @@ __all__ = ["SATResult", "CDCLSolver", "solve"]
 
 @dataclass
 class SATResult:
-    """Outcome of a SAT call."""
+    """Outcome of a SAT call.
+
+    ``budget_exceeded`` marks a ``BUDGET_EXCEEDED`` verdict: the call ran
+    out of its :class:`~repro.solvers.budget.SolverBudget` before reaching
+    a decision.  ``satisfiable`` is ``False`` in that case but makes *no*
+    claim about the formula; callers must check the flag before trusting
+    the answer.  The solver backtracked to level zero, so it stays usable.
+    """
 
     satisfiable: bool
     model: Optional[Dict[int, bool]] = None
@@ -54,6 +64,7 @@ class SATResult:
     decisions: int = 0
     propagations: int = 0
     restarts: int = 0
+    budget_exceeded: bool = False
 
     def __bool__(self) -> bool:
         return self.satisfiable
@@ -539,7 +550,12 @@ class CDCLSolver:
 
     # -- main entry point -----------------------------------------------------
 
-    def solve(self, assumptions: Sequence[int] = (), conflict_limit: Optional[int] = None) -> SATResult:
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_limit: Optional[int] = None,
+        budget: Optional[SolverBudget] = None,
+    ) -> SATResult:
         """Decide satisfiability under *assumptions*.
 
         Parameters
@@ -551,6 +567,11 @@ class CDCLSolver:
         conflict_limit:
             Optional hard cap on the number of conflicts; when exceeded a
             :class:`SolverError` is raised (used by tests to bound runtime).
+        budget:
+            Optional :class:`~repro.solvers.budget.SolverBudget`.  Unlike
+            ``conflict_limit`` this never raises: exceeding any cap returns
+            a clean result with ``budget_exceeded=True`` after backtracking
+            to level zero, so the solver stays reusable.
         """
         self.solve_calls += 1
         stats = _SolverStats()
@@ -574,6 +595,12 @@ class CDCLSolver:
         # restart) may unassign established assumptions, so it resets there.
         next_assumption = 0
 
+        budget_conflicts = budget.max_conflicts if budget is not None else None
+        budget_propagations = budget.max_propagations if budget is not None else None
+        deadline = None
+        if budget is not None and budget.wall_seconds is not None:
+            deadline = perf_counter() + budget.wall_seconds
+
         def accumulate_totals() -> None:
             self.total_conflicts += stats.conflicts
             self.total_decisions += stats.decisions
@@ -588,8 +615,18 @@ class CDCLSolver:
             accumulate_totals()
             return result
 
+        def budget_spent() -> SATResult:
+            # Level zero keeps the trail (and the session) reusable; learned
+            # clauses and activities are retained as a warm start.
+            self._backtrack(0)
+            return finish(SATResult(False, budget_exceeded=True))
+
         while True:
             conflict_index = self._propagate(stats)
+            if budget_propagations is not None and stats.propagations >= budget_propagations:
+                return budget_spent()
+            if deadline is not None and perf_counter() > deadline:
+                return budget_spent()
             if conflict_index is not None:
                 stats.conflicts += 1
                 conflicts_since_restart += 1
@@ -602,6 +639,8 @@ class CDCLSolver:
                     # database itself is unsatisfiable, permanently.
                     self._unsat = True
                     return finish(SATResult(False))
+                if budget_conflicts is not None and stats.conflicts >= budget_conflicts:
+                    return budget_spent()
                 learned, backjump = self._analyze(conflict_index)
                 self._backtrack(backjump)
                 next_assumption = 0
@@ -664,6 +703,11 @@ class CDCLSolver:
             self._enqueue(literal, None, stats)
 
 
-def solve(cnf: CNF, assumptions: Sequence[int] = (), conflict_limit: Optional[int] = None) -> SATResult:
+def solve(
+    cnf: CNF,
+    assumptions: Sequence[int] = (),
+    conflict_limit: Optional[int] = None,
+    budget: Optional[SolverBudget] = None,
+) -> SATResult:
     """Solve *cnf* under *assumptions* with a fresh :class:`CDCLSolver`."""
-    return CDCLSolver(cnf).solve(assumptions, conflict_limit=conflict_limit)
+    return CDCLSolver(cnf).solve(assumptions, conflict_limit=conflict_limit, budget=budget)

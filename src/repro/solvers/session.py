@@ -28,8 +28,9 @@ from __future__ import annotations
 import weakref
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
-from repro.core.errors import SolverError
+from repro.core.errors import BudgetExceededError, SolverError
 from repro.solvers.arena import ArenaSolver, acquire_solver, release_solver
+from repro.solvers.budget import SolverBudget
 from repro.solvers.cnf import CNF
 from repro.solvers.dpll import dpll_solve
 from repro.solvers.sat import CDCLSolver, SATResult
@@ -64,6 +65,11 @@ class SolverSession:
         self._incremental_solves = 0
         self._clauses_reused = 0
         self._learned_reused = 0
+        #: Budget applied to every solve on this session (``None`` = unbounded).
+        #: Mutable on purpose: after a :class:`BudgetExceededError` the caller
+        #: may clear or raise it and keep using the same session.
+        self.budget: Optional[SolverBudget] = None
+        self._budget_exceeded_calls = 0
 
     # -- interface ------------------------------------------------------------
 
@@ -81,7 +87,12 @@ class SolverSession:
         """Make the session aware of variables up to index *count*."""
 
     def solve(self, assumptions: Sequence[int] = (), conflict_limit: Optional[int] = None) -> SATResult:
-        """Decide satisfiability of the session formula under *assumptions*."""
+        """Decide satisfiability of the session formula under *assumptions*.
+
+        When :attr:`budget` is set and the backend exhausts it, raises
+        :class:`~repro.core.errors.BudgetExceededError`; the session stays
+        reusable (the backend backtracked to level zero before returning).
+        """
         carried = self.learned_clauses
         self._solve_calls += 1
         if self._solve_calls == 1 or not self.retains_learned_clauses:
@@ -90,7 +101,14 @@ class SolverSession:
             self._incremental_solves += 1
             self._clauses_reused += self._clauses_added
             self._learned_reused += carried
-        return self._solve(assumptions, conflict_limit)
+        result = self._solve(assumptions, conflict_limit)
+        if result.budget_exceeded:
+            self._budget_exceeded_calls += 1
+            raise BudgetExceededError(
+                f"solver budget {self.budget} exhausted after "
+                f"{result.conflicts} conflicts / {result.propagations} propagations"
+            )
+        return result
 
     # -- backend hooks ---------------------------------------------------------
 
@@ -162,7 +180,7 @@ class CDCLSession(SolverSession):
         self._solver.add_clause(literals)
 
     def _solve(self, assumptions: Sequence[int], conflict_limit: Optional[int]) -> SATResult:
-        return self._solver.solve(assumptions, conflict_limit=conflict_limit)
+        return self._solver.solve(assumptions, conflict_limit=conflict_limit, budget=self.budget)
 
     def statistics(self) -> Dict[str, int]:
         stats = super().statistics()
@@ -212,7 +230,7 @@ class ArenaSession(SolverSession):
         self._solver.add_clause(literals)
 
     def _solve(self, assumptions: Sequence[int], conflict_limit: Optional[int]) -> SATResult:
-        return self._solver.solve(assumptions, conflict_limit=conflict_limit)
+        return self._solver.solve(assumptions, conflict_limit=conflict_limit, budget=self.budget)
 
     def statistics(self) -> Dict[str, int]:
         stats = super().statistics()
@@ -249,6 +267,8 @@ class DPLLSession(SolverSession):
     def _solve(self, assumptions: Sequence[int], conflict_limit: Optional[int]) -> SATResult:
         if conflict_limit is not None:
             raise SolverError("the dpll backend does not support conflict_limit")
+        if self.budget is not None:
+            raise SolverError("the dpll backend does not support solver budgets")
         highest = max((abs(int(lit)) for lit in assumptions), default=0)
         if highest > self._cnf.num_variables:
             self._cnf.num_variables = highest
@@ -268,15 +288,22 @@ def available_backends() -> Tuple[str, ...]:
     return tuple(sorted(_BACKENDS))
 
 
-def create_session(backend: str = "arena") -> SolverSession:
-    """Instantiate a solver session for *backend* (by registry name)."""
+def create_session(backend: str = "arena", budget: Optional[SolverBudget] = None) -> SolverSession:
+    """Instantiate a solver session for *backend* (by registry name).
+
+    *budget*, when given, applies to every solve on the returned session
+    (see :attr:`SolverSession.budget`).
+    """
     try:
         factory = _BACKENDS[backend]
     except KeyError:
         raise SolverError(
             f"unknown solver backend {backend!r}; available: {', '.join(available_backends())}"
         ) from None
-    return factory()
+    session = factory()
+    if budget is not None and not budget.unbounded:
+        session.budget = budget
+    return session
 
 
 register_backend("arena", ArenaSession)

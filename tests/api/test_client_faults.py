@@ -1,0 +1,123 @@
+"""ResolutionClient fault handling: quarantine storage, retries, re-resolution."""
+
+import pytest
+
+from repro import faults
+from repro.api import MemoryResultStore, ResolutionClient, RunConfig
+from repro.core import ReproError
+from repro.core.retry import RetryPolicy
+from repro.datasets import PersonConfig, generate_person_dataset
+from repro.faults import ENV_VAR, FaultPlan, InjectedCrash
+from repro.resolution import ResolverOptions
+
+
+OPTIONS = ResolverOptions(max_rounds=0, fallback="none")
+
+
+@pytest.fixture(autouse=True)
+def clean_faults(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    faults.clear()
+    yield
+    faults.clear()
+
+
+@pytest.fixture(scope="module")
+def person_specs():
+    dataset = generate_person_dataset(PersonConfig(num_entities=4, seed=9))
+    return [spec for _entity, spec in dataset.specifications()]
+
+
+class TestQuarantineStorePolicy:
+    def test_poison_stays_poison_until_retry_requested(self, person_specs):
+        store = MemoryResultStore()
+        poison = person_specs[1].name
+
+        # Run 1: the poison entity quarantines; its dead-letter is stored
+        # alongside the healthy results.
+        faults.install(FaultPlan(raise_in_resolver=poison))
+        with ResolutionClient(RunConfig(options=OPTIONS, store=store)) as client:
+            results = list(client.resolve_stream(person_specs))
+            assert [r.name for r in results if r.failure] == [poison]
+            assert client.stats().quarantined == 1
+        faults.clear()
+
+        # Run 2 (default policy): the stored failure is served as a hit —
+        # a poison entity stays poison across runs, visibly.
+        with ResolutionClient(RunConfig(options=OPTIONS, store=store)) as client:
+            results = list(client.resolve_stream(person_specs))
+            stats = client.stats()
+        failed = [r for r in results if r.failure]
+        assert [r.name for r in failed] == [poison]
+        assert failed[0].failure == "injected"
+        assert stats.store_hits == len(person_specs)
+        assert stats.quarantined == 1
+
+        # Run 3 (retry_quarantined, fault healed): only the poison entity
+        # re-resolves; it comes back healthy and the store is repaired.
+        config = RunConfig(options=OPTIONS, store=store, retry_quarantined=True)
+        with ResolutionClient(config) as client:
+            results = list(client.resolve_stream(person_specs))
+            stats = client.stats()
+        assert all(not r.failure for r in results)
+        assert stats.store_hits == len(person_specs) - 1
+        assert stats.resolved == 1
+        assert stats.quarantined == 0
+
+        # Run 4: the repaired result is now an ordinary hit.
+        with ResolutionClient(RunConfig(options=OPTIONS, store=store)) as client:
+            results = list(client.resolve_stream(person_specs))
+            assert all(not r.failure for r in results)
+            assert client.stats().store_hits == len(person_specs)
+
+    def test_retry_quarantined_is_not_part_of_the_cache_key(self):
+        plain = RunConfig(options=OPTIONS)
+        retrying = RunConfig(
+            options=OPTIONS, store=MemoryResultStore(), retry_quarantined=True
+        )
+        assert plain.cache_key() == retrying.cache_key()
+
+
+class TestClientRetryPolicy:
+    def test_crash_exhausts_policy_then_propagates(self, person_specs):
+        victim = person_specs[0]
+        faults.install(FaultPlan(crash_entity=victim.name))
+        config = RunConfig(
+            options=OPTIONS,
+            retry_policy=RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0),
+        )
+        with ResolutionClient(config) as client:
+            with pytest.raises(InjectedCrash):
+                client.resolve(victim)
+            assert client.stats().retries == 2
+
+    def test_healing_crash_resolves_transparently(self, person_specs):
+        victim = person_specs[0]
+        faults.install(FaultPlan(crash_entity=victim.name, raise_times=1))
+        config = RunConfig(
+            options=OPTIONS,
+            retry_policy=RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0),
+        )
+        with ResolutionClient(config) as client:
+            result = client.resolve(victim)
+            stats = client.stats()
+        assert not result.failure
+        assert stats.retries == 1
+        assert "retries" in stats.as_dict()
+
+    def test_fault_free_stats_hide_the_counters(self, person_specs):
+        with ResolutionClient(RunConfig(options=OPTIONS)) as client:
+            client.resolve(person_specs[0])
+            snapshot = client.stats().as_dict()
+        assert "retries" not in snapshot
+        assert "quarantined" not in snapshot
+
+
+class TestConfigValidation:
+    def test_rejects_non_policy_retry_policy(self):
+        with pytest.raises(ReproError, match="retry_policy"):
+            RunConfig(options=OPTIONS, retry_policy="aggressive")
+
+    def test_rejects_non_positive_max_attempts(self):
+        with pytest.raises(ReproError, match="max_attempts"):
+            RunConfig(options=ResolverOptions(max_attempts=0))

@@ -1,0 +1,117 @@
+"""Retry policy: deterministic backoff schedules and error classification."""
+
+import pytest
+
+from repro.core.errors import (
+    BudgetExceededError,
+    EntityFailure,
+    ReproError,
+    SchemaError,
+)
+from repro.core.retry import RetryPolicy, classify_retryable
+
+
+class TestClassification:
+    def test_entity_failure_carries_its_own_verdict(self):
+        assert classify_retryable(EntityFailure("x", retryable=True))
+        assert not classify_retryable(EntityFailure("x", retryable=False))
+
+    def test_deterministic_errors_never_retry(self):
+        assert not classify_retryable(BudgetExceededError("budget"))
+        assert not classify_retryable(SchemaError("bad schema"))
+
+    def test_everything_else_is_transient(self):
+        assert classify_retryable(RuntimeError("pool died"))
+        assert classify_retryable(ConnectionResetError())
+        assert classify_retryable(OSError("fork failed"))
+
+
+class TestPolicyValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ReproError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ReproError):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ReproError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ReproError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestBackoffSchedule:
+    def test_deterministic_per_seed(self):
+        one = RetryPolicy(seed=7)
+        two = RetryPolicy(seed=7)
+        assert [one.delay(n) for n in range(1, 6)] == [two.delay(n) for n in range(1, 6)]
+
+    def test_seeds_change_the_schedule(self):
+        assert RetryPolicy(seed=1).delay(1) != RetryPolicy(seed=2).delay(1)
+
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=10.0, jitter=0.0)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.4)
+
+    def test_capped_at_max_delay(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=10.0, max_delay=2.0, jitter=0.0)
+        assert policy.delay(5) == pytest.approx(2.0)
+
+    def test_jitter_bounded(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, max_delay=1.0, jitter=0.25)
+        for attempt in range(1, 20):
+            assert 1.0 <= policy.delay(attempt) <= 1.25
+
+    def test_attempts_counted_from_one(self):
+        with pytest.raises(ReproError):
+            RetryPolicy().delay(0)
+
+
+class TestCall:
+    def test_succeeds_after_transient_failures(self):
+        attempts = {"n": 0}
+        slept = []
+
+        def flaky():
+            attempts["n"] += 1
+            if attempts["n"] < 3:
+                raise RuntimeError("transient")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.01, jitter=0.0)
+        assert policy.call(flaky, sleep=slept.append) == "ok"
+        assert attempts["n"] == 3
+        assert slept == [policy.delay(1), policy.delay(2)]
+
+    def test_exhausts_attempts(self):
+        def always():
+            raise RuntimeError("still broken")
+
+        with pytest.raises(RuntimeError, match="still broken"):
+            RetryPolicy(max_attempts=2, base_delay=0.0).call(always, sleep=lambda _s: None)
+
+    def test_fails_fast_on_deterministic_errors(self):
+        calls = {"n": 0}
+
+        def deterministic():
+            calls["n"] += 1
+            raise BudgetExceededError("budget")
+
+        with pytest.raises(BudgetExceededError):
+            RetryPolicy(max_attempts=5).call(deterministic, sleep=lambda _s: None)
+        assert calls["n"] == 1
+
+    def test_on_retry_hook_sees_each_failure(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 2:
+                raise RuntimeError("boom")
+            return 42
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0)
+        result = policy.call(
+            flaky, on_retry=lambda n, e: seen.append((n, str(e))), sleep=lambda _s: None
+        )
+        assert result == 42
+        assert seen == [(1, "boom"), (2, "boom")]

@@ -1,0 +1,119 @@
+"""The deterministic fault-injection harness itself."""
+
+import pytest
+
+from repro import faults
+from repro.core.errors import EntityFailure, ReproError
+from repro.faults import ENV_VAR, FaultPlan, InjectedCrash
+
+
+@pytest.fixture(autouse=True)
+def clean_faults(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    faults.clear()
+    yield
+    faults.clear()
+
+
+class TestPlanCodec:
+    def test_roundtrip_non_defaults_only(self):
+        plan = FaultPlan(kill_worker_on_chunk=3, raise_in_resolver="P*", raise_times=2)
+        encoded = plan.encode()
+        assert "slow_seconds" not in encoded  # defaults stay out of the env var
+        assert FaultPlan.decode(encoded) == plan
+
+    def test_empty_plan_encodes_empty_object(self):
+        assert FaultPlan().encode() == "{}"
+        assert FaultPlan.decode("{}") == FaultPlan()
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ReproError):
+            FaultPlan.decode("not json")
+        with pytest.raises(ReproError):
+            FaultPlan.decode("[1]")
+        with pytest.raises(ReproError, match="unknown keys"):
+            FaultPlan.decode('{"explode_on_tuesday":1}')
+
+    def test_from_env(self, monkeypatch):
+        assert FaultPlan.from_env() is None
+        monkeypatch.setenv(ENV_VAR, FaultPlan(crash_entity="X*").encode())
+        assert FaultPlan.from_env() == FaultPlan(crash_entity="X*")
+
+
+class TestActivation:
+    def test_install_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, FaultPlan(crash_entity="env").encode())
+        faults.install(FaultPlan(crash_entity="installed"))
+        assert faults.active_plan().crash_entity == "installed"
+        faults.clear()
+        assert faults.active_plan().crash_entity == "env"
+
+    def test_no_plan_hooks_are_noops(self):
+        faults.on_entity("anything")
+        faults.on_chunk(1)
+        assert faults.corrupt_payload(b"abc", 1) == b"abc"
+
+    def test_env_cache_tracks_changes(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, FaultPlan(seed=1).encode())
+        assert faults.active_plan().seed == 1
+        monkeypatch.setenv(ENV_VAR, FaultPlan(seed=2).encode())
+        assert faults.active_plan().seed == 2
+        monkeypatch.delenv(ENV_VAR)
+        assert faults.active_plan() is None
+
+
+class TestHooks:
+    def test_crash_entity_matches_glob(self):
+        faults.install(FaultPlan(crash_entity="Person:p*"))
+        with pytest.raises(InjectedCrash):
+            faults.on_entity("Person:p42")
+        faults.on_entity("NBA:lebron")  # no match, no fault
+
+    def test_raise_in_resolver_is_retryable_entity_failure(self):
+        faults.install(FaultPlan(raise_in_resolver="E1"))
+        with pytest.raises(EntityFailure) as exc_info:
+            faults.on_entity("E1")
+        assert exc_info.value.retryable
+        assert exc_info.value.reason == "injected"
+        assert exc_info.value.entity == "E1"
+
+    def test_raise_times_bounds_the_failures(self):
+        faults.install(FaultPlan(raise_in_resolver="E1", raise_times=2))
+        for _ in range(2):
+            with pytest.raises(EntityFailure):
+                faults.on_entity("E1")
+        faults.on_entity("E1")  # third attempt succeeds
+
+    def test_crash_entity_honors_raise_times(self):
+        faults.install(FaultPlan(crash_entity="E1", raise_times=1))
+        with pytest.raises(InjectedCrash):
+            faults.on_entity("E1")
+        faults.on_entity("E1")  # the crash healed
+
+    def test_fault_kinds_count_attempts_separately(self):
+        faults.install(
+            FaultPlan(crash_entity="E1", raise_in_resolver="E1", raise_times=1)
+        )
+        with pytest.raises(InjectedCrash):
+            faults.on_entity("E1")  # crash fires before the resolver fault
+        with pytest.raises(EntityFailure):
+            faults.on_entity("E1")  # crash spent; the resolver fault is not
+        faults.on_entity("E1")
+
+    def test_install_resets_attempt_counters(self):
+        faults.install(FaultPlan(raise_in_resolver="E1", raise_times=1))
+        with pytest.raises(EntityFailure):
+            faults.on_entity("E1")
+        faults.install(FaultPlan(raise_in_resolver="E1", raise_times=1))
+        with pytest.raises(EntityFailure):
+            faults.on_entity("E1")
+
+    def test_slow_entity_sleeps_but_succeeds(self):
+        faults.install(FaultPlan(slow_entity="E1", slow_seconds=0.001))
+        faults.on_entity("E1")
+
+    def test_corrupt_payload_truncates_only_the_doomed_chunk(self):
+        faults.install(FaultPlan(corrupt_payload_on_chunk=2))
+        assert faults.corrupt_payload(b"abc", 1) == b"abc"
+        assert faults.corrupt_payload(b"abc", 2) == b"ab"
+        assert faults.corrupt_payload(b"", 2) == b"\x00"

@@ -1,0 +1,168 @@
+"""Engine supervision: crash recovery, poison-entity quarantine, budgets.
+
+Every fault here is injected deterministically through :mod:`repro.faults`
+(the environment variable reaches forked pool workers; ``install`` drives
+the in-process sequential path), so each scenario replays identically.
+"""
+
+import pytest
+
+from repro import faults
+from repro.core.values import is_null
+from repro.engine import ResolutionEngine
+from repro.faults import ENV_VAR, FaultPlan, InjectedCrash
+from repro.resolution.framework import ResolverOptions
+from repro.solvers import SolverBudget
+
+
+@pytest.fixture(autouse=True)
+def clean_faults(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def make_tasks(dataset, limit=6):
+    return [(spec, None) for _entity, spec in dataset.specifications(limit=limit)]
+
+
+def comparable(results):
+    """The deterministic projection of a result list (order matters)."""
+    return [
+        (r.name, r.valid, r.complete, dict(r.resolved_tuple), r.failure, r.attempts)
+        for r in results
+    ]
+
+
+@pytest.fixture(scope="module")
+def options():
+    return ResolverOptions(max_rounds=0, fallback="none")
+
+
+@pytest.fixture(scope="module")
+def baseline(small_person_dataset, options):
+    """Fault-free sequential results — the equivalence anchor."""
+    with ResolutionEngine(options) as engine:
+        return comparable(engine.resolve_many(make_tasks(small_person_dataset)))
+
+
+class TestWorkerCrashRecovery:
+    def test_killed_worker_recovers_to_identical_results(
+        self, small_person_dataset, options, baseline, monkeypatch
+    ):
+        # Acceptance (a): a worker hard-killed mid-run must not change the
+        # output — the engine rebuilds the pool and retries the lost chunk.
+        monkeypatch.setenv(ENV_VAR, FaultPlan(kill_worker_on_chunk=1).encode())
+        with ResolutionEngine(options, workers=2, chunk_size=2) as engine:
+            results = engine.resolve_many(make_tasks(small_person_dataset))
+        assert comparable(results) == baseline
+        assert engine.statistics.pool_rebuilds >= 1
+        assert engine.statistics.chunk_retries >= 1
+        assert engine.statistics.quarantine == []
+
+    def test_corrupt_payload_recovers_to_identical_results(
+        self, small_person_dataset, options, baseline, monkeypatch
+    ):
+        monkeypatch.setenv(ENV_VAR, FaultPlan(corrupt_payload_on_chunk=1).encode())
+        with ResolutionEngine(options, workers=2, chunk_size=2) as engine:
+            results = engine.resolve_many(make_tasks(small_person_dataset))
+        assert comparable(results) == baseline
+        assert engine.statistics.chunk_retries >= 1
+        assert engine.statistics.quarantine == []
+
+    def test_fault_free_statistics_hide_the_counters(self, small_person_dataset, options):
+        with ResolutionEngine(options) as engine:
+            engine.resolve_many(make_tasks(small_person_dataset, limit=2))
+        snapshot = engine.statistics.as_dict()
+        assert "chunk_retries" not in snapshot
+        assert "pool_rebuilds" not in snapshot
+        assert "quarantined" not in snapshot
+
+
+class TestPoisonQuarantine:
+    def test_sequential_quarantines_after_max_attempts(
+        self, small_person_dataset, options
+    ):
+        # Acceptance (b): the poison entity dead-letters; the rest resolve.
+        tasks = make_tasks(small_person_dataset)
+        poison = tasks[2][0].name
+        faults.install(FaultPlan(raise_in_resolver=poison))
+        with ResolutionEngine(options) as engine:
+            results = engine.resolve_many(tasks)
+        assert [r.name for r in results] == [spec.name for spec, _ in tasks]
+        failed = [r for r in results if r.failure]
+        assert [r.name for r in failed] == [poison]
+        assert failed[0].failure == "injected"
+        assert failed[0].attempts == options.max_attempts == 3
+        assert not failed[0].valid
+        assert all(is_null(v) for v in failed[0].resolved_tuple.values())
+        records = engine.statistics.quarantine
+        assert [(q.entity, q.reason, q.attempts) for q in records] == [
+            (poison, "injected", 3)
+        ]
+
+    def test_parallel_quarantine_matches_sequential(
+        self, small_person_dataset, options, monkeypatch
+    ):
+        tasks = make_tasks(small_person_dataset)
+        poison = tasks[2][0].name
+        faults.install(FaultPlan(raise_in_resolver=poison))
+        with ResolutionEngine(options) as engine:
+            sequential = comparable(engine.resolve_many(tasks))
+        faults.clear()
+        monkeypatch.setenv(ENV_VAR, FaultPlan(raise_in_resolver=poison).encode())
+        with ResolutionEngine(options, workers=2, chunk_size=2) as engine:
+            parallel = comparable(engine.resolve_many(make_tasks(small_person_dataset)))
+        assert parallel == sequential
+        assert [q.entity for q in engine.statistics.quarantine] == [poison]
+
+    def test_transient_fault_heals_within_attempts(self, small_person_dataset, options):
+        tasks = make_tasks(small_person_dataset)
+        flaky = tasks[1][0].name
+        faults.install(FaultPlan(raise_in_resolver=flaky, raise_times=2))
+        with ResolutionEngine(options) as engine:
+            results = engine.resolve_many(tasks)
+        assert all(not r.failure for r in results)
+        assert engine.statistics.quarantine == []
+
+    def test_injected_hard_crash_contained_in_parallel_only(
+        self, small_person_dataset, options, monkeypatch
+    ):
+        tasks = make_tasks(small_person_dataset)
+        victim = tasks[0][0].name
+        # Sequentially an unannounced crash propagates (a real abort)...
+        faults.install(FaultPlan(crash_entity=victim))
+        with ResolutionEngine(options) as engine:
+            with pytest.raises(InjectedCrash):
+                engine.resolve_many(tasks)
+        faults.clear()
+        # ...while parallel supervision isolates and quarantines it.
+        monkeypatch.setenv(ENV_VAR, FaultPlan(crash_entity=victim).encode())
+        with ResolutionEngine(options, workers=2, chunk_size=2) as engine:
+            results = engine.resolve_many(make_tasks(small_person_dataset))
+        failed = [r for r in results if r.failure]
+        assert [r.name for r in failed] == [victim]
+        assert failed[0].failure == "InjectedCrash"
+        assert [q.entity for q in engine.statistics.quarantine] == [victim]
+
+
+class TestBudgetFailures:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_budget_blowout_fails_without_retries(
+        self, small_person_dataset, workers
+    ):
+        # A budget blowout is deterministic: one attempt, no retry ladder.
+        options = ResolverOptions(
+            max_rounds=0, fallback="none", budget=SolverBudget(max_propagations=1)
+        )
+        with ResolutionEngine(options, workers=workers, chunk_size=2) as engine:
+            results = engine.resolve_many(make_tasks(small_person_dataset, limit=4))
+        assert all(r.failure == "budget_exceeded" for r in results)
+        assert all(r.attempts == 1 for r in results)
+        assert all(q.reason == "budget_exceeded" for q in engine.statistics.quarantine)
+        assert len(engine.statistics.quarantine) == 4
+
+    def test_max_attempts_validated(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            ResolutionEngine(ResolverOptions(max_attempts=0))

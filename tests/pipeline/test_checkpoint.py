@@ -21,7 +21,11 @@ class TestCheckpointFile:
         assert checkpoint.load() is None
         checkpoint.save(7, {"counts": 3})
         assert checkpoint.exists()
-        assert checkpoint.load() == {"processed": 7, "state": {"counts": 3}}
+        assert checkpoint.load() == {
+            "processed": 7,
+            "state": {"counts": 3},
+            "quarantine": [],
+        }
         checkpoint.clear()
         assert checkpoint.load() is None
 

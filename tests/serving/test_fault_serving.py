@@ -1,0 +1,234 @@
+"""Serving-tier fault tolerance: failure carriage, retries, idle timeouts."""
+
+import asyncio
+
+import pytest
+
+from repro import faults
+from repro.core.retry import RetryPolicy
+from repro.faults import ENV_VAR, FaultPlan
+from repro.serving import (
+    ResolutionServer,
+    ResolveResponse,
+    decode_response,
+    encode_request,
+    encode_response,
+    serve_jsonl,
+    serve_tcp,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_faults(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    faults.clear()
+    yield
+    faults.clear()
+
+
+class TestFailureCarriage:
+    def test_wire_roundtrip_of_failure_fields(self):
+        response = ResolveResponse(
+            entity="e",
+            valid=False,
+            complete=False,
+            rounds=0,
+            resolved={},
+            failure="budget_exceeded",
+            attempts=3,
+        )
+        line = encode_response(response)
+        assert '"failure":"budget_exceeded"' in line
+        decoded = decode_response(line)
+        assert decoded.failure == "budget_exceeded"
+        assert decoded.attempts == 3
+
+    def test_healthy_responses_omit_the_fields(self, vj_request):
+        response = ResolveResponse(
+            entity="e", valid=True, complete=True, rounds=0, resolved={"a": 1}
+        )
+        assert "failure" not in encode_response(response)
+        assert "attempts" not in encode_response(response)
+
+    def test_quarantined_entity_answered_not_dropped(
+        self, vj_builder, vj_request, automatic_options
+    ):
+        faults.install(FaultPlan(raise_in_resolver="Edith"))
+        out = []
+
+        async def run():
+            async with ResolutionServer(
+                vj_builder, options=automatic_options
+            ) as server:
+                written = await serve_jsonl(
+                    server, [encode_request(vj_request) + "\n"], out.append
+                )
+                return written, server.stats()
+
+        written, stats = asyncio.run(run())
+        assert written == 1
+        response = decode_response(out[0])
+        assert response.entity == "Edith"
+        assert response.failure == "injected"
+        assert response.attempts == 3
+        assert not response.error  # the request itself succeeded
+        assert stats.completed == 1 and stats.failed == 0
+        assert stats.quarantined == 1
+        assert stats.as_dict()["quarantined"] == 1
+
+    def test_fault_free_stats_hide_the_counters(
+        self, vj_builder, vj_request, automatic_options
+    ):
+        async def run():
+            async with ResolutionServer(
+                vj_builder, options=automatic_options
+            ) as server:
+                await server.resolve_one(vj_request)
+                return server.stats()
+
+        snapshot = asyncio.run(run()).as_dict()
+        assert "retries" not in snapshot
+        assert "quarantined" not in snapshot
+
+
+class TestServerRetries:
+    def test_transient_crash_retried_then_error_response(
+        self, vj_builder, vj_request, automatic_options
+    ):
+        # An unannounced hard crash is classified transient: the server's
+        # policy retries it (the fault never heals here), then answers with
+        # an error record instead of dropping the request.
+        faults.install(FaultPlan(crash_entity="Edith"))
+
+        async def run():
+            async with ResolutionServer(
+                vj_builder,
+                options=automatic_options,
+                retry_policy=RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0),
+            ) as server:
+                response = await server.resolve_one(vj_request)
+                return response, server.stats()
+
+        response, stats = asyncio.run(run())
+        assert "InjectedCrash" in response.error
+        assert stats.failed == 1
+        assert stats.retries == 2  # two backoffs before giving up
+        assert stats.as_dict()["retries"] == 2
+
+    def test_healing_crash_recovers_within_policy(
+        self, vj_builder, vj_request, automatic_options
+    ):
+        # A crash that heals after one firing: the server's retry gets a
+        # clean second attempt and the client never sees the failure.
+        faults.install(FaultPlan(crash_entity="Edith", raise_times=1))
+
+        async def run():
+            async with ResolutionServer(
+                vj_builder,
+                options=automatic_options,
+                retry_policy=RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0),
+            ) as server:
+                response = await server.resolve_one(vj_request)
+                return response, server.stats()
+
+        response, stats = asyncio.run(run())
+        assert not response.error and not response.failure
+        assert stats.completed == 1 and stats.failed == 0
+        assert stats.retries == 1
+
+
+class TestStreamingLiveness:
+    def test_response_delivered_while_source_stays_open(
+        self, vj_builder, vj_request, automatic_options
+    ):
+        # An interactive stream must answer each request as it completes —
+        # not wait for the in-flight window to fill or the source to end.
+        async def run():
+            queue = asyncio.Queue()
+
+            async def source():
+                while True:
+                    request = await queue.get()
+                    if request is None:
+                        return
+                    yield request
+
+            async with ResolutionServer(
+                vj_builder, options=automatic_options, max_inflight=8
+            ) as server:
+                stream = server.resolve_stream(source())
+                await queue.put(vj_request)
+                first = await asyncio.wait_for(stream.__anext__(), 30)
+                await queue.put(vj_request)
+                second = await asyncio.wait_for(stream.__anext__(), 30)
+                await queue.put(None)
+                with pytest.raises(StopAsyncIteration):
+                    await asyncio.wait_for(stream.__anext__(), 30)
+                return first, second
+
+        first, second = asyncio.run(run())
+        assert first.entity == second.entity == "Edith"
+        assert first.resolved == second.resolved
+
+
+class TestIdleTimeout:
+    def test_half_open_connection_gets_error_record_and_close(
+        self, vj_builder, vj_request, automatic_options
+    ):
+        async def run():
+            async with ResolutionServer(
+                vj_builder, options=automatic_options
+            ) as server:
+                tcp = await serve_tcp(server, port=0, idle_timeout=0.3)
+                port = tcp.sockets[0].getsockname()[1]
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                # One real request, answered...
+                writer.write((encode_request(vj_request) + "\n").encode())
+                await writer.drain()
+                first = await asyncio.wait_for(reader.readline(), 30)
+                # ...then the client goes silent; the server must end the
+                # stream itself instead of pinning the handler forever.
+                second = await asyncio.wait_for(reader.readline(), 30)
+                trailer = await asyncio.wait_for(reader.read(), 30)
+                writer.close()
+                tcp.close()
+                await tcp.wait_closed()
+                return first, second, trailer
+
+        first, second, trailer = asyncio.run(run())
+        assert decode_response(first.decode()).entity == "Edith"
+        timeout_record = decode_response(second.decode())
+        assert "idle" in timeout_record.error
+        assert trailer == b""  # stream closed after the error record
+
+    def test_disabled_timeout_keeps_connection_open(
+        self, vj_builder, vj_request, automatic_options
+    ):
+        async def run():
+            async with ResolutionServer(
+                vj_builder, options=automatic_options
+            ) as server:
+                tcp = await serve_tcp(server, port=0, idle_timeout=None)
+                port = tcp.sockets[0].getsockname()[1]
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                await asyncio.sleep(0.2)  # longer than the other test's timeout
+                writer.write((encode_request(vj_request) + "\n").encode())
+                await writer.drain()
+                line = await asyncio.wait_for(reader.readline(), 30)
+                writer.close()
+                tcp.close()
+                await tcp.wait_closed()
+                return line
+
+        line = asyncio.run(run())
+        assert decode_response(line.decode()).entity == "Edith"
+
+    def test_rejects_non_positive_timeout(self, vj_builder, automatic_options):
+        async def run():
+            async with ResolutionServer(
+                vj_builder, options=automatic_options
+            ) as server:
+                await serve_tcp(server, port=0, idle_timeout=0.0)
+
+        with pytest.raises(ValueError, match="idle_timeout"):
+            asyncio.run(run())
