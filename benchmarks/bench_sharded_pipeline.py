@@ -1,0 +1,258 @@
+"""Shard-parallel resolution: wall-clock and sharing vs. shard count.
+
+This is not a paper figure — it measures the PR 8 shard coordinator: the
+same resolution workload is run unsharded and through
+``ResolutionClient.resolve_sharded`` at shard counts 1, 2 and 4, over a
+shared :class:`~repro.serving.host.EngineHost` so every shard client leases
+the *same* warm engine.  The JSON report records, per dataset and shard
+count, the best-of-*repeats* wall-clock, the speedup over the one-shard
+coordinator run, the coordination overhead against the plain unsharded
+stream, per-shard busy/idle seconds, and how many shard leases found the
+pool warm (all of them must — one shared pool, not N).  A final phase
+re-runs the workload sharded over a fully populated
+:class:`~repro.api.store.ResultStore` and asserts the shared engine resolved
+nothing: every entity is a store hit.
+
+The merge is deterministic, so every mode must produce the canonically
+identical stream; ``identity_invariant`` in the payload records that check.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``, used by CI) shrinks the workload to a
+few entities and shard counts {1, 2}: it proves the coordinator end-to-end
+without burning CI minutes.  The module doubles as a standalone script::
+
+    REPRO_BENCH_SMOKE=1 PYTHONPATH=src python benchmarks/bench_sharded_pipeline.py
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from _harness import (
+    nba_scalability_dataset,
+    person_accuracy_dataset,
+    report,
+    report_json,
+)
+from repro.api import ResolutionClient, RunConfig
+from repro.api.store import open_result_store
+from repro.evaluation import format_table
+from repro.serving.host import EngineHost
+from repro.sharding import DEFAULT_SHARD_WINDOW
+
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: Shard counts swept by the full benchmark (smoke keeps {1, 2}).
+SHARD_COUNTS: Sequence[int] = (1, 2, 4)
+
+
+def _canon(result) -> Tuple:
+    """The identity-relevant projection of one result (drops round timings)."""
+    return (
+        result.name,
+        result.valid,
+        result.complete,
+        result.resolved_tuple,
+        result.failure,
+        result.attempts,
+    )
+
+
+def _pairs(dataset, limit: Optional[int]) -> List[Tuple[str, object]]:
+    return [
+        (entity.name, spec)
+        for entity, spec in dataset.specifications(limit=limit)
+    ]
+
+
+def _one_run(host: EngineHost, pairs, shards: int) -> Dict:
+    """One timed run: wall plus the per-shard counters of this run's client."""
+    with ResolutionClient(RunConfig(), host=host) as client:
+        start = time.perf_counter()
+        if shards == 0:  # the plain unsharded stream, no coordinator
+            results = list(client.resolve_stream(list(pairs)))
+        else:
+            results = list(client.resolve_sharded(list(pairs), shards=shards))
+        wall = time.perf_counter() - start
+        stats = client.stats()
+    shard_detail = [dict(entry) for entry in stats.shards]
+    return {
+        "wall_seconds": wall,
+        "entities": float(stats.entities),
+        "store_hits": float(stats.store_hits),
+        "canon": [_canon(result) for result in results],
+        "shards": shard_detail,
+        "leases_reused": float(
+            sum(1 for entry in shard_detail if entry["lease"]["reused"])
+        ),
+        "busy_seconds": sum(e["busy_seconds"] for e in shard_detail),
+        "idle_seconds": sum(e["idle_seconds"] for e in shard_detail),
+    }
+
+
+def _timed_sweep(
+    host: EngineHost, pairs, shard_counts: Sequence[int], repeats: int
+) -> Dict[int, Dict]:
+    """Best-of-*repeats* walls for every mode, repeats interleaved.
+
+    One repeat round runs every mode once before any mode runs again: on a
+    busy 1-CPU host the wall-clock floor drifts over tens of seconds, so
+    timing all repeats of one mode back-to-back would fold that drift into
+    the mode comparison.  Interleaving spreads it evenly; best-of then
+    discards the noise.  A warmup run precedes timing so no mode pays the
+    engine build.
+    """
+    _one_run(host, pairs, 0)  # warm the shared engine outside the timed region
+    best: Dict[int, Dict] = {}
+    for _ in range(max(1, repeats)):
+        for shards in shard_counts:
+            run = _one_run(host, pairs, shards)
+            if shards not in best or run["wall_seconds"] < best[shards]["wall_seconds"]:
+                best[shards] = run
+    return best
+
+
+def sharded_pipeline_table(
+    shard_counts: Sequence[int] = SHARD_COUNTS,
+    limit: Optional[int] = None,
+    repeats: int = 5,
+) -> Dict:
+    """Sweep shard counts over the NBA + Person streams; return the payload."""
+    datasets = {
+        "nba": (nba_scalability_dataset(), limit),
+        "person": (person_accuracy_dataset(), limit),
+    }
+    payload: Dict = {
+        "cpus": float(os.cpu_count() or 1),
+        "repeats": float(max(1, repeats)),
+        "smoke": _SMOKE,
+        "window": float(DEFAULT_SHARD_WINDOW),
+        "shard_counts": [float(count) for count in shard_counts],
+        "datasets": {},
+    }
+    with EngineHost() as host:
+        for name, (dataset, dataset_limit) in datasets.items():
+            pairs = _pairs(dataset, dataset_limit)
+            best = _timed_sweep(host, pairs, (0, *shard_counts), repeats)
+            runs: Dict[str, Dict] = {}
+            identical = True
+            unsharded = best[0]
+            reference = unsharded.pop("canon")
+            runs["unsharded"] = unsharded
+            baseline_wall = None
+            for shards in shard_counts:
+                run = best[shards]
+                identical = identical and run.pop("canon") == reference
+                if baseline_wall is None:
+                    baseline_wall = run["wall_seconds"]
+                run["speedup_over_shards1"] = (
+                    baseline_wall / run["wall_seconds"]
+                    if run["wall_seconds"] > 0
+                    else 0.0
+                )
+                run["overhead_vs_unsharded_seconds"] = (
+                    run["wall_seconds"] - unsharded["wall_seconds"]
+                )
+                runs[f"shards{shards}"] = run
+            payload["datasets"][name] = {
+                "dataset": dataset.name,
+                "entities": float(len(pairs)),
+                "identity_invariant": identical,
+                "runs": runs,
+                "store_rerun": _store_rerun(host, pairs, max(shard_counts)),
+            }
+    return payload
+
+
+def _store_rerun(host: EngineHost, pairs, shards: int) -> Dict:
+    """Shard over a fully populated store: all hits, zero engine work."""
+    store = open_result_store(":memory:")
+    try:
+        config = RunConfig(store=store)
+        with ResolutionClient(config, host=host) as client:
+            list(client.resolve_stream(list(pairs)))  # populate the store
+            engine_before = client.engine.statistics.entities
+            start = time.perf_counter()
+            list(client.resolve_sharded(list(pairs), shards=shards))
+            wall = time.perf_counter() - start
+            stats = client.stats()
+            engine_delta = client.engine.statistics.entities - engine_before
+        hits = sum(entry["store_hits"] for entry in stats.shards)
+        return {
+            "shards": float(shards),
+            "wall_seconds": wall,
+            "store_hits": float(hits),
+            "store_hit_rate": hits / len(pairs) if pairs else 0.0,
+            "engine_entities": float(engine_delta),
+        }
+    finally:
+        store.close()
+
+
+def _render(payload: Dict) -> str:
+    rows = []
+    for name, entry in payload["datasets"].items():
+        for mode, run in entry["runs"].items():
+            rows.append(
+                [
+                    f"{name}/{mode}",
+                    run["wall_seconds"],
+                    run.get("speedup_over_shards1", 1.0),
+                    run["busy_seconds"],
+                    run["idle_seconds"],
+                    run["leases_reused"],
+                ]
+            )
+        rerun = entry["store_rerun"]
+        rows.append(
+            [
+                f"{name}/store_rerun",
+                rerun["wall_seconds"],
+                "",
+                "",
+                "",
+                f"hits {rerun['store_hit_rate']:.0%}",
+            ]
+        )
+    table = format_table(
+        ["mode", "wall (s)", "speedup", "busy (s)", "idle (s)", "warm leases"],
+        rows,
+        title=f"Shards vs. wall-clock ({payload['cpus']:.0f} cpus)",
+    )
+    for name, entry in payload["datasets"].items():
+        if not entry["identity_invariant"]:  # pragma: no cover - defensive
+            table += f"\nWARNING: {name} sharded output differed from unsharded!"
+        if entry["store_rerun"]["engine_entities"]:  # pragma: no cover - defensive
+            table += f"\nWARNING: {name} store re-run reached the engine!"
+    return table
+
+
+def run_sharded_pipeline() -> Dict:
+    """Execute the benchmark (honouring smoke mode) and persist its reports."""
+    if _SMOKE:
+        payload = sharded_pipeline_table(shard_counts=(1, 2), limit=3, repeats=1)
+    else:
+        payload = sharded_pipeline_table()
+    report_json("sharded_pipeline", payload)
+    report("sharded_pipeline", _render(payload))
+    return payload
+
+
+def bench_sharded_pipeline(benchmark) -> None:
+    """Shards-vs-wall table for the NBA + Person resolution workloads."""
+    payload = run_sharded_pipeline()
+    for entry in payload["datasets"].values():
+        assert entry["identity_invariant"]
+        assert entry["store_rerun"]["engine_entities"] == 0.0
+    pairs = _pairs(nba_scalability_dataset(), limit=2)
+    with EngineHost() as host:
+        def sharded():
+            with ResolutionClient(RunConfig(), host=host) as client:
+                return list(client.resolve_sharded(list(pairs), shards=2))
+
+        benchmark(sharded)
+
+
+if __name__ == "__main__":
+    run_sharded_pipeline()

@@ -126,6 +126,15 @@ def build_parser() -> argparse.ArgumentParser:
             "without solving, and fresh resolutions are upserted for later runs",
         )
         sub.add_argument(
+            "--shards",
+            type=int,
+            default=1,
+            help="partition the entity stream by blocking key into this many "
+            "shards resolved concurrently over one shared warm engine; the "
+            "output is byte-identical to an unsharded run "
+            "(resolve/pipeline only; default: %(default)s)",
+        )
+        sub.add_argument(
             "--max-attempts",
             type=int,
             default=3,
@@ -319,7 +328,10 @@ def _command_resolve(args) -> int:
     schema = None
     ordered = sorted(specifications.items())
     with ResolutionClient(_run_config(args)) as client:
-        results = client.resolve_stream(ordered)
+        if args.shards > 1:
+            results = client.resolve_sharded(ordered, shards=args.shards)
+        else:
+            results = client.resolve_stream(ordered)
         for (key, spec), result in zip(ordered, results):
             schema = spec.schema
             resolved[key] = result.resolved_tuple
@@ -452,15 +464,29 @@ def _command_pipeline(args) -> int:
         if checkpoint is not None:
 
             def quarantine_records():
+                records = []
                 engine = client.engine
-                if engine is None:
-                    return []
-                return [entry.as_dict() for entry in engine.statistics.quarantine]
+                if engine is not None:
+                    records.extend(entry.as_dict() for entry in engine.statistics.quarantine)
+                # Shard-level dead letters (a whole shard abandoned) ride in
+                # the same checkpoint list as entity-level ones.
+                records.extend(entry.as_dict() for entry in client.shard_quarantine())
+                return records
 
+            # With shards, the checkpoint additionally records how far each
+            # shard's merged position had advanced — one Checkpoint carries
+            # the whole coordinator; the hash partition is position-stable,
+            # so resume stays a single SkipStage at the merged offset.
+            state_provider = (
+                (lambda: {"shard_positions": client.shard_positions()})
+                if args.shards > 1
+                else None
+            )
             sinks.append(
                 CheckpointSink(
                     checkpoint,
                     every=args.checkpoint_every,
+                    state_provider=state_provider,
                     offset=offset,
                     quarantine_provider=quarantine_records,
                 )
@@ -473,6 +499,7 @@ def _command_pipeline(args) -> int:
                 SkipStage(offset),
             ],
             sinks=sinks,
+            shards=args.shards,
         )
         peak_inflight = int(client.engine.statistics.peak_inflight_entities)
 
@@ -613,6 +640,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error(f"--max-inflight must be >= 1, got {max_inflight}")
     if getattr(args, "max_attempts", 1) < 1:
         parser.error(f"--max-attempts must be >= 1, got {args.max_attempts}")
+    shards = getattr(args, "shards", 1)
+    if shards < 1:
+        parser.error(f"--shards must be >= 1, got {shards}")
+    if shards > 1 and args.command == "serve":
+        parser.error(
+            "--shards applies to resolve/pipeline only; to scale serving, "
+            "run several serve processes behind a router instead"
+        )
     entity_timeout = getattr(args, "entity_timeout", None)
     if entity_timeout is not None and entity_timeout <= 0:
         parser.error(f"--entity-timeout must be positive, got {entity_timeout}")

@@ -13,6 +13,7 @@ from repro.datasets.base import (
     build_specification,
     sample_constraints,
     shard_entities,
+    stable_key_shard,
 )
 from repro.datasets.career import (
     CareerConfig,
@@ -58,6 +59,7 @@ __all__ = [
     "person_schema",
     "sample_constraints",
     "shard_entities",
+    "stable_key_shard",
     "stream_career_dataset",
     "stream_nba_dataset",
     "stream_person_dataset",

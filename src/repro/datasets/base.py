@@ -10,9 +10,10 @@ the accuracy experiments (Fig. 8(f)–(p)) vary.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.cfd import ConstantCFD
 from repro.core.constraints import CurrencyConstraint
@@ -30,6 +31,7 @@ __all__ = [
     "build_specification",
     "sample_constraints",
     "shard_entities",
+    "stable_key_shard",
 ]
 
 
@@ -137,12 +139,40 @@ def build_specification(
     )
 
 
+def stable_key_shard(key: object, num_shards: int) -> int:
+    """Shard index of *key*: SHA-1 of its string form, reduced mod *num_shards*.
+
+    Unlike :func:`hash`, the result is stable across processes and runs
+    (``PYTHONHASHSEED`` does not perturb it), so a re-sharded re-run or a
+    resumed run assigns every blocking key to the same shard it had before.
+    """
+    if num_shards < 1:
+        raise DatasetError(f"num_shards must be positive, got {num_shards}")
+    digest = hashlib.sha1(str(key).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % num_shards
+
+
 def shard_entities(
     entities: Iterable[GeneratedEntity],
     shard: int = 0,
     num_shards: int = 1,
+    key: Optional[Callable[[GeneratedEntity], object]] = None,
 ) -> Iterator[GeneratedEntity]:
-    """Keep every ``num_shards``-th entity, starting at *shard* (round robin).
+    """Keep the entities of partition *shard* out of *num_shards*.
+
+    With ``key=None`` (the default) the partition is round-robin by stream
+    position: every ``num_shards``-th entity starting at *shard*.  With a
+    *key* callable the partition is by :func:`stable_key_shard` of
+    ``key(entity)`` — hash-by-blocking-key, stable across runs and
+    independent of stream position.
+
+    Determinism contract, both modes: the shards are pairwise disjoint and
+    their union is exactly the unsharded stream, so a deterministic merge
+    recombines them byte-identically.  Round-robin shards merge by cycling
+    the shards in index order (the exact inverse of the partition);
+    hash-keyed shards merge by replaying the assignment order — each
+    shard preserves stream order internally, and because the assignment
+    depends only on the key, it is unchanged under re-sharding or resume.
 
     The generators draw every entity from one sequential RNG, so a shard
     cannot simply seed its own generator; instead each shard runs the same
@@ -154,7 +184,10 @@ def shard_entities(
     if not 0 <= shard < num_shards:
         raise DatasetError(f"shard must be in [0, {num_shards}), got {shard}")
     for index, entity in enumerate(entities):
-        if index % num_shards == shard:
+        if key is not None:
+            if stable_key_shard(key(entity), num_shards) == shard:
+                yield entity
+        elif index % num_shards == shard:
             yield entity
 
 

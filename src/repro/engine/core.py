@@ -341,8 +341,11 @@ class ResolutionEngine:
         ``reset_statistics=False`` accumulates into the current
         :attr:`statistics` instead of starting a fresh per-call snapshot —
         the mode long-lived holders of a shared engine (the API client's
-        streaming path) use so interleaved calls report lifetime totals,
-        matching :meth:`resolve_task`.
+        streaming path, the shard coordinator) use so interleaved calls
+        report lifetime totals, matching :meth:`resolve_task`.  Concurrent
+        ``reset_statistics=False`` streams on one engine are safe: the
+        sequential path serialises per entity on the shared resolver and the
+        parallel path's accounting is lock-guarded per chunk.
         """
         if reset_statistics:
             self.statistics = EngineStatistics(workers=self.workers)
@@ -407,22 +410,25 @@ class ResolutionEngine:
     # -- sequential path -------------------------------------------------------
 
     def _resolve_sequential(self, tasks: Iterable[EntityTask]) -> Iterator[ResolutionResult]:
-        if self._resolver is None:
-            self._resolver = ConflictResolver(self.options)
-        resolver = self._resolver
+        # Entities serialise on the shared in-process resolver, and the
+        # program-cache counter delta is merged per entity (not once per
+        # stream), so concurrent streams on one engine interleave safely and
+        # an abandoned stream leaves the counters consistent with `entities`.
         statistics = self.statistics
-        before = resolver.program_cache.statistics()
-        try:
-            for spec, oracle in tasks:
-                statistics.peak_inflight_entities = max(statistics.peak_inflight_entities, 1)
+        for spec, oracle in tasks:
+            with self._sequential_lock:
+                if self._resolver is None:
+                    self._resolver = ConflictResolver(self.options)
+                resolver = self._resolver
+                before = resolver.program_cache.statistics()
                 result = self._resolve_entity_inproc(resolver, spec, oracle)
+                after = resolver.program_cache.statistics()
+                delta = {key: after[key] - before.get(key, 0) for key in after}
+            with self._task_lock:
+                statistics.peak_inflight_entities = max(statistics.peak_inflight_entities, 1)
                 statistics.entities += 1
-                yield result
-        finally:
-            # Merge even when the caller stops consuming the stream early, so
-            # the reuse counters stay consistent with `entities`.
-            after = resolver.program_cache.statistics()
-            statistics.merge_counters({key: after[key] - before.get(key, 0) for key in after})
+                statistics.merge_counters(delta)
+            yield result
 
     # -- parallel path ---------------------------------------------------------
 
@@ -690,4 +696,5 @@ class ResolutionEngine:
         finally:
             for _chunk, future in pending:
                 future.cancel()
-            statistics.run_wall_seconds += time.perf_counter() - started
+            with self._task_lock:
+                statistics.run_wall_seconds += time.perf_counter() - started

@@ -37,6 +37,13 @@ Fault kinds
 ``corrupt_payload_on_chunk=N``
     The shipped constraint payload of submitted chunk N is truncated
     before unpickling, so the worker fails the chunk with a decode error.
+``fail_shard=N``
+    The shard coordinator's shard N raises a retryable
+    :class:`~repro.core.errors.EntityFailure` on every drive attempt;
+    with ``raise_times=K`` only the first K attempts fail (the shard
+    heals under the coordinator's :class:`~repro.core.retry.RetryPolicy`),
+    otherwise the shard is driven into quarantine while the surviving
+    shards complete.
 """
 
 from __future__ import annotations
@@ -89,6 +96,7 @@ class FaultPlan:
     slow_entity: Optional[str] = None
     slow_seconds: float = 0.05
     corrupt_payload_on_chunk: Optional[int] = None
+    fail_shard: Optional[int] = None
     seed: int = 0
 
     def encode(self) -> str:
@@ -179,6 +187,20 @@ def on_entity(name: str) -> None:
             raise EntityFailure(
                 f"injected resolver fault for {name!r} (attempt {attempt})",
                 entity=name,
+                reason="injected",
+                retryable=True,
+            )
+
+
+def on_shard(shard_index: int) -> None:
+    """Shard-drive hook: fail the doomed shard's attempt retryably."""
+    plan = active_plan()
+    if plan is not None and plan.fail_shard == shard_index:
+        if _due(plan, ("shard", str(shard_index))):
+            attempt = _ATTEMPTS[("shard", str(shard_index))]
+            raise EntityFailure(
+                f"injected shard fault for shard {shard_index} (attempt {attempt})",
+                entity=f"shard:{shard_index}",
                 reason="injected",
                 retryable=True,
             )

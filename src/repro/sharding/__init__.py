@@ -1,0 +1,21 @@
+"""Shard-parallel resolution: partitioned coordination with deterministic merge.
+
+See :mod:`repro.sharding.coordinator` for the full contract.  The usual
+entry points are :meth:`repro.api.client.ResolutionClient.resolve_sharded`
+and ``repro pipeline --shards N`` — this package is the machinery behind
+them.
+"""
+
+from repro.sharding.coordinator import (
+    DEFAULT_SHARD_WINDOW,
+    ShardCoordinator,
+    ShardStats,
+    ShardedResolveStage,
+)
+
+__all__ = [
+    "DEFAULT_SHARD_WINDOW",
+    "ShardCoordinator",
+    "ShardStats",
+    "ShardedResolveStage",
+]

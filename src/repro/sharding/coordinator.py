@@ -1,0 +1,517 @@
+"""Shard-parallel resolution over one shared :class:`~repro.serving.host.EngineHost`.
+
+A :class:`ShardCoordinator` partitions a ``(key, specification)`` stream by
+blocking key into N shards (:func:`~repro.datasets.base.stable_key_shard` of
+the store's entity key, so the assignment is stable across runs and
+independent of stream position), drives one
+:meth:`~repro.api.client.ResolutionClient.resolve_stream` per shard
+concurrently, and merges the per-shard results back into input order.
+
+Determinism guarantee
+---------------------
+The merged stream is byte-identical to the unsharded one.  Partitioning is
+a pure function of the entity key; each shard preserves stream order
+internally; and the merger replays the recorded assignment order — so the
+only concurrency left is *which wall-clock moment* each result was computed
+at, which the results do not encode.
+
+Sharing, not duplication
+------------------------
+Every shard runs its own :class:`~repro.api.client.ResolutionClient`, but
+all of them lease from one shared host under the same
+:class:`~repro.api.config.RunConfig` (same options / workers / scope ⇒ same
+lease key), so co-located shards share a single warm engine pool, and all
+shards share one :class:`~repro.api.store.ResultStore` instance — a
+re-sharded re-run skips everything already resolved, whatever shard
+resolved it first.
+
+Failure model
+-------------
+A shard is retried and quarantined exactly like a failed entity (PR 7's
+primitives): transient drive errors go through the
+:class:`~repro.core.retry.RetryPolicy` (un-emitted items are replayed, so
+nothing is lost or duplicated); a shard that exhausts its attempts becomes
+a ``shard:<index>`` :class:`~repro.engine.supervision.QuarantineRecord`
+dead letter and its remaining items are emitted as all-NULL failure
+results, while the healthy shards complete at full speed — the merged
+stream stays complete, so checkpoint counting is unaffected.
+``FaultPlan(fail_shard=N)`` kills shard N deterministically for tests.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro import faults
+from repro.api.client import OracleFactory, ResolutionClient
+from repro.api.config import RunConfig
+from repro.api.store import ResultStore
+from repro.core.errors import EntityFailure, ReproError
+from repro.core.retry import RetryPolicy
+from repro.core.specification import Specification
+from repro.datasets.base import stable_key_shard
+from repro.engine.supervision import QuarantineRecord, failure_from_error
+from repro.pipeline.core import Stage
+from repro.resolution.framework import ResolutionResult
+from repro.serving.host import EngineHost
+
+__all__ = [
+    "DEFAULT_SHARD_WINDOW",
+    "ShardCoordinator",
+    "ShardStats",
+    "ShardedResolveStage",
+]
+
+#: Per-shard in-flight window: bounds both the input and the output queue of
+#: every shard, so total coordinator buffering is ``2 × shards × window``
+#: items regardless of stream length.
+DEFAULT_SHARD_WINDOW = 16
+
+#: Queue poll interval — how quickly blocked shard threads notice a stop.
+#: Queue hand-offs themselves wake a blocked put/get immediately; the timeout
+#: only bounds stop-detection latency.  It is deliberately coarse: every timed
+#: wakeup of an idle shard thread briefly takes the GIL from the thread that
+#: is actually solving, so on one CPU a fine poll interval is a measurable
+#: coordination tax on every entity.
+_POLL_SECONDS = 0.25
+
+_SENTINEL = object()  # end of one shard's input
+_DONE = object()  # end of the assignment log
+
+
+class _Stopped(Exception):
+    """Internal: the coordinator is shutting down (early close)."""
+
+
+@dataclass
+class ShardStats:
+    """Counters of one shard's whole life under the coordinator."""
+
+    #: Shard index in ``[0, num_shards)``.
+    index: int
+    #: Results this shard emitted (resolved + store hits + failure fills).
+    entities: int = 0
+    #: Entities answered straight from the shared result store.
+    store_hits: int = 0
+    #: Shard-level drive retries plus the shard client's one-shot retries.
+    retries: int = 0
+    #: Quarantined results emitted (engine dead letters + shard-death fills).
+    quarantined: int = 0
+    #: Drive attempts consumed (1 for a clean first pass).
+    attempts: int = 1
+    #: Quarantine reason when the shard itself died; empty otherwise.
+    failed: str = ""
+    #: Wall-clock of the shard thread, first feed to final fold.
+    wall_seconds: float = 0.0
+    #: Time spent starved for input (waiting on the feeder), not resolving.
+    idle_seconds: float = 0.0
+    #: The shard client's engine lease record — ``reused`` is true for every
+    #: shard after the first, demonstrating the shared warm pool.
+    lease: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def busy_seconds(self) -> float:
+        """Wall-clock minus input starvation: time spent driving the engine."""
+        return max(0.0, self.wall_seconds - self.idle_seconds)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flat JSON-serializable representation."""
+        record: Dict[str, Any] = {
+            "index": self.index,
+            "entities": self.entities,
+            "store_hits": self.store_hits,
+            "busy_seconds": self.busy_seconds,
+            "idle_seconds": self.idle_seconds,
+            "wall_seconds": self.wall_seconds,
+            "lease": dict(self.lease),
+        }
+        # Fault counters appear only when they fired, mirroring ClientStats.
+        if self.retries:
+            record["retries"] = self.retries
+        if self.quarantined:
+            record["quarantined"] = self.quarantined
+        if self.attempts != 1:
+            record["attempts"] = self.attempts
+        if self.failed:
+            record["failed"] = self.failed
+        return record
+
+
+class _Shard:
+    """One shard's queues, thread and counters."""
+
+    __slots__ = ("index", "input", "output", "stats", "thread", "exhausted")
+
+    def __init__(self, index: int, window: int) -> None:
+        self.index = index
+        self.input: "queue.Queue" = queue.Queue(maxsize=window)
+        self.output: "queue.Queue" = queue.Queue(maxsize=window)
+        self.stats = ShardStats(index=index)
+        self.thread: Optional[threading.Thread] = None
+        self.exhausted = False  # the input sentinel has been consumed
+
+
+class ShardCoordinator:
+    """Drive N shard clients over one host and merge deterministically.
+
+    Parameters
+    ----------
+    config:
+        The run configuration every shard client runs under.  All shards
+        share its scope (one lease key ⇒ one warm engine) and *store*.
+    shards:
+        Number of partitions (≥ 1).
+    host:
+        The shared :class:`~repro.serving.host.EngineHost` to lease from.
+    store:
+        The already-open :class:`~repro.api.store.ResultStore` instance the
+        shard clients borrow, or ``None`` to run storeless.  (An instance,
+        not a path — the coordinator never opens stores of its own.)
+    oracle_factory:
+        Passed through to every shard's ``resolve_stream``.
+    window:
+        Per-shard in-flight window (input and output queue bound).
+    partitioner:
+        ``entity_key → shard index`` override; the default is
+        :func:`~repro.datasets.base.stable_key_shard`.
+    retry_policy:
+        Policy for shard-level drive retries (defaults to
+        :class:`~repro.core.retry.RetryPolicy()`).
+
+    A coordinator is single-use: build one per :meth:`run`.
+    """
+
+    def __init__(
+        self,
+        config: RunConfig,
+        shards: int,
+        *,
+        host: EngineHost,
+        store: Optional[ResultStore] = None,
+        oracle_factory: Optional[OracleFactory] = None,
+        window: int = DEFAULT_SHARD_WINDOW,
+        partitioner: Optional[Callable[[str], int]] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
+        if shards < 1:
+            raise ReproError(f"shards must be positive, got {shards}")
+        if window < 1:
+            raise ReproError(f"shard window must be positive, got {window}")
+        self.config = replace(config, store=store)
+        self.num_shards = shards
+        self.oracle_factory = oracle_factory
+        self.partitioner = partitioner or (lambda key: stable_key_shard(key, shards))
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.quarantine: List[QuarantineRecord] = []
+        self.absorbed = False
+        self._host = host
+        self._shards = [_Shard(index, window) for index in range(shards)]
+        self._order: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._positions = [0] * shards
+        self._stop = threading.Event()
+        self._started = False
+        self._feed_error: Optional[BaseException] = None
+        self._lock = threading.Lock()
+
+    # -- introspection ---------------------------------------------------------
+
+    def shard_stats(self) -> List[ShardStats]:
+        """Per-shard counters (stable order by shard index)."""
+        return [shard.stats for shard in self._shards]
+
+    def positions(self) -> Dict[str, int]:
+        """Merged results per shard so far — the checkpoint's per-shard view.
+
+        Keyed by shard index (as a string, for JSON); the values sum to the
+        merged stream position, so one :class:`~repro.pipeline.checkpoint.
+        Checkpoint` carries every shard's progress.
+        """
+        return {str(index): self._positions[index] for index in range(self.num_shards)}
+
+    # -- stop-aware queue helpers ----------------------------------------------
+
+    def _put(self, target: "queue.Queue", item: Any) -> None:
+        while True:
+            if self._stop.is_set():
+                raise _Stopped()
+            try:
+                target.put(item, timeout=_POLL_SECONDS)
+                return
+            except queue.Full:
+                continue
+
+    def _get(self, source: "queue.Queue") -> Any:
+        while True:
+            if self._stop.is_set():
+                raise _Stopped()
+            try:
+                return source.get(timeout=_POLL_SECONDS)
+            except queue.Empty:
+                continue
+
+    # -- the feeder ------------------------------------------------------------
+
+    def _feed_shards(self, pairs: Iterator[Tuple[Any, Specification]]) -> None:
+        """Partition the input into the shard queues, logging the assignment.
+
+        The item is enqueued *before* its order entry: every logged entry is
+        then guaranteed a matching shard result, so the merger never waits
+        on an item a feeder crash failed to deliver.
+        """
+        try:
+            for key, spec in pairs:
+                entity_key = ResolutionClient._entity_key(key, spec)
+                index = self.partitioner(entity_key)
+                if not 0 <= index < self.num_shards:
+                    raise ReproError(
+                        f"partitioner returned shard {index} for {entity_key!r}, "
+                        f"expected [0, {self.num_shards})"
+                    )
+                self._put(self._shards[index].input, (key, spec))
+                self._order.put(index)
+        except _Stopped:
+            pass
+        except BaseException as error:
+            self._feed_error = error
+        finally:
+            try:
+                for shard in self._shards:
+                    self._put(shard.input, _SENTINEL)
+            except _Stopped:
+                pass
+            self._order.put(_DONE)
+
+    # -- the shard workers -----------------------------------------------------
+
+    def _replay_feed(
+        self, shard: _Shard, pending: "deque[Tuple[Any, Specification]]"
+    ) -> Iterator[Tuple[Any, Specification]]:
+        """This drive attempt's input: fed-but-unemitted items, then fresh ones.
+
+        ``pending`` holds items handed to a previous (failed) attempt whose
+        results never came back — replaying them first makes retries
+        exactly-once from the merger's point of view.
+        """
+        for item in list(pending):
+            yield item
+        if shard.exhausted:
+            return
+        while True:
+            waited = time.perf_counter()
+            item = self._get(shard.input)
+            shard.stats.idle_seconds += time.perf_counter() - waited
+            if item is _SENTINEL:
+                shard.exhausted = True
+                return
+            pending.append(item)
+            yield item
+
+    def _drive(
+        self,
+        shard: _Shard,
+        client: ResolutionClient,
+        pending: "deque[Tuple[Any, Specification]]",
+    ) -> None:
+        """One drive attempt: stream the shard's input through its client."""
+        faults.on_shard(shard.index)
+        stream = client.resolve_stream(
+            self._replay_feed(shard, pending), oracle_factory=self.oracle_factory
+        )
+        for result in stream:
+            key, _spec = pending.popleft()
+            shard.stats.entities += 1
+            self._put(shard.output, (key, result))
+
+    def _fail_shard(
+        self,
+        shard: _Shard,
+        error: BaseException,
+        attempts: int,
+        pending: "deque[Tuple[Any, Specification]]",
+    ) -> None:
+        """Quarantine a poison shard; fill its remaining items with failures.
+
+        The merged stream must stay complete (every fed item produces exactly
+        one result), so the dead shard keeps draining its input — emitting
+        all-NULL failure results — until the feeder's sentinel arrives.
+        """
+        reason = error.reason if isinstance(error, EntityFailure) else type(error).__name__
+        with self._lock:
+            self.quarantine.append(
+                QuarantineRecord(
+                    entity=f"shard:{shard.index}",
+                    reason=reason,
+                    attempts=attempts,
+                    error=str(error),
+                )
+            )
+        shard.stats.failed = reason
+        try:
+            while True:
+                if pending:
+                    key, spec = pending.popleft()
+                elif shard.exhausted:
+                    break
+                else:
+                    item = self._get(shard.input)
+                    if item is _SENTINEL:
+                        shard.exhausted = True
+                        break
+                    key, spec = item
+                shard.stats.entities += 1
+                shard.stats.quarantined += 1
+                self._put(shard.output, (key, failure_from_error(spec, error, attempts)))
+        except _Stopped:
+            pass
+
+    def _run_shard(self, shard: _Shard) -> None:
+        started = time.perf_counter()
+        client = ResolutionClient(self.config, host=self._host)
+        pending: "deque[Tuple[Any, Specification]]" = deque()
+        try:
+            attempt = 0
+            while True:
+                attempt += 1
+                shard.stats.attempts = attempt
+                try:
+                    self._drive(shard, client, pending)
+                    return
+                except _Stopped:
+                    return
+                except Exception as error:
+                    if (
+                        self.retry_policy.retryable(error)
+                        and attempt < self.retry_policy.max_attempts
+                    ):
+                        shard.stats.retries += 1
+                        time.sleep(self.retry_policy.delay(attempt))
+                        continue
+                    self._fail_shard(shard, error, attempt, pending)
+                    return
+        finally:
+            shard.stats.wall_seconds = time.perf_counter() - started
+            self._fold_client(shard, client)
+            client.close()
+
+    def _fold_client(self, shard: _Shard, client: ResolutionClient) -> None:
+        snapshot = client.stats()
+        shard.stats.store_hits += snapshot.store_hits
+        shard.stats.retries += snapshot.retries
+        shard.stats.quarantined += snapshot.quarantined
+        shard.stats.lease = dict(snapshot.lease)
+
+    # -- the merger ------------------------------------------------------------
+
+    def _next_result(self, shard: _Shard) -> Tuple[Any, ResolutionResult]:
+        """The shard's next ordered result; fail loudly if its thread died.
+
+        Handled failures fill the output queue with failure results, so a
+        starved merger facing a dead thread means an *unhandled* worker
+        exit — raising beats hanging the merge forever.
+        """
+        while True:
+            try:
+                return shard.output.get(timeout=_POLL_SECONDS)
+            except queue.Empty:
+                if shard.thread is not None and not shard.thread.is_alive():
+                    try:
+                        return shard.output.get_nowait()
+                    except queue.Empty:
+                        raise ReproError(
+                            f"shard {shard.index} terminated without emitting its results"
+                        ) from None
+
+    def run(
+        self, pairs: Iterable[Tuple[Any, Specification]]
+    ) -> Iterator[Tuple[Any, ResolutionResult]]:
+        """Partition, resolve and merge; yield ``(key, result)`` in input order.
+
+        The merger replays the feeder's assignment log: the next result
+        always comes from the shard the next input item went to, and shards
+        emit in their own input order, so the merged order is exactly the
+        input order.  Closing the generator early stops the feeder and all
+        shard threads cleanly (their clients release their leases).
+        """
+        if self._started:
+            raise ReproError("a ShardCoordinator is single-use; build a new one")
+        self._started = True
+        for shard in self._shards:
+            shard.thread = threading.Thread(
+                target=self._run_shard,
+                args=(shard,),
+                name=f"repro-shard-{shard.index}",
+                daemon=True,
+            )
+            shard.thread.start()
+        feeder = threading.Thread(
+            target=self._feed_shards,
+            args=(iter(pairs),),
+            name="repro-shard-feeder",
+            daemon=True,
+        )
+        feeder.start()
+        try:
+            while True:
+                token = self._order.get()
+                if token is _DONE:
+                    break
+                key, result = self._next_result(self._shards[token])
+                self._positions[token] += 1
+                yield key, result
+            if self._feed_error is not None:
+                raise self._feed_error
+        finally:
+            self._stop.set()
+            feeder.join(timeout=10.0)
+            for shard in self._shards:
+                if shard.thread is not None:
+                    shard.thread.join(timeout=10.0)
+
+
+class ShardedResolveStage(Stage):
+    """Sharded drop-in for the client's resolve stage.
+
+    Consumes ``(key, specification)`` items and yields ``(key, result,
+    None)`` triples in input order — the same contract as
+    :meth:`~repro.api.client.ResolutionClient.resolve_stage`, so a pipeline
+    gains shard parallelism by swapping one stage.
+    """
+
+    def __init__(
+        self,
+        client: ResolutionClient,
+        shards: int,
+        oracle_factory: Optional[OracleFactory] = None,
+        *,
+        window: int = DEFAULT_SHARD_WINDOW,
+        partitioner: Optional[Callable[[str], int]] = None,
+        name: str = "resolve-sharded",
+    ) -> None:
+        self.client = client
+        self.shards = shards
+        self.oracle_factory = oracle_factory
+        self.window = window
+        self.partitioner = partitioner
+        self.name = name
+        self.coordinator: Optional[ShardCoordinator] = None
+
+    def process(
+        self, stream: Iterator[Tuple[Any, Specification]]
+    ) -> Iterator[Tuple[Any, ResolutionResult, Optional[float]]]:
+        coordinator = self.client._shard_coordinator(
+            self.shards,
+            oracle_factory=self.oracle_factory,
+            window=self.window,
+            partitioner=self.partitioner,
+        )
+        self.coordinator = coordinator
+        try:
+            for key, result in coordinator.run(stream):
+                yield key, result, None
+        finally:
+            self.client._absorb_shards(coordinator)

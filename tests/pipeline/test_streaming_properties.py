@@ -24,7 +24,7 @@ import pytest
 from repro.core.errors import DatasetError
 from repro.core.schema import RelationSchema
 from repro.core.values import is_null
-from repro.datasets import shard_entities
+from repro.datasets import shard_entities, stable_key_shard
 from repro.evaluation import ExperimentResult
 from repro.evaluation.experiment import EntityOutcome
 from repro.evaluation.metrics import AccuracyCounts
@@ -163,6 +163,79 @@ class TestShardEntitiesProperties:
     def test_out_of_range_shard_rejected(self, num_shards, offset):
         with pytest.raises(DatasetError):
             list(shard_entities([1, 2, 3], num_shards + offset - 1, num_shards))
+
+
+class TestHashKeyShardProperties:
+    """The ``key=`` partitioner: stable hash-by-blocking-key partitioning."""
+
+    @given(
+        items=st.lists(st.text(max_size=12), max_size=60),
+        num_shards=st.integers(min_value=1, max_value=7),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_keyed_shards_partition_and_merge_by_assignment(self, items, num_shards):
+        shards = [
+            list(shard_entities(items, shard, num_shards, key=str))
+            for shard in range(num_shards)
+        ]
+        # Disjoint cover: every item lands in exactly one shard.
+        assert sum(len(shard) for shard in shards) == len(items)
+        # Replaying the assignment order (a pure function of each key) is
+        # the exact inverse of the partition — the coordinator's merge.
+        cursors = [0] * num_shards
+        merged = []
+        for item in items:
+            index = stable_key_shard(str(item), num_shards)
+            assert shards[index][cursors[index]] == item
+            merged.append(shards[index][cursors[index]])
+            cursors[index] += 1
+        assert merged == items
+
+    @given(
+        items=st.lists(st.text(max_size=8), max_size=40),
+        num_shards=st.integers(min_value=1, max_value=7),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_equal_keys_are_colocated(self, items, num_shards):
+        assignments = {}
+        for item in items:
+            index = stable_key_shard(str(item), num_shards)
+            assert assignments.setdefault(str(item), index) == index
+
+    @given(
+        items=st.lists(st.text(max_size=8), min_size=1, max_size=40),
+        num_shards=st.integers(min_value=1, max_value=7),
+        skip=st.integers(min_value=0, max_value=39),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_keyed_assignment_is_position_independent(self, items, num_shards, skip):
+        # Dropping a prefix (a resumed run) must not move any surviving item
+        # to a different shard — unlike round-robin, which re-numbers.
+        suffix = items[min(skip, len(items) - 1):]
+        full = {
+            shard: list(shard_entities(items, shard, num_shards, key=str))
+            for shard in range(num_shards)
+        }
+        resumed = {
+            shard: list(shard_entities(suffix, shard, num_shards, key=str))
+            for shard in range(num_shards)
+        }
+        for shard in range(num_shards):
+            # The resumed shard stream is a suffix of the full shard stream.
+            tail = resumed[shard]
+            assert full[shard][len(full[shard]) - len(tail):] == tail
+
+    @given(key=st.text(max_size=20), num_shards=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=100, deadline=None)
+    def test_stable_key_shard_bounds_and_determinism(self, key, num_shards):
+        index = stable_key_shard(key, num_shards)
+        assert 0 <= index < num_shards
+        assert index == stable_key_shard(key, num_shards)
+
+    @given(num_shards=st.integers(min_value=-3, max_value=0))
+    def test_stable_key_shard_rejects_bad_counts(self, num_shards):
+        with pytest.raises(DatasetError):
+            stable_key_shard("k", num_shards)
 
 
 # -- StreamingLinker vs batch link_rows ---------------------------------------

@@ -1,0 +1,274 @@
+"""Shard coordinator contract: determinism, sharing, and the failure model.
+
+The load-bearing guarantee is *byte-identity*: a sharded run must produce
+exactly the stream an unsharded run produces — same results, same order —
+for every shard count, every dataset, sequential or parallel engines, cold
+or populated stores, and with a shard killed mid-run (the survivors'
+results must not move).  Comparisons use a canonical projection that drops
+only per-round wall-clock timings, which are the one nondeterministic field
+and are excluded from every serialized output format.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.api import ResolutionClient, RunConfig
+from repro.api.store import open_result_store
+from repro.core.errors import ReproError
+from repro.core.retry import RetryPolicy
+from repro.datasets.base import stable_key_shard
+from repro.pipeline.checkpoint import Checkpoint
+from repro.sharding import DEFAULT_SHARD_WINDOW, ShardCoordinator
+from repro.serving.host import EngineHost
+
+SHARD_COUNTS = (1, 2, 3, 5)
+
+#: Fast, deterministic shard retries for the fault tests.
+FAST_RETRY = RetryPolicy(base_delay=0.0, jitter=0.0)
+
+
+def canon(result):
+    """Everything a result asserts, minus per-round wall-clock timings."""
+    return (
+        result.name,
+        result.valid,
+        result.complete,
+        dict(result.true_values.values),
+        result.resolved_tuple,
+        result.fallback_attributes,
+        result.user_validated_attributes,
+        result.failure,
+        result.attempts,
+        [
+            (
+                report.round_index,
+                report.valid,
+                report.deduced_attributes,
+                report.suggestion,
+                report.answers,
+            )
+            for report in result.rounds
+        ],
+    )
+
+
+def dataset_pairs(dataset, limit=6):
+    """``(key, specification)`` pairs of the dataset's first *limit* entities."""
+    return [
+        (entity.name, spec)
+        for entity, spec in dataset.specifications(limit=limit)
+    ]
+
+
+@pytest.fixture(scope="module")
+def shared_host():
+    host = EngineHost()
+    yield host
+    host.close()
+
+
+@pytest.fixture(scope="module", params=["nba", "career", "person"])
+def pairs_and_baseline(request, shared_host):
+    """Per-dataset entity pairs plus the unsharded reference stream."""
+    dataset = request.getfixturevalue(f"small_{request.param}_dataset")
+    pairs = dataset_pairs(dataset)
+    with ResolutionClient(RunConfig(), host=shared_host) as client:
+        baseline = [canon(result) for result in client.resolve_stream(list(pairs))]
+    return pairs, baseline
+
+
+class TestDeterministicMerge:
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_sharded_stream_identical_to_unsharded(
+        self, pairs_and_baseline, shared_host, shards
+    ):
+        pairs, baseline = pairs_and_baseline
+        with ResolutionClient(RunConfig(), host=shared_host) as client:
+            merged = [
+                canon(result)
+                for result in client.resolve_sharded(list(pairs), shards=shards)
+            ]
+        assert merged == baseline
+
+    def test_shard_counters_and_lease_sharing(self, pairs_and_baseline, shared_host):
+        pairs, _ = pairs_and_baseline
+        with ResolutionClient(RunConfig(), host=shared_host) as client:
+            list(client.resolve_sharded(list(pairs), shards=3))
+            stats = client.stats()
+        assert stats.entities == len(pairs)
+        assert len(stats.shards) == 3
+        assert sum(entry["entities"] for entry in stats.shards) == len(pairs)
+        # Every shard client found the engine warm: one shared pool, not N.
+        assert all(entry["lease"]["reused"] for entry in stats.shards)
+        for entry in stats.shards:
+            assert entry["wall_seconds"] >= entry["busy_seconds"] >= 0.0
+
+    def test_sharded_identical_with_parallel_engine(self, small_nba_dataset):
+        pairs = dataset_pairs(small_nba_dataset, limit=5)
+        config = RunConfig(workers=2, chunk_size=2)
+        with ResolutionClient(config) as client:
+            baseline = [canon(r) for r in client.resolve_stream(list(pairs))]
+        with ResolutionClient(config) as client:
+            merged = [
+                canon(r) for r in client.resolve_sharded(list(pairs), shards=2)
+            ]
+        assert merged == baseline
+
+    def test_sharded_over_populated_store_skips_engine(
+        self, pairs_and_baseline, shared_host
+    ):
+        pairs, baseline = pairs_and_baseline
+        store = open_result_store(":memory:")
+        try:
+            with ResolutionClient(RunConfig(store=store), host=shared_host) as client:
+                list(client.resolve_stream(list(pairs)))
+                engine_before = client.engine.statistics.entities
+                merged = [
+                    canon(r)
+                    for r in client.resolve_sharded(list(pairs), shards=4)
+                ]
+                stats = client.stats()
+                engine_after = client.engine.statistics.entities
+            assert merged == baseline
+            # Every entity was a store hit; the shared engine resolved nothing.
+            assert sum(e["store_hits"] for e in stats.shards) == len(pairs)
+            assert engine_after == engine_before
+        finally:
+            store.close()
+
+    def test_early_close_unwinds_threads(self, small_nba_dataset, shared_host):
+        pairs = dataset_pairs(small_nba_dataset)
+        with ResolutionClient(RunConfig(), host=shared_host) as client:
+            stream = client.resolve_sharded(list(pairs), shards=2)
+            first = next(stream)
+            assert first is not None
+            stream.close()  # must stop feeder + shard threads, not hang
+
+    def test_single_use(self, shared_host):
+        coordinator = ShardCoordinator(RunConfig(), 2, host=shared_host)
+        list(coordinator.run([]))
+        with pytest.raises(ReproError):
+            list(coordinator.run([]))
+
+    def test_rejects_bad_shard_count_and_window(self, shared_host):
+        with pytest.raises(ReproError):
+            ShardCoordinator(RunConfig(), 0, host=shared_host)
+        with pytest.raises(ReproError):
+            ShardCoordinator(RunConfig(), 2, host=shared_host, window=0)
+        assert DEFAULT_SHARD_WINDOW >= 1
+
+    def test_partitioner_out_of_range_rejected(self, small_nba_dataset, shared_host):
+        pairs = dataset_pairs(small_nba_dataset, limit=2)
+        with ResolutionClient(RunConfig(), host=shared_host) as client:
+            with pytest.raises(ReproError, match="partitioner"):
+                list(
+                    client.resolve_sharded(
+                        list(pairs), shards=2, partitioner=lambda key: 7
+                    )
+                )
+
+
+class TestShardFailureModel:
+    def test_killed_shard_quarantined_survivors_identical(
+        self, pairs_and_baseline, shared_host
+    ):
+        pairs, baseline = pairs_and_baseline
+        shards = 3
+        doomed = {
+            spec.name
+            for _key, spec in pairs
+            if stable_key_shard(spec.name, shards) == 0
+        }
+        faults.install(faults.FaultPlan(fail_shard=0))
+        try:
+            with ResolutionClient(
+                RunConfig(retry_policy=FAST_RETRY), host=shared_host
+            ) as client:
+                merged = list(client.resolve_sharded(list(pairs), shards=shards))
+                quarantine = client.shard_quarantine()
+                stats = client.stats()
+        finally:
+            faults.clear()
+        # The merged stream is complete: one result per input, input order.
+        assert [r.name for r in merged] == [spec.name for _k, spec in pairs]
+        by_name = {c[0]: c for c in baseline}
+        for result in merged:
+            if result.name in doomed:
+                assert result.failure == "injected"
+                assert not result.valid
+            else:
+                # Survivors are untouched by the dead shard.
+                assert canon(result) == by_name[result.name]
+        assert [record.entity for record in quarantine] == ["shard:0"]
+        assert quarantine[0].attempts == FAST_RETRY.max_attempts
+        dead_stats = stats.shards[0]
+        assert dead_stats["failed"] == "injected"
+        assert dead_stats["quarantined"] == len(doomed)
+
+    def test_transient_shard_fault_heals_by_retry(
+        self, pairs_and_baseline, shared_host
+    ):
+        pairs, baseline = pairs_and_baseline
+        faults.install(faults.FaultPlan(fail_shard=1, raise_times=1))
+        try:
+            with ResolutionClient(
+                RunConfig(retry_policy=FAST_RETRY), host=shared_host
+            ) as client:
+                merged = [
+                    canon(r) for r in client.resolve_sharded(list(pairs), shards=3)
+                ]
+                stats = client.stats()
+                quarantine = client.shard_quarantine()
+        finally:
+            faults.clear()
+        assert merged == baseline
+        assert quarantine == []
+        assert stats.shards[1].get("retries", 0) >= 1
+
+    def test_exactly_once_resume_after_shard_loss(
+        self, small_nba_dataset, shared_host, tmp_path
+    ):
+        """A killed shard's entities are the *only* ones a resume re-resolves."""
+        pairs = dataset_pairs(small_nba_dataset)
+        shards = 3
+        doomed = {
+            spec.name
+            for _key, spec in pairs
+            if stable_key_shard(spec.name, shards) == 0
+        }
+        assert doomed and len(doomed) < len(pairs)  # the fault hits a strict subset
+        store = open_result_store(":memory:")
+        checkpoint = Checkpoint(tmp_path / "resume.json")
+        config = RunConfig(store=store, retry_policy=FAST_RETRY)
+        try:
+            with ResolutionClient(RunConfig(), host=shared_host) as client:
+                baseline = [canon(r) for r in client.resolve_stream(list(pairs))]
+            faults.install(faults.FaultPlan(fail_shard=0))
+            try:
+                with ResolutionClient(config, host=shared_host) as client:
+                    first = list(client.resolve_sharded(list(pairs), shards=shards))
+                    positions = client.shard_positions()
+                    checkpoint.save(
+                        len(first),
+                        state={"shard_positions": positions},
+                        quarantine=[q.as_dict() for q in client.shard_quarantine()],
+                    )
+            finally:
+                faults.clear()
+            saved = checkpoint.load()
+            assert saved["processed"] == len(pairs)
+            assert sum(saved["state"]["shard_positions"].values()) == len(pairs)
+            assert [q["entity"] for q in saved["quarantine"]] == ["shard:0"]
+            # Failure fills are not upserted, so the re-run resolves exactly
+            # the dead shard's entities; survivors come from the store.
+            with ResolutionClient(config, host=shared_host) as client:
+                second = [
+                    canon(r) for r in client.resolve_sharded(list(pairs), shards=shards)
+                ]
+                stats = client.stats()
+            assert second == baseline
+            assert stats.store_hits == len(pairs) - len(doomed)
+        finally:
+            store.close()

@@ -154,6 +154,59 @@ class TestUsageErrors:
         assert "invalid --tcp endpoint" in capsys.readouterr().err
 
 
+class TestShardsFlag:
+    """``--shards`` validation and the sharded/unsharded identity contract."""
+
+    @pytest.mark.parametrize("command", ["resolve", "pipeline"])
+    @pytest.mark.parametrize("shards", ["0", "-2"])
+    def test_non_positive_shards_rejected(self, command, shards, people_csv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, str(people_csv), "--entity-key", "name", "--shards", shards])
+        assert excinfo.value.code == 2
+        assert "--shards must be >= 1" in capsys.readouterr().err
+
+    def test_serve_shards_rejected(self, requests_jsonl, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["serve", "--schema", "name,status", "--input", str(requests_jsonl),
+                 "--shards", "2"]
+            )
+        assert excinfo.value.code == 2
+        assert "--shards applies to resolve/pipeline only" in capsys.readouterr().err
+
+    def test_sharded_pipeline_output_byte_identical(self, people_csv, tmp_path, capsys):
+        base = tmp_path / "base.jsonl"
+        sharded = tmp_path / "sharded.jsonl"
+        argv = ["pipeline", str(people_csv), "--entity-key", "name", "--quiet"]
+        assert main([*argv, "--output", str(base)]) == 0
+        assert main([*argv, "--output", str(sharded), "--shards", "2"]) == 0
+        assert sharded.read_bytes() == base.read_bytes()
+
+    def test_sharded_resolve_output_byte_identical(self, people_csv, tmp_path, capsys):
+        base = tmp_path / "base.csv"
+        sharded = tmp_path / "sharded.csv"
+        argv = ["resolve", str(people_csv), "--entity-key", "name"]
+        assert main([*argv, "-o", str(base)]) == 0
+        base_stdout = capsys.readouterr().out
+        assert main([*argv, "-o", str(sharded), "--shards", "3"]) == 0
+        sharded_stdout = capsys.readouterr().out
+        assert sharded.read_bytes() == base.read_bytes()
+        assert sharded_stdout.replace(str(sharded), str(base)) == base_stdout
+
+    def test_sharded_checkpoint_records_shard_positions(
+        self, people_csv, tmp_path, capsys
+    ):
+        checkpoint = tmp_path / "pipeline.ckpt"
+        assert main(
+            ["pipeline", str(people_csv), "--entity-key", "name", "--quiet",
+             "--checkpoint", str(checkpoint), "--shards", "2"]
+        ) == 0
+        saved = json.loads(checkpoint.read_text())
+        positions = saved["state"]["shard_positions"]
+        assert set(positions) == {"0", "1"}
+        assert sum(positions.values()) == saved["processed"] == 2
+
+
 class TestJsonlSchemaStability:
     """The exact key sets of the JSONL records are a compatibility contract."""
 
