@@ -1,0 +1,245 @@
+"""Open-loop cluster serving: throughput at a p95 SLO, shedding under overload.
+
+``bench_serving.py`` measures the single-process ceiling with *closed-loop*
+clients (each waits for its answer before asking again — offered load can
+never exceed capacity).  The cluster frontdoor faces the opposite regime:
+requests arrive whether or not the system keeps up.  This benchmark drives a
+:class:`~repro.serving.ServingCluster` **open-loop** — request *i* is
+submitted at ``t0 + i/rate`` regardless of outstanding work — and sweeps the
+arrival rate across the saturation point:
+
+* below saturation the cluster tracks the arrival rate and latency stays
+  flat — the *throughput at the p95 SLO* is the largest achieved throughput
+  whose p95 latency meets the SLO;
+* past saturation admission control takes over: the global queue-depth cap
+  sheds arrivals with a ``retry_after`` error record instead of letting the
+  queue (and every latency percentile) grow without bound.  The shed and
+  retry-after counts per rate land in the JSON report.
+
+The byte-identity contract is asserted on every run: the same request set
+served in-order through the cluster must reproduce a single
+:class:`~repro.serving.ResolutionServer`'s response bytes exactly.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``, used by CI) shrinks the sweep to prove
+the cluster path end-to-end without burning CI minutes.  Standalone::
+
+    REPRO_BENCH_SMOKE=1 PYTHONPATH=src python benchmarks/bench_serving_cluster.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from typing import Dict, List, Sequence
+
+from _harness import nba_accuracy_dataset, report, report_json
+from repro.api import RunConfig
+from repro.evaluation import format_table
+from repro.resolution.framework import ResolverOptions
+from repro.serving import (
+    ResolutionServer,
+    ResolveRequest,
+    ServingCluster,
+    SpecificationBuilder,
+    encode_request,
+    serve_jsonl,
+)
+
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: Worker processes behind the frontdoor (the CI smoke contract pins 2).
+WORKERS = 2
+#: Requests per open-loop run (the same set at every arrival rate).
+REQUESTS = 8 if _SMOKE else 48
+#: Arrival-rate sweep (requests/second); the top rate is far past saturation
+#: on the reference hardware, so admission control must shed.
+RATES = (20.0, 200.0) if _SMOKE else (5.0, 15.0, 45.0, 135.0, 405.0)
+#: Global in-flight cap — deliberately small so overload sheds instead of
+#: queueing the whole sweep.
+QUEUE_DEPTH = 4 if _SMOKE else 16
+#: The latency SLO the headline throughput number is conditioned on.
+P95_SLO_SECONDS = 1.0
+
+AUTOMATIC = ResolverOptions(max_rounds=0, fallback="none")
+
+
+def _percentile(samples: Sequence[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _workload():
+    dataset = nba_accuracy_dataset()
+    builder = SpecificationBuilder(
+        dataset.schema, dataset.currency_constraints, dataset.cfds
+    )
+    pool = dataset.entities
+    requests = [
+        ResolveRequest(
+            entity=pool[index % len(pool)].name,
+            rows=tuple(dict(row) for row in pool[index % len(pool)].rows),
+            id=f"r{index}",
+        )
+        for index in range(REQUESTS)
+    ]
+    return dataset, builder, requests
+
+
+def _cluster(builder) -> ServingCluster:
+    return ServingCluster(
+        builder,
+        RunConfig(options=AUTOMATIC, workers=1),
+        workers=WORKERS,
+        max_queue_depth=QUEUE_DEPTH,
+    )
+
+
+def reference_lines(builder, requests: List[ResolveRequest]) -> List[str]:
+    """The single-server response bytes (the byte-identity baseline)."""
+    lines = [encode_request(request) + "\n" for request in requests]
+    out: List[str] = []
+
+    async def run():
+        async with ResolutionServer(builder, options=AUTOMATIC, workers=1) as server:
+            await serve_jsonl(server, lines, out.append)
+
+    asyncio.run(run())
+    return out
+
+
+def cluster_lines(builder, requests: List[ResolveRequest]) -> List[str]:
+    """The same stream through the cluster's ordered batch frontdoor."""
+    lines = [encode_request(request) + "\n" for request in requests]
+    out: List[str] = []
+
+    async def run():
+        async with _cluster(builder) as cluster:
+            await cluster.serve_lines(lines, out.append)
+
+    asyncio.run(run())
+    return out
+
+
+def open_loop_run(builder, requests: List[ResolveRequest], rate: float) -> Dict:
+    """Submit the request set at a fixed arrival rate; measure the outcome."""
+
+    async def run() -> Dict:
+        async with _cluster(builder) as cluster:
+            latencies: List[float] = []
+            outcomes = {"accepted": 0, "shed": 0}
+
+            async def fire(request: ResolveRequest, arrival: float) -> None:
+                status, outcome = await cluster.submit_request(request)
+                outcomes[status] += 1
+                if status == "accepted":
+                    await outcome
+                    # Open-loop latency counts from the *scheduled* arrival,
+                    # so queueing delay is part of the number.
+                    latencies.append(time.perf_counter() - arrival)
+
+            tasks = []
+            start = time.perf_counter()
+            for index, request in enumerate(requests):
+                arrival = start + index / rate
+                delay = arrival - time.perf_counter()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                tasks.append(asyncio.create_task(fire(request, arrival)))
+            await asyncio.gather(*tasks)
+            wall = time.perf_counter() - start
+            shed_counters = dict(cluster._shed)
+            p95 = _percentile(latencies, 0.95)
+            return {
+                "arrival_rate_per_second": rate,
+                "offered": float(len(requests)),
+                "accepted": float(outcomes["accepted"]),
+                "shed": float(outcomes["shed"]),
+                "shed_queue": float(shed_counters["queue"]),
+                "shed_tenant": float(shed_counters["tenant"]),
+                "retry_after_seconds": cluster.retry_after,
+                "wall_seconds": wall,
+                "achieved_throughput_per_second": (
+                    outcomes["accepted"] / wall if wall > 0 else 0.0
+                ),
+                "latency_p50_ms": _percentile(latencies, 0.50) * 1000.0,
+                "latency_p95_ms": p95 * 1000.0,
+                "meets_p95_slo": p95 <= P95_SLO_SECONDS,
+            }
+
+    return asyncio.run(run())
+
+
+def cluster_panel() -> Dict:
+    dataset, builder, requests = _workload()
+
+    expected = reference_lines(builder, requests)
+    actual = cluster_lines(builder, requests)
+    identical = actual == expected
+    assert identical, "cluster responses diverged from the single-server bytes"
+
+    runs: Dict[str, Dict] = {}
+    for rate in RATES:
+        runs[f"rate{rate:g}"] = open_loop_run(builder, requests, rate)
+    meeting_slo = [
+        run["achieved_throughput_per_second"]
+        for run in runs.values()
+        if run["meets_p95_slo"] and run["accepted"] > 0
+    ]
+    return {
+        "dataset": dataset.name,
+        "workers": float(WORKERS),
+        "requests": float(REQUESTS),
+        "max_queue_depth": float(QUEUE_DEPTH),
+        "p95_slo_seconds": P95_SLO_SECONDS,
+        "cpus": float(os.cpu_count() or 1),
+        "smoke": _SMOKE,
+        "byte_identical": identical,
+        "throughput_at_p95_slo_per_second": max(meeting_slo, default=0.0),
+        "total_shed": sum(run["shed"] for run in runs.values()),
+        "runs": runs,
+    }
+
+
+def _render(payload: Dict) -> str:
+    rows = [
+        [
+            run["arrival_rate_per_second"],
+            run["achieved_throughput_per_second"],
+            run["latency_p50_ms"],
+            run["latency_p95_ms"],
+            run["accepted"],
+            run["shed"],
+            "yes" if run["meets_p95_slo"] else "no",
+        ]
+        for run in payload["runs"].values()
+    ]
+    table = format_table(
+        ["arrival/s", "achieved/s", "p50 (ms)", "p95 (ms)", "accepted", "shed", "SLO"],
+        rows,
+    )
+    header = (
+        f"cluster serving (open-loop): {payload['dataset']}, "
+        f"{payload['requests']:.0f} requests, workers={payload['workers']:.0f}, "
+        f"queue depth={payload['max_queue_depth']:.0f}, cpus={payload['cpus']:.0f}, "
+        f"byte-identical={payload['byte_identical']}"
+    )
+    footer = (
+        f"throughput at p95<={payload['p95_slo_seconds']:g}s SLO: "
+        f"{payload['throughput_at_p95_slo_per_second']:.2f} req/s; "
+        f"shed under overload: {payload['total_shed']:.0f}"
+    )
+    return header + "\n" + table + "\n" + footer
+
+
+def main() -> None:
+    payload = cluster_panel()
+    report("serving_cluster", _render(payload))
+    report_json("serving_cluster", payload)
+
+
+if __name__ == "__main__":
+    main()

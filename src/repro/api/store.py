@@ -13,8 +13,10 @@ tests assert it):
 
 * :class:`MemoryResultStore` — an in-process dictionary, for tests and
   single-run deduplication;
-* :class:`SqliteResultStore` — a SQLite file, safe for concurrent threads of
-  one process (the serving layer's resolver threads), surviving restarts.
+* :class:`SqliteResultStore` — a SQLite file in WAL mode, safe for concurrent
+  threads of one process (the serving layer's resolver threads) *and* for
+  concurrent writers in separate processes (the cluster tier's workers),
+  surviving restarts.
 
 Results are persisted as pickles — lossless for the full result object,
 rounds and timings included — next to a queryable JSON projection of the
@@ -226,10 +228,20 @@ class SqliteResultStore(ResultStore):
 
     The connection is shared across threads under the store's lock —
     exactly the access pattern of the serving layer, whose resolver threads
-    interleave lookups and upserts.
+    interleave lookups and upserts.  File-backed stores run in WAL journal
+    mode with a busy timeout so several *processes* (the cluster tier's
+    workers) can read and write the same file concurrently: rollback-journal
+    mode serialises every reader against the single writer and surfaces the
+    contention as ``sqlite3.OperationalError: database is locked``.  A lock
+    error that still escapes the busy timeout is classified retryable by
+    :func:`repro.core.retry.classify_retryable`.
     """
 
     backend = "sqlite"
+
+    #: How long a writer waits on another process's transaction before
+    #: surfacing SQLITE_BUSY, in milliseconds.
+    BUSY_TIMEOUT_MS = 5000
 
     _SCHEMA = """
         CREATE TABLE IF NOT EXISTS results (
@@ -251,6 +263,12 @@ class SqliteResultStore(ResultStore):
         if isinstance(self.path, Path):
             self.path.parent.mkdir(parents=True, exist_ok=True)
         self._connection = sqlite3.connect(str(path), check_same_thread=False)
+        self._connection.execute(f"PRAGMA busy_timeout = {self.BUSY_TIMEOUT_MS}")
+        # ":memory:" handles report journal_mode "memory"; files report "wal".
+        self.journal_mode = str(
+            self._connection.execute("PRAGMA journal_mode = WAL").fetchone()[0]
+        ).lower()
+        self._connection.execute("PRAGMA synchronous = NORMAL")
         self._connection.execute(self._SCHEMA)
         self._connection.commit()
         self._closed = False

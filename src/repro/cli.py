@@ -233,6 +233,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="listen for concurrent JSONL connections instead of the stdin loop",
     )
     serve.add_argument(
+        "--cluster",
+        type=int,
+        default=0,
+        metavar="N",
+        help="serve through N worker processes (each with its own warm engine) "
+        "behind a key-routing frontdoor with admission control; "
+        "--store becomes a shared cross-process result cache",
+    )
+    serve.add_argument(
         "--max-inflight",
         type=int,
         default=None,
@@ -548,6 +557,9 @@ def _command_serve(args) -> int:
     def on_ready(bound) -> None:
         print(f"serving on tcp://{bound[0]}:{bound[1]}", file=sys.stderr, flush=True)
 
+    if getattr(args, "cluster", 0):
+        return _serve_cluster(args, builder)
+
     try:
         with ResolutionClient(_run_config(args)) as client:
             if endpoint is not None:
@@ -589,6 +601,43 @@ def _command_serve(args) -> int:
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
         print("interrupted", file=sys.stderr)
         return 130
+
+
+def _serve_cluster(args, builder) -> int:
+    """The multi-process serving frontdoor behind ``serve --cluster N``."""
+    import asyncio
+    import json as _json
+
+    from repro.serving.cluster import ServingCluster
+
+    config = _run_config(args)
+    in_handle = open(args.input) if args.input else sys.stdin
+    out_handle = open(args.output, "w") if args.output else sys.stdout
+
+    def write(record: str) -> None:
+        out_handle.write(record)
+        out_handle.flush()
+
+    async def run():
+        async with ServingCluster(builder, config, workers=args.cluster) as cluster:
+            written = await cluster.serve_lines(in_handle, write)
+            summary = await cluster.stats() if args.stats else None
+        return written, summary
+
+    try:
+        written, summary = asyncio.run(run())
+        print(f"answered {written} requests", file=sys.stderr)
+        if summary is not None:
+            print(_json.dumps(summary, sort_keys=True, default=str), file=sys.stderr)
+        return 0
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        print("interrupted", file=sys.stderr)
+        return 130
+    finally:
+        if args.input:
+            in_handle.close()
+        if args.output:
+            out_handle.close()
 
 
 def _command_discover(args) -> int:
@@ -646,8 +695,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if shards > 1 and args.command == "serve":
         parser.error(
             "--shards applies to resolve/pipeline only; to scale serving, "
-            "run several serve processes behind a router instead"
+            "use --cluster N (worker processes behind a routing frontdoor)"
         )
+    cluster = getattr(args, "cluster", 0)
+    if cluster < 0:
+        parser.error(f"--cluster must be >= 1 worker, got {cluster}")
+    if cluster:
+        if getattr(args, "tcp", None) is not None:
+            parser.error("--cluster serves the stdio JSONL loop; it cannot be combined with --tcp")
+        for incompatible in ("checkpoint", "resume"):
+            if getattr(args, incompatible, None):
+                parser.error(f"--cluster cannot be combined with --{incompatible}")
+        if getattr(args, "store", None) == ":memory:":
+            parser.error(
+                "--cluster workers share the store across processes; "
+                "':memory:' is per-process — pass a SQLite file path"
+            )
     entity_timeout = getattr(args, "entity_timeout", None)
     if entity_timeout is not None and entity_timeout <= 0:
         parser.error(f"--entity-timeout must be positive, got {entity_timeout}")

@@ -7,12 +7,17 @@ with exponentially growing, jittered delays; deterministic failures
 budgets) fail fast — retrying them would only repeat the outcome.
 
 Jitter is *seeded*: the delay for attempt *n* is a pure function of
-``(seed, n)``, so fault-injection tests replay byte-identical schedules.
+``(seed, salt, n)``, so fault-injection tests replay byte-identical
+schedules.  The *salt* is the caller's identity (a shard index, a request
+id): without it every concurrent retrier would compute the identical
+"jittered" delay and the retries would stampede together, which is the
+one failure mode jitter exists to prevent.
 """
 
 from __future__ import annotations
 
 import hashlib
+import sqlite3
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
@@ -50,6 +55,12 @@ def classify_retryable(error: BaseException) -> bool:
         return error.retryable
     if isinstance(error, _DETERMINISTIC):
         return False
+    if isinstance(error, sqlite3.OperationalError):
+        # Cross-process stores can still lose a WAL write race past the busy
+        # timeout — transient.  Every other operational error (missing table,
+        # malformed statement, unwritable file) repeats on each attempt.
+        message = str(error).lower()
+        return "locked" in message or "busy" in message
     return True
 
 
@@ -60,7 +71,9 @@ class RetryPolicy:
     ``delay(n)`` for the n-th failed attempt (1-based) is
     ``min(base_delay · multiplier^(n-1), max_delay)`` stretched by up to
     ``jitter`` (a fraction), where the stretch is a hash of
-    ``(seed, n)`` — fully reproducible, no shared RNG state.
+    ``(seed, salt, n)`` — fully reproducible, no shared RNG state.  The
+    *salt* identifies the caller (shard index, request id) so concurrent
+    retriers sharing one policy decorrelate instead of stampeding.
     """
 
     max_attempts: int = 3
@@ -80,14 +93,19 @@ class RetryPolicy:
         if not 0 <= self.jitter <= 1:
             raise ReproError("RetryPolicy.jitter must be within [0, 1]")
 
-    def delay(self, attempt: int) -> float:
-        """Backoff before retrying after the *attempt*-th failure (1-based)."""
+    def delay(self, attempt: int, salt: str = "") -> float:
+        """Backoff before retrying after the *attempt*-th failure (1-based).
+
+        An empty *salt* keeps the historical ``(seed, n)`` schedule, so
+        recorded fault-replay expectations stay byte-identical.
+        """
         if attempt < 1:
             raise ReproError("retry attempts are counted from 1")
         backoff = min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
         if not self.jitter:
             return backoff
-        digest = hashlib.sha1(f"{self.seed}:{attempt}".encode()).digest()
+        token = f"{self.seed}:{salt}:{attempt}" if salt else f"{self.seed}:{attempt}"
+        digest = hashlib.sha1(token.encode()).digest()
         fraction = int.from_bytes(digest[:8], "big") / float(1 << 64)
         return backoff * (1.0 + self.jitter * fraction)
 
@@ -101,11 +119,13 @@ class RetryPolicy:
         *,
         on_retry: Optional[Callable[[int, BaseException], None]] = None,
         sleep: Callable[[float], None] = time.sleep,
+        salt: str = "",
     ) -> Any:
         """Run *fn*, retrying retryable failures up to ``max_attempts`` times.
 
         ``on_retry(attempt, error)`` fires before each backoff (attempt is
         the 1-based count of failures so far); the final error propagates.
+        *salt* decorrelates the backoff schedule from concurrent callers.
         """
         for attempt in range(1, self.max_attempts + 1):
             try:
@@ -115,4 +135,4 @@ class RetryPolicy:
                     raise
                 if on_retry is not None:
                     on_retry(attempt, error)
-                sleep(self.delay(attempt))
+                sleep(self.delay(attempt, salt))

@@ -64,6 +64,7 @@ __all__ = [
     "active_plan",
     "clear",
     "install",
+    "replay_attempts",
 ]
 
 #: Environment variable carrying an encoded :class:`FaultPlan`.
@@ -155,6 +156,21 @@ def install(plan: Optional[FaultPlan]) -> None:
 def clear() -> None:
     """Deactivate any installed plan and forget attempt counters."""
     install(None)
+
+
+def replay_attempts(kind: str, key: str, count: int) -> None:
+    """Pre-charge *count* attempts against ``(kind, key)``.
+
+    Attempt counters are process-local, but some retries cross a process
+    boundary: a cluster worker that died to an injected fault is *respawned*,
+    and the fresh process must count the dead incarnations' attempts or a
+    ``raise_times``-bounded fault would fire forever.  The respawning parent
+    passes the incarnation number; the child replays the prior attempts here
+    before calling its hook.
+    """
+    if count > 0:
+        key_pair = (kind, key)
+        _ATTEMPTS[key_pair] = max(_ATTEMPTS.get(key_pair, 0), count)
 
 
 def active_plan() -> Optional[FaultPlan]:

@@ -14,9 +14,17 @@ interactive system the paper describes — clients ask for one entity at a time
   ordered streams, per-request backpressure, graceful draining shutdown and
   checkpoint/resume;
 * :mod:`repro.serving.frontend` — the stdin/stdout JSONL loop and the
-  localhost TCP listener behind ``python -m repro serve``.
+  localhost TCP listener behind ``python -m repro serve``;
+* :mod:`repro.serving.cluster` — the horizontal tier: N worker processes
+  (each its own host + server) behind a consistent-hash routing frontdoor
+  with admission control (``python -m repro serve --cluster N``).
 """
 
+from repro.serving.cluster import (
+    DEFAULT_QUEUE_DEPTH,
+    DEFAULT_RETRY_AFTER,
+    ServingCluster,
+)
 from repro.serving.frontend import serve_jsonl, serve_tcp
 from repro.serving.host import EngineHost, EngineLease, LeaseInfo, engine_key
 from repro.serving.server import ResolutionServer, ServerClosed, ServerStats
@@ -34,6 +42,8 @@ from repro.serving.wire import (
 )
 
 __all__ = [
+    "DEFAULT_QUEUE_DEPTH",
+    "DEFAULT_RETRY_AFTER",
     "EngineHost",
     "EngineLease",
     "LeaseInfo",
@@ -43,6 +53,7 @@ __all__ = [
     "ResolveResponse",
     "ServerClosed",
     "ServerStats",
+    "ServingCluster",
     "SpecificationBuilder",
     "WireError",
     "decode_request",

@@ -119,6 +119,10 @@ class ResolveResponse:
     failure: str = ""
     #: Resolution attempts spent on a quarantined entity (0 for successes).
     attempts: int = 0
+    #: Non-zero when the request was *shed* by admission control: the client
+    #: should resubmit after this many seconds.  Shed responses always carry
+    #: ``error`` too; accepted responses never carry this field.
+    retry_after: float = 0.0
     stats: Optional[RequestStats] = None
 
     def payload(self, include_stats: bool = False) -> Dict[str, Any]:
@@ -137,6 +141,8 @@ class ResolveResponse:
         if self.failure:
             record["failure"] = self.failure
             record["attempts"] = self.attempts
+        if self.retry_after:
+            record["retry_after"] = self.retry_after
         if include_stats and self.stats is not None:
             record["stats"] = {
                 "queue_seconds": self.stats.queue_seconds,
@@ -210,6 +216,7 @@ def decode_response(line: str) -> ResolveResponse:
         error=str(payload.get("error", "")),
         failure=str(payload.get("failure", "")),
         attempts=int(payload.get("attempts", 0)),
+        retry_after=float(payload.get("retry_after", 0.0)),
         stats=stats,
     )
 

@@ -389,7 +389,15 @@ class ShardCoordinator:
                         and attempt < self.retry_policy.max_attempts
                     ):
                         shard.stats.retries += 1
-                        time.sleep(self.retry_policy.delay(attempt))
+                        # Stop-aware, shard-salted backoff: an early generator
+                        # close must unwind this thread immediately, not after
+                        # max_delay, and concurrent shards must not stampede
+                        # their retries on an identical schedule.
+                        backoff = self.retry_policy.delay(
+                            attempt, salt=f"shard:{shard.index}"
+                        )
+                        if self._stop.wait(backoff):
+                            return
                         continue
                     self._fail_shard(shard, error, attempt, pending)
                     return

@@ -1,5 +1,7 @@
 """ResultStore contract: idempotent upserts, hash misses, backend parity."""
 
+import multiprocessing
+
 import pytest
 
 from repro.api import (
@@ -125,6 +127,59 @@ class TestCrossBackendEquivalence:
         sqlite.close()
         passthrough = MemoryResultStore()
         assert open_result_store(passthrough) is passthrough
+
+
+def _hammer_store(path, offset, result, writes):
+    """Child-process worker: interleave inserts, replacements and reads."""
+    with SqliteResultStore(path) as store:
+        for index in range(writes):
+            store.put(f"writer{offset}_entity{index}", "digest", result)
+            store.put(f"writer{offset}_entity{index}", "digest", result)  # replace
+            store.get(f"writer{offset}_entity{index}", "digest")
+
+
+class TestCrossProcessConcurrency:
+    """The WAL satellite: one SQLite file shared by writers in N processes."""
+
+    def test_file_store_runs_in_wal_mode_with_busy_timeout(self, tmp_path):
+        with SqliteResultStore(tmp_path / "wal.db") as store:
+            assert store.journal_mode == "wal"
+            timeout = store._connection.execute("PRAGMA busy_timeout").fetchone()[0]
+            assert timeout == SqliteResultStore.BUSY_TIMEOUT_MS
+
+    def test_memory_handle_keeps_working(self):
+        """":memory:" cannot be WAL; the pragma must not break the handle."""
+        with SqliteResultStore(":memory:") as store:
+            assert store.journal_mode == "memory"
+            assert len(store) == 0
+
+    def test_wal_survives_reopen(self, tmp_path):
+        path = tmp_path / "wal.db"
+        SqliteResultStore(path).close()
+        with SqliteResultStore(path) as reopened:
+            assert reopened.journal_mode == "wal"
+
+    def test_concurrent_writer_processes_do_not_lock_out(
+        self, tmp_path, resolved_pairs
+    ):
+        """Four processes upserting and reading the same file all succeed."""
+        path = str(tmp_path / "contended.db")
+        _key, _spec, result = resolved_pairs[0]
+        writers, writes = 4, 20
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+        processes = [
+            context.Process(target=_hammer_store, args=(path, offset, result, writes))
+            for offset in range(writers)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=120)
+        exit_codes = [process.exitcode for process in processes]
+        assert exit_codes == [0] * writers, exit_codes
+        with SqliteResultStore(path) as store:
+            assert len(store) == writers * writes
 
 
 class TestResumeSkipsStoredPrefix:

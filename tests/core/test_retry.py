@@ -1,5 +1,7 @@
 """Retry policy: deterministic backoff schedules and error classification."""
 
+import sqlite3
+
 import pytest
 
 from repro.core.errors import (
@@ -24,6 +26,17 @@ class TestClassification:
         assert classify_retryable(RuntimeError("pool died"))
         assert classify_retryable(ConnectionResetError())
         assert classify_retryable(OSError("fork failed"))
+
+    def test_sqlite_lock_contention_is_transient(self):
+        """A cross-process writer race past the busy timeout is worth a retry."""
+        assert classify_retryable(sqlite3.OperationalError("database is locked"))
+        assert classify_retryable(sqlite3.OperationalError("database table is locked"))
+        assert classify_retryable(sqlite3.OperationalError("database is busy"))
+
+    def test_other_sqlite_operational_errors_are_deterministic(self):
+        """A missing table or bad statement fails identically on every attempt."""
+        assert not classify_retryable(sqlite3.OperationalError("no such table: results"))
+        assert not classify_retryable(sqlite3.OperationalError('near "SELCT": syntax error'))
 
 
 class TestPolicyValidation:
@@ -65,6 +78,55 @@ class TestBackoffSchedule:
     def test_attempts_counted_from_one(self):
         with pytest.raises(ReproError):
             RetryPolicy().delay(0)
+
+
+class TestSaltedJitter:
+    """The caller salt must decorrelate concurrent retriers' schedules."""
+
+    ATTEMPTS = range(1, 6)
+
+    def test_two_callers_schedules_differ(self):
+        """Concurrent retriers sharing one policy must not stampede in lockstep."""
+        policy = RetryPolicy(seed=7, jitter=0.5)
+        shard0 = [policy.delay(n, salt="shard:0") for n in self.ATTEMPTS]
+        shard1 = [policy.delay(n, salt="shard:1") for n in self.ATTEMPTS]
+        assert shard0 != shard1
+        assert all(a != b for a, b in zip(shard0, shard1))
+
+    def test_salted_schedule_is_deterministic(self):
+        one = RetryPolicy(seed=7, jitter=0.5)
+        two = RetryPolicy(seed=7, jitter=0.5)
+        schedule = [one.delay(n, salt="request:42") for n in self.ATTEMPTS]
+        assert schedule == [two.delay(n, salt="request:42") for n in self.ATTEMPTS]
+
+    def test_empty_salt_keeps_the_legacy_schedule(self):
+        """Recorded fault-replay expectations stay byte-identical."""
+        policy = RetryPolicy(seed=3, jitter=0.25)
+        assert [policy.delay(n) for n in self.ATTEMPTS] == [
+            policy.delay(n, salt="") for n in self.ATTEMPTS
+        ]
+
+    def test_salt_is_a_noop_without_jitter(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.0)
+        assert policy.delay(2, salt="shard:0") == policy.delay(2, salt="shard:1")
+
+    def test_salted_jitter_stays_bounded(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, max_delay=1.0, jitter=0.25)
+        for attempt in self.ATTEMPTS:
+            assert 1.0 <= policy.delay(attempt, salt="x") <= 1.25
+
+    def test_call_threads_the_salt_into_sleeps(self):
+        slept = []
+
+        def flaky():
+            if len(slept) < 2:
+                raise RuntimeError("transient")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.01, jitter=0.5)
+        assert policy.call(flaky, sleep=slept.append, salt="shard:4") == "ok"
+        assert slept == [policy.delay(1, salt="shard:4"), policy.delay(2, salt="shard:4")]
+        assert slept != [policy.delay(1), policy.delay(2)]
 
 
 class TestCall:

@@ -1,0 +1,332 @@
+"""Cluster frontdoor tests: routing, byte-identity, admission control, stats.
+
+The central contract is the one the single-server tests already pin down,
+lifted across process boundaries: a ``ServingCluster`` over N workers must
+answer a request stream *byte-identically* to one sequential resolver, while
+the frontdoor adds admission control (shedding with ``retry_after``) and an
+aggregated ``{"op": "stats"}`` control channel.
+"""
+
+import asyncio
+import json
+from collections import Counter
+
+import pytest
+
+from repro.api.config import RunConfig
+from repro.api.store import SqliteResultStore
+from repro.core.errors import ReproError
+from repro.datasets.base import stable_key_shard
+from repro.resolution.framework import ConflictResolver, ResolverOptions
+from repro.serving import (
+    ResolveRequest,
+    ServingCluster,
+    decode_response,
+    encode_request,
+    encode_response,
+    response_from_result,
+)
+
+from tests.serving.conftest import dataset_builder, dataset_requests
+
+AUTOMATIC = ResolverOptions(max_rounds=0, fallback="none")
+
+
+def automatic_config(**overrides) -> RunConfig:
+    """A small, fast per-worker config (no interaction, 1-process engine)."""
+    return RunConfig(options=AUTOMATIC, workers=1, **overrides)
+
+
+def reference_lines(dataset):
+    """The single-resolver response bytes every cluster run must reproduce."""
+    builder = dataset_builder(dataset)
+    resolver = ConflictResolver(AUTOMATIC)
+    return [
+        encode_response(response_from_result(request, resolver.resolve(builder(request))))
+        for request in dataset_requests(dataset)
+    ]
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize(
+        "fixture",
+        ["small_nba_dataset", "small_career_dataset", "small_person_dataset"],
+    )
+    def test_two_workers_match_single_server(self, request, fixture):
+        dataset = request.getfixturevalue(fixture)
+        requests = dataset_requests(dataset)
+        lines = [encode_request(item) + "\n" for item in requests]
+        expected = reference_lines(dataset)
+        out = []
+
+        async def run():
+            async with ServingCluster(
+                dataset_builder(dataset), automatic_config(), workers=2
+            ) as cluster:
+                return await cluster.serve_lines(lines, out.append)
+
+        written = asyncio.run(run())
+        assert written == len(requests)
+        assert [line.rstrip("\n") for line in out] == expected
+
+    def test_three_workers_spread_load_and_aggregate_stats(self, small_nba_dataset):
+        requests = dataset_requests(small_nba_dataset)
+        lines = [encode_request(item) + "\n" for item in requests]
+        expected = reference_lines(small_nba_dataset)
+        out = []
+
+        async def run():
+            async with ServingCluster(
+                dataset_builder(small_nba_dataset), automatic_config(), workers=3
+            ) as cluster:
+                written = await cluster.serve_lines(lines, out.append)
+                return written, await cluster.stats()
+
+        written, summary = asyncio.run(run())
+        assert written == len(requests)
+        assert [line.rstrip("\n") for line in out] == expected
+        # Routing followed the consistent hash, and the stats reflect it.
+        counts = Counter(stable_key_shard(item.entity, 3) for item in requests)
+        assert summary["workers"] == 3
+        assert summary["routed"] == len(requests)
+        assert {entry["index"]: entry["entities"] for entry in summary["shards"]} == {
+            index: counts.get(index, 0) for index in range(3)
+        }
+        assert summary["quarantine"] == [] and summary["shed"] == {"queue": 0, "tenant": 0}
+        # Every live worker contributed its own ServerStats over the control
+        # channel: lease record, store/engine/host counters.
+        served = [entry["server"] for entry in summary["shards"] if "server" in entry]
+        assert served, "no worker answered the stats control request"
+        for stats in served:
+            assert {"requests", "lease", "store_hits", "engine", "host"} <= set(stats)
+
+    def test_batch_stream_backpressures_instead_of_shedding(self, small_nba_dataset):
+        """A queue-depth of 1 slows a batch stream down; it never sheds it."""
+        requests = dataset_requests(small_nba_dataset)
+        lines = [encode_request(item) + "\n" for item in requests]
+        expected = reference_lines(small_nba_dataset)
+        out = []
+
+        async def run():
+            async with ServingCluster(
+                dataset_builder(small_nba_dataset),
+                automatic_config(),
+                workers=2,
+                max_queue_depth=1,
+            ) as cluster:
+                written = await cluster.serve_lines(lines, out.append)
+                return written, dict(cluster._shed)
+
+        written, shed = asyncio.run(run())
+        assert written == len(requests)
+        assert shed == {"queue": 0, "tenant": 0}
+        assert [line.rstrip("\n") for line in out] == expected
+
+
+class TestControlChannel:
+    def test_stats_record_is_answered_out_of_band(self, small_nba_dataset):
+        requests = dataset_requests(small_nba_dataset)[:2]
+        lines = ['{"op":"stats"}\n'] + [encode_request(item) + "\n" for item in requests]
+        out = []
+
+        async def run():
+            async with ServingCluster(
+                dataset_builder(small_nba_dataset), automatic_config(), workers=2
+            ) as cluster:
+                return await cluster.serve_lines(lines, out.append)
+
+        written = asyncio.run(run())
+        records = [json.loads(line) for line in out]
+        stats_records = [record for record in records if record.get("op") == "stats"]
+        ordered = [record for record in records if "op" not in record]
+        assert written == 2
+        assert len(stats_records) == 1
+        assert stats_records[0]["cluster"]["workers"] == 2
+        # Control records never perturb the ordered response stream.
+        assert [record["entity"] for record in ordered] == [
+            item.entity for item in requests
+        ]
+
+    def test_op_field_on_a_request_line_stays_a_request(self, small_nba_dataset):
+        # Regression: request decoding ignores unknown fields, so a request
+        # line that happens to carry an ``"op"`` key is served by a single
+        # server — the cluster (frontdoor *and* worker reader, which sees
+        # the forwarded raw line) must not hijack it into the control
+        # channel.
+        requests = dataset_requests(small_nba_dataset)[:3]
+        lines = []
+        for item in requests:
+            payload = json.loads(encode_request(item))
+            payload["op"] = "resolve"
+            lines.append(json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n")
+        out = []
+
+        async def run():
+            async with ServingCluster(
+                dataset_builder(small_nba_dataset), automatic_config(), workers=2
+            ) as cluster:
+                return await cluster.serve_lines(lines, out.append)
+
+        written = asyncio.run(run())
+        assert written == len(requests)
+        expected = reference_lines(small_nba_dataset)[: len(requests)]
+        assert [line.rstrip("\n") for line in out] == expected
+
+    def test_unknown_control_op_reports_an_error(self, vj_builder, vj_request):
+        out = []
+
+        async def run():
+            async with ServingCluster(vj_builder, automatic_config(), workers=1) as cluster:
+                return await cluster.serve_lines(['{"op":"reboot"}\n'], out.append)
+
+        written = asyncio.run(run())
+        assert written == 0
+        record = json.loads(out[0])
+        assert record["op"] == "reboot" and "unknown control op" in record["error"]
+
+
+class TestAdmissionControl:
+    def test_tenant_quota_sheds_with_retry_after(self, vj_builder, vj_request):
+        async def run():
+            async with ServingCluster(
+                vj_builder,
+                automatic_config(),
+                workers=1,
+                tenant_quota=1,
+                retry_after=0.25,
+            ) as cluster:
+                first_status, future = await cluster.submit_request(
+                    vj_request, tenant="acme"
+                )
+                second_status, shed_line = await cluster.submit_request(
+                    ResolveRequest(entity="Other", rows=vj_request.rows), tenant="acme"
+                )
+                first_line = await future
+                return first_status, second_status, shed_line, first_line, dict(cluster._shed)
+
+        first_status, second_status, shed_line, first_line, shed = asyncio.run(run())
+        assert (first_status, second_status) == ("accepted", "shed")
+        shed_response = decode_response(shed_line)
+        assert shed_response.retry_after == 0.25
+        assert "tenant quota" in shed_response.error
+        assert shed == {"queue": 0, "tenant": 1}
+        first = decode_response(first_line)
+        assert first.entity == "Edith" and not first.error
+
+    def test_quota_counts_each_tenant_separately(self, vj_builder, vj_request):
+        async def run():
+            async with ServingCluster(
+                vj_builder, automatic_config(), workers=1, tenant_quota=1
+            ) as cluster:
+                results = [
+                    await cluster.submit_request(
+                        ResolveRequest(entity=f"e{index}", rows=vj_request.rows),
+                        tenant=tenant,
+                    )
+                    for index, tenant in enumerate(["acme", "globex"])
+                ]
+                lines = [await future for _status, future in results]
+                return [status for status, _ in results], lines
+
+        statuses, lines = asyncio.run(run())
+        assert statuses == ["accepted", "accepted"]
+        assert all(not decode_response(line).error for line in lines)
+
+    def test_queue_depth_sheds_open_loop_submissions(self, vj_builder, vj_request):
+        async def run():
+            async with ServingCluster(
+                vj_builder, automatic_config(), workers=1, max_queue_depth=1
+            ) as cluster:
+                first_status, future = await cluster.submit_request(vj_request)
+                second_status, shed_line = await cluster.submit_request(
+                    ResolveRequest(entity="Other", rows=vj_request.rows)
+                )
+                await future  # capacity returns once the response lands
+                third_status, third = await cluster.submit_request(
+                    ResolveRequest(entity="Third", rows=vj_request.rows)
+                )
+                await third
+                return first_status, second_status, shed_line, third_status
+
+        first_status, second_status, shed_line, third_status = asyncio.run(run())
+        assert (first_status, second_status, third_status) == (
+            "accepted",
+            "shed",
+            "accepted",
+        )
+        shed_response = decode_response(shed_line)
+        assert shed_response.retry_after > 0
+        assert "queue is full" in shed_response.error
+
+
+class TestSharedStore:
+    def test_workers_share_one_store_across_runs(self, tmp_path, small_nba_dataset):
+        store_path = tmp_path / "cluster-results.sqlite"
+        requests = dataset_requests(small_nba_dataset)
+        lines = [encode_request(item) + "\n" for item in requests]
+        expected = reference_lines(small_nba_dataset)
+
+        async def run_once():
+            out = []
+            async with ServingCluster(
+                dataset_builder(small_nba_dataset),
+                automatic_config(),
+                workers=2,
+                store=str(store_path),
+            ) as cluster:
+                await cluster.serve_lines(lines, out.append)
+                return out, await cluster.stats()
+
+        first, _ = asyncio.run(run_once())
+        second, summary = asyncio.run(run_once())
+        assert [line.rstrip("\n") for line in first] == expected
+        assert first == second
+        # The second run answered everything from the shared WAL store: every
+        # worker reports its shard's requests as store hits.
+        hits = sum(
+            entry["server"]["store_hits"]
+            for entry in summary["shards"]
+            if "server" in entry
+        )
+        assert hits == len(requests)
+        with SqliteResultStore(store_path) as store:
+            assert len(store) == len(requests)
+
+
+class TestValidation:
+    def test_rejects_zero_workers(self, vj_builder):
+        with pytest.raises(ReproError, match="workers must be >= 1"):
+            ServingCluster(vj_builder, workers=0)
+
+    def test_rejects_store_instances(self, vj_builder):
+        with SqliteResultStore(":memory:") as store:
+            with pytest.raises(ReproError, match="cannot cross the process boundary"):
+                ServingCluster(vj_builder, store=store)
+
+    def test_rejects_memory_store_paths(self, vj_builder):
+        with pytest.raises(ReproError, match="':memory:' store is per-process"):
+            ServingCluster(vj_builder, store=":memory:")
+        config = RunConfig(store=":memory:")
+        with pytest.raises(ReproError, match="':memory:' store is per-process"):
+            ServingCluster(vj_builder, config)
+
+    def test_rejects_bad_admission_settings(self, vj_builder):
+        with pytest.raises(ReproError, match="max_queue_depth"):
+            ServingCluster(vj_builder, max_queue_depth=0)
+        with pytest.raises(ReproError, match="tenant_quota"):
+            ServingCluster(vj_builder, tenant_quota=0)
+        with pytest.raises(ReproError, match="retry_after"):
+            ServingCluster(vj_builder, retry_after=0.0)
+
+    def test_partitioner_range_is_validated(self, vj_builder):
+        cluster = ServingCluster(vj_builder, workers=2, partitioner=lambda key, n: 99)
+        with pytest.raises(ReproError, match="outside 0..1"):
+            cluster.shard_of("Edith")
+
+    def test_cluster_is_single_use(self, vj_builder):
+        async def run():
+            async with ServingCluster(vj_builder, automatic_config(), workers=1) as cluster:
+                with pytest.raises(ReproError, match="single-use"):
+                    await cluster.start()
+
+        asyncio.run(run())

@@ -227,6 +227,50 @@ class TestShardFailureModel:
         assert quarantine == []
         assert stats.shards[1].get("retries", 0) >= 1
 
+    def test_close_during_backoff_unwinds_promptly(
+        self, small_nba_dataset, shared_host
+    ):
+        """Closing the stream mid-backoff must not block on the full delay.
+
+        The failing shard sits in a multi-second retry backoff; on the old
+        bare ``time.sleep`` the generator close joined that thread for the
+        whole delay.  The stop-aware wait has to unwind it immediately.
+        """
+        import time
+
+        pairs = dataset_pairs(small_nba_dataset)
+        shards = 2
+        # The merger yields in input order, so the first pair must belong to
+        # a surviving shard for next(stream) to return while shard 0 sleeps.
+        pairs.sort(key=lambda pair: stable_key_shard(pair[1].name, shards))
+        pairs.reverse()
+        assert stable_key_shard(pairs[0][1].name, shards) == 1
+        slow_retry = RetryPolicy(max_attempts=3, base_delay=5.0, jitter=0.0)
+        faults.install(faults.FaultPlan(fail_shard=0))
+        try:
+            with ResolutionClient(
+                RunConfig(retry_policy=slow_retry), host=shared_host
+            ) as client:
+                stream = client.resolve_sharded(list(pairs), shards=shards)
+                first = next(stream)
+                assert first is not None
+                time.sleep(0.3)  # let shard 0 fail and enter its 5s backoff
+                started = time.perf_counter()
+                stream.close()
+                elapsed = time.perf_counter() - started
+        finally:
+            faults.clear()
+        assert elapsed < 2.0, f"close blocked {elapsed:.2f}s on a sleeping shard"
+
+    def test_concurrent_shards_backoff_on_decorrelated_schedules(self):
+        """Shard-salted jitter: no two shards share a retry schedule."""
+        policy = RetryPolicy(jitter=0.5)
+        schedules = [
+            tuple(policy.delay(n, salt=f"shard:{i}") for n in range(1, 4))
+            for i in range(5)
+        ]
+        assert len(set(schedules)) == len(schedules)
+
     def test_exactly_once_resume_after_shard_loss(
         self, small_nba_dataset, shared_host, tmp_path
     ):

@@ -153,6 +153,37 @@ class TestUsageErrors:
         assert excinfo.value.code == 2
         assert "invalid --tcp endpoint" in capsys.readouterr().err
 
+    def test_serve_negative_cluster_rejected(self, requests_jsonl, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--schema", "a", "--input", str(requests_jsonl),
+                  "--cluster", "-1"])
+        assert excinfo.value.code == 2
+        assert "--cluster must be >= 1" in capsys.readouterr().err
+
+    def test_serve_cluster_rejects_tcp(self, requests_jsonl, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--schema", "a", "--cluster", "2",
+                  "--tcp", "127.0.0.1:0"])
+        assert excinfo.value.code == 2
+        assert "cannot be combined with --tcp" in capsys.readouterr().err
+
+    def test_serve_cluster_rejects_checkpointing(self, requests_jsonl, tmp_path, capsys):
+        checkpoint = tmp_path / "serve.ckpt"
+        for extra in (["--checkpoint", str(checkpoint)],
+                      ["--checkpoint", str(checkpoint), "--resume"]):
+            with pytest.raises(SystemExit) as excinfo:
+                main(["serve", "--schema", "a", "--input", str(requests_jsonl),
+                      "--cluster", "2", *extra])
+            assert excinfo.value.code == 2
+            assert "--cluster cannot be combined with --checkpoint" in capsys.readouterr().err
+
+    def test_serve_cluster_rejects_memory_store(self, requests_jsonl, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--schema", "a", "--input", str(requests_jsonl),
+                  "--cluster", "2", "--store", ":memory:"])
+        assert excinfo.value.code == 2
+        assert "':memory:' is per-process" in capsys.readouterr().err
+
 
 class TestShardsFlag:
     """``--shards`` validation and the sharded/unsharded identity contract."""
@@ -280,6 +311,32 @@ class TestJsonlSchemaStability:
         out2 = tmp_path / "responses2.jsonl"
         assert main(argv(out2, "--resume")) == 0
         assert out2.read_text() == ""
+
+    def test_cluster_serve_output_byte_identical(self, requests_jsonl, tmp_path, capsys):
+        """``serve --cluster 2`` reproduces the single-server bytes exactly."""
+        base = tmp_path / "single.jsonl"
+        clustered = tmp_path / "cluster.jsonl"
+        argv = ["serve", "--schema", "name,status,job,kids,city,AC,zip,county",
+                "--input", str(requests_jsonl)]
+        assert main([*argv, "-o", str(base)]) == 0
+        capsys.readouterr()
+        assert main([*argv, "-o", str(clustered), "--cluster", "2"]) == 0
+        assert clustered.read_bytes() == base.read_bytes()
+        assert "answered 2 requests" in capsys.readouterr().err
+
+    def test_cluster_stats_summary_on_stderr(self, requests_jsonl, tmp_path, capsys):
+        out = tmp_path / "responses.jsonl"
+        assert main(
+            ["serve", "--schema", "name,status,job,kids,city,AC,zip,county",
+             "--input", str(requests_jsonl), "-o", str(out),
+             "--cluster", "2", "--stats"]
+        ) == 0
+        err = capsys.readouterr().err
+        summary = json.loads(err.strip().splitlines()[-1])
+        assert summary["workers"] == 2
+        assert summary["routed"] == 2
+        assert summary["quarantine"] == []
+        assert sum(shard["entities"] for shard in summary["shards"]) == 2
 
     def test_resolve_and_serve_agree(self, people_csv, requests_jsonl, tmp_path, capsys):
         """The batch CSV path and the serving path deduce the same values."""
