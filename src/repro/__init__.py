@@ -21,7 +21,9 @@ hold the full system:
   (batch and streaming);
 * :mod:`repro.discovery` — constant-CFD and currency-constraint discovery;
 * :mod:`repro.datasets` — NBA / CAREER / Person generators with ground truth;
-* :mod:`repro.evaluation` — metrics, simulated users and experiment runners.
+* :mod:`repro.evaluation` — metrics, simulated users and experiment runners;
+* :mod:`repro.cdc` — change-data-capture: append-only change feeds and
+  incremental re-resolution of the entities each change affects.
 """
 
 from repro.api import (
@@ -49,6 +51,16 @@ from repro.core import (
     TemporalOrderDelta,
     TrueValueAssignment,
 )
+from repro.cdc import (
+    ChangeConsumer,
+    ChangeFeed,
+    ConstraintChanged,
+    ConsumeReport,
+    TupleAdded,
+    TupleRetracted,
+    feed_status,
+    open_change_feed,
+)
 from repro.core.errors import EntityFailure
 from repro.core.retry import RetryPolicy
 from repro.encoding import InstantiationOptions, encode_specification
@@ -75,8 +87,12 @@ __version__ = "1.0.0"
 __all__ = [
     "Attribute",
     "AttributeType",
+    "ChangeConsumer",
+    "ChangeFeed",
     "ConflictResolver",
     "ConstantCFD",
+    "ConstraintChanged",
+    "ConsumeReport",
     "CurrencyConstraint",
     "EntityFailure",
     "EntityInstance",
@@ -101,10 +117,14 @@ __all__ = [
     "SqliteResultStore",
     "StoredResult",
     "Suggestion",
+    "TupleAdded",
+    "TupleRetracted",
     "TemporalInstance",
     "TemporalOrderDelta",
     "TrueValueAssignment",
     "__version__",
+    "feed_status",
+    "open_change_feed",
     "open_result_store",
     "specification_hash",
     "check_validity",

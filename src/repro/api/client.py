@@ -365,23 +365,38 @@ class ResolutionClient:
 
     # -- mode 1: one-shot resolution -------------------------------------------
 
-    def resolve(self, entity: EntityLike, oracle: Optional[Oracle] = None) -> ResolutionResult:
+    def resolve(
+        self,
+        entity: EntityLike,
+        oracle: Optional[Oracle] = None,
+        *,
+        encoder: Optional["IncrementalEncoder"] = None,
+    ) -> ResolutionResult:
         """Resolve one entity; a stored result short-circuits the engine.
 
         Dispatches through :meth:`~repro.engine.ResolutionEngine.resolve_task`,
         so concurrent calls from several threads share the warm pool safely.
+        A warm *encoder* (the CDC delta path — see :mod:`repro.cdc`) skips the
+        store lookup: the caller passes it precisely because the stored result
+        is stale.
         """
         key, spec = self._normalize(entity)
-        if self._store is not None:
-            entity_key = self._entity_key(key, spec)
-            digest = self.config.spec_hash(spec)
+        entity_key = self._entity_key(key, spec)
+        digest = self.config.spec_hash(spec)
+        if self._store is not None and encoder is None:
             stored = self._store.get(entity_key, digest)
             if stored is not None and self._serveable(stored):
                 self._count(hit=True, failure=getattr(stored, "failure", ""))
                 return stored
         engine = self._engine()
+        # The warm encoder is single-use: after a failed attempt its solver
+        # session is in an unknown state, so retries re-encode from scratch.
+        warm = [encoder]
         result = self._retry_policy.call(
-            lambda: engine.resolve_task(spec, oracle), on_retry=self._note_retry
+            lambda: engine.resolve_task(
+                spec, oracle, encoder=warm.pop() if warm else None
+            ),
+            on_retry=self._note_retry,
         )
         self._count(hit=False, failure=getattr(result, "failure", ""))
         if self._store is not None:
@@ -654,7 +669,46 @@ class ResolutionClient:
             result.scheduling = engine.statistics.scheduling_detail()
         return result
 
-    # -- mode 5: serving -------------------------------------------------------
+    # -- mode 5: change-data-capture -------------------------------------------
+
+    def apply_changes(
+        self,
+        feed,
+        schema,
+        *,
+        sigma=(),
+        gamma=(),
+        cursor=None,
+        max_events: Optional[int] = None,
+        on_result=None,
+    ):
+        """Consume a change feed against this client's store (one-shot CDC).
+
+        Builds a :class:`~repro.cdc.ChangeConsumer` over *feed* (a
+        :class:`~repro.cdc.ChangeFeed` or an :func:`~repro.cdc.open_change_feed`
+        target), replays it from *cursor* (a checkpoint path, for resumable
+        consumption), applies all pending events — at most *max_events* — and
+        returns the :class:`~repro.cdc.ConsumeReport`.  Affected entities are
+        invalidated in the client's result store and re-resolved through the
+        warm leased engine; see :mod:`repro.cdc` for the exactly-once
+        contract.  For a long-lived tailing consumer, construct
+        :class:`~repro.cdc.ChangeConsumer` directly and call ``consume()``
+        per poll.
+        """
+        from repro.cdc.consumer import ChangeConsumer
+
+        with ChangeConsumer(
+            feed,
+            self,
+            schema,
+            sigma=sigma,
+            gamma=gamma,
+            cursor=cursor,
+            on_result=on_result,
+        ) as consumer:
+            return consumer.consume(max_events)
+
+    # -- mode 6: serving -------------------------------------------------------
 
     def serve(
         self,

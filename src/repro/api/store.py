@@ -33,7 +33,7 @@ import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.core.errors import ReproError
 from repro.core.values import is_null
@@ -99,6 +99,7 @@ class ResultStore:
         self._misses = 0
         self._inserts = 0
         self._replaced = 0
+        self._invalidated = 0
 
     # -- required backend primitives -------------------------------------------
 
@@ -117,6 +118,10 @@ class ResultStore:
         raise NotImplementedError
 
     def _clear(self) -> None:
+        raise NotImplementedError
+
+    def _invalidate(self, entity_key: str, specification_hash: Optional[str]) -> int:
+        """Delete the rows of one entity (optionally one hash); return count."""
         raise NotImplementedError
 
     # -- public API ------------------------------------------------------------
@@ -170,16 +175,49 @@ class ResultStore:
         with self._lock:
             self._clear()
 
-    def statistics(self) -> Dict[str, int]:
-        """Lookup/upsert counters plus the current row count."""
+    def invalidate(
+        self,
+        entity_keys: Iterable[str],
+        specification_hash: Optional[str] = None,
+    ) -> int:
+        """Remove the stored results of *entity_keys*; return rows removed.
+
+        With ``specification_hash=None`` (the default) every stored hash of
+        each key is removed — the shape a tuple-change event needs, where the
+        stale entry's hash is no longer derivable.  With a hash, exactly that
+        one ``(entity, hash)`` row is removed.
+
+        Idempotency contract: invalidating an absent key (or an already
+        invalidated one) removes nothing, returns 0 and is *not* an error —
+        so a replayed change event, a concurrent consumer or a crashed-and-
+        resumed one can re-invalidate freely without perturbing the store
+        beyond the first call.
+        """
+        removed = 0
         with self._lock:
-            return {
+            for entity_key in entity_keys:
+                removed += self._invalidate(entity_key, specification_hash)
+            self._invalidated += removed
+        return removed
+
+    def statistics(self) -> Dict[str, int]:
+        """Lookup/upsert counters plus the current row count.
+
+        The ``invalidated`` counter appears only when invalidation happened,
+        so stores untouched by CDC keep their serialized statistics
+        byte-identical to earlier releases.
+        """
+        with self._lock:
+            record = {
                 "hits": self._hits,
                 "misses": self._misses,
                 "inserts": self._inserts,
                 "replaced": self._replaced,
                 "rows": self._count(),
             }
+            if self._invalidated:
+                record["invalidated"] = self._invalidated
+            return record
 
     def close(self) -> None:
         """Release backend resources (idempotent)."""
@@ -221,6 +259,14 @@ class MemoryResultStore(ResultStore):
 
     def _clear(self) -> None:
         self._data.clear()
+
+    def _invalidate(self, entity_key: str, specification_hash: Optional[str]) -> int:
+        if specification_hash is not None:
+            return 1 if self._data.pop((entity_key, specification_hash), None) else 0
+        doomed = [key for key in self._data if key[0] == entity_key]
+        for key in doomed:
+            del self._data[key]
+        return len(doomed)
 
 
 class SqliteResultStore(ResultStore):
@@ -329,6 +375,20 @@ class SqliteResultStore(ResultStore):
         self._require_open()
         self._connection.execute("DELETE FROM results")
         self._connection.commit()
+
+    def _invalidate(self, entity_key: str, specification_hash: Optional[str]) -> int:
+        self._require_open()
+        if specification_hash is not None:
+            cursor = self._connection.execute(
+                "DELETE FROM results WHERE entity_key = ? AND specification_hash = ?",
+                (entity_key, specification_hash),
+            )
+        else:
+            cursor = self._connection.execute(
+                "DELETE FROM results WHERE entity_key = ?", (entity_key,)
+            )
+        self._connection.commit()
+        return cursor.rowcount if cursor.rowcount > 0 else 0
 
     def _require_open(self) -> None:
         if self._closed:

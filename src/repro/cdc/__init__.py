@@ -1,0 +1,55 @@
+"""Change-data-capture: an append-only change feed with incremental re-resolution.
+
+A batch resolution run answers "what are the true values *now*?"; this
+package keeps that answer current as the underlying observations change.
+Edits enter as typed events on an append-only :class:`ChangeFeed`
+(``tuple_added`` / ``tuple_retracted`` / ``constraint_changed``), an impact
+mapper (:class:`RegistryState`) decides which stored resolutions each event
+actually touches, and a resumable :class:`ChangeConsumer` invalidates exactly
+those entries and re-resolves them through a warm engine — reusing the
+incremental encoder's delta path when the change is a pure row addition.
+
+The contract: after consuming the feed, the result store is byte-for-byte
+what a full batch re-run over the final state would produce, at the cost of
+re-resolving only the entities the changes touched.
+"""
+
+from repro.cdc.consumer import ChangeConsumer, ConsumeReport, feed_status
+from repro.cdc.feed import (
+    ChangeEvent,
+    ChangeFeed,
+    ConstraintChanged,
+    FeedError,
+    FeedRecord,
+    JsonlChangeFeed,
+    MemoryChangeFeed,
+    SqliteChangeFeed,
+    TupleAdded,
+    TupleRetracted,
+    decode_event,
+    encode_event,
+    open_change_feed,
+)
+from repro.cdc.impact import Impact, RegistryState, touched_attributes
+
+__all__ = [
+    "ChangeConsumer",
+    "ChangeEvent",
+    "ChangeFeed",
+    "ConstraintChanged",
+    "ConsumeReport",
+    "FeedError",
+    "FeedRecord",
+    "Impact",
+    "JsonlChangeFeed",
+    "MemoryChangeFeed",
+    "RegistryState",
+    "SqliteChangeFeed",
+    "TupleAdded",
+    "TupleRetracted",
+    "decode_event",
+    "encode_event",
+    "feed_status",
+    "open_change_feed",
+    "touched_attributes",
+]

@@ -1,0 +1,447 @@
+"""Append-only change feed: the durable event log of the CDC subsystem.
+
+The resolution system is specified over a fixed tuple set and a fixed Σ ∪ Γ;
+any edit used to mean a full batch re-run.  The change feed turns edits into
+*data*: every mutation of the registry is appended as one typed event —
+:class:`TupleAdded`, :class:`TupleRetracted` or :class:`ConstraintChanged` —
+under a monotonically increasing sequence number, and consumers re-derive the
+affected resolutions incrementally (:mod:`repro.cdc.consumer`).  The design
+follows the changelog architecture of production identity registries: the
+feed is the source of truth for *what changed*, and any consumer position is
+just a sequence number.
+
+Determinism is the load-bearing property.  The event codec
+(:func:`encode_event` / :func:`decode_event`) is canonical JSON — sorted
+keys, fixed separators — so the same event always encodes to the same bytes
+and a feed can be diffed, replayed and byte-compared across backends.  The
+storage envelope adds ``seq`` and an append timestamp ``ts`` *around* the
+event, never inside it: timestamps are nondeterministic by nature and must
+not perturb the canonical event bytes.
+
+Three backends share the contract (and the cross-backend tests assert their
+equivalence):
+
+* :class:`MemoryChangeFeed` — an in-process list, for tests;
+* :class:`JsonlChangeFeed` — one envelope per line in an append-only file,
+  human-readable and `tail -f`-able;
+* :class:`SqliteChangeFeed` — a SQLite file in WAL mode, safe for concurrent
+  appenders across processes (same journal settings as the result store).
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple, Union
+
+from repro.core.errors import ReproError
+from repro.core.values import Value, is_null
+
+__all__ = [
+    "ChangeEvent",
+    "ChangeFeed",
+    "ConstraintChanged",
+    "FeedError",
+    "FeedRecord",
+    "JsonlChangeFeed",
+    "MemoryChangeFeed",
+    "SqliteChangeFeed",
+    "TupleAdded",
+    "TupleRetracted",
+    "decode_event",
+    "encode_event",
+    "open_change_feed",
+]
+
+
+class FeedError(ReproError):
+    """A change-feed event or envelope does not conform to the codec."""
+
+
+def _canonical(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _json_row(row: Mapping[str, Value]) -> Dict[str, Any]:
+    """One observed row as JSON primitives (NULLs normalised to ``None``).
+
+    The codec is strict: a value that is not a JSON primitive would decode
+    to something other than what was encoded, silently breaking the
+    replay-equivalence contract — reject it at append time instead.
+    """
+    record: Dict[str, Any] = {}
+    for attribute, value in row.items():
+        if is_null(value):
+            record[str(attribute)] = None
+        elif isinstance(value, (str, int, float, bool)):
+            record[str(attribute)] = value
+        else:
+            raise FeedError(
+                f"row value {value!r} for attribute {attribute!r} is not a "
+                "JSON primitive; change events carry plain values only"
+            )
+    return record
+
+
+@dataclass(frozen=True)
+class TupleAdded:
+    """A new observed tuple of *entity* entered the registry."""
+
+    entity: str
+    row: Mapping[str, Value]
+
+    kind = "tuple_added"
+
+    def payload(self) -> Dict[str, Any]:
+        return {"entity": self.entity, "kind": self.kind, "row": _json_row(self.row)}
+
+
+@dataclass(frozen=True)
+class TupleRetracted:
+    """An observed tuple of *entity* was withdrawn (must match an earlier add)."""
+
+    entity: str
+    row: Mapping[str, Value]
+
+    kind = "tuple_retracted"
+
+    def payload(self) -> Dict[str, Any]:
+        return {"entity": self.entity, "kind": self.kind, "row": _json_row(self.row)}
+
+
+@dataclass(frozen=True)
+class ConstraintChanged:
+    """The global Σ ∪ Γ was replaced by *constraints* (constraint-file text)."""
+
+    constraints: str
+
+    kind = "constraint_changed"
+
+    def payload(self) -> Dict[str, Any]:
+        return {"constraints": self.constraints, "kind": self.kind}
+
+
+ChangeEvent = Union[TupleAdded, TupleRetracted, ConstraintChanged]
+
+_EVENT_KINDS = {
+    TupleAdded.kind: TupleAdded,
+    TupleRetracted.kind: TupleRetracted,
+    ConstraintChanged.kind: ConstraintChanged,
+}
+
+
+def encode_event(event: ChangeEvent) -> str:
+    """Canonical one-line encoding of one event (no trailing newline)."""
+    if not isinstance(event, (TupleAdded, TupleRetracted, ConstraintChanged)):
+        raise FeedError(f"not a change event: {type(event).__name__}")
+    return _canonical(event.payload())
+
+
+def decode_event(text: str) -> ChangeEvent:
+    """Inverse of :func:`encode_event`; rejects malformed events loudly."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise FeedError(f"event is not valid JSON: {error}") from None
+    if not isinstance(payload, dict):
+        raise FeedError(f"event must be a JSON object, got {type(payload).__name__}")
+    kind = payload.get("kind")
+    if kind not in _EVENT_KINDS:
+        known = ", ".join(sorted(_EVENT_KINDS))
+        raise FeedError(f"unknown event kind {kind!r}; expected one of: {known}")
+    if kind == ConstraintChanged.kind:
+        expected = {"kind", "constraints"}
+        constraints = payload.get("constraints")
+        if not isinstance(constraints, str):
+            raise FeedError("constraint_changed needs a 'constraints' string")
+    else:
+        expected = {"kind", "entity", "row"}
+        entity = payload.get("entity")
+        if not isinstance(entity, str) or not entity:
+            raise FeedError(f"{kind} needs a non-empty 'entity' string")
+        row = payload.get("row")
+        if not isinstance(row, dict):
+            raise FeedError(f"{kind} for {entity!r} needs a 'row' object")
+    unknown = sorted(set(payload) - expected)
+    if unknown:
+        raise FeedError(f"{kind} has unknown fields: {', '.join(unknown)}")
+    if kind == ConstraintChanged.kind:
+        return ConstraintChanged(constraints=payload["constraints"])
+    return _EVENT_KINDS[kind](entity=payload["entity"], row=dict(payload["row"]))
+
+
+@dataclass(frozen=True)
+class FeedRecord:
+    """One stored event: the feed's envelope around the canonical bytes."""
+
+    seq: int
+    ts: float
+    event: ChangeEvent
+
+
+def encode_envelope(record: FeedRecord) -> str:
+    """Canonical one-line encoding of a stored record (seq + ts + event)."""
+    return _canonical(
+        {"data": record.event.payload(), "seq": record.seq, "ts": record.ts}
+    )
+
+
+def _decode_envelope(text: str, where: str) -> FeedRecord:
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise FeedError(f"{where}: envelope is not valid JSON: {error}") from None
+    if not isinstance(payload, dict) or "seq" not in payload or "data" not in payload:
+        raise FeedError(f"{where}: envelope needs 'seq' and 'data' fields")
+    return FeedRecord(
+        seq=int(payload["seq"]),
+        ts=float(payload.get("ts", 0.0)),
+        event=decode_event(_canonical(payload["data"])),
+    )
+
+
+class ChangeFeed:
+    """Contract of an append-only change feed (see the backends below).
+
+    Sequence numbers are assigned by the feed, start at 1 and increase by 1
+    per append — a position in the feed is therefore exactly "the number of
+    events consumed", the same shape as a pipeline checkpoint.  All methods
+    are thread-safe.
+    """
+
+    #: Human-readable backend tag (``"memory"`` / ``"jsonl"`` / ``"sqlite"``).
+    backend: str = "abstract"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+    # -- required backend primitives -------------------------------------------
+
+    def _append(self, record: FeedRecord) -> None:
+        raise NotImplementedError
+
+    def _last_sequence(self) -> int:
+        raise NotImplementedError
+
+    def _records(self, after: int) -> Iterator[FeedRecord]:
+        raise NotImplementedError
+
+    # -- public API ------------------------------------------------------------
+
+    def append(self, event: ChangeEvent) -> int:
+        """Durably append one event; return its assigned sequence number."""
+        encode_event(event)  # validate (and normalise) before anything lands
+        with self._lock:
+            seq = self._last_sequence() + 1
+            self._append(FeedRecord(seq=seq, ts=time.time(), event=event))
+        return seq
+
+    def events(self, after: int = 0) -> Iterator[FeedRecord]:
+        """Replay the feed strictly after position *after*, in order.
+
+        The records are materialised under the lock, so the iteration is a
+        stable snapshot: appends racing the replay are simply not part of it
+        and will be seen by the next ``events`` call.
+        """
+        if after < 0:
+            raise FeedError(f"feed position must be >= 0, got {after}")
+        with self._lock:
+            records = list(self._records(after))
+        return iter(records)
+
+    def last_sequence(self) -> int:
+        """The highest assigned sequence number (0 for an empty feed)."""
+        with self._lock:
+            return self._last_sequence()
+
+    def __len__(self) -> int:
+        return self.last_sequence()
+
+    def close(self) -> None:
+        """Release backend resources (idempotent)."""
+
+    def __enter__(self) -> "ChangeFeed":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class MemoryChangeFeed(ChangeFeed):
+    """List-backed feed; events still round-trip through the codec so the
+    backends stay byte-equivalent."""
+
+    backend = "memory"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._data: list[FeedRecord] = []
+
+    def _append(self, record: FeedRecord) -> None:
+        # The codec round-trip mirrors what the durable backends do, so a
+        # value the file formats would reject is rejected here too.
+        self._data.append(
+            FeedRecord(record.seq, record.ts, decode_event(encode_event(record.event)))
+        )
+
+    def _last_sequence(self) -> int:
+        return self._data[-1].seq if self._data else 0
+
+    def _records(self, after: int) -> Iterator[FeedRecord]:
+        for record in self._data:
+            if record.seq > after:
+                yield record
+
+
+class JsonlChangeFeed(ChangeFeed):
+    """One envelope per line in an append-only text file.
+
+    Appends go through one handle opened in append mode and are flushed per
+    event; replay reopens the file read-only, so a reader never disturbs the
+    writer.  On open, the existing tail is scanned to recover the last
+    assigned sequence number (the envelope carries it, so recovery is a scan,
+    not a rewrite).
+    """
+
+    backend = "jsonl"
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        super().__init__()
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._last = 0
+        if self.path.exists():
+            with self.path.open("r", encoding="utf-8") as handle:
+                for number, line in enumerate(handle, start=1):
+                    stripped = line.strip()
+                    if not stripped:
+                        continue
+                    record = _decode_envelope(stripped, f"{self.path}:{number}")
+                    if record.seq <= self._last:
+                        raise FeedError(
+                            f"{self.path}:{number}: sequence {record.seq} is not "
+                            f"monotonic (last was {self._last})"
+                        )
+                    self._last = record.seq
+        self._handle = self.path.open("a", encoding="utf-8")
+        self._closed = False
+
+    def _append(self, record: FeedRecord) -> None:
+        self._require_open()
+        self._handle.write(encode_envelope(record) + "\n")
+        self._handle.flush()
+        self._last = record.seq
+
+    def _last_sequence(self) -> int:
+        return self._last
+
+    def _records(self, after: int) -> Iterator[FeedRecord]:
+        self._require_open()
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            for number, line in enumerate(handle, start=1):
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                record = _decode_envelope(stripped, f"{self.path}:{number}")
+                if record.seq > after:
+                    yield record
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise FeedError("the change feed is closed")
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                self._handle.close()
+
+
+class SqliteChangeFeed(ChangeFeed):
+    """SQLite-backed feed (WAL journal, busy timeout — like the result store).
+
+    The write path is one INSERT per event under the feed's lock; WAL mode
+    plus the busy timeout make concurrent appenders in separate processes
+    safe, with SQLite serialising the sequence assignment.
+    """
+
+    backend = "sqlite"
+
+    #: How long a writer waits on another process's transaction (ms).
+    BUSY_TIMEOUT_MS = 5000
+
+    _SCHEMA = """
+        CREATE TABLE IF NOT EXISTS events (
+            seq INTEGER PRIMARY KEY,
+            ts REAL NOT NULL,
+            data TEXT NOT NULL
+        )
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        super().__init__()
+        self.path = Path(path) if str(path) != ":memory:" else path
+        if isinstance(self.path, Path):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._connection = sqlite3.connect(str(path), check_same_thread=False)
+        self._connection.execute(f"PRAGMA busy_timeout = {self.BUSY_TIMEOUT_MS}")
+        self.journal_mode = str(
+            self._connection.execute("PRAGMA journal_mode = WAL").fetchone()[0]
+        ).lower()
+        self._connection.execute("PRAGMA synchronous = NORMAL")
+        self._connection.execute(self._SCHEMA)
+        self._connection.commit()
+        self._closed = False
+
+    def _append(self, record: FeedRecord) -> None:
+        self._require_open()
+        self._connection.execute(
+            "INSERT INTO events (seq, ts, data) VALUES (?, ?, ?)",
+            (record.seq, record.ts, encode_event(record.event)),
+        )
+        self._connection.commit()
+
+    def _last_sequence(self) -> int:
+        self._require_open()
+        row = self._connection.execute("SELECT MAX(seq) FROM events").fetchone()
+        return int(row[0]) if row and row[0] is not None else 0
+
+    def _records(self, after: int) -> Iterator[FeedRecord]:
+        self._require_open()
+        cursor = self._connection.execute(
+            "SELECT seq, ts, data FROM events WHERE seq > ? ORDER BY seq", (after,)
+        )
+        for seq, ts, data in cursor.fetchall():
+            yield FeedRecord(seq=int(seq), ts=float(ts), event=decode_event(data))
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise FeedError("the change feed is closed")
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                self._connection.close()
+
+
+def open_change_feed(target: Union[str, Path, ChangeFeed]) -> ChangeFeed:
+    """Open (or pass through) a change feed.
+
+    A :class:`ChangeFeed` instance is returned as-is; ``":memory:"`` opens a
+    :class:`MemoryChangeFeed`; a ``.jsonl``/``.ndjson`` path opens a
+    :class:`JsonlChangeFeed`; any other path opens a :class:`SqliteChangeFeed`.
+    """
+    if isinstance(target, ChangeFeed):
+        return target
+    if str(target) == ":memory:":
+        return MemoryChangeFeed()
+    if str(target).endswith((".jsonl", ".ndjson")):
+        return JsonlChangeFeed(target)
+    return SqliteChangeFeed(target)

@@ -263,6 +263,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="include per-request timings in responses and print a final server summary",
     )
+    serve.add_argument(
+        "--follow",
+        metavar="FEED",
+        help="instead of answering piped requests, consume the change feed at "
+        "FEED (JSONL or SQLite file): affected entities are invalidated in "
+        "--store and re-resolved on the warm engine (or routed through the "
+        "--cluster frontdoor); the consume report is written as one JSON line",
+    )
+    serve.add_argument(
+        "--cursor",
+        metavar="PATH",
+        help="with --follow: checkpoint file persisting the feed position so "
+        "a restarted follower resumes exactly where it crashed",
+    )
     add_resolution_options(serve)
 
     discover = subparsers.add_parser("discover", help="mine constraints from the data")
@@ -271,6 +285,39 @@ def build_parser() -> argparse.ArgumentParser:
     discover.add_argument("--timestamp-column", help="column ordering each entity's rows in time")
     discover.add_argument("--min-support", type=int, default=3, help="minimum CFD pattern support")
     discover.add_argument("--min-confidence", type=float, default=0.95, help="minimum CFD confidence")
+
+    cdc = subparsers.add_parser(
+        "cdc", help="append to / inspect an append-only change feed"
+    )
+    cdc_sub = cdc.add_subparsers(dest="cdc_command", required=True)
+    cdc_append = cdc_sub.add_parser(
+        "append", help="append change events (one JSON object per line) to a feed"
+    )
+    cdc_append.add_argument(
+        "feed", help="feed file (.jsonl appends lines, anything else is SQLite)"
+    )
+    cdc_append.add_argument(
+        "--input", help="JSONL event file (default: read events from stdin)"
+    )
+    cdc_tail = cdc_sub.add_parser(
+        "tail", help="print stored feed records (seq, ts, event) as JSON lines"
+    )
+    cdc_tail.add_argument("feed", help="feed file to read")
+    cdc_tail.add_argument(
+        "--after",
+        type=int,
+        default=0,
+        help="print only records with sequence > AFTER (default: %(default)s)",
+    )
+    cdc_status = cdc_sub.add_parser(
+        "status", help="print feed status (last sequence, consumer lag) as JSON"
+    )
+    cdc_status.add_argument("feed", help="feed file to inspect")
+    cdc_status.add_argument(
+        "--cursor",
+        metavar="PATH",
+        help="consumer checkpoint file; reports how far behind that consumer is",
+    )
     return parser
 
 
@@ -559,6 +606,8 @@ def _command_serve(args) -> int:
 
     if getattr(args, "cluster", 0):
         return _serve_cluster(args, builder)
+    if getattr(args, "follow", None):
+        return _serve_follow(args, builder)
 
     try:
         with ResolutionClient(_run_config(args)) as client:
@@ -611,6 +660,7 @@ def _serve_cluster(args, builder) -> int:
     from repro.serving.cluster import ServingCluster
 
     config = _run_config(args)
+    follow = getattr(args, "follow", None)
     in_handle = open(args.input) if args.input else sys.stdin
     out_handle = open(args.output, "w") if args.output else sys.stdout
 
@@ -620,13 +670,24 @@ def _serve_cluster(args, builder) -> int:
 
     async def run():
         async with ServingCluster(builder, config, workers=args.cluster) as cluster:
-            written = await cluster.serve_lines(in_handle, write)
+            if follow:
+                outcome = await cluster.follow(follow, cursor=args.cursor)
+            else:
+                outcome = await cluster.serve_lines(in_handle, write)
             summary = await cluster.stats() if args.stats else None
-        return written, summary
+        return outcome, summary
 
     try:
-        written, summary = asyncio.run(run())
-        print(f"answered {written} requests", file=sys.stderr)
+        outcome, summary = asyncio.run(run())
+        if follow:
+            write(_json.dumps(outcome, sort_keys=True) + "\n")
+            print(
+                f"applied {outcome['applied']} events "
+                f"(position {outcome['position']})",
+                file=sys.stderr,
+            )
+        else:
+            print(f"answered {outcome} requests", file=sys.stderr)
         if summary is not None:
             print(_json.dumps(summary, sort_keys=True, default=str), file=sys.stderr)
         return 0
@@ -636,6 +697,39 @@ def _serve_cluster(args, builder) -> int:
     finally:
         if args.input:
             in_handle.close()
+        if args.output:
+            out_handle.close()
+
+
+def _serve_follow(args, builder) -> int:
+    """Standalone change-feed follower behind ``serve --follow FEED``."""
+    import json as _json
+
+    from repro.cdc import ChangeConsumer
+
+    out_handle = open(args.output, "w") if args.output else sys.stdout
+    try:
+        with ResolutionClient(_run_config(args)) as client:
+            with ChangeConsumer(
+                args.follow,
+                client,
+                builder.schema,
+                sigma=tuple(builder.currency_constraints),
+                gamma=tuple(builder.cfds),
+                cursor=args.cursor,
+            ) as consumer:
+                report = consumer.consume()
+        out_handle.write(_json.dumps(report.as_dict(), sort_keys=True) + "\n")
+        out_handle.flush()
+        print(
+            f"applied {report.applied} events (position {report.position})",
+            file=sys.stderr,
+        )
+        return 0
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        print("interrupted", file=sys.stderr)
+        return 130
+    finally:
         if args.output:
             out_handle.close()
 
@@ -667,6 +761,55 @@ def _command_discover(args) -> int:
         )
     print(dump_constraints(sigma, gamma), end="")
     return 0
+
+
+def _command_cdc(args) -> int:
+    """Append to / inspect a change feed (``repro cdc append|tail|status``)."""
+    import json as _json
+
+    from repro.cdc import FeedError, decode_event, feed_status, open_change_feed
+    from repro.cdc.feed import encode_envelope
+
+    if args.cdc_command == "append":
+        in_handle = open(args.input) if args.input else sys.stdin
+        feed = open_change_feed(args.feed)
+        appended = 0
+        last = 0
+        try:
+            for number, line in enumerate(in_handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = decode_event(line)
+                except FeedError as error:
+                    print(f"line {number}: {error}", file=sys.stderr)
+                    return 1
+                last = feed.append(event)
+                appended += 1
+        finally:
+            feed.close()
+            if args.input:
+                in_handle.close()
+        print(f"appended {appended} events (last sequence {last})", file=sys.stderr)
+        return 0
+
+    feed = open_change_feed(args.feed)
+    try:
+        if args.cdc_command == "tail":
+            for record in feed.events(after=args.after):
+                print(encode_envelope(record))
+            return 0
+        # status
+        position = 0
+        if args.cursor:
+            data = Checkpoint(args.cursor).load()
+            if data:
+                position = int(data.get("processed", 0))
+        print(_json.dumps(feed_status(feed, position), sort_keys=True))
+        return 0
+    finally:
+        feed.close()
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -727,6 +870,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             parser.error("--tcp cannot be combined with --resume")
     if getattr(args, "resume", False) and not getattr(args, "checkpoint", None):
         parser.error("--resume requires --checkpoint (there is no position to resume from)")
+    follow = getattr(args, "follow", None) if args.command == "serve" else None
+    if follow:
+        # Following a change feed replaces the request loop entirely; flags
+        # of the stdio/TCP request paths would be silently ignored.
+        for incompatible in ("input", "tcp", "checkpoint"):
+            if getattr(args, incompatible, None):
+                parser.error(f"--follow cannot be combined with --{incompatible}")
+        if getattr(args, "resume", False):
+            parser.error("--follow resumes via --cursor, not --resume")
+        if not getattr(args, "store", None):
+            parser.error(
+                "--follow requires --store: re-resolved entities must land in "
+                "a result store for the feed to have any effect"
+            )
+        if not os.path.exists(follow):
+            parser.error(f"change feed {follow!r} does not exist")
+    if args.command == "serve" and getattr(args, "cursor", None) and not follow:
+        parser.error("--cursor only applies with --follow")
+    if args.command == "cdc":
+        if args.feed == ":memory:":
+            parser.error(
+                "a ':memory:' feed dies with this process; pass a .jsonl or "
+                "SQLite file path"
+            )
+        if args.cdc_command in ("tail", "status") and not os.path.exists(args.feed):
+            parser.error(f"change feed {args.feed!r} does not exist")
+        if getattr(args, "after", 0) < 0:
+            parser.error(f"--after must be >= 0, got {args.after}")
     for path_attribute in ("data", "input", "constraints"):
         path = getattr(args, path_attribute, None)
         if path is not None and not os.path.exists(path):
@@ -735,7 +906,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # first write — possibly deep into a long run.  Validate them up front:
     # the target must not be a directory and its parent directory must exist
     # and be writable.
-    for path_attribute in ("output", "checkpoint", "store"):
+    writable_attributes = ("output", "checkpoint", "store") + (
+        # ``cdc status --cursor`` only reads the checkpoint; the serve
+        # follower is what writes it.
+        ("cursor",) if args.command == "serve" else ()
+    )
+    for path_attribute in writable_attributes:
         path = getattr(args, path_attribute, None)
         if not path or path == ":memory:":
             continue
@@ -759,6 +935,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "pipeline": _command_pipeline,
         "serve": _command_serve,
         "discover": _command_discover,
+        "cdc": _command_cdc,
     }
     if getattr(args, "profile", False):
         # Exported so pool workers spawned by the engine also collect; their

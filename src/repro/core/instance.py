@@ -221,7 +221,12 @@ class TemporalInstance:
         # full re-derivation exactly.
         extended = TemporalInstance(new_instance, merged, rank_nulls_lowest=False, _adopt_orders=True)
         if delta.new_tuples:
-            new_tids = {item.tid for item in delta.new_tuples}
+            # Diff against the old instance instead of reading the delta
+            # tuples' own tids: a tuple appended with ``tid=None`` only gets
+            # its identifier assigned (on a copy) inside the new instance,
+            # so ``item.tid`` would still read ``None`` here.
+            existing = set(self._instance.tids)
+            new_tids = {tid for tid in new_instance.tids if tid not in existing}
             for smaller_tid, larger_tid, attribute in extended._null_pairs():
                 if smaller_tid in new_tids or larger_tid in new_tids:
                     extended._orders[attribute].try_add(smaller_tid, larger_tid)

@@ -23,6 +23,7 @@ from repro.datasets.career import (
     stream_career_dataset,
 )
 from repro.datasets.corruption import CorruptionConfig, corrupt_history
+from repro.datasets.mutations import RowMutation, mutate_rows
 from repro.datasets.nba import (
     NBAConfig,
     generate_nba_dataset,
@@ -46,6 +47,7 @@ __all__ = [
     "GeneratedEntity",
     "NBAConfig",
     "PersonConfig",
+    "RowMutation",
     "build_specification",
     "career_schema",
     "corrupt_history",
@@ -55,6 +57,7 @@ __all__ = [
     "iter_career_entities",
     "iter_nba_entities",
     "iter_person_entities",
+    "mutate_rows",
     "nba_schema",
     "person_schema",
     "sample_constraints",

@@ -1,0 +1,140 @@
+"""Seeded row mutations: deterministic change streams over generated datasets.
+
+The CDC tests and benches need *realistic* edits — a typo'd re-report, a
+stale value resurfacing from an entity's history, a withdrawn observation —
+with a known ground truth, generated deterministically from a seed so every
+run (and every CI matrix entry) replays the same change stream.
+
+:func:`mutate_rows` produces a list of :class:`RowMutation` records against a
+:class:`~repro.datasets.base.GeneratedDataset`.  Each record carries the
+exact row that was added or retracted, so a consumer can turn the list into
+change-feed events mechanically; the dataset object itself is never modified
+(the mutations describe a *stream of edits*, not a new dataset).  Ground
+truth is preserved by construction: mutations only ever add conflicting
+observations or retract rows that are not the entity's last remaining one,
+so ``entity.true_values`` remains the reference answer throughout.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.errors import DatasetError
+from repro.core.values import Value, is_null
+
+from repro.datasets.base import GeneratedDataset, GeneratedEntity
+
+__all__ = ["RowMutation", "mutate_rows"]
+
+#: The mutation kinds :func:`mutate_rows` draws from, in draw order.
+MUTATION_KINDS: Tuple[str, ...] = ("typo", "stale", "retract")
+
+
+@dataclass(frozen=True)
+class RowMutation:
+    """One seeded edit: *kind* applied to *entity* with the exact *row*.
+
+    ``kind`` is ``"typo"`` or ``"stale"`` (the row is a new observation to
+    add) or ``"retract"`` (the row is an existing observation to withdraw).
+    """
+
+    kind: str
+    entity: str
+    row: Dict[str, Value]
+
+
+def _typo_value(value: Value, rng: random.Random) -> Value:
+    """A plausible mis-entry of *value* (always different from it)."""
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value + rng.choice([-1, 1])
+    if isinstance(value, float):
+        return value + rng.choice([-1.0, 1.0])
+    text = str(value)
+    if len(text) >= 2:
+        index = rng.randrange(len(text) - 1)
+        return text[:index] + text[index + 1] + text[index] + text[index + 2 :]
+    return text + "x"
+
+
+def _typo_row(entity: GeneratedEntity, rows: Sequence[Dict[str, Value]],
+              rng: random.Random) -> Dict[str, Value]:
+    """Copy one current row and perturb one non-null attribute value."""
+    base = dict(rng.choice(list(rows)))
+    candidates = sorted(
+        attribute for attribute, value in base.items() if not is_null(value)
+    )
+    if candidates:
+        attribute = rng.choice(candidates)
+        base[attribute] = _typo_value(base[attribute], rng)
+    return base
+
+
+def _stale_row(entity: GeneratedEntity, rows: Sequence[Dict[str, Value]],
+               rng: random.Random) -> Dict[str, Value]:
+    """Re-report an older version from the entity's history (stale value)."""
+    older = entity.history[:-1]
+    if not older:
+        # No history to resurface — degrade to a typo so the stream keeps
+        # its requested length deterministically.
+        return _typo_row(entity, rows, rng)
+    return dict(rng.choice(older))
+
+
+def mutate_rows(
+    dataset: GeneratedDataset,
+    changes: int,
+    *,
+    seed: int = 0,
+    kinds: Sequence[str] = MUTATION_KINDS,
+) -> List[RowMutation]:
+    """A deterministic stream of *changes* edits against *dataset*.
+
+    Every draw comes from one ``random.Random(seed)``, so the same
+    ``(dataset, changes, seed, kinds)`` always yields the same mutation list.
+    Retractions only target entities that currently have at least two rows
+    (an entity never loses its last observation), falling back to a typo
+    otherwise; the evolving per-entity row state is tracked internally so a
+    retraction always names a row that is actually present at that point in
+    the stream.
+    """
+    if changes < 0:
+        raise DatasetError(f"changes must be >= 0, got {changes}")
+    unknown = sorted(set(kinds) - set(MUTATION_KINDS))
+    if unknown or not kinds:
+        raise DatasetError(
+            f"mutation kinds must be a non-empty subset of {MUTATION_KINDS}, got {tuple(kinds)}"
+        )
+    if not dataset.entities:
+        raise DatasetError(f"dataset {dataset.name!r} has no entities to mutate")
+    rng = random.Random(seed)
+    entities = {entity.name: entity for entity in dataset.entities}
+    # The evolving observation state per entity; mutations apply to it so
+    # later draws see the stream's own earlier edits.
+    current: Dict[str, List[Dict[str, Value]]] = {
+        entity.name: [dict(row) for row in entity.rows] for entity in dataset.entities
+    }
+    names = sorted(current)
+    mutations: List[RowMutation] = []
+    for _ in range(changes):
+        name = rng.choice(names)
+        entity = entities[name]
+        rows = current[name]
+        kind = rng.choice(list(kinds))
+        if kind == "retract" and len(rows) < 2:
+            kind = "typo"
+        if kind == "retract":
+            row = dict(rng.choice(rows))
+            rows.remove(row)
+        elif kind == "stale":
+            row = _stale_row(entity, rows, rng)
+            rows.append(dict(row))
+        else:
+            kind = "typo"
+            row = _typo_row(entity, rows, rng)
+            rows.append(dict(row))
+        mutations.append(RowMutation(kind=kind, entity=name, row=row))
+    return mutations

@@ -439,7 +439,11 @@ class IncrementalEncoder:
     def _seed_projection_cache_from_old(
         self, new_spec: Specification, delta: TemporalOrderDelta, attributes: Tuple[str, ...]
     ) -> None:
-        new_tids = {item.tid for item in delta.new_tuples}
+        # The delta's tuples live at the tail of the extended instance (and a
+        # tuple appended with ``tid=None`` only gets its identifier inside
+        # the instance), so "old" is the positional prefix, not a tid match.
+        tids = new_spec.instance.tids
+        new_tids = set(tids[len(tids) - len(delta.new_tuples):])
         rows: List[Dict[str, Value]] = []
         seen: Set[Tuple[Hashable, ...]] = set()
         for item in new_spec.instance:

@@ -44,7 +44,7 @@ from dataclasses import dataclass, field
 from itertools import islice
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.core.errors import EntityFailure
+from repro.core.errors import EntityFailure, ReproError
 from repro.core.retry import classify_retryable
 from repro.core.specification import Specification
 from repro.engine.supervision import QuarantineRecord, failure_from_error
@@ -55,6 +55,7 @@ from repro.resolution.framework import (
     ResolutionResult,
     ResolverOptions,
 )
+from repro.encoding.incremental import IncrementalEncoder
 
 __all__ = ["DEFAULT_CHUNK_SIZE", "EngineStatistics", "ResolutionEngine"]
 
@@ -359,7 +360,11 @@ class ResolutionEngine:
         return list(self.resolve_stream(tasks))
 
     def resolve_task(
-        self, spec: Specification, oracle: Optional[Oracle] = None
+        self,
+        spec: Specification,
+        oracle: Optional[Oracle] = None,
+        *,
+        encoder: Optional["IncrementalEncoder"] = None,
     ) -> ResolutionResult:
         """Resolve one entity, safely callable from many threads at once.
 
@@ -376,7 +381,16 @@ class ResolutionEngine:
         Do not interleave ``resolve_task`` with ``resolve_stream`` on one
         engine: the stream's statistics reset would clobber the serving
         counters.
+
+        A warm *encoder* (the CDC delta path) is only legal on the sequential
+        path — encoders hold a live solver session that cannot cross the
+        process boundary to a pool worker.
         """
+        if encoder is not None and self.workers > 1:
+            raise ReproError(
+                "a warm encoder cannot be used on the parallel path: solver "
+                "sessions do not cross process boundaries (use workers=1)"
+            )
         statistics = self.statistics
         with self._task_lock:
             self._inflight_tasks += 1
@@ -389,7 +403,9 @@ class ResolutionEngine:
                     if self._resolver is None:
                         self._resolver = ConflictResolver(self.options)
                     before = self._resolver.program_cache.statistics()
-                    result = self._resolve_entity_inproc(self._resolver, spec, oracle)
+                    result = self._resolve_entity_inproc(
+                        self._resolver, spec, oracle, encoder=encoder
+                    )
                     after = self._resolver.program_cache.statistics()
                     delta = {key: after[key] - before.get(key, 0) for key in after}
                 with self._task_lock:
@@ -605,7 +621,11 @@ class ResolutionEngine:
         return failure_from_error(spec, error, attempts)
 
     def _resolve_entity_inproc(
-        self, resolver: ConflictResolver, spec: Specification, oracle: Optional[Oracle]
+        self,
+        resolver: ConflictResolver,
+        spec: Specification,
+        oracle: Optional[Oracle],
+        encoder: Optional[IncrementalEncoder] = None,
     ) -> ResolutionResult:
         """Sequential-path twin of the worker+supervision behaviour.
 
@@ -620,11 +640,14 @@ class ResolutionEngine:
         for attempt in range(1, self.max_attempts + 1):
             attempts = attempt
             try:
-                return resolver.resolve(spec, oracle)
+                return resolver.resolve(spec, oracle, encoder=encoder)
             except EntityFailure as failure:
                 error = failure
                 if not failure.retryable:
                     break
+                # A warm encoder's solver session is in an unknown state
+                # after a failure; retries re-encode from scratch.
+                encoder = None
         record = QuarantineRecord(
             entity=spec.name, reason=error.reason, attempts=attempts, error=str(error)
         )

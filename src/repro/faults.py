@@ -44,6 +44,12 @@ Fault kinds
     heals under the coordinator's :class:`~repro.core.retry.RetryPolicy`),
     otherwise the shard is driven into quarantine while the surviving
     shards complete.
+``crash_consumer_on_event=N``
+    A CDC :class:`~repro.cdc.consumer.ChangeConsumer` (or a cluster
+    follower) raises :class:`InjectedCrash` while applying feed event N —
+    *after* invalidation and re-resolution, *before* the cursor advances —
+    the worst-case crash window for exactly-once apply.  ``raise_times``
+    bounds it, so a resumed consumer replays event N and completes.
 """
 
 from __future__ import annotations
@@ -98,6 +104,7 @@ class FaultPlan:
     slow_seconds: float = 0.05
     corrupt_payload_on_chunk: Optional[int] = None
     fail_shard: Optional[int] = None
+    crash_consumer_on_event: Optional[int] = None
     seed: int = 0
 
     def encode(self) -> str:
@@ -220,6 +227,20 @@ def on_shard(shard_index: int) -> None:
                 reason="injected",
                 retryable=True,
             )
+
+
+def on_consumer_event(seq: int) -> None:
+    """CDC consumer hook: crash while applying the doomed feed event.
+
+    Fired after the event's invalidations and re-resolutions landed but
+    before the consumer's cursor advances — a crash here is the strongest
+    exactly-once test, because the resumed consumer must re-apply the event
+    without double effects (idempotent invalidation + idempotent upserts).
+    """
+    plan = active_plan()
+    if plan is not None and plan.crash_consumer_on_event == seq:
+        if _due(plan, ("consumer", str(seq))):
+            raise InjectedCrash(f"injected consumer crash at feed event {seq}")
 
 
 def on_chunk(chunk_index: int) -> None:

@@ -239,6 +239,8 @@ class ConflictResolver:
         spec: Specification,
         oracle: Optional[Oracle] = None,
         rng: Optional[random.Random] = None,
+        *,
+        encoder: Optional[IncrementalEncoder] = None,
     ) -> ResolutionResult:
         """Resolve the conflicts of one entity specification.
 
@@ -256,6 +258,12 @@ class ConflictResolver:
             the sequential/parallel/streaming equivalence rests on.  Inject
             one only to *change* the randomness, never to share a stream
             across entities.
+        encoder:
+            Optional warm :class:`IncrementalEncoder` whose specification is
+            already *spec* (e.g. a previous resolve of the entity extended
+            with a :class:`TemporalOrderDelta` — the CDC delta path).  The
+            loop then reuses its solver session and learned clauses instead
+            of re-encoding from scratch.  Requires ``options.incremental``.
 
         Raises
         ------
@@ -267,7 +275,7 @@ class ConflictResolver:
         """
         faults.on_entity(spec.name)
         try:
-            return self._resolve(spec, oracle, rng)
+            return self._resolve(spec, oracle, rng, encoder=encoder)
         except BudgetExceededError as error:
             raise EntityFailure(
                 f"entity {spec.name!r} exceeded its solver budget: {error}",
@@ -281,9 +289,21 @@ class ConflictResolver:
         spec: Specification,
         oracle: Optional[Oracle],
         rng: Optional[random.Random],
+        encoder: Optional[IncrementalEncoder] = None,
     ) -> ResolutionResult:
         oracle = oracle or SilentOracle()
         options = self.options
+        if encoder is not None and not options.incremental:
+            # A warm encoder is only meaningful on the incremental path; a
+            # non-incremental resolve would silently ignore it, which hides
+            # caller bugs in the CDC delta path.
+            raise EntityFailure(
+                f"entity {spec.name!r} was given a warm encoder but "
+                "options.incremental is off",
+                entity=spec.name,
+                reason="invalid_encoder",
+                retryable=False,
+            )
         entity_deadline: Optional[float] = None
         if options.budget is not None and options.budget.wall_seconds is not None:
             entity_deadline = time.perf_counter() + options.budget.wall_seconds
@@ -292,7 +312,6 @@ class ConflictResolver:
         known = TrueValueAssignment({})
         valid = True
         user_validated: Dict[str, Value] = {}
-        encoder: Optional[IncrementalEncoder] = None
         program: Optional[CompiledConstraintProgram] = (
             self.program_cache.program_for(spec, options.instantiation)
             if options.compiled

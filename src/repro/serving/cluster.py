@@ -50,6 +50,7 @@ from collections import deque
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
+from repro import faults
 from repro.core.errors import EntityFailure, ReproError
 from repro.core.retry import RetryPolicy
 from repro.datasets.base import stable_key_shard
@@ -117,6 +118,12 @@ def _control_reply(server: Any, payload: Dict[str, Any]) -> str:
         record = {"op": "stats", "stats": server.stats().as_dict()}
     elif op == "ping":
         record = {"op": "pong"}
+    elif op == "invalidate":
+        keys = payload.get("entities")
+        if not isinstance(keys, list) or not all(isinstance(key, str) for key in keys):
+            record = {"op": "invalidate", "error": "entities must be a list of strings"}
+        else:
+            record = {"op": "invalidate", "invalidated": server.invalidate(keys)}
     else:
         record = {"op": str(op), "error": f"unknown control op {op!r}"}
     return json.dumps(record, sort_keys=True, separators=(",", ":"), default=str)
@@ -396,6 +403,7 @@ class ServingCluster:
         self._inflight = 0
         self._tenant_inflight: Dict[str, int] = {}
         self._shed: Dict[str, int] = {"queue": 0, "tenant": 0}
+        self._follower: Optional[Dict[str, Any]] = None
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -439,6 +447,8 @@ class ServingCluster:
         await asyncio.get_running_loop().run_in_executor(None, self._reap_all)
         for shard in self._shards:
             self._fill_pending(shard, "shutdown", shard.incarnation)
+        if self._follower is not None and self._follower["owned"]:
+            self._follower["feed"].close()
 
     def _reap_all(self) -> None:
         for shard in self._shards:
@@ -878,6 +888,141 @@ class ServingCluster:
             record = {"op": str(op), "error": f"unknown control op {op!r}"}
         await emit(json.dumps(record, sort_keys=True, separators=(",", ":"), default=str) + "\n")
 
+    # -- change-feed following (CDC) -------------------------------------------
+
+    async def follow(
+        self,
+        feed: Any = None,
+        *,
+        cursor: Any = None,
+        max_events: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Apply pending change-feed events through the cluster (one poll).
+
+        The frontdoor tails *feed* (a :class:`~repro.cdc.ChangeFeed` or an
+        :func:`~repro.cdc.open_change_feed` target): for each pending tuple
+        event it tells the *owning* worker — the same
+        ``stable_key_shard`` routing requests use — to invalidate the
+        entity's shared-store entries over the control channel, then submits
+        a fresh :class:`ResolveRequest` with the entity's full current rows,
+        so the re-resolution runs on that worker's warm engine and lands in
+        the shared store.  *cursor* (a checkpoint path) makes the follower
+        resumable with the same replay-plus-idempotence contract as
+        :class:`~repro.cdc.ChangeConsumer`.
+
+        The first call attaches the follower (deriving schema and Σ ∪ Γ from
+        the cluster's ``spec_builder``); later calls may omit *feed* to poll
+        again.  ``constraint_changed`` events are rejected with
+        :class:`ReproError`: workers hold a fixed pickled builder, so a
+        constraint edit requires restarting the cluster with the updated
+        constraint file.
+
+        Returns the counters of *this* poll (events applied, entities
+        re-resolved, store rows invalidated, current position); lifetime
+        totals and feed lag appear under ``"cdc"`` in :meth:`stats`.
+        """
+        from repro.cdc.feed import ChangeFeed, ConstraintChanged, open_change_feed
+        from repro.cdc.impact import RegistryState
+        from repro.pipeline.checkpoint import Checkpoint
+
+        self._require_running()
+        follower = self._follower
+        if follower is None:
+            if feed is None:
+                raise ReproError("the first follow() call must name a change feed")
+            schema = getattr(self.spec_builder, "schema", None)
+            if schema is None:
+                raise ReproError(
+                    "follow() needs a spec_builder exposing schema and constraints "
+                    "(a SpecificationBuilder)"
+                )
+            state = RegistryState(
+                schema,
+                tuple(getattr(self.spec_builder, "currency_constraints", ())),
+                tuple(getattr(self.spec_builder, "cfds", ())),
+            )
+            checkpoint = (
+                cursor
+                if cursor is None or isinstance(cursor, Checkpoint)
+                else Checkpoint(cursor)
+            )
+            follower = {
+                "feed": feed if isinstance(feed, ChangeFeed) else open_change_feed(feed),
+                "owned": not isinstance(feed, ChangeFeed),
+                "state": state,
+                "cursor": checkpoint,
+                "position": 0,
+                "applied": 0,
+                "re_resolved": 0,
+                "invalidated": 0,
+            }
+            if checkpoint is not None:
+                data = checkpoint.load()
+                processed = int(data["processed"]) if data else 0
+                for record in follower["feed"].events():
+                    if record.seq > processed:
+                        break
+                    state.apply(record.event)
+                    follower["position"] = record.seq
+            self._follower = follower
+
+        state = follower["state"]
+        applied = re_resolved = invalidated = 0
+        for record in follower["feed"].events(after=follower["position"]):
+            if max_events is not None and applied >= max_events:
+                break
+            event = record.event
+            if isinstance(event, ConstraintChanged):
+                raise ReproError(
+                    "constraint_changed cannot be applied through a running "
+                    "cluster: workers hold a fixed constraint set — restart "
+                    "the cluster with the updated constraint file"
+                )
+            impact = state.apply(event)
+            for entity in impact.removed + impact.affected:
+                invalidated += await self._invalidate_entity(entity)
+            for entity in impact.affected:
+                request = ResolveRequest(
+                    entity=entity,
+                    rows=[dict(row) for row in state.rows[entity]],
+                    id=f"cdc-{record.seq}",
+                )
+                assert self._capacity is not None
+                await self._capacity.wait()
+                status, outcome = await self.submit_request(request)
+                if status == "shed":
+                    raise ReproError(f"cdc re-resolution was shed: {outcome}")
+                await outcome
+                re_resolved += 1
+            faults.on_consumer_event(record.seq)
+            follower["position"] = record.seq
+            applied += 1
+            if follower["cursor"] is not None:
+                follower["cursor"].save(follower["position"])
+        follower["applied"] += applied
+        follower["re_resolved"] += re_resolved
+        follower["invalidated"] += invalidated
+        report: Dict[str, Any] = {
+            "applied": applied,
+            "position": follower["position"],
+        }
+        if re_resolved:
+            report["re_resolved"] = re_resolved
+        if invalidated:
+            report["invalidated"] = invalidated
+        return report
+
+    async def _invalidate_entity(self, entity: str) -> int:
+        """Tell the entity's owning worker to drop its stored results."""
+        shard = self._shards[self.shard_of(entity)]
+        reply = await self._worker_control(
+            shard, {"op": "invalidate", "entities": [entity]}
+        )
+        if reply is None:
+            return 0
+        count = reply.get("invalidated", 0)
+        return count if isinstance(count, int) else 0
+
     # -- observability ---------------------------------------------------------
 
     async def stats(self) -> Dict[str, Any]:
@@ -904,7 +1049,7 @@ class ServingCluster:
                 if worker_stats is not None:
                     entry["server"] = worker_stats
             shards.append(entry)
-        return {
+        payload = {
             "workers": self.num_workers,
             "routed": sum(shard.routed for shard in self._shards),
             "inflight": self._inflight,
@@ -912,20 +1057,41 @@ class ServingCluster:
             "quarantine": [record.as_dict() for record in self.quarantine],
             "shards": shards,
         }
+        # Only a cluster actually following a change feed reports CDC lag;
+        # plain serving runs keep their golden stats records byte-identical.
+        if self._follower is not None:
+            from repro.cdc.consumer import feed_status
 
-    async def _query_worker_stats(self, shard: _Shard) -> Optional[Dict[str, Any]]:
-        """Fetch one worker's ServerStats over a dedicated control connection."""
+            follower = self._follower
+            cdc = feed_status(follower["feed"], follower["position"])
+            for key in ("applied", "re_resolved", "invalidated"):
+                if follower[key]:
+                    cdc[key] = follower[key]
+            payload["cdc"] = cdc
+        return payload
+
+    async def _worker_control(
+        self, shard: _Shard, payload: Dict[str, Any], timeout: float = 30.0
+    ) -> Optional[Dict[str, Any]]:
+        """One control round-trip on a *dedicated* connection to a worker.
+
+        The persistent request connection is strictly ordered (the read loop
+        pops one pending request per response line), so out-of-band control
+        ops must never ride it; each call opens its own short-lived
+        connection, exactly like an external operator would.  Returns the
+        decoded reply, or ``None`` when the worker is unreachable.
+        """
         try:
             reader, writer = await asyncio.open_connection("127.0.0.1", shard.port)
         except OSError:
             return None
         try:
-            writer.write(b'{"op":"stats"}\n')
+            line = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+            writer.write((line + "\n").encode("utf-8"))
             await writer.drain()
-            raw = await asyncio.wait_for(reader.readline(), timeout=30.0)
-            payload = json.loads(raw.decode("utf-8"))
-            stats = payload.get("stats")
-            return stats if isinstance(stats, dict) else None
+            raw = await asyncio.wait_for(reader.readline(), timeout=timeout)
+            reply = json.loads(raw.decode("utf-8"))
+            return reply if isinstance(reply, dict) else None
         except (OSError, ValueError, asyncio.TimeoutError):
             return None
         finally:
@@ -934,3 +1100,11 @@ class ServingCluster:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
                 pass
+
+    async def _query_worker_stats(self, shard: _Shard) -> Optional[Dict[str, Any]]:
+        """Fetch one worker's ServerStats over a dedicated control connection."""
+        reply = await self._worker_control(shard, {"op": "stats"})
+        if reply is None:
+            return None
+        stats = reply.get("stats")
+        return stats if isinstance(stats, dict) else None

@@ -48,6 +48,7 @@ from typing import (
     Dict,
     Iterable,
     Optional,
+    Sequence,
     Union,
 )
 
@@ -328,6 +329,19 @@ class ResolutionServer:
         if self.result_store is not None and hasattr(self.result_store, "statistics"):
             snapshot.store = dict(self.result_store.statistics())
         return snapshot
+
+    def invalidate(self, entity_keys: Sequence[str]) -> int:
+        """Drop the stored results of *entity_keys* (all specification hashes).
+
+        The CDC control path: a cluster frontdoor following a change feed
+        tells the owning worker to forget stale entries, so the next request
+        for the entity re-resolves on this server's warm engine instead of
+        answering from the store.  Idempotent; returns the number of rows
+        actually dropped (0 without a result store).
+        """
+        if self.result_store is None or not entity_keys:
+            return 0
+        return self.result_store.invalidate(entity_keys)
 
     # -- request processing ----------------------------------------------------
 

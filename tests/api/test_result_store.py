@@ -212,3 +212,109 @@ class TestResumeSkipsStoredPrefix:
             client.run_experiment(nba_dataset)
             assert client.engine.statistics.entities == len(nba_dataset.entities) - 2
             assert client.stats().store_hits == 2
+
+
+class TestInvalidate:
+    """The CDC satellite: idempotent invalidation across both backends."""
+
+    @pytest.mark.parametrize("backend", ["memory", "sqlite"])
+    def test_invalidate_removes_every_hash_of_a_key(
+        self, backend, tmp_path, resolved_pairs
+    ):
+        store = (
+            MemoryResultStore() if backend == "memory"
+            else SqliteResultStore(tmp_path / "results.db")
+        )
+        with store:
+            key, spec, result = resolved_pairs[0]
+            store.put(key, "digest-a", result)
+            store.put(key, "digest-b", result)
+            other_key, _spec, other = resolved_pairs[1]
+            store.put(other_key, "digest-a", other)
+            assert store.invalidate([key]) == 2
+            assert store.get(key, "digest-a") is None
+            assert store.get(key, "digest-b") is None
+            # Unrelated keys are untouched.
+            assert store.get(other_key, "digest-a") == other
+
+    @pytest.mark.parametrize("backend", ["memory", "sqlite"])
+    def test_invalidate_one_specific_hash(self, backend, tmp_path, resolved_pairs):
+        store = (
+            MemoryResultStore() if backend == "memory"
+            else SqliteResultStore(tmp_path / "results.db")
+        )
+        with store:
+            key, _spec, result = resolved_pairs[0]
+            store.put(key, "digest-a", result)
+            store.put(key, "digest-b", result)
+            assert store.invalidate([key], specification_hash="digest-a") == 1
+            assert store.get(key, "digest-a") is None
+            assert store.get(key, "digest-b") == result
+
+    @pytest.mark.parametrize("backend", ["memory", "sqlite"])
+    def test_invalidation_is_idempotent(self, backend, tmp_path, resolved_pairs):
+        """Replayed events re-invalidate freely: absent keys remove nothing."""
+        store = (
+            MemoryResultStore() if backend == "memory"
+            else SqliteResultStore(tmp_path / "results.db")
+        )
+        with store:
+            key, _spec, result = resolved_pairs[0]
+            store.put(key, "digest", result)
+            assert store.invalidate([key]) == 1
+            assert store.invalidate([key]) == 0
+            assert store.invalidate(["never-stored"]) == 0
+            assert store.invalidate([]) == 0
+
+    def test_statistics_count_appears_only_when_nonzero(self, resolved_pairs):
+        """Omit-when-zero: untouched stores report no "invalidated" key."""
+        key, _spec, result = resolved_pairs[0]
+        with MemoryResultStore() as store:
+            store.put(key, "digest", result)
+            assert "invalidated" not in store.statistics()
+            store.invalidate(["never-stored"])
+            assert "invalidated" not in store.statistics()
+            store.invalidate([key])
+            assert store.statistics()["invalidated"] == 1
+
+
+def _hammer_invalidations(path, offset, result, rounds):
+    """Child-process worker: interleave upserts, reads and invalidations."""
+    with SqliteResultStore(path) as store:
+        for index in range(rounds):
+            key = f"writer{offset}_entity{index}"
+            store.put(key, "digest", result)
+            store.get(key, "digest")
+            assert store.invalidate([key]) in (0, 1)
+            store.put(key, "digest", result)  # re-insert after invalidation
+            store.invalidate(["shared_entity"])  # contended no-op most rounds
+            store.results()
+
+
+class TestInvalidateAcrossProcesses:
+    def test_concurrent_invalidators_do_not_lock_out(self, tmp_path, resolved_pairs):
+        """Four processes invalidating while reading the same WAL file."""
+        path = str(tmp_path / "contended.db")
+        _key, _spec, result = resolved_pairs[0]
+        with SqliteResultStore(path) as store:
+            store.put("shared_entity", "digest", result)
+        writers, rounds = 4, 15
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+        processes = [
+            context.Process(
+                target=_hammer_invalidations, args=(path, offset, result, rounds)
+            )
+            for offset in range(writers)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=120)
+        exit_codes = [process.exitcode for process in processes]
+        assert exit_codes == [0] * writers, exit_codes
+        with SqliteResultStore(path) as store:
+            # Every worker's final state: one re-inserted row per round; the
+            # shared row was invalidated by whichever process got there first.
+            assert len(store) == writers * rounds
+            assert store.get("shared_entity", "digest") is None

@@ -1,0 +1,19 @@
+"""Shared CDC fixtures: one small NBA dataset and its bootstrapped feed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import NBAConfig, generate_nba_dataset
+
+from tests.cdc._helpers import bootstrap_events
+
+
+@pytest.fixture(scope="session")
+def cdc_nba_dataset():
+    return generate_nba_dataset(NBAConfig(num_players=6, seasons=3, seed=3))
+
+
+@pytest.fixture(scope="session")
+def nba_events(cdc_nba_dataset):
+    return bootstrap_events(cdc_nba_dataset)

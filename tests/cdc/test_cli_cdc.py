@@ -1,0 +1,231 @@
+"""CLI surface: ``repro cdc append|tail|status`` and ``repro serve --follow``."""
+
+import json
+
+import pytest
+
+from repro.api import SqliteResultStore
+from repro.cdc import decode_event, encode_event, open_change_feed
+from repro.cli import main
+from repro.io.constraints_io import dump_constraints
+
+from tests.cdc._helpers import canonical_store, cdc_run_config, make_feed
+
+
+@pytest.fixture()
+def events_file(nba_events, tmp_path):
+    path = tmp_path / "events.jsonl"
+    path.write_text("".join(encode_event(event) + "\n" for event in nba_events))
+    return path
+
+
+@pytest.fixture()
+def constraints_file(cdc_nba_dataset, tmp_path):
+    path = tmp_path / "constraints.txt"
+    path.write_text(
+        dump_constraints(
+            list(cdc_nba_dataset.currency_constraints), list(cdc_nba_dataset.cfds)
+        )
+    )
+    return path
+
+
+def _schema_flag(dataset):
+    return ",".join(dataset.schema.attribute_names)
+
+
+class TestCdcCommand:
+    def test_append_tail_status_round_trip(
+        self, nba_events, events_file, tmp_path, capsys
+    ):
+        feed_path = tmp_path / "feed.jsonl"
+        assert main(
+            ["cdc", "append", str(feed_path), "--input", str(events_file)]
+        ) == 0
+        err = capsys.readouterr().err
+        assert f"appended {len(nba_events)} events" in err
+
+        assert main(["cdc", "tail", str(feed_path)]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == len(nba_events)
+        first = json.loads(lines[0])
+        assert first["seq"] == 1
+        assert decode_event(json.dumps(first["data"])) == nba_events[0]
+
+        assert main(["cdc", "tail", str(feed_path), "--after", "24"]) == 0
+        assert len(capsys.readouterr().out.splitlines()) == len(nba_events) - 24
+
+        assert main(["cdc", "status", str(feed_path)]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["last_sequence"] == len(nba_events)
+        assert status["position"] == 0 and status["behind"] == len(nba_events)
+
+    def test_append_rejects_malformed_event(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind": "tuple_added"}\n')
+        assert main(
+            ["cdc", "append", str(tmp_path / "feed.jsonl"), "--input", str(bad)]
+        ) == 1
+        assert "line 1" in capsys.readouterr().err
+
+    def test_tail_of_missing_feed_is_a_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["cdc", "tail", str(tmp_path / "nope.jsonl")])
+        assert excinfo.value.code == 2
+
+    def test_memory_feed_is_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["cdc", "append", ":memory:"])
+        assert excinfo.value.code == 2
+
+
+class TestServeFollow:
+    def test_standalone_follow_consumes_and_reports(
+        self,
+        cdc_nba_dataset,
+        nba_events,
+        constraints_file,
+        tmp_path,
+        capsys,
+    ):
+        feed = make_feed(tmp_path / "feed.jsonl", nba_events)
+        feed.close()
+        store = tmp_path / "store.db"
+        cursor = tmp_path / "cursor.json"
+        argv = [
+            "serve",
+            "--schema",
+            _schema_flag(cdc_nba_dataset),
+            "--constraints",
+            str(constraints_file),
+            "--store",
+            str(store),
+            "--follow",
+            str(tmp_path / "feed.jsonl"),
+            "--cursor",
+            str(cursor),
+        ]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        report = json.loads(captured.out)
+        assert report["applied"] == len(nba_events)
+        assert report["re_resolved"] > 0
+        assert f"position {len(nba_events)}" in captured.err
+
+        # The follower is resumable: a second run applies nothing new.
+        assert main(argv) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report == {"applied": 0, "position": len(nba_events)}
+
+        # status --cursor reports the caught-up consumer.
+        assert main(
+            [
+                "cdc",
+                "status",
+                str(tmp_path / "feed.jsonl"),
+                "--cursor",
+                str(cursor),
+            ]
+        ) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["behind"] == 0
+
+    def test_cluster_follow_matches_standalone(
+        self,
+        cdc_nba_dataset,
+        nba_events,
+        constraints_file,
+        tmp_path,
+        capsys,
+    ):
+        feed = make_feed(tmp_path / "feed.jsonl", nba_events)
+        feed.close()
+
+        def follow_argv(store, cursor, *cluster_flags):
+            return [
+                "serve",
+                "--schema",
+                _schema_flag(cdc_nba_dataset),
+                "--constraints",
+                str(constraints_file),
+                "--store",
+                str(store),
+                "--follow",
+                str(tmp_path / "feed.jsonl"),
+                "--cursor",
+                str(cursor),
+                *cluster_flags,
+            ]
+
+        assert main(
+            follow_argv(tmp_path / "a.db", tmp_path / "a.json")
+        ) == 0
+        assert main(
+            follow_argv(tmp_path / "b.db", tmp_path / "b.json", "--cluster", "2")
+        ) == 0
+        out_lines = [
+            line for line in capsys.readouterr().out.splitlines() if line.strip()
+        ]
+        assert json.loads(out_lines[-1])["applied"] == len(nba_events)
+        with SqliteResultStore(tmp_path / "a.db") as a, SqliteResultStore(
+            tmp_path / "b.db"
+        ) as b:
+            assert canonical_store(a) == canonical_store(b)
+
+
+class TestValidation:
+    def _base(self, tmp_path, constraints_file):
+        return [
+            "serve",
+            "--schema",
+            "a,b",
+            "--constraints",
+            str(constraints_file),
+        ]
+
+    @pytest.mark.parametrize(
+        "extra",
+        [
+            ["--cursor", "c.json"],  # --cursor without --follow
+            ["--follow", "feed.jsonl"],  # --follow without --store
+        ],
+    )
+    def test_usage_errors(self, extra, tmp_path, constraints_file, nba_events):
+        feed = make_feed(tmp_path / "feed.jsonl", nba_events[:1])
+        feed.close()
+        argv = self._base(tmp_path, constraints_file) + [
+            part.replace("feed.jsonl", str(tmp_path / "feed.jsonl")) for part in extra
+        ]
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+
+    def test_follow_rejects_request_loop_flags(
+        self, tmp_path, constraints_file, nba_events
+    ):
+        feed = make_feed(tmp_path / "feed.jsonl", nba_events[:1])
+        feed.close()
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text("")
+        argv = self._base(tmp_path, constraints_file) + [
+            "--store",
+            str(tmp_path / "s.db"),
+            "--follow",
+            str(tmp_path / "feed.jsonl"),
+            "--input",
+            str(requests),
+        ]
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+
+    def test_follow_requires_an_existing_feed(self, tmp_path, constraints_file):
+        argv = self._base(tmp_path, constraints_file) + [
+            "--store",
+            str(tmp_path / "s.db"),
+            "--follow",
+            str(tmp_path / "missing.jsonl"),
+        ]
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2

@@ -1,0 +1,142 @@
+"""Change-feed contract: codec, sequencing, durability, backend parity."""
+
+import json
+
+import pytest
+
+from repro.cdc import (
+    ConstraintChanged,
+    FeedError,
+    JsonlChangeFeed,
+    MemoryChangeFeed,
+    SqliteChangeFeed,
+    TupleAdded,
+    TupleRetracted,
+    decode_event,
+    encode_event,
+    open_change_feed,
+)
+from repro.cdc.feed import encode_envelope
+
+EVENTS = [
+    TupleAdded(entity="e1", row={"a": 1, "b": "x", "c": None}),
+    TupleRetracted(entity="e1", row={"a": 1, "b": "x", "c": None}),
+    ConstraintChanged(constraints="# currency constraints\n"),
+]
+
+
+class TestCodec:
+    @pytest.mark.parametrize("event", EVENTS, ids=lambda e: e.kind)
+    def test_round_trip(self, event):
+        encoded = encode_event(event)
+        assert decode_event(encoded) == event
+        # Canonical: re-encoding the decoded event is byte-stable.
+        assert encode_event(decode_event(encoded)) == encoded
+
+    def test_canonical_is_key_order_independent(self):
+        a = encode_event(TupleAdded(entity="e", row={"x": 1, "y": 2}))
+        b = encode_event(TupleAdded(entity="e", row={"y": 2, "x": 1}))
+        assert a == b
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "not json",
+            json.dumps(["a", "list"]),
+            json.dumps({"kind": "no_such_kind"}),
+            json.dumps({"kind": "tuple_added", "row": {"a": 1}}),
+            json.dumps({"kind": "tuple_added", "entity": "", "row": {}}),
+            json.dumps({"kind": "tuple_added", "entity": "e", "row": "nope"}),
+            json.dumps({"kind": "tuple_added", "entity": "e", "row": {}, "junk": 1}),
+            json.dumps({"kind": "constraint_changed", "constraints": 42}),
+        ],
+    )
+    def test_malformed_events_are_rejected(self, text):
+        with pytest.raises(FeedError):
+            decode_event(text)
+
+    def test_envelope_round_trips_through_jsonl(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        with JsonlChangeFeed(path) as feed:
+            for event in EVENTS:
+                feed.append(event)
+            records = list(feed.events())
+        lines = path.read_text().splitlines()
+        assert lines == [encode_envelope(record) for record in records]
+
+
+def _open_backend(name, tmp_path):
+    if name == "memory":
+        return MemoryChangeFeed()
+    if name == "jsonl":
+        return JsonlChangeFeed(tmp_path / "feed.jsonl")
+    return SqliteChangeFeed(tmp_path / "feed.db")
+
+
+BACKENDS = ["memory", "jsonl", "sqlite"]
+
+
+class TestBackends:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_sequences_start_at_one_and_increase(self, backend, tmp_path):
+        with _open_backend(backend, tmp_path) as feed:
+            assert len(feed) == 0 and feed.last_sequence() == 0
+            sequences = [feed.append(event) for event in EVENTS]
+            assert sequences == [1, 2, 3]
+            assert feed.last_sequence() == 3 and len(feed) == 3
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_events_after_position(self, backend, tmp_path):
+        with _open_backend(backend, tmp_path) as feed:
+            for event in EVENTS:
+                feed.append(event)
+            tail = list(feed.events(after=1))
+            assert [record.seq for record in tail] == [2, 3]
+            assert [record.event for record in tail] == EVENTS[1:]
+            assert list(feed.events(after=3)) == []
+
+    @pytest.mark.parametrize("backend", ["jsonl", "sqlite"])
+    def test_durable_backends_persist_across_reopen(self, backend, tmp_path):
+        with _open_backend(backend, tmp_path) as feed:
+            for event in EVENTS:
+                feed.append(event)
+        with _open_backend(backend, tmp_path) as reopened:
+            assert reopened.last_sequence() == 3
+            assert [record.event for record in reopened.events()] == EVENTS
+            # Appends continue the persisted sequence, never reuse it.
+            assert reopened.append(EVENTS[0]) == 4
+
+    def test_jsonl_rejects_corrupt_sequence(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        with JsonlChangeFeed(path) as feed:
+            feed.append(EVENTS[0])
+            good = path.read_text()
+        path.write_text(good + good)  # duplicate seq 1
+        with pytest.raises(FeedError):
+            with JsonlChangeFeed(path) as feed:
+                list(feed.events())
+
+
+class TestOpenChangeFeed:
+    def test_dispatch(self, tmp_path):
+        assert isinstance(open_change_feed(":memory:"), MemoryChangeFeed)
+        jsonl = open_change_feed(tmp_path / "feed.jsonl")
+        assert isinstance(jsonl, JsonlChangeFeed)
+        jsonl.close()
+        sqlite = open_change_feed(tmp_path / "feed.db")
+        assert isinstance(sqlite, SqliteChangeFeed)
+        sqlite.close()
+
+    def test_feed_passthrough(self):
+        feed = MemoryChangeFeed()
+        assert open_change_feed(feed) is feed
+
+    def test_jsonl_and_sqlite_store_identical_streams(self, tmp_path):
+        with JsonlChangeFeed(tmp_path / "a.jsonl") as a, SqliteChangeFeed(
+            tmp_path / "b.db"
+        ) as b:
+            for event in EVENTS:
+                assert a.append(event) == b.append(event)
+            assert [(r.seq, r.event) for r in a.events()] == [
+                (r.seq, r.event) for r in b.events()
+            ]

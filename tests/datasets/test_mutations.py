@@ -1,0 +1,90 @@
+"""Seeded row mutations: deterministic, valid, ground-truth preserving."""
+
+import pytest
+
+from repro.core.errors import DatasetError
+from repro.datasets import (
+    NBAConfig,
+    RowMutation,
+    generate_nba_dataset,
+    mutate_rows,
+)
+from repro.datasets.mutations import MUTATION_KINDS
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_nba_dataset(NBAConfig(num_players=6, seasons=3, seed=3))
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self, dataset):
+        assert mutate_rows(dataset, 12, seed=4) == mutate_rows(dataset, 12, seed=4)
+
+    def test_different_seeds_differ(self, dataset):
+        assert mutate_rows(dataset, 12, seed=4) != mutate_rows(dataset, 12, seed=5)
+
+    def test_dataset_is_never_modified(self, dataset):
+        before = [[dict(row) for row in entity.rows] for entity in dataset.entities]
+        mutate_rows(dataset, 12, seed=4)
+        after = [[dict(row) for row in entity.rows] for entity in dataset.entities]
+        assert after == before
+
+
+class TestStreamValidity:
+    def test_mutations_name_known_entities_and_kinds(self, dataset):
+        names = {entity.name for entity in dataset.entities}
+        for mutation in mutate_rows(dataset, 20, seed=4):
+            assert isinstance(mutation, RowMutation)
+            assert mutation.entity in names
+            assert mutation.kind in MUTATION_KINDS
+
+    def test_retractions_target_present_rows(self, dataset):
+        """Replaying the stream against the rows never retracts a ghost."""
+        current = {
+            entity.name: [dict(row) for row in entity.rows]
+            for entity in dataset.entities
+        }
+        for mutation in mutate_rows(dataset, 30, seed=9):
+            rows = current[mutation.entity]
+            if mutation.kind == "retract":
+                assert mutation.row in rows
+                rows.remove(mutation.row)
+                assert rows, "an entity never loses its last observation"
+            else:
+                rows.append(dict(mutation.row))
+
+    def test_typo_values_always_differ(self):
+        import random
+
+        from repro.datasets.mutations import _typo_value
+
+        rng = random.Random(0)
+        for value in (True, False, 7, -3, 2.5, "Arena 08", "x", ""):
+            for _ in range(20):
+                assert _typo_value(value, rng) != value
+
+    def test_kinds_filter_restricts_the_draw(self, dataset):
+        kinds = {m.kind for m in mutate_rows(dataset, 30, seed=2, kinds=("stale",))}
+        # "stale" may degrade to "typo" when an entity has no history, but
+        # never retracts.
+        assert "retract" not in kinds
+
+
+class TestValidation:
+    def test_negative_changes_rejected(self, dataset):
+        with pytest.raises(DatasetError):
+            mutate_rows(dataset, -1)
+
+    def test_unknown_kind_rejected(self, dataset):
+        with pytest.raises(DatasetError):
+            mutate_rows(dataset, 3, kinds=("typo", "nonsense"))
+        with pytest.raises(DatasetError):
+            mutate_rows(dataset, 3, kinds=())
+
+    def test_empty_dataset_rejected(self, dataset):
+        from dataclasses import replace
+
+        empty = replace(dataset, entities=[])
+        with pytest.raises(DatasetError):
+            mutate_rows(empty, 1)

@@ -122,3 +122,57 @@ class TestDeltaEncoding:
         stats = encoder.statistics()
         assert stats["delta_encodings"] == 2
         assert stats["incremental"] == 1
+
+
+class TestObservedTupleDelta:
+    """A delta appending an *observed* tuple with ``tid=None`` — the shape the
+    CDC consumer builds for a ``tuple_added`` feed event.
+
+    Regression: the extended instance assigns the appended tuple's identifier
+    on a copy, so reading ``delta.new_tuples[*].tid`` after the extension
+    yields ``None``; the NULL-lowest order pairs involving the new tuple were
+    silently skipped and warm re-resolutions deduced fewer attributes than
+    cold ones.
+    """
+
+    def _observed(self, spec, **overrides):
+        from repro.core import EntityTuple
+
+        row = dict(
+            name="George Mendonca", status="retired", job=None, kids=None,
+            city="NY", AC="212", zip=None, county=None,
+        )
+        row.update(overrides)
+        return TemporalOrderDelta(new_tuples=[EntityTuple(spec.schema, row)])
+
+    def test_null_lowest_pairs_cover_the_appended_tuple(self, george_spec):
+        delta = self._observed(george_spec)
+        extended = george_spec.extend(delta)
+        new_tid = extended.instance.tids[-1]
+        assert new_tid not in george_spec.instance.tids
+        orders = extended.temporal_instance
+        # The appended tuple misses "job": it must rank below every tuple
+        # that observes one, exactly as a from-scratch build would order it.
+        for older in george_spec.instance.tids:
+            assert orders.more_current(new_tid, older, "job")
+
+    def test_encoding_and_deduction_match_from_scratch(self, george_spec):
+        delta = self._observed(george_spec)
+        encoder = IncrementalEncoder(george_spec)
+        encoder.apply_delta(delta)
+        extended = encoder.specification
+        assert extended.instance.tids == george_spec.extend(delta).instance.tids
+
+        reference_encoding = encode_specification(extended)
+        assert _canonical_keys(encoder.encoding.omega) == _canonical_keys(
+            reference_encoding.omega
+        )
+        incremental = deduce_order(encoder.encoding, extra_literals=encoder.assumptions)
+        reference = deduce_order(reference_encoding)
+        assert incremental.conflict == reference.conflict
+        for attribute in set(incremental.orders) | set(reference.orders):
+            assert incremental.order_for(attribute) == reference.order_for(attribute)
+        assert (
+            extract_true_values(extended, incremental).values
+            == extract_true_values(extended, reference).values
+        )
